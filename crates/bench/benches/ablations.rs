@@ -1,0 +1,118 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **model indirection** — the per-compare cost of dispatching through a
+//!   model object vs. direct comparison (why unspecialized Genus trails
+//!   specialized code, §8.3);
+//! * **boxing** — unboxed (`double`) vs boxed (`Double`) element storage at
+//!   fixed genericity (why primitive type arguments pay off even without
+//!   specialization);
+//! * **reified fast path** — Figure 7's `addAll` with same-ordering
+//!   detection, matching vs non-matching models, in the interpreter.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use genus::{CheckedProgram, Compiler, Interp};
+use genus_translate::genus as tgenus;
+use genus_translate::specialized;
+use genus_translate::workload::random_doubles;
+use std::rc::Rc;
+
+const N: usize = 2000;
+
+fn ablation_model_indirection(c: &mut Criterion) {
+    let input = random_doubles(N, 1);
+    let mut g = c.benchmark_group("ablation_model_indirection");
+    g.bench_function("direct_compare", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| specialized::sort_slice(&mut v),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("model_dispatched_compare", |b| {
+        b.iter_batched(
+            || {
+                let mut a = tgenus::ObjectModel::new_array(&tgenus::DoubleModel, N);
+                for (i, v) in input.iter().enumerate() {
+                    tgenus::ObjectModel::array_set(
+                        &tgenus::DoubleModel,
+                        &mut a,
+                        i,
+                        tgenus::GValue::D(*v),
+                    );
+                }
+                a
+            },
+            |mut a| tgenus::sort_array_generic(&mut a, &tgenus::DoubleModel),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn ablation_boxing(c: &mut Criterion) {
+    let input = random_doubles(N, 2);
+    let dm: Rc<dyn tgenus::ComparableModel> = Rc::new(tgenus::DoubleModel);
+    let bm: Rc<dyn tgenus::ComparableModel> = Rc::new(tgenus::BoxedDoubleModel);
+    let mut g = c.benchmark_group("ablation_boxing");
+    g.bench_function("unboxed_storage", |b| {
+        b.iter_batched(
+            || tgenus::GenusArrayList::from_values(dm.clone(), &input),
+            |mut l| tgenus::sort_list_generic(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("boxed_storage", |b| {
+        b.iter_batched(
+            || tgenus::GenusArrayList::from_values(bm.clone(), &input),
+            |mut l| tgenus::sort_list_generic(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn compile(src: &str) -> CheckedProgram {
+    Compiler::new()
+        .with_stdlib()
+        .source("bench.genus", src)
+        .compile()
+        .expect("benchmark program compiles")
+}
+
+fn run_program(prog: &CheckedProgram) {
+    let mut i = Interp::new(prog);
+    i.run_main().expect("benchmark program runs");
+    let _ = i.take_output();
+}
+
+fn ablation_reified_fast_path(c: &mut Criterion) {
+    // Interpreter-level: TreeSet.addAll with matching vs non-matching
+    // orderings (Figure 7). The element flow is identical; the measured
+    // difference is the reified-model test plus the chosen path.
+    let mk = |with_model: bool| {
+        let decl = if with_model { " with ReverseCmp[int]" } else { "" };
+        format!(
+            "void main() {{
+               TreeSet[int{decl}] a = new TreeSet[int{decl}]();
+               for (int i = 0; i < 60; i = i + 1) {{ a.add(i * 7 % 61); }}
+               TreeSet[int] b = new TreeSet[int]();
+               b.addAll(a);
+               println(b.fastPathAdds);
+             }}"
+        )
+    };
+    let prog_same = compile(&mk(false));
+    let prog_diff = compile(&mk(true));
+    let mut g = c.benchmark_group("ablation_reified_fast_path");
+    g.sample_size(10);
+    g.bench_function("same_ordering_fast_path", |b| b.iter(|| run_program(&prog_same)));
+    g.bench_function("different_ordering_slow_path", |b| b.iter(|| run_program(&prog_diff)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = ablation_model_indirection, ablation_boxing, ablation_reified_fast_path
+}
+criterion_main!(benches);

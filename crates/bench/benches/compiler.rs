@@ -1,0 +1,99 @@
+//! Compiler benchmarks: front-end throughput and default model resolution
+//! cost, including the recursive-resolution depth sweep that motivates the
+//! termination restriction (§4.7, §9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genus::Compiler;
+
+fn bench_check_stdlib(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.sample_size(10);
+    g.bench_function("check_stdlib", |b| {
+        b.iter(|| {
+            Compiler::new()
+                .with_stdlib()
+                .source("m.genus", "void main() { }")
+                .compile()
+                .expect("stdlib checks")
+        })
+    });
+    g.bench_function("parse_and_check_small", |b| {
+        b.iter(|| {
+            Compiler::new()
+                .source(
+                    "m.genus",
+                    "constraint Ring[T] { static T T.zero(); T T.plus(T that); }
+                     T sum[T](T[] xs) where Ring[T] {
+                       T acc = T.zero();
+                       for (T x : xs) { acc = acc.plus(x); }
+                       return acc;
+                     }
+                     double main() {
+                       double[] xs = new double[3];
+                       xs[0] = 1.0; xs[1] = 2.0; xs[2] = 3.0;
+                       return sum(xs);
+                     }",
+                )
+                .compile()
+                .expect("program checks")
+        })
+    });
+    g.finish();
+}
+
+/// Builds a program whose default model resolution must recurse `depth`
+/// times through a parameterized `use` declaration: cloning
+/// `ArrayList[ArrayList[...[Pt]...]]`.
+fn nested_clone_program(depth: usize) -> String {
+    let mut ty = "Pt".to_string();
+    for _ in 0..depth {
+        ty = format!("ArrayList[{ty}]");
+    }
+    format!(
+        "class Pt {{
+           int x;
+           Pt(int x) {{ this.x = x; }}
+           Pt clone() {{ return new Pt(x); }}
+         }}
+         model ALDC[E] for Cloneable[ArrayList[E]] where Cloneable[E] {{
+           ArrayList[E] clone() {{
+             ArrayList[E] l = new ArrayList[E]();
+             for (E e : this) {{ l.add(e.clone()); }}
+             return l;
+           }}
+         }}
+         use ALDC;
+         void main() {{
+           {ty} x = null;
+           // The declaration below forces resolution of Cloneable[{ty}],
+           // which recurses down to Cloneable[Pt].
+           cloneIt(x);
+         }}
+         void cloneIt[T](T t) where Cloneable[T] {{ }}"
+    )
+}
+
+fn bench_recursive_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resolution_depth");
+    g.sample_size(10);
+    for depth in [1usize, 4, 8, 16] {
+        let src = nested_clone_program(depth);
+        g.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| {
+                Compiler::new()
+                    .with_stdlib()
+                    .source("m.genus", src.as_str())
+                    .compile()
+                    .expect("resolves")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_check_stdlib, bench_recursive_resolution
+}
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Criterion benchmark regenerating the paper's Table 1 (§8.3): the same
+//! insertion sort compiled three ways (Java erasure+boxing, Genus
+//! homogeneous translation with model objects, Genus specialized), over the
+//! twelve data-structure × genericity configurations.
+//!
+//! Absolute numbers differ from the paper's JVM measurements; the *shape*
+//! (who wins, by roughly what factor) is the reproduced result. Run
+//! `cargo run --release --example table1_report` for the paper-style table.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use genus_translate::workload::random_doubles;
+use genus_translate::{genus, java, specialized};
+use std::rc::Rc;
+
+const N: usize = 2000;
+
+fn bench_group(c: &mut Criterion) {
+    let input = random_doubles(N, 0xC0FFEE);
+    let dm: Rc<dyn genus::ComparableModel> = Rc::new(genus::DoubleModel);
+    let bm: Rc<dyn genus::ComparableModel> = Rc::new(genus::BoxedDoubleModel);
+
+    let mut g = c.benchmark_group("table1");
+
+    // ---- Non-generic -------------------------------------------------
+    g.bench_function("nongeneric/double[]/java+genus", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| java::sort_double_array(&mut v),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("nongeneric/Double[]/java+genus", |b| {
+        b.iter_batched(
+            || java::BoxedArray::from_values(&input),
+            |mut v| java::sort_boxed_array(&mut v.data),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("nongeneric/ArrayList[double]/genus", |b| {
+        b.iter_batched(
+            || genus::GenusArrayList::from_values(dm.clone(), &input),
+            |mut l| genus::sort_list_nongeneric(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("nongeneric/ArrayList[Double]/java", |b| {
+        b.iter_batched(
+            || java::JArrayList::from_values(&input),
+            |mut l| java::sort_arraylist(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("nongeneric/ArrayList[Double]/genus", |b| {
+        b.iter_batched(
+            || genus::GenusArrayList::from_values(bm.clone(), &input),
+            |mut l| genus::sort_list_nongeneric(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // ---- Generic: Comparable[T] ---------------------------------------
+    g.bench_function("comparable/double[]/genus", |b| {
+        b.iter_batched(
+            || {
+                let mut a = genus::ObjectModel::new_array(&genus::DoubleModel, N);
+                for (i, v) in input.iter().enumerate() {
+                    genus::ObjectModel::array_set(
+                        &genus::DoubleModel,
+                        &mut a,
+                        i,
+                        genus::GValue::D(*v),
+                    );
+                }
+                a
+            },
+            |mut a| genus::sort_array_generic(&mut a, &genus::DoubleModel),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("comparable/Double[]/java", |b| {
+        b.iter_batched(
+            || java::BoxedArray::from_values(&input),
+            |mut v| java::sort_generic_comparable(&mut v.data),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("comparable/ArrayList[double]/genus", |b| {
+        b.iter_batched(
+            || genus::GenusArrayList::from_values(dm.clone(), &input),
+            |mut l| genus::sort_list_generic(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("comparable/ArrayList[Double]/java", |b| {
+        b.iter_batched(
+            || java::JArrayList::from_values(&input),
+            |mut l| java::sort_generic_comparable_list(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("comparable/ArrayList[Double]/genus", |b| {
+        b.iter_batched(
+            || genus::GenusArrayList::from_values(bm.clone(), &input),
+            |mut l| genus::sort_list_generic(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // ---- Generic: ArrayLike[A,T], Comparable[T] ------------------------
+    g.bench_function("arraylike/ArrayList[double]/genus", |b| {
+        b.iter_batched(
+            || genus::GenusArrayList::from_values(dm.clone(), &input),
+            |mut l| {
+                genus::sort_arraylike_generic(
+                    &mut l,
+                    &genus::ArrayListAsArrayLike,
+                    &genus::DoubleModel,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("arraylike/ArrayList[Double]/java", |b| {
+        b.iter_batched(
+            || java::JArrayList::from_values(&input),
+            |mut l| java::sort_generic_arraylike(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("arraylike/ArrayList[Double]/genus", |b| {
+        b.iter_batched(
+            || genus::GenusArrayList::from_values(bm.clone(), &input),
+            |mut l| {
+                genus::sort_arraylike_generic(
+                    &mut l,
+                    &genus::ArrayListAsArrayLike,
+                    &genus::BoxedDoubleModel,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // ---- Specialized (the bracketed column) and the C-style baseline ---
+    g.bench_function("specialized/double[]", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| specialized::sort_slice(&mut v),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("specialized/ArrayList[double]", |b| {
+        b.iter_batched(
+            || specialized::SpecArrayList::from_values(input.clone()),
+            |mut l| specialized::sort_list(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("specialized/ArrayList[Double]", |b| {
+        b.iter_batched(
+            || {
+                specialized::SpecArrayList::from_values(
+                    input.iter().map(|v| Rc::new(*v)).collect::<Vec<_>>(),
+                )
+            },
+            |mut l| specialized::sort_list(&mut l),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("baseline/double[]", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| specialized::sort_baseline(&mut v),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_group
+}
+criterion_main!(benches);

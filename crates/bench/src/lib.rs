@@ -1,0 +1,2 @@
+//! Benchmark support crate: see `benches/` for the Criterion harnesses that
+//! regenerate the paper's Table 1 and the ablation studies.

@@ -1,0 +1,2271 @@
+//! Statement/expression checking: lowers AST bodies to typed [`crate::hir`].
+//!
+//! This module implements the context-sensitive parts of the paper:
+//! default model resolution at instantiations and calls (§4.4), the
+//! unification-then-resolution inference split for intrinsic vs. extrinsic
+//! constraints (§4.7), elided-expander resolution (§4.1), model-dependent
+//! type checking (§4.5), reified `instanceof`/casts (§4.6), existential
+//! packing, capture conversion, and explicit local binding (§6).
+
+use crate::collect::{Resolver, Scope};
+use crate::hir::{self, BinKind, LocalId, NativeOp, NumKind};
+use crate::methods::{lookup_field, lookup_methods_patched, FoundMethod, MethodOwner};
+use crate::resolve::{resolve_default, resolve_expander, ResolveCtx, ResolveError};
+use genus_common::{Diagnostics, Span, Symbol};
+use genus_syntax::ast;
+use genus_types::{
+    is_subtype,
+    subtype::{supertype_at, type_eq},
+    unify::unify,
+    ClassId, ConstraintInst, Model, PrimTy, Subst, Table, TvId, Type, WhereReq,
+};
+use std::cell::Cell;
+use std::collections::HashMap;
+
+/// Checker for one executable body.
+pub struct BodyCtx<'a> {
+    /// The program table (mutable: capture conversion allocates variables).
+    pub table: &'a mut Table,
+    /// Diagnostics sink.
+    pub diags: &'a mut Diagnostics,
+    /// Type/model variables visible.
+    pub scope: Scope,
+    /// Models enabled for default resolution in this body.
+    pub enabled: Vec<(ConstraintInst, Model)>,
+    locals: Vec<HashMap<Symbol, (LocalId, Type)>>,
+    num_locals: usize,
+    ret_ty: Type,
+    this_ty: Option<Type>,
+    /// The enclosing class, if any — static members can reference its
+    /// static fields and methods without qualification.
+    owner_class: Option<ClassId>,
+    loop_depth: usize,
+    next_infer: Cell<u32>,
+    pending: Vec<hir::Stmt>,
+}
+
+impl<'a> BodyCtx<'a> {
+    /// Creates a checker for a body with the given ambient context.
+    pub fn new(
+        table: &'a mut Table,
+        diags: &'a mut Diagnostics,
+        scope: Scope,
+        enabled: Vec<(ConstraintInst, Model)>,
+        this_ty: Option<Type>,
+        ret_ty: Type,
+    ) -> Self {
+        BodyCtx {
+            table,
+            diags,
+            scope,
+            enabled,
+            locals: vec![HashMap::new()],
+            num_locals: 0,
+            ret_ty,
+            this_ty,
+            owner_class: None,
+            loop_depth: 0,
+            next_infer: Cell::new(0),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Sets the enclosing class for unqualified static member access.
+    pub fn set_owner_class(&mut self, cid: ClassId) {
+        self.owner_class = Some(cid);
+    }
+
+    /// The owner class's self type (for static member lookup).
+    fn owner_self_type(&self) -> Option<Type> {
+        let cid = self.owner_class?;
+        let def = self.table.class(cid);
+        Some(Type::Class {
+            id: cid,
+            args: def.params.iter().map(|t| Type::Var(*t)).collect(),
+            models: def.wheres.iter().map(|w| Model::Var(w.mv)).collect(),
+        })
+    }
+
+    /// Declares a parameter (or `this`) slot before checking the body.
+    pub fn declare_param(&mut self, name: Symbol, ty: Type) -> LocalId {
+        let id = LocalId(self.num_locals as u32);
+        self.num_locals += 1;
+        self.locals.last_mut().expect("scope stack").insert(name, (id, ty));
+        id
+    }
+
+    /// Allocates an anonymous slot.
+    fn temp(&mut self) -> LocalId {
+        let id = LocalId(self.num_locals as u32);
+        self.num_locals += 1;
+        id
+    }
+
+    fn lookup_local(&self, name: Symbol) -> Option<(LocalId, Type)> {
+        for frame in self.locals.iter().rev() {
+            if let Some(v) = frame.get(&name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn str_ty(&self) -> Type {
+        match self.table.lookup_class(Symbol::intern("String")) {
+            Some(id) => Type::Class { id, args: vec![], models: vec![] },
+            None => Type::Null,
+        }
+    }
+
+    fn is_string(&self, t: &Type) -> bool {
+        matches!((t, self.table.lookup_class(Symbol::intern("String"))),
+            (Type::Class { id, .. }, Some(sid)) if *id == sid)
+    }
+
+    fn error_expr(&self) -> hir::Expr {
+        hir::Expr { kind: hir::ExprKind::Null, ty: Type::Null }
+    }
+
+    fn fresh_infer(&self) -> u32 {
+        let i = self.next_infer.get();
+        self.next_infer.set(i + 1);
+        i
+    }
+
+    /// Runs `f` with access to a resolution context over the current
+    /// enablement environment.
+    fn with_resolver<T>(&self, f: impl FnOnce(&ResolveCtx<'_>) -> T) -> T {
+        let ctx = ResolveCtx::new(self.table, &self.enabled, &self.next_infer);
+        f(&ctx)
+    }
+
+    // ------------------------------------------------------------------
+    // Types in bodies
+    // ------------------------------------------------------------------
+
+    /// Resolves a surface type and completes elided models in the current
+    /// context.
+    pub fn resolve_ty_ctx(&mut self, t: &ast::Ty) -> Type {
+        let ty = {
+            let mut r = Resolver { table: self.table, diags: self.diags };
+            r.resolve_ty(&self.scope, t)
+        };
+        self.complete_type(ty, t.span)
+    }
+
+    /// Fills elided `with`-clause models by default model resolution (§4.4).
+    pub fn complete_type(&mut self, ty: Type, span: Span) -> Type {
+        match ty {
+            Type::Class { id, args, models } => {
+                let args: Vec<Type> =
+                    args.into_iter().map(|a| self.complete_type(a, span)).collect();
+                let wheres = self.table.class(id).wheres.clone();
+                let params = self.table.class(id).params.clone();
+                let models = if models.is_empty() && !wheres.is_empty() {
+                    let subst = Subst::from_pairs(&params, &args);
+                    let mut out = Vec::new();
+                    for w in &wheres {
+                        let inst = subst.apply_inst(&w.inst);
+                        out.push(self.resolve_model_for(&inst, span));
+                    }
+                    out
+                } else {
+                    models.into_iter().map(|m| self.complete_model(m, span)).collect()
+                };
+                Type::Class { id, args, models }
+            }
+            Type::Array(e) => Type::Array(Box::new(self.complete_type(*e, span))),
+            Type::Existential { params, bounds, wheres, body } => {
+                // Inside the existential, its own witnesses are enabled.
+                let added = wheres.len();
+                for w in &wheres {
+                    self.enabled.push((w.inst.clone(), Model::Var(w.mv)));
+                }
+                let bounds = bounds
+                    .into_iter()
+                    .map(|b| b.map(|t| self.complete_type(t, span)))
+                    .collect();
+                let body = Box::new(self.complete_type(*body, span));
+                self.enabled.truncate(self.enabled.len() - added);
+                Type::Existential { params, bounds, wheres, body }
+            }
+            other => other,
+        }
+    }
+
+    /// Completes elided model arguments inside a model expression.
+    pub fn complete_model(&mut self, m: Model, span: Span) -> Model {
+        match m {
+            Model::Decl { id, type_args, model_args } => {
+                let wheres = self.table.model(id).wheres.clone();
+                let tparams = self.table.model(id).tparams.clone();
+                let type_args: Vec<Type> =
+                    type_args.into_iter().map(|t| self.complete_type(t, span)).collect();
+                let model_args = if model_args.is_empty() && !wheres.is_empty() {
+                    let subst = Subst::from_pairs(&tparams, &type_args);
+                    wheres
+                        .iter()
+                        .map(|w| self.resolve_model_for(&subst.apply_inst(&w.inst), span))
+                        .collect()
+                } else {
+                    model_args.into_iter().map(|x| self.complete_model(x, span)).collect()
+                };
+                Model::Decl { id, type_args, model_args }
+            }
+            Model::Natural { inst } => Model::Natural {
+                inst: ConstraintInst {
+                    id: inst.id,
+                    args: inst.args.into_iter().map(|t| self.complete_type(t, span)).collect(),
+                },
+            },
+            other => other,
+        }
+    }
+
+    /// Resolves a default model for `inst`, reporting failures.
+    pub fn resolve_model_for(&mut self, inst: &ConstraintInst, span: Span) -> Model {
+        let res = self.with_resolver(|ctx| resolve_default(ctx, inst));
+        match res {
+            Ok(m) => m,
+            Err(ResolveError::Ambiguous(ms)) => {
+                let names: Vec<String> =
+                    ms.iter().map(|m| m.display(self.table).to_string()).collect();
+                self.diags.error(
+                    span,
+                    format!(
+                        "ambiguous default model for `{}`: candidates are {} — \
+                         select one explicitly with a `with` clause",
+                        inst.display(self.table),
+                        names.join(", ")
+                    ),
+                );
+                Model::Natural { inst: inst.clone() }
+            }
+            Err(ResolveError::NotFound) => {
+                self.diags.error(
+                    span,
+                    format!("no model found for `{}`", inst.display(self.table)),
+                );
+                Model::Natural { inst: inst.clone() }
+            }
+            Err(ResolveError::DepthExceeded) => {
+                self.diags.error(
+                    span,
+                    format!(
+                        "default model resolution for `{}` exceeded its recursion bound",
+                        inst.display(self.table)
+                    ),
+                );
+                Model::Natural { inst: inst.clone() }
+            }
+        }
+    }
+
+    /// Whether `m` witnesses `inst` (used to validate explicit models).
+    fn model_witnesses(&self, m: &Model, inst: &ConstraintInst) -> bool {
+        match m {
+            Model::Natural { inst: n } => crate::entail::entails(self.table, n, inst),
+            Model::Var(mv) => self.enabled.iter().any(|(wi, wm)| {
+                matches!(wm, Model::Var(v) if v == mv) && crate::entail::entails(self.table, wi, inst)
+            }),
+            Model::Decl { id, type_args, model_args } => {
+                let d = self.table.model(*id);
+                let subst = Subst::from_pairs(&d.tparams, type_args).with_models(
+                    &d.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(),
+                    model_args,
+                );
+                crate::entail::entails(self.table, &subst.apply_inst(&d.for_inst), inst)
+            }
+            Model::Infer(_) => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocks and statements
+    // ------------------------------------------------------------------
+
+    /// Checks a block, managing the local scope.
+    pub fn check_block(&mut self, b: &ast::Block) -> hir::Block {
+        self.locals.push(HashMap::new());
+        let mut out = Vec::new();
+        for s in &b.stmts {
+            self.check_stmt(s, &mut out);
+        }
+        self.locals.pop();
+        hir::Block { stmts: out }
+    }
+
+    /// Consumes the checked body: total slot count.
+    pub fn finish(self) -> usize {
+        self.num_locals
+    }
+
+    fn flush_pending(&mut self, out: &mut Vec<hir::Stmt>) {
+        out.append(&mut self.pending);
+    }
+
+    fn check_stmt(&mut self, s: &ast::Stmt, out: &mut Vec<hir::Stmt>) {
+        match &s.kind {
+            ast::StmtKind::Local { ty, name, init } => {
+                let declared = self.resolve_ty_ctx(ty);
+                let init_h = init.as_ref().map(|e| {
+                    let h = self.check_expr(e);
+                    self.coerce(h, &declared, e.span)
+                });
+                self.flush_pending(out);
+                let id = self.temp();
+                self.locals
+                    .last_mut()
+                    .expect("scope stack")
+                    .insert(*name, (id, declared.clone()));
+                out.push(hir::Stmt::Let { local: id, init: init_h, ty: declared });
+            }
+            ast::StmtKind::LocalBind { params, ty, name, wheres, init } => {
+                self.check_local_bind(params, ty, *name, wheres, init, s.span, out);
+            }
+            ast::StmtKind::Expr(e) => {
+                let h = self.check_expr(e);
+                self.flush_pending(out);
+                out.push(hir::Stmt::Expr(h));
+            }
+            ast::StmtKind::If { cond, then_blk, else_blk } => {
+                let c = self.check_expr(cond);
+                let c = self.expect_bool(c, cond.span);
+                self.flush_pending(out);
+                let t = self.check_block(then_blk);
+                let e = else_blk
+                    .as_ref()
+                    .map(|b| self.check_block(b))
+                    .unwrap_or_default();
+                out.push(hir::Stmt::If { cond: c, then_blk: t, else_blk: e });
+            }
+            ast::StmtKind::While { cond, body } => {
+                let c = self.check_expr(cond);
+                let c = self.expect_bool(c, cond.span);
+                self.flush_pending(out);
+                self.loop_depth += 1;
+                let b = self.check_block(body);
+                self.loop_depth -= 1;
+                out.push(hir::Stmt::While { cond: c, body: b, update: hir::Block::default() });
+            }
+            ast::StmtKind::For { init, cond, update, body } => {
+                self.locals.push(HashMap::new());
+                let mut inner = Vec::new();
+                if let Some(i) = init {
+                    self.check_stmt(i, &mut inner);
+                }
+                let c = match cond {
+                    Some(c) => {
+                        let h = self.check_expr(c);
+                        let h = self.expect_bool(h, c.span);
+                        self.flush_pending(&mut inner);
+                        h
+                    }
+                    None => hir::Expr {
+                        kind: hir::ExprKind::Bool(true),
+                        ty: Type::Prim(PrimTy::Boolean),
+                    },
+                };
+                self.loop_depth += 1;
+                let b = self.check_block(body);
+                let mut upd = hir::Block::default();
+                if let Some(u) = update {
+                    let h = self.check_expr(u);
+                    self.flush_pending(&mut inner);
+                    upd.stmts.push(hir::Stmt::Expr(h));
+                }
+                self.loop_depth -= 1;
+                inner.push(hir::Stmt::While { cond: c, body: b, update: upd });
+                self.locals.pop();
+                out.push(hir::Stmt::Block(hir::Block { stmts: inner }));
+            }
+            ast::StmtKind::ForEach { ty, name, iter, body } => {
+                self.check_foreach(ty, *name, iter, body, s.span, out);
+            }
+            ast::StmtKind::Return(e) => {
+                let h = match e {
+                    Some(e) => {
+                        if self.ret_ty.is_void() {
+                            self.diags.error(e.span, "cannot return a value from a void method");
+                            None
+                        } else {
+                            let h = self.check_expr(e);
+                            let ret = self.ret_ty.clone();
+                            Some(self.coerce(h, &ret, e.span))
+                        }
+                    }
+                    None => {
+                        if !self.ret_ty.is_void() {
+                            self.diags.error(
+                                s.span,
+                                format!(
+                                    "method must return a value of type `{}`",
+                                    self.ret_ty.display(self.table)
+                                ),
+                            );
+                        }
+                        None
+                    }
+                };
+                self.flush_pending(out);
+                out.push(hir::Stmt::Return(h));
+            }
+            ast::StmtKind::Break => {
+                if self.loop_depth == 0 {
+                    self.diags.error(s.span, "`break` outside of a loop");
+                }
+                out.push(hir::Stmt::Break);
+            }
+            ast::StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    self.diags.error(s.span, "`continue` outside of a loop");
+                }
+                out.push(hir::Stmt::Continue);
+            }
+            ast::StmtKind::Block(b) => {
+                let h = self.check_block(b);
+                out.push(hir::Stmt::Block(h));
+            }
+        }
+    }
+
+    /// `[U] (List[U] l) where Comparable[U] = f();` (§6.2)
+    fn check_local_bind(
+        &mut self,
+        params: &[ast::TypeParam],
+        ty: &ast::Ty,
+        name: Symbol,
+        wheres: &[ast::WhereBinding],
+        init: &ast::Expr,
+        span: Span,
+        out: &mut Vec<hir::Stmt>,
+    ) {
+        // Bind fresh type variables and witnesses into the enclosing scope —
+        // they stay visible for the rest of the body.
+        let mut tvs = Vec::new();
+        for p in params {
+            let tv = self.table.fresh_tv(p.name);
+            self.scope.tvs.insert(p.name, tv);
+            tvs.push(tv);
+        }
+        let mut reqs = Vec::new();
+        {
+            let mut r = Resolver { table: self.table, diags: self.diags };
+            let mut sc = self.scope.clone();
+            for w in wheres {
+                if let Some(req) = r.resolve_where(&mut sc, w) {
+                    reqs.push(req);
+                }
+            }
+            self.scope = sc;
+        }
+        for req in &reqs {
+            self.enabled.push((req.inst.clone(), Model::Var(req.mv)));
+        }
+        let declared = self.resolve_ty_ctx(ty);
+        let init_h = self.check_expr(init);
+        // The initializer must be an existential whose opening matches the
+        // declared binding.
+        let ok = match &init_h.ty {
+            Type::Existential { params: eps, bounds: _, wheres: ews, body } => {
+                if eps.len() != tvs.len() || ews.len() != reqs.len() {
+                    false
+                } else {
+                    let subst = Subst::from_pairs(eps, &tvs.iter().map(|t| Type::Var(*t)).collect::<Vec<_>>());
+                    let body_t = subst.apply(body);
+                    let insts_ok = ews
+                        .iter()
+                        .zip(&reqs)
+                        .all(|(a, b)| {
+                            let ai = subst.apply_inst(&a.inst);
+                            ai.id == b.inst.id
+                                && ai.args.len() == b.inst.args.len()
+                                && ai
+                                    .args
+                                    .iter()
+                                    .zip(&b.inst.args)
+                                    .all(|(x, y)| type_eq(self.table, x, y))
+                        });
+                    insts_ok && type_eq(self.table, &body_t, &declared)
+                }
+            }
+            other => {
+                // A non-existential initializer may still be *packed* then
+                // opened: coerce through the corresponding existential.
+                let _ = other;
+                false
+            }
+        };
+        let init_h = if ok {
+            init_h
+        } else {
+            // Try packing the initializer into the expected existential.
+            let ex = Type::Existential {
+                params: tvs.clone(),
+                bounds: vec![None; tvs.len()],
+                wheres: reqs.clone(),
+                body: Box::new(declared.clone()),
+            };
+            self.coerce(init_h, &ex, span)
+        };
+        self.flush_pending(out);
+        let id = self.temp();
+        self.locals.last_mut().expect("scope stack").insert(name, (id, declared));
+        out.push(hir::Stmt::LetOpen {
+            local: id,
+            init: init_h,
+            tvs,
+            mvs: reqs.iter().map(|r| r.mv).collect(),
+        });
+    }
+
+    fn check_foreach(
+        &mut self,
+        ty: &ast::Ty,
+        name: Symbol,
+        iter: &ast::Expr,
+        body: &ast::Block,
+        span: Span,
+        out: &mut Vec<hir::Stmt>,
+    ) {
+        let declared = self.resolve_ty_ctx(ty);
+        let it = self.check_expr(iter);
+        let it = self.open_if_existential(it);
+        self.flush_pending(out);
+        match it.ty.clone() {
+            Type::Array(elem) => {
+                // Lower to an index loop; `continue` goes through `update`.
+                let arr_slot = self.temp();
+                let idx_slot = self.temp();
+                out.push(hir::Stmt::Let {
+                    local: arr_slot,
+                    ty: it.ty.clone(),
+                    init: Some(it.clone()),
+                });
+                out.push(hir::Stmt::Let {
+                    local: idx_slot,
+                    ty: Type::Prim(PrimTy::Int),
+                    init: Some(hir::Expr {
+                        kind: hir::ExprKind::Int(0),
+                        ty: Type::Prim(PrimTy::Int),
+                    }),
+                });
+                let int_ty = Type::Prim(PrimTy::Int);
+                let arr_e = hir::Expr { kind: hir::ExprKind::Local(arr_slot), ty: it.ty.clone() };
+                let idx_e = hir::Expr { kind: hir::ExprKind::Local(idx_slot), ty: int_ty.clone() };
+                let cond = hir::Expr {
+                    kind: hir::ExprKind::Binary {
+                        kind: BinKind::Cmp(ast::BinOp::Lt, NumKind::Int),
+                        lhs: Box::new(idx_e.clone()),
+                        rhs: Box::new(hir::Expr {
+                            kind: hir::ExprKind::ArrayLen { arr: Box::new(arr_e.clone()) },
+                            ty: int_ty.clone(),
+                        }),
+                    },
+                    ty: Type::Prim(PrimTy::Boolean),
+                };
+                self.locals.push(HashMap::new());
+                let elem_slot = self.temp();
+                self.locals
+                    .last_mut()
+                    .expect("scope stack")
+                    .insert(name, (elem_slot, declared.clone()));
+                let get = hir::Expr {
+                    kind: hir::ExprKind::ArrayGet {
+                        arr: Box::new(arr_e),
+                        idx: Box::new(idx_e.clone()),
+                    },
+                    ty: (*elem).clone(),
+                };
+                let get = self.coerce(get, &declared, span);
+                self.loop_depth += 1;
+                let mut inner = vec![hir::Stmt::Let {
+                    local: elem_slot,
+                    ty: declared.clone(),
+                    init: Some(get),
+                }];
+                let b = self.check_block(body);
+                inner.extend(b.stmts);
+                self.loop_depth -= 1;
+                self.locals.pop();
+                let update = hir::Block {
+                    stmts: vec![hir::Stmt::Expr(hir::Expr {
+                        kind: hir::ExprKind::SetLocal {
+                            local: idx_slot,
+                            value: Box::new(hir::Expr {
+                                kind: hir::ExprKind::Binary {
+                                    kind: BinKind::Arith(ast::BinOp::Add, NumKind::Int),
+                                    lhs: Box::new(idx_e),
+                                    rhs: Box::new(hir::Expr {
+                                        kind: hir::ExprKind::Int(1),
+                                        ty: int_ty.clone(),
+                                    }),
+                                },
+                                ty: int_ty.clone(),
+                            }),
+                        },
+                        ty: int_ty,
+                    })],
+                };
+                out.push(hir::Stmt::While { cond, body: hir::Block { stmts: inner }, update });
+            }
+            ref t => {
+                // Iterable protocol: find `Iterable[E]` among supertypes.
+                let iterable = self.table.lookup_class(Symbol::intern("Iterable"));
+                let elem = iterable
+                    .and_then(|iid| supertype_at(self.table, t, iid))
+                    .and_then(|sup| match sup {
+                        Type::Class { args, .. } => args.into_iter().next(),
+                        _ => None,
+                    });
+                let Some(elem) = elem else {
+                    self.diags.error(
+                        iter.span,
+                        format!(
+                            "for-each requires an array or `Iterable`, found `{}`",
+                            it.ty.display(self.table)
+                        ),
+                    );
+                    return;
+                };
+                let iterator_ty = self
+                    .table
+                    .lookup_class(Symbol::intern("Iterator"))
+                    .map(|id| Type::Class { id, args: vec![elem.clone()], models: vec![] })
+                    .unwrap_or(Type::Null);
+                let it_slot = self.temp();
+                out.push(hir::Stmt::Let {
+                    local: it_slot,
+                    ty: iterator_ty.clone(),
+                    init: Some(hir::Expr {
+                        kind: hir::ExprKind::CallVirtual {
+                            recv: Box::new(it),
+                            name: Symbol::intern("iterator"),
+                            arity: 0,
+                            targs: vec![],
+                            margs: vec![],
+                            args: vec![],
+                        },
+                        ty: iterator_ty.clone(),
+                    }),
+                });
+                let it_e =
+                    hir::Expr { kind: hir::ExprKind::Local(it_slot), ty: iterator_ty.clone() };
+                let cond = hir::Expr {
+                    kind: hir::ExprKind::CallVirtual {
+                        recv: Box::new(it_e.clone()),
+                        name: Symbol::intern("hasNext"),
+                        arity: 0,
+                        targs: vec![],
+                        margs: vec![],
+                        args: vec![],
+                    },
+                    ty: Type::Prim(PrimTy::Boolean),
+                };
+                self.locals.push(HashMap::new());
+                let elem_slot = self.temp();
+                self.locals
+                    .last_mut()
+                    .expect("scope stack")
+                    .insert(name, (elem_slot, declared.clone()));
+                let next = hir::Expr {
+                    kind: hir::ExprKind::CallVirtual {
+                        recv: Box::new(it_e),
+                        name: Symbol::intern("next"),
+                        arity: 0,
+                        targs: vec![],
+                        margs: vec![],
+                        args: vec![],
+                    },
+                    ty: elem.clone(),
+                };
+                let next = self.coerce(next, &declared, span);
+                self.loop_depth += 1;
+                let mut inner = vec![hir::Stmt::Let {
+                    local: elem_slot,
+                    ty: declared.clone(),
+                    init: Some(next),
+                }];
+                let b = self.check_block(body);
+                inner.extend(b.stmts);
+                self.loop_depth -= 1;
+                self.locals.pop();
+                out.push(hir::Stmt::While {
+                    cond,
+                    body: hir::Block { stmts: inner },
+                    update: hir::Block::default(),
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Coercion
+    // ------------------------------------------------------------------
+
+    fn expect_bool(&mut self, e: hir::Expr, span: Span) -> hir::Expr {
+        if !matches!(e.ty, Type::Prim(PrimTy::Boolean)) && !matches!(e.ty, Type::Null) {
+            self.diags.error(
+                span,
+                format!("expected `boolean`, found `{}`", e.ty.display(self.table)),
+            );
+        }
+        e
+    }
+
+    /// Widening table: `int → long/double`, `long → double`, `char → int`.
+    fn widen_prim(from: PrimTy, to: PrimTy) -> bool {
+        matches!(
+            (from, to),
+            (PrimTy::Int, PrimTy::Long)
+                | (PrimTy::Int, PrimTy::Double)
+                | (PrimTy::Long, PrimTy::Double)
+                | (PrimTy::Char, PrimTy::Int)
+        )
+    }
+
+    /// Coerces `e` to type `to`: subtyping, numeric widening, or existential
+    /// packing (§6.1). Reports an error if no coercion applies.
+    pub fn coerce(&mut self, e: hir::Expr, to: &Type, span: Span) -> hir::Expr {
+        if type_eq(self.table, &e.ty, to) || is_subtype(self.table, &e.ty, to) {
+            return e;
+        }
+        if let (Type::Prim(f), Type::Prim(t)) = (&e.ty, to) {
+            if Self::widen_prim(*f, *t) {
+                let (f, t) = (*f, *t);
+                return hir::Expr {
+                    kind: hir::ExprKind::Widen { expr: Box::new(e), from: f, to: t },
+                    ty: to.clone(),
+                };
+            }
+        }
+        if let Type::Existential { params, bounds, wheres, body } = to {
+            if let Some(h) = self.try_pack(&e, params, bounds, wheres, body, to, span) {
+                return h;
+            }
+        }
+        self.diags.error(
+            span,
+            format!(
+                "type mismatch: expected `{}`, found `{}`",
+                to.display(self.table),
+                e.ty.display(self.table)
+            ),
+        );
+        e
+    }
+
+    /// Packs `e` into an existential: find witnesses for the bound type
+    /// variables by unification and for the bound constraints by default
+    /// model resolution at this coercion site (§6.1).
+    #[allow(clippy::too_many_arguments)]
+    fn try_pack(
+        &mut self,
+        e: &hir::Expr,
+        params: &[TvId],
+        bounds: &[Option<Type>],
+        wheres: &[WhereReq],
+        body: &Type,
+        to: &Type,
+        span: Span,
+    ) -> Option<hir::Expr> {
+        let mut inst_subst = Subst::new();
+        let mut infers = Vec::new();
+        for p in params {
+            let i = self.fresh_infer();
+            infers.push(i);
+            inst_subst.tys.insert(*p, Type::Infer(i));
+        }
+        for w in wheres {
+            let i = self.fresh_infer();
+            inst_subst.models.insert(w.mv, Model::Infer(i));
+        }
+        let open_body = inst_subst.apply(body);
+        let mut sol = Subst::new();
+        if unify(self.table, &open_body, &e.ty, &mut sol).is_err() {
+            // Subtyping into the opened body is also allowed when the body
+            // is not a bare variable (e.g. packing `ArrayList[String]` into
+            // `[some U]List[U]` requires lifting first).
+            if let Type::Class { id, .. } = &open_body {
+                if let Some(sup) = supertype_at(self.table, &e.ty, *id) {
+                    if unify(self.table, &open_body, &sup, &mut sol).is_err() {
+                        return None;
+                    }
+                } else {
+                    return None;
+                }
+            } else if matches!(open_body, Type::Infer(_)) {
+                // `[some U where K[U]] U` — U is simply the value's type.
+                let _ = unify(self.table, &open_body, &e.ty, &mut sol);
+            } else {
+                return None;
+            }
+        }
+        let mut types = Vec::new();
+        for ((_p, i), bound) in params.iter().zip(&infers).zip(bounds) {
+            let t = sol.apply(&Type::Infer(*i));
+            if t.has_infer() {
+                return None;
+            }
+            if let Some(b) = bound {
+                let b = inst_subst.apply(b);
+                let b = sol.apply(&b);
+                if !is_subtype(self.table, &t, &b) {
+                    return None;
+                }
+            }
+            types.push(t);
+        }
+        let mut models = Vec::new();
+        for w in wheres {
+            let inst = sol.apply_inst(&inst_subst.apply_inst(&w.inst));
+            let m = self.with_resolver(|ctx| resolve_default(ctx, &inst));
+            match m {
+                Ok(m) => models.push(m),
+                Err(_) => {
+                    self.diags.error(
+                        span,
+                        format!(
+                            "cannot pack into `{}`: no model for `{}`",
+                            to.display(self.table),
+                            inst.display(self.table)
+                        ),
+                    );
+                    return None;
+                }
+            }
+        }
+        Some(hir::Expr {
+            kind: hir::ExprKind::Pack {
+                expr: Box::new(e.clone()),
+                ex: to.clone(),
+                types,
+                models,
+            },
+            ty: to.clone(),
+        })
+    }
+
+    /// Capture conversion (§6.1): if `e` has an existential type, open it
+    /// with fresh variables, hoist it into a temporary, and enable the fresh
+    /// witnesses in the current scope.
+    fn open_if_existential(&mut self, e: hir::Expr) -> hir::Expr {
+        let Type::Existential { params, bounds, wheres, body } = e.ty.clone() else {
+            return e;
+        };
+        let mut fresh_tvs = Vec::new();
+        let mut subst = Subst::new();
+        for (p, b) in params.iter().zip(&bounds) {
+            let name = self.table.tv_name(*p);
+            let tv = self.table.fresh_tv(Symbol::intern(&format!("#{name}")));
+            self.table.set_tv_bound(tv, b.clone());
+            subst.tys.insert(*p, Type::Var(tv));
+            fresh_tvs.push(tv);
+        }
+        let mut fresh_mvs = Vec::new();
+        for w in &wheres {
+            let mv = self.table.fresh_mv(Symbol::intern("#m"));
+            subst.models.insert(w.mv, Model::Var(mv));
+            fresh_mvs.push(mv);
+        }
+        // Bounds may mention sibling binders.
+        for tv in &fresh_tvs {
+            if let Some(b) = self.table.tv_bound(*tv).cloned() {
+                let nb = subst.apply(&b);
+                self.table.set_tv_bound(*tv, Some(nb));
+            }
+        }
+        for (w, mv) in wheres.iter().zip(&fresh_mvs) {
+            let inst = subst.apply_inst(&w.inst);
+            self.enabled.push((inst, Model::Var(*mv)));
+        }
+        let open_ty = subst.apply(&body);
+        let slot = self.temp();
+        self.pending.push(hir::Stmt::LetOpen {
+            local: slot,
+            init: e,
+            tvs: fresh_tvs,
+            mvs: fresh_mvs,
+        });
+        hir::Expr { kind: hir::ExprKind::Local(slot), ty: open_ty }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// Checks an expression, producing typed HIR.
+    pub fn check_expr(&mut self, e: &ast::Expr) -> hir::Expr {
+        match &e.kind {
+            ast::ExprKind::IntLit(v) => {
+                hir::Expr { kind: hir::ExprKind::Int(*v), ty: Type::Prim(PrimTy::Int) }
+            }
+            ast::ExprKind::LongLit(v) => {
+                hir::Expr { kind: hir::ExprKind::Long(*v), ty: Type::Prim(PrimTy::Long) }
+            }
+            ast::ExprKind::DoubleLit(v) => {
+                hir::Expr { kind: hir::ExprKind::Double(*v), ty: Type::Prim(PrimTy::Double) }
+            }
+            ast::ExprKind::BoolLit(v) => {
+                hir::Expr { kind: hir::ExprKind::Bool(*v), ty: Type::Prim(PrimTy::Boolean) }
+            }
+            ast::ExprKind::CharLit(v) => {
+                hir::Expr { kind: hir::ExprKind::Char(*v), ty: Type::Prim(PrimTy::Char) }
+            }
+            ast::ExprKind::StrLit(s) => {
+                hir::Expr { kind: hir::ExprKind::Str(s.clone()), ty: self.str_ty() }
+            }
+            ast::ExprKind::Null => hir::Expr { kind: hir::ExprKind::Null, ty: Type::Null },
+            ast::ExprKind::This => match self.this_ty.clone() {
+                Some(t) => hir::Expr { kind: hir::ExprKind::Local(LocalId(0)), ty: t },
+                None => {
+                    self.diags.error(e.span, "`this` is not available in a static context");
+                    self.error_expr()
+                }
+            },
+            ast::ExprKind::Name(n) => self.check_name(*n, e.span),
+            ast::ExprKind::Field { recv, name } => self.check_field(recv, *name, e.span),
+            ast::ExprKind::Call { recv, name, type_args, args } => {
+                self.check_call(recv.as_deref(), *name, type_args.as_ref(), args, e.span)
+            }
+            ast::ExprKind::ExpanderCall { recv, expander, name, args } => {
+                self.check_expander_call(recv, expander, *name, args, e.span)
+            }
+            ast::ExprKind::New { ty, args } => self.check_new(ty, args, e.span),
+            ast::ExprKind::NewArray { elem, len } => {
+                let elem_t = self.resolve_ty_ctx(elem);
+                let l = self.check_expr(len);
+                let l = self.coerce(l, &Type::Prim(PrimTy::Int), len.span);
+                hir::Expr {
+                    kind: hir::ExprKind::NewArray { elem: elem_t.clone(), len: Box::new(l) },
+                    ty: Type::Array(Box::new(elem_t)),
+                }
+            }
+            ast::ExprKind::Index { arr, idx } => {
+                let a = self.check_expr(arr);
+                let a = self.open_if_existential(a);
+                let i = self.check_expr(idx);
+                let i = self.coerce(i, &Type::Prim(PrimTy::Int), idx.span);
+                match a.ty.clone() {
+                    Type::Array(elem) => hir::Expr {
+                        kind: hir::ExprKind::ArrayGet { arr: Box::new(a), idx: Box::new(i) },
+                        ty: *elem,
+                    },
+                    other => {
+                        self.diags.error(
+                            arr.span,
+                            format!("cannot index non-array type `{}`", other.display(self.table)),
+                        );
+                        self.error_expr()
+                    }
+                }
+            }
+            ast::ExprKind::Assign { lhs, rhs, op } => self.check_assign(lhs, rhs, *op, e.span),
+            ast::ExprKind::Binary { op, lhs, rhs } => self.check_binary(*op, lhs, rhs, e.span),
+            ast::ExprKind::Unary { op, expr } => {
+                let h = self.check_expr(expr);
+                match op {
+                    ast::UnOp::Not => {
+                        let h = self.expect_bool(h, expr.span);
+                        hir::Expr {
+                            kind: hir::ExprKind::Not(Box::new(h)),
+                            ty: Type::Prim(PrimTy::Boolean),
+                        }
+                    }
+                    ast::UnOp::Neg => {
+                        let kind = match h.ty {
+                            Type::Prim(PrimTy::Int) => NumKind::Int,
+                            Type::Prim(PrimTy::Long) => NumKind::Long,
+                            Type::Prim(PrimTy::Double) => NumKind::Double,
+                            ref other => {
+                                self.diags.error(
+                                    expr.span,
+                                    format!(
+                                        "cannot negate non-numeric type `{}`",
+                                        other.display(self.table)
+                                    ),
+                                );
+                                NumKind::Int
+                            }
+                        };
+                        let ty = h.ty.clone();
+                        hir::Expr { kind: hir::ExprKind::Neg { expr: Box::new(h), kind }, ty }
+                    }
+                }
+            }
+            ast::ExprKind::InstanceOf { expr, ty } => {
+                let h = self.check_expr(expr);
+                let t = self.resolve_ty_ctx(ty);
+                if !h.ty.is_reference() && !matches!(h.ty, Type::Var(_)) {
+                    self.diags
+                        .error(expr.span, "`instanceof` requires a reference expression");
+                }
+                hir::Expr {
+                    kind: hir::ExprKind::InstanceOf { expr: Box::new(h), ty: t },
+                    ty: Type::Prim(PrimTy::Boolean),
+                }
+            }
+            ast::ExprKind::Cast { ty, expr } => {
+                let h = self.check_expr(expr);
+                let t = self.resolve_ty_ctx(ty);
+                hir::Expr { kind: hir::ExprKind::Cast { expr: Box::new(h), ty: t.clone() }, ty: t }
+            }
+            ast::ExprKind::Cond { cond, then_e, else_e } => {
+                let c = self.check_expr(cond);
+                let c = self.expect_bool(c, cond.span);
+                let t = self.check_expr(then_e);
+                let f = self.check_expr(else_e);
+                let ty = if is_subtype(self.table, &f.ty, &t.ty) {
+                    t.ty.clone()
+                } else if is_subtype(self.table, &t.ty, &f.ty) {
+                    f.ty.clone()
+                } else if matches!((&t.ty, &f.ty), (Type::Prim(_), Type::Prim(_))) {
+                    // Numeric join.
+                    
+                    self.numeric_join(&t.ty, &f.ty, e.span)
+                } else {
+                    self.diags.error(
+                        e.span,
+                        format!(
+                            "branches of `?:` have incompatible types `{}` and `{}`",
+                            t.ty.display(self.table),
+                            f.ty.display(self.table)
+                        ),
+                    );
+                    t.ty.clone()
+                };
+                let t = self.coerce(t, &ty, then_e.span);
+                let f = self.coerce(f, &ty, else_e.span);
+                hir::Expr {
+                    kind: hir::ExprKind::Cond {
+                        cond: Box::new(c),
+                        then_e: Box::new(t),
+                        else_e: Box::new(f),
+                    },
+                    ty,
+                }
+            }
+        }
+    }
+
+    fn numeric_join(&mut self, a: &Type, b: &Type, span: Span) -> Type {
+        use PrimTy::*;
+        let rank = |p: &Type| match p {
+            Type::Prim(Int) | Type::Prim(Char) => Some(0),
+            Type::Prim(Long) => Some(1),
+            Type::Prim(Double) => Some(2),
+            _ => None,
+        };
+        match (rank(a), rank(b)) {
+            (Some(x), Some(y)) => {
+                let m = x.max(y);
+                Type::Prim(match m {
+                    0 => Int,
+                    1 => Long,
+                    _ => Double,
+                })
+            }
+            _ => {
+                self.diags.error(
+                    span,
+                    format!(
+                        "no common numeric type for `{}` and `{}`",
+                        a.display(self.table),
+                        b.display(self.table)
+                    ),
+                );
+                Type::Prim(Int)
+            }
+        }
+    }
+
+    fn check_name(&mut self, n: Symbol, span: Span) -> hir::Expr {
+        if let Some((id, ty)) = self.lookup_local(n) {
+            return hir::Expr { kind: hir::ExprKind::Local(id), ty };
+        }
+        // A field of `this`?
+        if let Some(this_ty) = self.this_ty.clone() {
+            if let Some(f) = lookup_field(self.table, &this_ty, n) {
+                let this = hir::Expr { kind: hir::ExprKind::Local(LocalId(0)), ty: this_ty };
+                if f.is_static {
+                    return hir::Expr {
+                        kind: hir::ExprKind::GetStatic { class: f.class, field: f.index },
+                        ty: f.ty,
+                    };
+                }
+                return hir::Expr {
+                    kind: hir::ExprKind::GetField {
+                        recv: Box::new(this),
+                        class: f.class,
+                        field: f.index,
+                    },
+                    ty: f.ty,
+                };
+            }
+        } else if let Some(owner_ty) = self.owner_self_type() {
+            // Static context: unqualified static fields of the owner class.
+            if let Some(f) = lookup_field(self.table, &owner_ty, n) {
+                if f.is_static {
+                    return hir::Expr {
+                        kind: hir::ExprKind::GetStatic { class: f.class, field: f.index },
+                        ty: f.ty,
+                    };
+                }
+            }
+        }
+        self.diags.error(span, format!("unknown variable `{n}`"));
+        self.error_expr()
+    }
+
+    /// Interprets a bare name in receiver position as a type, if it is one.
+    fn name_as_type(&self, n: Symbol) -> Option<Type> {
+        if let Some(tv) = self.scope.tvs.get(&n) {
+            return Some(Type::Var(*tv));
+        }
+        if let Some(cid) = self.table.lookup_class(n) {
+            if self.table.class(cid).params.is_empty() {
+                return Some(Type::Class { id: cid, args: vec![], models: vec![] });
+            }
+        }
+        None
+    }
+
+    fn check_field(&mut self, recv: &ast::Expr, name: Symbol, span: Span) -> hir::Expr {
+        // Static field via type name.
+        if let ast::ExprKind::Name(n) = &recv.kind {
+            if self.lookup_local(*n).is_none() {
+                if let Some(cid) = self.table.lookup_class(*n) {
+                    let cls_ty = Type::Class {
+                        id: cid,
+                        args: self.table.class(cid).params.iter().map(|t| Type::Var(*t)).collect(),
+                        models: vec![],
+                    };
+                    if let Some(f) = lookup_field(self.table, &cls_ty, name) {
+                        if f.is_static {
+                            return hir::Expr {
+                                kind: hir::ExprKind::GetStatic { class: f.class, field: f.index },
+                                ty: f.ty,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        let r = self.check_expr(recv);
+        let r = self.open_if_existential(r);
+        if let Type::Array(_) = r.ty {
+            if name.as_str() == "length" {
+                return hir::Expr {
+                    kind: hir::ExprKind::ArrayLen { arr: Box::new(r) },
+                    ty: Type::Prim(PrimTy::Int),
+                };
+            }
+        }
+        match lookup_field(self.table, &r.ty, name) {
+            Some(f) if !f.is_static => hir::Expr {
+                kind: hir::ExprKind::GetField { recv: Box::new(r), class: f.class, field: f.index },
+                ty: f.ty,
+            },
+            Some(f) => hir::Expr {
+                kind: hir::ExprKind::GetStatic { class: f.class, field: f.index },
+                ty: f.ty,
+            },
+            None => {
+                self.diags.error(
+                    span,
+                    format!("no field `{name}` on type `{}`", r.ty.display(self.table)),
+                );
+                self.error_expr()
+            }
+        }
+    }
+
+    fn check_assign(
+        &mut self,
+        lhs: &ast::Expr,
+        rhs: &ast::Expr,
+        op: Option<ast::BinOp>,
+        span: Span,
+    ) -> hir::Expr {
+        // Compound assignment desugars to a read-modify-write.
+        let rhs_ast: std::borrow::Cow<'_, ast::Expr> = match op {
+            None => std::borrow::Cow::Borrowed(rhs),
+            Some(op) => std::borrow::Cow::Owned(ast::Expr {
+                kind: ast::ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs.clone()),
+                    rhs: Box::new(rhs.clone()),
+                },
+                span,
+            }),
+        };
+        match &lhs.kind {
+            ast::ExprKind::Name(n) => {
+                if let Some((id, ty)) = self.lookup_local(*n) {
+                    let v = self.check_expr(&rhs_ast);
+                    let v = self.coerce(v, &ty, rhs.span);
+                    return hir::Expr {
+                        kind: hir::ExprKind::SetLocal { local: id, value: Box::new(v) },
+                        ty,
+                    };
+                }
+                // Field of `this` or static of current class.
+                if let Some(this_ty) = self.this_ty.clone() {
+                    if let Some(f) = lookup_field(self.table, &this_ty, *n) {
+                        let v = self.check_expr(&rhs_ast);
+                        let v = self.coerce(v, &f.ty, rhs.span);
+                        if f.is_static {
+                            return hir::Expr {
+                                kind: hir::ExprKind::SetStatic {
+                                    class: f.class,
+                                    field: f.index,
+                                    value: Box::new(v),
+                                },
+                                ty: f.ty,
+                            };
+                        }
+                        let this =
+                            hir::Expr { kind: hir::ExprKind::Local(LocalId(0)), ty: this_ty };
+                        return hir::Expr {
+                            kind: hir::ExprKind::SetField {
+                                recv: Box::new(this),
+                                class: f.class,
+                                field: f.index,
+                                value: Box::new(v),
+                            },
+                            ty: f.ty,
+                        };
+                    }
+                }
+                // Static context: unqualified static field of the owner.
+                if self.this_ty.is_none() {
+                    if let Some(owner_ty) = self.owner_self_type() {
+                        if let Some(f) = lookup_field(self.table, &owner_ty, *n) {
+                            if f.is_static {
+                                let v = self.check_expr(&rhs_ast);
+                                let v = self.coerce(v, &f.ty, rhs.span);
+                                return hir::Expr {
+                                    kind: hir::ExprKind::SetStatic {
+                                        class: f.class,
+                                        field: f.index,
+                                        value: Box::new(v),
+                                    },
+                                    ty: f.ty,
+                                };
+                            }
+                        }
+                    }
+                }
+                self.diags.error(lhs.span, format!("unknown variable `{n}`"));
+                self.error_expr()
+            }
+            ast::ExprKind::Field { recv, name } => {
+                let r = self.check_expr(recv);
+                let r = self.open_if_existential(r);
+                match lookup_field(self.table, &r.ty, *name) {
+                    Some(f) => {
+                        let v = self.check_expr(&rhs_ast);
+                        let v = self.coerce(v, &f.ty, rhs.span);
+                        if f.is_static {
+                            hir::Expr {
+                                kind: hir::ExprKind::SetStatic {
+                                    class: f.class,
+                                    field: f.index,
+                                    value: Box::new(v),
+                                },
+                                ty: f.ty,
+                            }
+                        } else {
+                            hir::Expr {
+                                kind: hir::ExprKind::SetField {
+                                    recv: Box::new(r),
+                                    class: f.class,
+                                    field: f.index,
+                                    value: Box::new(v),
+                                },
+                                ty: f.ty,
+                            }
+                        }
+                    }
+                    None => {
+                        self.diags.error(
+                            span,
+                            format!("no field `{name}` on `{}`", r.ty.display(self.table)),
+                        );
+                        self.error_expr()
+                    }
+                }
+            }
+            ast::ExprKind::Index { arr, idx } => {
+                let a = self.check_expr(arr);
+                let a = self.open_if_existential(a);
+                let i = self.check_expr(idx);
+                let i = self.coerce(i, &Type::Prim(PrimTy::Int), idx.span);
+                match a.ty.clone() {
+                    Type::Array(elem) => {
+                        let v = self.check_expr(&rhs_ast);
+                        let v = self.coerce(v, &elem, rhs.span);
+                        hir::Expr {
+                            kind: hir::ExprKind::ArraySet {
+                                arr: Box::new(a),
+                                idx: Box::new(i),
+                                value: Box::new(v),
+                            },
+                            ty: *elem,
+                        }
+                    }
+                    other => {
+                        self.diags.error(
+                            arr.span,
+                            format!("cannot index non-array `{}`", other.display(self.table)),
+                        );
+                        self.error_expr()
+                    }
+                }
+            }
+            _ => {
+                self.diags.error(lhs.span, "invalid assignment target");
+                self.error_expr()
+            }
+        }
+    }
+
+    fn check_binary(
+        &mut self,
+        op: ast::BinOp,
+        lhs: &ast::Expr,
+        rhs: &ast::Expr,
+        span: Span,
+    ) -> hir::Expr {
+        use ast::BinOp::*;
+        let l = self.check_expr(lhs);
+        let r = self.check_expr(rhs);
+        let bool_ty = Type::Prim(PrimTy::Boolean);
+        match op {
+            And | Or => {
+                let l = self.expect_bool(l, lhs.span);
+                let r = self.expect_bool(r, rhs.span);
+                hir::Expr {
+                    kind: hir::ExprKind::Binary {
+                        kind: if op == And { BinKind::And } else { BinKind::Or },
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    ty: bool_ty,
+                }
+            }
+            Add if self.is_string(&l.ty) || self.is_string(&r.ty) => hir::Expr {
+                kind: hir::ExprKind::Binary {
+                    kind: BinKind::Concat,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                },
+                ty: self.str_ty(),
+            },
+            Add | Sub | Mul | Div | Rem => {
+                let join = self.numeric_join(&l.ty, &r.ty, span);
+                let l = self.coerce(l, &join, lhs.span);
+                let r = self.coerce(r, &join, rhs.span);
+                let nk = match join {
+                    Type::Prim(PrimTy::Long) => NumKind::Long,
+                    Type::Prim(PrimTy::Double) => NumKind::Double,
+                    _ => NumKind::Int,
+                };
+                hir::Expr {
+                    kind: hir::ExprKind::Binary {
+                        kind: BinKind::Arith(op, nk),
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    ty: join,
+                }
+            }
+            Lt | Le | Gt | Ge => {
+                let join = self.numeric_join(&l.ty, &r.ty, span);
+                let l = self.coerce(l, &join, lhs.span);
+                let r = self.coerce(r, &join, rhs.span);
+                let nk = match join {
+                    Type::Prim(PrimTy::Long) => NumKind::Long,
+                    Type::Prim(PrimTy::Double) => NumKind::Double,
+                    _ => NumKind::Int,
+                };
+                hir::Expr {
+                    kind: hir::ExprKind::Binary {
+                        kind: BinKind::Cmp(op, nk),
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    ty: bool_ty,
+                }
+            }
+            Eq | Ne => {
+                let kind = match (&l.ty, &r.ty) {
+                    (Type::Prim(PrimTy::Boolean), Type::Prim(PrimTy::Boolean))
+                    | (Type::Prim(PrimTy::Char), Type::Prim(PrimTy::Char)) => BinKind::EqPrim(op),
+                    (Type::Prim(_), Type::Prim(_)) => {
+                        let join = self.numeric_join(&l.ty, &r.ty, span);
+                        let nk = match join {
+                            Type::Prim(PrimTy::Long) => NumKind::Long,
+                            Type::Prim(PrimTy::Double) => NumKind::Double,
+                            _ => NumKind::Int,
+                        };
+                        let l = self.coerce(l, &join, lhs.span);
+                        let r = self.coerce(r, &join, rhs.span);
+                        return hir::Expr {
+                            kind: hir::ExprKind::Binary {
+                                kind: BinKind::Cmp(op, nk),
+                                lhs: Box::new(l),
+                                rhs: Box::new(r),
+                            },
+                            ty: bool_ty,
+                        };
+                    }
+                    _ => {
+                        // Reference (or null) comparison.
+                        if !(l.ty.is_reference() || matches!(l.ty, Type::Var(_)))
+                            || !(r.ty.is_reference() || matches!(r.ty, Type::Var(_)))
+                        {
+                            self.diags.error(
+                                span,
+                                format!(
+                                    "cannot compare `{}` and `{}` with `{}`",
+                                    l.ty.display(self.table),
+                                    r.ty.display(self.table),
+                                    op.text()
+                                ),
+                            );
+                        }
+                        BinKind::EqRef(op)
+                    }
+                };
+                hir::Expr {
+                    kind: hir::ExprKind::Binary {
+                        kind,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    ty: bool_ty,
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Calls
+    // ------------------------------------------------------------------
+
+    fn check_call(
+        &mut self,
+        recv: Option<&ast::Expr>,
+        name: Symbol,
+        type_args: Option<&ast::TypeArgs>,
+        args: &[ast::Expr],
+        span: Span,
+    ) -> hir::Expr {
+        // Built-in printing.
+        if recv.is_none() && (name.as_str() == "print" || name.as_str() == "println") && args.len() == 1
+        {
+            let a = self.check_expr(&args[0]);
+            return hir::Expr {
+                kind: hir::ExprKind::Print {
+                    arg: Box::new(a),
+                    newline: name.as_str() == "println",
+                },
+                ty: Type::void(),
+            };
+        }
+        let checked_args: Vec<hir::Expr> = args.iter().map(|a| self.check_expr(a)).collect();
+        match recv {
+            None => {
+                // 1. Methods of the current class.
+                if let Some(this_ty) = self.this_ty.clone() {
+                    let cands = lookup_methods_patched(self.table, &this_ty, name);
+                    if cands.iter().any(|m| m.params.len() == args.len()) {
+                        let this =
+                            hir::Expr { kind: hir::ExprKind::Local(LocalId(0)), ty: this_ty };
+                        return self.dispatch_found(
+                            Some(this),
+                            name,
+                            cands,
+                            type_args,
+                            checked_args,
+                            args,
+                            span,
+                        );
+                    }
+                } else if let Some(owner_ty) = self.owner_self_type() {
+                    // Static context: unqualified static methods of the
+                    // owner class.
+                    let cands = lookup_methods_patched(self.table, &owner_ty, name);
+                    if cands.iter().any(|m| m.params.len() == args.len() && m.is_static) {
+                        return self.dispatch_found(
+                            None,
+                            name,
+                            cands,
+                            type_args,
+                            checked_args,
+                            args,
+                            span,
+                        );
+                    }
+                }
+                // 2. Global (top-level) methods.
+                let mut matches: Vec<usize> = Vec::new();
+                for (i, g) in self.table.globals.iter().enumerate() {
+                    if g.name == name && g.params.len() == args.len() {
+                        matches.push(i);
+                    }
+                }
+                match matches.len() {
+                    1 => {
+                        let gi = matches[0];
+                        let g = &self.table.globals[gi];
+                        let callable = Callable {
+                            tparams: g.tparams.clone(),
+                            wheres: g.wheres.clone(),
+                            params: g.params.iter().map(|(_, t)| t.clone()).collect(),
+                            ret: g.ret.clone(),
+                        };
+                        let (targs, margs, ptys, ret) =
+                            self.instantiate_call(&callable, type_args, &checked_args, args, span);
+                        let final_args = self.coerce_args(checked_args, &ptys, args);
+                        hir::Expr {
+                            kind: hir::ExprKind::CallGlobal {
+                                index: gi,
+                                targs,
+                                margs,
+                                args: final_args,
+                            },
+                            ty: ret,
+                        }
+                    }
+                    0 => {
+                        self.diags.error(
+                            span,
+                            format!("unknown method `{name}` with {} argument(s)", args.len()),
+                        );
+                        self.error_expr()
+                    }
+                    _ => {
+                        self.diags
+                            .error(span, format!("ambiguous call to top-level method `{name}`"));
+                        self.error_expr()
+                    }
+                }
+            }
+            Some(recv_e) => {
+                // Receiver that is a type name: static context.
+                if let ast::ExprKind::Name(n) = &recv_e.kind {
+                    if self.lookup_local(*n).is_none() {
+                        if let Some(t) = self.name_as_type(*n) {
+                            return self.check_static_call(
+                                t,
+                                name,
+                                type_args,
+                                checked_args,
+                                args,
+                                span,
+                            );
+                        }
+                        if self.table.lookup_class(*n).is_some() {
+                            self.diags.error(
+                                recv_e.span,
+                                format!(
+                                    "generic class `{n}` cannot be used as a static receiver without instantiation"
+                                ),
+                            );
+                            return self.error_expr();
+                        }
+                    }
+                }
+                let r = self.check_expr(recv_e);
+                let r = self.open_if_existential(r);
+                let cands = lookup_methods_patched(self.table, &r.ty, name);
+                if cands.iter().any(|m| m.params.len() == args.len() && !m.is_static) {
+                    return self.dispatch_found(
+                        Some(r),
+                        name,
+                        cands,
+                        type_args,
+                        checked_args,
+                        args,
+                        span,
+                    );
+                }
+                // Elided expander: a constraint operation through an enabled
+                // witness (§4.1, §4.4).
+                self.call_through_models(r, name, checked_args, args, span)
+            }
+        }
+    }
+
+    /// Call to a constraint operation with an elided expander: resolve the
+    /// unique enabled witness applicable to the receiver.
+    fn call_through_models(
+        &mut self,
+        recv: hir::Expr,
+        name: Symbol,
+        checked_args: Vec<hir::Expr>,
+        args: &[ast::Expr],
+        span: Span,
+    ) -> hir::Expr {
+        let found = self.with_resolver(|ctx| resolve_expander(ctx, &recv.ty, name, args.len()));
+        match found.len() {
+            1 => {
+                let (inst, model) = found.into_iter().next().expect("len checked");
+                self.call_model_op(model, inst, name, Some(recv), None, checked_args, args, span)
+            }
+            0 => {
+                self.diags.error(
+                    span,
+                    format!(
+                        "no method or constraint operation `{name}` applicable to `{}`",
+                        recv.ty.display(self.table)
+                    ),
+                );
+                self.error_expr()
+            }
+            n => {
+                self.diags.error(
+                    span,
+                    format!(
+                        "ambiguous operation `{name}` on `{}`: {n} enabled models apply — \
+                         use an explicit expander `recv.(model.{name})(...)`",
+                        recv.ty.display(self.table)
+                    ),
+                );
+                self.error_expr()
+            }
+        }
+    }
+
+    /// Static call `T.m(...)` / `C.m(...)`.
+    fn check_static_call(
+        &mut self,
+        recv_ty: Type,
+        name: Symbol,
+        type_args: Option<&ast::TypeArgs>,
+        checked_args: Vec<hir::Expr>,
+        args: &[ast::Expr],
+        span: Span,
+    ) -> hir::Expr {
+        // The universal `T.default()` (§3.1).
+        if name.as_str() == "default" && args.is_empty() {
+            return hir::Expr {
+                kind: hir::ExprKind::DefaultValue { of: recv_ty.clone() },
+                ty: recv_ty,
+            };
+        }
+        // Static class methods.
+        if let Type::Class { .. } = &recv_ty {
+            let cands = lookup_methods_patched(self.table, &recv_ty, name);
+            if cands.iter().any(|m| m.is_static && m.params.len() == args.len()) {
+                return self.dispatch_found(None, name, cands, type_args, checked_args, args, span);
+            }
+        }
+        // Static constraint operations through enabled witnesses
+        // (`W.one()`, `T.zero()`).
+        let mut found: Vec<(ConstraintInst, Model)> = Vec::new();
+        for (winst, model) in self.enabled.clone() {
+            for inst in crate::entail::prereq_closure(self.table, &winst) {
+                let def = self.table.constraint(inst.id);
+                let subst = Subst::from_pairs(&def.params, &inst.args);
+                for op in &def.ops {
+                    if op.is_static && op.name == name && op.params.len() == args.len() {
+                        let r = subst.apply(&Type::Var(op.receiver));
+                        if type_eq(self.table, &r, &recv_ty)
+                            && !found.iter().any(|(i2, m2)| {
+                                i2 == &inst
+                                    && genus_types::subtype::model_eq(self.table, m2, &model)
+                            }) {
+                                found.push((inst.clone(), model.clone()));
+                            }
+                    }
+                }
+            }
+        }
+        match found.len() {
+            1 => {
+                let (inst, model) = found.into_iter().next().expect("len checked");
+                self.call_model_op(
+                    model,
+                    inst,
+                    name,
+                    None,
+                    Some(recv_ty),
+                    checked_args,
+                    args,
+                    span,
+                )
+            }
+            0 => {
+                // A primitive static reached directly (`int` cannot be
+                // named, but a solved `T` can reduce to one at checking
+                // time).
+                if let Type::Prim(p) = recv_ty {
+                    let ms = crate::methods::prim_methods(p);
+                    if ms.iter().any(|m| m.is_static && m.name == name && m.params.len() == args.len())
+                    {
+                        let ty = ms
+                            .iter()
+                            .find(|m| m.is_static && m.name == name)
+                            .map(|m| m.ret.clone())
+                            .unwrap_or(Type::Prim(p));
+                        return hir::Expr {
+                            kind: hir::ExprKind::PrimCall {
+                                prim: p,
+                                name,
+                                recv: None,
+                                args: checked_args,
+                            },
+                            ty,
+                        };
+                    }
+                }
+                self.diags.error(
+                    span,
+                    format!(
+                        "no static method or constraint operation `{name}` on `{}`",
+                        recv_ty.display(self.table)
+                    ),
+                );
+                self.error_expr()
+            }
+            _ => {
+                self.diags.error(
+                    span,
+                    format!(
+                        "ambiguous static operation `{name}` on `{}`: multiple enabled models apply",
+                        recv_ty.display(self.table)
+                    ),
+                );
+                self.error_expr()
+            }
+        }
+    }
+
+    /// Emits a `CallModel` for constraint operation `name` of `inst` through
+    /// `model`, checking arguments against the operation's signature.
+    #[allow(clippy::too_many_arguments)]
+    fn call_model_op(
+        &mut self,
+        model: Model,
+        inst: ConstraintInst,
+        name: Symbol,
+        recv: Option<hir::Expr>,
+        static_recv: Option<Type>,
+        checked_args: Vec<hir::Expr>,
+        args: &[ast::Expr],
+        span: Span,
+    ) -> hir::Expr {
+        let def = self.table.constraint(inst.id);
+        let subst = Subst::from_pairs(&def.params, &inst.args);
+        let is_static = recv.is_none();
+        let Some(op) = def
+            .ops
+            .iter()
+            .find(|o| o.name == name && o.params.len() == args.len() && o.is_static == is_static)
+        else {
+            self.diags.error(
+                span,
+                format!(
+                    "constraint `{}` has no matching operation `{name}`",
+                    self.table.constraint(inst.id).name
+                ),
+            );
+            return self.error_expr();
+        };
+        let ptys: Vec<Type> = op.params.iter().map(|(_, t)| subst.apply(t)).collect();
+        let ret = subst.apply(&op.ret);
+        let final_args = self.coerce_args(checked_args, &ptys, args);
+        hir::Expr {
+            kind: hir::ExprKind::CallModel {
+                model,
+                name,
+                recv: recv.map(Box::new),
+                static_recv,
+                args: final_args,
+            },
+            ty: ret,
+        }
+    }
+
+    /// Explicit expander call `e.(m.f)(args)` (§4.1).
+    fn check_expander_call(
+        &mut self,
+        recv: &ast::Expr,
+        expander: &ast::ModelExpr,
+        name: Symbol,
+        args: &[ast::Expr],
+        span: Span,
+    ) -> hir::Expr {
+        let r = self.check_expr(recv);
+        let r = self.open_if_existential(r);
+        let checked_args: Vec<hir::Expr> = args.iter().map(|a| self.check_expr(a)).collect();
+        // A type-name expander selects the natural model
+        // (`"x".(String.equals)("X")`): find the constraint by operation.
+        if let ast::ModelExpr::Named { name: en, args: eargs, models: emodels, .. } = expander {
+            let is_model_var = self.scope.mvs.contains_key(en);
+            let is_model = self.table.lookup_model(*en).is_some();
+            if !is_model_var && !is_model {
+                // Try as a type name.
+                let as_ty = if let Some(tv) = self.scope.tvs.get(en) {
+                    Some(Type::Var(*tv))
+                } else {
+                    self.table.lookup_class(*en).and_then(|cid| {
+                        if self.table.class(cid).params.is_empty() {
+                            Some(Type::Class { id: cid, args: vec![], models: vec![] })
+                        } else {
+                            None
+                        }
+                    })
+                };
+                if let (Some(t), true) = (as_ty, eargs.is_empty() && emodels.is_empty()) {
+                    // Find constraints with a matching op where the natural
+                    // model exists.
+                    let mut hits: Vec<ConstraintInst> = Vec::new();
+                    for (i, c) in self.table.constraints.iter().enumerate() {
+                        if c.params.len() == 1 {
+                            for op in &c.ops {
+                                if op.name == name && op.params.len() == args.len() && !op.is_static
+                                {
+                                    hits.push(ConstraintInst {
+                                        id: genus_types::ConstraintId(i as u32),
+                                        args: vec![t.clone()],
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    hits.retain(|inst| crate::natural::conforms(self.table, inst));
+                    match hits.len() {
+                        1 => {
+                            let inst = hits.into_iter().next().expect("len checked");
+                            let model = Model::Natural { inst: inst.clone() };
+                            return self.call_model_op(
+                                model,
+                                inst,
+                                name,
+                                Some(r),
+                                None,
+                                checked_args,
+                                args,
+                                span,
+                            );
+                        }
+                        0 => {
+                            self.diags.error(
+                                span,
+                                format!(
+                                    "no natural model of `{en}` provides operation `{name}`"
+                                ),
+                            );
+                            return self.error_expr();
+                        }
+                        _ => {
+                            self.diags.error(
+                                span,
+                                format!(
+                                    "operation `{name}` of `{en}` is provided by multiple constraints; \
+                                     name the model explicitly"
+                                ),
+                            );
+                            return self.error_expr();
+                        }
+                    }
+                }
+            }
+        }
+        // Model variable or declared model.
+        let model = {
+            let mut res = Resolver { table: self.table, diags: self.diags };
+            let sc = self.scope.clone();
+            res.resolve_model_expr(&sc, expander, None)
+        };
+        let model = self.complete_model(model, span);
+        // Determine the constraint the model witnesses, to find the op.
+        let winst = match &model {
+            Model::Var(mv) => self
+                .enabled
+                .iter()
+                .find(|(_, m)| matches!(m, Model::Var(v) if v == mv))
+                .map(|(i, _)| i.clone()),
+            Model::Decl { id, type_args, model_args } => {
+                let d = self.table.model(*id);
+                let s = Subst::from_pairs(&d.tparams, type_args).with_models(
+                    &d.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(),
+                    model_args,
+                );
+                Some(s.apply_inst(&d.for_inst))
+            }
+            Model::Natural { inst } => Some(inst.clone()),
+            Model::Infer(_) => None,
+        };
+        let Some(winst) = winst else {
+            self.diags.error(span, "cannot determine the constraint of this expander");
+            return self.error_expr();
+        };
+        // Find the operation in the constraint or its prerequisites.
+        for inst in crate::entail::prereq_closure(self.table, &winst) {
+            let has = self
+                .table
+                .constraint(inst.id)
+                .ops
+                .iter()
+                .any(|o| o.name == name && o.params.len() == args.len() && !o.is_static);
+            if has {
+                return self.call_model_op(
+                    model,
+                    inst,
+                    name,
+                    Some(r),
+                    None,
+                    checked_args,
+                    args,
+                    span,
+                );
+            }
+        }
+        self.diags.error(
+            span,
+            format!(
+                "model for `{}` has no operation `{name}` with {} argument(s)",
+                winst.display(self.table),
+                args.len()
+            ),
+        );
+        self.error_expr()
+    }
+
+    fn check_new(&mut self, ty: &ast::Ty, args: &[ast::Expr], span: Span) -> hir::Expr {
+        let t = self.resolve_ty_ctx(ty);
+        let Type::Class { id, args: targs, models } = t.clone() else {
+            self.diags.error(span, "`new` requires a class type");
+            return self.error_expr();
+        };
+        let def = self.table.class(id);
+        if def.is_interface {
+            self.diags.error(span, format!("cannot instantiate interface `{}`", def.name));
+            return self.error_expr();
+        }
+        if def.is_abstract {
+            self.diags.error(span, format!("cannot instantiate abstract class `{}`", def.name));
+            return self.error_expr();
+        }
+        // Validate explicit models witness the class's constraints.
+        let wheres = def.wheres.clone();
+        let params = def.params.clone();
+        let subst = Subst::from_pairs(&params, &targs)
+            .with_models(&wheres.iter().map(|w| w.mv).collect::<Vec<_>>(), &models);
+        for (w, m) in wheres.iter().zip(&models) {
+            let inst = subst.apply_inst(&w.inst);
+            if !inst.args.iter().any(|a| matches!(a, Type::Infer(_))) && !self.model_witnesses(m, &inst)
+            {
+                self.diags.error(
+                    span,
+                    format!(
+                        "model `{}` does not witness `{}`",
+                        m.display(self.table),
+                        inst.display(self.table)
+                    ),
+                );
+            }
+        }
+        // Pick the constructor by arity.
+        let ctor_idx = self
+            .table
+            .class(id)
+            .ctors
+            .iter()
+            .position(|c| c.params.len() == args.len());
+        let Some(ci) = ctor_idx else {
+            self.diags.error(
+                span,
+                format!(
+                    "class `{}` has no constructor with {} argument(s)",
+                    self.table.class(id).name,
+                    args.len()
+                ),
+            );
+            return self.error_expr();
+        };
+        let ptys: Vec<Type> = self.table.class(id).ctors[ci]
+            .params
+            .iter()
+            .map(|(_, pt)| subst.apply(pt))
+            .collect();
+        let checked_args: Vec<hir::Expr> = args.iter().map(|a| self.check_expr(a)).collect();
+        let final_args = self.coerce_args(checked_args, &ptys, args);
+        hir::Expr {
+            kind: hir::ExprKind::New { class: id, targs, models, ctor: ci, args: final_args },
+            ty: t,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Generic instantiation at call sites (§4.7)
+    // ------------------------------------------------------------------
+
+    fn coerce_args(
+        &mut self,
+        checked: Vec<hir::Expr>,
+        ptys: &[Type],
+        asts: &[ast::Expr],
+    ) -> Vec<hir::Expr> {
+        checked
+            .into_iter()
+            .zip(asts)
+            .enumerate()
+            .map(|(i, (a, ast))| match ptys.get(i) {
+                Some(p) => self.coerce(a, p, ast.span),
+                None => a,
+            })
+            .collect()
+    }
+
+    /// Dispatches to the (unique, by arity) candidate found on a receiver
+    /// type, handling native methods, primitive built-ins, generic
+    /// instantiation, and model resolution.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_found(
+        &mut self,
+        recv: Option<hir::Expr>,
+        name: Symbol,
+        cands: Vec<FoundMethod>,
+        type_args: Option<&ast::TypeArgs>,
+        checked_args: Vec<hir::Expr>,
+        args: &[ast::Expr],
+        span: Span,
+    ) -> hir::Expr {
+        let want_static = recv.is_none();
+        let Some(m) = cands
+            .into_iter()
+            .find(|m| m.params.len() == args.len() && (!want_static || m.is_static))
+        else {
+            self.diags.error(
+                span,
+                format!("no overload of `{name}` takes {} argument(s)", args.len()),
+            );
+            return self.error_expr();
+        };
+        // Primitive built-in.
+        if let MethodOwner::Prim(p) = m.owner {
+            let final_args = self.coerce_args(checked_args, &m.params, args);
+            return hir::Expr {
+                kind: hir::ExprKind::PrimCall {
+                    prim: p,
+                    name,
+                    recv: recv.map(Box::new),
+                    args: final_args,
+                },
+                ty: m.ret.clone(),
+            };
+        }
+        // Native (String/Object) methods.
+        if m.is_native {
+            if let MethodOwner::Class(cid, _) = m.owner {
+                let cls_name = self.table.class(cid).name;
+                if let Some(op) = native_op(cls_name, name) {
+                    let final_args = self.coerce_args(checked_args, &m.params, args);
+                    return hir::Expr {
+                        kind: hir::ExprKind::Native {
+                            op,
+                            recv: recv.map(Box::new),
+                            args: final_args,
+                        },
+                        ty: m.ret.clone(),
+                    };
+                }
+            }
+        }
+        let callable = Callable {
+            tparams: m.tparams.clone(),
+            wheres: m.wheres.clone(),
+            params: m.params.clone(),
+            ret: m.ret.clone(),
+        };
+        let (targs, margs, ptys, ret) =
+            self.instantiate_call(&callable, type_args, &checked_args, args, span);
+        let final_args = self.coerce_args(checked_args, &ptys, args);
+        match (recv, m.owner) {
+            (Some(r), _) if !m.is_static => hir::Expr {
+                kind: hir::ExprKind::CallVirtual {
+                    recv: Box::new(r),
+                    name,
+                    arity: args.len(),
+                    targs,
+                    margs,
+                    args: final_args,
+                },
+                ty: ret,
+            },
+            (_, MethodOwner::Class(cid, mi)) => hir::Expr {
+                kind: hir::ExprKind::CallStatic {
+                    class: cid,
+                    method: mi,
+                    targs,
+                    margs,
+                    args: final_args,
+                },
+                ty: ret,
+            },
+            _ => {
+                self.diags.error(span, format!("cannot call `{name}` here"));
+                self.error_expr()
+            }
+        }
+    }
+
+    /// Instantiates a generic callable: explicit arguments first, then
+    /// unification against the actual argument types (intrinsic constraints),
+    /// then default model resolution for what remains (extrinsic constraints)
+    /// — the §4.7 pipeline.
+    fn instantiate_call(
+        &mut self,
+        c: &Callable,
+        explicit: Option<&ast::TypeArgs>,
+        checked_args: &[hir::Expr],
+        asts: &[ast::Expr],
+        span: Span,
+    ) -> (Vec<Type>, Vec<Model>, Vec<Type>, Type) {
+        if c.tparams.is_empty() && c.wheres.is_empty() {
+            return (vec![], vec![], c.params.clone(), c.ret.clone());
+        }
+        let mut subst = Subst::new();
+        let mut t_infers = Vec::new();
+        for tp in &c.tparams {
+            let i = self.fresh_infer();
+            t_infers.push(i);
+            subst.tys.insert(*tp, Type::Infer(i));
+        }
+        let mut m_infers = Vec::new();
+        for w in &c.wheres {
+            let i = self.fresh_infer();
+            m_infers.push(i);
+            subst.models.insert(w.mv, Model::Infer(i));
+        }
+        let mut sol = Subst::new();
+        // Explicit type arguments pin the corresponding inference variables.
+        if let Some(ta) = explicit {
+            for (i, t) in ta.types.iter().enumerate() {
+                if let Some(infer) = t_infers.get(i) {
+                    let rt = self.resolve_ty_ctx(t);
+                    let _ = unify(self.table, &Type::Infer(*infer), &rt, &mut sol);
+                }
+            }
+        }
+        // Unify declared parameter types with argument types (lifting class
+        // arguments to the parameter's class first).
+        for (decl, arg) in c.params.iter().zip(checked_args) {
+            let d = subst.apply(decl);
+            let d = sol.apply(&d);
+            let a = &arg.ty;
+            if unify(self.table, &d, a, &mut sol).is_ok() {
+                continue;
+            }
+            if let Type::Class { id, .. } = &d {
+                if let Some(sup) = supertype_at(self.table, a, *id) {
+                    if unify(self.table, &d, &sup, &mut sol).is_ok() {
+                        continue;
+                    }
+                }
+            }
+            // Leave the mismatch for the coercion step (widening/packing may
+            // still apply; a genuine error will be reported there).
+        }
+        // Collect solved type arguments.
+        let mut targs = Vec::new();
+        for (tp, i) in c.tparams.iter().zip(&t_infers) {
+            let t = sol.apply(&Type::Infer(*i));
+            if t.has_infer() {
+                self.diags.error(
+                    span,
+                    format!(
+                        "cannot infer type argument `{}`; supply it explicitly",
+                        self.table.tv_name(*tp)
+                    ),
+                );
+                targs.push(Type::Null);
+            } else {
+                targs.push(t);
+            }
+        }
+        let inst_subst = Subst::from_pairs(&c.tparams, &targs);
+        // Witnesses: explicit > unification-solved (intrinsic) > resolved
+        // (extrinsic).
+        let mut margs = Vec::new();
+        for (k, (w, mi)) in c.wheres.iter().zip(&m_infers).enumerate() {
+            let explicit_model = explicit.and_then(|ta| ta.models.get(k));
+            let inst = inst_subst.apply_inst(&w.inst);
+            let inst = sol.apply_inst(&inst);
+            if let Some(me) = explicit_model {
+                let m = {
+                    let mut res = Resolver { table: self.table, diags: self.diags };
+                    let sc = self.scope.clone();
+                    res.resolve_model_expr(&sc, me, Some(&inst))
+                };
+                let m = self.complete_model(m, span);
+                if !self.model_witnesses(&m, &inst) {
+                    self.diags.error(
+                        me.span(),
+                        format!(
+                            "model `{}` does not witness `{}`",
+                            m.display(self.table),
+                            inst.display(self.table)
+                        ),
+                    );
+                }
+                margs.push(m);
+                continue;
+            }
+            let solved = sol.apply_model(&Model::Infer(*mi));
+            if !solved.has_infer() && !matches!(solved, Model::Infer(_)) {
+                margs.push(solved);
+                continue;
+            }
+            margs.push(self.resolve_model_for(&inst, span));
+        }
+        let final_subst = inst_subst.with_models(
+            &c.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(),
+            &margs,
+        );
+        let ptys: Vec<Type> =
+            c.params.iter().map(|p| sol.apply(&final_subst.apply(p))).collect();
+        let ret = sol.apply(&final_subst.apply(&c.ret));
+        let _ = asts;
+        (targs, margs, ptys, ret)
+    }
+}
+
+/// A callable signature being instantiated at a call site.
+struct Callable {
+    tparams: Vec<TvId>,
+    wheres: Vec<WhereReq>,
+    params: Vec<Type>,
+    ret: Type,
+}
+
+/// Maps a `native` method of a prelude class to its runtime operation.
+pub fn native_op(class_name: Symbol, method: Symbol) -> Option<NativeOp> {
+    Some(match (class_name.as_str(), method.as_str()) {
+        ("String", "equals") => NativeOp::StrEquals,
+        ("String", "compareTo") => NativeOp::StrCompareTo,
+        ("String", "equalsIgnoreCase") => NativeOp::StrEqualsIgnoreCase,
+        ("String", "compareToIgnoreCase") => NativeOp::StrCompareToIgnoreCase,
+        ("String", "length") => NativeOp::StrLength,
+        ("String", "charAt") => NativeOp::StrCharAt,
+        ("String", "substring") => NativeOp::StrSubstring,
+        ("String", "concat") => NativeOp::StrConcat,
+        ("String", "hashCode") => NativeOp::StrHashCode,
+        ("String", "toLowerCase") => NativeOp::StrToLowerCase,
+        ("String", "indexOf") => NativeOp::StrIndexOf,
+        ("String", "toString") => NativeOp::ToString,
+        ("Object", "hashCode") => NativeOp::ObjHashCode,
+        ("Object", "equals") => NativeOp::ObjEquals,
+        ("Object", "toString") => NativeOp::ObjToString,
+        _ => return None,
+    })
+}
+
+/// A checked class-id / ctor pair for `ClassId` reuse in callers.
+pub type CtorKey = (ClassId, usize);

@@ -1,0 +1,199 @@
+//! Constraint entailment (§5.2): a model may witness not just the constraint
+//! it is declared for, but also prerequisite constraints and constraints
+//! entailed through parameter variance.
+
+use genus_types::{is_subtype, subtype::type_eq, ConstraintInst, Subst, Table, Variance};
+
+/// Whether a witness of `from` also witnesses `to`.
+///
+/// Two entailment paths compose:
+/// * **Prerequisites** — `Comparable[T]` entails `Eq[T]`: the witness covers
+///   the prerequisite operations.
+/// * **Variance** — `Eq[Shape]` entails `Eq[Circle]` because `Eq`'s
+///   parameter is contravariant; bivariance downgrades to contravariance.
+pub fn entails(table: &Table, from: &ConstraintInst, to: &ConstraintInst) -> bool {
+    entails_depth(table, from, to, 16)
+}
+
+fn entails_depth(table: &Table, from: &ConstraintInst, to: &ConstraintInst, depth: usize) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    if from.id == to.id && variance_entails(table, from, to) {
+        return true;
+    }
+    let def = table.constraint(from.id);
+    if def.params.len() != from.args.len() {
+        return false;
+    }
+    let subst = Subst::from_pairs(&def.params, &from.args);
+    def.prereqs.iter().any(|pre| entails_depth(table, &subst.apply_inst(pre), to, depth - 1))
+}
+
+fn variance_entails(table: &Table, from: &ConstraintInst, to: &ConstraintInst) -> bool {
+    let def = table.constraint(from.id);
+    if from.args.len() != to.args.len() {
+        return false;
+    }
+    for (i, (f, t)) in from.args.iter().zip(&to.args).enumerate() {
+        let v = def.variance.get(i).copied().unwrap_or(Variance::Invariant).for_entailment();
+        let ok = match v {
+            Variance::Covariant => is_subtype(table, f, t),
+            Variance::Contravariant | Variance::Bivariant => is_subtype(table, t, f),
+            Variance::Invariant => type_eq(table, f, t),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// All constraint instantiations transitively entailed by `from` through
+/// prerequisites only (exact forms, no variance): used when matching
+/// in-scope models against a requested constraint with unification.
+pub fn prereq_closure(table: &Table, from: &ConstraintInst) -> Vec<ConstraintInst> {
+    let mut out = vec![from.clone()];
+    let mut i = 0;
+    while i < out.len() {
+        let cur = out[i].clone();
+        let def = table.constraint(cur.id);
+        if def.params.len() == cur.args.len() {
+            let subst = Subst::from_pairs(&def.params, &cur.args);
+            for pre in &def.prereqs {
+                let inst = subst.apply_inst(pre);
+                if !out.contains(&inst) {
+                    out.push(inst);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_common::{Span, Symbol};
+    use genus_types::{ClassDef, ConstraintDef, ConstraintOp, PrimTy, Table, Type};
+
+    /// Builds: Object, Shape <: Object, Circle <: Shape;
+    /// `Eq[T]` (contravariant) and `Comparable[T] extends Eq[T]`.
+    fn setup() -> (Table, genus_types::ConstraintId, genus_types::ConstraintId, Type, Type) {
+        let mut tb = Table::new();
+        let obj = tb.add_class(ClassDef {
+            name: Symbol::intern("Object"),
+            is_interface: false,
+            is_abstract: false,
+            params: vec![],
+            wheres: vec![],
+            extends: None,
+            implements: vec![],
+            fields: vec![],
+            ctors: vec![],
+            methods: vec![],
+            span: Span::dummy(),
+        });
+        let obj_ty = Type::Class { id: obj, args: vec![], models: vec![] };
+        let shape = tb.add_class(ClassDef {
+            name: Symbol::intern("Shape"),
+            is_interface: false,
+            is_abstract: false,
+            params: vec![],
+            wheres: vec![],
+            extends: Some(obj_ty),
+            implements: vec![],
+            fields: vec![],
+            ctors: vec![],
+            methods: vec![],
+            span: Span::dummy(),
+        });
+        let shape_ty = Type::Class { id: shape, args: vec![], models: vec![] };
+        let circle = tb.add_class(ClassDef {
+            name: Symbol::intern("Circle"),
+            is_interface: false,
+            is_abstract: false,
+            params: vec![],
+            wheres: vec![],
+            extends: Some(shape_ty.clone()),
+            implements: vec![],
+            fields: vec![],
+            ctors: vec![],
+            methods: vec![],
+            span: Span::dummy(),
+        });
+        let circle_ty = Type::Class { id: circle, args: vec![], models: vec![] };
+        let t = tb.fresh_tv(Symbol::intern("T"));
+        let eq = tb.add_constraint(ConstraintDef {
+            name: Symbol::intern("Eq"),
+            params: vec![t],
+            prereqs: vec![],
+            ops: vec![ConstraintOp {
+                name: Symbol::intern("equals"),
+                is_static: false,
+                receiver: t,
+                params: vec![(Symbol::intern("o"), Type::Var(t))],
+                ret: Type::Prim(PrimTy::Boolean),
+                span: Span::dummy(),
+            }],
+            variance: vec![],
+            span: Span::dummy(),
+        });
+        let u = tb.fresh_tv(Symbol::intern("T"));
+        let cmp = tb.add_constraint(ConstraintDef {
+            name: Symbol::intern("Comparable"),
+            params: vec![u],
+            prereqs: vec![ConstraintInst { id: eq, args: vec![Type::Var(u)] }],
+            ops: vec![ConstraintOp {
+                name: Symbol::intern("compareTo"),
+                is_static: false,
+                receiver: u,
+                params: vec![(Symbol::intern("o"), Type::Var(u))],
+                ret: Type::Prim(PrimTy::Int),
+                span: Span::dummy(),
+            }],
+            variance: vec![],
+            span: Span::dummy(),
+        });
+        genus_types::variance::store_variances(&mut tb);
+        (tb, eq, cmp, shape_ty, circle_ty)
+    }
+
+    #[test]
+    fn prereq_entailment() {
+        let (tb, eq, cmp, shape, _) = setup();
+        let from = ConstraintInst { id: cmp, args: vec![shape.clone()] };
+        let to = ConstraintInst { id: eq, args: vec![shape] };
+        assert!(entails(&tb, &from, &to));
+        assert!(!entails(&tb, &to, &from));
+    }
+
+    #[test]
+    fn contravariant_entailment() {
+        let (tb, eq, _, shape, circle) = setup();
+        let from = ConstraintInst { id: eq, args: vec![shape.clone()] };
+        let to = ConstraintInst { id: eq, args: vec![circle.clone()] };
+        assert!(entails(&tb, &from, &to));
+        // Covariant direction must fail for a contravariant parameter.
+        assert!(!entails(&tb, &to, &from));
+    }
+
+    #[test]
+    fn combined_prereq_then_variance() {
+        let (tb, eq, cmp, shape, circle) = setup();
+        // Comparable[Shape] ⇒ Eq[Shape] ⇒ Eq[Circle].
+        let from = ConstraintInst { id: cmp, args: vec![shape] };
+        let to = ConstraintInst { id: eq, args: vec![circle] };
+        assert!(entails(&tb, &from, &to));
+    }
+
+    #[test]
+    fn closure_lists_prereqs() {
+        let (tb, eq, cmp, shape, _) = setup();
+        let from = ConstraintInst { id: cmp, args: vec![shape.clone()] };
+        let cl = prereq_closure(&tb, &from);
+        assert_eq!(cl.len(), 2);
+        assert_eq!(cl[1], ConstraintInst { id: eq, args: vec![shape] });
+    }
+}

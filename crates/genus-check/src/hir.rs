@@ -1,0 +1,440 @@
+//! Typed, resolved intermediate representation produced by the checker and
+//! executed by the interpreter.
+//!
+//! All name resolution, overload selection, model resolution, and coercion
+//! insertion has happened: every call site records *which* member it invokes
+//! and carries the (possibly open) semantic types and models needed for
+//! run-time reification.
+
+use genus_common::Symbol;
+use genus_types::{ClassId, Model, MvId, TvId, Type};
+
+/// Index of a local variable slot within a body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalId(pub u32);
+
+/// A lowered executable body (method, constructor, model method, or global).
+#[derive(Debug, Clone)]
+pub struct Body {
+    /// Total number of local slots (parameters first; slot 0 is `this` for
+    /// instance members).
+    pub num_locals: usize,
+    /// The statements.
+    pub block: Block,
+}
+
+/// A lowered block.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A lowered statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Evaluate and discard.
+    Expr(Expr),
+    /// Initialize a local slot.
+    Let {
+        /// Target slot.
+        local: LocalId,
+        /// Initializer (already coerced), or `None` to default-initialize.
+        init: Option<Expr>,
+        /// Declared type (for default initialization of primitives).
+        ty: Type,
+    },
+    /// Open an existential package into a local slot, binding its type and
+    /// model witnesses into the runtime environment (§6.2).
+    LetOpen {
+        /// Target slot for the unpacked value.
+        local: LocalId,
+        /// The packed existential value.
+        init: Expr,
+        /// Type variables to bind from the package.
+        tvs: Vec<TvId>,
+        /// Model variables to bind from the package.
+        mvs: Vec<MvId>,
+    },
+    /// Conditional.
+    If {
+        /// Condition (boolean).
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Else branch.
+        else_blk: Block,
+    },
+    /// Loop. `continue` transfers to `update`, then the condition — this is
+    /// the common lowering for `while`, C-style `for`, and array `for-each`.
+    While {
+        /// Condition (boolean).
+        cond: Expr,
+        /// Body.
+        body: Block,
+        /// Update block run after the body and on `continue`.
+        update: Block,
+    },
+    /// Return from the body.
+    Return(Option<Expr>),
+    /// Break the innermost loop.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+    /// Nested block (scoping is resolved; kept for ordering only).
+    Block(Block),
+}
+
+/// Comparison/arithmetic category for primitive operators, chosen statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumKind {
+    /// 32-bit integers.
+    Int,
+    /// 64-bit integers.
+    Long,
+    /// 64-bit floats.
+    Double,
+}
+
+/// A resolved binary operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinKind {
+    /// Numeric arithmetic `+ - * / %`.
+    Arith(genus_syntax::ast::BinOp, NumKind),
+    /// Numeric comparison `< <= > >=` / equality `== !=`.
+    Cmp(genus_syntax::ast::BinOp, NumKind),
+    /// `==` / `!=` on booleans or chars.
+    EqPrim(genus_syntax::ast::BinOp),
+    /// `==` / `!=` reference identity (strings compare by value, matching
+    /// the interpreter's interned representation).
+    EqRef(genus_syntax::ast::BinOp),
+    /// String concatenation (either operand stringified).
+    Concat,
+    /// Short-circuit `&&`.
+    And,
+    /// Short-circuit `||`.
+    Or,
+}
+
+/// A lowered expression, annotated with its static [`Type`].
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// Shape.
+    pub kind: ExprKind,
+    /// Static type.
+    pub ty: Type,
+}
+
+/// Shapes of lowered expressions.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Long literal.
+    Long(i64),
+    /// Double literal.
+    Double(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Char literal.
+    Char(char),
+    /// String literal.
+    Str(String),
+    /// `null`.
+    Null,
+    /// Read a local slot (slot 0 is `this`).
+    Local(LocalId),
+    /// Write a local slot; yields the written value.
+    SetLocal {
+        /// Target slot.
+        local: LocalId,
+        /// Value.
+        value: Box<Expr>,
+    },
+    /// Read an instance field.
+    GetField {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Class that declares the field.
+        class: ClassId,
+        /// Field index in that class.
+        field: usize,
+    },
+    /// Write an instance field; yields the written value.
+    SetField {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Class that declares the field.
+        class: ClassId,
+        /// Field index in that class.
+        field: usize,
+        /// Value.
+        value: Box<Expr>,
+    },
+    /// Read a static field.
+    GetStatic {
+        /// Declaring class.
+        class: ClassId,
+        /// Field index.
+        field: usize,
+    },
+    /// Write a static field; yields the written value.
+    SetStatic {
+        /// Declaring class.
+        class: ClassId,
+        /// Field index.
+        field: usize,
+        /// Value.
+        value: Box<Expr>,
+    },
+    /// Virtual (instance) method call, dispatched at run time on the
+    /// receiver's dynamic class by (name, arity).
+    CallVirtual {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        name: Symbol,
+        /// Number of value parameters (dispatch key with `name`).
+        arity: usize,
+        /// Method-level type arguments (evaluated against the caller's
+        /// runtime environment).
+        targs: Vec<Type>,
+        /// Method-level model arguments.
+        margs: Vec<Model>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Static class-method call.
+    CallStatic {
+        /// Declaring class.
+        class: ClassId,
+        /// Method index within the class.
+        method: usize,
+        /// Method-level type arguments.
+        targs: Vec<Type>,
+        /// Method-level model arguments.
+        margs: Vec<Model>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Free-standing (top-level) method call.
+    CallGlobal {
+        /// Index into [`genus_types::Table::globals`].
+        index: usize,
+        /// Type arguments.
+        targs: Vec<Type>,
+        /// Model arguments.
+        margs: Vec<Model>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Invocation of a constraint operation through a model witness —
+    /// including elided expanders resolved to where-clause models and
+    /// explicit expander calls (§4.1). Dispatches as a multimethod at run
+    /// time (§5.1).
+    CallModel {
+        /// The witness to dispatch through.
+        model: Model,
+        /// Operation name.
+        name: Symbol,
+        /// `None` for static constraint operations; the receiver otherwise.
+        recv: Option<Box<Expr>>,
+        /// The receiver *type* for static operations (`T.zero()`), used to
+        /// pick the dispatch type at run time.
+        static_recv: Option<Type>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `T.default()` — the built-in default value of any type (§3.1).
+    DefaultValue {
+        /// The type whose default to produce.
+        of: Type,
+    },
+    /// Object construction.
+    New {
+        /// Class to instantiate.
+        class: ClassId,
+        /// Reified type arguments.
+        targs: Vec<Type>,
+        /// Reified model witnesses (part of the object's runtime type).
+        models: Vec<Model>,
+        /// Constructor index.
+        ctor: usize,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Array construction with element-type-specialized storage (§7.3).
+    NewArray {
+        /// Element type (evaluated at run time; may be a type variable).
+        elem: Type,
+        /// Length.
+        len: Box<Expr>,
+    },
+    /// `a.length`.
+    ArrayLen {
+        /// Array.
+        arr: Box<Expr>,
+    },
+    /// `a[i]`.
+    ArrayGet {
+        /// Array.
+        arr: Box<Expr>,
+        /// Index.
+        idx: Box<Expr>,
+    },
+    /// `a[i] = v`; yields the written value.
+    ArraySet {
+        /// Array.
+        arr: Box<Expr>,
+        /// Index.
+        idx: Box<Expr>,
+        /// Value.
+        value: Box<Expr>,
+    },
+    /// Resolved binary operation.
+    Binary {
+        /// Operation kind.
+        kind: BinKind,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Numeric negation.
+    Neg {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Numeric category.
+        kind: NumKind,
+    },
+    /// Numeric widening coercion.
+    Widen {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source category.
+        from: genus_types::PrimTy,
+        /// Target category.
+        to: genus_types::PrimTy,
+    },
+    /// Reified `instanceof` — checks dynamic class, type arguments, *and*
+    /// models (§4.6, Figure 7).
+    InstanceOf {
+        /// Tested value.
+        expr: Box<Expr>,
+        /// Tested type (evaluated against the runtime environment).
+        ty: Type,
+    },
+    /// Checked cast; raises a `ClassCastException` runtime error on failure.
+    Cast {
+        /// Value.
+        expr: Box<Expr>,
+        /// Target type.
+        ty: Type,
+    },
+    /// Existential packing coercion (§6.1): bundles the value with the
+    /// witnesses chosen at this coercion site.
+    Pack {
+        /// The value being packed.
+        expr: Box<Expr>,
+        /// The existential type (its `params`/`wheres` name the slots).
+        ex: Type,
+        /// Chosen type witnesses, one per existential parameter.
+        types: Vec<Type>,
+        /// Chosen model witnesses, one per existential constraint.
+        models: Vec<Model>,
+    },
+    /// Conditional expression.
+    Cond {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then value.
+        then_e: Box<Expr>,
+        /// Else value.
+        else_e: Box<Expr>,
+    },
+    /// Built-in `print`/`println` (varargs of one).
+    Print {
+        /// Value to print.
+        arg: Box<Expr>,
+        /// Whether to append a newline.
+        newline: bool,
+    },
+    /// Built-in method call on a primitive receiver (or a primitive static
+    /// like `int.zero()` reached through `T.zero()` with `T = int`).
+    PrimCall {
+        /// The primitive type.
+        prim: genus_types::PrimTy,
+        /// Operation name (`plus`, `compareTo`, `zero`, ...).
+        name: Symbol,
+        /// Receiver for instance operations.
+        recv: Option<Box<Expr>>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// String built-ins implemented by the runtime (`native` methods).
+    Native {
+        /// Which native operation.
+        op: NativeOp,
+        /// Receiver (if the native is an instance method).
+        recv: Option<Box<Expr>>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Runtime-implemented operations (mostly `String` and `Object` methods).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NativeOp {
+    /// `String.equals(String)`.
+    StrEquals,
+    /// `String.compareTo(String)`.
+    StrCompareTo,
+    /// `String.equalsIgnoreCase(String)`.
+    StrEqualsIgnoreCase,
+    /// `String.compareToIgnoreCase(String)`.
+    StrCompareToIgnoreCase,
+    /// `String.length()`.
+    StrLength,
+    /// `String.charAt(int)`.
+    StrCharAt,
+    /// `String.substring(int, int)`.
+    StrSubstring,
+    /// `String.concat(String)`.
+    StrConcat,
+    /// `String.hashCode()`.
+    StrHashCode,
+    /// `String.toLowerCase()`.
+    StrToLowerCase,
+    /// `String.indexOf(String)`.
+    StrIndexOf,
+    /// `Object.hashCode()` — identity hash.
+    ObjHashCode,
+    /// `Object.equals(Object)` — identity.
+    ObjEquals,
+    /// `Object.toString()`.
+    ObjToString,
+    /// `toString` of any value (used by concatenation).
+    ToString,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_is_constructible() {
+        let b = Body {
+            num_locals: 1,
+            block: Block {
+                stmts: vec![Stmt::Return(Some(Expr {
+                    kind: ExprKind::Int(7),
+                    ty: Type::Prim(genus_types::PrimTy::Int),
+                }))],
+            },
+        };
+        assert_eq!(b.num_locals, 1);
+        assert_eq!(b.block.stmts.len(), 1);
+    }
+}

@@ -1,0 +1,450 @@
+//! The Genus type checker.
+//!
+//! [`check_program`] drives the full pipeline of the paper's static
+//! semantics:
+//!
+//! 1. collect declarations ([`collect`]),
+//! 2. infer constraint variance (section 5.2),
+//! 3. enforce the termination restriction on `use` declarations (section 9),
+//! 4. complete elided `with`-clause models in signatures by default model
+//!    resolution (section 4.4),
+//! 5. check model-constraint conformance and multimethod unambiguity (5.1),
+//! 6. check and lower every body to typed [`hir`].
+//!
+//! # Examples
+//!
+//! ```
+//! use genus_check::check_source;
+//!
+//! let out = check_source("int main() { return 42; }").expect("program checks");
+//! assert!(out.main_index().is_some());
+//! ```
+
+pub mod body;
+pub mod collect;
+pub mod entail;
+pub mod hir;
+pub mod methods;
+pub mod multimethod;
+pub mod natural;
+pub mod prelude;
+pub mod resolve;
+pub mod termination;
+pub mod wf;
+
+use body::BodyCtx;
+use collect::Scope;
+use genus_common::{Diagnostics, SourceMap, Symbol};
+use genus_syntax::ast;
+use genus_types::{ClassId, Model, ModelId, Table, Type};
+use std::collections::HashMap;
+
+/// The result of checking: the table plus lowered bodies, ready to run.
+#[derive(Debug)]
+pub struct CheckedProgram {
+    /// The semantic declaration table.
+    pub table: Table,
+    /// Instance/static method bodies: `(class, method index)`.
+    pub method_bodies: HashMap<(u32, u32), hir::Body>,
+    /// Constructor bodies: `(class, ctor index)`.
+    pub ctor_bodies: HashMap<(u32, u32), hir::Body>,
+    /// Top-level method bodies, by global index.
+    pub global_bodies: HashMap<u32, hir::Body>,
+    /// Model method bodies: `(model, method index)`.
+    pub model_bodies: HashMap<(u32, u32), hir::Body>,
+    /// Instance field initializers: `(class, field index)` — run at `new`.
+    pub field_inits: HashMap<(u32, u32), hir::Expr>,
+    /// Static field initializers in declaration order — run at startup.
+    pub static_inits: Vec<(ClassId, usize, hir::Expr)>,
+}
+
+impl CheckedProgram {
+    /// Finds the index of the entry method `main()` among globals.
+    pub fn main_index(&self) -> Option<usize> {
+        self.table
+            .globals
+            .iter()
+            .position(|g| g.name.as_str() == "main" && g.params.is_empty())
+    }
+}
+
+/// Checks one Genus source string (plus the prelude). Convenience for tests
+/// and examples; real embedders use [`check_program`] with their own source
+/// map.
+///
+/// # Errors
+///
+/// Returns the rendered diagnostics when checking fails.
+pub fn check_source(src: &str) -> Result<CheckedProgram, String> {
+    check_sources(&[("main.genus", src)])
+}
+
+/// Checks multiple Genus source files (plus the prelude).
+///
+/// # Errors
+///
+/// Returns the rendered diagnostics when checking fails.
+pub fn check_sources(sources: &[(&str, &str)]) -> Result<CheckedProgram, String> {
+    let mut sm = SourceMap::new();
+    let mut diags = Diagnostics::new();
+    let mut programs = Vec::new();
+    let pf = sm.add_file(prelude::PRELUDE_NAME, prelude::PRELUDE);
+    programs.push(genus_syntax::parse_program(&sm, pf, &mut diags));
+    for (name, src) in sources {
+        let f = sm.add_file(*name, *src);
+        programs.push(genus_syntax::parse_program(&sm, f, &mut diags));
+    }
+    if diags.has_errors() {
+        return Err(diags.render_all(&sm));
+    }
+    let checked = check_program(&programs, &mut diags);
+    if diags.has_errors() {
+        return Err(diags.render_all(&sm));
+    }
+    Ok(checked)
+}
+
+/// Runs the full checking pipeline over parsed programs (the prelude must be
+/// included by the caller; [`check_sources`] does this automatically).
+pub fn check_program(programs: &[ast::Program], diags: &mut Diagnostics) -> CheckedProgram {
+    let mut table = collect::collect(programs, diags);
+    termination::check_use_termination(&table, diags);
+    complete_signatures(&mut table, diags);
+    for i in 0..table.models.len() {
+        multimethod::check_model_conformance(&table, ModelId(i as u32), diags);
+    }
+    wf::check_hierarchy(&table, diags);
+    let mut checked = CheckedProgram {
+        table,
+        method_bodies: HashMap::new(),
+        ctor_bodies: HashMap::new(),
+        global_bodies: HashMap::new(),
+        model_bodies: HashMap::new(),
+        field_inits: HashMap::new(),
+        static_inits: Vec::new(),
+    };
+    check_bodies(&mut checked, diags);
+    checked
+}
+
+/// Builds the lexical scope of a class from the table (parameter names are
+/// their display names).
+fn scope_of_class(table: &Table, cid: ClassId) -> Scope {
+    let def = table.class(cid);
+    let mut scope = Scope::new();
+    for tv in &def.params {
+        scope.tvs.insert(table.tv_name(*tv), *tv);
+    }
+    for w in &def.wheres {
+        if w.named {
+            scope.mvs.insert(table.mv_name(w.mv), w.mv);
+        }
+    }
+    scope
+}
+
+fn scope_of_model(table: &Table, mid: ModelId) -> Scope {
+    let def = table.model(mid);
+    let mut scope = Scope::new();
+    for tv in &def.tparams {
+        scope.tvs.insert(table.tv_name(*tv), *tv);
+    }
+    for w in &def.wheres {
+        if w.named {
+            scope.mvs.insert(table.mv_name(w.mv), w.mv);
+        }
+    }
+    scope
+}
+
+fn enabled_of(wheres: &[genus_types::WhereReq]) -> Vec<(genus_types::ConstraintInst, Model)> {
+    wheres.iter().map(|w| (w.inst.clone(), Model::Var(w.mv))).collect()
+}
+
+/// The "self type" of a class: the class applied to its own parameters and
+/// witnesses.
+fn self_type(table: &Table, cid: ClassId) -> Type {
+    let def = table.class(cid);
+    Type::Class {
+        id: cid,
+        args: def.params.iter().map(|t| Type::Var(*t)).collect(),
+        models: def.wheres.iter().map(|w| Model::Var(w.mv)).collect(),
+    }
+}
+
+/// The self-model of a model declaration (enabled inside its own body,
+/// enablement source 4 of section 4.4).
+fn self_model(table: &Table, mid: ModelId) -> Model {
+    let def = table.model(mid);
+    Model::Decl {
+        id: mid,
+        type_args: def.tparams.iter().map(|t| Type::Var(*t)).collect(),
+        model_args: def.wheres.iter().map(|w| Model::Var(w.mv)).collect(),
+    }
+}
+
+/// Completes elided `with`-clause models in all collected signatures, using
+/// each declaration's own context (its `where` clauses) as the enablement
+/// environment.
+fn complete_signatures(table: &mut Table, diags: &mut Diagnostics) {
+    // Classes.
+    for ci in 0..table.classes.len() {
+        let cid = ClassId(ci as u32);
+        let def = table.classes[ci].clone();
+        let scope = scope_of_class(table, cid);
+        let enabled = enabled_of(&def.wheres);
+        let span = def.span;
+        let mut ctx =
+            BodyCtx::new(table, diags, scope.clone(), enabled.clone(), None, Type::void());
+        let extends = def.extends.clone().map(|t| ctx.complete_type(t, span));
+        let implements: Vec<Type> =
+            def.implements.iter().map(|t| ctx.complete_type(t.clone(), span)).collect();
+        let fields: Vec<Type> =
+            def.fields.iter().map(|f| ctx.complete_type(f.ty.clone(), span)).collect();
+        let ctor_params: Vec<Vec<Type>> = def
+            .ctors
+            .iter()
+            .map(|c| c.params.iter().map(|(_, t)| ctx.complete_type(t.clone(), span)).collect())
+            .collect();
+        drop(ctx);
+        // Methods get their own wheres added to the environment.
+        let mut method_sigs = Vec::new();
+        for m in &def.methods {
+            let mut en = enabled.clone();
+            en.extend(enabled_of(&m.wheres));
+            let mut mscope = scope.clone();
+            for tv in &m.tparams {
+                mscope.tvs.insert(table.tv_name(*tv), *tv);
+            }
+            let mut mctx = BodyCtx::new(table, diags, mscope, en, None, Type::void());
+            let params: Vec<Type> =
+                m.params.iter().map(|(_, t)| mctx.complete_type(t.clone(), m.span)).collect();
+            let ret = mctx.complete_type(m.ret.clone(), m.span);
+            method_sigs.push((params, ret));
+        }
+        let d = &mut table.classes[ci];
+        d.extends = extends;
+        d.implements = implements;
+        for (f, t) in d.fields.iter_mut().zip(fields) {
+            f.ty = t;
+        }
+        for (c, ps) in d.ctors.iter_mut().zip(ctor_params) {
+            for (p, t) in c.params.iter_mut().zip(ps) {
+                p.1 = t;
+            }
+        }
+        for (m, (ps, ret)) in d.methods.iter_mut().zip(method_sigs) {
+            for (p, t) in m.params.iter_mut().zip(ps) {
+                p.1 = t;
+            }
+            m.ret = ret;
+        }
+    }
+    // Models.
+    for mi in 0..table.models.len() {
+        let mid = ModelId(mi as u32);
+        let def = table.models[mi].clone();
+        let scope = scope_of_model(table, mid);
+        let mut enabled = enabled_of(&def.wheres);
+        enabled.push((def.for_inst.clone(), self_model(table, mid)));
+        let span = def.span;
+        let mut ctx = BodyCtx::new(table, diags, scope, enabled, None, Type::void());
+        let for_args: Vec<Type> =
+            def.for_inst.args.iter().map(|t| ctx.complete_type(t.clone(), span)).collect();
+        let extends: Vec<Model> =
+            def.extends.iter().map(|m| ctx.complete_model(m.clone(), span)).collect();
+        let methods: Vec<(Type, Vec<Type>, Type)> = def
+            .methods
+            .iter()
+            .map(|m| {
+                (
+                    ctx.complete_type(m.receiver.clone(), m.span),
+                    m.params
+                        .iter()
+                        .map(|(_, t)| ctx.complete_type(t.clone(), m.span))
+                        .collect(),
+                    ctx.complete_type(m.ret.clone(), m.span),
+                )
+            })
+            .collect();
+        drop(ctx);
+        let d = &mut table.models[mi];
+        d.for_inst.args = for_args;
+        d.extends = extends;
+        for (m, (recv, ps, ret)) in d.methods.iter_mut().zip(methods) {
+            m.receiver = recv;
+            for (p, t) in m.params.iter_mut().zip(ps) {
+                p.1 = t;
+            }
+            m.ret = ret;
+        }
+    }
+    // Globals.
+    for gi in 0..table.globals.len() {
+        let g = table.globals[gi].clone();
+        let mut scope = Scope::new();
+        for tv in &g.tparams {
+            scope.tvs.insert(table.tv_name(*tv), *tv);
+        }
+        for w in &g.wheres {
+            if w.named {
+                scope.mvs.insert(table.mv_name(w.mv), w.mv);
+            }
+        }
+        let enabled = enabled_of(&g.wheres);
+        let mut ctx = BodyCtx::new(table, diags, scope, enabled, None, Type::void());
+        let params: Vec<Type> =
+            g.params.iter().map(|(_, t)| ctx.complete_type(t.clone(), g.span)).collect();
+        let ret = ctx.complete_type(g.ret.clone(), g.span);
+        drop(ctx);
+        let d = &mut table.globals[gi];
+        for (p, t) in d.params.iter_mut().zip(params) {
+            p.1 = t;
+        }
+        d.ret = ret;
+    }
+}
+
+fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
+    let table = &mut checked.table;
+    // Class members.
+    for ci in 0..table.classes.len() {
+        let cid = ClassId(ci as u32);
+        let def = table.classes[ci].clone();
+        let scope = scope_of_class(table, cid);
+        let enabled = enabled_of(&def.wheres);
+        let this_ty = self_type(table, cid);
+        // Field initializers.
+        for (fi, f) in def.fields.iter().enumerate() {
+            if let Some(init) = &f.init {
+                let mut ctx = BodyCtx::new(
+                    table,
+                    diags,
+                    scope.clone(),
+                    enabled.clone(),
+                    if f.is_static { None } else { Some(this_ty.clone()) },
+                    Type::void(),
+                );
+                ctx.set_owner_class(cid);
+                if !f.is_static {
+                    ctx.declare_param(Symbol::intern("this"), this_ty.clone());
+                }
+                let h = ctx.check_expr(init);
+                let h = ctx.coerce(h, &f.ty, init.span);
+                drop(ctx);
+                if f.is_static {
+                    checked.static_inits.push((cid, fi, h));
+                } else {
+                    checked.field_inits.insert((cid.0, fi as u32), h);
+                }
+            }
+        }
+        // Constructors.
+        for (ki, ctor) in def.ctors.iter().enumerate() {
+            let mut ctx = BodyCtx::new(
+                table,
+                diags,
+                scope.clone(),
+                enabled.clone(),
+                Some(this_ty.clone()),
+                Type::void(),
+            );
+            ctx.set_owner_class(cid);
+            ctx.declare_param(Symbol::intern("this"), this_ty.clone());
+            for (n, t) in &ctor.params {
+                ctx.declare_param(*n, t.clone());
+            }
+            let block = ctx.check_block(&ctor.body);
+            let num_locals = ctx.finish();
+            checked.ctor_bodies.insert((cid.0, ki as u32), hir::Body { num_locals, block });
+        }
+        // Methods.
+        for (mi, m) in def.methods.iter().enumerate() {
+            let Some(body) = &m.body else { continue };
+            if m.is_native {
+                continue;
+            }
+            let mut mscope = scope.clone();
+            for tv in &m.tparams {
+                mscope.tvs.insert(table.tv_name(*tv), *tv);
+            }
+            for w in &m.wheres {
+                if w.named {
+                    mscope.mvs.insert(table.mv_name(w.mv), w.mv);
+                }
+            }
+            let mut en = enabled.clone();
+            en.extend(enabled_of(&m.wheres));
+            let mut ctx = BodyCtx::new(
+                table,
+                diags,
+                mscope,
+                en,
+                if m.is_static { None } else { Some(this_ty.clone()) },
+                m.ret.clone(),
+            );
+            ctx.set_owner_class(cid);
+            if !m.is_static {
+                ctx.declare_param(Symbol::intern("this"), this_ty.clone());
+            }
+            for (n, t) in &m.params {
+                ctx.declare_param(*n, t.clone());
+            }
+            let block = ctx.check_block(body);
+            let num_locals = ctx.finish();
+            checked.method_bodies.insert((cid.0, mi as u32), hir::Body { num_locals, block });
+        }
+    }
+    // Model methods.
+    for mi in 0..table.models.len() {
+        let mid = ModelId(mi as u32);
+        let def = table.models[mi].clone();
+        let scope = scope_of_model(table, mid);
+        let mut enabled = enabled_of(&def.wheres);
+        enabled.push((def.for_inst.clone(), self_model(table, mid)));
+        for (ki, m) in def.methods.iter().enumerate() {
+            let mut ctx = BodyCtx::new(
+                table,
+                diags,
+                scope.clone(),
+                enabled.clone(),
+                if m.is_static { None } else { Some(m.receiver.clone()) },
+                m.ret.clone(),
+            );
+            if !m.is_static {
+                ctx.declare_param(Symbol::intern("this"), m.receiver.clone());
+            }
+            for (n, t) in &m.params {
+                ctx.declare_param(*n, t.clone());
+            }
+            let block = ctx.check_block(&m.body);
+            let num_locals = ctx.finish();
+            checked.model_bodies.insert((mid.0, ki as u32), hir::Body { num_locals, block });
+        }
+    }
+    // Globals.
+    for gi in 0..table.globals.len() {
+        let g = table.globals[gi].clone();
+        let Some(body) = &g.body else { continue };
+        if g.is_native {
+            continue;
+        }
+        let mut scope = Scope::new();
+        for tv in &g.tparams {
+            scope.tvs.insert(table.tv_name(*tv), *tv);
+        }
+        for w in &g.wheres {
+            if w.named {
+                scope.mvs.insert(table.mv_name(w.mv), w.mv);
+            }
+        }
+        let enabled = enabled_of(&g.wheres);
+        let mut ctx = BodyCtx::new(table, diags, scope, enabled, None, g.ret.clone());
+        for (n, t) in &g.params {
+            ctx.declare_param(*n, t.clone());
+        }
+        let block = ctx.check_block(body);
+        let num_locals = ctx.finish();
+        checked.global_bodies.insert(gi as u32, hir::Body { num_locals, block });
+    }
+}

@@ -1,0 +1,175 @@
+//! Structural conformance and natural models (§3.3): "when the methods of a
+//! type have the same names as the operations required by a constraint, and
+//! also have conformant signatures, the type automatically generates a
+//! natural model that witnesses the constraint."
+
+use crate::methods::{lookup_methods_patched, FoundMethod};
+use genus_types::{is_subtype, ConstraintInst, Subst, Table, Type};
+
+/// Whether the argument types of `inst` structurally conform to the
+/// constraint, so that a natural model exists. Prerequisite constraints must
+/// conform too (a natural model witnesses everything the constraint entails).
+pub fn conforms(table: &Table, inst: &ConstraintInst) -> bool {
+    conforms_depth(table, inst, 16)
+}
+
+fn conforms_depth(table: &Table, inst: &ConstraintInst, depth: usize) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    let def = table.constraint(inst.id);
+    if def.params.len() != inst.args.len() {
+        return false;
+    }
+    let subst = Subst::from_pairs(&def.params, &inst.args);
+    for op in &def.ops {
+        if !op_satisfied(table, &subst, op) {
+            return false;
+        }
+    }
+    for pre in &def.prereqs {
+        if !conforms_depth(table, &subst.apply_inst(pre), depth - 1) {
+            return false;
+        }
+    }
+    true
+}
+
+fn op_satisfied(table: &Table, subst: &Subst, op: &genus_types::ConstraintOp) -> bool {
+    let recv_ty = subst.apply(&Type::Var(op.receiver));
+    let required_params: Vec<Type> = op.params.iter().map(|(_, t)| subst.apply(t)).collect();
+    let required_ret = subst.apply(&op.ret);
+    // Every type supports the universal static `default()` (§3.1).
+    if op.is_static
+        && op.name.as_str() == "default"
+        && required_params.is_empty()
+        && genus_types::subtype::type_eq(table, &required_ret, &recv_ty)
+    {
+        return true;
+    }
+    let candidates = lookup_methods_patched(table, &recv_ty, op.name);
+    candidates.iter().any(|m| signature_conforms(table, m, op.is_static, &required_params, &required_ret))
+}
+
+/// Whether a found method can implement an operation requiring
+/// `required_params -> required_ret`: parameters contravariant, return
+/// covariant.
+pub fn signature_conforms(
+    table: &Table,
+    m: &FoundMethod,
+    is_static: bool,
+    required_params: &[Type],
+    required_ret: &Type,
+) -> bool {
+    if m.is_static != is_static || m.params.len() != required_params.len() {
+        return false;
+    }
+    if !m.tparams.is_empty() || !m.wheres.is_empty() {
+        // Generic methods do not participate in structural conformance.
+        return false;
+    }
+    for (req, decl) in required_params.iter().zip(&m.params) {
+        if !is_subtype(table, req, decl) {
+            return false;
+        }
+    }
+    is_subtype(table, &m.ret, required_ret) || required_ret.is_void()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_common::Symbol;
+    use genus_types::{ConstraintDef, ConstraintOp, PrimTy, Table, TvId};
+
+    fn eq_like(table: &mut Table, name: &str, op_name: &str) -> genus_types::ConstraintId {
+        let t = table.fresh_tv(Symbol::intern("T"));
+        table.add_constraint(ConstraintDef {
+            name: Symbol::intern(name),
+            params: vec![t],
+            prereqs: vec![],
+            ops: vec![ConstraintOp {
+                name: Symbol::intern(op_name),
+                is_static: false,
+                receiver: t,
+                params: vec![(Symbol::intern("o"), Type::Var(t))],
+                ret: Type::Prim(PrimTy::Boolean),
+                span: genus_common::Span::dummy(),
+            }],
+            variance: vec![],
+            span: genus_common::Span::dummy(),
+        })
+    }
+
+    #[test]
+    fn int_conforms_to_eq_like() {
+        let mut table = Table::new();
+        let eq = eq_like(&mut table, "Eq", "equals");
+        let inst = ConstraintInst { id: eq, args: vec![Type::Prim(PrimTy::Int)] };
+        assert!(conforms(&table, &inst));
+    }
+
+    #[test]
+    fn int_does_not_conform_to_renamed_op() {
+        let mut table = Table::new();
+        let weird = eq_like(&mut table, "Weird", "definitelyNotAnIntMethod");
+        let inst = ConstraintInst { id: weird, args: vec![Type::Prim(PrimTy::Int)] };
+        assert!(!conforms(&table, &inst));
+    }
+
+    #[test]
+    fn static_ring_ops_conform_for_numeric_prims() {
+        let mut table = Table::new();
+        let t = table.fresh_tv(Symbol::intern("T"));
+        let ring = table.add_constraint(ConstraintDef {
+            name: Symbol::intern("Ring"),
+            params: vec![t],
+            prereqs: vec![],
+            ops: vec![
+                ConstraintOp {
+                    name: Symbol::intern("zero"),
+                    is_static: true,
+                    receiver: t,
+                    params: vec![],
+                    ret: Type::Var(t),
+                    span: genus_common::Span::dummy(),
+                },
+                ConstraintOp {
+                    name: Symbol::intern("plus"),
+                    is_static: false,
+                    receiver: t,
+                    params: vec![(Symbol::intern("o"), Type::Var(t))],
+                    ret: Type::Var(t),
+                    span: genus_common::Span::dummy(),
+                },
+            ],
+            variance: vec![],
+            span: genus_common::Span::dummy(),
+        });
+        assert!(conforms(&table, &ConstraintInst { id: ring, args: vec![Type::Prim(PrimTy::Double)] }));
+        assert!(!conforms(&table, &ConstraintInst { id: ring, args: vec![Type::Prim(PrimTy::Boolean)] }));
+    }
+
+    #[test]
+    fn default_is_universal() {
+        let mut table = Table::new();
+        let t = table.fresh_tv(Symbol::intern("T"));
+        let d = table.add_constraint(ConstraintDef {
+            name: Symbol::intern("Defaultable"),
+            params: vec![t],
+            prereqs: vec![],
+            ops: vec![ConstraintOp {
+                name: Symbol::intern("default"),
+                is_static: true,
+                receiver: t,
+                params: vec![],
+                ret: Type::Var(t),
+                span: genus_common::Span::dummy(),
+            }],
+            variance: vec![],
+            span: genus_common::Span::dummy(),
+        });
+        assert!(conforms(&table, &ConstraintInst { id: d, args: vec![Type::Prim(PrimTy::Boolean)] }));
+        let _ = TvId(0);
+    }
+}

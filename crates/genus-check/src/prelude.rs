@@ -1,0 +1,83 @@
+//! The built-in Genus prelude: `Object`, `String`, core constraints, and the
+//! iteration protocol. Parsed and collected before user programs.
+
+/// Genus source of the prelude.
+///
+/// Notes:
+/// * `Object` deliberately has no `equals`: a class conforms to `Eq` only if
+///   it (or a superclass) declares a suitable `equals`, keeping natural
+///   models meaningful.
+/// * `String` has the methods the paper assumes (§3.3 footnote): `equals`,
+///   `compareTo`, plus the case-insensitive variants used by `CIEq`/`CICmp`.
+/// * Primitive types have built-in methods (see
+///   [`crate::methods::prim_methods`]); they are not declared here.
+pub const PRELUDE: &str = r#"
+class Object {
+    Object() { }
+    native int hashCode();
+    native String toString();
+}
+
+class String {
+    native boolean equals(String other);
+    native int compareTo(String other);
+    native boolean equalsIgnoreCase(String other);
+    native int compareToIgnoreCase(String other);
+    native int length();
+    native char charAt(int i);
+    native String substring(int lo, int hi);
+    native String concat(String other);
+    native int hashCode();
+    native String toLowerCase();
+    native int indexOf(String sub);
+    native String toString();
+}
+
+constraint Eq[T] {
+    boolean equals(T other);
+}
+
+constraint Hashable[T] extends Eq[T] {
+    int hashCode();
+}
+
+constraint Comparable[T] extends Eq[T] {
+    int compareTo(T other);
+}
+
+constraint Cloneable[T] {
+    T clone();
+}
+
+constraint Printable[T] {
+    String toString();
+}
+
+interface Iterator[E] {
+    boolean hasNext();
+    E next();
+}
+
+interface Iterable[E] {
+    Iterator[E] iterator();
+}
+"#;
+
+/// File name used for the prelude in diagnostics.
+pub const PRELUDE_NAME: &str = "<prelude>";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_common::{Diagnostics, SourceMap};
+
+    #[test]
+    fn prelude_parses_cleanly() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file(PRELUDE_NAME, PRELUDE);
+        let mut d = Diagnostics::new();
+        let p = genus_syntax::parse_program(&sm, f, &mut d);
+        assert!(!d.has_errors(), "{}", d.render_all(&sm));
+        assert_eq!(p.decls.len(), 9);
+    }
+}

@@ -1,0 +1,469 @@
+//! Default model resolution (§4.4, §4.7).
+//!
+//! When a `with` clause is omitted, Genus resolves a default model. Models
+//! are *enabled* as default candidates in four ways:
+//!
+//! 1. natural models, when the types structurally conform;
+//! 2. models introduced by `where` clauses in scope;
+//! 3. models enabled by `use` declarations (possibly parameterized — their
+//!    subgoals are resolved recursively);
+//! 4. a model inside its own definition.
+//!
+//! Resolution rules: a unique enabled model wins; more than one enabled
+//! model is an ambiguity error that requires an explicit `with`; if none is
+//! enabled, a unique in-scope declared model witnessing the constraint wins.
+
+use crate::entail::{entails, prereq_closure};
+use crate::natural::conforms;
+use genus_types::{
+    unify::unify, ConstraintInst, Model, Subst, Table, Type,
+};
+use std::cell::Cell;
+
+/// Maximum recursion depth for subgoal resolution — a belt-and-braces bound
+/// on top of the syntactic termination restriction (§9).
+pub const MAX_DEPTH: usize = 32;
+
+/// Why resolution failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolveError {
+    /// More than one model is enabled; programmer intent is ambiguous and an
+    /// explicit `with` clause is required (§4.4 rule 2).
+    Ambiguous(Vec<Model>),
+    /// No enabled or uniquely in-scope model witnesses the constraint.
+    NotFound,
+    /// Recursion bound exceeded.
+    DepthExceeded,
+}
+
+/// Resolution context: the table plus the models enabled in the current
+/// scope (where-clause witnesses, self-enabled models, capture-converted
+/// witnesses).
+pub struct ResolveCtx<'a> {
+    /// The program.
+    pub table: &'a Table,
+    /// Scope-enabled witnesses: `(what it witnesses, the witness)`.
+    pub enabled: &'a [(ConstraintInst, Model)],
+    /// Source of fresh inference variables.
+    pub next_infer: &'a Cell<u32>,
+}
+
+impl<'a> ResolveCtx<'a> {
+    /// Creates a context.
+    pub fn new(
+        table: &'a Table,
+        enabled: &'a [(ConstraintInst, Model)],
+        next_infer: &'a Cell<u32>,
+    ) -> Self {
+        ResolveCtx { table, enabled, next_infer }
+    }
+
+    fn fresh_infer(&self) -> u32 {
+        let i = self.next_infer.get();
+        self.next_infer.set(i + 1);
+        i
+    }
+}
+
+/// Resolves the default model for `inst`.
+///
+/// # Errors
+///
+/// See [`ResolveError`].
+pub fn resolve_default(ctx: &ResolveCtx<'_>, inst: &ConstraintInst) -> Result<Model, ResolveError> {
+    resolve_depth(ctx, inst, MAX_DEPTH)
+}
+
+fn resolve_depth(
+    ctx: &ResolveCtx<'_>,
+    inst: &ConstraintInst,
+    depth: usize,
+) -> Result<Model, ResolveError> {
+    if depth == 0 {
+        return Err(ResolveError::DepthExceeded);
+    }
+    if inst.args.iter().any(Type::has_infer) {
+        // Resolution never guides unification (§4.7); with unsolved types we
+        // cannot decide.
+        return Err(ResolveError::NotFound);
+    }
+    let mut candidates: Vec<Model> = Vec::new();
+    let mut push = |table: &Table, m: Model| {
+        if !candidates.iter().any(|c| genus_types::subtype::model_eq(table, c, &m)) {
+            candidates.push(m);
+        }
+    };
+    // 1. Natural model.
+    if conforms(ctx.table, inst) {
+        push(ctx.table, Model::Natural { inst: inst.clone() });
+    }
+    // 2. Scope-enabled witnesses (where clauses, self-models, captures),
+    //    through entailment.
+    for (winst, model) in ctx.enabled {
+        if entails(ctx.table, winst, inst) {
+            push(ctx.table, model.clone());
+        }
+    }
+    // 3. `use`-enabled models, with recursive subgoal resolution.
+    for u in &ctx.table.uses {
+        if let Some(m) = try_use(ctx, u, inst, depth) {
+            push(ctx.table, m);
+        }
+    }
+    match candidates.len() {
+        1 => return Ok(candidates.pop().expect("len checked")),
+        0 => {}
+        _ => return Err(ResolveError::Ambiguous(candidates)),
+    }
+    // Rule 3: no enabled model — a unique in-scope declared model.
+    let mut in_scope: Vec<Model> = Vec::new();
+    for (i, _) in ctx.table.models.iter().enumerate() {
+        let mid = genus_types::ModelId(i as u32);
+        if let Some(m) = try_declared(ctx, mid, inst, depth) {
+            if !in_scope.iter().any(|c| genus_types::subtype::model_eq(ctx.table, c, &m)) {
+                in_scope.push(m);
+            }
+        }
+    }
+    match in_scope.len() {
+        1 => Ok(in_scope.pop().expect("len checked")),
+        0 => Err(ResolveError::NotFound),
+        _ => Err(ResolveError::Ambiguous(in_scope)),
+    }
+}
+
+/// Tries to use a `use` declaration to witness `inst`: unify its enabled
+/// constraint with the goal, then resolve its subgoals recursively.
+fn try_use(
+    ctx: &ResolveCtx<'_>,
+    u: &genus_types::UseDef,
+    inst: &ConstraintInst,
+    depth: usize,
+) -> Option<Model> {
+    instantiate_and_match(ctx, &u.tparams, &u.wheres, &u.model, &u.for_inst, inst, depth)
+}
+
+/// Tries a declared model directly (rule 3): its `for` constraint — or any
+/// constraint in the prerequisite closure — must unify with the goal, and
+/// its own `where` subgoals must resolve.
+fn try_declared(
+    ctx: &ResolveCtx<'_>,
+    mid: genus_types::ModelId,
+    inst: &ConstraintInst,
+    depth: usize,
+) -> Option<Model> {
+    let def = ctx.table.model(mid);
+    let self_model = Model::Decl {
+        id: mid,
+        type_args: def.tparams.iter().map(|t| Type::Var(*t)).collect(),
+        model_args: def.wheres.iter().map(|w| Model::Var(w.mv)).collect(),
+    };
+    // Non-generic models may also match through variance-based entailment.
+    if def.tparams.is_empty() && def.wheres.is_empty() {
+        if entails(ctx.table, &def.for_inst, inst) {
+            return Some(self_model);
+        }
+        return None;
+    }
+    for head in prereq_closure(ctx.table, &def.for_inst) {
+        if let Some(m) =
+            instantiate_and_match(ctx, &def.tparams, &def.wheres, &self_model, &head, inst, depth)
+        {
+            return Some(m);
+        }
+    }
+    None
+}
+
+/// Shared engine: freshen `tparams`/`wheres`, unify `head` against the goal,
+/// resolve subgoals, and return the substituted `model`.
+fn instantiate_and_match(
+    ctx: &ResolveCtx<'_>,
+    tparams: &[genus_types::TvId],
+    wheres: &[genus_types::WhereReq],
+    model: &Model,
+    head: &ConstraintInst,
+    goal: &ConstraintInst,
+    depth: usize,
+) -> Option<Model> {
+    if head.id != goal.id {
+        return None;
+    }
+    // Freshen the declaration's type parameters as inference variables.
+    let mut inst_subst = Subst::new();
+    let mut infer_ids = Vec::new();
+    for tp in tparams {
+        let i = ctx.fresh_infer();
+        infer_ids.push(i);
+        inst_subst.tys.insert(*tp, Type::Infer(i));
+    }
+    let head = inst_subst.apply_inst(head);
+    let mut solution = Subst::new();
+    for (h, g) in head.args.iter().zip(&goal.args) {
+        if unify(ctx.table, h, g, &mut solution).is_err() {
+            return None;
+        }
+    }
+    // All type parameters must be determined by the head match.
+    for i in &infer_ids {
+        if solution.apply(&Type::Infer(*i)).has_infer() {
+            return None;
+        }
+    }
+    // Resolve subgoals recursively.
+    let mut model_subst = Subst::new();
+    for w in wheres {
+        let sub = solution.apply_inst(&inst_subst.apply_inst(&w.inst));
+        match resolve_depth(ctx, &sub, depth - 1) {
+            Ok(m) => {
+                model_subst.models.insert(w.mv, m);
+            }
+            Err(_) => return None,
+        }
+    }
+    let m = inst_subst.apply_model(model);
+    let m = solution.apply_model(&m);
+    Some(model_subst.apply_model(&m))
+}
+
+/// Resolution for an elided *expander* (§4.4): find the unique enabled model
+/// containing an operation `name` applicable to a receiver of type
+/// `recv_ty`. Returns `(model, constraint-instantiation)` candidates.
+pub fn resolve_expander(
+    ctx: &ResolveCtx<'_>,
+    recv_ty: &Type,
+    name: genus_common::Symbol,
+    arity: usize,
+) -> Vec<(ConstraintInst, Model)> {
+    let mut out: Vec<(ConstraintInst, Model)> = Vec::new();
+    for (winst, model) in ctx.enabled {
+        for inst in prereq_closure(ctx.table, winst) {
+            let def = ctx.table.constraint(inst.id);
+            let subst = Subst::from_pairs(&def.params, &inst.args);
+            for op in &def.ops {
+                if op.name == name && op.params.len() == arity && !op.is_static {
+                    let r = subst.apply(&Type::Var(op.receiver));
+                    if genus_types::is_subtype(ctx.table, recv_ty, &r)
+                        && !out.iter().any(|(i2, m2)| {
+                            i2 == &inst && genus_types::subtype::model_eq(ctx.table, m2, model)
+                        }) {
+                            out.push((inst.clone(), model.clone()));
+                        }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_common::{Span, Symbol};
+    use genus_types::{ConstraintDef, ConstraintOp, ModelDef, PrimTy, Table};
+
+    fn eq_constraint(tb: &mut Table) -> genus_types::ConstraintId {
+        let t = tb.fresh_tv(Symbol::intern("T"));
+        tb.add_constraint(ConstraintDef {
+            name: Symbol::intern("Eq"),
+            params: vec![t],
+            prereqs: vec![],
+            ops: vec![ConstraintOp {
+                name: Symbol::intern("equals"),
+                is_static: false,
+                receiver: t,
+                params: vec![(Symbol::intern("o"), Type::Var(t))],
+                ret: Type::Prim(PrimTy::Boolean),
+                span: Span::dummy(),
+            }],
+            variance: vec![],
+            span: Span::dummy(),
+        })
+    }
+
+    #[test]
+    fn natural_model_wins() {
+        let mut tb = Table::new();
+        let eq = eq_constraint(&mut tb);
+        genus_types::variance::store_variances(&mut tb);
+        let next = Cell::new(0);
+        let enabled = vec![];
+        let ctx = ResolveCtx::new(&tb, &enabled, &next);
+        let inst = ConstraintInst { id: eq, args: vec![Type::Prim(PrimTy::Int)] };
+        let m = resolve_default(&ctx, &inst).unwrap();
+        assert_eq!(m, Model::Natural { inst });
+    }
+
+    #[test]
+    fn where_clause_model_and_natural_conflict_is_ambiguous() {
+        let mut tb = Table::new();
+        let eq = eq_constraint(&mut tb);
+        genus_types::variance::store_variances(&mut tb);
+        let mv = tb.fresh_mv(Symbol::intern("c"));
+        let inst = ConstraintInst { id: eq, args: vec![Type::Prim(PrimTy::Int)] };
+        let enabled = vec![(inst.clone(), Model::Var(mv))];
+        let next = Cell::new(0);
+        let ctx = ResolveCtx::new(&tb, &enabled, &next);
+        match resolve_default(&ctx, &inst) {
+            Err(ResolveError::Ambiguous(ms)) => assert_eq!(ms.len(), 2),
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_clause_model_wins_without_natural() {
+        let mut tb = Table::new();
+        let eq = eq_constraint(&mut tb);
+        genus_types::variance::store_variances(&mut tb);
+        let mv = tb.fresh_mv(Symbol::intern("c"));
+        // A type variable does not conform structurally (no bound), so only
+        // the where-clause model witnesses Eq[T].
+        let tv = tb.fresh_tv(Symbol::intern("T"));
+        let inst = ConstraintInst { id: eq, args: vec![Type::Var(tv)] };
+        let enabled = vec![(inst.clone(), Model::Var(mv))];
+        let next = Cell::new(0);
+        let ctx = ResolveCtx::new(&tb, &enabled, &next);
+        assert_eq!(resolve_default(&ctx, &inst).unwrap(), Model::Var(mv));
+    }
+
+    #[test]
+    fn unique_in_scope_model_rule3() {
+        let mut tb = Table::new();
+        let eq = eq_constraint(&mut tb);
+        genus_types::variance::store_variances(&mut tb);
+        let tv = tb.fresh_tv(Symbol::intern("T"));
+        let inst = ConstraintInst { id: eq, args: vec![Type::Var(tv)] };
+        tb.add_model(ModelDef {
+            name: Symbol::intern("OnlyEq"),
+            tparams: vec![],
+            wheres: vec![],
+            for_inst: inst.clone(),
+            extends: vec![],
+            methods: vec![],
+            span: Span::dummy(),
+        });
+        let enabled = vec![];
+        let next = Cell::new(0);
+        let ctx = ResolveCtx::new(&tb, &enabled, &next);
+        match resolve_default(&ctx, &inst).unwrap() {
+            Model::Decl { id, .. } => assert_eq!(tb.model(id).name.as_str(), "OnlyEq"),
+            other => panic!("expected declared model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameterized_use_resolves_recursively() {
+        // constraint Cl[T]; use [E where Cl[E] c] M[E with c] for Cl[Box[E]];
+        // Resolving Cl[Box[int]] requires the subgoal Cl[int] (natural).
+        let mut tb = Table::new();
+        let t = tb.fresh_tv(Symbol::intern("T"));
+        let cl = tb.add_constraint(ConstraintDef {
+            name: Symbol::intern("Cl"),
+            params: vec![t],
+            prereqs: vec![],
+            ops: vec![ConstraintOp {
+                name: Symbol::intern("hashCode"),
+                is_static: false,
+                receiver: t,
+                params: vec![],
+                ret: Type::Prim(PrimTy::Int),
+                span: Span::dummy(),
+            }],
+            variance: vec![],
+            span: Span::dummy(),
+        });
+        let box_param = tb.fresh_tv(Symbol::intern("E"));
+        let bx = tb.add_class(genus_types::ClassDef {
+            name: Symbol::intern("Box"),
+            is_interface: false,
+            is_abstract: false,
+            params: vec![box_param],
+            wheres: vec![],
+            extends: None,
+            implements: vec![],
+            fields: vec![],
+            ctors: vec![],
+            methods: vec![],
+            span: Span::dummy(),
+        });
+        genus_types::variance::store_variances(&mut tb);
+        let e = tb.fresh_tv(Symbol::intern("E"));
+        let c = tb.fresh_mv(Symbol::intern("c"));
+        let box_e = Type::Class { id: bx, args: vec![Type::Var(e)], models: vec![] };
+        let mid = tb.add_model(ModelDef {
+            name: Symbol::intern("M"),
+            tparams: vec![e],
+            wheres: vec![genus_types::WhereReq {
+                inst: ConstraintInst { id: cl, args: vec![Type::Var(e)] },
+                mv: c,
+                named: true,
+            }],
+            for_inst: ConstraintInst { id: cl, args: vec![box_e.clone()] },
+            extends: vec![],
+            methods: vec![],
+            span: Span::dummy(),
+        });
+        tb.uses.push(genus_types::UseDef {
+            tparams: vec![e],
+            wheres: vec![genus_types::WhereReq {
+                inst: ConstraintInst { id: cl, args: vec![Type::Var(e)] },
+                mv: c,
+                named: true,
+            }],
+            model: Model::Decl {
+                id: mid,
+                type_args: vec![Type::Var(e)],
+                model_args: vec![Model::Var(c)],
+            },
+            for_inst: ConstraintInst { id: cl, args: vec![box_e] },
+            span: Span::dummy(),
+        });
+        let box_int =
+            Type::Class { id: bx, args: vec![Type::Prim(PrimTy::Int)], models: vec![] };
+        let goal = ConstraintInst { id: cl, args: vec![box_int] };
+        let enabled = vec![];
+        let next = Cell::new(0);
+        let ctx = ResolveCtx::new(&tb, &enabled, &next);
+        match resolve_default(&ctx, &goal).unwrap() {
+            Model::Decl { id, type_args, model_args } => {
+                assert_eq!(id, mid);
+                assert_eq!(type_args, vec![Type::Prim(PrimTy::Int)]);
+                assert_eq!(
+                    model_args,
+                    vec![Model::Natural {
+                        inst: ConstraintInst { id: cl, args: vec![Type::Prim(PrimTy::Int)] }
+                    }]
+                );
+            }
+            other => panic!("expected instantiated model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_subgoal_removes_candidate() {
+        // Same as above but the element type does not satisfy Cl.
+        let mut tb = Table::new();
+        let t = tb.fresh_tv(Symbol::intern("T"));
+        let cl = tb.add_constraint(ConstraintDef {
+            name: Symbol::intern("Cl"),
+            params: vec![t],
+            prereqs: vec![],
+            ops: vec![ConstraintOp {
+                name: Symbol::intern("definitelyMissing"),
+                is_static: false,
+                receiver: t,
+                params: vec![],
+                ret: Type::Prim(PrimTy::Int),
+                span: Span::dummy(),
+            }],
+            variance: vec![],
+            span: Span::dummy(),
+        });
+        genus_types::variance::store_variances(&mut tb);
+        let goal = ConstraintInst { id: cl, args: vec![Type::Prim(PrimTy::Int)] };
+        let enabled = vec![];
+        let next = Cell::new(0);
+        let ctx = ResolveCtx::new(&tb, &enabled, &next);
+        assert_eq!(resolve_default(&ctx, &goal), Err(ResolveError::NotFound));
+    }
+}

@@ -1,0 +1,197 @@
+//! Syntactic termination restriction for recursive default model resolution
+//! (§4.7, §9).
+//!
+//! Parameterized `use` declarations create recursive resolution subgoals. We
+//! adopt Paterson-style conditions (synthesizing the restrictions the paper
+//! cites from Sulzmann et al. and Greenman et al.): for every subgoal
+//! constraint of a `use` declaration,
+//!
+//! 1. no type variable occurs more often in the subgoal than in the head,
+//!    and
+//! 2. the subgoal's arguments are strictly smaller (fewer constructors and
+//!    variables) than the head's.
+//!
+//! Under these conditions every resolution chain strictly decreases a
+//! well-founded measure, so resolution terminates — the repository's
+//! property tests exercise this on randomly generated use-sets. The
+//! declaration `use DualGraph;` is rejected here: its subgoal
+//! `GraphLike[V,E]` is exactly as large as its head.
+
+use genus_common::Diagnostics;
+use genus_types::{ConstraintInst, Table, TvId, Type, UseDef};
+use std::collections::HashMap;
+
+/// Checks every `use` declaration in the table, reporting violations.
+pub fn check_use_termination(table: &Table, diags: &mut Diagnostics) {
+    for u in &table.uses {
+        if let Err(msg) = use_terminates(u) {
+            diags.error(
+                u.span,
+                format!(
+                    "use declaration violates the termination restriction: {msg} \
+                     (select the model explicitly with a `with` clause instead)"
+                ),
+            );
+        }
+    }
+}
+
+/// Whether one `use` declaration satisfies the syntactic restriction.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the violated condition.
+pub fn use_terminates(u: &UseDef) -> Result<(), String> {
+    let head_size = inst_size(&u.for_inst);
+    let head_occ = occurrences(&u.for_inst);
+    for w in &u.wheres {
+        let goal_size = inst_size(&w.inst);
+        if goal_size >= head_size {
+            return Err(format!(
+                "a subgoal constraint is not smaller than the enabled constraint \
+                 (size {goal_size} vs {head_size})"
+            ));
+        }
+        for (tv, n) in occurrences(&w.inst) {
+            let allowed = head_occ.get(&tv).copied().unwrap_or(0);
+            if n > allowed {
+                return Err(
+                    "a type variable occurs more often in a subgoal than in the enabled constraint"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Term size of an instantiation: constructors + variables across its
+/// arguments.
+pub fn inst_size(inst: &ConstraintInst) -> usize {
+    inst.args.iter().map(type_size).sum()
+}
+
+fn type_size(t: &Type) -> usize {
+    match t {
+        Type::Prim(_) | Type::Null | Type::Var(_) | Type::Infer(_) => 1,
+        Type::Array(e) => 1 + type_size(e),
+        Type::Class { args, .. } => 1 + args.iter().map(type_size).sum::<usize>(),
+        Type::Existential { body, wheres, .. } => {
+            1 + type_size(body)
+                + wheres.iter().map(|w| inst_size(&w.inst)).sum::<usize>()
+        }
+    }
+}
+
+fn occurrences(inst: &ConstraintInst) -> HashMap<TvId, usize> {
+    let mut map = HashMap::new();
+    for a in &inst.args {
+        count(a, &mut map);
+    }
+    map
+}
+
+fn count(t: &Type, map: &mut HashMap<TvId, usize>) {
+    match t {
+        Type::Var(v) => *map.entry(*v).or_insert(0) += 1,
+        Type::Prim(_) | Type::Null | Type::Infer(_) => {}
+        Type::Array(e) => count(e, map),
+        Type::Class { args, .. } => {
+            for a in args {
+                count(a, map);
+            }
+        }
+        Type::Existential { body, wheres, .. } => {
+            count(body, map);
+            for w in wheres {
+                for a in &w.inst.args {
+                    count(a, map);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_common::Span;
+    use genus_types::{ConstraintId, Model, MvId, WhereReq};
+
+    fn mk_use(head_args: Vec<Type>, goal_args: Vec<Vec<Type>>) -> UseDef {
+        UseDef {
+            tparams: vec![],
+            wheres: goal_args
+                .into_iter()
+                .enumerate()
+                .map(|(i, args)| WhereReq {
+                    inst: ConstraintInst { id: ConstraintId(0), args },
+                    mv: MvId(i as u32),
+                    named: false,
+                })
+                .collect(),
+            model: Model::Var(MvId(99)),
+            for_inst: ConstraintInst { id: ConstraintId(0), args: head_args },
+            span: Span::dummy(),
+        }
+    }
+
+    #[test]
+    fn dualgraph_style_use_rejected() {
+        // use [V,E where GraphLike[V,E]] DualGraph[...] for GraphLike[V,E]:
+        // the subgoal equals the head in size.
+        let v = Type::Var(TvId(0));
+        let e = Type::Var(TvId(1));
+        let u = mk_use(vec![v.clone(), e.clone()], vec![vec![v, e]]);
+        assert!(use_terminates(&u).is_err());
+    }
+
+    #[test]
+    fn deepcopy_style_use_accepted() {
+        // use [E where Cloneable[E]] ... for Cloneable[ArrayList[E]]: the
+        // subgoal E is strictly smaller than ArrayList[E].
+        let e = Type::Var(TvId(0));
+        let arraylist_e = Type::Class {
+            id: genus_types::ClassId(0),
+            args: vec![e.clone()],
+            models: vec![],
+        };
+        let u = mk_use(vec![arraylist_e], vec![vec![e]]);
+        assert!(use_terminates(&u).is_ok());
+    }
+
+    #[test]
+    fn duplicated_variable_rejected() {
+        // Head mentions E once, subgoal mentions it twice (Pair[E,E]).
+        let e = Type::Var(TvId(0));
+        let list_e = Type::Class {
+            id: genus_types::ClassId(0),
+            args: vec![Type::Class {
+                id: genus_types::ClassId(1),
+                args: vec![e.clone()],
+                models: vec![],
+            }],
+            models: vec![],
+        };
+        let pair_ee = Type::Class {
+            id: genus_types::ClassId(2),
+            args: vec![e.clone(), e.clone()],
+            models: vec![],
+        };
+        // size(head)=3, size(goal)=3 → also size-rejected; use a bigger head
+        // to isolate the occurrence condition.
+        let big_head = Type::Class {
+            id: genus_types::ClassId(3),
+            args: vec![list_e, Type::Prim(genus_types::PrimTy::Int)],
+            models: vec![],
+        };
+        let u = mk_use(vec![big_head], vec![vec![pair_ee]]);
+        assert!(use_terminates(&u).is_err());
+    }
+
+    #[test]
+    fn nonparameterized_use_is_fine() {
+        let u = mk_use(vec![Type::Prim(genus_types::PrimTy::Int)], vec![]);
+        assert!(use_terminates(&u).is_ok());
+    }
+}

@@ -1,0 +1,166 @@
+//! Diagnostics: structured compiler errors, warnings, and notes.
+
+use crate::source::{SourceMap, Span};
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note, usually attached to an error.
+    Note,
+    /// A problem that does not stop compilation.
+    Warning,
+    /// A problem that fails compilation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One reported problem, with location and optional secondary notes.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Severity of the primary message.
+    pub severity: Severity,
+    /// Primary location.
+    pub span: Span,
+    /// Primary message, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Secondary (span, message) notes.
+    pub notes: Vec<(Span, String)>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, span, message: message.into(), notes: Vec::new() }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, span, message: message.into(), notes: Vec::new() }
+    }
+
+    /// Attaches a secondary note and returns `self` for chaining.
+    pub fn with_note(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.notes.push((span, message.into()));
+        self
+    }
+
+    /// Renders the diagnostic against a source map, one line per message.
+    pub fn render(&self, sm: &SourceMap) -> String {
+        let mut out = format!("{}: {}: {}", sm.describe(self.span), self.severity, self.message);
+        for (span, note) in &self.notes {
+            out.push_str(&format!("\n  {}: note: {}", sm.describe(*span), note));
+        }
+        out
+    }
+}
+
+/// Accumulates diagnostics across compiler phases.
+#[derive(Debug, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Records a pre-built diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Records an error with a primary span.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.items.push(Diagnostic::error(span, message));
+    }
+
+    /// Records a warning with a primary span.
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.items.push(Diagnostic::warning(span, message));
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.items.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// All recorded diagnostics in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Renders every diagnostic, one per line.
+    pub fn render_all(&self, sm: &SourceMap) -> String {
+        self.items.iter().map(|d| d.render(sm)).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Moves all diagnostics out of the sink.
+    pub fn take(&mut self) -> Vec<Diagnostic> {
+        std::mem::take(&mut self.items)
+    }
+
+    /// Whether no diagnostics have been recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total diagnostic count, at any severity.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceMap;
+
+    #[test]
+    fn collects_and_counts() {
+        let mut d = Diagnostics::new();
+        assert!(d.is_empty());
+        d.warning(Span::dummy(), "meh");
+        assert!(!d.has_errors());
+        d.error(Span::dummy(), "boom");
+        assert!(d.has_errors());
+        assert_eq!(d.error_count(), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn renders_with_notes() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("a.genus", "model M for Eq[T] {}");
+        let d = Diagnostic::error(Span::new(f, 6, 7), "no such constraint")
+            .with_note(Span::new(f, 12, 14), "referenced here");
+        let rendered = d.render(&sm);
+        assert!(rendered.contains("a.genus:1:7: error: no such constraint"));
+        assert!(rendered.contains("note: referenced here"));
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut d = Diagnostics::new();
+        d.error(Span::dummy(), "x");
+        let v = d.take();
+        assert_eq!(v.len(), 1);
+        assert!(d.is_empty());
+    }
+}

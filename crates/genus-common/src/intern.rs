@@ -1,0 +1,119 @@
+//! String interning: deduplicated identifiers with cheap copies.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Two symbols are equal iff their texts are equal.
+///
+/// Symbols are interned in a process-global table so that identifiers can be
+/// compared and hashed as `u32`s anywhere in the pipeline without threading
+/// an interner handle through every API.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct GlobalInterner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn global() -> &'static Mutex<GlobalInterner> {
+    static G: OnceLock<Mutex<GlobalInterner>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(GlobalInterner { map: HashMap::new(), strings: Vec::new() }))
+}
+
+impl Symbol {
+    /// Interns `s`, returning its symbol.
+    pub fn intern(s: &str) -> Symbol {
+        let mut g = global().lock().expect("interner poisoned");
+        if let Some(&id) = g.map.get(s) {
+            return Symbol(id);
+        }
+        // Leaking is fine: the set of distinct identifiers in a compilation is
+        // bounded and the table lives for the whole process anyway.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = g.strings.len() as u32;
+        g.strings.push(leaked);
+        g.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(&self) -> &'static str {
+        let g = global().lock().expect("interner poisoned");
+        g.strings[self.0 as usize]
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+/// A local interner façade kept for API completeness; all interning is
+/// actually global. Useful when a phase wants to make its dependence on
+/// interning explicit.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Interner;
+
+impl Interner {
+    /// Creates an interner handle.
+    pub fn new() -> Self {
+        Interner
+    }
+
+    /// Interns a string.
+    pub fn intern(&self, s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        let c = Symbol::intern("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "hello");
+        assert_eq!(c.as_str(), "world");
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::intern("Eq");
+        assert_eq!(format!("{s}"), "Eq");
+        assert_eq!(format!("{s:?}"), "Symbol(\"Eq\")");
+    }
+
+    #[test]
+    fn from_str() {
+        let s: Symbol = "Comparable".into();
+        assert_eq!(s.as_str(), "Comparable");
+    }
+
+    #[test]
+    fn many_symbols_stay_distinct() {
+        let syms: Vec<Symbol> = (0..500).map(|i| Symbol::intern(&format!("id{i}"))).collect();
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("id{i}"));
+        }
+    }
+}

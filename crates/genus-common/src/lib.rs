@@ -1,0 +1,28 @@
+//! Common infrastructure for the Genus compiler: source maps and spans,
+//! diagnostics, and string interning.
+//!
+//! This crate has no knowledge of the Genus language itself; it provides the
+//! plumbing every phase of the pipeline shares.
+//!
+//! # Examples
+//!
+//! ```
+//! use genus_common::{SourceMap, Span, Diagnostics};
+//!
+//! let mut sm = SourceMap::new();
+//! let file = sm.add_file("demo.genus", "class C {}");
+//! let span = Span::new(file, 6, 7);
+//! assert_eq!(sm.snippet(span), "C");
+//!
+//! let mut diags = Diagnostics::new();
+//! diags.error(span, "something about C");
+//! assert!(diags.has_errors());
+//! ```
+
+pub mod diag;
+pub mod intern;
+pub mod source;
+
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use intern::{Interner, Symbol};
+pub use source::{FileId, SourceFile, SourceMap, Span};

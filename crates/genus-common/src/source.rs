@@ -1,0 +1,228 @@
+//! Source files, byte spans, and line/column resolution.
+
+use std::fmt;
+
+/// Identifies a file registered in a [`SourceMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+/// A byte range inside one source file.
+///
+/// Spans are half-open: `lo` is the first byte, `hi` is one past the last.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// The file the span points into.
+    pub file: FileId,
+    /// Start byte offset (inclusive).
+    pub lo: u32,
+    /// End byte offset (exclusive).
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `lo..hi` of `file`.
+    pub fn new(file: FileId, lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "span lo must not exceed hi");
+        Span { file, lo, hi }
+    }
+
+    /// A span usable when no real source location exists (synthesized nodes).
+    pub fn dummy() -> Self {
+        Span { file: FileId(u32::MAX), lo: 0, hi: 0 }
+    }
+
+    /// Whether this is the synthetic dummy span.
+    pub fn is_dummy(&self) -> bool {
+        self.file == FileId(u32::MAX)
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the spans come from different files (unless
+    /// one is a dummy, in which case the other is returned).
+    pub fn to(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        debug_assert_eq!(self.file, other.file, "joining spans across files");
+        Span { file: self.file, lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dummy() {
+            write!(f, "Span(dummy)")
+        } else {
+            write!(f, "Span({}:{}..{})", self.file.0, self.lo, self.hi)
+        }
+    }
+}
+
+/// One registered source file: its name, contents, and line-start table.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Display name (usually a path or a synthetic `<...>` name).
+    pub name: String,
+    /// Full file contents.
+    pub src: String,
+    /// Byte offsets at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    fn new(name: impl Into<String>, src: impl Into<String>) -> Self {
+        let src = src.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile { name: name.into(), src, line_starts }
+    }
+
+    /// Converts a byte offset to a 1-based (line, column) pair.
+    pub fn line_col(&self, offset: u32) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx,
+            Err(idx) => idx - 1,
+        };
+        let col = offset - self.line_starts[line];
+        (line + 1, col as usize + 1)
+    }
+
+    /// The full text of the 1-based line `line`, without its newline.
+    pub fn line_text(&self, line: usize) -> &str {
+        let lo = self.line_starts[line - 1] as usize;
+        let hi = self
+            .line_starts
+            .get(line)
+            .map(|&h| h as usize)
+            .unwrap_or(self.src.len());
+        self.src[lo..hi].trim_end_matches('\n')
+    }
+}
+
+/// Registry of all source files seen by a compilation.
+#[derive(Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map.
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Registers a file and returns its id.
+    pub fn add_file(&mut self, name: impl Into<String>, src: impl Into<String>) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile::new(name, src));
+        id
+    }
+
+    /// Looks up a registered file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this map.
+    pub fn file(&self, id: FileId) -> &SourceFile {
+        &self.files[id.0 as usize]
+    }
+
+    /// The source text a span covers, or `""` for dummy spans.
+    pub fn snippet(&self, span: Span) -> &str {
+        if span.is_dummy() {
+            return "";
+        }
+        &self.file(span.file).src[span.lo as usize..span.hi as usize]
+    }
+
+    /// Renders `span` as `name:line:col`.
+    pub fn describe(&self, span: Span) -> String {
+        if span.is_dummy() {
+            return "<unknown>".to_string();
+        }
+        let f = self.file(span.file);
+        let (line, col) = f.line_col(span.lo);
+        format!("{}:{}:{}", f.name, line, col)
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let f = SourceFile::new("t", "ab\ncd\n\nefg");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(1), (1, 2));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(6), (3, 1));
+        assert_eq!(f.line_col(7), (4, 1));
+        assert_eq!(f.line_col(9), (4, 3));
+    }
+
+    #[test]
+    fn line_text() {
+        let f = SourceFile::new("t", "ab\ncd\n\nefg");
+        assert_eq!(f.line_text(1), "ab");
+        assert_eq!(f.line_text(2), "cd");
+        assert_eq!(f.line_text(3), "");
+        assert_eq!(f.line_text(4), "efg");
+    }
+
+    #[test]
+    fn snippet_and_describe() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("x.genus", "hello world");
+        let sp = Span::new(id, 6, 11);
+        assert_eq!(sm.snippet(sp), "world");
+        assert_eq!(sm.describe(sp), "x.genus:1:7");
+    }
+
+    #[test]
+    fn span_join() {
+        let a = Span::new(FileId(0), 4, 8);
+        let b = Span::new(FileId(0), 6, 12);
+        let j = a.to(b);
+        assert_eq!((j.lo, j.hi), (4, 12));
+        assert_eq!(Span::dummy().to(a), a);
+        assert_eq!(a.to(Span::dummy()), a);
+    }
+
+    #[test]
+    fn dummy_span_snippet_is_empty() {
+        let sm = SourceMap::new();
+        assert_eq!(sm.snippet(Span::dummy()), "");
+        assert_eq!(sm.describe(Span::dummy()), "<unknown>");
+    }
+}

@@ -1,0 +1,1494 @@
+//! Tree-walking interpreter for checked Genus programs.
+//!
+//! The interpreter executes the typed HIR produced by `genus-check` against
+//! a reified runtime: objects carry their type arguments and model
+//! witnesses (§7.2), arrays use element-specialized storage (§7.3), model
+//! operations dispatch as multimethods over the dynamic receiver and
+//! argument classes (§5.1), and `instanceof`/casts test reified
+//! model-dependent types (§4.6).
+//!
+//! # Examples
+//!
+//! ```
+//! use genus_check::check_source;
+//! use genus_interp::Interp;
+//!
+//! let prog = check_source(r#"
+//!     int main() { println("hi"); return 41 + 1; }
+//! "#).unwrap();
+//! let mut interp = Interp::new(&prog);
+//! let v = interp.run_main().unwrap();
+//! assert!(matches!(v, genus_interp::Value::Int(42)));
+//! assert_eq!(interp.take_output(), "hi\n");
+//! ```
+
+mod natives;
+mod ops;
+pub mod value;
+
+pub use value::{
+    ArrayData, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError, Storage, Value,
+};
+
+use genus_check::hir::{self, BinKind, NumKind};
+use genus_check::CheckedProgram;
+use genus_common::Symbol;
+use genus_syntax::ast::BinOp;
+use genus_types::{ClassId, Model, ModelId, MvId, PrimTy, TvId, Type};
+use crate::ops::{arith, compare, widen_value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+type RResult<T> = Result<T, RuntimeError>;
+
+/// Non-error control flow out of a statement.
+enum Flow {
+    Normal,
+    Return(Value),
+    Break,
+    Continue,
+}
+
+/// One activation record.
+#[derive(Default)]
+struct Frame {
+    locals: Vec<Value>,
+    tenv: HashMap<TvId, RtType>,
+    menv: HashMap<MvId, ModelValue>,
+}
+
+/// The interpreter. Holds static fields and captured output across calls.
+pub struct Interp<'p> {
+    prog: &'p CheckedProgram,
+    statics: RefCell<HashMap<(u32, u32), Value>>,
+    output: RefCell<String>,
+    /// Whether `print` also writes to process stdout.
+    pub echo: bool,
+    depth: std::cell::Cell<usize>,
+    /// Maximum Genus call depth before a `StackOverflowError`.
+    pub max_depth: usize,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter for a checked program.
+    pub fn new(prog: &'p CheckedProgram) -> Self {
+        Interp {
+            prog,
+            statics: RefCell::new(HashMap::new()),
+            output: RefCell::new(String::new()),
+            echo: false,
+            depth: std::cell::Cell::new(0),
+            // Each Genus frame costs tens of KiB of native stack in debug
+            // builds; run deep programs on a large-stack thread (the
+            // `genus` facade does this automatically).
+            max_depth: 1000,
+        }
+    }
+
+    /// Runs static initializers then `main()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first uncaught [`RuntimeError`].
+    pub fn run_main(&mut self) -> RResult<Value> {
+        self.init_statics()?;
+        let Some(main) = self.prog.main_index() else {
+            return Err(RuntimeError::new(ErrorKind::Other, "no `main()` method"));
+        };
+        self.call_global(main, vec![], vec![], vec![])
+    }
+
+    /// Runs static initializers (idempotent per interpreter).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`RuntimeError`] raised by an initializer.
+    pub fn init_statics(&self) -> RResult<()> {
+        for (cid, fi, init) in &self.prog.static_inits {
+            let mut frame = Frame::default();
+            let v = self.eval(&mut frame, init)?;
+            self.statics.borrow_mut().insert((cid.0, *fi as u32), v);
+        }
+        Ok(())
+    }
+
+    /// Calls a global (top-level) method by index.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`RuntimeError`] raised by the body.
+    pub fn call_global(
+        &self,
+        index: usize,
+        targs: Vec<RtType>,
+        margs: Vec<ModelValue>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        let g = &self.prog.table.globals[index];
+        let Some(body) = self.prog.global_bodies.get(&(index as u32)) else {
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("global `{}` has no body", g.name),
+            ));
+        };
+        let mut frame = Frame::default();
+        for (tv, t) in g.tparams.iter().zip(targs) {
+            frame.tenv.insert(*tv, t);
+        }
+        for (w, m) in g.wheres.iter().zip(margs) {
+            frame.menv.insert(w.mv, m);
+        }
+        self.run_body(frame, body, None, args, g.ret.is_void())
+    }
+
+    /// Takes the captured `print` output.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.output.borrow_mut())
+    }
+
+    // ------------------------------------------------------------------
+    // Frames and bodies
+    // ------------------------------------------------------------------
+
+    fn run_body(
+        &self,
+        mut frame: Frame,
+        body: &hir::Body,
+        this: Option<Value>,
+        args: Vec<Value>,
+        is_void: bool,
+    ) -> RResult<Value> {
+        if self.depth.get() >= self.max_depth {
+            return Err(RuntimeError::new(ErrorKind::StackOverflow, "call depth exceeded"));
+        }
+        self.depth.set(self.depth.get() + 1);
+        frame.locals = vec![Value::Null; body.num_locals];
+        let mut slot = 0;
+        if let Some(t) = this {
+            frame.locals[0] = t;
+            slot = 1;
+        }
+        for a in args {
+            frame.locals[slot] = a;
+            slot += 1;
+        }
+        let r = self.exec_block(&mut frame, &body.block);
+        self.depth.set(self.depth.get() - 1);
+        match r? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal if is_void => Ok(Value::Void),
+            Flow::Normal => Err(RuntimeError::new(
+                ErrorKind::MissingReturn,
+                "non-void body completed without returning",
+            )),
+            _ => Err(RuntimeError::new(ErrorKind::Other, "break/continue escaped a body")),
+        }
+    }
+
+    fn exec_block(&self, frame: &mut Frame, b: &hir::Block) -> RResult<Flow> {
+        for s in &b.stmts {
+            match self.exec_stmt(frame, s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&self, frame: &mut Frame, s: &hir::Stmt) -> RResult<Flow> {
+        match s {
+            hir::Stmt::Expr(e) => {
+                self.eval(frame, e)?;
+                Ok(Flow::Normal)
+            }
+            hir::Stmt::Let { local, init, ty } => {
+                let v = match init {
+                    Some(e) => self.eval(frame, e)?,
+                    None => self.eval_type(frame, ty).default_value(),
+                };
+                frame.locals[local.0 as usize] = v;
+                Ok(Flow::Normal)
+            }
+            hir::Stmt::LetOpen { local, init, tvs, mvs } => {
+                let v = self.eval(frame, init)?;
+                match v {
+                    Value::Packed(p) => {
+                        for (tv, t) in tvs.iter().zip(&p.types) {
+                            frame.tenv.insert(*tv, t.clone());
+                        }
+                        for (mv, m) in mvs.iter().zip(&p.models) {
+                            frame.menv.insert(*mv, m.clone());
+                        }
+                        frame.locals[local.0 as usize] = p.value.clone();
+                    }
+                    Value::Null => {
+                        return Err(RuntimeError::new(
+                            ErrorKind::NullPointer,
+                            "cannot open a null existential",
+                        ));
+                    }
+                    other => {
+                        // A value whose witnesses were statically evident
+                        // (no packing was needed): bind from its runtime
+                        // type if possible.
+                        let rt = self.value_rt_type(&other);
+                        for tv in tvs {
+                            frame.tenv.insert(*tv, rt.clone());
+                        }
+                        frame.locals[local.0 as usize] = other;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            hir::Stmt::If { cond, then_blk, else_blk } => {
+                if self.truthy(frame, cond)? {
+                    self.exec_block(frame, then_blk)
+                } else {
+                    self.exec_block(frame, else_blk)
+                }
+            }
+            hir::Stmt::While { cond, body, update } => {
+                loop {
+                    if !self.truthy(frame, cond)? {
+                        break;
+                    }
+                    match self.exec_block(frame, body)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    match self.exec_block(frame, update)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            hir::Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(frame, e)?,
+                    None => Value::Void,
+                };
+                Ok(Flow::Return(v))
+            }
+            hir::Stmt::Break => Ok(Flow::Break),
+            hir::Stmt::Continue => Ok(Flow::Continue),
+            hir::Stmt::Block(b) => self.exec_block(frame, b),
+        }
+    }
+
+    fn truthy(&self, frame: &mut Frame, e: &hir::Expr) -> RResult<bool> {
+        match self.eval(frame, e)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(RuntimeError::new(
+                ErrorKind::Other,
+                format!("condition evaluated to non-boolean {other:?}"),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reification
+    // ------------------------------------------------------------------
+
+    /// Evaluates a static type to its runtime reification in `frame`.
+    fn eval_type(&self, frame: &Frame, t: &Type) -> RtType {
+        match t {
+            Type::Prim(p) => RtType::Prim(*p),
+            Type::Null => RtType::Null,
+            Type::Infer(_) => RtType::Null,
+            Type::Var(v) => frame.tenv.get(v).cloned().unwrap_or(RtType::Null),
+            Type::Array(e) => RtType::Array(Box::new(self.eval_type(frame, e))),
+            Type::Class { id, args, models } => RtType::Class {
+                id: *id,
+                args: args.iter().map(|a| self.eval_type(frame, a)).collect(),
+                models: models.iter().map(|m| self.eval_model(frame, m)).collect(),
+            },
+            // Existentials erase to a generic reference at run time; their
+            // witnesses live in `Packed` values.
+            Type::Existential { .. } => RtType::Null,
+        }
+    }
+
+    /// Evaluates a static model to its runtime witness in `frame`.
+    fn eval_model(&self, frame: &Frame, m: &Model) -> ModelValue {
+        match m {
+            Model::Var(v) => frame.menv.get(v).cloned().unwrap_or(ModelValue::Natural {
+                constraint: genus_types::ConstraintId(0),
+                args: vec![],
+            }),
+            Model::Infer(_) => {
+                ModelValue::Natural { constraint: genus_types::ConstraintId(0), args: vec![] }
+            }
+            Model::Natural { inst } => ModelValue::Natural {
+                constraint: inst.id,
+                args: inst.args.iter().map(|a| self.eval_type(frame, a)).collect(),
+            },
+            Model::Decl { id, type_args, model_args } => ModelValue::Decl {
+                id: *id,
+                targs: type_args.iter().map(|a| self.eval_type(frame, a)).collect(),
+                margs: model_args.iter().map(|x| self.eval_model(frame, x)).collect(),
+            },
+        }
+    }
+
+    /// Runtime type of a value.
+    pub fn value_rt_type(&self, v: &Value) -> RtType {
+        match v {
+            Value::Int(_) => RtType::Prim(PrimTy::Int),
+            Value::Long(_) => RtType::Prim(PrimTy::Long),
+            Value::Double(_) => RtType::Prim(PrimTy::Double),
+            Value::Bool(_) => RtType::Prim(PrimTy::Boolean),
+            Value::Char(_) => RtType::Prim(PrimTy::Char),
+            Value::Str(_) => match self.prog.table.lookup_class(Symbol::intern("String")) {
+                Some(id) => RtType::Class { id, args: vec![], models: vec![] },
+                None => RtType::Null,
+            },
+            Value::Obj(o) => {
+                RtType::Class { id: o.class, args: o.targs.clone(), models: o.models.clone() }
+            }
+            Value::Arr(a) => RtType::Array(Box::new(a.elem.clone())),
+            Value::Packed(p) => self.value_rt_type(&p.value),
+            Value::Null | Value::Void => RtType::Null,
+        }
+    }
+
+    /// Direct supertypes of a reified class instantiation.
+    fn rt_parents(
+        &self,
+        id: ClassId,
+        args: &[RtType],
+        models: &[ModelValue],
+    ) -> Vec<(ClassId, Vec<RtType>, Vec<ModelValue>)> {
+        let def = self.prog.table.class(id);
+        let mut frame = Frame::default();
+        for (tv, t) in def.params.iter().zip(args) {
+            frame.tenv.insert(*tv, t.clone());
+        }
+        for (w, m) in def.wheres.iter().zip(models) {
+            frame.menv.insert(w.mv, m.clone());
+        }
+        let mut out = Vec::new();
+        let mut push = |t: &Type| {
+            if let RtType::Class { id, args, models } = self.eval_type(&frame, t) {
+                out.push((id, args, models));
+            }
+        };
+        if let Some(e) = &def.extends {
+            push(e);
+        }
+        for i in &def.implements {
+            push(i);
+        }
+        out
+    }
+
+    /// The instantiation of a reified class viewed at ancestor `target`.
+    fn rt_supertype_at(
+        &self,
+        id: ClassId,
+        args: &[RtType],
+        models: &[ModelValue],
+        target: ClassId,
+    ) -> Option<(Vec<RtType>, Vec<ModelValue>)> {
+        if id == target {
+            return Some((args.to_vec(), models.to_vec()));
+        }
+        for (pid, pargs, pmodels) in self.rt_parents(id, args, models) {
+            if let Some(found) = self.rt_supertype_at(pid, &pargs, &pmodels, target) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// Runtime subtyping over reified types (invariant generics, reference
+    /// types below `Object`).
+    pub fn rt_subtype(&self, a: &RtType, b: &RtType) -> bool {
+        if a == b {
+            return true;
+        }
+        if let RtType::Class { id, args, .. } = b {
+            if args.is_empty() {
+                if let Some(obj) = self.prog.table.lookup_class(Symbol::intern("Object")) {
+                    if *id == obj && !matches!(a, RtType::Prim(_)) {
+                        return true;
+                    }
+                }
+            }
+        }
+        match (a, b) {
+            (RtType::Null, x) => !matches!(x, RtType::Prim(_)),
+            (
+                RtType::Class { id, args, models },
+                RtType::Class { id: tid, args: targs, models: tmodels },
+            ) => match self.rt_supertype_at(*id, args, models, *tid) {
+                Some((sargs, smodels)) => &sargs == targs && &smodels == tmodels,
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Reified `instanceof` (null is not an instance of anything).
+    pub fn value_instanceof(&self, v: &Value, t: &RtType) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        let vt = self.value_rt_type(v);
+        self.rt_subtype(&vt, t)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn eval(&self, frame: &mut Frame, e: &hir::Expr) -> RResult<Value> {
+        use hir::ExprKind as K;
+        match &e.kind {
+            K::Int(v) => Ok(Value::Int(*v as i32)),
+            K::Long(v) => Ok(Value::Long(*v)),
+            K::Double(v) => Ok(Value::Double(*v)),
+            K::Bool(v) => Ok(Value::Bool(*v)),
+            K::Char(v) => Ok(Value::Char(*v)),
+            K::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
+            K::Null => Ok(Value::Null),
+            K::Local(l) => Ok(frame.locals[l.0 as usize].clone()),
+            K::SetLocal { local, value } => {
+                let v = self.eval(frame, value)?;
+                frame.locals[local.0 as usize] = v.clone();
+                Ok(v)
+            }
+            K::GetField { recv, class, field } => {
+                let r = self.eval(frame, recv)?;
+                let o = self.expect_obj(&r)?;
+                let v = o
+                    .fields
+                    .borrow()
+                    .get(&(class.0, *field as u32))
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                Ok(v)
+            }
+            K::SetField { recv, class, field, value } => {
+                let r = self.eval(frame, recv)?;
+                let v = self.eval(frame, value)?;
+                let o = self.expect_obj(&r)?;
+                o.fields.borrow_mut().insert((class.0, *field as u32), v.clone());
+                Ok(v)
+            }
+            K::GetStatic { class, field } => Ok(self
+                .statics
+                .borrow()
+                .get(&(class.0, *field as u32))
+                .cloned()
+                .unwrap_or(Value::Null)),
+            K::SetStatic { class, field, value } => {
+                let v = self.eval(frame, value)?;
+                self.statics.borrow_mut().insert((class.0, *field as u32), v.clone());
+                Ok(v)
+            }
+            K::CallVirtual { recv, name, arity, targs, margs, args } => {
+                let r = self.eval(frame, recv)?;
+                let vargs = self.eval_args(frame, args)?;
+                let rt = targs.iter().map(|t| self.eval_type(frame, t)).collect::<Vec<_>>();
+                let rm = margs.iter().map(|m| self.eval_model(frame, m)).collect::<Vec<_>>();
+                self.call_virtual(r, *name, *arity, rt, rm, vargs)
+            }
+            K::CallStatic { class, method, targs, margs, args } => {
+                let vargs = self.eval_args(frame, args)?;
+                let rt = targs.iter().map(|t| self.eval_type(frame, t)).collect::<Vec<_>>();
+                let rm = margs.iter().map(|m| self.eval_model(frame, m)).collect::<Vec<_>>();
+                self.invoke_class_method(*class, *method, vec![], vec![], None, rt, rm, vargs)
+            }
+            K::CallGlobal { index, targs, margs, args } => {
+                let vargs = self.eval_args(frame, args)?;
+                let rt = targs.iter().map(|t| self.eval_type(frame, t)).collect::<Vec<_>>();
+                let rm = margs.iter().map(|m| self.eval_model(frame, m)).collect::<Vec<_>>();
+                self.call_global(*index, rt, rm, vargs)
+            }
+            K::CallModel { model, name, recv, static_recv, args } => {
+                let mv = self.eval_model(frame, model);
+                let r = match recv {
+                    Some(r) => Some(self.eval(frame, r)?),
+                    None => None,
+                };
+                let srt = static_recv.as_ref().map(|t| self.eval_type(frame, t));
+                let vargs = self.eval_args(frame, args)?;
+                self.call_model(&mv, *name, r, srt, vargs)
+            }
+            K::DefaultValue { of } => Ok(self.eval_type(frame, of).default_value()),
+            K::New { class, targs, models, ctor, args } => {
+                let rt = targs.iter().map(|t| self.eval_type(frame, t)).collect::<Vec<_>>();
+                let rm = models.iter().map(|m| self.eval_model(frame, m)).collect::<Vec<_>>();
+                let vargs = self.eval_args(frame, args)?;
+                self.construct(*class, rt, rm, *ctor, vargs)
+            }
+            K::NewArray { elem, len } => {
+                let et = self.eval_type(frame, elem);
+                let l = self.eval(frame, len)?;
+                let Value::Int(n) = l else {
+                    return Err(RuntimeError::new(ErrorKind::Other, "array length must be int"));
+                };
+                if n < 0 {
+                    return Err(RuntimeError::new(
+                        ErrorKind::IndexOutOfBounds,
+                        format!("negative array length {n}"),
+                    ));
+                }
+                Ok(Value::Arr(Rc::new(ArrayData {
+                    storage: RefCell::new(Storage::new(&et, n as usize)),
+                    elem: et,
+                })))
+            }
+            K::ArrayLen { arr } => {
+                let a = self.eval(frame, arr)?;
+                let a = self.expect_arr(&a)?;
+                let len = a.storage.borrow().len();
+                Ok(Value::Int(len as i32))
+            }
+            K::ArrayGet { arr, idx } => {
+                let a = self.eval(frame, arr)?;
+                let i = self.eval(frame, idx)?;
+                let a = self.expect_arr(&a)?;
+                let i = self.expect_index(&i, a.storage.borrow().len())?;
+                let v = a.storage.borrow().get(i);
+                Ok(v)
+            }
+            K::ArraySet { arr, idx, value } => {
+                let a = self.eval(frame, arr)?;
+                let i = self.eval(frame, idx)?;
+                let v = self.eval(frame, value)?;
+                let a = self.expect_arr(&a)?;
+                let i = self.expect_index(&i, a.storage.borrow().len())?;
+                a.storage.borrow_mut().set(i, v.clone());
+                Ok(v)
+            }
+            K::Binary { kind, lhs, rhs } => self.eval_binary(frame, *kind, lhs, rhs),
+            K::Not(x) => match self.eval(frame, x)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                _ => Err(RuntimeError::new(ErrorKind::Other, "`!` on non-boolean")),
+            },
+            K::Neg { expr, kind } => {
+                let v = self.eval(frame, expr)?;
+                Ok(match (kind, v) {
+                    (NumKind::Int, Value::Int(x)) => Value::Int(x.wrapping_neg()),
+                    (NumKind::Long, Value::Long(x)) => Value::Long(x.wrapping_neg()),
+                    (NumKind::Double, Value::Double(x)) => Value::Double(-x),
+                    (_, v) => {
+                        return Err(RuntimeError::new(
+                            ErrorKind::Other,
+                            format!("cannot negate {v:?}"),
+                        ))
+                    }
+                })
+            }
+            K::Widen { expr, from: _, to } => {
+                let v = self.eval(frame, expr)?;
+                Ok(widen_value(v, *to))
+            }
+            K::InstanceOf { expr, ty } => {
+                let v = self.eval(frame, expr)?;
+                Ok(Value::Bool(self.instanceof_type(frame, &v, ty)))
+            }
+            K::Cast { expr, ty } => {
+                let v = self.eval(frame, expr)?;
+                self.cast(frame, v, ty)
+            }
+            K::Pack { expr, ex: _, types, models } => {
+                let v = self.eval(frame, expr)?;
+                let ts = types.iter().map(|t| self.eval_type(frame, t)).collect();
+                let ms = models.iter().map(|m| self.eval_model(frame, m)).collect();
+                Ok(Value::Packed(Rc::new(PackedData { value: v, types: ts, models: ms })))
+            }
+            K::Cond { cond, then_e, else_e } => {
+                if self.truthy(frame, cond)? {
+                    self.eval(frame, then_e)
+                } else {
+                    self.eval(frame, else_e)
+                }
+            }
+            K::Print { arg, newline } => {
+                let v = self.eval(frame, arg)?;
+                let s = self.stringify(&v)?;
+                let mut out = self.output.borrow_mut();
+                out.push_str(&s);
+                if *newline {
+                    out.push('\n');
+                }
+                if self.echo {
+                    if *newline {
+                        println!("{s}");
+                    } else {
+                        print!("{s}");
+                    }
+                }
+                Ok(Value::Void)
+            }
+            K::PrimCall { prim, name, recv, args } => {
+                let r = match recv {
+                    Some(r) => Some(self.eval(frame, r)?),
+                    None => None,
+                };
+                let vargs = self.eval_args(frame, args)?;
+                self.prim_call(*prim, *name, r, vargs)
+            }
+            K::Native { op, recv, args } => {
+                let r = match recv {
+                    Some(r) => Some(self.eval(frame, r)?),
+                    None => None,
+                };
+                let vargs = self.eval_args(frame, args)?;
+                self.native_call(*op, r, vargs)
+            }
+        }
+    }
+
+    fn eval_args(&self, frame: &mut Frame, args: &[hir::Expr]) -> RResult<Vec<Value>> {
+        args.iter().map(|a| self.eval(frame, a)).collect()
+    }
+
+    fn expect_obj<'v>(&self, v: &'v Value) -> RResult<&'v Rc<ObjData>> {
+        match v {
+            Value::Obj(o) => Ok(o),
+            Value::Packed(p) => match &p.value {
+                Value::Obj(o) => Ok(o),
+                Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null dereference")),
+                other => Err(RuntimeError::new(
+                    ErrorKind::Other,
+                    format!("expected object, got {other:?}"),
+                )),
+            },
+            Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null dereference")),
+            other => {
+                Err(RuntimeError::new(ErrorKind::Other, format!("expected object, got {other:?}")))
+            }
+        }
+    }
+
+    fn expect_arr<'v>(&self, v: &'v Value) -> RResult<&'v Rc<ArrayData>> {
+        match v {
+            Value::Arr(a) => Ok(a),
+            Value::Packed(p) => match &p.value {
+                Value::Arr(a) => Ok(a),
+                _ => Err(RuntimeError::new(ErrorKind::Other, "expected array")),
+            },
+            Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null array")),
+            other => {
+                Err(RuntimeError::new(ErrorKind::Other, format!("expected array, got {other:?}")))
+            }
+        }
+    }
+
+    fn expect_index(&self, v: &Value, len: usize) -> RResult<usize> {
+        let Value::Int(i) = v else {
+            return Err(RuntimeError::new(ErrorKind::Other, "array index must be int"));
+        };
+        if *i < 0 || *i as usize >= len {
+            return Err(RuntimeError::new(
+                ErrorKind::IndexOutOfBounds,
+                format!("index {i} out of bounds for length {len}"),
+            ));
+        }
+        Ok(*i as usize)
+    }
+
+    fn eval_binary(
+        &self,
+        frame: &mut Frame,
+        kind: BinKind,
+        lhs: &hir::Expr,
+        rhs: &hir::Expr,
+    ) -> RResult<Value> {
+        match kind {
+            BinKind::And => {
+                if !self.truthy(frame, lhs)? {
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(self.truthy(frame, rhs)?))
+            }
+            BinKind::Or => {
+                if self.truthy(frame, lhs)? {
+                    return Ok(Value::Bool(true));
+                }
+                Ok(Value::Bool(self.truthy(frame, rhs)?))
+            }
+            BinKind::Concat => {
+                let l = self.eval(frame, lhs)?;
+                let r = self.eval(frame, rhs)?;
+                let mut s = self.stringify(&l)?;
+                s.push_str(&self.stringify(&r)?);
+                Ok(Value::Str(Rc::from(s.as_str())))
+            }
+            BinKind::EqRef(op) | BinKind::EqPrim(op) => {
+                let l = self.eval(frame, lhs)?;
+                let r = self.eval(frame, rhs)?;
+                let eq = l.ref_eq(&r);
+                Ok(Value::Bool(if op == BinOp::Eq { eq } else { !eq }))
+            }
+            BinKind::Arith(op, nk) => {
+                let l = self.eval(frame, lhs)?;
+                let r = self.eval(frame, rhs)?;
+                arith(op, nk, l, r)
+            }
+            BinKind::Cmp(op, nk) => {
+                let l = self.eval(frame, lhs)?;
+                let r = self.eval(frame, rhs)?;
+                compare(op, nk, l, r)
+            }
+        }
+    }
+
+    fn instanceof_type(&self, frame: &Frame, v: &Value, ty: &Type) -> bool {
+        match ty {
+            Type::Existential { params, bounds, wheres, body } => {
+                self.match_existential(frame, v, params, bounds, wheres, body).is_some()
+            }
+            _ => {
+                let t = self.eval_type(frame, ty);
+                self.value_instanceof(v, &t)
+            }
+        }
+    }
+
+    /// Matches a value against an existential pattern, returning the hole
+    /// solutions `(types, models)` on success. This is what makes
+    /// Figure 7's `src instanceof TreeSet[? extends T with c]` work.
+    #[allow(clippy::too_many_arguments)]
+    fn match_existential(
+        &self,
+        frame: &Frame,
+        v: &Value,
+        params: &[TvId],
+        bounds: &[Option<Type>],
+        wheres: &[genus_types::WhereReq],
+        body: &Type,
+    ) -> Option<(Vec<RtType>, Vec<ModelValue>)> {
+        if v.is_null() {
+            return None;
+        }
+        let inner = match v {
+            Value::Packed(p) => &p.value,
+            other => other,
+        };
+        let Type::Class { id, args, models } = body else {
+            // `[some U] U` matches anything; witnesses come from packaging.
+            if let Type::Var(u) = body {
+                if params.contains(u) {
+                    let vt = self.value_rt_type(inner);
+                    if let Value::Packed(p) = v {
+                        return Some((vec![vt], p.models.clone()));
+                    }
+                    if wheres.is_empty() {
+                        return Some((vec![vt], vec![]));
+                    }
+                }
+            }
+            return None;
+        };
+        let vt = self.value_rt_type(inner);
+        let RtType::Class { id: vid, args: vargs, models: vmodels } = &vt else {
+            return None;
+        };
+        let (sargs, smodels) = self.rt_supertype_at(*vid, vargs, vmodels, *id)?;
+        let mut hole_tys: HashMap<TvId, RtType> = HashMap::new();
+        for (pat, actual) in args.iter().zip(&sargs) {
+            match pat {
+                Type::Var(u) if params.contains(u) => {
+                    if let Some(prev) = hole_tys.get(u) {
+                        if prev != actual {
+                            return None;
+                        }
+                    } else {
+                        let idx = params.iter().position(|p| p == u).expect("hole in params");
+                        if let Some(Some(b)) = bounds.get(idx) {
+                            let bt = self.eval_type(frame, b);
+                            if !self.rt_subtype(actual, &bt) {
+                                return None;
+                            }
+                        }
+                        hole_tys.insert(*u, actual.clone());
+                    }
+                }
+                _ => {
+                    let want = self.eval_type(frame, pat);
+                    if &want != actual {
+                        return None;
+                    }
+                }
+            }
+        }
+        let mut hole_models: HashMap<MvId, ModelValue> = HashMap::new();
+        let hole_mvs: Vec<MvId> = wheres.iter().map(|w| w.mv).collect();
+        for (pat, actual) in models.iter().zip(&smodels) {
+            match pat {
+                Model::Var(mv) if hole_mvs.contains(mv) => {
+                    if let Some(prev) = hole_models.get(mv) {
+                        if prev != actual {
+                            return None;
+                        }
+                    } else {
+                        hole_models.insert(*mv, actual.clone());
+                    }
+                }
+                _ => {
+                    let want = self.eval_model(frame, pat);
+                    if &want != actual {
+                        return None;
+                    }
+                }
+            }
+        }
+        let types =
+            params.iter().map(|p| hole_tys.get(p).cloned().unwrap_or(RtType::Null)).collect();
+        let models =
+            wheres.iter().map(|w| hole_models.get(&w.mv).cloned()).collect::<Option<Vec<_>>>()?;
+        Some((types, models))
+    }
+
+    fn cast(&self, frame: &Frame, v: Value, ty: &Type) -> RResult<Value> {
+        // Numeric casts (including narrowing).
+        if let Type::Prim(p) = ty {
+            return match (&v, p) {
+                (Value::Int(x), PrimTy::Int) => Ok(Value::Int(*x)),
+                (Value::Int(x), PrimTy::Long) => Ok(Value::Long(i64::from(*x))),
+                (Value::Int(x), PrimTy::Double) => Ok(Value::Double(f64::from(*x))),
+                (Value::Long(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
+                (Value::Long(x), PrimTy::Long) => Ok(Value::Long(*x)),
+                (Value::Long(x), PrimTy::Double) => Ok(Value::Double(*x as f64)),
+                (Value::Double(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
+                (Value::Double(x), PrimTy::Long) => Ok(Value::Long(*x as i64)),
+                (Value::Double(x), PrimTy::Double) => Ok(Value::Double(*x)),
+                (Value::Char(c), PrimTy::Int) => Ok(Value::Int(*c as i32)),
+                (Value::Int(x), PrimTy::Char) => {
+                    Ok(Value::Char(char::from_u32(*x as u32).unwrap_or('\u{FFFD}')))
+                }
+                (Value::Char(c), PrimTy::Char) => Ok(Value::Char(*c)),
+                (Value::Bool(b), PrimTy::Boolean) => Ok(Value::Bool(*b)),
+                _ => Err(RuntimeError::new(
+                    ErrorKind::ClassCast,
+                    format!("cannot cast {v:?} to {}", p.name()),
+                )),
+            };
+        }
+        if v.is_null() {
+            return Ok(Value::Null);
+        }
+        if let Type::Existential { params, bounds, wheres, body } = ty {
+            return match self.match_existential(frame, &v, params, bounds, wheres, body) {
+                Some((types, models)) => {
+                    let inner = match v {
+                        Value::Packed(p) => p.value.clone(),
+                        other => other,
+                    };
+                    Ok(Value::Packed(Rc::new(PackedData { value: inner, types, models })))
+                }
+                None => Err(RuntimeError::new(
+                    ErrorKind::ClassCast,
+                    "value does not match existential type".to_string(),
+                )),
+            };
+        }
+        let t = self.eval_type(frame, ty);
+        if self.value_instanceof(&v, &t) {
+            Ok(match v {
+                Value::Packed(p) => p.value.clone(),
+                other => other,
+            })
+        } else {
+            Err(RuntimeError::new(
+                ErrorKind::ClassCast,
+                format!("cannot cast value of type {:?} to {:?}", self.value_rt_type(&v), t),
+            ))
+        }
+    }
+
+    /// Stringification used by concatenation and `print`: objects get their
+    /// `toString` dispatched dynamically.
+    pub fn stringify(&self, v: &Value) -> RResult<String> {
+        match v {
+            Value::Obj(_) => {
+                match self.call_virtual(
+                    v.clone(),
+                    Symbol::intern("toString"),
+                    0,
+                    vec![],
+                    vec![],
+                    vec![],
+                ) {
+                    Ok(Value::Str(s)) => Ok(s.to_string()),
+                    _ => Ok(format!("{v}")),
+                }
+            }
+            Value::Packed(p) => self.stringify(&p.value),
+            other => Ok(format!("{other}")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Calls
+    // ------------------------------------------------------------------
+
+    /// Finds `(declaring class, method index, class targs, class models)`
+    /// for a virtual call, walking the dynamic class chain then interfaces.
+    fn find_virtual(
+        &self,
+        id: ClassId,
+        args: &[RtType],
+        models: &[ModelValue],
+        name: Symbol,
+        arity: usize,
+    ) -> Option<(ClassId, usize, Vec<RtType>, Vec<ModelValue>)> {
+        let def = self.prog.table.class(id);
+        for (mi, m) in def.methods.iter().enumerate() {
+            if m.name == name && m.params.len() == arity && !m.is_static {
+                // Skip pure signatures (abstract or interface methods
+                // without a body) so the search continues to an
+                // implementation; native methods are kept.
+                if m.body.is_some() || m.is_native {
+                    return Some((id, mi, args.to_vec(), models.to_vec()));
+                }
+            }
+        }
+        for (pid, pargs, pmodels) in self.rt_parents(id, args, models) {
+            if let Some(found) = self.find_virtual(pid, &pargs, &pmodels, name, arity) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// Invokes a virtual method on a value.
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchMethodError` when dispatch fails; any error from the body.
+    pub fn call_virtual(
+        &self,
+        recv: Value,
+        name: Symbol,
+        arity: usize,
+        targs: Vec<RtType>,
+        margs: Vec<ModelValue>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        let recv = match recv {
+            Value::Packed(p) => p.value.clone(),
+            other => other,
+        };
+        match &recv {
+            Value::Obj(o) => {
+                let Some((cid, mi, cargs, cmodels)) =
+                    self.find_virtual(o.class, &o.targs, &o.models, name, arity)
+                else {
+                    return Err(RuntimeError::new(
+                        ErrorKind::NoSuchMethod,
+                        format!(
+                            "no method `{name}`/{arity} on class `{}`",
+                            self.prog.table.class(o.class).name
+                        ),
+                    ));
+                };
+                self.invoke_class_method(
+                    cid,
+                    mi,
+                    cargs,
+                    cmodels,
+                    Some(recv.clone()),
+                    targs,
+                    margs,
+                    args,
+                )
+            }
+            Value::Str(_) => self.string_virtual(&recv, name, args),
+            Value::Int(_) | Value::Long(_) | Value::Double(_) | Value::Bool(_) | Value::Char(_) => {
+                let p = match self.value_rt_type(&recv) {
+                    RtType::Prim(p) => p,
+                    _ => unreachable!("primitive value"),
+                };
+                self.prim_call(p, name, Some(recv), args)
+            }
+            Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "call on null")),
+            other => Err(RuntimeError::new(
+                ErrorKind::Other,
+                format!("cannot dispatch `{name}` on {other:?}"),
+            )),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn invoke_class_method(
+        &self,
+        cid: ClassId,
+        mi: usize,
+        cargs: Vec<RtType>,
+        cmodels: Vec<ModelValue>,
+        this: Option<Value>,
+        targs: Vec<RtType>,
+        margs: Vec<ModelValue>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        let def = self.prog.table.class(cid);
+        let m = &def.methods[mi];
+        if m.is_native {
+            if let Some(op) = genus_check::body::native_op(def.name, m.name) {
+                return self.native_call(op, this, args);
+            }
+        }
+        let Some(body) = self.prog.method_bodies.get(&(cid.0, mi as u32)) else {
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("method `{}::{}` has no body", def.name, m.name),
+            ));
+        };
+        let mut frame = Frame::default();
+        for (tv, t) in def.params.iter().zip(cargs) {
+            frame.tenv.insert(*tv, t);
+        }
+        for (w, mm) in def.wheres.iter().zip(cmodels) {
+            frame.menv.insert(w.mv, mm);
+        }
+        for (tv, t) in m.tparams.iter().zip(targs) {
+            frame.tenv.insert(*tv, t);
+        }
+        for (w, mm) in m.wheres.iter().zip(margs) {
+            frame.menv.insert(w.mv, mm);
+        }
+        self.run_body(frame, body, this, args, m.ret.is_void())
+    }
+
+    fn construct(
+        &self,
+        cid: ClassId,
+        targs: Vec<RtType>,
+        models: Vec<ModelValue>,
+        ctor: usize,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        let obj = Rc::new(ObjData {
+            class: cid,
+            targs: targs.clone(),
+            models: models.clone(),
+            fields: RefCell::new(HashMap::new()),
+        });
+        let this = Value::Obj(obj);
+        // Default-initialize and run field initializers for the whole chain
+        // (base classes first).
+        let mut chain = Vec::new();
+        let mut cur = Some((cid, targs.clone(), models.clone()));
+        while let Some((id, a, m)) = cur {
+            let parents = self.rt_parents(id, &a, &m);
+            chain.push((id, a, m));
+            cur = parents
+                .into_iter()
+                .find(|(pid, _, _)| !self.prog.table.class(*pid).is_interface);
+        }
+        for (id, a, m) in chain.iter().rev() {
+            let def = self.prog.table.class(*id);
+            let mut env = Frame::default();
+            for (tv, t) in def.params.iter().zip(a) {
+                env.tenv.insert(*tv, t.clone());
+            }
+            for (w, mm) in def.wheres.iter().zip(m) {
+                env.menv.insert(w.mv, mm.clone());
+            }
+            for (fi, f) in def.fields.iter().enumerate() {
+                if f.is_static {
+                    continue;
+                }
+                let key = (id.0, fi as u32);
+                let v = match self.prog.field_inits.get(&key) {
+                    Some(init) => {
+                        let mut frame = Frame {
+                            locals: vec![this.clone()],
+                            tenv: env.tenv.clone(),
+                            menv: env.menv.clone(),
+                        };
+                        self.eval(&mut frame, init)?
+                    }
+                    None => self.eval_type(&env, &f.ty).default_value(),
+                };
+                if let Value::Obj(o) = &this {
+                    o.fields.borrow_mut().insert(key, v);
+                }
+            }
+        }
+        // Run the constructor.
+        let def = self.prog.table.class(cid);
+        let Some(body) = self.prog.ctor_bodies.get(&(cid.0, ctor as u32)) else {
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("class `{}` ctor {ctor} has no body", def.name),
+            ));
+        };
+        let mut frame = Frame::default();
+        for (tv, t) in def.params.iter().zip(&targs) {
+            frame.tenv.insert(*tv, t.clone());
+        }
+        for (w, mm) in def.wheres.iter().zip(&models) {
+            frame.menv.insert(w.mv, mm.clone());
+        }
+        self.run_body(frame, body, Some(this.clone()), args, true)?;
+        Ok(this)
+    }
+
+    // ------------------------------------------------------------------
+    // Model dispatch (multimethods, §5.1)
+    // ------------------------------------------------------------------
+
+    /// Invokes constraint operation `name` through a model witness.
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchMethodError` when no definition applies; any body error.
+    pub fn call_model(
+        &self,
+        model: &ModelValue,
+        name: Symbol,
+        recv: Option<Value>,
+        static_recv: Option<RtType>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        match model {
+            ModelValue::Natural { .. } => match recv {
+                Some(r) => self.call_virtual(r, name, args.len(), vec![], vec![], args),
+                None => {
+                    let Some(rt) = static_recv else {
+                        return Err(RuntimeError::new(
+                            ErrorKind::Other,
+                            "static model call without receiver type",
+                        ));
+                    };
+                    match rt {
+                        RtType::Prim(p) => self.prim_call(p, name, None, args),
+                        RtType::Class { id, args: cargs, models: cmodels } => {
+                            let def = self.prog.table.class(id);
+                            let mi = def.methods.iter().position(|m| {
+                                m.is_static && m.name == name && m.params.len() == args.len()
+                            });
+                            match mi {
+                                Some(mi) => self.invoke_class_method(
+                                    id,
+                                    mi,
+                                    cargs,
+                                    cmodels,
+                                    None,
+                                    vec![],
+                                    vec![],
+                                    args,
+                                ),
+                                None => Err(RuntimeError::new(
+                                    ErrorKind::NoSuchMethod,
+                                    format!("no static `{name}` on `{}`", def.name),
+                                )),
+                            }
+                        }
+                        other => Err(RuntimeError::new(
+                            ErrorKind::NoSuchMethod,
+                            format!("no static `{name}` on {other:?}"),
+                        )),
+                    }
+                }
+            },
+            ModelValue::Decl { id, targs, margs } => {
+                self.model_dispatch(*id, targs, margs, name, recv, static_recv, args)
+            }
+        }
+    }
+
+    /// Collects `(model id, method index, env)` candidates: the model's own
+    /// methods plus those inherited via `extends` (§5.3).
+    fn model_candidates(
+        &self,
+        id: ModelId,
+        targs: &[RtType],
+        margs: &[ModelValue],
+        out: &mut Vec<(ModelId, usize, Frame)>,
+        depth: usize,
+    ) {
+        if depth > 16 {
+            return;
+        }
+        let def = self.prog.table.model(id);
+        let mut env = Frame::default();
+        for (tv, t) in def.tparams.iter().zip(targs) {
+            env.tenv.insert(*tv, t.clone());
+        }
+        for (w, m) in def.wheres.iter().zip(margs) {
+            env.menv.insert(w.mv, m.clone());
+        }
+        for (mi, _) in def.methods.iter().enumerate() {
+            out.push((
+                id,
+                mi,
+                Frame { locals: Vec::new(), tenv: env.tenv.clone(), menv: env.menv.clone() },
+            ));
+        }
+        for parent in &def.extends {
+            if let ModelValue::Decl { id: pid, targs: pt, margs: pm } =
+                self.eval_model(&env, parent)
+            {
+                self.model_candidates(pid, &pt, &pm, out, depth + 1);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn model_dispatch(
+        &self,
+        id: ModelId,
+        targs: &[RtType],
+        margs: &[ModelValue],
+        name: Symbol,
+        recv: Option<Value>,
+        static_recv: Option<RtType>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        let mut cands = Vec::new();
+        self.model_candidates(id, targs, margs, &mut cands, 0);
+        let is_static = recv.is_none();
+        // Applicability: the dynamic receiver and argument values must be
+        // instances of the declared (evaluated) types.
+        let mut applicable: Vec<(usize, Vec<RtType>)> = Vec::new();
+        for (ci, (mid, mi, env)) in cands.iter().enumerate() {
+            let m = &self.prog.table.model(*mid).methods[*mi];
+            if m.name != name || m.is_static != is_static || m.params.len() != args.len() {
+                continue;
+            }
+            let recv_t = self.eval_type(env, &m.receiver);
+            let ok_recv = match (&recv, &static_recv) {
+                (Some(r), _) => self.value_instanceof(r, &recv_t),
+                (None, Some(srt)) => &recv_t == srt,
+                (None, None) => false,
+            };
+            if !ok_recv {
+                continue;
+            }
+            let param_ts: Vec<RtType> =
+                m.params.iter().map(|(_, t)| self.eval_type(env, t)).collect();
+            let ok_args = args.iter().zip(&param_ts).all(|(a, t)| {
+                self.value_instanceof(a, t) || matches!(t, RtType::Prim(_)) || a.is_null()
+            });
+            if !ok_args {
+                continue;
+            }
+            let mut tuple = vec![recv_t];
+            tuple.extend(param_ts);
+            applicable.push((ci, tuple));
+        }
+        if applicable.is_empty() {
+            // Fall back to the underlying type's own method (a model may
+            // leave prerequisite operations to the natural model).
+            if let Some(r) = recv {
+                return self.call_virtual(r, name, args.len(), vec![], vec![], args);
+            }
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("model `{}` has no applicable `{name}`", self.prog.table.model(id).name),
+            ));
+        }
+        // Most specific by pointwise runtime subtyping. Ties keep the
+        // earlier candidate: own definitions precede inherited ones in the
+        // candidate list, so a child model's definition shadows an
+        // inherited definition with the same dispatch tuple (§5.3).
+        let mut best = 0;
+        for i in 1..applicable.len() {
+            let fwd = applicable[i]
+                .1
+                .iter()
+                .zip(&applicable[best].1)
+                .all(|(a, b)| self.rt_subtype(a, b));
+            let bwd = applicable[best]
+                .1
+                .iter()
+                .zip(&applicable[i].1)
+                .all(|(a, b)| self.rt_subtype(a, b));
+            if fwd && !bwd {
+                best = i;
+            }
+        }
+        let (ci, _) = applicable[best];
+        let (mid, mi, env) = &cands[ci];
+        let Some(body) = self.prog.model_bodies.get(&(mid.0, *mi as u32)) else {
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("model method `{name}` has no body"),
+            ));
+        };
+        let m = &self.prog.table.model(*mid).methods[*mi];
+        let frame = Frame { locals: Vec::new(), tenv: env.tenv.clone(), menv: env.menv.clone() };
+        let recv = recv.map(|r| match r {
+            Value::Packed(p) => p.value.clone(),
+            other => other,
+        });
+        self.run_body(frame, body, recv, args, m.ret.is_void())
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_check::check_source;
+
+    fn run(src: &str) -> (Value, String) {
+        let prog = check_source(src).unwrap_or_else(|e| panic!("check failed:\n{e}"));
+        let mut i = Interp::new(&prog);
+        let v = i.run_main().unwrap_or_else(|e| panic!("runtime error: {e}"));
+        let out = i.take_output();
+        (v, out)
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        let (v, _) = run(
+            "int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) { s += i; } return s; }",
+        );
+        assert!(matches!(v, Value::Int(55)));
+    }
+
+    #[test]
+    fn strings_and_print() {
+        let (_, out) = run(r#"void main() { String s = "a" + "b"; println(s + 1); }"#);
+        assert_eq!(out, "ab1\n");
+    }
+
+    #[test]
+    fn arrays_are_specialized() {
+        let (v, _) = run(
+            "double main() {
+               double[] xs = new double[3];
+               xs[0] = 1.5; xs[1] = 2.5; xs[2] = xs[0] + xs[1];
+               double s = 0.0;
+               for (double x : xs) { s = s + x; }
+               return s;
+             }",
+        );
+        assert!(matches!(v, Value::Double(x) if (x - 8.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn classes_fields_methods() {
+        let (v, _) = run(
+            "class Counter {
+               int count;
+               Counter() { count = 0; }
+               void inc() { count = count + 1; }
+               int get() { return count; }
+             }
+             int main() {
+               Counter c = new Counter();
+               c.inc(); c.inc(); c.inc();
+               return c.get();
+             }",
+        );
+        assert!(matches!(v, Value::Int(3)));
+    }
+
+    #[test]
+    fn generic_class_with_constraint() {
+        let (v, _) = run(
+            "class Box[T where Comparable[T]] {
+               T item;
+               Box(T item) { this.item = item; }
+               boolean isBigger(T other) { return item.compareTo(other) > 0; }
+             }
+             boolean main() {
+               Box[int] b = new Box[int](5);
+               return b.isBigger(3);
+             }",
+        );
+        assert!(matches!(v, Value::Bool(true)));
+    }
+
+    #[test]
+    fn generic_method_inference_and_default_models() {
+        let (v, _) = run(
+            "int which[T](T a, T b) where Comparable[T] {
+               if (a.compareTo(b) >= 0) { return 0; } else { return 1; }
+             }
+             int main() {
+               return which(3, 7) + which(\"b\", \"a\");
+             }",
+        );
+        // which(3,7) = 1, which("b","a") = 0.
+        assert!(matches!(v, Value::Int(1)));
+    }
+
+    #[test]
+    fn explicit_model_selection() {
+        let (v, _) = run(
+            r#"model CIEq for Eq[String] {
+                 boolean equals(String str) { return equalsIgnoreCase(str); }
+               }
+               boolean same[T](T a, T b) where Eq[T] {
+                 return a.equals(b);
+               }
+               boolean main() {
+                 boolean ci = same[String with CIEq]("Hello", "HELLO");
+                 boolean cs = same("Hello", "HELLO");
+                 return ci && !cs;
+               }"#,
+        );
+        assert!(matches!(v, Value::Bool(true)));
+    }
+
+    #[test]
+    fn static_constraint_ops() {
+        let (v, _) = run(
+            "constraint Ring[T] {
+               static T T.zero();
+               T T.plus(T that);
+             }
+             T sum[T](T[] xs) where Ring[T] {
+               T acc = T.zero();
+               for (T x : xs) { acc = acc.plus(x); }
+               return acc;
+             }
+             double main() {
+               double[] xs = new double[3];
+               xs[0] = 1.0; xs[1] = 2.0; xs[2] = 3.5;
+               return sum(xs);
+             }",
+        );
+        assert!(matches!(v, Value::Double(x) if (x - 6.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn class_cast_exception_surfaces() {
+        let prog = check_source(
+            "int main() {
+               Object o = \"hi\";
+               Counter c = (Counter) o;
+               return 0;
+             }
+             class Counter { Counter() { } }",
+        )
+        .unwrap();
+        let mut i = Interp::new(&prog);
+        let err = i.run_main().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::ClassCast);
+    }
+
+    #[test]
+    fn inheritance_and_override() {
+        let (v, _) = run(
+            "class Animal {
+               Animal() { }
+               int legs() { return 4; }
+             }
+             class Bird extends Animal {
+               Bird() { }
+               int legs() { return 2; }
+             }
+             int main() {
+               Animal a = new Bird();
+               return a.legs();
+             }",
+        );
+        assert!(matches!(v, Value::Int(2)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Annotation-burden counting over type-declaration headers (§8.2).
+
+/// The burden of one declaration header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeclBurden {
+    /// Declared name (excluded from the count).
+    pub name: String,
+    /// Count of type references (parameter types + concrete types).
+    pub type_refs: usize,
+    /// Count of `extends` / `where` keywords.
+    pub keywords: usize,
+}
+
+impl DeclBurden {
+    /// Total burden of the declaration.
+    pub fn total(&self) -> usize {
+        self.type_refs + self.keywords
+    }
+}
+
+/// Aggregate over a corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BurdenReport {
+    /// Per-declaration counts.
+    pub decls: Vec<DeclBurden>,
+}
+
+impl BurdenReport {
+    /// Sum over all declarations.
+    pub fn total(&self) -> usize {
+        self.decls.iter().map(DeclBurden::total).sum()
+    }
+}
+
+const DECL_KEYWORDS: [&str; 3] = ["class", "interface", "constraint"];
+const COUNTED_KEYWORDS: [&str; 2] = ["extends", "where"];
+const IGNORED_WORDS: [&str; 8] =
+    ["implements", "for", "public", "abstract", "final", "static", "with", "super"];
+
+/// Extracts type-declaration headers (from the declaring keyword to the
+/// opening brace) and counts their annotation burden.
+///
+/// A "type reference" is an uppercase-initial identifier other than the
+/// declared name's first occurrence; `extends` and `where` count as
+/// keywords; modifiers, `implements`, `for`, and `with` are ignored, as are
+/// primitive type names (lowercase). Works for both Java-style (`<...>`) and
+/// Genus-style (`[...]`) headers.
+pub fn annotation_burden(src: &str) -> BurdenReport {
+    let stripped = strip_comments(src);
+    let mut decls = Vec::new();
+    let tokens = tokenize(&stripped);
+    let mut i = 0;
+    while i < tokens.len() {
+        if DECL_KEYWORDS.contains(&tokens[i].as_str()) {
+            // Find the end of the header: the next `{` or `;` at depth 0 of
+            // angle/square brackets.
+            let mut j = i + 1;
+            let mut header: Vec<String> = Vec::new();
+            while j < tokens.len() && tokens[j] != "{" && tokens[j] != ";" {
+                header.push(tokens[j].clone());
+                j += 1;
+            }
+            if let Some(d) = count_header(&header) {
+                decls.push(d);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    BurdenReport { decls }
+}
+
+fn count_header(header: &[String]) -> Option<DeclBurden> {
+    let name = header.iter().find(|t| is_word(t))?.clone();
+    let mut type_refs = 0usize;
+    let mut keywords = 0usize;
+    let mut seen_name = false;
+    for t in header {
+        if !is_word(t) {
+            continue;
+        }
+        if !seen_name && *t == name {
+            seen_name = true;
+            continue;
+        }
+        if COUNTED_KEYWORDS.contains(&t.as_str()) {
+            keywords += 1;
+            continue;
+        }
+        if IGNORED_WORDS.contains(&t.as_str()) {
+            continue;
+        }
+        if t.chars().next().is_some_and(char::is_uppercase) {
+            type_refs += 1;
+        }
+    }
+    Some(DeclBurden { name, type_refs, keywords })
+}
+
+fn is_word(t: &str) -> bool {
+    t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn tokenize(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in src.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            if !c.is_whitespace() {
+                out.push(c.to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn strip_comments(src: &str) -> String {
+    let mut out = String::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The §8.2 comparison: burden of the Java-idiom graph corpus vs the Genus
+/// graph library, with the percentage reduction.
+pub fn burden_report() -> (BurdenReport, BurdenReport, f64) {
+    let java = annotation_burden(genus_stdlib::JAVA_GRAPH);
+    let genus = annotation_burden(genus_stdlib::GRAPH);
+    let (j, g) = (java.total() as f64, genus.total() as f64);
+    let reduction = if j > 0.0 { 100.0 * (j - g) / j } else { 0.0 };
+    (java, genus, reduction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_fbounded_clutter() {
+        let r = annotation_burden(
+            "class AbstractVertex<EdgeType extends AbstractEdge<EdgeType, ActualVertexType>,
+                                  ActualVertexType extends AbstractVertex<EdgeType, ActualVertexType>> { }",
+        );
+        assert_eq!(r.decls.len(), 1);
+        let d = &r.decls[0];
+        assert_eq!(d.name, "AbstractVertex");
+        // EdgeType, AbstractEdge, EdgeType, ActualVertexType,
+        // ActualVertexType, AbstractVertex, EdgeType, ActualVertexType = 8
+        assert_eq!(d.type_refs, 8);
+        assert_eq!(d.keywords, 2);
+    }
+
+    #[test]
+    fn counts_genus_constraint() {
+        let r = annotation_burden(
+            "constraint GraphLike[V, E] {
+               Iterable[E] V.outgoingEdges();
+             }",
+        );
+        assert_eq!(r.decls.len(), 1);
+        let d = &r.decls[0];
+        assert_eq!(d.name, "GraphLike");
+        assert_eq!(d.type_refs, 2); // V, E
+        assert_eq!(d.keywords, 0);
+    }
+
+    #[test]
+    fn genus_graph_burden_is_lower() {
+        let (java, genus, reduction) = burden_report();
+        assert!(java.total() > 0);
+        assert!(genus.total() > 0);
+        assert!(
+            reduction > 15.0,
+            "expected a substantial reduction, got {reduction:.1}% (java {}, genus {})",
+            java.total(),
+            genus.total()
+        );
+    }
+
+    #[test]
+    fn comments_do_not_count() {
+        let r = annotation_burden("// class Fake<T extends Whatever>\nclass Real[T] { }");
+        assert_eq!(r.decls.len(), 1);
+        assert_eq!(r.decls[0].name, "Real");
+        assert_eq!(r.decls[0].type_refs, 1);
+    }
+}

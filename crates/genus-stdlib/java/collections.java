@@ -1,0 +1,346 @@
+// Java-idiom corpus: Concept-pattern collections in the style of the Java
+// Collections Framework (paper Figure 2), with specification comments
+// matching the JCF javadoc. This file is *data* for the section 8.1 safety
+// metric — the `ClassCastException` mentions below mirror the TreeSet /
+// TreeMap specifications the paper counts (35 occurrences) — and for the
+// descending-view line-count comparison. It is not compiled.
+
+interface Comparator<T> {
+    int compare(T o1, T o2);
+}
+
+class TreeSet<E> implements SortedSet<E> {
+    /** Constructs a set ordered by the natural ordering of its elements.
+     *  All elements inserted must implement Comparable; add throws
+     *  ClassCastException otherwise. */
+    TreeSet() {}
+
+    /** Constructs a set ordered by the given comparator. There is no static
+     *  check that two TreeSets use the same ordering. */
+    TreeSet(Comparator<? super E> comparator) {}
+
+    /** @throws ClassCastException if the specified object cannot be compared
+     *  with the elements currently in this set */
+    boolean add(E e) { return false; }
+
+    /** @throws ClassCastException if the elements of the specified
+     *  collection cannot be compared with the elements of this set */
+    boolean addAll(Collection<? extends E> c) { return false; }
+
+    /** @throws ClassCastException if the specified object cannot be compared
+     *  with the elements currently in the set */
+    boolean contains(Object o) { return false; }
+
+    /** @throws ClassCastException if the specified object cannot be compared
+     *  with the elements currently in this set */
+    boolean remove(Object o) { return false; }
+
+    /** @throws ClassCastException if fromElement or toElement cannot be
+     *  compared with the elements in this set */
+    SortedSet<E> subSet(E fromElement, E toElement) { return null; }
+
+    /** @throws ClassCastException if toElement is not compatible with this
+     *  set's comparator */
+    SortedSet<E> headSet(E toElement) { return null; }
+
+    /** @throws ClassCastException if fromElement is not compatible with this
+     *  set's comparator */
+    SortedSet<E> tailSet(E fromElement) { return null; }
+
+    /** @throws ClassCastException if the specified element cannot be
+     *  compared with the elements currently in the set */
+    E ceiling(E e) { return null; }
+
+    /** @throws ClassCastException if the specified element cannot be
+     *  compared with the elements currently in the set */
+    E floor(E e) { return null; }
+
+    /** @throws ClassCastException if the specified element cannot be
+     *  compared with the elements currently in the set */
+    E higher(E e) { return null; }
+
+    /** @throws ClassCastException if the specified element cannot be
+     *  compared with the elements currently in the set */
+    E lower(E e) { return null; }
+
+    /** @throws ClassCastException if elements cannot be compared with one
+     *  another using this set's ordering */
+    E first() { return null; }
+
+    /** @throws ClassCastException if elements cannot be compared with one
+     *  another using this set's ordering */
+    E last() { return null; }
+
+    /** @throws ClassCastException if elements cannot be compared with one
+     *  another using this set's ordering */
+    E pollFirst() { return null; }
+
+    /** @throws ClassCastException if elements cannot be compared with one
+     *  another using this set's ordering */
+    E pollLast() { return null; }
+
+    /** @throws ClassCastException if the collection's elements cannot be
+     *  compared using this set's ordering */
+    boolean retainAll(Collection<?> c) { return false; }
+}
+
+class TreeMap<K, V> implements NavigableMap<K, V> {
+    /** Constructs a map ordered by the natural ordering of its keys. All
+     *  keys inserted must implement Comparable; put throws
+     *  ClassCastException otherwise. */
+    TreeMap() {}
+
+    /** Constructs a map ordered by the given comparator. */
+    TreeMap(Comparator<? super K> comparator) {}
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    V put(K key, V value) { return null; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    V get(Object key) { return null; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    boolean containsKey(Object key) { return false; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    V remove(Object key) { return null; }
+
+    /** @throws ClassCastException if the keys in m cannot be compared with
+     *  the keys currently in the map */
+    void putAll(Map<? extends K, ? extends V> m) {}
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    Map.Entry<K, V> ceilingEntry(K key) { return null; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    K ceilingKey(K key) { return null; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    Map.Entry<K, V> floorEntry(K key) { return null; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    K floorKey(K key) { return null; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    Map.Entry<K, V> higherEntry(K key) { return null; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    K higherKey(K key) { return null; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    Map.Entry<K, V> lowerEntry(K key) { return null; }
+
+    /** @throws ClassCastException if the specified key cannot be compared
+     *  with the keys currently in the map */
+    K lowerKey(K key) { return null; }
+
+    /** @throws ClassCastException if fromKey or toKey cannot be compared
+     *  with the keys currently in the map */
+    NavigableMap<K, V> subMap(K fromKey, K toKey) { return null; }
+
+    /** @throws ClassCastException if toKey is not compatible with this
+     *  map's comparator */
+    NavigableMap<K, V> headMap(K toKey) { return null; }
+
+    /** @throws ClassCastException if fromKey is not compatible with this
+     *  map's comparator */
+    NavigableMap<K, V> tailMap(K fromKey) { return null; }
+}
+
+// ---------------------------------------------------------------------
+// The descending views: in JCF these are dedicated classes inside TreeMap.
+// The Genus port replaces every line between the BEGIN/END markers with the
+// ReverseCmp model and one descendingMap() method (section 8.1: 160 lines
+// eliminated).
+// ---------------------------------------------------------------------
+// BEGIN DESCENDING VIEWS
+class DescendingSubMap<K, V> extends NavigableSubMap<K, V> {
+    DescendingSubMap(TreeMap<K, V> m) { super(m); }
+    Comparator<? super K> reverseComparator;
+    public Comparator<? super K> comparator() { return reverseComparator; }
+    NavigableMap<K, V> descendingMapView;
+    public K firstKey() { return m.lastKey(); }
+    public K lastKey() { return m.firstKey(); }
+    public Map.Entry<K, V> firstEntry() { return m.lastEntry(); }
+    public Map.Entry<K, V> lastEntry() { return m.firstEntry(); }
+    public Map.Entry<K, V> pollFirstEntry() { return m.pollLastEntry(); }
+    public Map.Entry<K, V> pollLastEntry() { return m.pollFirstEntry(); }
+    public K ceilingKey(K key) { return m.floorKey(key); }
+    public K floorKey(K key) { return m.ceilingKey(key); }
+    public K higherKey(K key) { return m.lowerKey(key); }
+    public K lowerKey(K key) { return m.higherKey(key); }
+    public Map.Entry<K, V> ceilingEntry(K key) { return m.floorEntry(key); }
+    public Map.Entry<K, V> floorEntry(K key) { return m.ceilingEntry(key); }
+    public Map.Entry<K, V> higherEntry(K key) { return m.lowerEntry(key); }
+    public Map.Entry<K, V> lowerEntry(K key) { return m.higherEntry(key); }
+    public NavigableMap<K, V> subMap(K fromKey, K toKey) { return m.subMap(toKey, fromKey); }
+    public NavigableMap<K, V> headMap(K toKey) { return m.tailMap(toKey); }
+    public NavigableMap<K, V> tailMap(K fromKey) { return m.headMap(fromKey); }
+    public Iterator<K> keyIterator() { return new DescendingKeyIterator<K, V>(m); }
+    public Iterator<K> descendingKeyIterator() { return m.keyIterator(); }
+}
+
+class DescendingKeySet<E> extends AbstractSet<E> implements NavigableSet<E> {
+    DescendingKeySet(NavigableMap<E, Object> m) { this.m = m; }
+    NavigableMap<E, Object> m;
+    public int size() { return m.size(); }
+    public boolean isEmpty() { return m.isEmpty(); }
+    public boolean contains(Object o) { return m.containsKey(o); }
+    public boolean remove(Object o) { return m.remove(o) != null; }
+    public void clear() { m.clear(); }
+    public E first() { return m.lastKey(); }
+    public E last() { return m.firstKey(); }
+    public E ceiling(E e) { return m.floorKey(e); }
+    public E floor(E e) { return m.ceilingKey(e); }
+    public E higher(E e) { return m.lowerKey(e); }
+    public E lower(E e) { return m.higherKey(e); }
+    public E pollFirst() { Map.Entry<E, Object> e = m.pollLastEntry(); return e == null ? null : e.getKey(); }
+    public E pollLast() { Map.Entry<E, Object> e = m.pollFirstEntry(); return e == null ? null : e.getKey(); }
+    public Iterator<E> iterator() { return m.descendingKeyIterator(); }
+    public Iterator<E> descendingIterator() { return m.keyIterator(); }
+    public NavigableSet<E> descendingSet() { return new AscendingKeySet<E>(m); }
+    public NavigableSet<E> subSet(E from, E to) { return new DescendingKeySet<E>(m.subMap(to, from)); }
+    public NavigableSet<E> headSet(E to) { return new DescendingKeySet<E>(m.tailMap(to)); }
+    public NavigableSet<E> tailSet(E from) { return new DescendingKeySet<E>(m.headMap(from)); }
+}
+
+class DescendingKeyIterator<K, V> implements Iterator<K> {
+    DescendingKeyIterator(TreeMap<K, V> m) { this.m = m; next = m.getLastEntry(); }
+    TreeMap<K, V> m;
+    TreeMap.Entry<K, V> next;
+    TreeMap.Entry<K, V> lastReturned;
+    public boolean hasNext() { return next != null; }
+    public K next() {
+        TreeMap.Entry<K, V> e = next;
+        if (e == null) { throw new NoSuchElementException(); }
+        next = m.predecessor(e);
+        lastReturned = e;
+        return e.key;
+    }
+    public void remove() {
+        if (lastReturned == null) { throw new IllegalStateException(); }
+        m.deleteEntry(lastReturned);
+        lastReturned = null;
+    }
+}
+
+class DescendingEntryIterator<K, V> implements Iterator<Map.Entry<K, V>> {
+    DescendingEntryIterator(TreeMap<K, V> m) { this.m = m; next = m.getLastEntry(); }
+    TreeMap<K, V> m;
+    TreeMap.Entry<K, V> next;
+    TreeMap.Entry<K, V> lastReturned;
+    public boolean hasNext() { return next != null; }
+    public Map.Entry<K, V> next() {
+        TreeMap.Entry<K, V> e = next;
+        if (e == null) { throw new NoSuchElementException(); }
+        next = m.predecessor(e);
+        lastReturned = e;
+        return e;
+    }
+    public void remove() {
+        if (lastReturned == null) { throw new IllegalStateException(); }
+        m.deleteEntry(lastReturned);
+        lastReturned = null;
+    }
+}
+
+class DescendingEntrySet<K, V> extends AbstractSet<Map.Entry<K, V>> {
+    DescendingEntrySet(TreeMap<K, V> m) { this.m = m; }
+    TreeMap<K, V> m;
+    public int size() { return m.size(); }
+    public void clear() { m.clear(); }
+    public Iterator<Map.Entry<K, V>> iterator() { return new DescendingEntryIterator<K, V>(m); }
+    public boolean contains(Object o) {
+        if (!(o instanceof Map.Entry)) { return false; }
+        Map.Entry<K, V> entry = (Map.Entry<K, V>) o;
+        V value = m.get(entry.getKey());
+        return value != null && value.equals(entry.getValue());
+    }
+    public boolean remove(Object o) {
+        if (!(o instanceof Map.Entry)) { return false; }
+        Map.Entry<K, V> entry = (Map.Entry<K, V>) o;
+        V value = m.get(entry.getKey());
+        if (value != null && value.equals(entry.getValue())) {
+            m.remove(entry.getKey());
+            return true;
+        }
+        return false;
+    }
+}
+
+class DescendingValuesCollection<K, V> extends AbstractCollection<V> {
+    DescendingValuesCollection(TreeMap<K, V> m) { this.m = m; }
+    TreeMap<K, V> m;
+    public int size() { return m.size(); }
+    public boolean isEmpty() { return m.isEmpty(); }
+    public void clear() { m.clear(); }
+    public boolean contains(Object o) { return m.containsValue(o); }
+    public Iterator<V> iterator() { return new DescendingValueIterator<K, V>(m); }
+    public boolean remove(Object o) {
+        for (TreeMap.Entry<K, V> e = m.getLastEntry(); e != null; e = m.predecessor(e)) {
+            if (e.getValue().equals(o)) {
+                m.deleteEntry(e);
+                return true;
+            }
+        }
+        return false;
+    }
+}
+
+class DescendingValueIterator<K, V> implements Iterator<V> {
+    DescendingValueIterator(TreeMap<K, V> m) { this.m = m; next = m.getLastEntry(); }
+    TreeMap<K, V> m;
+    TreeMap.Entry<K, V> next;
+    TreeMap.Entry<K, V> lastReturned;
+    public boolean hasNext() { return next != null; }
+    public V next() {
+        TreeMap.Entry<K, V> e = next;
+        if (e == null) { throw new NoSuchElementException(); }
+        next = m.predecessor(e);
+        lastReturned = e;
+        return e.value;
+    }
+    public void remove() {
+        if (lastReturned == null) { throw new IllegalStateException(); }
+        m.deleteEntry(lastReturned);
+        lastReturned = null;
+    }
+}
+
+class DescendingMapView<K, V> implements NavigableMap<K, V> {
+    DescendingMapView(TreeMap<K, V> m) { this.m = m; }
+    TreeMap<K, V> m;
+    public int size() { return m.size(); }
+    public boolean isEmpty() { return m.isEmpty(); }
+    public void clear() { m.clear(); }
+    public boolean containsKey(Object key) { return m.containsKey(key); }
+    public boolean containsValue(Object value) { return m.containsValue(value); }
+    public V get(Object key) { return m.get(key); }
+    public V put(K key, V value) { return m.put(key, value); }
+    public V remove(Object key) { return m.remove(key); }
+    public K firstKey() { return m.lastKey(); }
+    public K lastKey() { return m.firstKey(); }
+    public Map.Entry<K, V> firstEntry() { return m.lastEntry(); }
+    public Map.Entry<K, V> lastEntry() { return m.firstEntry(); }
+    public Map.Entry<K, V> pollFirstEntry() { return m.pollLastEntry(); }
+    public Map.Entry<K, V> pollLastEntry() { return m.pollFirstEntry(); }
+    public NavigableMap<K, V> descendingMap() { return m; }
+    public NavigableSet<K> navigableKeySet() { return new DescendingKeySet<K>(m); }
+    public NavigableSet<K> descendingKeySet() { return m.navigableKeySet(); }
+    public Collection<V> values() { return new DescendingValuesCollection<K, V>(m); }
+    public Set<Map.Entry<K, V>> entrySet() { return new DescendingEntrySet<K, V>(m); }
+    public Iterator<K> keyIterator() { return new DescendingKeyIterator<K, V>(m); }
+    public Iterator<K> descendingKeyIterator() { return m.keyIterator(); }
+}
+// END DESCENDING VIEWS

@@ -1,0 +1,95 @@
+// Java-idiom corpus: the FindBugs graph library skeleton with mutually
+// F-bounded vertex/edge parameters (paper Figure 1). This file is *data*
+// for the section 8.2 annotation-burden metric; it is not compiled.
+
+interface GraphVertex<ActualVertexType extends GraphVertex<ActualVertexType, ActualEdgeType>,
+                      ActualEdgeType extends GraphEdge<ActualVertexType, ActualEdgeType>> {
+    Iterable<ActualEdgeType> outgoingEdges();
+    Iterable<ActualEdgeType> incomingEdges();
+}
+
+interface GraphEdge<ActualVertexType extends GraphVertex<ActualVertexType, ActualEdgeType>,
+                    ActualEdgeType extends GraphEdge<ActualVertexType, ActualEdgeType>> {
+    ActualVertexType source();
+    ActualVertexType sink();
+}
+
+interface Graph<EdgeType extends GraphEdge<VertexType, EdgeType>,
+                VertexType extends GraphVertex<VertexType, EdgeType>> {
+    Iterable<VertexType> vertices();
+    Iterable<EdgeType> edges();
+    VertexType addVertex();
+    EdgeType addEdge(VertexType from, VertexType to);
+}
+
+abstract class AbstractVertex<EdgeType extends AbstractEdge<EdgeType, ActualVertexType>,
+                              ActualVertexType extends AbstractVertex<EdgeType, ActualVertexType>>
+        implements GraphVertex<ActualVertexType, EdgeType> {
+    Iterable<EdgeType> outs;
+    Iterable<EdgeType> ins;
+}
+
+abstract class AbstractEdge<ActualEdgeType extends AbstractEdge<ActualEdgeType, VertexType>,
+                            VertexType extends AbstractVertex<ActualEdgeType, VertexType>>
+        implements GraphEdge<VertexType, ActualEdgeType> {
+    VertexType from;
+    VertexType to;
+}
+
+abstract class AbstractGraph<EdgeType extends AbstractEdge<EdgeType, VertexType>,
+                             VertexType extends AbstractVertex<EdgeType, VertexType>>
+        implements Graph<EdgeType, VertexType> {
+    Iterable<VertexType> vertexList;
+    Iterable<EdgeType> edgeList;
+}
+
+interface WeightedEdge<ActualVertexType extends GraphVertex<ActualVertexType, ActualEdgeType>,
+                       ActualEdgeType extends GraphEdge<ActualVertexType, ActualEdgeType>>
+        extends GraphEdge<ActualVertexType, ActualEdgeType> {
+    double weight();
+}
+
+class DepthFirstSearch<GraphType extends Graph<EdgeType, VertexType>,
+                       EdgeType extends GraphEdge<VertexType, EdgeType>,
+                       VertexType extends GraphVertex<VertexType, EdgeType>> {
+    GraphType graph;
+}
+
+class ShortestPath<GraphType extends Graph<EdgeType, VertexType>,
+                   EdgeType extends WeightedEdge<VertexType, EdgeType>,
+                   VertexType extends GraphVertex<VertexType, EdgeType>> {
+    GraphType graph;
+}
+
+class StronglyConnectedComponents<GraphType extends Graph<EdgeType, VertexType>,
+                                  EdgeType extends GraphEdge<VertexType, EdgeType>,
+                                  VertexType extends GraphVertex<VertexType, EdgeType>> {
+    DepthFirstSearch<GraphType, EdgeType, VertexType> forward;
+    DepthFirstSearch<GraphType, EdgeType, VertexType> backward;
+}
+
+class TransposedGraph<GraphType extends Graph<EdgeType, VertexType>,
+                      EdgeType extends GraphEdge<VertexType, EdgeType>,
+                      VertexType extends GraphVertex<VertexType, EdgeType>>
+        implements Graph<EdgeType, VertexType> {
+    GraphType underlying;
+}
+
+// Concrete instantiations — even these must restate the mutual F-bounds.
+class SimpleVertex extends AbstractVertex<SimpleEdge, SimpleVertex> {
+    int id;
+}
+
+class SimpleEdge extends AbstractEdge<SimpleEdge, SimpleVertex>
+        implements WeightedEdge<SimpleVertex, SimpleEdge> {
+    double w;
+}
+
+class SimpleGraph extends AbstractGraph<SimpleEdge, SimpleVertex> {
+}
+
+class VertexIterator<VertexType extends GraphVertex<VertexType, EdgeType>,
+                     EdgeType extends GraphEdge<VertexType, EdgeType>>
+        implements Iterator<VertexType> {
+    VertexType nextVertex;
+}

@@ -1,0 +1,781 @@
+//! Abstract syntax tree for the Genus surface language.
+//!
+//! The AST mirrors the paper's syntax closely: square-bracket generics,
+//! `where` clauses binding constraint witnesses to optional model variables,
+//! `with` clauses selecting models inside types, receiver-typed constraint
+//! operations (`V E.source();`), model declarations with multimethod
+//! definitions, `enrich` and `use` declarations, and existential types
+//! `[some U where Printable[U]]List[U]`.
+
+use genus_common::{Span, Symbol};
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+/// Any top-level declaration.
+#[derive(Debug, Clone)]
+pub enum Decl {
+    /// `class C[...] ... { ... }`
+    Class(ClassDecl),
+    /// `interface I[...] ... { ... }`
+    Interface(InterfaceDecl),
+    /// `constraint K[X, Y] ... { ... }`
+    Constraint(ConstraintDecl),
+    /// `model M[...] for K[...] ... { ... }`
+    Model(ModelDecl),
+    /// `enrich M { ... }`
+    Enrich(EnrichDecl),
+    /// `use M;` or the parameterized form.
+    Use(UseDecl),
+    /// A free-standing generic method (the paper writes `sort[T](...)`,
+    /// `SSSP[V,E,W](...)` at top level).
+    Method(MethodDecl),
+}
+
+impl Decl {
+    /// Primary span of the declaration.
+    pub fn span(&self) -> Span {
+        match self {
+            Decl::Class(d) => d.span,
+            Decl::Interface(d) => d.span,
+            Decl::Constraint(d) => d.span,
+            Decl::Model(d) => d.span,
+            Decl::Enrich(d) => d.span,
+            Decl::Use(d) => d.span,
+            Decl::Method(d) => d.span,
+        }
+    }
+
+    /// Declared name, if the declaration introduces one.
+    pub fn name(&self) -> Option<Symbol> {
+        match self {
+            Decl::Class(d) => Some(d.name),
+            Decl::Interface(d) => Some(d.name),
+            Decl::Constraint(d) => Some(d.name),
+            Decl::Model(d) => Some(d.name),
+            Decl::Enrich(_) | Decl::Use(_) => None,
+            Decl::Method(d) => Some(d.name),
+        }
+    }
+}
+
+/// A declared type parameter, e.g. the `T` in `class Set[T ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeParam {
+    /// Parameter name.
+    pub name: Symbol,
+    /// Optional upper (subtype) bound — used for desugared wildcards
+    /// (`? extends T`) and explicit existential bounds.
+    pub bound: Option<Ty>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One `where`-clause entry: a constraint plus an optional model variable,
+/// e.g. `where Comparable[T] c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhereBinding {
+    /// The constraint being required.
+    pub constraint: ConstraintRef,
+    /// Optional model-variable name naming the witness.
+    pub var: Option<Symbol>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// The generic signature of a declaration: type parameters plus where-clause
+/// constraints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GenericSig {
+    /// Declared type parameters.
+    pub type_params: Vec<TypeParam>,
+    /// Required constraints with optional model variables.
+    pub wheres: Vec<WhereBinding>,
+}
+
+impl GenericSig {
+    /// Whether the signature declares neither parameters nor constraints.
+    pub fn is_empty(&self) -> bool {
+        self.type_params.is_empty() && self.wheres.is_empty()
+    }
+}
+
+/// A reference to a constraint applied to argument types, e.g.
+/// `GraphLike[V, E]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintRef {
+    /// Constraint name.
+    pub name: Symbol,
+    /// Argument types.
+    pub args: Vec<Ty>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Built-in primitive types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimTy {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit integer.
+    Long,
+    /// 64-bit IEEE float.
+    Double,
+    /// Boolean.
+    Boolean,
+    /// Unicode scalar.
+    Char,
+    /// Method return type `void`.
+    Void,
+}
+
+impl PrimTy {
+    /// Source keyword for the primitive.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrimTy::Int => "int",
+            PrimTy::Long => "long",
+            PrimTy::Double => "double",
+            PrimTy::Boolean => "boolean",
+            PrimTy::Char => "char",
+            PrimTy::Void => "void",
+        }
+    }
+}
+
+/// A surface type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ty {
+    /// Shape of the type.
+    pub kind: TyKind,
+    /// Source span.
+    pub span: Span,
+}
+
+impl Ty {
+    /// Convenience constructor.
+    pub fn new(kind: TyKind, span: Span) -> Self {
+        Ty { kind, span }
+    }
+
+    /// A named type with no arguments (also used for type variables).
+    pub fn simple(name: Symbol, span: Span) -> Self {
+        Ty { kind: TyKind::Named { name, args: Vec::new(), models: Vec::new() }, span }
+    }
+}
+
+/// Shapes of surface types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TyKind {
+    /// `int`, `double`, ... or `void` in return position.
+    Prim(PrimTy),
+    /// Class, interface, or type-variable reference with type arguments and
+    /// an optional `with` clause of model expressions:
+    /// `TreeSet[T with c]`, `List[E]`, `T`.
+    Named {
+        /// Head name.
+        name: Symbol,
+        /// Type arguments (may contain wildcards).
+        args: Vec<Ty>,
+        /// Models from the `with` clause; empty means "resolve defaults".
+        models: Vec<ModelExpr>,
+    },
+    /// `T[]`.
+    Array(Box<Ty>),
+    /// `[some U where K[U] m] Body` — use-site existential quantification.
+    Existential {
+        /// Existentially bound type parameters.
+        params: Vec<TypeParam>,
+        /// Existentially bound constraint witnesses.
+        wheres: Vec<WhereBinding>,
+        /// The quantified body type.
+        body: Box<Ty>,
+    },
+    /// A wildcard in type-argument position: `?` or `? extends T`.
+    Wildcard {
+        /// Optional upper bound.
+        bound: Option<Box<Ty>>,
+    },
+}
+
+/// A model expression: something that can witness a constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelExpr {
+    /// A named model, model variable, or type name (natural model), possibly
+    /// applied: `CIEq`, `g`, `String`, `DualGraph[V, E with g]`.
+    Named {
+        /// Head name.
+        name: Symbol,
+        /// Type arguments of a parameterized model.
+        args: Vec<Ty>,
+        /// Model arguments (`with` part).
+        models: Vec<ModelExpr>,
+        /// Source span.
+        span: Span,
+    },
+    /// A wildcard model `?` (sugar for existential quantification over the
+    /// witness, §6).
+    Wildcard {
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl ModelExpr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            ModelExpr::Named { span, .. } => *span,
+            ModelExpr::Wildcard { span } => *span,
+        }
+    }
+}
+
+/// A formal value parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Ty,
+    /// Parameter name.
+    pub name: Symbol,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `class` declaration.
+#[derive(Debug, Clone)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: Symbol,
+    /// Generic signature (type params + where clauses).
+    pub generics: GenericSig,
+    /// Superclass, if any.
+    pub extends: Option<Ty>,
+    /// Implemented interfaces.
+    pub implements: Vec<Ty>,
+    /// Field declarations.
+    pub fields: Vec<FieldDecl>,
+    /// Constructors.
+    pub ctors: Vec<CtorDecl>,
+    /// Methods.
+    pub methods: Vec<MethodDecl>,
+    /// Whether declared `abstract`.
+    pub is_abstract: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `interface` declaration.
+#[derive(Debug, Clone)]
+pub struct InterfaceDecl {
+    /// Interface name.
+    pub name: Symbol,
+    /// Generic signature.
+    pub generics: GenericSig,
+    /// Extended interfaces.
+    pub extends: Vec<Ty>,
+    /// Method signatures (bodies optional: default methods are allowed).
+    pub methods: Vec<MethodDecl>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `constraint` declaration: a predicate over its type parameters.
+#[derive(Debug, Clone)]
+pub struct ConstraintDecl {
+    /// Constraint name.
+    pub name: Symbol,
+    /// Type parameters of the predicate.
+    pub params: Vec<TypeParam>,
+    /// Prerequisite constraints (`extends` clause).
+    pub extends: Vec<ConstraintRef>,
+    /// Required operations.
+    pub methods: Vec<ConstraintMethodSig>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One operation required by a constraint, with an explicit receiver type for
+/// multiparameter constraints (`V E.source();`) or the implicit sole
+/// parameter for single-parameter constraints (`boolean equals(T other);`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintMethodSig {
+    /// Whether this is a `static` requirement (invoked on the type, e.g.
+    /// `T.zero()`).
+    pub is_static: bool,
+    /// Return type.
+    pub ret: Ty,
+    /// Receiver type parameter name; `None` in the single-parameter sugar
+    /// (normalized during collection).
+    pub receiver: Option<Symbol>,
+    /// Operation name.
+    pub name: Symbol,
+    /// Value parameters.
+    pub params: Vec<Param>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `model` declaration witnessing a constraint.
+#[derive(Debug, Clone)]
+pub struct ModelDecl {
+    /// Model name.
+    pub name: Symbol,
+    /// Generic signature (parameterized models, Figure 5).
+    pub generics: GenericSig,
+    /// The constraint instantiation this model witnesses.
+    pub for_constraint: ConstraintRef,
+    /// Inherited models (`extends`, §5.3 — code reuse, not subtyping).
+    pub extends: Vec<ModelExpr>,
+    /// Method definitions, possibly multimethods (§5.1).
+    pub methods: Vec<ModelMethodDef>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A method definition inside a model or enrichment.
+///
+/// The receiver type may be a *subtype* of the constrained parameter
+/// (`Shape Circle.intersect(Rectangle r)`), which is what makes models
+/// multimethods.
+#[derive(Debug, Clone)]
+pub struct ModelMethodDef {
+    /// Whether this implements a `static` constraint operation.
+    pub is_static: bool,
+    /// Return type.
+    pub ret: Ty,
+    /// Explicit receiver type; `None` in single-parameter sugar.
+    pub receiver: Option<Ty>,
+    /// Method name.
+    pub name: Symbol,
+    /// Value parameters.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `enrich M { ... }` — post-factum addition of methods to a model (§5.1).
+#[derive(Debug, Clone)]
+pub struct EnrichDecl {
+    /// Name of the enriched model.
+    pub target: Symbol,
+    /// Added method definitions.
+    pub methods: Vec<ModelMethodDef>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `use` declaration enabling a model for default resolution (§4.4), possibly
+/// parameterized (§4.7):
+/// `use [E where Cloneable[E] c] ArrayListDeepCopy[E with c] for Cloneable[ArrayList[E]];`
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Generic signature of the parameterized form (empty for `use M;`).
+    pub generics: GenericSig,
+    /// The model being enabled.
+    pub model: ModelExpr,
+    /// Constraint the model is enabled for (inferred from the model's
+    /// declaration when omitted).
+    pub for_constraint: Option<ConstraintRef>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Field declaration inside a class.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// Whether the field is `static`.
+    pub is_static: bool,
+    /// Field type.
+    pub ty: Ty,
+    /// Field name.
+    pub name: Symbol,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Constructor declaration.
+#[derive(Debug, Clone)]
+pub struct CtorDecl {
+    /// Value parameters.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Method declaration (in classes, interfaces, or at top level).
+#[derive(Debug, Clone)]
+pub struct MethodDecl {
+    /// Whether declared `static`.
+    pub is_static: bool,
+    /// Whether declared `abstract` (no body).
+    pub is_abstract: bool,
+    /// Whether declared `native` (implemented by the runtime, used by the
+    /// built-in standard library).
+    pub is_native: bool,
+    /// Return type (`void` for none).
+    pub ret: Ty,
+    /// Method name.
+    pub name: Symbol,
+    /// Method-level generic signature, including *model genericity* — a
+    /// method may add `where` constraints without adding type parameters
+    /// (§3.2, `List.remove`).
+    pub generics: GenericSig,
+    /// Value parameters.
+    pub params: Vec<Param>,
+    /// Body; `None` for abstract/interface signatures.
+    pub body: Option<Block>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A block of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Shape of the statement.
+    pub kind: StmtKind,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Shapes of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `T x = e;` or `T x;`
+    Local {
+        /// Declared type.
+        ty: Ty,
+        /// Variable name.
+        name: Symbol,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Explicit local binding of existentials (§6.2):
+    /// `[U] (List[U] l) where Comparable[U] = f();`
+    LocalBind {
+        /// Freshly bound type variables.
+        params: Vec<TypeParam>,
+        /// Declared type of the new local (mentions the bound variables).
+        ty: Ty,
+        /// Variable name.
+        name: Symbol,
+        /// Constraints whose witnesses are unpacked alongside.
+        wheres: Vec<WhereBinding>,
+        /// The packed existential value.
+        init: Expr,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (c) { ... } else { ... }` — `else if` is nested in the else block.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (c) { ... }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// C-style `for (init; cond; update) { ... }`.
+    For {
+        /// Optional init statement (local or expression).
+        init: Option<Box<Stmt>>,
+        /// Optional condition.
+        cond: Option<Expr>,
+        /// Optional update expression.
+        update: Option<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `for (T x : e) { ... }` over arrays and `Iterable`s.
+    ForEach {
+        /// Element type.
+        ty: Ty,
+        /// Element variable.
+        name: Symbol,
+        /// Iterated expression.
+        iter: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Nested block.
+    Block(Block),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (numeric addition or string concatenation).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `==` (reference/primitive equality).
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&` (short-circuit).
+    And,
+    /// `||` (short-circuit).
+    Or,
+}
+
+impl BinOp {
+    /// Source text of the operator.
+    pub fn text(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical `!`.
+    Not,
+    /// Numeric negation `-`.
+    Neg,
+}
+
+/// Explicit type/model arguments at a generic method call:
+/// `sort[int](l)`, `m[T with c](x)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypeArgs {
+    /// Type arguments.
+    pub types: Vec<Ty>,
+    /// Model arguments.
+    pub models: Vec<ModelExpr>,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Shape of the expression.
+    pub kind: ExprKind,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Shapes of expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `42`
+    IntLit(i64),
+    /// `42L`
+    LongLit(i64),
+    /// `3.14`
+    DoubleLit(f64),
+    /// `true` / `false`
+    BoolLit(bool),
+    /// `'c'`
+    CharLit(char),
+    /// `"s"`
+    StrLit(String),
+    /// `null`
+    Null,
+    /// `this`
+    This,
+    /// A simple name: local variable, parameter, field of `this`, or a type
+    /// name used as a static receiver (`W.one()`), resolved during checking.
+    Name(Symbol),
+    /// `e.f` — field access (also array `.length`).
+    Field {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Field name.
+        name: Symbol,
+    },
+    /// Method call: `e.m(args)`, `m(args)`, or with explicit instantiation
+    /// `m[T with c](args)`. A `recv` that is a type name becomes a static /
+    /// constraint-static call during checking.
+    Call {
+        /// Optional receiver (`None` = unqualified).
+        recv: Option<Box<Expr>>,
+        /// Method name.
+        name: Symbol,
+        /// Optional explicit type/model arguments.
+        type_args: Option<TypeArgs>,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// Expander call `e.(m.f)(args)` (§4.1): invoke operation `f` of model
+    /// expression `m` with `e` as receiver.
+    ExpanderCall {
+        /// Receiver value.
+        recv: Box<Expr>,
+        /// The expander (a model expression, e.g. `CIEq`, `g`, `String`).
+        expander: ModelExpr,
+        /// Operation name.
+        name: Symbol,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// `new C[T with m](args)`.
+    New {
+        /// Instantiated class type.
+        ty: Ty,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+    },
+    /// `new T[n]` — arrays of type variables are creatable thanks to
+    /// reified models (§3.1).
+    NewArray {
+        /// Element type.
+        elem: Ty,
+        /// Length.
+        len: Box<Expr>,
+    },
+    /// `a[i]`.
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Index expression.
+        idx: Box<Expr>,
+    },
+    /// `lhs = rhs`, `lhs += rhs`, `lhs -= rhs`.
+    Assign {
+        /// Assignment target (name, field, or index).
+        lhs: Box<Expr>,
+        /// Value.
+        rhs: Box<Expr>,
+        /// `Some(op)` for compound assignment.
+        op: Option<BinOp>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `e instanceof T` — fully reified, including model arguments (§4.6).
+    InstanceOf {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Tested type.
+        ty: Ty,
+    },
+    /// `(T) e`.
+    Cast {
+        /// Target type.
+        ty: Ty,
+        /// Source expression.
+        expr: Box<Expr>,
+    },
+    /// `c ? t : e`.
+    Cond {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then value.
+        then_e: Box<Expr>,
+        /// Else value.
+        else_e: Box<Expr>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_common::Span;
+
+    #[test]
+    fn simple_ty_helper() {
+        let t = Ty::simple(Symbol::intern("T"), Span::dummy());
+        match t.kind {
+            TyKind::Named { name, ref args, ref models } => {
+                assert_eq!(name.as_str(), "T");
+                assert!(args.is_empty());
+                assert!(models.is_empty());
+            }
+            _ => panic!("expected named type"),
+        }
+    }
+
+    #[test]
+    fn decl_name_extraction() {
+        let d = Decl::Use(UseDecl {
+            generics: GenericSig::default(),
+            model: ModelExpr::Named {
+                name: Symbol::intern("M"),
+                args: vec![],
+                models: vec![],
+                span: Span::dummy(),
+            },
+            for_constraint: None,
+            span: Span::dummy(),
+        });
+        assert_eq!(d.name(), None);
+    }
+
+    #[test]
+    fn binop_text() {
+        assert_eq!(BinOp::Le.text(), "<=");
+        assert_eq!(BinOp::And.text(), "&&");
+    }
+}

@@ -1,0 +1,466 @@
+//! Hand-written lexer for Genus source text.
+
+use crate::token::{Token, TokenKind};
+use genus_common::{Diagnostics, FileId, SourceMap, Span, Symbol};
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    file: FileId,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> u8 {
+        *self.bytes.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.bytes.get(self.pos + 1).unwrap_or(&0)
+    }
+
+
+    fn span(&self, lo: usize) -> Span {
+        Span::new(self.file, lo as u32, self.pos as u32)
+    }
+
+    fn skip_trivia(&mut self, diags: &mut Diagnostics) {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let lo = self.pos;
+                    self.pos += 2;
+                    let mut closed = false;
+                    while self.pos < self.bytes.len() {
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            closed = true;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if !closed {
+                        diags.error(self.span(lo), "unterminated block comment");
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> TokenKind {
+        let lo = self.pos;
+        while self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        let mut is_double = false;
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_double = true;
+            self.pos += 1;
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            let mut look = self.pos + 1;
+            if self.bytes.get(look) == Some(&b'+') || self.bytes.get(look) == Some(&b'-') {
+                look += 1;
+            }
+            if self.bytes.get(look).is_some_and(|b| b.is_ascii_digit()) {
+                is_double = true;
+                self.pos = look;
+                while self.peek().is_ascii_digit() {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[lo..self.pos];
+        if is_double {
+            TokenKind::DoubleLit(text.parse().unwrap_or(0.0))
+        } else if self.peek() == b'L' || self.peek() == b'l' {
+            self.pos += 1;
+            TokenKind::LongLit(text.parse().unwrap_or(0))
+        } else if self.peek() == b'd' || self.peek() == b'D' {
+            self.pos += 1;
+            TokenKind::DoubleLit(text.parse().unwrap_or(0.0))
+        } else {
+            TokenKind::IntLit(text.parse().unwrap_or(0))
+        }
+    }
+
+    fn lex_escape(&mut self, diags: &mut Diagnostics) -> char {
+        // Caller consumed the backslash. Consume one full character (the
+        // escaped char may be multi-byte).
+        let lo = self.pos;
+        let Some(c) = self.src[self.pos.min(self.src.len())..].chars().next() else {
+            diags.error(self.span(lo), "unterminated escape at end of file");
+            return '\0';
+        };
+        self.pos += c.len_utf8();
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            '\\' => '\\',
+            '\'' => '\'',
+            '"' => '"',
+            other => {
+                diags.error(self.span(lo), format!("unknown escape `\\{other}`"));
+                other
+            }
+        }
+    }
+
+    fn lex_string(&mut self, diags: &mut Diagnostics) -> TokenKind {
+        let lo = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                0 | b'\n' => {
+                    diags.error(self.span(lo), "unterminated string literal");
+                    break;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    out.push(self.lex_escape(diags));
+                }
+                _ => {
+                    // Consume a full UTF-8 character.
+                    let rest = &self.src[self.pos..];
+                    let c = rest.chars().next().unwrap_or('\u{FFFD}');
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        TokenKind::StrLit(out)
+    }
+
+    fn lex_char(&mut self, diags: &mut Diagnostics) -> TokenKind {
+        let lo = self.pos;
+        self.pos += 1; // opening quote
+        let c = match self.peek() {
+            b'\\' => {
+                self.pos += 1;
+                self.lex_escape(diags)
+            }
+            0 => {
+                diags.error(self.span(lo), "unterminated char literal");
+                '\0'
+            }
+            _ => {
+                let rest = &self.src[self.pos..];
+                let c = rest.chars().next().unwrap_or('\u{FFFD}');
+                self.pos += c.len_utf8();
+                c
+            }
+        };
+        if self.peek() == b'\'' {
+            self.pos += 1;
+        } else {
+            diags.error(self.span(lo), "unterminated char literal");
+        }
+        TokenKind::CharLit(c)
+    }
+}
+
+/// Lexes the registered file `file` into a token stream ending with `Eof`.
+///
+/// Lexical errors are pushed into `diags`; the lexer always makes progress
+/// and produces a usable stream.
+pub fn lex(sm: &SourceMap, file: FileId, diags: &mut Diagnostics) -> Vec<Token> {
+    let src = &sm.file(file).src;
+    let mut lx = Lexer { src, bytes: src.as_bytes(), pos: 0, file };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia(diags);
+        let lo = lx.pos;
+        if lx.pos >= lx.bytes.len() {
+            out.push(Token { kind: TokenKind::Eof, span: lx.span(lo) });
+            return out;
+        }
+        let b = lx.peek();
+        let kind = match b {
+            b'0'..=b'9' => lx.lex_number(),
+            b'"' => lx.lex_string(diags),
+            b'\'' => lx.lex_char(diags),
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' | b'$' | b'#' => {
+                while matches!(lx.peek(), b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'$' | b'#')
+                {
+                    lx.pos += 1;
+                }
+                let word = &lx.src[lo..lx.pos];
+                TokenKind::keyword(word).unwrap_or_else(|| TokenKind::Ident(Symbol::intern(word)))
+            }
+            b'(' => {
+                lx.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                lx.pos += 1;
+                TokenKind::RParen
+            }
+            b'{' => {
+                lx.pos += 1;
+                TokenKind::LBrace
+            }
+            b'}' => {
+                lx.pos += 1;
+                TokenKind::RBrace
+            }
+            b'[' => {
+                lx.pos += 1;
+                TokenKind::LBracket
+            }
+            b']' => {
+                lx.pos += 1;
+                TokenKind::RBracket
+            }
+            b';' => {
+                lx.pos += 1;
+                TokenKind::Semi
+            }
+            b',' => {
+                lx.pos += 1;
+                TokenKind::Comma
+            }
+            b'.' => {
+                lx.pos += 1;
+                TokenKind::Dot
+            }
+            b':' => {
+                lx.pos += 1;
+                TokenKind::Colon
+            }
+            b'?' => {
+                lx.pos += 1;
+                TokenKind::Question
+            }
+            b'=' => {
+                lx.pos += 1;
+                if lx.peek() == b'=' {
+                    lx.pos += 1;
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'+' => {
+                lx.pos += 1;
+                if lx.peek() == b'=' {
+                    lx.pos += 1;
+                    TokenKind::PlusAssign
+                } else {
+                    TokenKind::Plus
+                }
+            }
+            b'-' => {
+                lx.pos += 1;
+                if lx.peek() == b'=' {
+                    lx.pos += 1;
+                    TokenKind::MinusAssign
+                } else if lx.peek() == b'>' {
+                    lx.pos += 1;
+                    TokenKind::Arrow
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'*' => {
+                lx.pos += 1;
+                TokenKind::Star
+            }
+            b'/' => {
+                lx.pos += 1;
+                TokenKind::Slash
+            }
+            b'%' => {
+                lx.pos += 1;
+                TokenKind::Percent
+            }
+            b'!' => {
+                lx.pos += 1;
+                if lx.peek() == b'=' {
+                    lx.pos += 1;
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Not
+                }
+            }
+            b'<' => {
+                lx.pos += 1;
+                if lx.peek() == b'=' {
+                    lx.pos += 1;
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                lx.pos += 1;
+                if lx.peek() == b'=' {
+                    lx.pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                lx.pos += 1;
+                if lx.peek() == b'&' {
+                    lx.pos += 1;
+                    TokenKind::AndAnd
+                } else {
+                    diags.error(lx.span(lo), "single `&` is not a Genus operator");
+                    continue;
+                }
+            }
+            b'|' => {
+                lx.pos += 1;
+                if lx.peek() == b'|' {
+                    lx.pos += 1;
+                    TokenKind::OrOr
+                } else {
+                    diags.error(lx.span(lo), "single `|` is not a Genus operator");
+                    continue;
+                }
+            }
+            _ => {
+                // Advance over one full character (may be multi-byte).
+                let c = lx.src[lx.pos..].chars().next().unwrap_or('\u{FFFD}');
+                lx.pos += c.len_utf8();
+                diags.error(lx.span(lo), format!("unexpected character `{c}`"));
+                continue;
+            }
+        };
+        out.push(Token { kind, span: lx.span(lo) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_common::SourceMap;
+
+    fn lex_str(s: &str) -> Vec<TokenKind> {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t", s);
+        let mut d = Diagnostics::new();
+        let toks = lex(&sm, f, &mut d);
+        assert!(!d.has_errors(), "{}", d.render_all(&sm));
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let k = lex_str("constraint Eq[T] where");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Constraint,
+                TokenKind::Ident(Symbol::intern("Eq")),
+                TokenKind::LBracket,
+                TokenKind::Ident(Symbol::intern("T")),
+                TokenKind::RBracket,
+                TokenKind::Where,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let k = lex_str("1 23L 3.5 1e3 2.5e-2 7d");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::IntLit(1),
+                TokenKind::LongLit(23),
+                TokenKind::DoubleLit(3.5),
+                TokenKind::DoubleLit(1e3),
+                TokenKind::DoubleLit(2.5e-2),
+                TokenKind::DoubleLit(7.0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        let k = lex_str(r#""a\nb" 'x' '\\'"#);
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::StrLit("a\nb".to_string()),
+                TokenKind::CharLit('x'),
+                TokenKind::CharLit('\\'),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let k = lex_str("== != <= >= && || + - * / % ! = += -=");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Not,
+                TokenKind::Assign,
+                TokenKind::PlusAssign,
+                TokenKind::MinusAssign,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = lex_str("a // line\n b /* block\n more */ c");
+        assert_eq!(k.len(), 4); // a b c eof
+    }
+
+    #[test]
+    fn unterminated_string_reports() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t", "\"abc");
+        let mut d = Diagnostics::new();
+        let _ = lex(&sm, f, &mut d);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t", "model Foo");
+        let mut d = Diagnostics::new();
+        let toks = lex(&sm, f, &mut d);
+        assert_eq!(sm.snippet(toks[0].span), "model");
+        assert_eq!(sm.snippet(toks[1].span), "Foo");
+    }
+}

@@ -1,0 +1,49 @@
+//! Front end for the Genus surface language: lexer, parser, AST, and
+//! pretty-printer.
+//!
+//! Genus (PLDI 2015) is a Java-like language whose genericity mechanism is
+//! built on *constraints* (predicates over types) and *models* (witnesses
+//! that types satisfy constraints). This crate understands the full surface
+//! syntax used in the paper:
+//!
+//! * `constraint Eq[T] { boolean equals(T other); }`
+//! * `class TreeSet[T where Comparable[T] c] implements Set[T with c] { ... }`
+//! * `model CIEq for Eq[String] { ... }`, `enrich ShapeIntersect { ... }`
+//! * `use ArrayListDeepCopy;`, expander calls `"x".(CIEq.equals)("X")`,
+//!   existential types `[some U where Printable[U]]List[U]`, wildcard models
+//!   `Set[String with ?]`, and explicit local binding.
+//!
+//! # Examples
+//!
+//! ```
+//! use genus_syntax::parse_program;
+//! use genus_common::{SourceMap, Diagnostics};
+//!
+//! let mut sm = SourceMap::new();
+//! let mut diags = Diagnostics::new();
+//! let file = sm.add_file("eq.genus", "constraint Eq[T] { boolean equals(T other); }");
+//! let program = parse_program(&sm, file, &mut diags);
+//! assert!(!diags.has_errors());
+//! assert_eq!(program.decls.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::*;
+pub use lexer::lex;
+pub use parser::{parse_program, Parser};
+pub use token::{Token, TokenKind};
+
+use genus_common::{Diagnostics, FileId, SourceMap};
+
+/// Lexes and parses one source file into a [`Program`].
+///
+/// Errors are reported into `diags`; a best-effort partial program is
+/// returned even on error so later phases can continue for diagnostics.
+pub fn parse(sm: &SourceMap, file: FileId, diags: &mut Diagnostics) -> Program {
+    parse_program(sm, file, diags)
+}

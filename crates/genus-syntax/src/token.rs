@@ -1,0 +1,255 @@
+//! Token definitions for the Genus lexer.
+
+use genus_common::{Span, Symbol};
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals
+    /// Integer literal, e.g. `42`.
+    IntLit(i64),
+    /// Long literal, e.g. `42L`.
+    LongLit(i64),
+    /// Floating literal, e.g. `3.14`.
+    DoubleLit(f64),
+    /// String literal with escapes resolved.
+    StrLit(String),
+    /// Character literal.
+    CharLit(char),
+
+    /// Identifier or non-keyword word.
+    Ident(Symbol),
+
+    // Keywords
+    Class,
+    Interface,
+    Constraint,
+    Model,
+    Enrich,
+    Use,
+    Where,
+    With,
+    Some_,
+    For,
+    Extends,
+    Implements,
+    Static,
+    New,
+    Return,
+    If,
+    Else,
+    While,
+    Break,
+    Continue,
+    This,
+    Null,
+    True,
+    False,
+    Instanceof,
+    Native,
+    Abstract,
+    Final,
+    Void,
+    Int,
+    Long,
+    Double,
+    Boolean,
+    Char,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    Question,
+    Arrow,
+
+    // Operators
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Not,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    PlusAssign,
+    MinusAssign,
+
+    /// End of file sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped word.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "class" => TokenKind::Class,
+            "interface" => TokenKind::Interface,
+            "constraint" => TokenKind::Constraint,
+            "model" => TokenKind::Model,
+            "enrich" => TokenKind::Enrich,
+            "use" => TokenKind::Use,
+            "where" => TokenKind::Where,
+            "with" => TokenKind::With,
+            "some" => TokenKind::Some_,
+            "for" => TokenKind::For,
+            "extends" => TokenKind::Extends,
+            "implements" => TokenKind::Implements,
+            "static" => TokenKind::Static,
+            "new" => TokenKind::New,
+            "return" => TokenKind::Return,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "this" => TokenKind::This,
+            "null" => TokenKind::Null,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "instanceof" => TokenKind::Instanceof,
+            "native" => TokenKind::Native,
+            "abstract" => TokenKind::Abstract,
+            "final" => TokenKind::Final,
+            "void" => TokenKind::Void,
+            "int" => TokenKind::Int,
+            "long" => TokenKind::Long,
+            "double" => TokenKind::Double,
+            "boolean" => TokenKind::Boolean,
+            "char" => TokenKind::Char,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::LongLit(v) => format!("long literal `{v}L`"),
+            TokenKind::DoubleLit(v) => format!("double literal `{v}`"),
+            TokenKind::StrLit(_) => "string literal".to_string(),
+            TokenKind::CharLit(c) => format!("char literal `{c:?}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of file".to_string(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    /// Literal source text for fixed tokens (keywords / punctuation).
+    pub fn text(&self) -> &'static str {
+        match self {
+            TokenKind::Class => "class",
+            TokenKind::Interface => "interface",
+            TokenKind::Constraint => "constraint",
+            TokenKind::Model => "model",
+            TokenKind::Enrich => "enrich",
+            TokenKind::Use => "use",
+            TokenKind::Where => "where",
+            TokenKind::With => "with",
+            TokenKind::Some_ => "some",
+            TokenKind::For => "for",
+            TokenKind::Extends => "extends",
+            TokenKind::Implements => "implements",
+            TokenKind::Static => "static",
+            TokenKind::New => "new",
+            TokenKind::Return => "return",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::Break => "break",
+            TokenKind::Continue => "continue",
+            TokenKind::This => "this",
+            TokenKind::Null => "null",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Instanceof => "instanceof",
+            TokenKind::Native => "native",
+            TokenKind::Abstract => "abstract",
+            TokenKind::Final => "final",
+            TokenKind::Void => "void",
+            TokenKind::Int => "int",
+            TokenKind::Long => "long",
+            TokenKind::Double => "double",
+            TokenKind::Boolean => "boolean",
+            TokenKind::Char => "char",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Colon => ":",
+            TokenKind::Question => "?",
+            TokenKind::Arrow => "->",
+            TokenKind::Assign => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Not => "!",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            _ => "<dynamic>",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("class"), Some(TokenKind::Class));
+        assert_eq!(TokenKind::keyword("constraint"), Some(TokenKind::Constraint));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn describe_fixed_tokens() {
+        assert_eq!(TokenKind::Where.describe(), "`where`");
+        assert_eq!(TokenKind::LBracket.describe(), "`[`");
+    }
+}

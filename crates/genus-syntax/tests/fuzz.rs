@@ -1,0 +1,43 @@
+//! Robustness: the lexer and parser must never panic, whatever the input —
+//! they report diagnostics and recover.
+
+use genus_common::{Diagnostics, SourceMap};
+use proptest::prelude::*;
+
+fn parse_anything(src: &str) {
+    let mut sm = SourceMap::new();
+    let f = sm.add_file("fuzz", src);
+    let mut d = Diagnostics::new();
+    let _ = genus_syntax::parse_program(&sm, f, &mut d);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_ascii(src in "[ -~\n]{0,300}") {
+        parse_anything(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_genus_ish_tokens(
+        toks in prop::collection::vec(
+            prop_oneof![
+                Just("class"), Just("constraint"), Just("model"), Just("where"),
+                Just("with"), Just("for"), Just("["), Just("]"), Just("{"),
+                Just("}"), Just("("), Just(")"), Just(";"), Just(","), Just("."),
+                Just("?"), Just("extends"), Just("some"), Just("use"), Just("new"),
+                Just("T"), Just("Foo"), Just("x"), Just("1"), Just("\"s\""),
+                Just("=="), Just("="), Just("+"), Just("instanceof"), Just("return"),
+            ],
+            0..60,
+        )
+    ) {
+        parse_anything(&toks.join(" "));
+    }
+
+    #[test]
+    fn parser_never_panics_on_unicode(src in "\\PC{0,120}") {
+        parse_anything(&src);
+    }
+}

@@ -1,0 +1,279 @@
+//! Property tests: the pretty-printer is a fixpoint under reparsing for
+//! randomly generated types, expressions, and declarations.
+
+use genus_common::{Diagnostics, SourceMap};
+use genus_syntax::ast;
+use genus_syntax::pretty;
+use genus_syntax::Parser;
+use proptest::prelude::*;
+
+fn sym(s: &str) -> genus_common::Symbol {
+    genus_common::Symbol::intern(s)
+}
+
+fn dummy() -> genus_common::Span {
+    genus_common::Span::dummy()
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn type_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("Foo"), Just("Bar"), Just("List"), Just("Set"), Just("T"), Just("U")]
+}
+
+fn model_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("M"), Just("CIEq"), Just("g")]
+}
+
+fn arb_ty() -> impl Strategy<Value = ast::Ty> {
+    let leaf = prop_oneof![
+        Just(ast::Ty::new(ast::TyKind::Prim(ast::PrimTy::Int), dummy())),
+        Just(ast::Ty::new(ast::TyKind::Prim(ast::PrimTy::Double), dummy())),
+        Just(ast::Ty::new(ast::TyKind::Prim(ast::PrimTy::Boolean), dummy())),
+        type_name().prop_map(|n| ast::Ty::simple(sym(n), dummy())),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Arrays.
+            inner.clone().prop_map(|t| ast::Ty::new(ast::TyKind::Array(Box::new(t)), dummy())),
+            // Generic applications with optional models.
+            (
+                type_name(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(arb_model_leaf(), 0..2)
+            )
+                .prop_map(|(n, args, models)| ast::Ty::new(
+                    ast::TyKind::Named { name: sym(n), args, models },
+                    dummy()
+                )),
+            // Wildcards inside a generic application.
+            (type_name(), inner.clone(), any::<bool>()).prop_map(|(n, bound, bounded)| {
+                let w = ast::Ty::new(
+                    ast::TyKind::Wildcard {
+                        bound: if bounded { Some(Box::new(bound)) } else { None },
+                    },
+                    dummy(),
+                );
+                ast::Ty::new(
+                    ast::TyKind::Named { name: sym(n), args: vec![w], models: vec![] },
+                    dummy(),
+                )
+            }),
+            // Existentials.
+            (type_name(), inner).prop_map(|(n, body)| ast::Ty::new(
+                ast::TyKind::Existential {
+                    params: vec![ast::TypeParam { name: sym(n), bound: None, span: dummy() }],
+                    wheres: vec![],
+                    body: Box::new(body),
+                },
+                dummy()
+            )),
+        ]
+    })
+}
+
+fn arb_model_leaf() -> impl Strategy<Value = ast::ModelExpr> {
+    prop_oneof![
+        model_name().prop_map(|n| ast::ModelExpr::Named {
+            name: sym(n),
+            args: vec![],
+            models: vec![],
+            span: dummy(),
+        }),
+        Just(ast::ModelExpr::Wildcard { span: dummy() }),
+    ]
+}
+
+fn var_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("x"), Just("y"), Just("acc"), Just("item")]
+}
+
+fn method_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("f"), Just("get"), Just("compareTo")]
+}
+
+fn arb_expr() -> impl Strategy<Value = ast::Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| ast::Expr { kind: ast::ExprKind::IntLit(v), span: dummy() }),
+        (0i64..100).prop_map(|v| ast::Expr { kind: ast::ExprKind::LongLit(v), span: dummy() }),
+        (0u32..1000).prop_map(|v| ast::Expr {
+            kind: ast::ExprKind::DoubleLit(f64::from(v) / 8.0),
+            span: dummy()
+        }),
+        any::<bool>().prop_map(|b| ast::Expr { kind: ast::ExprKind::BoolLit(b), span: dummy() }),
+        "[a-z]{0,6}".prop_map(|s| ast::Expr { kind: ast::ExprKind::StrLit(s), span: dummy() }),
+        Just(ast::Expr { kind: ast::ExprKind::Null, span: dummy() }),
+        Just(ast::Expr { kind: ast::ExprKind::This, span: dummy() }),
+        var_name().prop_map(|n| ast::Expr { kind: ast::ExprKind::Name(sym(n)), span: dummy() }),
+    ];
+    leaf.prop_recursive(3, 32, 3, |inner| {
+        prop_oneof![
+            // Binary operations.
+            (
+                prop_oneof![
+                    Just(ast::BinOp::Add),
+                    Just(ast::BinOp::Sub),
+                    Just(ast::BinOp::Mul),
+                    Just(ast::BinOp::Lt),
+                    Just(ast::BinOp::Eq),
+                    Just(ast::BinOp::And)
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| ast::Expr {
+                    kind: ast::ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    span: dummy(),
+                }),
+            // Unary not.
+            inner.clone().prop_map(|e| ast::Expr {
+                kind: ast::ExprKind::Unary { op: ast::UnOp::Not, expr: Box::new(e) },
+                span: dummy(),
+            }),
+            // Calls.
+            (method_name(), prop::collection::vec(inner.clone(), 0..3), inner.clone()).prop_map(
+                |(m, args, recv)| ast::Expr {
+                    kind: ast::ExprKind::Call {
+                        recv: Some(Box::new(recv)),
+                        name: sym(m),
+                        type_args: None,
+                        args,
+                    },
+                    span: dummy(),
+                }
+            ),
+            // Field access.
+            (var_name(), inner.clone()).prop_map(|(f, recv)| ast::Expr {
+                kind: ast::ExprKind::Field { recv: Box::new(recv), name: sym(f) },
+                span: dummy(),
+            }),
+            // Indexing.
+            (inner.clone(), inner.clone()).prop_map(|(a, i)| ast::Expr {
+                kind: ast::ExprKind::Index { arr: Box::new(a), idx: Box::new(i) },
+                span: dummy(),
+            }),
+            // Ternary.
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| ast::Expr {
+                kind: ast::ExprKind::Cond {
+                    cond: Box::new(c),
+                    then_e: Box::new(t),
+                    else_e: Box::new(e),
+                },
+                span: dummy(),
+            }),
+            // Instanceof against a simple type.
+            (inner.clone(), type_name()).prop_map(|(e, t)| ast::Expr {
+                kind: ast::ExprKind::InstanceOf {
+                    expr: Box::new(e),
+                    ty: ast::Ty::simple(sym(t), dummy()),
+                },
+                span: dummy(),
+            }),
+            // New with constructor args.
+            (type_name(), prop::collection::vec(inner, 0..2)).prop_map(|(t, args)| ast::Expr {
+                kind: ast::ExprKind::New { ty: ast::Ty::simple(sym(t), dummy()), args },
+                span: dummy(),
+            }),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------------
+// Round-trip properties: print → parse → print is a fixpoint.
+// ---------------------------------------------------------------------
+
+fn parse_ty(src: &str) -> Option<ast::Ty> {
+    let mut sm = SourceMap::new();
+    let f = sm.add_file("t", src);
+    let mut d = Diagnostics::new();
+    let toks = genus_syntax::lex(&sm, f, &mut d);
+    let mut p = Parser::new(toks, &mut d);
+    let t = p.ty().ok()?;
+    if d.has_errors() {
+        return None;
+    }
+    Some(t)
+}
+
+fn parse_expr(src: &str) -> Option<ast::Expr> {
+    let mut sm = SourceMap::new();
+    let f = sm.add_file("t", src);
+    let mut d = Diagnostics::new();
+    let toks = genus_syntax::lex(&sm, f, &mut d);
+    let mut p = Parser::new(toks, &mut d);
+    let e = p.expr().ok()?;
+    if d.has_errors() {
+        return None;
+    }
+    Some(e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn type_print_parse_fixpoint(t in arb_ty()) {
+        let s1 = pretty::ty_to_string(&t);
+        let t2 = parse_ty(&s1).unwrap_or_else(|| panic!("failed to reparse `{s1}`"));
+        let s2 = pretty::ty_to_string(&t2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn expr_print_parse_fixpoint(e in arb_expr()) {
+        let s1 = pretty::expr_to_string(&e);
+        let e2 = parse_expr(&s1).unwrap_or_else(|| panic!("failed to reparse `{s1}`"));
+        let s2 = pretty::expr_to_string(&e2);
+        prop_assert_eq!(s1, s2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn program_print_parse_fixpoint(
+        tys in prop::collection::vec(arb_ty(), 1..4),
+        body in arb_expr(),
+    ) {
+        // Assemble a method declaration using the generated pieces.
+        let params: Vec<ast::Param> = tys
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ast::Param {
+                ty: t.clone(),
+                name: sym(&format!("p{i}")),
+                span: dummy(),
+            })
+            .collect();
+        let prog = ast::Program {
+            decls: vec![ast::Decl::Method(ast::MethodDecl {
+                is_static: false,
+                is_abstract: false,
+                is_native: false,
+                ret: ast::Ty::new(ast::TyKind::Prim(ast::PrimTy::Void), dummy()),
+                name: sym("generated"),
+                generics: ast::GenericSig::default(),
+                params,
+                body: Some(ast::Block {
+                    stmts: vec![ast::Stmt {
+                        kind: ast::StmtKind::Expr(body),
+                        span: dummy(),
+                    }],
+                    span: dummy(),
+                }),
+                span: dummy(),
+            })],
+        };
+        let s1 = pretty::program_to_string(&prog);
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t", s1.clone());
+        let mut d = Diagnostics::new();
+        let prog2 = genus_syntax::parse_program(&sm, f, &mut d);
+        prop_assert!(!d.has_errors(), "reparse failed for:\n{}\n{}", s1, d.render_all(&sm));
+        let s2 = pretty::program_to_string(&prog2);
+        prop_assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,256 @@
+//! The Java 5 translation strategy: erasure with uniform boxing.
+//!
+//! Generic code sees elements as opaque heap references and invokes
+//! `compareTo` through an interface (a virtual call). `double[]` is the
+//! only unboxed representation Java offers; `Double[]` and
+//! `ArrayList<Double>` store one heap allocation per element. Java cannot
+//! instantiate generics at primitive types at all, which is why several
+//! Table 1 cells are blank in the Java column.
+
+use std::rc::Rc;
+
+/// A boxed `Double` — one heap object per element, as on the JVM.
+pub type Boxed = Rc<f64>;
+
+/// The erased `Comparable` interface: dispatching `compareTo` is a virtual
+/// call on the receiver.
+pub trait JComparable {
+    /// Java's `int compareTo(T other)` after erasure.
+    fn compare_to(&self, other: &Boxed) -> i32;
+}
+
+impl JComparable for f64 {
+    fn compare_to(&self, other: &Boxed) -> i32 {
+        match self.partial_cmp(other.as_ref()) {
+            Some(o) => o as i32,
+            None => 0,
+        }
+    }
+}
+
+/// Erased `ArrayList<Double>`.
+#[derive(Debug, Default, Clone)]
+pub struct JArrayList {
+    data: Vec<Boxed>,
+}
+
+impl JArrayList {
+    /// Creates a list from boxed elements.
+    pub fn from_values(values: &[f64]) -> Self {
+        JArrayList { data: values.iter().map(|v| Rc::new(*v)).collect() }
+    }
+
+    /// `size()`.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `get(i)` — a virtual call returning a boxed element.
+    #[inline(never)]
+    pub fn get(&self, i: usize) -> Boxed {
+        self.data[i].clone()
+    }
+
+    /// `set(i, v)`.
+    #[inline(never)]
+    pub fn set(&mut self, i: usize, v: Boxed) {
+        self.data[i] = v;
+    }
+
+    /// Copies out to plain doubles (for verification).
+    pub fn to_doubles(&self) -> Vec<f64> {
+        self.data.iter().map(|b| **b).collect()
+    }
+}
+
+/// The erased `ArrayLike<A, T>` concept as a Java interface: generic code
+/// manipulates the container through virtual calls.
+pub trait JArrayLike {
+    /// Element count.
+    fn length(&self) -> usize;
+    /// Boxed element read.
+    fn aget(&self, i: usize) -> Boxed;
+    /// Boxed element write.
+    fn aset(&mut self, i: usize, v: Boxed);
+}
+
+impl JArrayLike for JArrayList {
+    fn length(&self) -> usize {
+        self.size()
+    }
+    fn aget(&self, i: usize) -> Boxed {
+        self.get(i)
+    }
+    fn aset(&mut self, i: usize, v: Boxed) {
+        self.set(i, v);
+    }
+}
+
+/// `Double[]` viewed through `ArrayLike`.
+#[derive(Debug, Default, Clone)]
+pub struct BoxedArray {
+    /// The boxed elements.
+    pub data: Vec<Boxed>,
+}
+
+impl BoxedArray {
+    /// Boxes a slice of doubles.
+    pub fn from_values(values: &[f64]) -> Self {
+        BoxedArray { data: values.iter().map(|v| Rc::new(*v)).collect() }
+    }
+
+    /// Unboxes for verification.
+    pub fn to_doubles(&self) -> Vec<f64> {
+        self.data.iter().map(|b| **b).collect()
+    }
+}
+
+impl JArrayLike for BoxedArray {
+    fn length(&self) -> usize {
+        self.data.len()
+    }
+    fn aget(&self, i: usize) -> Boxed {
+        self.data[i].clone()
+    }
+    fn aset(&mut self, i: usize, v: Boxed) {
+        self.data[i] = v;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sorts. The algorithm is identical in every strategy; only the
+// genericity level differs (Table 1 row groups).
+// ---------------------------------------------------------------------
+
+/// Non-generic sort over `double[]` — the only unboxed case Java has.
+pub fn sort_double_array(v: &mut [f64]) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && v[j - 1] > x {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+/// Non-generic sort over `Double[]`: boxed loads/stores, unboxed compares.
+pub fn sort_boxed_array(v: &mut [Boxed]) {
+    for i in 1..v.len() {
+        let x = v[i].clone();
+        let mut j = i;
+        while j > 0 && *v[j - 1] > *x {
+            v[j] = v[j - 1].clone();
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+/// Non-generic sort over `ArrayList<Double>`: virtual `get`/`set`, boxed
+/// elements.
+pub fn sort_arraylist(l: &mut JArrayList) {
+    let n = l.size();
+    for i in 1..n {
+        let x = l.get(i);
+        let mut j = i;
+        while j > 0 && *l.get(j - 1) > *x {
+            let moved = l.get(j - 1);
+            l.set(j, moved);
+            j -= 1;
+        }
+        l.set(j, x);
+    }
+}
+
+/// Generic sort with a `Comparable<T>` bound: elements are erased
+/// references, comparison is a virtual interface call.
+pub fn sort_generic_comparable(v: &mut [Boxed]) {
+    for i in 1..v.len() {
+        let x = v[i].clone();
+        let mut j = i;
+        while j > 0 && JComparable::compare_to(&*v[j - 1], &x) > 0 {
+            v[j] = v[j - 1].clone();
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+/// Generic sort with `Comparable<T>` over `ArrayList<T>`: erased container
+/// methods plus interface-dispatch comparison.
+pub fn sort_generic_comparable_list(l: &mut JArrayList) {
+    let n = l.size();
+    for i in 1..n {
+        let x = l.get(i);
+        let mut j = i;
+        while j > 0 {
+            let prev = l.get(j - 1);
+            if JComparable::compare_to(&*prev, &x) <= 0 {
+                break;
+            }
+            l.set(j, prev);
+            j -= 1;
+        }
+        l.set(j, x);
+    }
+}
+
+/// Fully generic sort: both the container (`ArrayLike[A,T]`) and the
+/// element (`Comparable[T]`) are abstract; everything is a virtual call on
+/// boxed values.
+pub fn sort_generic_arraylike(a: &mut dyn JArrayLike) {
+    let n = a.length();
+    for i in 1..n {
+        let x = a.aget(i);
+        let mut j = i;
+        while j > 0 {
+            let prev = a.aget(j - 1);
+            if JComparable::compare_to(&*prev, &x) <= 0 {
+                break;
+            }
+            a.aset(j, prev);
+            j -= 1;
+        }
+        a.aset(j, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{is_sorted, random_doubles};
+
+    #[test]
+    fn all_java_sorts_agree() {
+        let input = random_doubles(200, 42);
+        let mut plain = input.clone();
+        sort_double_array(&mut plain);
+        assert!(is_sorted(&plain));
+
+        let mut boxed = BoxedArray::from_values(&input);
+        sort_boxed_array(&mut boxed.data);
+        assert_eq!(boxed.to_doubles(), plain);
+
+        let mut l = JArrayList::from_values(&input);
+        sort_arraylist(&mut l);
+        assert_eq!(l.to_doubles(), plain);
+
+        let mut g = BoxedArray::from_values(&input);
+        sort_generic_comparable(&mut g.data);
+        assert_eq!(g.to_doubles(), plain);
+
+        let mut gl = JArrayList::from_values(&input);
+        sort_generic_comparable_list(&mut gl);
+        assert_eq!(gl.to_doubles(), plain);
+
+        let mut al = JArrayList::from_values(&input);
+        sort_generic_arraylike(&mut al);
+        assert_eq!(al.to_doubles(), plain);
+
+        let mut ba = BoxedArray::from_values(&input);
+        sort_generic_arraylike(&mut ba);
+        assert_eq!(ba.to_doubles(), plain);
+    }
+}

@@ -1,0 +1,27 @@
+//! Executable models of the code-generation strategies compared in the
+//! paper's performance evaluation (§7, §8.3, Table 1).
+//!
+//! The paper's Table 1 compares *compilation strategies*, not algorithms:
+//! the same insertion sort is generated three ways —
+//!
+//! * **Java translation** ([`java`]): erasure with uniform boxing. Every
+//!   element is a heap reference; generic code sees `Object` and calls
+//!   `compareTo` through an interface; `Double[]` stores boxed values.
+//! * **Genus homogeneous translation** ([`genus`]): the model object
+//!   (`ObjectModel<T, A$T>`, Figure 10) travels with the instantiation and
+//!   provides *unboxed* primitive array storage (§7.3). Values crossing
+//!   generic boundaries use a transient tagged word, not a heap box.
+//! * **Genus specialized** ([`specialized`]): instantiations are compiled
+//!   to monomorphic code (the bracketed entries of Table 1), plus the
+//!   C-baseline sort.
+//!
+//! [`table1`] drives all three over the paper's twelve data-structure ×
+//! genericity configurations and reports the same rows.
+
+pub mod genus;
+pub mod java;
+pub mod specialized;
+pub mod table1;
+pub mod workload;
+
+pub use table1::{run_table1, Cell, Genericity, Row, Structure, Table1};

@@ -1,0 +1,151 @@
+//! The specialization strategy (the bracketed Table 1 entries): each
+//! instantiation is compiled to monomorphic code. "The design of Genus
+//! makes it straightforward to implement particular instantiations with
+//! specialized code" (§7.3) — in Rust, monomorphization gives exactly this.
+
+use std::rc::Rc;
+
+/// The monomorphic baseline (the paper's C number): insertion sort on a raw
+/// `double[]`.
+pub fn sort_baseline(v: &mut [f64]) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && v[j - 1] > x {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+/// Element trait for the specialized generic sort; monomorphized away.
+pub trait Elem: Clone {
+    /// Total-order comparison.
+    fn cmp_elem(&self, other: &Self) -> i32;
+    /// Numeric payload for verification.
+    fn payload(&self) -> f64;
+}
+
+impl Elem for f64 {
+    #[inline]
+    fn cmp_elem(&self, other: &Self) -> i32 {
+        match self.partial_cmp(other) {
+            Some(o) => o as i32,
+            None => 0,
+        }
+    }
+    fn payload(&self) -> f64 {
+        *self
+    }
+}
+
+impl Elem for Rc<f64> {
+    #[inline]
+    fn cmp_elem(&self, other: &Self) -> i32 {
+        match (**self).partial_cmp(&**other) {
+            Some(o) => o as i32,
+            None => 0,
+        }
+    }
+    fn payload(&self) -> f64 {
+        **self
+    }
+}
+
+/// Specialized `ArrayList[T]`: inline, unboxed storage for `T = double`.
+#[derive(Debug, Clone, Default)]
+pub struct SpecArrayList<T> {
+    data: Vec<T>,
+}
+
+impl<T: Elem> SpecArrayList<T> {
+    /// Builds from elements.
+    pub fn from_values(values: Vec<T>) -> Self {
+        SpecArrayList { data: values }
+    }
+
+    /// `size()`.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `get(i)` — inlined after specialization.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i].clone()
+    }
+
+    /// `set(i, v)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.data[i] = v;
+    }
+
+    /// Payloads for verification.
+    pub fn to_doubles(&self) -> Vec<f64> {
+        self.data.iter().map(Elem::payload).collect()
+    }
+}
+
+/// Specialized generic sort over a slice — monomorphized per element type.
+pub fn sort_slice<T: Elem>(v: &mut [T]) {
+    for i in 1..v.len() {
+        let x = v[i].clone();
+        let mut j = i;
+        while j > 0 && v[j - 1].cmp_elem(&x) > 0 {
+            v[j] = v[j - 1].clone();
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+/// Specialized generic sort over the specialized ArrayList.
+pub fn sort_list<T: Elem>(l: &mut SpecArrayList<T>) {
+    let n = l.size();
+    for i in 1..n {
+        let x = l.get(i);
+        let mut j = i;
+        while j > 0 {
+            let prev = l.get(j - 1);
+            if prev.cmp_elem(&x) <= 0 {
+                break;
+            }
+            l.set(j, prev);
+            j -= 1;
+        }
+        l.set(j, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{is_sorted, random_doubles};
+
+    #[test]
+    fn specialized_sorts_agree() {
+        let input = random_doubles(200, 3);
+        let mut expect = input.clone();
+        sort_baseline(&mut expect);
+        assert!(is_sorted(&expect));
+
+        let mut s = input.clone();
+        sort_slice(&mut s);
+        assert_eq!(s, expect);
+
+        let mut b: Vec<Rc<f64>> = input.iter().map(|v| Rc::new(*v)).collect();
+        sort_slice(&mut b);
+        assert_eq!(b.iter().map(|x| **x).collect::<Vec<_>>(), expect);
+
+        let mut l = SpecArrayList::from_values(input.clone());
+        sort_list(&mut l);
+        assert_eq!(l.to_doubles(), expect);
+
+        let mut lb =
+            SpecArrayList::from_values(input.iter().map(|v| Rc::new(*v)).collect::<Vec<_>>());
+        sort_list(&mut lb);
+        assert_eq!(lb.to_doubles(), expect);
+    }
+}

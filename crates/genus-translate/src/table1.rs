@@ -1,0 +1,531 @@
+//! The Table 1 harness: every row of the paper's performance table,
+//! regenerated over the three strategy implementations.
+
+use crate::workload::random_doubles;
+use crate::{genus, java, specialized};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// The genericity level of the sort (the three row groups of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Genericity {
+    /// Non-generic sort written directly against the data structure.
+    NonGeneric,
+    /// Generic in the element: `sort[T](...) where Comparable[T]`.
+    Comparable,
+    /// Generic in the element *and* the container:
+    /// `where ArrayLike[A,T], Comparable[T]`.
+    ArrayLike,
+}
+
+impl Genericity {
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Genericity::NonGeneric => "Non-generic sort",
+            Genericity::Comparable => "Generic sort: Comparable[T]",
+            Genericity::ArrayLike => "Generic sort: ArrayLike[A,T], Comparable[T]",
+        }
+    }
+}
+
+/// The data structure being sorted (the four rows in each group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Structure {
+    /// `double[]`.
+    DoubleArray,
+    /// `Double[]`.
+    BoxedArray,
+    /// `ArrayList[double]` (Genus only: Java has no primitive type args).
+    ArrayListDouble,
+    /// `ArrayList[Double]`.
+    ArrayListBoxed,
+}
+
+impl Structure {
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Structure::DoubleArray => "double[]",
+            Structure::BoxedArray => "Double[]",
+            Structure::ArrayListDouble => "ArrayList[double]",
+            Structure::ArrayListBoxed => "ArrayList[Double]",
+        }
+    }
+}
+
+/// One measured cell: seconds per strategy (`None` where the language
+/// cannot express the configuration).
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Java translation time.
+    pub java: Option<f64>,
+    /// Genus homogeneous-translation time.
+    pub genus: Option<f64>,
+    /// Genus specialized time (the bracketed entries).
+    pub specialized: Option<f64>,
+}
+
+/// One row of the table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row group.
+    pub genericity: Genericity,
+    /// Data structure.
+    pub structure: Structure,
+    /// Measurements.
+    pub cell: Cell,
+}
+
+/// The whole regenerated table.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Elements sorted per measurement.
+    pub n: usize,
+    /// The C-like monomorphic baseline, for the caption.
+    pub baseline: f64,
+    /// All twelve rows, in paper order.
+    pub rows: Vec<Row>,
+}
+
+fn time_med<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// Runs the full table with `n` elements and `reps` repetitions per cell
+/// (the paper used 100k elements and 10 runs; insertion sort is O(n²)
+/// uniformly across strategies, so ratios are size-invariant).
+pub fn run_table1(n: usize, reps: usize) -> Table1 {
+    let input = random_doubles(n, 0xC0FFEE);
+    let dm: Rc<dyn genus::ComparableModel> = Rc::new(genus::DoubleModel);
+    let bm: Rc<dyn genus::ComparableModel> = Rc::new(genus::BoxedDoubleModel);
+
+    let mk_f64_arr = || {
+        let mut a = genus::ObjectModel::new_array(&genus::DoubleModel, n);
+        for (i, v) in input.iter().enumerate() {
+            genus::ObjectModel::array_set(&genus::DoubleModel, &mut a, i, genus::GValue::D(*v));
+        }
+        a
+    };
+    let mk_ref_arr = || {
+        let mut a = genus::ObjectModel::new_array(&genus::BoxedDoubleModel, n);
+        for (i, v) in input.iter().enumerate() {
+            genus::ObjectModel::array_set(
+                &genus::BoxedDoubleModel,
+                &mut a,
+                i,
+                genus::GValue::D(*v),
+            );
+        }
+        a
+    };
+
+    let baseline = time_med(reps, || {
+        let mut v = input.clone();
+        specialized::sort_baseline(&mut v);
+        std::hint::black_box(&v);
+    });
+
+    let mut rows = Vec::new();
+    let mut push = |g: Genericity, s: Structure, cell: Cell| {
+        rows.push(Row { genericity: g, structure: s, cell });
+    };
+
+    // ---- Non-generic sorts -------------------------------------------
+    push(
+        Genericity::NonGeneric,
+        Structure::DoubleArray,
+        Cell {
+            java: Some(time_med(reps, || {
+                let mut v = input.clone();
+                java::sort_double_array(&mut v);
+                std::hint::black_box(&v);
+            })),
+            // Non-generic Genus code translates exactly like Java here.
+            genus: Some(time_med(reps, || {
+                let mut v = input.clone();
+                java::sort_double_array(&mut v);
+                std::hint::black_box(&v);
+            })),
+            specialized: Some(baseline),
+        },
+    );
+    push(
+        Genericity::NonGeneric,
+        Structure::BoxedArray,
+        Cell {
+            java: Some(time_med(reps, || {
+                let mut v = java::BoxedArray::from_values(&input);
+                java::sort_boxed_array(&mut v.data);
+                std::hint::black_box(&v);
+            })),
+            genus: Some(time_med(reps, || {
+                let mut v = java::BoxedArray::from_values(&input);
+                java::sort_boxed_array(&mut v.data);
+                std::hint::black_box(&v);
+            })),
+            specialized: Some(time_med(reps, || {
+                let mut v: Vec<Rc<f64>> = input.iter().map(|x| Rc::new(*x)).collect();
+                specialized::sort_slice(&mut v);
+                std::hint::black_box(&v);
+            })),
+        },
+    );
+    push(
+        Genericity::NonGeneric,
+        Structure::ArrayListDouble,
+        Cell {
+            java: None, // Java cannot say ArrayList<double>.
+            genus: Some(time_med(reps, || {
+                let mut l = genus::GenusArrayList::from_values(dm.clone(), &input);
+                genus::sort_list_nongeneric(&mut l);
+                std::hint::black_box(&l);
+            })),
+            specialized: Some(time_med(reps, || {
+                let mut l = specialized::SpecArrayList::from_values(input.clone());
+                specialized::sort_list(&mut l);
+                std::hint::black_box(&l);
+            })),
+        },
+    );
+    push(
+        Genericity::NonGeneric,
+        Structure::ArrayListBoxed,
+        Cell {
+            java: Some(time_med(reps, || {
+                let mut l = java::JArrayList::from_values(&input);
+                java::sort_arraylist(&mut l);
+                std::hint::black_box(&l);
+            })),
+            genus: Some(time_med(reps, || {
+                let mut l = genus::GenusArrayList::from_values(bm.clone(), &input);
+                genus::sort_list_nongeneric(&mut l);
+                std::hint::black_box(&l);
+            })),
+            specialized: Some(time_med(reps, || {
+                let v: Vec<Rc<f64>> = input.iter().map(|x| Rc::new(*x)).collect();
+                let mut l = specialized::SpecArrayList::from_values(v);
+                specialized::sort_list(&mut l);
+                std::hint::black_box(&l);
+            })),
+        },
+    );
+
+    // ---- Generic: Comparable[T] --------------------------------------
+    push(
+        Genericity::Comparable,
+        Structure::DoubleArray,
+        Cell {
+            java: None,
+            genus: Some(time_med(reps, || {
+                let mut a = mk_f64_arr();
+                genus::sort_array_generic(&mut a, &genus::DoubleModel);
+                std::hint::black_box(&a);
+            })),
+            specialized: Some(time_med(reps, || {
+                let mut v = input.clone();
+                specialized::sort_slice(&mut v);
+                std::hint::black_box(&v);
+            })),
+        },
+    );
+    push(
+        Genericity::Comparable,
+        Structure::BoxedArray,
+        Cell {
+            java: Some(time_med(reps, || {
+                let mut v = java::BoxedArray::from_values(&input);
+                java::sort_generic_comparable(&mut v.data);
+                std::hint::black_box(&v);
+            })),
+            genus: Some(time_med(reps, || {
+                let mut a = mk_ref_arr();
+                genus::sort_array_generic(&mut a, &genus::BoxedDoubleModel);
+                std::hint::black_box(&a);
+            })),
+            specialized: Some(time_med(reps, || {
+                let mut v: Vec<Rc<f64>> = input.iter().map(|x| Rc::new(*x)).collect();
+                specialized::sort_slice(&mut v);
+                std::hint::black_box(&v);
+            })),
+        },
+    );
+    push(
+        Genericity::Comparable,
+        Structure::ArrayListDouble,
+        Cell {
+            java: None,
+            genus: Some(time_med(reps, || {
+                let mut l = genus::GenusArrayList::from_values(dm.clone(), &input);
+                genus::sort_list_generic(&mut l);
+                std::hint::black_box(&l);
+            })),
+            specialized: Some(time_med(reps, || {
+                let mut l = specialized::SpecArrayList::from_values(input.clone());
+                specialized::sort_list(&mut l);
+                std::hint::black_box(&l);
+            })),
+        },
+    );
+    push(
+        Genericity::Comparable,
+        Structure::ArrayListBoxed,
+        Cell {
+            java: Some(time_med(reps, || {
+                let mut l = java::JArrayList::from_values(&input);
+                java::sort_generic_comparable_list(&mut l);
+                std::hint::black_box(&l);
+            })),
+            genus: Some(time_med(reps, || {
+                let mut l = genus::GenusArrayList::from_values(bm.clone(), &input);
+                genus::sort_list_generic(&mut l);
+                std::hint::black_box(&l);
+            })),
+            specialized: Some(time_med(reps, || {
+                let v: Vec<Rc<f64>> = input.iter().map(|x| Rc::new(*x)).collect();
+                let mut l = specialized::SpecArrayList::from_values(v);
+                specialized::sort_list(&mut l);
+                std::hint::black_box(&l);
+            })),
+        },
+    );
+
+    // ---- Generic: ArrayLike[A,T], Comparable[T] -----------------------
+    push(
+        Genericity::ArrayLike,
+        Structure::DoubleArray,
+        Cell {
+            java: None,
+            genus: Some(time_med(reps, || {
+                let mut a = mk_f64_arr();
+                genus::sort_raw_arraylike_generic(&mut a, &genus::DoubleModel);
+                std::hint::black_box(&a);
+            })),
+            specialized: Some(time_med(reps, || {
+                let mut v = input.clone();
+                specialized::sort_slice(&mut v);
+                std::hint::black_box(&v);
+            })),
+        },
+    );
+    push(
+        Genericity::ArrayLike,
+        Structure::BoxedArray,
+        Cell {
+            java: Some(time_med(reps, || {
+                let mut v = java::BoxedArray::from_values(&input);
+                java::sort_generic_arraylike(&mut v);
+                std::hint::black_box(&v);
+            })),
+            genus: Some(time_med(reps, || {
+                let mut a = mk_ref_arr();
+                genus::sort_raw_arraylike_generic(&mut a, &genus::BoxedDoubleModel);
+                std::hint::black_box(&a);
+            })),
+            specialized: Some(time_med(reps, || {
+                let mut v: Vec<Rc<f64>> = input.iter().map(|x| Rc::new(*x)).collect();
+                specialized::sort_slice(&mut v);
+                std::hint::black_box(&v);
+            })),
+        },
+    );
+    push(
+        Genericity::ArrayLike,
+        Structure::ArrayListDouble,
+        Cell {
+            java: None,
+            genus: Some(time_med(reps, || {
+                let mut l = genus::GenusArrayList::from_values(dm.clone(), &input);
+                genus::sort_arraylike_generic(
+                    &mut l,
+                    &genus::ArrayListAsArrayLike,
+                    &genus::DoubleModel,
+                );
+                std::hint::black_box(&l);
+            })),
+            specialized: Some(time_med(reps, || {
+                let mut l = specialized::SpecArrayList::from_values(input.clone());
+                specialized::sort_list(&mut l);
+                std::hint::black_box(&l);
+            })),
+        },
+    );
+    push(
+        Genericity::ArrayLike,
+        Structure::ArrayListBoxed,
+        Cell {
+            java: Some(time_med(reps, || {
+                let mut l = java::JArrayList::from_values(&input);
+                java::sort_generic_arraylike(&mut l);
+                std::hint::black_box(&l);
+            })),
+            genus: Some(time_med(reps, || {
+                let mut l = genus::GenusArrayList::from_values(bm.clone(), &input);
+                genus::sort_arraylike_generic(
+                    &mut l,
+                    &genus::ArrayListAsArrayLike,
+                    &genus::BoxedDoubleModel,
+                );
+                std::hint::black_box(&l);
+            })),
+            specialized: Some(time_med(reps, || {
+                let v: Vec<Rc<f64>> = input.iter().map(|x| Rc::new(*x)).collect();
+                let mut l = specialized::SpecArrayList::from_values(v);
+                specialized::sort_list(&mut l);
+                std::hint::black_box(&l);
+            })),
+        },
+    );
+
+    Table1 { n, baseline, rows }
+}
+
+impl Table1 {
+    /// Renders the table in the paper's layout (times in milliseconds,
+    /// specialized entries bracketed).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Table 1: Java vs Genus insertion sort, n = {} (times in ms; [spec.] = specialized)\n",
+            self.n
+        ));
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>20}\n",
+            "data structure", "Java (ms)", "Genus (ms) [spec.]"
+        ));
+        let ms = |s: f64| s * 1e3;
+        let mut last_group: Option<Genericity> = None;
+        for row in &self.rows {
+            if last_group != Some(row.genericity) {
+                out.push_str(&format!("-- {}\n", row.genericity.label()));
+                last_group = Some(row.genericity);
+            }
+            let java = match row.cell.java {
+                Some(t) => format!("{:.2}", ms(t)),
+                None => "—".to_string(),
+            };
+            let genus = match (row.cell.genus, row.cell.specialized) {
+                (Some(g), Some(s)) => format!("{:.2} [{:.2}]", ms(g), ms(s)),
+                (Some(g), None) => format!("{:.2}", ms(g)),
+                _ => "—".to_string(),
+            };
+            out.push_str(&format!("{:<44} {:>12} {:>20}\n", row.structure.label(), java, genus));
+        }
+        out.push_str(&format!(
+            "monomorphic baseline (paper's C entry): {:.2} ms\n",
+            ms(self.baseline)
+        ));
+        out
+    }
+
+    /// Finds a row.
+    pub fn cell(&self, g: Genericity, s: Structure) -> Option<&Cell> {
+        self.rows.iter().find(|r| r.genericity == g && r.structure == s).map(|r| &r.cell)
+    }
+
+    /// Checks the qualitative *shape* claims of §8.3 against the measured
+    /// data, returning a human-readable report and whether all hold:
+    ///
+    /// 1. specialization is never slower than the homogeneous translation;
+    /// 2. unboxed (`double`) storage beats boxed (`Double`) storage within
+    ///    Genus at each genericity level;
+    /// 3. fully-generic (ArrayLike) Genus is slower than non-generic Genus
+    ///    on the same structure (genericity has a cost without
+    ///    specialization);
+    /// 4. specialized Genus on `double[]` is within noise of the
+    ///    monomorphic baseline.
+    pub fn shape_report(&self) -> (String, bool) {
+        let mut report = String::new();
+        let mut ok = true;
+        let mut check = |name: &str, cond: bool, detail: String| {
+            report.push_str(&format!("{} {name}: {detail}\n", if cond { "PASS" } else { "FAIL" }));
+            if !cond {
+                ok = false;
+            }
+        };
+        for row in &self.rows {
+            if let (Some(g), Some(s)) = (row.cell.genus, row.cell.specialized) {
+                check(
+                    "specialization-helps",
+                    s <= g * 1.15,
+                    format!(
+                        "{} / {}: genus {:.3}ms vs spec {:.3}ms",
+                        row.genericity.label(),
+                        row.structure.label(),
+                        g * 1e3,
+                        s * 1e3
+                    ),
+                );
+            }
+        }
+        for g in [Genericity::NonGeneric, Genericity::Comparable, Genericity::ArrayLike] {
+            let prim = self.cell(g, Structure::ArrayListDouble).and_then(|c| c.genus);
+            let boxed = self.cell(g, Structure::ArrayListBoxed).and_then(|c| c.genus);
+            if let (Some(p), Some(b)) = (prim, boxed) {
+                check(
+                    "unboxed-beats-boxed",
+                    p <= b,
+                    format!("{}: ArrayList[double] {:.3}ms vs ArrayList[Double] {:.3}ms", g.label(), p * 1e3, b * 1e3),
+                );
+            }
+        }
+        let ng = self.cell(Genericity::NonGeneric, Structure::ArrayListDouble).and_then(|c| c.genus);
+        let al = self.cell(Genericity::ArrayLike, Structure::ArrayListDouble).and_then(|c| c.genus);
+        if let (Some(a), Some(b)) = (ng, al) {
+            check(
+                "genericity-costs",
+                a <= b * 1.10,
+                format!("ArrayList[double]: non-generic {:.3}ms vs fully generic {:.3}ms", a * 1e3, b * 1e3),
+            );
+        }
+        let spec_da =
+            self.cell(Genericity::Comparable, Structure::DoubleArray).and_then(|c| c.specialized);
+        if let Some(s) = spec_da {
+            check(
+                "specialized-near-baseline",
+                s <= self.baseline * 2.0,
+                format!("spec double[] {:.3}ms vs baseline {:.3}ms", s * 1e3, self.baseline * 1e3),
+            );
+        }
+        (report, ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_twelve_rows_and_renders() {
+        let t = run_table1(400, 3);
+        assert_eq!(t.rows.len(), 12);
+        let rendered = t.render();
+        assert!(rendered.contains("ArrayList[double]"));
+        assert!(rendered.contains("—"));
+        // Java column blank exactly where Java cannot express the cell.
+        let blank = t
+            .rows
+            .iter()
+            .filter(|r| r.cell.java.is_none())
+            .map(|r| (r.genericity, r.structure))
+            .collect::<Vec<_>>();
+        assert!(blank.contains(&(Genericity::NonGeneric, Structure::ArrayListDouble)));
+        assert!(blank.contains(&(Genericity::Comparable, Structure::DoubleArray)));
+    }
+
+    #[test]
+    fn shape_mostly_holds_even_at_small_n() {
+        // At tiny n the timings are noisy; this only smoke-tests that the
+        // report machinery works, not that every claim holds.
+        let t = run_table1(300, 3);
+        let (report, _ok) = t.shape_report();
+        assert!(report.contains("unboxed-beats-boxed"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Workload generation for the sorting benchmark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random doubles in `[0, 1)`.
+pub fn random_doubles(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// Checks that a slice is sorted ascending.
+pub fn is_sorted(v: &[f64]) -> bool {
+    v.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_doubles(16, 7), random_doubles(16, 7));
+        assert_ne!(random_doubles(16, 7), random_doubles(16, 8));
+    }
+
+    #[test]
+    fn sorted_check() {
+        assert!(is_sorted(&[1.0, 2.0, 2.0, 3.0]));
+        assert!(!is_sorted(&[2.0, 1.0]));
+    }
+}

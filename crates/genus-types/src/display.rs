@@ -1,0 +1,193 @@
+//! Human-readable rendering of semantic types against a [`Table`].
+
+use crate::table::Table;
+use crate::ty::{ConstraintInst, Model, Type};
+use std::fmt;
+
+/// Displays a [`Type`] with names resolved through a table.
+pub struct TypeDisplay<'a> {
+    /// The type to render.
+    pub ty: &'a Type,
+    /// Name source.
+    pub table: &'a Table,
+}
+
+/// Displays a [`Model`] with names resolved through a table.
+pub struct ModelDisplay<'a> {
+    /// The model to render.
+    pub model: &'a Model,
+    /// Name source.
+    pub table: &'a Table,
+}
+
+/// Displays a [`ConstraintInst`] with names resolved through a table.
+pub struct ConstraintDisplay<'a> {
+    /// The instantiation to render.
+    pub inst: &'a ConstraintInst,
+    /// Name source.
+    pub table: &'a Table,
+}
+
+impl fmt::Display for TypeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_type(f, self.ty, self.table)
+    }
+}
+
+impl fmt::Display for ModelDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_model(f, self.model, self.table)
+    }
+}
+
+impl fmt::Display for ConstraintDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_inst(f, self.inst, self.table)
+    }
+}
+
+fn write_type(f: &mut fmt::Formatter<'_>, t: &Type, tb: &Table) -> fmt::Result {
+    match t {
+        Type::Prim(p) => write!(f, "{}", p.name()),
+        Type::Null => write!(f, "null"),
+        Type::Var(v) => write!(f, "{}", tb.tv_name(*v)),
+        Type::Infer(i) => write!(f, "?{i}"),
+        Type::Array(e) => {
+            write_type(f, e, tb)?;
+            write!(f, "[]")
+        }
+        Type::Class { id, args, models } => {
+            write!(f, "{}", tb.class(*id).name)?;
+            if !args.is_empty() || !models.is_empty() {
+                write!(f, "[")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_type(f, a, tb)?;
+                }
+                // Natural models that merely restate the defaults are still
+                // printed, so error messages show the full dependent type.
+                if !models.is_empty() {
+                    write!(f, " with ")?;
+                    for (i, m) in models.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write_model(f, m, tb)?;
+                    }
+                }
+                write!(f, "]")?;
+            }
+            Ok(())
+        }
+        Type::Existential { params, bounds, wheres, body } => {
+            write!(f, "[some ")?;
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", tb.tv_name(*p))?;
+                if let Some(Some(b)) = bounds.get(i) {
+                    write!(f, " extends ")?;
+                    write_type(f, b, tb)?;
+                }
+            }
+            if !wheres.is_empty() {
+                write!(f, " where ")?;
+                for (i, w) in wheres.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_inst(f, &w.inst, tb)?;
+                    write!(f, " {}", tb.mv_name(w.mv))?;
+                }
+            }
+            write!(f, "]")?;
+            write_type(f, body, tb)
+        }
+    }
+}
+
+fn write_model(f: &mut fmt::Formatter<'_>, m: &Model, tb: &Table) -> fmt::Result {
+    match m {
+        Model::Var(v) => write!(f, "{}", tb.mv_name(*v)),
+        Model::Infer(i) => write!(f, "?m{i}"),
+        Model::Natural { inst } => {
+            write!(f, "natural(")?;
+            write_inst(f, inst, tb)?;
+            write!(f, ")")
+        }
+        Model::Decl { id, type_args, model_args } => {
+            write!(f, "{}", tb.model(*id).name)?;
+            if !type_args.is_empty() || !model_args.is_empty() {
+                write!(f, "[")?;
+                for (i, a) in type_args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_type(f, a, tb)?;
+                }
+                if !model_args.is_empty() {
+                    write!(f, " with ")?;
+                    for (i, x) in model_args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write_model(f, x, tb)?;
+                    }
+                }
+                write!(f, "]")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn write_inst(f: &mut fmt::Formatter<'_>, inst: &ConstraintInst, tb: &Table) -> fmt::Result {
+    write!(f, "{}", tb.constraint(inst.id).name)?;
+    if !inst.args.is_empty() {
+        write!(f, "[")?;
+        for (i, a) in inst.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write_type(f, a, tb)?;
+        }
+        write!(f, "]")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ConstraintDef, Table};
+    use crate::ty::PrimTy;
+    use genus_common::{Span, Symbol};
+
+    #[test]
+    fn renders_prims_and_arrays() {
+        let tb = Table::new();
+        let t = Type::Array(Box::new(Type::Prim(PrimTy::Double)));
+        assert_eq!(t.display(&tb).to_string(), "double[]");
+    }
+
+    #[test]
+    fn renders_vars_and_insts() {
+        let mut tb = Table::new();
+        let tv = tb.fresh_tv(Symbol::intern("T"));
+        let cid = tb.add_constraint(ConstraintDef {
+            name: Symbol::intern("Eq"),
+            params: vec![tv],
+            prereqs: vec![],
+            ops: vec![],
+            variance: vec![],
+            span: Span::dummy(),
+        });
+        let inst = ConstraintInst { id: cid, args: vec![Type::Var(tv)] };
+        assert_eq!(inst.display(&tb).to_string(), "Eq[T]");
+        let m = Model::Natural { inst };
+        assert_eq!(m.display(&tb).to_string(), "natural(Eq[T])");
+    }
+}

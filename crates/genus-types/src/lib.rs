@@ -1,0 +1,45 @@
+//! Semantic representation of Genus programs: types, constraints, models,
+//! the declaration table, substitution, unification, subtyping, and variance
+//! inference.
+//!
+//! The key semantic notions of the paper live here:
+//!
+//! * [`Type`] — includes *model-dependent types*: a class type carries the
+//!   models witnessing its intrinsic `where`-clause constraints, so
+//!   `Set[String with CIEq]` and `Set[String]` are different types (§4.5).
+//! * [`Model`] — a witness for a constraint instantiation: a declared model
+//!   (possibly applied to type/model arguments), a *natural model* derived
+//!   from structural conformance (§3.3), or a model variable bound by a
+//!   `where` clause or an existential.
+//! * [`Table`] — the collected program: classes/interfaces, constraints,
+//!   models, `use` declarations, and free-standing generic methods.
+//! * [`variance`] — per-parameter variance inference for constraints, used
+//!   by constraint entailment (§5.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use genus_types::{Table, Type, PrimTy};
+//!
+//! let table = Table::new();
+//! let t = Type::Prim(PrimTy::Int);
+//! assert_eq!(t.display(&table).to_string(), "int");
+//! ```
+
+pub mod display;
+pub mod subst;
+pub mod subtype;
+pub mod table;
+pub mod ty;
+pub mod unify;
+pub mod variance;
+
+pub use genus_syntax::ast::PrimTy;
+pub use subst::Subst;
+pub use subtype::is_subtype;
+pub use table::{
+    ClassDef, ClassId, ConstraintDef, ConstraintId, ConstraintOp, CtorDef, FieldDef, MethodDef,
+    ModelDef, ModelId, ModelMethod, Table, UseDef,
+};
+pub use ty::{ConstraintInst, Model, MvId, TvId, Type, WhereReq};
+pub use variance::{compute_variances, Variance};

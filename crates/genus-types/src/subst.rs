@@ -1,0 +1,237 @@
+//! Substitution of type and model variables.
+
+use crate::ty::{ConstraintInst, Model, MvId, TvId, Type, WhereReq};
+use std::collections::HashMap;
+
+/// A simultaneous substitution: type variables to types and model variables
+/// to models. Also used to solve inference variables during unification.
+#[derive(Debug, Clone, Default)]
+pub struct Subst {
+    /// Type-variable bindings.
+    pub tys: HashMap<TvId, Type>,
+    /// Model-variable bindings.
+    pub models: HashMap<MvId, Model>,
+    /// Inference-variable solutions (types).
+    pub infer_tys: HashMap<u32, Type>,
+    /// Inference-variable solutions (models).
+    pub infer_models: HashMap<u32, Model>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// Builds a substitution mapping `params[i] -> args[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_pairs(params: &[TvId], args: &[Type]) -> Self {
+        assert_eq!(params.len(), args.len(), "arity mismatch in substitution");
+        let mut s = Subst::new();
+        for (p, a) in params.iter().zip(args) {
+            s.tys.insert(*p, a.clone());
+        }
+        s
+    }
+
+    /// Adds model-variable bindings `mvs[i] -> ms[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn with_models(mut self, mvs: &[MvId], ms: &[Model]) -> Self {
+        assert_eq!(mvs.len(), ms.len(), "model arity mismatch in substitution");
+        for (v, m) in mvs.iter().zip(ms) {
+            self.models.insert(*v, m.clone());
+        }
+        self
+    }
+
+    /// Whether the substitution binds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.tys.is_empty()
+            && self.models.is_empty()
+            && self.infer_tys.is_empty()
+            && self.infer_models.is_empty()
+    }
+
+    /// Applies the substitution to a type.
+    pub fn apply(&self, t: &Type) -> Type {
+        match t {
+            Type::Prim(_) | Type::Null => t.clone(),
+            Type::Var(v) => match self.tys.get(v) {
+                Some(new) => new.clone(),
+                None => t.clone(),
+            },
+            Type::Infer(i) => match self.infer_tys.get(i) {
+                // Solutions may themselves contain inference variables that
+                // were solved later; re-apply until stable.
+                Some(new) => self.apply(new),
+                None => t.clone(),
+            },
+            Type::Array(e) => Type::Array(Box::new(self.apply(e))),
+            Type::Class { id, args, models } => Type::Class {
+                id: *id,
+                args: args.iter().map(|a| self.apply(a)).collect(),
+                models: models.iter().map(|m| self.apply_model(m)).collect(),
+            },
+            Type::Existential { params, bounds, wheres, body } => {
+                // Bound variables are globally unique, so capture cannot
+                // occur; simply avoid substituting the binders themselves.
+                let mut inner = self.clone();
+                for p in params {
+                    inner.tys.remove(p);
+                }
+                for w in wheres {
+                    inner.models.remove(&w.mv);
+                }
+                Type::Existential {
+                    params: params.clone(),
+                    bounds: bounds
+                        .iter()
+                        .map(|b| b.as_ref().map(|t| inner.apply(t)))
+                        .collect(),
+                    wheres: wheres.iter().map(|w| inner.apply_where(w)).collect(),
+                    body: Box::new(inner.apply(body)),
+                }
+            }
+        }
+    }
+
+    /// Applies the substitution to a model.
+    pub fn apply_model(&self, m: &Model) -> Model {
+        match m {
+            Model::Var(v) => match self.models.get(v) {
+                Some(new) => new.clone(),
+                None => m.clone(),
+            },
+            Model::Infer(i) => match self.infer_models.get(i) {
+                Some(new) => self.apply_model(new),
+                None => m.clone(),
+            },
+            Model::Natural { inst } => Model::Natural { inst: self.apply_inst(inst) },
+            Model::Decl { id, type_args, model_args } => Model::Decl {
+                id: *id,
+                type_args: type_args.iter().map(|a| self.apply(a)).collect(),
+                model_args: model_args.iter().map(|x| self.apply_model(x)).collect(),
+            },
+        }
+    }
+
+    /// Applies the substitution to a constraint instantiation.
+    pub fn apply_inst(&self, inst: &ConstraintInst) -> ConstraintInst {
+        ConstraintInst { id: inst.id, args: inst.args.iter().map(|a| self.apply(a)).collect() }
+    }
+
+    /// Applies the substitution to a where-requirement.
+    pub fn apply_where(&self, w: &WhereReq) -> WhereReq {
+        WhereReq { inst: self.apply_inst(&w.inst), mv: w.mv, named: w.named }
+    }
+
+    /// Composes: the result applies `self` first, then `other`.
+    pub fn then(&self, other: &Subst) -> Subst {
+        let mut out = Subst::new();
+        for (v, t) in &self.tys {
+            out.tys.insert(*v, other.apply(t));
+        }
+        for (v, m) in &self.models {
+            out.models.insert(*v, other.apply_model(m));
+        }
+        for (i, t) in &self.infer_tys {
+            out.infer_tys.insert(*i, other.apply(t));
+        }
+        for (i, m) in &self.infer_models {
+            out.infer_models.insert(*i, other.apply_model(m));
+        }
+        for (v, t) in &other.tys {
+            out.tys.entry(*v).or_insert_with(|| t.clone());
+        }
+        for (v, m) in &other.models {
+            out.models.entry(*v).or_insert_with(|| m.clone());
+        }
+        for (i, t) in &other.infer_tys {
+            out.infer_tys.entry(*i).or_insert_with(|| t.clone());
+        }
+        for (i, m) in &other.infer_models {
+            out.infer_models.entry(*i).or_insert_with(|| m.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ClassId;
+    use crate::ty::PrimTy;
+
+    fn tv(n: u32) -> TvId {
+        TvId(n)
+    }
+
+    #[test]
+    fn substitutes_vars() {
+        let s = Subst::from_pairs(&[tv(0)], &[Type::Prim(PrimTy::Int)]);
+        assert_eq!(s.apply(&Type::Var(tv(0))), Type::Prim(PrimTy::Int));
+        assert_eq!(s.apply(&Type::Var(tv(1))), Type::Var(tv(1)));
+        assert_eq!(
+            s.apply(&Type::Array(Box::new(Type::Var(tv(0))))),
+            Type::Array(Box::new(Type::Prim(PrimTy::Int)))
+        );
+    }
+
+    #[test]
+    fn substitutes_inside_class_and_models() {
+        let s = Subst::from_pairs(&[tv(0)], &[Type::Prim(PrimTy::Double)]);
+        let c = Type::Class {
+            id: ClassId(3),
+            args: vec![Type::Var(tv(0))],
+            models: vec![Model::Natural {
+                inst: ConstraintInst { id: crate::table::ConstraintId(0), args: vec![Type::Var(tv(0))] },
+            }],
+        };
+        match s.apply(&c) {
+            Type::Class { args, models, .. } => {
+                assert_eq!(args[0], Type::Prim(PrimTy::Double));
+                match &models[0] {
+                    Model::Natural { inst } => assert_eq!(inst.args[0], Type::Prim(PrimTy::Double)),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn existential_binders_shadow() {
+        let s = Subst::from_pairs(&[tv(0)], &[Type::Prim(PrimTy::Int)]);
+        let ex = Type::Existential {
+            params: vec![tv(0)],
+            bounds: vec![None],
+            wheres: vec![],
+            body: Box::new(Type::Var(tv(0))),
+        };
+        // The bound tv(0) must not be substituted.
+        assert_eq!(s.apply(&ex), ex);
+    }
+
+    #[test]
+    fn infer_solutions_chase() {
+        let mut s = Subst::new();
+        s.infer_tys.insert(0, Type::Infer(1));
+        s.infer_tys.insert(1, Type::Prim(PrimTy::Int));
+        assert_eq!(s.apply(&Type::Infer(0)), Type::Prim(PrimTy::Int));
+    }
+
+    #[test]
+    fn composition_applies_in_order() {
+        let s1 = Subst::from_pairs(&[tv(0)], &[Type::Var(tv(1))]);
+        let s2 = Subst::from_pairs(&[tv(1)], &[Type::Prim(PrimTy::Int)]);
+        let c = s1.then(&s2);
+        assert_eq!(c.apply(&Type::Var(tv(0))), Type::Prim(PrimTy::Int));
+        assert_eq!(c.apply(&Type::Var(tv(1))), Type::Prim(PrimTy::Int));
+    }
+}

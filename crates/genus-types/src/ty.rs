@@ -1,0 +1,294 @@
+//! Semantic types, models, and constraint instantiations.
+
+use crate::table::{ClassId, ConstraintId, ModelId, Table};
+
+/// A universally or existentially quantified type variable, allocated in a
+/// [`Table`]. Fresh variables are also created by capture conversion (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TvId(pub u32);
+
+/// A model variable: the witness bound by a `where` clause
+/// (`where Comparable[T] c`), by an existential, or by capture conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MvId(pub u32);
+
+pub use genus_syntax::ast::PrimTy;
+
+/// A semantic type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// Primitive type (usable as a type argument, §3.1).
+    Prim(PrimTy),
+    /// Instantiated class or interface. `models` witness the class's
+    /// intrinsic `where` constraints, in declaration order — they are part
+    /// of the type (§4.5).
+    Class {
+        /// The class or interface.
+        id: ClassId,
+        /// Type arguments, one per class type parameter.
+        args: Vec<Type>,
+        /// Witnesses for the class's `where` constraints.
+        models: Vec<Model>,
+    },
+    /// A type variable.
+    Var(TvId),
+    /// `T[]`.
+    Array(Box<Type>),
+    /// The type of `null`, subtype of every reference type.
+    Null,
+    /// A packed existential: `[some X.. where K[X..] m..] body` (§6.1).
+    Existential {
+        /// Bound type variables.
+        params: Vec<TvId>,
+        /// Optional upper (subtype) bounds, one per parameter — inline so
+        /// that substitution reaches them (desugared `? extends T`
+        /// wildcards carry the enclosing declaration's type variables).
+        bounds: Vec<Option<Type>>,
+        /// Bound constraint witnesses.
+        wheres: Vec<WhereReq>,
+        /// Quantified body.
+        body: Box<Type>,
+    },
+    /// A unification variable used during inference; never appears in
+    /// checked programs.
+    Infer(u32),
+}
+
+impl Type {
+    /// `void`, usable only as a return type.
+    pub fn void() -> Type {
+        Type::Prim(PrimTy::Void)
+    }
+
+    /// Whether this is `void`.
+    pub fn is_void(&self) -> bool {
+        matches!(self, Type::Prim(PrimTy::Void))
+    }
+
+    /// Whether this is a primitive (non-void) type.
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, Type::Prim(p) if *p != PrimTy::Void)
+    }
+
+    /// Whether the type is a reference type (can hold `null`).
+    pub fn is_reference(&self) -> bool {
+        matches!(
+            self,
+            Type::Class { .. } | Type::Array(_) | Type::Null | Type::Existential { .. }
+        )
+    }
+
+    /// Whether any [`Type::Infer`] or [`Model::Infer`] occurs in this type.
+    pub fn has_infer(&self) -> bool {
+        match self {
+            Type::Prim(_) | Type::Var(_) | Type::Null => false,
+            Type::Infer(_) => true,
+            Type::Array(e) => e.has_infer(),
+            Type::Class { args, models, .. } => {
+                args.iter().any(Type::has_infer) || models.iter().any(Model::has_infer)
+            }
+            Type::Existential { bounds, wheres, body, .. } => {
+                body.has_infer()
+                    || wheres.iter().any(|w| w.inst.args.iter().any(Type::has_infer))
+                    || bounds.iter().flatten().any(Type::has_infer)
+            }
+        }
+    }
+
+    /// Collects the free type variables of the type into `out`.
+    pub fn free_tvs(&self, out: &mut Vec<TvId>) {
+        match self {
+            Type::Prim(_) | Type::Null | Type::Infer(_) => {}
+            Type::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Type::Array(e) => e.free_tvs(out),
+            Type::Class { args, models, .. } => {
+                for a in args {
+                    a.free_tvs(out);
+                }
+                for m in models {
+                    m.free_tvs(out);
+                }
+            }
+            Type::Existential { params, bounds, wheres, body } => {
+                let mut inner = Vec::new();
+                body.free_tvs(&mut inner);
+                for w in wheres {
+                    for a in &w.inst.args {
+                        a.free_tvs(&mut inner);
+                    }
+                }
+                for b in bounds.iter().flatten() {
+                    b.free_tvs(&mut inner);
+                }
+                for v in inner {
+                    if !params.contains(&v) && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the type against a table (resolving names).
+    pub fn display<'a>(&'a self, table: &'a Table) -> crate::display::TypeDisplay<'a> {
+        crate::display::TypeDisplay { ty: self, table }
+    }
+}
+
+/// A constraint applied to argument types, e.g. `GraphLike[V, E]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintInst {
+    /// The constraint.
+    pub id: ConstraintId,
+    /// Argument types.
+    pub args: Vec<Type>,
+}
+
+impl ConstraintInst {
+    /// Renders against a table.
+    pub fn display<'a>(&'a self, table: &'a Table) -> crate::display::ConstraintDisplay<'a> {
+        crate::display::ConstraintDisplay { inst: self, table }
+    }
+}
+
+/// A `where`-clause requirement as recorded in declarations: the constraint
+/// plus the model variable that names its witness inside the scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhereReq {
+    /// Required constraint.
+    pub inst: ConstraintInst,
+    /// The witness variable bound for the scope.
+    pub mv: MvId,
+    /// Whether the programmer named it explicitly (`where Eq[T] e`).
+    pub named: bool,
+}
+
+/// A model: evidence that types satisfy a constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Model {
+    /// An instance of a declared model, with type and model arguments for
+    /// its generic signature (parameterized models, Figure 5).
+    Decl {
+        /// The model declaration.
+        id: ModelId,
+        /// Type arguments.
+        type_args: Vec<Type>,
+        /// Witnesses for the model's own `where` constraints.
+        model_args: Vec<Model>,
+    },
+    /// The natural model: the types structurally conform to the constraint
+    /// (§3.3). Identified by the constraint instantiation it witnesses.
+    Natural {
+        /// The witnessed constraint instantiation.
+        inst: ConstraintInst,
+    },
+    /// A model variable bound by a `where` clause or existential.
+    Var(MvId),
+    /// A unification variable for model inference; never appears in checked
+    /// programs.
+    Infer(u32),
+}
+
+impl Model {
+    /// Whether any inference variable occurs in the model.
+    pub fn has_infer(&self) -> bool {
+        match self {
+            Model::Var(_) => false,
+            Model::Infer(_) => true,
+            Model::Natural { inst } => inst.args.iter().any(Type::has_infer),
+            Model::Decl { type_args, model_args, .. } => {
+                type_args.iter().any(Type::has_infer) || model_args.iter().any(Model::has_infer)
+            }
+        }
+    }
+
+    /// Collects free type variables.
+    pub fn free_tvs(&self, out: &mut Vec<TvId>) {
+        match self {
+            Model::Var(_) | Model::Infer(_) => {}
+            Model::Natural { inst } => {
+                for a in &inst.args {
+                    a.free_tvs(out);
+                }
+            }
+            Model::Decl { type_args, model_args, .. } => {
+                for a in type_args {
+                    a.free_tvs(out);
+                }
+                for m in model_args {
+                    m.free_tvs(out);
+                }
+            }
+        }
+    }
+
+    /// Collects free model variables.
+    pub fn free_mvs(&self, out: &mut Vec<MvId>) {
+        match self {
+            Model::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Model::Infer(_) | Model::Natural { .. } => {}
+            Model::Decl { model_args, .. } => {
+                for m in model_args {
+                    m.free_mvs(out);
+                }
+            }
+        }
+    }
+
+    /// Renders against a table.
+    pub fn display<'a>(&'a self, table: &'a Table) -> crate::display::ModelDisplay<'a> {
+        crate::display::ModelDisplay { model: self, table }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Type::Prim(PrimTy::Int).is_primitive());
+        assert!(!Type::Prim(PrimTy::Void).is_primitive());
+        assert!(Type::Prim(PrimTy::Void).is_void());
+        assert!(Type::Null.is_reference());
+        assert!(Type::Array(Box::new(Type::Prim(PrimTy::Int))).is_reference());
+        assert!(!Type::Var(TvId(0)).is_reference());
+    }
+
+    #[test]
+    fn infer_detection() {
+        let t = Type::Array(Box::new(Type::Infer(3)));
+        assert!(t.has_infer());
+        let c = Type::Class {
+            id: ClassId(0),
+            args: vec![Type::Prim(PrimTy::Int)],
+            models: vec![Model::Infer(0)],
+        };
+        assert!(c.has_infer());
+    }
+
+    #[test]
+    fn free_tvs_skip_bound() {
+        let ex = Type::Existential {
+            params: vec![TvId(1)],
+            bounds: vec![None],
+            wheres: vec![],
+            body: Box::new(Type::Class {
+                id: ClassId(0),
+                args: vec![Type::Var(TvId(1)), Type::Var(TvId(2))],
+                models: vec![],
+            }),
+        };
+        let mut out = Vec::new();
+        ex.free_tvs(&mut out);
+        assert_eq!(out, vec![TvId(2)]);
+    }
+}

@@ -1,0 +1,245 @@
+//! First-order unification over types and models.
+//!
+//! Used by generic-method inference (§4.7): type parameters and *intrinsic*
+//! constraint witnesses are solved by unification; *extrinsic* witnesses are
+//! then resolved by default model resolution in `genus-check`.
+
+use crate::subst::Subst;
+use crate::table::Table;
+use crate::ty::{Model, Type};
+
+/// Error type for failed unification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnifyError;
+
+impl std::fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "types do not unify")
+    }
+}
+
+impl std::error::Error for UnifyError {}
+
+/// Unifies `a` and `b`, extending `subst` with solutions for
+/// [`Type::Infer`] / [`Model::Infer`] variables.
+///
+/// # Errors
+///
+/// Returns [`UnifyError`] if the types clash or the occurs check fails.
+pub fn unify(table: &Table, a: &Type, b: &Type, subst: &mut Subst) -> Result<(), UnifyError> {
+    let a = subst.apply(a);
+    let b = subst.apply(b);
+    match (&a, &b) {
+        (Type::Infer(i), _) => bind_ty(*i, &b, subst),
+        (_, Type::Infer(i)) => bind_ty(*i, &a, subst),
+        (Type::Prim(x), Type::Prim(y)) if x == y => Ok(()),
+        (Type::Null, Type::Null) => Ok(()),
+        (Type::Var(x), Type::Var(y)) if x == y => Ok(()),
+        (Type::Array(x), Type::Array(y)) => unify(table, x, y, subst),
+        (
+            Type::Class { id: i1, args: a1, models: m1 },
+            Type::Class { id: i2, args: a2, models: m2 },
+        ) if i1 == i2 && a1.len() == a2.len() && m1.len() == m2.len() => {
+            for (x, y) in a1.iter().zip(a2) {
+                unify(table, x, y, subst)?;
+            }
+            for (x, y) in m1.iter().zip(m2) {
+                unify_model(table, x, y, subst)?;
+            }
+            Ok(())
+        }
+        (Type::Existential { .. }, Type::Existential { .. }) => {
+            // Existentials unify only when alpha-equal (no inference inside
+            // binders — capture conversion opens them before inference).
+            if crate::subtype::type_eq(table, &a, &b) {
+                Ok(())
+            } else {
+                Err(UnifyError)
+            }
+        }
+        _ => Err(UnifyError),
+    }
+}
+
+/// Unifies two models, extending `subst`.
+///
+/// # Errors
+///
+/// Returns [`UnifyError`] if the models clash.
+pub fn unify_model(
+    table: &Table,
+    a: &Model,
+    b: &Model,
+    subst: &mut Subst,
+) -> Result<(), UnifyError> {
+    let a = subst.apply_model(a);
+    let b = subst.apply_model(b);
+    match (&a, &b) {
+        (Model::Infer(i), _) => bind_model(*i, &b, subst),
+        (_, Model::Infer(i)) => bind_model(*i, &a, subst),
+        (Model::Var(x), Model::Var(y)) if x == y => Ok(()),
+        (Model::Natural { inst: i1 }, Model::Natural { inst: i2 })
+            if i1.id == i2.id && i1.args.len() == i2.args.len() =>
+        {
+            for (x, y) in i1.args.iter().zip(&i2.args) {
+                unify(table, x, y, subst)?;
+            }
+            Ok(())
+        }
+        (
+            Model::Decl { id: d1, type_args: t1, model_args: m1 },
+            Model::Decl { id: d2, type_args: t2, model_args: m2 },
+        ) if d1 == d2 && t1.len() == t2.len() && m1.len() == m2.len() => {
+            for (x, y) in t1.iter().zip(t2) {
+                unify(table, x, y, subst)?;
+            }
+            for (x, y) in m1.iter().zip(m2) {
+                unify_model(table, x, y, subst)?;
+            }
+            Ok(())
+        }
+        _ => Err(UnifyError),
+    }
+}
+
+fn bind_ty(i: u32, t: &Type, subst: &mut Subst) -> Result<(), UnifyError> {
+    if let Type::Infer(j) = t {
+        if *j == i {
+            return Ok(());
+        }
+    }
+    if occurs_ty(i, t) {
+        return Err(UnifyError);
+    }
+    subst.infer_tys.insert(i, t.clone());
+    Ok(())
+}
+
+fn bind_model(i: u32, m: &Model, subst: &mut Subst) -> Result<(), UnifyError> {
+    if let Model::Infer(j) = m {
+        if *j == i {
+            return Ok(());
+        }
+    }
+    if occurs_model(i, m) {
+        return Err(UnifyError);
+    }
+    subst.infer_models.insert(i, m.clone());
+    Ok(())
+}
+
+fn occurs_ty(i: u32, t: &Type) -> bool {
+    match t {
+        Type::Infer(j) => *j == i,
+        Type::Prim(_) | Type::Null | Type::Var(_) => false,
+        Type::Array(e) => occurs_ty(i, e),
+        Type::Class { args, models, .. } => {
+            args.iter().any(|a| occurs_ty(i, a)) || models.iter().any(|m| occurs_in_model_ty(i, m))
+        }
+        Type::Existential { wheres, body, .. } => {
+            occurs_ty(i, body) || wheres.iter().any(|w| w.inst.args.iter().any(|a| occurs_ty(i, a)))
+        }
+    }
+}
+
+fn occurs_in_model_ty(i: u32, m: &Model) -> bool {
+    match m {
+        Model::Infer(_) | Model::Var(_) => false,
+        Model::Natural { inst } => inst.args.iter().any(|a| occurs_ty(i, a)),
+        Model::Decl { type_args, model_args, .. } => {
+            type_args.iter().any(|a| occurs_ty(i, a))
+                || model_args.iter().any(|x| occurs_in_model_ty(i, x))
+        }
+    }
+}
+
+fn occurs_model(i: u32, m: &Model) -> bool {
+    match m {
+        Model::Infer(j) => *j == i,
+        Model::Var(_) | Model::Natural { .. } => false,
+        Model::Decl { model_args, .. } => model_args.iter().any(|x| occurs_model(i, x)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ClassDef, Table};
+    use crate::ty::{ConstraintInst, PrimTy};
+    use genus_common::{Span, Symbol};
+
+    fn list_class(tb: &mut Table) -> crate::table::ClassId {
+        let t = tb.fresh_tv(Symbol::intern("T"));
+        tb.add_class(ClassDef {
+            name: Symbol::intern("List"),
+            is_interface: true,
+            is_abstract: false,
+            params: vec![t],
+            wheres: vec![],
+            extends: None,
+            implements: vec![],
+            fields: vec![],
+            ctors: vec![],
+            methods: vec![],
+            span: Span::dummy(),
+        })
+    }
+
+    #[test]
+    fn solves_simple() {
+        let mut tb = Table::new();
+        let list = list_class(&mut tb);
+        let mut s = Subst::new();
+        let a = Type::Class { id: list, args: vec![Type::Infer(0)], models: vec![] };
+        let b = Type::Class { id: list, args: vec![Type::Prim(PrimTy::Int)], models: vec![] };
+        unify(&tb, &a, &b, &mut s).unwrap();
+        assert_eq!(s.apply(&Type::Infer(0)), Type::Prim(PrimTy::Int));
+    }
+
+    #[test]
+    fn occurs_check() {
+        let mut tb = Table::new();
+        let list = list_class(&mut tb);
+        let mut s = Subst::new();
+        let a = Type::Infer(0);
+        let b = Type::Class { id: list, args: vec![Type::Infer(0)], models: vec![] };
+        assert!(unify(&tb, &a, &b, &mut s).is_err());
+    }
+
+    #[test]
+    fn clash_fails() {
+        let tb = Table::new();
+        let mut s = Subst::new();
+        assert!(unify(&tb, &Type::Prim(PrimTy::Int), &Type::Prim(PrimTy::Double), &mut s).is_err());
+    }
+
+    #[test]
+    fn model_inference() {
+        let mut tb = Table::new();
+        let t = tb.fresh_tv(Symbol::intern("T"));
+        let eq = tb.add_constraint(crate::table::ConstraintDef {
+            name: Symbol::intern("Eq"),
+            params: vec![t],
+            prereqs: vec![],
+            ops: vec![],
+            variance: vec![],
+            span: Span::dummy(),
+        });
+        let mut s = Subst::new();
+        let a = Model::Infer(0);
+        let b = Model::Natural {
+            inst: ConstraintInst { id: eq, args: vec![Type::Prim(PrimTy::Int)] },
+        };
+        unify_model(&tb, &a, &b, &mut s).unwrap();
+        assert_eq!(s.apply_model(&Model::Infer(0)), b);
+    }
+
+    #[test]
+    fn transitive_solutions() {
+        let tb = Table::new();
+        let mut s = Subst::new();
+        unify(&tb, &Type::Infer(0), &Type::Infer(1), &mut s).unwrap();
+        unify(&tb, &Type::Infer(1), &Type::Prim(PrimTy::Int), &mut s).unwrap();
+        assert_eq!(s.apply(&Type::Infer(0)), Type::Prim(PrimTy::Int));
+    }
+}

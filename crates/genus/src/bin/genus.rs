@@ -1,0 +1,84 @@
+//! The `genus` command-line driver: check and run Genus source files.
+//!
+//! ```console
+//! $ genus run program.genus            # compile + execute main()
+//! $ genus check program.genus ...      # type-check only
+//! $ genus run --no-stdlib tiny.genus   # prelude only
+//! ```
+
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: genus <run|check> [--no-stdlib] <file.genus> [more files...]\n\
+         \n\
+         run     compile the files (with the standard library unless\n\
+         \x20        --no-stdlib is given) and execute main()\n\
+         check   type-check only and report diagnostics"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let mut stdlib = true;
+    let mut files: Vec<String> = Vec::new();
+    for a in args {
+        if a == "--no-stdlib" {
+            stdlib = false;
+        } else if a == "--help" || a == "-h" {
+            usage();
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+    let mut compiler = genus::Compiler::new();
+    if stdlib {
+        compiler = compiler.with_stdlib();
+    }
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => compiler = compiler.source(f.clone(), src),
+            Err(e) => {
+                eprintln!("error: cannot read `{f}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match cmd.as_str() {
+        "check" => match compiler.compile() {
+            Ok(prog) => {
+                println!(
+                    "ok: {} classes, {} constraints, {} models, {} top-level methods",
+                    prog.table.classes.len(),
+                    prog.table.constraints.len(),
+                    prog.table.models.len(),
+                    prog.table.globals.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "run" => match compiler.run() {
+            Ok(result) => {
+                print!("{}", result.output);
+                if result.rendered_value != "void" {
+                    println!("=> {}", result.rendered_value);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

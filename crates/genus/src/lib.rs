@@ -1,0 +1,155 @@
+//! Facade for the Genus language implementation: a one-stop compile-and-run
+//! pipeline over `genus-syntax`, `genus-check`, `genus-interp`, and the
+//! `genus-stdlib` sources.
+//!
+//! # Examples
+//!
+//! ```
+//! use genus::Compiler;
+//!
+//! let result = Compiler::new()
+//!     .source("demo.genus", "int main() { return 21 * 2; }")
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.rendered_value, "42");
+//! ```
+
+pub use genus_check::{check_program, hir, CheckedProgram};
+pub use genus_common::{Diagnostics, SourceMap};
+pub use genus_interp::{ErrorKind, Interp, RuntimeError, Value};
+
+/// Outcome of running a program through [`Compiler::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// `main`'s return value, rendered.
+    pub rendered_value: String,
+    /// Everything printed by the program.
+    pub output: String,
+}
+
+/// A builder-style compiler front end.
+///
+/// Sources are checked together with the built-in prelude and (optionally)
+/// the standard library ported from the Java Collections Framework and the
+/// FindBugs-style graph library (§8.1, §8.2 of the paper).
+#[derive(Debug, Default)]
+pub struct Compiler {
+    sources: Vec<(String, String)>,
+    stdlib: bool,
+}
+
+impl Compiler {
+    /// Creates an empty compiler.
+    pub fn new() -> Self {
+        Compiler::default()
+    }
+
+    /// Adds a named source file.
+    pub fn source(mut self, name: impl Into<String>, src: impl Into<String>) -> Self {
+        self.sources.push((name.into(), src.into()));
+        self
+    }
+
+    /// Includes the Genus standard library (collections + graph).
+    pub fn with_stdlib(mut self) -> Self {
+        self.stdlib = true;
+        self
+    }
+
+    /// Type-checks everything and returns the checked program.
+    ///
+    /// # Errors
+    ///
+    /// Returns rendered diagnostics on any parse or type error.
+    pub fn compile(&self) -> Result<CheckedProgram, String> {
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
+        if self.stdlib {
+            for (name, src) in genus_stdlib::sources() {
+                pairs.push((name, src));
+            }
+        }
+        for (name, src) in &self.sources {
+            pairs.push((name.as_str(), src.as_str()));
+        }
+        genus_check::check_sources(&pairs)
+    }
+
+    /// Compiles and runs `main()`, returning its value and captured output.
+    ///
+    /// The program runs on a dedicated thread with a large stack so that
+    /// the interpreter's recursion guard — not the native stack — is the
+    /// binding limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns rendered diagnostics on compile errors, or the runtime error
+    /// message.
+    pub fn run(&self) -> Result<RunResult, String> {
+        let prog = self.compile()?;
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("genus-interp".to_string())
+                .stack_size(256 << 20)
+                .spawn_scoped(scope, || {
+                    let mut interp = Interp::new(&prog);
+                    let v = interp.run_main().map_err(|e| e.to_string())?;
+                    Ok(RunResult {
+                        rendered_value: format!("{v}"),
+                        output: interp.take_output(),
+                    })
+                })
+                .expect("spawn interpreter thread")
+                .join()
+                .expect("interpreter thread panicked")
+        })
+    }
+}
+
+/// Compiles and runs a single source with the standard library available.
+///
+/// # Errors
+///
+/// Propagates compile diagnostics or runtime errors as strings.
+pub fn run_with_stdlib(src: &str) -> Result<RunResult, String> {
+    Compiler::new().with_stdlib().source("main.genus", src).run()
+}
+
+/// Compiles and runs a single source with only the prelude.
+///
+/// # Errors
+///
+/// Propagates compile diagnostics or runtime errors as strings.
+pub fn run_simple(src: &str) -> Result<RunResult, String> {
+    Compiler::new().source("main.genus", src).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_runs() {
+        let r = run_simple("int main() { println(\"x\"); return 7; }").unwrap();
+        assert_eq!(r.rendered_value, "7");
+        assert_eq!(r.output, "x\n");
+    }
+
+    #[test]
+    fn compile_errors_are_reported() {
+        let e = run_simple("int main() { return undefinedVariable; }").unwrap_err();
+        assert!(e.contains("unknown variable"), "{e}");
+    }
+
+    #[test]
+    fn stdlib_is_available() {
+        let r = run_with_stdlib(
+            "int main() {
+               ArrayList[int] l = new ArrayList[int]();
+               l.add(4); l.add(2);
+               return l.get(0) * 10 + l.get(1);
+             }",
+        )
+        .unwrap();
+        assert_eq!(r.rendered_value, "42");
+    }
+}

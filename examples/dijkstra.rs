@@ -1,0 +1,44 @@
+//! Figure 4: Dijkstra's single-source shortest paths, generalized to
+//! ordered rings. The same `SSSP` runs with the tropical (min, +) ring for
+//! classic shortest paths and with the natural arithmetic ring of `double`
+//! for multiplicative path costs (e.g. probabilities).
+//!
+//! Run with: `cargo run --example dijkstra`
+
+fn main() {
+    let program = r#"
+        void main() {
+            Graph g = new Graph();
+            Vertex s = g.addVertex();
+            Vertex a = g.addVertex();
+            Vertex b = g.addVertex();
+            Vertex t = g.addVertex();
+            g.addEdge(s, a, 1.0);
+            g.addEdge(s, b, 4.0);
+            g.addEdge(a, b, 2.0);
+            g.addEdge(a, t, 6.0);
+            g.addEdge(b, t, 1.0);
+
+            println("shortest paths from v0 (tropical ring: plus=min, times=+, one=0):");
+            HashMap[Vertex, double] dist =
+                SSSP[Vertex, Edge, double with TropicalRing](s);
+            for (Vertex v : g.vertices) {
+                println("  " + v + ": " + dist.get(v));
+            }
+
+            println("max-reliability style costs (natural ring: times=*, one=1):");
+            HashMap[Vertex, double] cost = SSSP[Vertex, Edge, double](s);
+            for (Vertex v : g.vertices) {
+                println("  " + v + ": " + cost.get(v));
+            }
+        }
+    "#;
+
+    match genus::run_with_stdlib(program) {
+        Ok(result) => print!("{}", result.output),
+        Err(e) => {
+            eprintln!("error:\n{e}");
+            std::process::exit(1);
+        }
+    }
+}

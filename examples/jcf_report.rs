@@ -1,0 +1,60 @@
+//! Regenerates the §8.1 collections-port metrics: `ClassCastException`
+//! mentions eliminated from the TreeSet/TreeMap specifications, and the
+//! descending-view code replaced by the `ReverseCmp` model.
+//!
+//! Also demonstrates the safety claims executably: the same-ordering fast
+//! path of Figure 7 and the static rejection of cross-ordering assignment.
+//!
+//! Run with: `cargo run --example jcf_report`
+
+use genus_metrics::{safety_report, with_clause_report};
+
+fn main() {
+    println!("== §8.1: porting the collections framework to Genus ==\n");
+    let report = safety_report();
+    print!("{}", report.render());
+
+    println!("\nExecutable evidence:");
+
+    // 1. Orderings are part of the type: the Figure 7 fast path triggers
+    //    exactly when the reified models match.
+    let fast = genus::run_with_stdlib(
+        "int main() {
+           TreeSet[int] a = new TreeSet[int]();
+           a.add(2); a.add(1); a.add(3);
+           TreeSet[int] b = new TreeSet[int]();
+           b.addAll(a);
+           return b.fastPathAdds;
+         }",
+    )
+    .expect("fast-path program runs");
+    println!("  addAll from same-ordering TreeSet: {} fast-path adds (expect 3)", fast.rendered_value);
+
+    // 2. Cross-ordering assignment is a *static* error — the situation that
+    //    throws ClassCastException at run time in Java.
+    let err = genus::run_with_stdlib(
+        "model RevIntCmp for Comparable[int] {
+           boolean equals(int that) { return this == that; }
+           int compareTo(int that) { return 0 - this.compareTo(that); }
+         }
+         void main() {
+           TreeSet[int] s0 = new TreeSet[int]();
+           TreeSet[int with RevIntCmp] s1 = new TreeSet[int with RevIntCmp]();
+           s1 = s0;
+         }",
+    )
+    .expect_err("cross-ordering assignment must be rejected");
+    let first = err.lines().next().unwrap_or("");
+    println!("  cross-ordering assignment rejected statically:\n    {first}");
+
+    let w = with_clause_report();
+    println!(
+        "\n`with` clauses remaining in the collections port: {} in the descending\n\
+         views, {} in Figure 7's fast path, {} elsewhere — matching the paper's\n\
+         claim that descending views are the only place they are *needed*.",
+        w.in_descending_views, w.in_fast_path, w.elsewhere
+    );
+
+    println!("\npaper: 35 ClassCastException spec occurrences eliminated; 160 LoC of");
+    println!("descending views replaced by one model + one method.");
+}

@@ -1,0 +1,48 @@
+//! Figure 6: Kosaraju's strongly-connected components. The algorithm runs
+//! the *same* generic depth-first iterator twice over the same graph — once
+//! with the graph's natural `GraphLike` model, once with the `DualGraph`
+//! model that reverses every edge. Two different models witnessing the same
+//! constraint instantiation coexist in one scope (§4.3).
+//!
+//! Run with: `cargo run --example kosaraju`
+
+fn main() {
+    let program = r#"
+        void main() {
+            Graph g = new Graph();
+            Vertex a = g.addVertex();
+            Vertex b = g.addVertex();
+            Vertex c = g.addVertex();
+            Vertex d = g.addVertex();
+            Vertex e = g.addVertex();
+            Vertex f = g.addVertex();
+            // Component 1: a -> b -> c -> a
+            g.addEdge(a, b, 1.0);
+            g.addEdge(b, c, 1.0);
+            g.addEdge(c, a, 1.0);
+            // Bridge
+            g.addEdge(c, d, 1.0);
+            // Component 2: d -> e -> d
+            g.addEdge(d, e, 1.0);
+            g.addEdge(e, d, 1.0);
+            // Component 3: f alone
+            g.addEdge(e, f, 1.0);
+
+            ArrayList[ArrayList[Vertex]] comps = SCC[Vertex, Edge](g.vertices);
+            println("strongly connected components: " + comps.size());
+            for (ArrayList[Vertex] comp : comps) {
+                print("  {");
+                for (Vertex v : comp) { print(" " + v); }
+                println(" }");
+            }
+        }
+    "#;
+
+    match genus::run_with_stdlib(program) {
+        Ok(result) => print!("{}", result.output),
+        Err(e) => {
+            eprintln!("error:\n{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: compile and run a Genus program exercising the core of the
+//! genericity mechanism — a constraint, a natural model, an explicit model
+//! selected with a `with` clause, and default model resolution.
+//!
+//! Run with: `cargo run --example quickstart`
+
+fn main() {
+    let program = r#"
+        // A constraint is a predicate on types (§3.1). String satisfies it
+        // structurally, so the natural model exists with no declarations.
+        model CIEq for Eq[String] {
+            boolean equals(String str) { return equalsIgnoreCase(str); }
+        }
+
+        boolean same[T](T a, T b) where Eq[T] {
+            return a.equals(b);
+        }
+
+        void main() {
+            // Default model resolution picks String's natural equals.
+            println("case-sensitive:   " + same("Hello", "HELLO"));
+            // An explicit with clause selects the case-insensitive model.
+            println("case-insensitive: " + same[String with CIEq]("Hello", "HELLO"));
+
+            // Primitive type arguments work, with specialized storage (§7.3).
+            TreeSet[int] s = new TreeSet[int]();
+            s.add(3); s.add(1); s.add(2); s.add(3);
+            print("sorted set:       ");
+            for (int x : s) { print(x); print(" "); }
+            println("");
+        }
+    "#;
+
+    match genus::run_with_stdlib(program) {
+        Ok(result) => {
+            print!("{}", result.output);
+            println!("(main returned {})", result.rendered_value);
+        }
+        Err(e) => {
+            eprintln!("compilation or runtime error:\n{e}");
+            std::process::exit(1);
+        }
+    }
+}

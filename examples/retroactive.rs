@@ -1,0 +1,86 @@
+//! Retroactive modeling — the paper's central motivation (§2): make an
+//! existing class satisfy constraints it was never designed for, without
+//! touching it, by defining models after the fact.
+//!
+//! `LegacyPoint` stands in for a third-party class with no `equals`,
+//! `hashCode`, or `compareTo`. Models adapt it to `Hashable` and
+//! `Comparable` — with *two coexisting orderings* — so it works in
+//! `HashSet`, `TreeSet`, and the generic algorithms.
+//!
+//! Run with: `cargo run --example retroactive`
+
+fn main() {
+    let program = r#"
+        // A third-party class we cannot modify: no equals/hashCode/compareTo.
+        class LegacyPoint {
+            int x;
+            int y;
+            LegacyPoint(int x, int y) { this.x = x; this.y = y; }
+            String toString() { return "(" + x + "," + y + ")"; }
+        }
+
+        // Retroactive adaptation: value equality and hashing.
+        model PointHash for Hashable[LegacyPoint] {
+            boolean equals(LegacyPoint other) {
+                return x == other.x && y == other.y;
+            }
+            int hashCode() { return x * 31 + y; }
+        }
+
+        // Two different orderings for the same unprepared type.
+        model ByX for Comparable[LegacyPoint] {
+            boolean equals(LegacyPoint o) { return x == o.x && y == o.y; }
+            int compareTo(LegacyPoint o) { return x.compareTo(o.x); }
+        }
+        model ByDistance for Comparable[LegacyPoint] {
+            boolean equals(LegacyPoint o) { return x == o.x && y == o.y; }
+            int compareTo(LegacyPoint o) {
+                int a = x * x + y * y;
+                int b = o.x * o.x + o.y * o.y;
+                return a.compareTo(b);
+            }
+        }
+
+        void main() {
+            // Value-based dedup for a class with no equals of its own.
+            HashSet[LegacyPoint with PointHash] seen =
+                new HashSet[LegacyPoint with PointHash]();
+            seen.add(new LegacyPoint(1, 2));
+            seen.add(new LegacyPoint(1, 2));
+            seen.add(new LegacyPoint(3, 4));
+            println("distinct points: " + seen.size());
+
+            // The same points under two orderings, in the same scope (§4.3).
+            TreeSet[LegacyPoint with ByX] byX =
+                new TreeSet[LegacyPoint with ByX]();
+            TreeSet[LegacyPoint with ByDistance] byDist =
+                new TreeSet[LegacyPoint with ByDistance]();
+            for (LegacyPoint p : seen) { byX.add(p); byDist.add(p); }
+
+            print("by x:        ");
+            for (LegacyPoint p : byX) { print(p + " "); }
+            println("");
+            print("by distance: ");
+            for (LegacyPoint p : byDist) { print(p + " "); }
+            println("");
+
+            // Generic algorithms work through explicit models too.
+            ArrayList[LegacyPoint] l = new ArrayList[LegacyPoint]();
+            l.add(new LegacyPoint(3, 4));
+            l.add(new LegacyPoint(1, 2));
+            sortList[LegacyPoint with ByDistance](l);
+            println("closest: " + l.get(0));
+
+            // And the two TreeSet types stay distinct statically:
+            // `byX = byDist;` would be a compile-time error.
+        }
+    "#;
+
+    match genus::run_with_stdlib(program) {
+        Ok(result) => print!("{}", result.output),
+        Err(e) => {
+            eprintln!("error:\n{e}");
+            std::process::exit(1);
+        }
+    }
+}

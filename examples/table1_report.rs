@@ -1,0 +1,28 @@
+//! Regenerates the paper's Table 1 (§8.3) and checks its qualitative shape.
+//!
+//! Run with: `cargo run --release --example table1_report`
+//! (a debug build works but exaggerates constant factors).
+//!
+//! Environment:
+//! * `TABLE1_N` — elements per sort (default 4000)
+//! * `TABLE1_REPS` — repetitions per cell, median taken (default 5)
+
+use genus_translate::run_table1;
+
+fn main() {
+    let n: usize = std::env::var("TABLE1_N").ok().and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let reps: usize =
+        std::env::var("TABLE1_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
+    eprintln!("measuring Table 1 with n = {n}, reps = {reps} ...");
+    let table = run_table1(n, reps);
+    println!("{}", table.render());
+    let (report, ok) = table.shape_report();
+    println!("shape checks (the paper's qualitative claims):");
+    print!("{report}");
+    if ok {
+        println!("all shape checks PASS");
+    } else {
+        println!("some shape checks FAILED (rerun with --release and a larger TABLE1_N)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate for the Genus reproduction workspace.
+//!
+//! Re-exports the facade crate so integration tests and examples in this
+//! package can use a single import root.
+pub use genus::*;

@@ -1,0 +1,283 @@
+//! Behavioral tests for the Genus-source collections framework (§8.1).
+
+use genus_repro::run_with_stdlib;
+
+fn run_ok(src: &str) -> (String, String) {
+    match run_with_stdlib(src) {
+        Ok(r) => (r.rendered_value, r.output),
+        Err(e) => panic!("program failed:\n{e}"),
+    }
+}
+
+#[test]
+fn arraylist_grows_and_indexes() {
+    let (v, _) = run_ok(
+        "int main() {
+           ArrayList[int] l = new ArrayList[int]();
+           for (int i = 0; i < 100; i = i + 1) { l.add(i * 2); }
+           int s = 0;
+           for (int x : l) { s = s + x; }
+           return s + l.get(99) - l.get(0);
+         }",
+    );
+    assert_eq!(v, (9900 + 198).to_string());
+}
+
+#[test]
+fn arraylist_set_remove_indexof() {
+    let (v, _) = run_ok(
+        "int main() {
+           ArrayList[String] l = new ArrayList[String]();
+           l.add(\"a\"); l.add(\"b\"); l.add(\"c\");
+           l.set(1, \"B\");
+           int i = l.indexOf(\"B\");
+           l.removeAt(0);
+           boolean gone = l.remove(\"c\");
+           int code = 0;
+           if (gone) { code = 100; }
+           return code + i * 10 + l.size();
+         }",
+    );
+    assert_eq!(v, "111");
+}
+
+#[test]
+fn linkedlist_matches_arraylist() {
+    let (v, _) = run_ok(
+        "int main() {
+           LinkedList[int] l = new LinkedList[int]();
+           l.add(2); l.add(3); l.addFirst(1);
+           int s = 0;
+           for (int x : l) { s = s * 10 + x; }
+           l.removeFirst();
+           l.removeLast();
+           return s * 10 + l.get(0);
+         }",
+    );
+    assert_eq!(v, "1232");
+}
+
+#[test]
+fn linkedlist_remove_by_equality() {
+    let (v, _) = run_ok(
+        "int main() {
+           LinkedList[String] l = new LinkedList[String]();
+           l.add(\"x\"); l.add(\"y\"); l.add(\"x\");
+           boolean r = l.remove(\"x\");
+           int n = l.indexOf(\"x\");
+           int code = 0;
+           if (r) { code = 100; }
+           return code + n * 10 + l.size();
+         }",
+    );
+    assert_eq!(v, "112");
+}
+
+#[test]
+fn hashmap_puts_gets_removes_grows() {
+    let (v, _) = run_ok(
+        "int main() {
+           HashMap[int, int] m = new HashMap[int, int]();
+           for (int i = 0; i < 200; i = i + 1) { m.put(i, i * i); }
+           for (int i = 0; i < 100; i = i + 1) { m.removeKey(i); }
+           int hit = 0;
+           if (m.containsKey(150) && !m.containsKey(50)) { hit = 1; }
+           return hit * 100000 + m.get(140) + m.size();
+         }",
+    );
+    assert_eq!(v, (100000 + 140 * 140 + 100).to_string());
+}
+
+#[test]
+fn hashmap_string_keys() {
+    let (v, _) = run_ok(
+        "int main() {
+           HashMap[String, int] m = new HashMap[String, int]();
+           m.put(\"one\", 1);
+           m.put(\"two\", 2);
+           m.put(\"one\", 11);
+           return m.get(\"one\") * 10 + m.get(\"two\");
+         }",
+    );
+    assert_eq!(v, "112");
+}
+
+#[test]
+fn hashset_dedups() {
+    let (v, _) = run_ok(
+        "int main() {
+           HashSet[int] s = new HashSet[int]();
+           for (int i = 0; i < 50; i = i + 1) { s.add(i % 10); }
+           int n = 0;
+           for (int x : s) { n = n + 1; }
+           boolean r = s.remove(3);
+           int code = 0;
+           if (r && !s.contains(3)) { code = 1000; }
+           return code + n * 10 + s.size();
+         }",
+    );
+    assert_eq!(v, "1109");
+}
+
+#[test]
+fn treemap_sorts_keys() {
+    let (_, out) = run_ok(
+        "void main() {
+           TreeMap[int, String] m = new TreeMap[int, String]();
+           m.put(5, \"e\"); m.put(1, \"a\"); m.put(3, \"c\");
+           m.put(2, \"b\"); m.put(4, \"d\");
+           Iterator[int] it = m.keyIterator();
+           while (it.hasNext()) { print(it.next()); }
+           println(\"\");
+           m.removeKey(3);
+           Iterator[int] it2 = m.keyIterator();
+           while (it2.hasNext()) { print(it2.next()); }
+         }",
+    );
+    assert_eq!(out, "12345\n1245");
+}
+
+#[test]
+fn treemap_poll_first_drains_in_order() {
+    let (_, out) = run_ok(
+        "void main() {
+           TreeMap[int, int] m = new TreeMap[int, int]();
+           m.put(3, 30); m.put(1, 10); m.put(2, 20);
+           while (m.size() > 0) {
+             MapEntry[int, int] e = m.pollFirstEntry();
+             print(e.getKey());
+             print(\":\");
+             print(e.getValue());
+             print(\" \");
+           }
+         }",
+    );
+    assert_eq!(out, "1:10 2:20 3:30 ");
+}
+
+#[test]
+fn treeset_sorted_iteration_and_first() {
+    let (_, out) = run_ok(
+        "void main() {
+           TreeSet[String] s = new TreeSet[String]();
+           s.add(\"pear\"); s.add(\"apple\"); s.add(\"orange\");
+           println(s.first());
+           for (String x : s) { println(x); }
+         }",
+    );
+    assert_eq!(out, "apple\napple\norange\npear\n");
+}
+
+#[test]
+fn treeset_with_reverse_ordering_model() {
+    let (_, out) = run_ok(
+        "void main() {
+           TreeSet[int with ReverseCmp[int]] s = new TreeSet[int with ReverseCmp[int]]();
+           s.add(1); s.add(3); s.add(2);
+           for (int x : s) { print(x); }
+         }",
+    );
+    assert_eq!(out, "321");
+}
+
+#[test]
+fn collections_are_polymorphic_through_interfaces() {
+    let (v, _) = run_ok(
+        "int total(Collection[int] c) {
+           int s = 0;
+           for (int x : c) { s = s + x; }
+           return s;
+         }
+         int main() {
+           ArrayList[int] a = new ArrayList[int]();
+           a.add(1); a.add(2);
+           LinkedList[int] l = new LinkedList[int]();
+           l.add(3); l.add(4);
+           HashSet[int] h = new HashSet[int]();
+           h.add(5);
+           return total(a) + total(l) + total(h);
+         }",
+    );
+    assert_eq!(v, "15");
+}
+
+#[test]
+fn map_interface_dynamic_dispatch() {
+    let (v, _) = run_ok(
+        "int probe(Map[int, int] m) {
+           m.put(1, 10);
+           m.put(2, 20);
+           return m.get(1) + m.get(2) + m.size();
+         }
+         int main() {
+           int viaHash = probe(new HashMap[int, int]());
+           int viaTree = probe(new TreeMap[int, int]());
+           return viaHash + viaTree;
+         }",
+    );
+    assert_eq!(v, "64");
+}
+
+#[test]
+fn primitive_storage_in_generic_collections() {
+    // ArrayList[double] stores unboxed doubles; summing is exact.
+    let (v, _) = run_ok(
+        "double main() {
+           ArrayList[double] l = new ArrayList[double]();
+           for (int i = 0; i < 64; i = i + 1) { l.add(0.5); }
+           double s = 0.0;
+           for (double x : l) { s = s + x; }
+           return s;
+         }",
+    );
+    assert_eq!(v, "32.0");
+}
+
+#[test]
+fn generic_sort_method_over_lists() {
+    let (_, out) = run_ok(
+        "void sort[T](List[T] l) where Comparable[T] {
+           int n = l.size();
+           for (int i = 1; i < n; i = i + 1) {
+             T x = l.get(i);
+             int j = i;
+             while (j > 0 && l.get(j - 1).compareTo(x) > 0) {
+               l.set(j, l.get(j - 1));
+               j = j - 1;
+             }
+             l.set(j, x);
+           }
+         }
+         void main() {
+           ArrayList[int] xs = new ArrayList[int]();
+           xs.add(3); xs.add(1); xs.add(2);
+           sort(xs);
+           for (int x : xs) { print(x); }
+           ArrayList[String] ss = new ArrayList[String]();
+           ss.add(\"b\"); ss.add(\"a\");
+           sort(ss);
+           for (String s : ss) { print(s); }
+         }",
+    );
+    assert_eq!(out, "123ab");
+}
+
+#[test]
+fn nested_generics() {
+    let (v, _) = run_ok(
+        "int main() {
+           ArrayList[ArrayList[int]] grid = new ArrayList[ArrayList[int]]();
+           for (int i = 0; i < 3; i = i + 1) {
+             ArrayList[int] row = new ArrayList[int]();
+             for (int j = 0; j < 3; j = j + 1) { row.add(i * 3 + j); }
+             grid.add(row);
+           }
+           int s = 0;
+           for (ArrayList[int] row : grid) {
+             for (int x : row) { s = s + x; }
+           }
+           return s;
+         }",
+    );
+    assert_eq!(v, "36");
+}

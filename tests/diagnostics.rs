@@ -1,0 +1,264 @@
+//! Integration tests for static diagnostics: the errors the paper's type
+//! system is designed to catch.
+
+use genus_repro::{run_simple, run_with_stdlib};
+
+fn err_of(src: &str) -> String {
+    run_with_stdlib(src).expect_err("program should be rejected")
+}
+
+// ---------------------------------------------------------------------
+// §4.4 — default model resolution rules
+// ---------------------------------------------------------------------
+
+#[test]
+fn ambiguous_enabled_models_require_with() {
+    // The natural model for Comparable[int] and a use-enabled model are
+    // both enabled: rule 2 says the programmer must disambiguate.
+    let e = err_of(
+        "model RevIntCmp for Comparable[int] {
+           boolean equals(int that) { return this == that; }
+           int compareTo(int that) { return 0 - this.compareTo(that); }
+         }
+         use RevIntCmp;
+         void main() {
+           TreeSet[int] s = new TreeSet[int]();
+         }",
+    );
+    assert!(e.contains("ambiguous default model"), "{e}");
+}
+
+#[test]
+fn missing_model_is_an_error() {
+    let e = err_of(
+        "class NoCompare { NoCompare() { } }
+         void main() {
+           TreeSet[NoCompare] s = new TreeSet[NoCompare]();
+         }",
+    );
+    assert!(e.contains("no model found"), "{e}");
+}
+
+#[test]
+fn with_clause_must_witness_the_constraint() {
+    let e = err_of(
+        r#"model CIEq for Eq[String] {
+             boolean equals(String str) { return equalsIgnoreCase(str); }
+           }
+           void main() {
+             // CIEq witnesses Eq[String], not Comparable[String].
+             TreeSet[String with CIEq] s = new TreeSet[String with CIEq]();
+           }"#,
+    );
+    assert!(e.contains("does not witness"), "{e}");
+}
+
+// ---------------------------------------------------------------------
+// §4.7 / §9 — termination restriction on use declarations
+// ---------------------------------------------------------------------
+
+#[test]
+fn use_dualgraph_is_rejected() {
+    // The paper's canonical example: `use DualGraph;` cycles.
+    let e = err_of("use DualGraph;\nvoid main() { }");
+    assert!(e.contains("termination restriction"), "{e}");
+}
+
+#[test]
+fn use_with_smaller_subgoals_is_accepted() {
+    let r = run_with_stdlib(
+        r#"class Pt {
+             int x;
+             Pt(int x) { this.x = x; }
+             Pt clone() { return new Pt(x); }
+           }
+           model ALDC[E] for Cloneable[ArrayList[E]] where Cloneable[E] {
+             ArrayList[E] clone() {
+               ArrayList[E] l = new ArrayList[E]();
+               for (E e : this) { l.add(e.clone()); }
+               return l;
+             }
+           }
+           use ALDC;
+           void main() { }"#,
+    );
+    assert!(r.is_ok(), "{r:?}");
+}
+
+// ---------------------------------------------------------------------
+// §5.1 — multimethod ambiguity (load-time unique-best check)
+// ---------------------------------------------------------------------
+
+#[test]
+fn ambiguous_multimethods_rejected() {
+    let e = err_of(
+        "constraint Comb[T] { T T.comb(T that); }
+         model BadComb for Comb[Shape] {
+           Shape Shape.comb(Shape s) { return s; }
+           Shape Rectangle.comb(Shape s) { return s; }
+           Shape Shape.comb(Rectangle r) { return r; }
+         }
+         void main() { }",
+    );
+    assert!(e.contains("ambiguous multimethod"), "{e}");
+}
+
+#[test]
+fn glb_definition_resolves_multimethod_ambiguity() {
+    let r = run_with_stdlib(
+        "constraint Comb[T] { T T.comb(T that); }
+         model OkComb for Comb[Shape] {
+           Shape Shape.comb(Shape s) { return s; }
+           Shape Rectangle.comb(Shape s) { return s; }
+           Shape Shape.comb(Rectangle r) { return r; }
+           Shape Rectangle.comb(Rectangle r) { return r; }
+         }
+         void main() { }",
+    );
+    assert!(r.is_ok(), "{r:?}");
+}
+
+#[test]
+fn model_must_cover_constraint_ops() {
+    let e = err_of(
+        "constraint Weird[T] { T T.definitelyNotProvided(T that); }
+         model Nope for Weird[Shape] { }
+         void main() { }",
+    );
+    assert!(e.contains("does not witness"), "{e}");
+}
+
+// ---------------------------------------------------------------------
+// Structural errors
+// ---------------------------------------------------------------------
+
+#[test]
+fn prerequisite_cycles_rejected() {
+    let e = run_simple(
+        "constraint A[T] extends B[T] { }
+         constraint B[T] extends A[T] { }
+         void main() { }",
+    )
+    .unwrap_err();
+    assert!(e.contains("prerequisite cycle"), "{e}");
+}
+
+#[test]
+fn duplicate_declarations_rejected() {
+    let e = run_simple("class C { C() { } }\nclass C { C() { } }\nvoid main() { }").unwrap_err();
+    assert!(e.contains("duplicate type"), "{e}");
+}
+
+#[test]
+fn interface_instantiation_rejected() {
+    let e = err_of("void main() { Map[int, int] m = new Map[int, int](); }");
+    assert!(e.contains("cannot instantiate interface"), "{e}");
+}
+
+#[test]
+fn wrong_type_arg_arity() {
+    let e = err_of("void main() { ArrayList[int, int] l = null; }");
+    assert!(e.contains("wrong number of type arguments"), "{e}");
+}
+
+#[test]
+fn constraint_arity_checked() {
+    let e = run_simple("void f[T]() where Eq[T, T] { }\nvoid main() { }").unwrap_err();
+    assert!(e.contains("expects 1 type argument"), "{e}");
+}
+
+#[test]
+fn receiver_must_be_constraint_param() {
+    let e = run_simple(
+        "constraint Bad[V, E] { V X.source(); }
+         void main() { }",
+    )
+    .unwrap_err();
+    assert!(e.contains("not a parameter"), "{e}");
+}
+
+#[test]
+fn overloads_must_differ_in_arity() {
+    let e = run_simple(
+        "class C {
+           C() { }
+           void m(int x) { }
+           void m(String s) { }
+         }
+         void main() { }",
+    )
+    .unwrap_err();
+    assert!(e.contains("overloads must differ in arity"), "{e}");
+}
+
+#[test]
+fn unknown_constraint_in_where() {
+    let e = run_simple("void f[T]() where Sortable[T] { }\nvoid main() { }").unwrap_err();
+    assert!(e.contains("unknown constraint"), "{e}");
+}
+
+#[test]
+fn enrich_unknown_model() {
+    let e = run_simple("enrich Ghost { }\nvoid main() { }").unwrap_err();
+    assert!(e.contains("cannot enrich unknown model"), "{e}");
+}
+
+#[test]
+fn break_outside_loop() {
+    let e = run_simple("void main() { break; }").unwrap_err();
+    assert!(e.contains("outside of a loop"), "{e}");
+}
+
+#[test]
+fn return_type_checked() {
+    let e = run_simple("int main() { return \"zzz\"; }").unwrap_err();
+    assert!(e.contains("type mismatch"), "{e}");
+}
+
+#[test]
+fn instanceof_on_primitive_rejected() {
+    let e = err_of("void main() { int x = 3; boolean b = x instanceof String; }");
+    assert!(e.contains("reference"), "{e}");
+}
+
+// ---------------------------------------------------------------------
+// Runtime errors carry the Java exception taxonomy (§8.1's CCE metric)
+// ---------------------------------------------------------------------
+
+#[test]
+fn runtime_cce_message() {
+    let e = run_with_stdlib(
+        "void main() {
+           Object o = new Rectangle();
+           Triangle t = (Triangle) o;
+         }",
+    )
+    .unwrap_err();
+    assert!(e.contains("ClassCastException"), "{e}");
+}
+
+#[test]
+fn index_out_of_bounds() {
+    let e = run_simple("int main() { int[] a = new int[2]; return a[5]; }").unwrap_err();
+    assert!(e.contains("IndexOutOfBoundsException"), "{e}");
+}
+
+#[test]
+fn division_by_zero() {
+    let e = run_simple("int main() { int z = 0; return 3 / z; }").unwrap_err();
+    assert!(e.contains("ArithmeticException"), "{e}");
+}
+
+#[test]
+fn null_dereference() {
+    let e = run_with_stdlib("int main() { ArrayList[int] l = null; return l.size(); }")
+        .unwrap_err();
+    assert!(e.contains("NullPointerException"), "{e}");
+}
+
+#[test]
+fn stack_overflow_guard() {
+    let e = run_simple("int f(int x) { return f(x + 1); }\nint main() { return f(0); }")
+        .unwrap_err();
+    assert!(e.contains("StackOverflowError"), "{e}");
+}

@@ -1,0 +1,192 @@
+//! Use-site genericity (§6): wildcard types and models, packing, capture
+//! conversion, and explicit local binding beyond the Figure 9 basics.
+
+use genus_repro::{run_simple, run_with_stdlib};
+
+fn run_ok(src: &str) -> (String, String) {
+    match run_with_stdlib(src) {
+        Ok(r) => (r.rendered_value, r.output),
+        Err(e) => panic!("program failed:\n{e}"),
+    }
+}
+
+#[test]
+fn wildcard_model_accepts_any_witness() {
+    // `Set[String with ?]` is a supertype of both Set[String] and
+    // Set[String with CIEq] (§3.3).
+    let (v, _) = run_ok(
+        r#"model CIEq2 for Hashable[String] {
+             boolean equals(String str) { return equalsIgnoreCase(str); }
+             int hashCode() { return toLowerCase().hashCode(); }
+           }
+           int sizeOf(Set[String with ?] s) {
+             return s.size();
+           }
+           int main() {
+             HashSet[String] a = new HashSet[String]();
+             a.add("x"); a.add("X");
+             HashSet[String with CIEq2] b = new HashSet[String with CIEq2]();
+             b.add("x"); b.add("X");
+             return sizeOf(a) * 10 + sizeOf(b);
+           }"#,
+    );
+    assert_eq!(v, "21");
+}
+
+#[test]
+fn wildcard_type_and_model_combined() {
+    let (v, _) = run_ok(
+        "int sizes(Set[? with ?] s, List[?] l) {
+           return s.size() * 10 + l.size();
+         }
+         int main() {
+           HashSet[int] h = new HashSet[int]();
+           h.add(1); h.add(2); h.add(3);
+           ArrayList[String] a = new ArrayList[String]();
+           a.add(\"q\");
+           return sizes(h, a);
+         }",
+    );
+    assert_eq!(v, "31");
+}
+
+#[test]
+fn bounded_wildcard_accepts_subtypes_only() {
+    let (v, _) = run_ok(
+        "double area(ArrayList[? extends Shape] shapes) {
+           double n = 0.0;
+           for (Shape s : shapes) { n = n + 1.0; }
+           return n;
+         }
+         double main() {
+           ArrayList[Circle] cs = new ArrayList[Circle]();
+           cs.add(new Circle());
+           cs.add(new Circle());
+           return area(cs);
+         }",
+    );
+    assert_eq!(v, "2.0");
+}
+
+#[test]
+fn bounded_wildcard_rejects_non_subtypes() {
+    let e = run_with_stdlib(
+        "void takeShapes(ArrayList[? extends Shape] shapes) { }
+         void main() {
+           ArrayList[String] ss = new ArrayList[String]();
+           takeShapes(ss);
+         }",
+    )
+    .unwrap_err();
+    assert!(e.contains("type mismatch"), "{e}");
+}
+
+#[test]
+fn packing_carries_the_witness() {
+    // The witness chosen at the packing coercion site — not anything at the
+    // opening site — defines the behavior after opening (§6.1).
+    let (_, out) = run_ok(
+        r#"constraint Describe[T] { String describe(); }
+           model ShortDesc for Describe[String] {
+             String describe() { return "short"; }
+           }
+           model LongDesc for Describe[String] {
+             String describe() { return "looong"; }
+           }
+           [some T where Describe[T]] List[T] make(boolean longer) {
+             ArrayList[String] l = new ArrayList[String]();
+             l.add("x");
+             if (longer) { return packWith[String with LongDesc](l); }
+             return packWith[String with ShortDesc](l);
+           }
+           [some T where Describe[T]] List[T] packWith[T](ArrayList[T] l)
+               where Describe[T] d {
+             // Packing resolves Describe[T] to the unique enabled witness d.
+             return l;
+           }
+           void main() {
+             [A] (List[A] a) where Describe[A] = make(true);
+             println(a.get(0).describe());
+             [B] (List[B] b) where Describe[B] = make(false);
+             println(b.get(0).describe());
+           }"#,
+    );
+    assert_eq!(out, "looong\nshort\n");
+}
+
+#[test]
+fn capture_conversion_enables_witnesses() {
+    // Calling a method on an existential receiver opens it; the bound
+    // witness is then used for the element comparisons inside.
+    let (v, _) = run_ok(
+        r#"[some T where Comparable[T]] List[T] nums() {
+             ArrayList[int] l = new ArrayList[int]();
+             l.add(30); l.add(10); l.add(20);
+             return l;
+           }
+           int main() {
+             [U] (List[U] l) where Comparable[U] u = nums();
+             sortList[U with u](l);
+             U first = l.get(0);
+             U last = l.get(l.size() - 1);
+             if (first.compareTo(last) < 0) { return l.size(); }
+             return 0;
+           }"#,
+    );
+    assert_eq!(v, "3");
+}
+
+#[test]
+fn homogeneous_list_of_lists() {
+    // ∃U. List[List[U]] — inexpressible as a Java wildcard (§6.1).
+    let (v, _) = run_ok(
+        "[some U] ArrayList[ArrayList[U]] grid() {
+           ArrayList[ArrayList[int]] g = new ArrayList[ArrayList[int]]();
+           ArrayList[int] row = new ArrayList[int]();
+           row.add(5);
+           g.add(row);
+           return g;
+         }
+         int main() {
+           [U] (ArrayList[ArrayList[U]] g) = grid();
+           ArrayList[U] first = g.get(0);
+           // Homogeneity: an element of one inner list can be added to
+           // another inner list — they share the same unknown U.
+           ArrayList[U] other = new ArrayList[U]();
+           other.add(first.get(0));
+           g.add(other);
+           return g.size() * 10 + other.size();
+         }",
+    );
+    assert_eq!(v, "21");
+}
+
+#[test]
+fn existential_instanceof_with_model_hole() {
+    let (v, _) = run_ok(
+        "int main() {
+           Object o = new TreeSet[int]();
+           int r = 0;
+           if (o instanceof TreeSet[?]) { r = r + 1; }
+           if (o instanceof HashSet[?]) { r = r + 10; }
+           return r;
+         }",
+    );
+    assert_eq!(v, "1");
+}
+
+#[test]
+fn plain_prelude_existentials_work_without_stdlib() {
+    let r = run_simple(
+        "[some T where Comparable[T]] T pick() {
+           return 42;
+         }
+         int main() {
+           [U] (U x) where Comparable[U] = pick();
+           if (x.compareTo(x) == 0) { return 7; }
+           return 0;
+         }",
+    )
+    .unwrap();
+    assert_eq!(r.rendered_value, "7");
+}

@@ -1,0 +1,414 @@
+//! Integration tests: every figure of the paper as an executable Genus
+//! program, compiled and run through the full pipeline.
+
+use genus_repro::run_with_stdlib;
+
+fn run_ok(src: &str) -> (String, String) {
+    match run_with_stdlib(src) {
+        Ok(r) => (r.rendered_value, r.output),
+        Err(e) => panic!("program failed:\n{e}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — GraphLike[V,E] and OrdRing[T] constraints
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig3_graph_constraints_via_natural_models() {
+    // Vertex/Edge structurally conform to GraphLike, so generic code works
+    // with no model declarations at all.
+    let (v, _) = run_ok(
+        "int countEdges[V, E](V v) where GraphLike[V, E] {
+           int n = 0;
+           for (E e : v.outgoingEdges()) { n = n + 1; }
+           return n;
+         }
+         int main() {
+           Graph g = new Graph();
+           Vertex a = g.addVertex();
+           Vertex b = g.addVertex();
+           g.addEdge(a, b, 1.0);
+           g.addEdge(a, a, 2.0);
+           return countEdges[Vertex, Edge](a);
+         }",
+    );
+    assert_eq!(v, "2");
+}
+
+#[test]
+fn fig3_ordring_static_ops() {
+    let (v, _) = run_ok(
+        "W product[W](W a, W b) where OrdRing[W] {
+           return a.times(b).times(W.one());
+         }
+         double main() {
+           return product(3.0, 4.0);
+         }",
+    );
+    assert_eq!(v, "12.0");
+}
+
+// ---------------------------------------------------------------------
+// Figure 4 — Dijkstra's SSSP generalized to ordered rings
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig4_sssp_tropical_ring() {
+    let (_, out) = run_ok(
+        "void main() {
+           Graph g = new Graph();
+           Vertex a = g.addVertex();
+           Vertex b = g.addVertex();
+           Vertex c = g.addVertex();
+           Vertex d = g.addVertex();
+           g.addEdge(a, b, 1.0);
+           g.addEdge(b, c, 2.0);
+           g.addEdge(a, c, 10.0);
+           g.addEdge(c, d, 1.5);
+           HashMap[Vertex, double] dist =
+             SSSP[Vertex, Edge, double with TropicalRing](a);
+           println(dist.get(a));
+           println(dist.get(b));
+           println(dist.get(c));
+           println(dist.get(d));
+         }",
+    );
+    assert_eq!(out, "0.0\n1.0\n3.0\n4.5\n");
+}
+
+#[test]
+fn fig4_sssp_with_natural_ring_is_different() {
+    // With the natural (arithmetic) ring, `times` is multiplication and
+    // `plus`/ordering are the usual ones — path "cost" composes by product.
+    let (_, out) = run_ok(
+        "void main() {
+           Graph g = new Graph();
+           Vertex a = g.addVertex();
+           Vertex b = g.addVertex();
+           Vertex c = g.addVertex();
+           g.addEdge(a, b, 2.0);
+           g.addEdge(b, c, 3.0);
+           HashMap[Vertex, double] dist = SSSP[Vertex, Edge, double](a);
+           println(dist.get(c));
+         }",
+    );
+    // one() = 1.0, times = *, so cost(a->b->c) = 1.0 * 2.0 * 3.0.
+    assert_eq!(out, "6.0\n");
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 — parameterized model with recursive `use` resolution
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig5_arraylist_deep_copy() {
+    let (v, _) = run_ok(
+        r#"class Point {
+             int x;
+             Point(int x) { this.x = x; }
+             Point clone() { return new Point(x); }
+           }
+           model ArrayListDeepCopy[E] for Cloneable[ArrayList[E]]
+               where Cloneable[E] {
+             ArrayList[E] clone() {
+               ArrayList[E] l = new ArrayList[E]();
+               for (E e : this) { l.add(e.clone()); }
+               return l;
+             }
+           }
+           use ArrayListDeepCopy;
+           ArrayList[E] copy[E](ArrayList[E] src) where Cloneable[ArrayList[E]] cl {
+             return src.(cl.clone)();
+           }
+           int main() {
+             ArrayList[Point] ps = new ArrayList[Point]();
+             ps.add(new Point(7));
+             // Default model resolution recursively solves
+             // Cloneable[ArrayList[Point]] via use + natural Cloneable[Point].
+             ArrayList[Point] qs = copy(ps);
+             qs.get(0).x = 9;
+             return ps.get(0).x * 10 + qs.get(0).x;
+           }"#,
+    );
+    // Deep copy: mutating the copy leaves the original at 7.
+    assert_eq!(v, "79");
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — DualGraph + Kosaraju SCC with two models for one constraint
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig6_scc_kosaraju() {
+    let (_, out) = run_ok(
+        "void main() {
+           Graph g = new Graph();
+           Vertex a = g.addVertex(); // component {a,b,c}
+           Vertex b = g.addVertex();
+           Vertex c = g.addVertex();
+           Vertex d = g.addVertex(); // component {d,e}
+           Vertex e = g.addVertex();
+           g.addEdge(a, b, 1.0);
+           g.addEdge(b, c, 1.0);
+           g.addEdge(c, a, 1.0);
+           g.addEdge(c, d, 1.0);
+           g.addEdge(d, e, 1.0);
+           g.addEdge(e, d, 1.0);
+           ArrayList[ArrayList[Vertex]] comps = SCC[Vertex, Edge](g.vertices);
+           println(comps.size());
+           for (ArrayList[Vertex] comp : comps) {
+             println(comp.size());
+           }
+         }",
+    );
+    let mut lines: Vec<&str> = out.trim().lines().collect();
+    assert_eq!(lines.remove(0), "2");
+    let mut sizes: Vec<&str> = lines;
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec!["2", "3"]);
+}
+
+#[test]
+fn fig6_dual_graph_reverses_edges() {
+    let (v, _) = run_ok(
+        "int main() {
+           Graph g = new Graph();
+           Vertex a = g.addVertex();
+           Vertex b = g.addVertex();
+           g.addEdge(a, b, 1.0);
+           // Forward: a has 1 outgoing edge. Through DualGraph, b does.
+           int forward = countOut[Vertex, Edge](a);
+           int backward = countOut[Vertex, Edge with DualGraph[Vertex, Edge]](b);
+           return forward * 10 + backward;
+         }
+         int countOut[V, E](V v) where GraphLike[V, E] g {
+           int n = 0;
+           for (E e : v.(g.outgoingEdges)()) { n = n + 1; }
+           return n;
+         }",
+    );
+    assert_eq!(v, "11");
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — TreeSet with model-dependent types and the reified fast path
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig7_treeset_same_ordering_fast_path() {
+    let (v, _) = run_ok(
+        "int main() {
+           TreeSet[int] a = new TreeSet[int]();
+           a.add(3); a.add(1); a.add(2);
+           TreeSet[int] b = new TreeSet[int]();
+           b.addAll(a);
+           // Same (natural) ordering: the reified instanceof matched and
+           // every element went through addFromSorted.
+           return b.fastPathAdds * 100 + b.size();
+         }",
+    );
+    assert_eq!(v, "303");
+}
+
+#[test]
+fn fig7_treeset_different_ordering_slow_path() {
+    let (v, _) = run_ok(
+        "model RevIntCmp for Comparable[int] {
+           boolean equals(int that) { return this == that; }
+           int compareTo(int that) { return 0 - this.compareTo(that); }
+         }
+         int main() {
+           TreeSet[int with RevIntCmp] a = new TreeSet[int with RevIntCmp]();
+           a.add(1); a.add(2);
+           TreeSet[int] b = new TreeSet[int]();
+           b.addAll(a);
+           // Different ordering model: instanceof fails, slow path taken.
+           return b.fastPathAdds * 100 + b.size();
+         }",
+    );
+    assert_eq!(v, "2");
+}
+
+#[test]
+fn fig7_treeset_ordering_is_part_of_type() {
+    // Assigning across differently-moded TreeSets is a *static* error.
+    let err = run_with_stdlib(
+        "model RevIntCmp for Comparable[int] {
+           boolean equals(int that) { return this == that; }
+           int compareTo(int that) { return 0 - this.compareTo(that); }
+         }
+         void main() {
+           TreeSet[int] s0 = new TreeSet[int]();
+           TreeSet[int with RevIntCmp] s1 = new TreeSet[int with RevIntCmp]();
+           s1 = s0;
+         }",
+    )
+    .unwrap_err();
+    assert!(err.contains("type mismatch"), "{err}");
+}
+
+#[test]
+fn fig7_descending_map_view() {
+    let (_, out) = run_ok(
+        "void main() {
+           TreeMap[int, String] m = new TreeMap[int, String]();
+           m.put(2, \"b\"); m.put(1, \"a\"); m.put(3, \"c\");
+           println(m.firstKey());
+           TreeMap[int, String with ReverseCmp[int]] d = m.descendingMap();
+           println(d.firstKey());
+         }",
+    );
+    assert_eq!(out, "1\n3\n");
+}
+
+// ---------------------------------------------------------------------
+// Figure 8 — ShapeIntersect multimethods + enrichment
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig8_multimethod_dispatch() {
+    let (_, out) = run_ok(
+        "void main() {
+           Shape r = new Rectangle();
+           Shape c = new Circle();
+           Shape t = new Triangle();
+           // All receivers statically Shape: dispatch is dynamic on both
+           // receiver and argument.
+           println(r.(ShapeIntersect.intersect)(r));
+           println(c.(ShapeIntersect.intersect)(r));
+           println(t.(ShapeIntersect.intersect)(c));
+           println(r.(ShapeIntersect.intersect)(c));
+         }",
+    );
+    let lines: Vec<&str> = out.trim().lines().collect();
+    assert!(lines[0].starts_with("rect*rect"), "{out}");
+    assert!(lines[1].starts_with("circle*rect"), "{out}");
+    assert!(lines[2].starts_with("tri*circle"), "{out}"); // via enrich
+    assert!(lines[3].starts_with("generic"), "{out}");
+}
+
+#[test]
+fn fig8_model_inheritance_rectangle_intersect() {
+    let (_, out) = run_ok(
+        "void main() {
+           Rectangle a = new Rectangle();
+           Rectangle b = new Rectangle();
+           // RectangleIntersect inherits everything from ShapeIntersect but
+           // witnesses Intersectable[Rectangle] with a precise result type.
+           Rectangle r = a.(RectangleIntersect.intersect)(b);
+           println(r);
+         }",
+    );
+    assert!(out.starts_with("rect*rect"), "{out}");
+}
+
+// ---------------------------------------------------------------------
+// Figure 9 — existentials: packing, local binding, reified arrays
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig9_existentials_full() {
+    let (v, _) = run_ok(
+        r#"[some T where Comparable[T]] List[T] f() {
+             ArrayList[String] l = new ArrayList[String]();
+             l.add("b");
+             l.add("a");
+             return l;
+           }
+           int main() {
+             [U] (List[U] l) where Comparable[U] = f();   // bind U
+             U first = l.get(0);
+             U second = l.get(1);
+             int cmp = first.compareTo(second);           // U is comparable
+             U[] a = new U[4];                            // reified U
+             a[0] = first;
+             l = new ArrayList[U]();                      // new list, same U
+             l.add(a[0]);
+             if (cmp > 0 && l.size() == 1) { return 1; }
+             return 0;
+           }"#,
+    );
+    assert_eq!(v, "1");
+}
+
+#[test]
+fn fig9_wildcard_sugar() {
+    let (v, _) = run_ok(
+        "int count(List[?] l) {
+           return l.size();
+         }
+         int main() {
+           ArrayList[int] xs = new ArrayList[int]();
+           xs.add(1); xs.add(2); xs.add(3);
+           return count(xs);
+         }",
+    );
+    assert_eq!(v, "3");
+}
+
+#[test]
+fn constraint_as_type_sugar() {
+    // `Printable` as a type means [some U where Printable[U]] U (§6.1).
+    let (_, out) = run_ok(
+        "void show(Printable p) {
+           println(p.toString());
+         }
+         class Money {
+           int cents;
+           Money(int cents) { this.cents = cents; }
+           String toString() { return \"$\" + cents; }
+         }
+         void main() {
+           show(new Money(99));
+           show(\"str\");
+         }",
+    );
+    assert_eq!(out, "$99\nstr\n");
+}
+
+// ---------------------------------------------------------------------
+// §3.2 — model genericity: List.remove with caller-chosen equality
+// ---------------------------------------------------------------------
+
+#[test]
+fn model_generic_remove() {
+    let (v, _) = run_ok(
+        r#"model CIEq for Eq[String] {
+             boolean equals(String str) { return equalsIgnoreCase(str); }
+           }
+           int main() {
+             ArrayList[String] l = new ArrayList[String]();
+             l.add("Hello");
+             boolean removedCS = l.remove("HELLO");          // case-sensitive: no
+             boolean removedCI = l.remove[with CIEq]("HELLO"); // case-insensitive: yes
+             int a = 0;
+             if (removedCS) { a = a + 10; }
+             if (removedCI) { a = a + 1; }
+             return a * 100 + l.size();
+           }"#,
+    );
+    assert_eq!(v, "100");
+}
+
+// ---------------------------------------------------------------------
+// §4.3 — multiple models for one constraint coexist in one scope
+// ---------------------------------------------------------------------
+
+#[test]
+fn coexisting_models_set_string() {
+    let (v, _) = run_ok(
+        r#"model CIEq2 for Hashable[String] {
+             boolean equals(String str) { return equalsIgnoreCase(str); }
+             int hashCode() { return toLowerCase().hashCode(); }
+           }
+           int main() {
+             HashSet[String] s0 = new HashSet[String]();
+             HashSet[String with CIEq2] s1 = new HashSet[String with CIEq2]();
+             s0.add("x"); s0.add("X");
+             s1.add("x"); s1.add("X");
+             return s0.size() * 10 + s1.size();
+           }"#,
+    );
+    assert_eq!(v, "21");
+}

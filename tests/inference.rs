@@ -1,0 +1,168 @@
+//! Tests for §4.7's two-stage inference: type arguments and *intrinsic*
+//! constraint witnesses (those occurring in parameter types) are solved by
+//! unification; *extrinsic* witnesses go through default model resolution.
+
+use genus_repro::run_with_stdlib;
+
+fn run_ok(src: &str) -> (String, String) {
+    match run_with_stdlib(src) {
+        Ok(r) => (r.rendered_value, r.output),
+        Err(e) => panic!("program failed:\n{e}"),
+    }
+}
+
+#[test]
+fn intrinsic_witness_unified_from_argument_type() {
+    // `h` appears in the parameter type `HashSet[T with h]`, so it is
+    // INTRINSIC: the call site's set type determines it by unification —
+    // default resolution (which would pick the natural model) never runs.
+    let (v, _) = run_ok(
+        r#"model CIHash for Hashable[String] {
+             boolean equals(String str) { return equalsIgnoreCase(str); }
+             int hashCode() { return toLowerCase().hashCode(); }
+           }
+           boolean sameUnder[T where Hashable[T] h](HashSet[T with h] s, T a, T b) {
+             // a.equals(b) dispatches through h — whatever the set uses.
+             return a.equals(b);
+           }
+           int main() {
+             HashSet[String with CIHash] ci = new HashSet[String with CIHash]();
+             HashSet[String] cs = new HashSet[String]();
+             int r = 0;
+             if (sameUnder(ci, "x", "X")) { r = r + 1; }   // h = CIHash
+             if (sameUnder(cs, "x", "X")) { r = r + 10; }  // h = natural
+             return r;
+           }"#,
+    );
+    assert_eq!(v, "1");
+}
+
+#[test]
+fn extrinsic_witness_resolved_by_default() {
+    // `Printable`-style extrinsic constraint: no parameter type mentions the
+    // witness, so it resolves by default (here, the natural model).
+    let (_, out) = run_ok(
+        "constraint Show[T] { String toString(); }
+         void showAll[T](ArrayList[T] l) where Show[T] {
+           for (T x : l) { println(x.toString()); }
+         }
+         void main() {
+           ArrayList[int] xs = new ArrayList[int]();
+           xs.add(4); xs.add(2);
+           showAll(xs);
+         }",
+    );
+    assert_eq!(out, "4\n2\n");
+}
+
+#[test]
+fn type_argument_inferred_through_container_lifting() {
+    // The argument is an ArrayList but the parameter is List[T]: inference
+    // lifts the argument to the parameter's class before unifying.
+    let (v, _) = run_ok(
+        "int count[T](List[T] l) { return l.size(); }
+         int main() {
+           ArrayList[String] a = new ArrayList[String]();
+           a.add(\"x\");
+           LinkedList[int] b = new LinkedList[int]();
+           b.add(1); b.add(2);
+           return count(a) * 10 + count(b);
+         }",
+    );
+    assert_eq!(v, "12");
+}
+
+#[test]
+fn uninferable_type_argument_requires_explicit() {
+    let e = run_with_stdlib(
+        "T make[T]() { return T.default(); }
+         void main() { make(); }",
+    )
+    .unwrap_err();
+    assert!(e.contains("cannot infer type argument"), "{e}");
+}
+
+#[test]
+fn explicit_instantiation_fixes_uninferable() {
+    let (v, _) = run_ok(
+        "T make[T]() { return T.default(); }
+         int main() {
+           int x = make[int]();
+           String s = make[String]();
+           if (s == null) { return x + 1; }
+           return -1;
+         }",
+    );
+    assert_eq!(v, "1");
+}
+
+#[test]
+fn two_witnesses_for_one_constraint_need_expanders() {
+    // With two enabled witnesses for GraphLike[V,E], the elided call is
+    // ambiguous; explicit expanders disambiguate (§4.1, §4.4).
+    let e = run_with_stdlib(
+        "int f[V, E](V v) where GraphLike[V, E] g, GraphLike[V, E] h {
+           int n = 0;
+           for (E e : v.outgoingEdges()) { n = n + 1; }
+           return n;
+         }
+         void main() { }",
+    )
+    .unwrap_err();
+    assert!(e.contains("ambiguous"), "{e}");
+
+    let (v, _) = run_ok(
+        "int f[V, E](V v) where GraphLike[V, E] g, GraphLike[V, E] h {
+           int n = 0;
+           for (E e : v.(g.outgoingEdges)()) { n = n + 1; }
+           for (E e : v.(h.outgoingEdges)()) { n = n + 10; }
+           return n;
+         }
+         int main() {
+           Graph gr = new Graph();
+           Vertex a = gr.addVertex();
+           Vertex b = gr.addVertex();
+           gr.addEdge(a, b, 1.0);
+           return f[Vertex, Edge](a);
+         }",
+    );
+    // Both witnesses are the natural model here: 1 edge each way.
+    assert_eq!(v, "11");
+}
+
+#[test]
+fn static_ops_route_through_the_right_witness() {
+    let (_, out) = run_ok(
+        "W unit[W]() where OrdRing[W] {
+           return W.one();
+         }
+         void main() {
+           println(unit[double with TropicalRing]());
+           println(unit[double]());
+         }",
+    );
+    // Tropical one() = 0.0; natural one() = 1.0.
+    assert_eq!(out, "0.0\n1.0\n");
+}
+
+#[test]
+fn model_arguments_flow_through_virtual_dispatch() {
+    // The method-level witness chosen at the call site reaches the
+    // dynamically dispatched implementation.
+    let (v, _) = run_ok(
+        r#"model CIEq for Eq[String] {
+             boolean equals(String str) { return equalsIgnoreCase(str); }
+           }
+           int main() {
+             List[String] l = new ArrayList[String]();
+             l.add("Hello");
+             boolean cs = l.contains("HELLO");
+             boolean ci = l.contains[with CIEq]("HELLO");
+             int r = 0;
+             if (cs) { r = r + 1; }
+             if (ci) { r = r + 10; }
+             return r;
+           }"#,
+    );
+    assert_eq!(v, "10");
+}

@@ -1,0 +1,338 @@
+//! Language-semantics tests: primitives, control flow, strings, casts, and
+//! multi-file compilation — the Java-core substrate underneath the
+//! genericity mechanism.
+
+use genus_repro::{run_simple, Compiler};
+
+fn run_ok(src: &str) -> (String, String) {
+    match run_simple(src) {
+        Ok(r) => (r.rendered_value, r.output),
+        Err(e) => panic!("program failed:\n{e}"),
+    }
+}
+
+#[test]
+fn long_arithmetic_and_widening() {
+    let (v, _) = run_ok(
+        "long main() {
+           long big = 4000000000L;
+           int small = 5;
+           long sum = big + small;      // int widens to long
+           if (sum > 4000000000L) { return sum % 100L; }
+           return -1L;
+         }",
+    );
+    assert_eq!(v, "5");
+}
+
+#[test]
+fn int_to_double_widening_in_calls() {
+    let (v, _) = run_ok(
+        "double half(double x) { return x / 2.0; }
+         double main() { return half(7); }",
+    );
+    assert_eq!(v, "3.5");
+}
+
+#[test]
+fn narrowing_casts() {
+    let (v, _) = run_ok(
+        "int main() {
+           double d = 3.99;
+           long l = 300L;
+           return (int) d * 100 + (int) l;
+         }",
+    );
+    assert_eq!(v, "600");
+}
+
+#[test]
+fn char_arithmetic() {
+    let (v, _) = run_ok(
+        "int main() {
+           char c = 'a';
+           int code = (int) c;
+           char next = (char) (code + 1);
+           if (next == 'b' && c < 'z') { return code; }
+           return 0;
+         }",
+    );
+    assert_eq!(v, "97");
+}
+
+#[test]
+fn integer_overflow_wraps() {
+    let (v, _) = run_ok(
+        "int main() {
+           int big = 2147483647;
+           return big + 1;
+         }",
+    );
+    assert_eq!(v, "-2147483648");
+}
+
+#[test]
+fn ternary_and_short_circuit() {
+    let (v, _) = run_ok(
+        "int risky() { return 1 / 0; }
+         int main() {
+           int a = 5;
+           boolean safe = a > 0 || risky() > 0;   // short-circuits
+           int pick = a > 3 ? 10 : risky();       // ternary lazy
+           if (safe) { return pick; }
+           return 0;
+         }",
+    );
+    assert_eq!(v, "10");
+}
+
+#[test]
+fn nested_loops_break_continue() {
+    let (v, _) = run_ok(
+        "int main() {
+           int s = 0;
+           for (int i = 0; i < 5; i = i + 1) {
+             for (int j = 0; j < 5; j = j + 1) {
+               if (j == 3) { break; }
+               if (j == 1) { continue; }
+               s = s + 1;
+             }
+           }
+           return s;
+         }",
+    );
+    assert_eq!(v, "10"); // j in {0, 2} per outer iteration
+}
+
+#[test]
+fn continue_in_c_style_for_still_updates() {
+    let (v, _) = run_ok(
+        "int main() {
+           int s = 0;
+           for (int i = 0; i < 10; i = i + 1) {
+             if (i % 2 == 0) { continue; }
+             s = s + i;
+           }
+           return s;
+         }",
+    );
+    assert_eq!(v, "25"); // 1+3+5+7+9
+}
+
+#[test]
+fn string_builtins() {
+    let (_, out) = run_ok(
+        r#"void main() {
+             String s = "Hello World";
+             println(s.length());
+             println(s.substring(0, 5));
+             println(s.toLowerCase());
+             println(s.indexOf("World"));
+             println(s.charAt(4));
+             println(s.concat("!"));
+           }"#,
+    );
+    assert_eq!(out, "11\nHello\nhello world\n6\no\nHello World!\n");
+}
+
+#[test]
+fn string_concat_stringifies_everything() {
+    let (_, out) = run_ok(
+        r#"void main() {
+             println("i=" + 3 + " d=" + 2.5 + " b=" + true + " c=" + 'x' + " n=" + null);
+           }"#,
+    );
+    assert_eq!(out, "i=3 d=2.5 b=true c=x n=null\n");
+}
+
+#[test]
+fn to_string_dispatches_dynamically_in_concat() {
+    let (_, out) = run_ok(
+        "class Money {
+           int cents;
+           Money(int cents) { this.cents = cents; }
+           String toString() { return \"$\" + cents / 100 + \".\" + cents % 100; }
+         }
+         void main() {
+           Object o = new Money(1234);
+           println(\"price: \" + o);
+         }",
+    );
+    assert_eq!(out, "price: $12.34\n");
+}
+
+#[test]
+fn static_fields_and_methods() {
+    let (v, _) = run_ok(
+        "class Registry {
+           static int count = 100;
+           Registry() { }
+           static int next() {
+             count = count + 1;
+             return count;
+           }
+         }
+         int main() {
+           int a = Registry.next();
+           int b = Registry.next();
+           return Registry.count + a + b;
+         }",
+    );
+    assert_eq!(v, "305");
+}
+
+#[test]
+fn field_initializers_run_per_instance() {
+    let (v, _) = run_ok(
+        "class Counter {
+           int start = 10;
+           Counter() { }
+         }
+         int main() {
+           Counter a = new Counter();
+           Counter b = new Counter();
+           a.start = 99;
+           return b.start;
+         }",
+    );
+    assert_eq!(v, "10");
+}
+
+#[test]
+fn inherited_fields_and_dispatch_through_base() {
+    let (v, _) = run_ok(
+        "class Base {
+           int tag = 1;
+           Base() { }
+           int describe() { return tag * 100 + kind(); }
+           int kind() { return 0; }
+         }
+         class Derived extends Base {
+           Derived() { tag = 2; }
+           int kind() { return 7; }
+         }
+         int main() {
+           Base b = new Derived();
+           return b.describe();
+         }",
+    );
+    // tag assigned in Derived's ctor; kind() dispatches to Derived.
+    assert_eq!(v, "207");
+}
+
+#[test]
+fn array_of_objects_default_null() {
+    let (v, _) = run_ok(
+        "class P { P() { } }
+         int main() {
+           P[] ps = new P[3];
+           int nulls = 0;
+           for (int i = 0; i < ps.length; i = i + 1) {
+             if (ps[i] == null) { nulls = nulls + 1; }
+           }
+           ps[1] = new P();
+           if (ps[1] != null) { nulls = nulls * 10; }
+           return nulls;
+         }",
+    );
+    assert_eq!(v, "30");
+}
+
+#[test]
+fn generic_array_in_generic_class_defaults_correctly() {
+    // T[] in a class instantiated at int must default to 0, not null.
+    let (v, _) = run_ok(
+        "class Buf[T] {
+           T[] data;
+           Buf(int n) { data = new T[n]; }
+           T at(int i) { return data[i]; }
+         }
+         int main() {
+           Buf[int] b = new Buf[int](4);
+           return b.at(2);
+         }",
+    );
+    assert_eq!(v, "0");
+}
+
+#[test]
+fn t_default_for_primitives_and_refs() {
+    let (v, _) = run_ok(
+        "T firstOrDefault[T](T[] xs) {
+           if (xs.length > 0) { return xs[0]; }
+           return T.default();
+         }
+         int main() {
+           int[] empty = new int[0];
+           int d = firstOrDefault(empty);
+           String[] sempty = new String[0];
+           String s = firstOrDefault(sempty);
+           if (s == null && d == 0) { return 1; }
+           return 0;
+         }",
+    );
+    assert_eq!(v, "1");
+}
+
+#[test]
+fn multi_file_compilation() {
+    let r = Compiler::new()
+        .source(
+            "lib.genus",
+            "constraint Scalable[T] { T scale(int k); }
+             class Vec2 {
+               int x; int y;
+               Vec2(int x, int y) { this.x = x; this.y = y; }
+               Vec2 scale(int k) { return new Vec2(x * k, y * k); }
+             }",
+        )
+        .source(
+            "main.genus",
+            "T twice[T](T v) where Scalable[T] { return v.scale(2); }
+             int main() {
+               Vec2 v = twice(new Vec2(3, 4));
+               return v.x * 10 + v.y;
+             }",
+        )
+        .run()
+        .expect("multi-file program runs");
+    assert_eq!(r.rendered_value, "68");
+}
+
+#[test]
+fn instanceof_with_generics_reified() {
+    let r = Compiler::new()
+        .with_stdlib()
+        .source(
+            "main.genus",
+            "int main() {
+               Object a = new ArrayList[int]();
+               Object b = new ArrayList[String]();
+               int r = 0;
+               if (a instanceof ArrayList[int]) { r = r + 1; }
+               if (a instanceof ArrayList[String]) { r = r + 10; }
+               if (b instanceof ArrayList[String]) { r = r + 100; }
+               return r;
+             }",
+        )
+        .run()
+        .expect("program runs");
+    // Reified generics: ArrayList[int] is not an ArrayList[String].
+    assert_eq!(r.rendered_value, "101");
+}
+
+#[test]
+fn cast_to_wrong_instantiation_fails() {
+    let e = Compiler::new()
+        .with_stdlib()
+        .source(
+            "main.genus",
+            "void main() {
+               Object a = new ArrayList[int]();
+               ArrayList[String] s = (ArrayList[String]) a;
+             }",
+        )
+        .run()
+        .unwrap_err();
+    assert!(e.contains("ClassCastException"), "{e}");
+}

@@ -1,0 +1,190 @@
+//! Deeper model-system semantics: self-enablement, inheritance overrides,
+//! enrichment visibility, and model-dependent behavior differences.
+
+use genus_repro::run_with_stdlib;
+
+fn run_ok(src: &str) -> (String, String) {
+    match run_with_stdlib(src) {
+        Ok(r) => (r.rendered_value, r.output),
+        Err(e) => panic!("program failed:\n{e}"),
+    }
+}
+
+#[test]
+fn model_is_enabled_inside_its_own_body() {
+    // Enablement source 4 (§4.4): within a model's definition, the model
+    // itself is a default candidate — here the recursive rendering of a
+    // nested structure resolves Render[Tree] to the enclosing model.
+    let (_, out) = run_ok(
+        "class Tree {
+           int value;
+           Tree left;
+           Tree right;
+           Tree(int value) { this.value = value; }
+         }
+         constraint Render[T] { String render(); }
+         String renderAny[T](T x) where Render[T] {
+           return x.render();
+         }
+         model TreeRender for Render[Tree] {
+           String render() {
+             String s = \"\" + value;
+             if (left != null) { s = renderAny(left) + \" \" + s; }
+             if (right != null) { s = s + \" \" + renderAny(right); }
+             return s;
+           }
+         }
+         void main() {
+           Tree root = new Tree(2);
+           root.left = new Tree(1);
+           root.right = new Tree(3);
+           println(renderAny[Tree with TreeRender](root));
+         }",
+    );
+    assert_eq!(out, "1 2 3\n");
+}
+
+#[test]
+fn inheriting_model_overrides_inherited_definitions() {
+    let (_, out) = run_ok(
+        "constraint Greet[T] { String greet(); }
+         class Person {
+           String name;
+           Person(String name) { this.name = name; }
+         }
+         model Plain for Greet[Person] {
+           String greet() { return \"hi \" + name; }
+         }
+         model Fancy for Greet[Person] extends Plain {
+           String greet() { return \"good day, \" + name; }
+         }
+         void main() {
+           Person p = new Person(\"ada\");
+           println(p.(Plain.greet)());
+           println(p.(Fancy.greet)());
+         }",
+    );
+    assert_eq!(out, "hi ada\ngood day, ada\n");
+}
+
+#[test]
+fn inherited_definitions_visible_through_child_model() {
+    let (_, out) = run_ok(
+        "constraint Pair[T] { String first(); String second(); }
+         class Duo { Duo() { } }
+         model Base for Pair[Duo] {
+           String first() { return \"base-first\"; }
+           String second() { return \"base-second\"; }
+         }
+         model Child for Pair[Duo] extends Base {
+           String second() { return \"child-second\"; }
+         }
+         void main() {
+           Duo d = new Duo();
+           println(d.(Child.first)());
+           println(d.(Child.second)());
+         }",
+    );
+    assert_eq!(out, "base-first\nchild-second\n");
+}
+
+#[test]
+fn enrichment_applies_to_inherited_uses_too() {
+    // RectangleIntersect extends ShapeIntersect; the Triangle enrichment of
+    // the parent is visible through the child (it is part of the parent's
+    // method set).
+    let (_, out) = run_ok(
+        "void main() {
+           Shape t = new Triangle();
+           Shape c = new Circle();
+           println(t.(ShapeIntersect.intersect)(c));
+         }",
+    );
+    assert!(out.starts_with("tri*circle"), "{out}");
+}
+
+#[test]
+fn same_algorithm_different_models_different_results() {
+    // One generic algorithm; three models; three answers (§4.3's point
+    // about expressive power from non-unique witnesses).
+    let (_, out) = run_ok(
+        "T fold[T](T[] xs) where OrdRing[T] {
+           T acc = T.one();
+           for (T x : xs) { acc = acc.times(x); }
+           return acc;
+         }
+         model MaxPlus for OrdRing[double] {
+           static double zero() { return 0.0 - 1.0 / 0.0; }
+           static double one() { return 0.0; }
+           double plus(double that) { return this.max(that); }
+           double times(double that) { return this + that; }
+           int compareTo(double that) { return this.compareTo(that); }
+           boolean equals(double that) { return this == that; }
+         }
+         void main() {
+           double[] xs = new double[3];
+           xs[0] = 2.0; xs[1] = 3.0; xs[2] = 4.0;
+           println(fold(xs));                               // natural: product
+           println(fold[double with TropicalRing](xs));     // min-plus: sum
+           println(fold[double with MaxPlus](xs));          // max-plus: sum
+         }",
+    );
+    assert_eq!(out, "24.0\n9.0\n9.0\n");
+}
+
+#[test]
+fn treemap_key_type_uses_model_from_where_clause() {
+    // A generic class whose TreeMap field orders by the class's witness —
+    // the chain class-where → field type → TreeMap behavior.
+    let (_, out) = run_ok(
+        "class Ranking[T where Comparable[T] c] {
+           TreeMap[T, int with c] scores;
+           Ranking() { scores = new TreeMap[T, int with c](); }
+           void record(T item, int score) { scores.put(item, score); }
+           T best() { return scores.firstKey(); }
+         }
+         void main() {
+           Ranking[int] lowFirst = new Ranking[int]();
+           lowFirst.record(5, 1); lowFirst.record(2, 9);
+           Ranking[int with ReverseCmp[int]] highFirst =
+               new Ranking[int with ReverseCmp[int]]();
+           highFirst.record(5, 1); highFirst.record(2, 9);
+           println(lowFirst.best());
+           println(highFirst.best());
+         }",
+    );
+    assert_eq!(out, "2\n5\n");
+}
+
+#[test]
+fn natural_model_requires_conformant_signature_not_just_name() {
+    let e = run_with_stdlib(
+        "class Odd {
+           Odd() { }
+           // Wrong arity for Eq's equals(T).
+           boolean equals(Odd a, Odd b) { return true; }
+         }
+         boolean same[T](T a, T b) where Eq[T] { return a.equals(b); }
+         void main() { same(new Odd(), new Odd()); }",
+    )
+    .unwrap_err();
+    assert!(e.contains("no model found"), "{e}");
+}
+
+#[test]
+fn contravariant_entailment_at_call_sites() {
+    // A witness for Eq[Shape] serves where Eq[Circle] is required (§5.2).
+    let (v, _) = run_ok(
+        "model ShapeKindEq for Eq[Shape] {
+           boolean equals(Shape other) { return kind.equals(other.kind); }
+         }
+         boolean same[T](T a, T b) where Eq[T] { return a.equals(b); }
+         int main() {
+           Circle a = new Circle();
+           Circle b = new Circle();
+           if (same[Circle with ShapeKindEq](a, b)) { return 1; }
+           return 0;
+         }",
+    );
+    assert_eq!(v, "1");
+}

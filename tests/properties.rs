@@ -1,0 +1,420 @@
+//! Property-based tests over the pipeline and the evaluation substrates.
+
+use genus_repro::run_with_stdlib;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Translation strategies agree with each other and with std's sort
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn translation_strategies_sort_identically(values in prop::collection::vec(-1e6f64..1e6, 0..120)) {
+        use genus_translate::{genus, java, specialized};
+        use std::rc::Rc;
+
+        let mut expect = values.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+        // Java strategy.
+        let mut j = java::JArrayList::from_values(&values);
+        java::sort_generic_comparable_list(&mut j);
+        prop_assert_eq!(j.to_doubles(), expect.clone());
+
+        // Genus homogeneous strategy, unboxed and boxed models.
+        let mut gd = genus::GenusArrayList::from_values(Rc::new(genus::DoubleModel), &values);
+        genus::sort_list_generic(&mut gd);
+        prop_assert_eq!(gd.to_doubles(), expect.clone());
+        let mut gb = genus::GenusArrayList::from_values(Rc::new(genus::BoxedDoubleModel), &values);
+        genus::sort_arraylike_generic(&mut gb, &genus::ArrayListAsArrayLike, &genus::BoxedDoubleModel);
+        prop_assert_eq!(gb.to_doubles(), expect.clone());
+
+        // Specialized strategy.
+        let mut s = values.clone();
+        specialized::sort_slice(&mut s);
+        prop_assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn genus_array_storage_roundtrip(values in prop::collection::vec(-1e9f64..1e9, 1..64)) {
+        use genus_translate::genus::{DoubleModel, GValue, ObjectModel};
+        let m = DoubleModel;
+        let mut a = m.new_array(values.len());
+        for (i, v) in values.iter().enumerate() {
+            m.array_set(&mut a, i, GValue::D(*v));
+        }
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(m.array_get(&a, i).as_f64(), *v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The interpreter against reference semantics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn interpreted_generic_sort_matches_std(values in prop::collection::vec(-1000i32..1000, 0..25)) {
+        let adds: String = values.iter().map(|v| format!("l.add({v});")).collect();
+        let src = format!(
+            "void sort[T](List[T] l) where Comparable[T] {{
+               int n = l.size();
+               for (int i = 1; i < n; i = i + 1) {{
+                 T x = l.get(i);
+                 int j = i;
+                 while (j > 0 && l.get(j - 1).compareTo(x) > 0) {{
+                   l.set(j, l.get(j - 1));
+                   j = j - 1;
+                 }}
+                 l.set(j, x);
+               }}
+             }}
+             void main() {{
+               ArrayList[int] l = new ArrayList[int]();
+               {adds}
+               sort(l);
+               for (int x : l) {{ print(x); print(\" \"); }}
+             }}"
+        );
+        let r = run_with_stdlib(&src).map_err(TestCaseError::fail)?;
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        let got: Vec<i32> = r
+            .output
+            .split_whitespace()
+            .map(|t| t.parse().expect("int output"))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn treeset_iterates_sorted_and_dedups(values in prop::collection::vec(-50i32..50, 0..25)) {
+        let adds: String = values.iter().map(|v| format!("s.add({v});")).collect();
+        let src = format!(
+            "void main() {{
+               TreeSet[int] s = new TreeSet[int]();
+               {adds}
+               for (int x : s) {{ print(x); print(\" \"); }}
+             }}"
+        );
+        let r = run_with_stdlib(&src).map_err(TestCaseError::fail)?;
+        let mut expect: Vec<i32> = values.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        let got: Vec<i32> = r
+            .output
+            .split_whitespace()
+            .map(|t| t.parse().expect("int output"))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn hashmap_agrees_with_std(ops in prop::collection::vec((0u8..3, -20i32..20, -100i32..100), 0..30)) {
+        use std::collections::HashMap as StdMap;
+        let mut body = String::new();
+        let mut reference: StdMap<i32, i32> = StdMap::new();
+        for (op, k, v) in &ops {
+            match op % 3 {
+                0 => {
+                    body.push_str(&format!("m.put({k}, {v});"));
+                    reference.insert(*k, *v);
+                }
+                1 => {
+                    body.push_str(&format!("m.removeKey({k});"));
+                    reference.remove(k);
+                }
+                _ => {
+                    body.push_str(&format!(
+                        "if (m.containsKey({k})) {{ probes = probes + m.get({k}); }}"
+                    ));
+                }
+            }
+        }
+        let src = format!(
+            "void main() {{
+               HashMap[int, int] m = new HashMap[int, int]();
+               int probes = 0;
+               {body}
+               println(m.size());
+             }}"
+        );
+        let r = run_with_stdlib(&src).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(r.output.trim(), reference.len().to_string());
+    }
+}
+
+// ---------------------------------------------------------------------
+// SSSP against a reference Dijkstra
+// ---------------------------------------------------------------------
+
+fn reference_dijkstra(n: usize, edges: &[(usize, usize, f64)]) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; n];
+    dist[0] = 0.0;
+    let mut done = vec![false; n];
+    for _ in 0..n {
+        let mut best = None;
+        for v in 0..n {
+            if !done[v] && dist[v].is_finite()
+                && best.is_none_or(|b: usize| dist[v] < dist[b]) {
+                    best = Some(v);
+                }
+        }
+        let Some(v) = best else { break };
+        done[v] = true;
+        for (a, b, w) in edges {
+            if *a == v && dist[v] + w < dist[*b] {
+                dist[*b] = dist[v] + w;
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sssp_matches_reference(
+        n in 2usize..7,
+        raw_edges in prop::collection::vec((0usize..6, 0usize..6, 1u32..100), 1..12),
+    ) {
+        // Perturb weights so accumulated path weights are distinct (the
+        // paper's TreeMap frontier keys collide on equal weights; its own
+        // caption concedes a priority queue would be more robust).
+        let edges: Vec<(usize, usize, f64)> = raw_edges
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b, w))| (a % n, b % n, f64::from(*w) + (i as f64) * 1e-4))
+            .collect();
+        let expect = reference_dijkstra(n, &edges);
+
+        let mut body = String::new();
+        body.push_str("Graph g = new Graph();\n");
+        for i in 0..n {
+            body.push_str(&format!("Vertex v{i} = g.addVertex();\n"));
+        }
+        for (a, b, w) in &edges {
+            body.push_str(&format!("g.addEdge(v{a}, v{b}, {w});\n"));
+        }
+        body.push_str(
+            "HashMap[Vertex, double] dist = SSSP[Vertex, Edge, double with TropicalRing](v0);\n",
+        );
+        for i in 0..n {
+            body.push_str(&format!(
+                "if (dist.containsKey(v{i})) {{ println(dist.get(v{i})); }} else {{ println(\"inf\"); }}\n"
+            ));
+        }
+        let src = format!("void main() {{\n{body}\n}}");
+        let r = run_with_stdlib(&src).map_err(TestCaseError::fail)?;
+        let lines: Vec<&str> = r.output.trim().lines().collect();
+        prop_assert_eq!(lines.len(), n);
+        for (i, line) in lines.iter().enumerate() {
+            if *line == "inf" {
+                prop_assert!(expect[i].is_infinite(), "vertex {i}: expected {}", expect[i]);
+            } else {
+                let got: f64 = line.parse().expect("distance");
+                prop_assert!(
+                    (got - expect[i]).abs() < 1e-6,
+                    "vertex {i}: got {got}, expected {}",
+                    expect[i]
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: compiling and running twice gives identical results
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pipeline_is_deterministic(values in prop::collection::vec(0i32..100, 1..10)) {
+        let adds: String = values.iter().map(|v| format!("s.add({v});")).collect();
+        let src = format!(
+            "void main() {{
+               TreeSet[int] s = new TreeSet[int]();
+               {adds}
+               for (int x : s) {{ print(x); print(\",\"); }}
+             }}"
+        );
+        let a = run_with_stdlib(&src).map_err(TestCaseError::fail)?;
+        let b = run_with_stdlib(&src).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// TreeMap differential-tested against std's BTreeMap
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn treemap_agrees_with_btreemap(
+        ops in prop::collection::vec((0u8..4, -15i32..15, 0i32..100), 1..35),
+    ) {
+        use std::collections::BTreeMap;
+        let mut body = String::new();
+        let mut reference: BTreeMap<i32, i32> = BTreeMap::new();
+        let mut expected_probes: Vec<String> = Vec::new();
+        for (op, k, v) in &ops {
+            match op % 4 {
+                0 => {
+                    body.push_str(&format!("m.put({k}, {v});\n"));
+                    reference.insert(*k, *v);
+                }
+                1 => {
+                    body.push_str(&format!("m.removeKey({k});\n"));
+                    reference.remove(k);
+                }
+                2 => {
+                    body.push_str(&format!(
+                        "if (m.containsKey({k})) {{ println(m.get({k})); }} else {{ println(\"none\"); }}\n"
+                    ));
+                    expected_probes.push(match reference.get(k) {
+                        Some(v) => v.to_string(),
+                        None => "none".to_string(),
+                    });
+                }
+                _ => {
+                    body.push_str(
+                        "if (m.size() > 0) { println(m.firstKey()); } else { println(\"empty\"); }\n",
+                    );
+                    expected_probes.push(match reference.keys().next() {
+                        Some(k) => k.to_string(),
+                        None => "empty".to_string(),
+                    });
+                }
+            }
+        }
+        // Final in-order drain.
+        body.push_str(
+            "while (m.size() > 0) {
+               MapEntry[int, int] e = m.pollFirstEntry();
+               println(e.getKey() + \"=\" + e.getValue());
+             }\n",
+        );
+        for (k, v) in &reference {
+            expected_probes.push(format!("{k}={v}"));
+        }
+        let src = format!(
+            "void main() {{
+               TreeMap[int, int] m = new TreeMap[int, int]();
+               {body}
+             }}"
+        );
+        let r = run_with_stdlib(&src).map_err(TestCaseError::fail)?;
+        let got: Vec<&str> = r.output.trim().lines().collect();
+        let want: Vec<&str> = expected_probes.iter().map(String::as_str).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SCC differential-tested against a reference Tarjan implementation
+// ---------------------------------------------------------------------
+
+fn reference_scc_count(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    // Iterative Tarjan; returns sorted component sizes.
+    let mut adj = vec![Vec::new(); n];
+    for (a, b) in edges {
+        adj[*a].push(*b);
+    }
+    let (mut index, mut stack, mut on_stack) = (0usize, Vec::new(), vec![false; n]);
+    let (mut idx, mut low) = (vec![usize::MAX; n], vec![0usize; n]);
+    let mut comps: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if idx[start] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS stack: (vertex, child cursor).
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        idx[start] = index;
+        low[start] = index;
+        index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            if *cursor < adj[v].len() {
+                let w = adj[v][*cursor];
+                *cursor += 1;
+                if idx[w] == usize::MAX {
+                    idx[w] = index;
+                    low[w] = index;
+                    index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(idx[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == idx[v] {
+                    let mut size = 0;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(size);
+                }
+            }
+        }
+    }
+    comps.sort_unstable();
+    comps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn scc_matches_tarjan(
+        n in 1usize..7,
+        raw_edges in prop::collection::vec((0usize..6, 0usize..6), 0..14),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw_edges.iter().map(|(a, b)| (a % n, b % n)).collect();
+        let mut expect = reference_scc_count(n, &edges);
+
+        let mut body = String::new();
+        body.push_str("Graph g = new Graph();\n");
+        for i in 0..n {
+            body.push_str(&format!("Vertex v{i} = g.addVertex();\n"));
+        }
+        for (a, b) in &edges {
+            body.push_str(&format!("g.addEdge(v{a}, v{b}, 1.0);\n"));
+        }
+        body.push_str(
+            "ArrayList[ArrayList[Vertex]] comps = SCC[Vertex, Edge](g.vertices);
+             for (ArrayList[Vertex] c : comps) { println(c.size()); }\n",
+        );
+        let src = format!("void main() {{\n{body}\n}}");
+        let r = run_with_stdlib(&src).map_err(TestCaseError::fail)?;
+        let mut got: Vec<usize> = r
+            .output
+            .split_whitespace()
+            .map(|t| t.parse().expect("component size"))
+            .collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,170 @@
+//! Tests for the extended standard library: PriorityQueue, Stack, Queue,
+//! and the generic list algorithms.
+
+use genus_repro::run_with_stdlib;
+
+fn run_ok(src: &str) -> (String, String) {
+    match run_with_stdlib(src) {
+        Ok(r) => (r.rendered_value, r.output),
+        Err(e) => panic!("program failed:\n{e}"),
+    }
+}
+
+#[test]
+fn priority_queue_pops_in_order() {
+    let (_, out) = run_ok(
+        "void main() {
+           PriorityQueue[int] pq = new PriorityQueue[int]();
+           pq.push(5); pq.push(1); pq.push(4); pq.push(1); pq.push(3);
+           while (!pq.isEmpty()) { print(pq.pop()); print(\" \"); }
+         }",
+    );
+    assert_eq!(out, "1 1 3 4 5 ");
+}
+
+#[test]
+fn priority_queue_with_reverse_model_is_max_heap() {
+    let (_, out) = run_ok(
+        "void main() {
+           PriorityQueue[int with ReverseCmp[int]] pq =
+               new PriorityQueue[int with ReverseCmp[int]]();
+           pq.push(2); pq.push(9); pq.push(5);
+           while (!pq.isEmpty()) { print(pq.pop()); print(\" \"); }
+         }",
+    );
+    assert_eq!(out, "9 5 2 ");
+}
+
+#[test]
+fn priority_queue_strings() {
+    let (_, out) = run_ok(
+        "void main() {
+           PriorityQueue[String] pq = new PriorityQueue[String]();
+           pq.push(\"pear\"); pq.push(\"apple\"); pq.push(\"mango\");
+           while (!pq.isEmpty()) { println(pq.pop()); }
+         }",
+    );
+    assert_eq!(out, "apple\nmango\npear\n");
+}
+
+#[test]
+fn stack_and_queue_adapters() {
+    let (_, out) = run_ok(
+        "void main() {
+           Stack[int] s = new Stack[int]();
+           s.push(1); s.push(2); s.push(3);
+           while (!s.isEmpty()) { print(s.pop()); }
+           print(\"|\");
+           Queue[int] q = new Queue[int]();
+           q.enqueue(1); q.enqueue(2); q.enqueue(3);
+           while (!q.isEmpty()) { print(q.dequeue()); }
+         }",
+    );
+    assert_eq!(out, "321|123");
+}
+
+#[test]
+fn sort_list_and_binary_search() {
+    let (v, _) = run_ok(
+        "int main() {
+           ArrayList[int] l = new ArrayList[int]();
+           l.add(9); l.add(2); l.add(7); l.add(2); l.add(5);
+           sortList(l);
+           int found = binarySearch(l, 7);
+           int missing = binarySearch(l, 6);
+           return found * 10 + (missing + 1);
+         }",
+    );
+    // sorted: 2 2 5 7 9 → index of 7 is 3; 6 missing → -1.
+    assert_eq!(v, "30");
+}
+
+#[test]
+fn min_max_reverse() {
+    let (_, out) = run_ok(
+        "void main() {
+           ArrayList[int] l = new ArrayList[int]();
+           l.add(4); l.add(1); l.add(7);
+           println(minOf(l));
+           println(maxOf(l));
+           reverseList(l);
+           for (int x : l) { print(x); }
+         }",
+    );
+    assert_eq!(out, "1\n7\n714");
+}
+
+#[test]
+fn sort_list_under_explicit_model() {
+    // The same list, sorted descending by passing ReverseCmp explicitly —
+    // model genericity at a call site (§3.2).
+    let (_, out) = run_ok(
+        "void main() {
+           ArrayList[int] l = new ArrayList[int]();
+           l.add(2); l.add(9); l.add(5);
+           sortList[int with ReverseCmp[int]](l);
+           for (int x : l) { print(x); }
+         }",
+    );
+    assert_eq!(out, "952");
+}
+
+#[test]
+fn list_equals_under_models() {
+    let (v, _) = run_ok(
+        r#"model CIEq for Eq[String] {
+             boolean equals(String str) { return equalsIgnoreCase(str); }
+           }
+           int main() {
+             ArrayList[String] a = new ArrayList[String]();
+             a.add("Ab"); a.add("cD");
+             ArrayList[String] b = new ArrayList[String]();
+             b.add("AB"); b.add("CD");
+             int r = 0;
+             if (listEquals(a, b)) { r = r + 1; }
+             if (listEquals[String with CIEq](a, b)) { r = r + 10; }
+             return r;
+           }"#,
+    );
+    assert_eq!(v, "10");
+}
+
+#[test]
+fn shortest_paths_pq_handles_duplicate_weights() {
+    // The TreeMap frontier of Figure 4 merges equal accumulated weights;
+    // the PriorityQueue version is robust to them.
+    let (_, out) = run_ok(
+        "void main() {
+           Graph g = new Graph();
+           Vertex s = g.addVertex();
+           Vertex a = g.addVertex();
+           Vertex b = g.addVertex();
+           Vertex t = g.addVertex();
+           g.addEdge(s, a, 1.0);
+           g.addEdge(s, b, 1.0);   // duplicate accumulated weight 1.0
+           g.addEdge(a, t, 1.0);
+           g.addEdge(b, t, 5.0);
+           HashMap[Vertex, double] dist =
+               ShortestPaths[Vertex, Edge, double with TropicalRing](s);
+           println(dist.get(a));
+           println(dist.get(b));
+           println(dist.get(t));
+         }",
+    );
+    assert_eq!(out, "1.0\n1.0\n2.0\n");
+}
+
+#[test]
+fn weighted_entry_ordering_is_model_dependent() {
+    let (_, out) = run_ok(
+        "void main() {
+           PriorityQueue[WeightedEntry[int, String]] pq =
+               new PriorityQueue[WeightedEntry[int, String]]();
+           pq.push(new WeightedEntry[int, String](3, \"c\"));
+           pq.push(new WeightedEntry[int, String](1, \"a\"));
+           pq.push(new WeightedEntry[int, String](2, \"b\"));
+           while (!pq.isEmpty()) { print(pq.pop().v); }
+         }",
+    );
+    assert_eq!(out, "abc");
+}
