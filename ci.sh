@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Local CI gate: release build, full test suite, and lint-clean clippy.
+#
+# Usage: ./ci.sh
+#
+# To exercise the pipeline with every cache bypassed (the `no-cache`
+# feature), run the workspace tests a second time:
+#   cargo test -q --workspace --features no-cache
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

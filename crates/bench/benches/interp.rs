@@ -1,0 +1,180 @@
+//! Interpreter dispatch benchmarks: monomorphic vs. megamorphic virtual
+//! call sites and multimethod (model) dispatch, exercising the inline
+//! caches and dispatch memos. Build with `--features no-cache` to A/B the
+//! caching layer.
+//!
+//! The benchmark classes carry padding methods and inheritance chains so
+//! dispatch cost looks like the stdlib's (`ArrayList` has dozens of
+//! methods behind interfaces), not like a one-method toy class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genus::{CheckedProgram, Compiler, Interp};
+
+fn padding(prefix: &str, n: usize) -> String {
+    (0..n).map(|i| format!("int {prefix}{i}() {{ return {i}; }}\n")).collect()
+}
+
+/// One receiver class, one call site: the per-call-site inline cache
+/// should hit on every iteration after the first. The target method sits
+/// behind a padded subclass so the uncached path scans two classes.
+fn monomorphic_src() -> String {
+    format!(
+        "class Shape {{
+           Shape() {{ }}
+           {pad_base}
+           int area(int x) {{ return x + 1; }}
+         }}
+         class Square extends Shape {{
+           Square() {{ }}
+           {pad_sub}
+         }}
+         int main() {{
+           Square s = new Square();
+           int t = 0;
+           for (int i = 0; i < 20000; i = i + 1) {{ t = t + s.area(i); }}
+           return t;
+         }}",
+        pad_base = padding("pa", 10),
+        pad_sub = padding("pb", 8),
+    )
+}
+
+/// Four receiver classes rotating through one call site: the inline cache
+/// keeps missing, so dispatch falls back to the per-class target memo.
+/// The method lives two hops up a padded chain.
+fn megamorphic_src() -> String {
+    let subclasses: String = (1..=4)
+        .map(|i| {
+            format!(
+                "class C{i} extends Mid {{
+                   C{i}() {{ }}
+                   {pad}
+                 }}\n",
+                pad = padding(&format!("c{i}m"), 6),
+            )
+        })
+        .collect();
+    format!(
+        "class Base {{
+           Base() {{ }}
+           {pad_base}
+           int f(int x) {{ return x; }}
+         }}
+         class Mid extends Base {{
+           Mid() {{ }}
+           {pad_mid}
+         }}
+         {subclasses}
+         int main() {{
+           Base[] xs = new Base[4];
+           xs[0] = new C1(); xs[1] = new C2(); xs[2] = new C3(); xs[3] = new C4();
+           int s = 0;
+           for (int i = 0; i < 5000; i = i + 1) {{
+             for (int j = 0; j < 4; j = j + 1) {{ s = s + xs[j].f(i); }}
+           }}
+           return s;
+         }}",
+        pad_base = padding("ba", 8),
+        pad_mid = padding("mi", 8),
+    )
+}
+
+/// A generic `use`-enabled model drives every comparison, so each
+/// `compareTo` goes through multimethod dispatch (§5.1) with a non-empty
+/// model environment — the case where the uncached path reclones
+/// candidate environments on every call.
+const MODEL_DISPATCH: &str = "
+    class Box[T] {
+      T item;
+      Box(T item) { this.item = item; }
+      T item() { return item; }
+    }
+    model BoxCmp[E] for Comparable[Box[E]] where Comparable[E] {
+      int compareTo(Box[E] o) { return item().compareTo(o.item()); }
+      boolean equals(Box[E] o) { return item().compareTo(o.item()) == 0; }
+    }
+    use BoxCmp;
+    int count[T](List[T] xs, T pivot) where Comparable[T] {
+      int n = 0;
+      for (T x : xs) { if (x.compareTo(pivot) > 0) { n = n + 1; } }
+      return n;
+    }
+    int main() {
+      ArrayList[Box[int]] xs = new ArrayList[Box[int]]();
+      for (int i = 0; i < 64; i = i + 1) { xs.add(new Box[int](i * 7 - 100)); }
+      Box[int] pivot = new Box[int](50);
+      int s = 0;
+      for (int r = 0; r < 300; r = r + 1) {
+        s = s + count(xs, pivot);
+      }
+      return s;
+    }";
+
+fn compile(src: &str, stdlib: bool) -> CheckedProgram {
+    let mut c = Compiler::new();
+    if stdlib {
+        c = c.with_stdlib();
+    }
+    c.source("bench.genus", src).compile().expect("bench program checks")
+}
+
+/// Runs once before timing and asserts the caches actually absorb the
+/// dispatch traffic, so the bench numbers measure what they claim to.
+fn assert_hit_rates(mono: &CheckedProgram, mega: &CheckedProgram, model: &CheckedProgram) {
+    if !genus::caches_enabled() {
+        return;
+    }
+    let mut interp = Interp::new(mono);
+    interp.run_main().expect("monomorphic program runs");
+    let s = interp.dispatch_stats();
+    assert!(
+        s.ic_hits >= 100 * (s.ic_misses + 1),
+        "monomorphic site should be absorbed by the inline cache: {s:?}"
+    );
+    eprintln!("dispatch stats (monomorphic): {s:?}");
+
+    let mut interp = Interp::new(mega);
+    interp.run_main().expect("megamorphic program runs");
+    let s = interp.dispatch_stats();
+    assert!(
+        s.virt_hits >= 100 * s.virt_misses,
+        "megamorphic site should be absorbed by the per-class memo: {s:?}"
+    );
+    eprintln!("dispatch stats (megamorphic): {s:?}");
+
+    let mut interp = Interp::new(model);
+    interp.run_main().expect("model-dispatch program runs");
+    let s = interp.dispatch_stats();
+    assert!(
+        s.model_hits >= 100 * s.model_misses,
+        "model dispatch should be absorbed by the multimethod memo: {s:?}"
+    );
+    eprintln!("dispatch stats (model): {s:?}");
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mono = compile(&monomorphic_src(), false);
+    let mega = compile(&megamorphic_src(), false);
+    let model = compile(MODEL_DISPATCH, true);
+    assert_hit_rates(&mono, &mega, &model);
+    let mut g = c.benchmark_group("dispatch");
+    g.sample_size(10);
+    for (name, prog) in
+        [("monomorphic", &mono), ("megamorphic", &mega), ("model_dispatch", &model)]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut interp = Interp::new(prog);
+                interp.run_main().expect("bench program runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_dispatch
+}
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use crate::collect::{Resolver, Scope};
 use crate::hir::{self, BinKind, LocalId, NativeOp, NumKind};
 use crate::methods::{lookup_field, lookup_methods_patched, FoundMethod, MethodOwner};
 use crate::resolve::{resolve_default, resolve_expander, ResolveCtx, ResolveError};
-use genus_common::{Diagnostics, Span, Symbol};
+use genus_common::{Diagnostic, Diagnostics, Span, Symbol};
 use genus_syntax::ast;
 use genus_types::{
     is_subtype,
@@ -248,12 +248,20 @@ impl<'a> BodyCtx<'a> {
                 );
                 Model::Natural { inst: inst.clone() }
             }
-            Err(ResolveError::DepthExceeded) => {
-                self.diags.error(
-                    span,
-                    format!(
-                        "default model resolution for `{}` exceeded its recursion bound",
-                        inst.display(self.table)
+            Err(ResolveError::DepthExceeded(chain)) => {
+                self.diags.push(
+                    Diagnostic::error(
+                        span,
+                        format!(
+                            "default model resolution for `{}` exceeded its recursion bound \
+                             ({} levels) — a recursive `use` likely diverges",
+                            inst.display(self.table),
+                            crate::resolve::MAX_DEPTH,
+                        ),
+                    )
+                    .with_goal_chain(
+                        span,
+                        chain.iter().skip(1).map(|g| g.display(self.table).to_string()),
                     ),
                 );
                 Model::Natural { inst: inst.clone() }
@@ -430,6 +438,7 @@ impl<'a> BodyCtx<'a> {
     }
 
     /// `[U] (List[U] l) where Comparable[U] = f();` (§6.2)
+    #[allow(clippy::too_many_arguments)]
     fn check_local_bind(
         &mut self,
         params: &[ast::TypeParam],
@@ -1667,7 +1676,7 @@ impl<'a> BodyCtx<'a> {
         // (`W.one()`, `T.zero()`).
         let mut found: Vec<(ConstraintInst, Model)> = Vec::new();
         for (winst, model) in self.enabled.clone() {
-            for inst in crate::entail::prereq_closure(self.table, &winst) {
+            for inst in crate::entail::prereq_closure(self.table, &winst).iter() {
                 let def = self.table.constraint(inst.id);
                 let subst = Subst::from_pairs(&def.params, &inst.args);
                 for op in &def.ops {
@@ -1675,7 +1684,7 @@ impl<'a> BodyCtx<'a> {
                         let r = subst.apply(&Type::Var(op.receiver));
                         if type_eq(self.table, &r, &recv_ty)
                             && !found.iter().any(|(i2, m2)| {
-                                i2 == &inst
+                                i2 == inst
                                     && genus_types::subtype::model_eq(self.table, m2, &model)
                             }) {
                                 found.push((inst.clone(), model.clone()));
@@ -1906,7 +1915,8 @@ impl<'a> BodyCtx<'a> {
             return self.error_expr();
         };
         // Find the operation in the constraint or its prerequisites.
-        for inst in crate::entail::prereq_closure(self.table, &winst) {
+        let closure = crate::entail::prereq_closure(self.table, &winst);
+        for inst in closure.iter() {
             let has = self
                 .table
                 .constraint(inst.id)
@@ -1916,7 +1926,7 @@ impl<'a> BodyCtx<'a> {
             if has {
                 return self.call_model_op(
                     model,
-                    inst,
+                    inst.clone(),
                     name,
                     Some(r),
                     None,

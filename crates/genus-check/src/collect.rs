@@ -694,7 +694,6 @@ fn collect_class_body(c: &ast::ClassDecl, table: &mut Table, diags: &mut Diagnos
             ct.params.iter().map(|p| (p.name, r.resolve_ty(&scope, &p.ty))).collect();
         ctors.push(CtorDef { params, body: ct.body.clone(), span: ct.span });
     }
-    drop(r);
     let mut methods = Vec::new();
     for m in &c.methods {
         if let Some(def) = collect_method(m, &scope, table, diags) {
@@ -715,7 +714,6 @@ fn collect_interface_body(i: &ast::InterfaceDecl, table: &mut Table, diags: &mut
     let scope = class_scope(table, cid, &i.generics);
     let mut r = Resolver { table, diags };
     let extends: Vec<Type> = i.extends.iter().map(|t| r.resolve_ty(&scope, t)).collect();
-    drop(r);
     let mut methods = Vec::new();
     for m in &i.methods {
         if let Some(def) = collect_method(m, &scope, table, diags) {

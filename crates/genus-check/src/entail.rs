@@ -3,6 +3,7 @@
 //! entailed through parameter variance.
 
 use genus_types::{is_subtype, subtype::type_eq, ConstraintInst, Subst, Table, Variance};
+use std::sync::Arc;
 
 /// Whether a witness of `from` also witnesses `to`.
 ///
@@ -52,7 +53,18 @@ fn variance_entails(table: &Table, from: &ConstraintInst, to: &ConstraintInst) -
 /// All constraint instantiations transitively entailed by `from` through
 /// prerequisites only (exact forms, no variance): used when matching
 /// in-scope models against a requested constraint with unification.
-pub fn prereq_closure(table: &Table, from: &ConstraintInst) -> Vec<ConstraintInst> {
+/// Memoized in the table's query cache; the shared `Arc` spares callers a
+/// clone of the whole closure.
+pub fn prereq_closure(table: &Table, from: &ConstraintInst) -> Arc<Vec<ConstraintInst>> {
+    if let Some(rc) = table.cache.prereq_get(from) {
+        return rc;
+    }
+    let rc = Arc::new(prereq_closure_uncached(table, from));
+    table.cache.prereq_put(from, Arc::clone(&rc));
+    rc
+}
+
+fn prereq_closure_uncached(table: &Table, from: &ConstraintInst) -> Vec<ConstraintInst> {
     let mut out = vec![from.clone()];
     let mut i = 0;
     while i < out.len() {

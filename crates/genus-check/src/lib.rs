@@ -110,6 +110,10 @@ pub fn check_program(programs: &[ast::Program], diags: &mut Diagnostics) -> Chec
     let mut table = collect::collect(programs, diags);
     termination::check_use_termination(&table, diags);
     complete_signatures(&mut table, diags);
+    // Signature completion rewrites types in place, which existing cache
+    // entries could observe; drop them. The table is only read from here
+    // on, so the caches filled below stay valid for good.
+    table.cache.clear();
     for i in 0..table.models.len() {
         multimethod::check_model_conformance(&table, ModelId(i as u32), diags);
     }

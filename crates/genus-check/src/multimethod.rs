@@ -75,8 +75,8 @@ fn subst_apply_all(s: &Subst, ts: &[Type]) -> Vec<Type> {
 pub fn check_model_conformance(table: &Table, mid: ModelId, diags: &mut Diagnostics) {
     let def = table.model(mid);
     let methods = visible_methods(table, mid);
-    for inst in crate::entail::prereq_closure(table, &def.for_inst) {
-        check_ops_covered(table, &inst, &methods, def.span, diags, &def.name.to_string());
+    for inst in crate::entail::prereq_closure(table, &def.for_inst).iter() {
+        check_ops_covered(table, inst, &methods, def.span, diags, &def.name.to_string());
     }
     check_unique_best(table, &methods, diags);
 }

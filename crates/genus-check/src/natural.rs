@@ -10,7 +10,12 @@ use genus_types::{is_subtype, ConstraintInst, Subst, Table, Type};
 /// constraint, so that a natural model exists. Prerequisite constraints must
 /// conform too (a natural model witnesses everything the constraint entails).
 pub fn conforms(table: &Table, inst: &ConstraintInst) -> bool {
-    conforms_depth(table, inst, 16)
+    if let Some(r) = table.cache.conforms_get(inst) {
+        return r;
+    }
+    let r = conforms_depth(table, inst, 16);
+    table.cache.conforms_put(inst, r);
+    r
 }
 
 fn conforms_depth(table: &Table, inst: &ConstraintInst, depth: usize) -> bool {

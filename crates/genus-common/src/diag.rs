@@ -54,6 +54,27 @@ impl Diagnostic {
         self
     }
 
+    /// Attaches one note per link of a resolution goal chain
+    /// (already-rendered goal names, outermost first). Long chains — e.g.
+    /// a divergent recursive `use` unwinding a full depth budget — keep
+    /// the first and last few links and elide the middle.
+    pub fn with_goal_chain(mut self, span: Span, links: impl IntoIterator<Item = String>) -> Self {
+        const HEAD: usize = 4;
+        const TAIL: usize = 2;
+        let links: Vec<String> = links.into_iter().collect();
+        let n = links.len();
+        for (i, link) in links.into_iter().enumerate() {
+            if n > HEAD + TAIL + 1 && i >= HEAD && i < n - TAIL {
+                if i == HEAD {
+                    self.notes.push((span, format!("... {} subgoal(s) elided ...", n - HEAD - TAIL)));
+                }
+                continue;
+            }
+            self.notes.push((span, format!("required for subgoal `{link}`")));
+        }
+        self
+    }
+
     /// Renders the diagnostic against a source map, one line per message.
     pub fn render(&self, sm: &SourceMap) -> String {
         let mut out = format!("{}: {}: {}", sm.describe(self.span), self.severity, self.message);
@@ -153,6 +174,29 @@ mod tests {
         let rendered = d.render(&sm);
         assert!(rendered.contains("a.genus:1:7: error: no such constraint"));
         assert!(rendered.contains("note: referenced here"));
+    }
+
+    #[test]
+    fn goal_chain_renders_each_link() {
+        let d = Diagnostic::error(Span::dummy(), "recursion bound exceeded")
+            .with_goal_chain(Span::dummy(), vec!["Cl[Box[int]]".into(), "Cl[int]".into()]);
+        assert_eq!(d.notes.len(), 2);
+        assert!(d.notes[0].1.contains("Cl[Box[int]]"));
+        assert!(d.notes[1].1.contains("Cl[int]"));
+    }
+
+    #[test]
+    fn goal_chain_elides_long_middles() {
+        let links: Vec<String> = (0..20).map(|i| format!("G{i}")).collect();
+        let d = Diagnostic::error(Span::dummy(), "recursion bound exceeded")
+            .with_goal_chain(Span::dummy(), links);
+        // 4 head + elision marker + 2 tail.
+        assert_eq!(d.notes.len(), 7);
+        assert!(d.notes[0].1.contains("G0"));
+        assert!(d.notes[3].1.contains("G3"));
+        assert!(d.notes[4].1.contains("elided"));
+        assert!(d.notes[5].1.contains("G18"));
+        assert!(d.notes[6].1.contains("G19"));
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! A fast, non-cryptographic hasher for the pipeline's hot memo tables.
+//!
+//! The interpreter's inline caches and the checker's query caches key on
+//! small id-like values (interned symbols, class ids, node addresses).
+//! `std`'s default SipHash is DoS-resistant but costs more than the
+//! lookups it guards; FNV-1a is a few nanoseconds for such keys and its
+//! distribution is more than good enough for trusted, in-process keys.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, byte-at-a-time.
+#[derive(Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+/// A `HashMap` using [`FnvHasher`]. Only for trusted keys: FNV is not
+/// collision-resistant against adversarial inputs.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn fnv_of(v: impl Hash) -> u64 {
+        let mut h = FnvHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(fnv_of(42u64), fnv_of(42u64));
+        assert_ne!(fnv_of(42u64), fnv_of(43u64));
+        assert_ne!(fnv_of((1u32, 2u32)), fnv_of((2u32, 1u32)));
+    }
+
+    #[test]
+    fn fast_map_works_as_a_map() {
+        let mut m: FastMap<(u32, usize), &str> = FastMap::default();
+        m.insert((7, 3), "x");
+        assert_eq!(m.get(&(7, 3)), Some(&"x"));
+        assert_eq!(m.get(&(3, 7)), None);
+    }
+}

@@ -20,9 +20,11 @@
 //! ```
 
 pub mod diag;
+pub mod hash;
 pub mod intern;
 pub mod source;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use hash::{FastMap, FnvHasher};
 pub use intern::{Interner, Symbol};
 pub use source::{FileId, SourceFile, SourceMap, Span};

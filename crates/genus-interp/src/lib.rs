@@ -27,16 +27,17 @@ mod ops;
 pub mod value;
 
 pub use value::{
-    ArrayData, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError, Storage, Value,
+    ArrayData, ClassMethodIndex, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError,
+    Storage, Value,
 };
 
 use genus_check::hir::{self, BinKind, NumKind};
 use genus_check::CheckedProgram;
-use genus_common::Symbol;
+use genus_common::{FastMap, Symbol};
 use genus_syntax::ast::BinOp;
-use genus_types::{ClassId, Model, ModelId, MvId, PrimTy, TvId, Type};
+use genus_types::{caches_enabled, ClassId, Model, ModelId, MvId, PrimTy, TvId, Type};
 use crate::ops::{arith, compare, widen_value};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -58,11 +59,134 @@ struct Frame {
     menv: HashMap<MvId, ModelValue>,
 }
 
+/// A memoized virtual-dispatch target: the defining class and method
+/// index, plus the parent-edge path (`hops`) from the dynamic class to
+/// the defining class. The path is instantiation-independent — parent
+/// class ids come from `extends`/`implements` clauses whose head classes
+/// are fixed — so one entry serves every instantiation of the class;
+/// receiver-specific type/model arguments are re-derived by replaying
+/// the hops.
+#[derive(Debug, Clone)]
+struct VirtTarget {
+    hops: Vec<usize>,
+    cid: ClassId,
+    mi: usize,
+    /// The defining class's instantiation, precomputed when every parent
+    /// edge on the path is receiver-independent (mentions no type/model
+    /// variables) — then hits skip the hop replay entirely.
+    fixed: Option<(Vec<RtType>, Vec<ModelValue>)>,
+}
+
+/// Whether evaluating this type yields the same reification in every
+/// frame (no type/model variables; inference leftovers and existentials
+/// erase deterministically).
+fn ty_receiver_independent(t: &Type) -> bool {
+    match t {
+        Type::Prim(_) | Type::Null | Type::Infer(_) | Type::Existential { .. } => true,
+        Type::Var(_) => false,
+        Type::Array(e) => ty_receiver_independent(e),
+        Type::Class { args, models, .. } => {
+            args.iter().all(ty_receiver_independent)
+                && models.iter().all(model_receiver_independent)
+        }
+    }
+}
+
+/// Model analogue of [`ty_receiver_independent`].
+fn model_receiver_independent(m: &Model) -> bool {
+    match m {
+        Model::Var(_) => false,
+        Model::Infer(_) => true,
+        Model::Natural { inst } => inst.args.iter().all(ty_receiver_independent),
+        Model::Decl { type_args, model_args, .. } => {
+            type_args.iter().all(ty_receiver_independent)
+                && model_args.iter().all(model_receiver_independent)
+        }
+    }
+}
+
+/// Key for the multimethod dispatch memo: model instance, operation, and
+/// the dynamic receiver/argument types the applicability and specificity
+/// rules (§5.1) depend on. `RtType::Null` stands for null values, whose
+/// applicability is also type-determined.
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct ModelDispatchKey {
+    id: ModelId,
+    targs: Vec<RtType>,
+    margs: Vec<ModelValue>,
+    name: Symbol,
+    is_static: bool,
+    recv: Option<RtType>,
+    args: Vec<RtType>,
+}
+
+/// The winning candidate of a multimethod dispatch, with the model-level
+/// environment its body runs under.
+#[derive(Debug)]
+struct ModelTarget {
+    mid: ModelId,
+    mi: usize,
+    tenv: HashMap<TvId, RtType>,
+    menv: HashMap<MvId, ModelValue>,
+}
+
+/// Hit/miss counters for the interpreter's dispatch caches, snapshot via
+/// [`Interp::dispatch_stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Per-call-site inline cache hits (receiver class matched last time).
+    pub ic_hits: u64,
+    /// Per-call-site inline cache misses.
+    pub ic_misses: u64,
+    /// Virtual-target memo hits.
+    pub virt_hits: u64,
+    /// Virtual-target memo misses (full hierarchy walks).
+    pub virt_misses: u64,
+    /// Multimethod dispatch memo hits.
+    pub model_hits: u64,
+    /// Multimethod dispatch memo misses (full candidate scans).
+    pub model_misses: u64,
+}
+
+/// Per-class virtual-dispatch memo: `(dynamic class, name, arity)`
+/// to the resolved target (or `None` for a guaranteed miss).
+type VirtMemo = FastMap<(ClassId, Symbol, usize), Option<Rc<VirtTarget>>>;
+
+/// Monomorphic inline-cache entries keyed by call-site HIR address.
+type SiteCache = FastMap<usize, (ClassId, Option<Rc<VirtTarget>>)>;
+
+/// Memo tables behind the interpreter's dispatch fast paths. All are
+/// per-`Interp` and never invalidated: the checked program is immutable
+/// for the interpreter's lifetime.
+#[derive(Default)]
+struct DispatchTables {
+    /// Lazily built per-class `(name, arity) → method index` maps.
+    class_index: RefCell<FastMap<ClassId, Rc<ClassMethodIndex>>>,
+    /// `(dynamic class, name, arity) → target` for virtual dispatch.
+    virt: RefCell<VirtMemo>,
+    /// Monomorphic inline caches keyed by call-site HIR node address:
+    /// last-seen receiver class and its resolved target.
+    sites: RefCell<SiteCache>,
+    /// Multimethod dispatch results (§5.1).
+    model: RefCell<FastMap<ModelDispatchKey, Option<Rc<ModelTarget>>>>,
+    ic_hits: Cell<u64>,
+    ic_misses: Cell<u64>,
+    virt_hits: Cell<u64>,
+    virt_misses: Cell<u64>,
+    model_hits: Cell<u64>,
+    model_misses: Cell<u64>,
+}
+
+fn bump(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
+
 /// The interpreter. Holds static fields and captured output across calls.
 pub struct Interp<'p> {
     prog: &'p CheckedProgram,
     statics: RefCell<HashMap<(u32, u32), Value>>,
     output: RefCell<String>,
+    dispatch: DispatchTables,
     /// Whether `print` also writes to process stdout.
     pub echo: bool,
     depth: std::cell::Cell<usize>,
@@ -77,6 +201,7 @@ impl<'p> Interp<'p> {
             prog,
             statics: RefCell::new(HashMap::new()),
             output: RefCell::new(String::new()),
+            dispatch: DispatchTables::default(),
             echo: false,
             depth: std::cell::Cell::new(0),
             // Each Genus frame costs tens of KiB of native stack in debug
@@ -145,6 +270,18 @@ impl<'p> Interp<'p> {
     /// Takes the captured `print` output.
     pub fn take_output(&mut self) -> String {
         std::mem::take(&mut self.output.borrow_mut())
+    }
+
+    /// Snapshot of the dispatch-cache hit/miss counters.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        DispatchStats {
+            ic_hits: self.dispatch.ic_hits.get(),
+            ic_misses: self.dispatch.ic_misses.get(),
+            virt_hits: self.dispatch.virt_hits.get(),
+            virt_misses: self.dispatch.virt_misses.get(),
+            model_hits: self.dispatch.model_hits.get(),
+            model_misses: self.dispatch.model_misses.get(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -496,7 +633,10 @@ impl<'p> Interp<'p> {
                 let vargs = self.eval_args(frame, args)?;
                 let rt = targs.iter().map(|t| self.eval_type(frame, t)).collect::<Vec<_>>();
                 let rm = margs.iter().map(|m| self.eval_model(frame, m)).collect::<Vec<_>>();
-                self.call_virtual(r, *name, *arity, rt, rm, vargs)
+                // The HIR node's address identifies the call site for its
+                // inline cache; nodes live as long as the program borrow.
+                let site = e as *const hir::Expr as usize;
+                self.call_virtual_at(Some(site), r, *name, *arity, rt, rm, vargs)
             }
             K::CallStatic { class, method, targs, margs, args } => {
                 let vargs = self.eval_args(frame, args)?;
@@ -934,6 +1074,8 @@ impl<'p> Interp<'p> {
 
     /// Finds `(declaring class, method index, class targs, class models)`
     /// for a virtual call, walking the dynamic class chain then interfaces.
+    /// This is the uncached slow path; cached dispatch goes through
+    /// [`Interp::cached_virt_target`].
     fn find_virtual(
         &self,
         id: ClassId,
@@ -961,6 +1103,144 @@ impl<'p> Interp<'p> {
         None
     }
 
+    /// The lazily built method index for `id`.
+    fn class_index(&self, id: ClassId) -> Rc<ClassMethodIndex> {
+        if let Some(ix) = self.dispatch.class_index.borrow().get(&id) {
+            return Rc::clone(ix);
+        }
+        let ix = Rc::new(ClassMethodIndex::build(self.prog.table.class(id)));
+        self.dispatch.class_index.borrow_mut().insert(id, Rc::clone(&ix));
+        ix
+    }
+
+    /// Walks the hierarchy like [`Interp::find_virtual`] but records the
+    /// parent-edge path taken, so the result can be memoized per class
+    /// and replayed for other instantiations.
+    fn find_virtual_path(
+        &self,
+        id: ClassId,
+        args: &[RtType],
+        models: &[ModelValue],
+        name: Symbol,
+        arity: usize,
+        hops: &mut Vec<usize>,
+    ) -> Option<(ClassId, usize)> {
+        if let Some(mi) = self.class_index(id).virtual_method(name, arity) {
+            return Some((id, mi));
+        }
+        for (h, (pid, pargs, pmodels)) in self.rt_parents(id, args, models).into_iter().enumerate()
+        {
+            hops.push(h);
+            if let Some(found) = self.find_virtual_path(pid, &pargs, &pmodels, name, arity, hops) {
+                return Some(found);
+            }
+            hops.pop();
+        }
+        None
+    }
+
+    /// Memoized virtual-target lookup keyed on the dynamic class.
+    fn virt_target(
+        &self,
+        id: ClassId,
+        args: &[RtType],
+        models: &[ModelValue],
+        name: Symbol,
+        arity: usize,
+    ) -> Option<Rc<VirtTarget>> {
+        let key = (id, name, arity);
+        if let Some(t) = self.dispatch.virt.borrow().get(&key) {
+            bump(&self.dispatch.virt_hits);
+            return t.clone();
+        }
+        bump(&self.dispatch.virt_misses);
+        let mut hops = Vec::new();
+        let t = self.find_virtual_path(id, args, models, name, arity, &mut hops).map(
+            |(cid, mi)| {
+                let mut vt = VirtTarget { hops, cid, mi, fixed: None };
+                if !vt.hops.is_empty() && self.path_is_receiver_independent(id, &vt.hops) {
+                    let (_, _, cargs, cmodels) = self.replay_target(&vt, id, args, models);
+                    vt.fixed = Some((cargs, cmodels));
+                }
+                Rc::new(vt)
+            },
+        );
+        self.dispatch.virt.borrow_mut().insert(key, t.clone());
+        t
+    }
+
+    /// Whether every parent edge along `hops` evaluates identically for
+    /// all instantiations of `id` (so the target's instantiation can be
+    /// computed once and frozen).
+    fn path_is_receiver_independent(&self, id: ClassId, hops: &[usize]) -> bool {
+        let mut cur = id;
+        for &h in hops {
+            let def = self.prog.table.class(cur);
+            // Hop indices follow `rt_parents` order: `extends` first,
+            // then `implements`.
+            let t = match def.extends.as_ref() {
+                Some(ext) if h == 0 => ext,
+                ext => &def.implements[h - usize::from(ext.is_some())],
+            };
+            if !ty_receiver_independent(t) {
+                return false;
+            }
+            let Type::Class { id: pid, .. } = t else { return false };
+            cur = *pid;
+        }
+        true
+    }
+
+    /// Virtual-target lookup through the call site's inline cache (when a
+    /// site is known), falling back to the per-class memo.
+    fn cached_virt_target(
+        &self,
+        site: Option<usize>,
+        id: ClassId,
+        args: &[RtType],
+        models: &[ModelValue],
+        name: Symbol,
+        arity: usize,
+    ) -> Option<Rc<VirtTarget>> {
+        let Some(site) = site else {
+            return self.virt_target(id, args, models, name, arity);
+        };
+        if let Some((cls, t)) = self.dispatch.sites.borrow().get(&site) {
+            if *cls == id {
+                bump(&self.dispatch.ic_hits);
+                return t.clone();
+            }
+        }
+        bump(&self.dispatch.ic_misses);
+        let t = self.virt_target(id, args, models, name, arity);
+        self.dispatch.sites.borrow_mut().insert(site, (id, t.clone()));
+        t
+    }
+
+    /// Re-derives the receiver-specific instantiation of the defining
+    /// class by replaying a memoized target's parent-edge path.
+    fn replay_target(
+        &self,
+        t: &VirtTarget,
+        id: ClassId,
+        args: &[RtType],
+        models: &[ModelValue],
+    ) -> (ClassId, usize, Vec<RtType>, Vec<ModelValue>) {
+        let (mut id, mut args, mut models) = (id, args.to_vec(), models.to_vec());
+        for &h in &t.hops {
+            let (pid, pargs, pmodels) = self
+                .rt_parents(id, &args, &models)
+                .into_iter()
+                .nth(h)
+                .expect("memoized hop path stays within the class's parents");
+            id = pid;
+            args = pargs;
+            models = pmodels;
+        }
+        debug_assert_eq!(id, t.cid);
+        (t.cid, t.mi, args, models)
+    }
+
     /// Invokes a virtual method on a value.
     ///
     /// # Errors
@@ -975,15 +1255,38 @@ impl<'p> Interp<'p> {
         margs: Vec<ModelValue>,
         args: Vec<Value>,
     ) -> RResult<Value> {
+        self.call_virtual_at(None, recv, name, arity, targs, margs, args)
+    }
+
+    /// [`Interp::call_virtual`] with an optional call-site key for the
+    /// inline cache.
+    #[allow(clippy::too_many_arguments)]
+    fn call_virtual_at(
+        &self,
+        site: Option<usize>,
+        recv: Value,
+        name: Symbol,
+        arity: usize,
+        targs: Vec<RtType>,
+        margs: Vec<ModelValue>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
         let recv = match recv {
             Value::Packed(p) => p.value.clone(),
             other => other,
         };
         match &recv {
             Value::Obj(o) => {
-                let Some((cid, mi, cargs, cmodels)) =
+                let found = if caches_enabled() {
+                    self.cached_virt_target(site, o.class, &o.targs, &o.models, name, arity)
+                        .map(|t| match &t.fixed {
+                            Some((a, m)) => (t.cid, t.mi, a.clone(), m.clone()),
+                            None => self.replay_target(&t, o.class, &o.targs, &o.models),
+                        })
+                } else {
                     self.find_virtual(o.class, &o.targs, &o.models, name, arity)
-                else {
+                };
+                let Some((cid, mi, cargs, cmodels)) = found else {
                     return Err(RuntimeError::new(
                         ErrorKind::NoSuchMethod,
                         format!(
@@ -1166,9 +1469,13 @@ impl<'p> Interp<'p> {
                         RtType::Prim(p) => self.prim_call(p, name, None, args),
                         RtType::Class { id, args: cargs, models: cmodels } => {
                             let def = self.prog.table.class(id);
-                            let mi = def.methods.iter().position(|m| {
-                                m.is_static && m.name == name && m.params.len() == args.len()
-                            });
+                            let mi = if caches_enabled() {
+                                self.class_index(id).static_method(name, args.len())
+                            } else {
+                                def.methods.iter().position(|m| {
+                                    m.is_static && m.name == name && m.params.len() == args.len()
+                                })
+                            };
                             match mi {
                                 Some(mi) => self.invoke_class_method(
                                     id,
@@ -1236,6 +1543,43 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// Runs the chosen multimethod candidate (or the fallback when no
+    /// candidate applied): the shared tail of cached and uncached
+    /// dispatch.
+    fn invoke_model_target(
+        &self,
+        target: Option<&ModelTarget>,
+        id: ModelId,
+        name: Symbol,
+        recv: Option<Value>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        let Some(t) = target else {
+            // Fall back to the underlying type's own method (a model may
+            // leave prerequisite operations to the natural model).
+            if let Some(r) = recv {
+                return self.call_virtual(r, name, args.len(), vec![], vec![], args);
+            }
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("model `{}` has no applicable `{name}`", self.prog.table.model(id).name),
+            ));
+        };
+        let Some(body) = self.prog.model_bodies.get(&(t.mid.0, t.mi as u32)) else {
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("model method `{name}` has no body"),
+            ));
+        };
+        let m = &self.prog.table.model(t.mid).methods[t.mi];
+        let frame = Frame { locals: Vec::new(), tenv: t.tenv.clone(), menv: t.menv.clone() };
+        let recv = recv.map(|r| match r {
+            Value::Packed(p) => p.value.clone(),
+            other => other,
+        });
+        self.run_body(frame, body, recv, args, m.ret.is_void())
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn model_dispatch(
         &self,
@@ -1247,9 +1591,31 @@ impl<'p> Interp<'p> {
         static_recv: Option<RtType>,
         args: Vec<Value>,
     ) -> RResult<Value> {
+        let is_static = recv.is_none();
+        // The dispatch decision is a pure function of the model instance,
+        // the operation, and the dynamic receiver/argument types (nulls
+        // reify as `RtType::Null`), so it memoizes cleanly.
+        let key = if caches_enabled() {
+            let key = ModelDispatchKey {
+                id,
+                targs: targs.to_vec(),
+                margs: margs.to_vec(),
+                name,
+                is_static,
+                recv: recv.as_ref().map(|r| self.value_rt_type(r)).or_else(|| static_recv.clone()),
+                args: args.iter().map(|a| self.value_rt_type(a)).collect(),
+            };
+            if let Some(t) = self.dispatch.model.borrow().get(&key).cloned() {
+                bump(&self.dispatch.model_hits);
+                return self.invoke_model_target(t.as_deref(), id, name, recv, args);
+            }
+            bump(&self.dispatch.model_misses);
+            Some(key)
+        } else {
+            None
+        };
         let mut cands = Vec::new();
         self.model_candidates(id, targs, margs, &mut cands, 0);
-        let is_static = recv.is_none();
         // Applicability: the dynamic receiver and argument values must be
         // instances of the declared (evaluated) types.
         let mut applicable: Vec<(usize, Vec<RtType>)> = Vec::new();
@@ -1279,52 +1645,42 @@ impl<'p> Interp<'p> {
             tuple.extend(param_ts);
             applicable.push((ci, tuple));
         }
-        if applicable.is_empty() {
-            // Fall back to the underlying type's own method (a model may
-            // leave prerequisite operations to the natural model).
-            if let Some(r) = recv {
-                return self.call_virtual(r, name, args.len(), vec![], vec![], args);
+        let target = if applicable.is_empty() {
+            None
+        } else {
+            // Most specific by pointwise runtime subtyping. Ties keep the
+            // earlier candidate: own definitions precede inherited ones in
+            // the candidate list, so a child model's definition shadows an
+            // inherited definition with the same dispatch tuple (§5.3).
+            let mut best = 0;
+            for i in 1..applicable.len() {
+                let fwd = applicable[i]
+                    .1
+                    .iter()
+                    .zip(&applicable[best].1)
+                    .all(|(a, b)| self.rt_subtype(a, b));
+                let bwd = applicable[best]
+                    .1
+                    .iter()
+                    .zip(&applicable[i].1)
+                    .all(|(a, b)| self.rt_subtype(a, b));
+                if fwd && !bwd {
+                    best = i;
+                }
             }
-            return Err(RuntimeError::new(
-                ErrorKind::NoSuchMethod,
-                format!("model `{}` has no applicable `{name}`", self.prog.table.model(id).name),
-            ));
-        }
-        // Most specific by pointwise runtime subtyping. Ties keep the
-        // earlier candidate: own definitions precede inherited ones in the
-        // candidate list, so a child model's definition shadows an
-        // inherited definition with the same dispatch tuple (§5.3).
-        let mut best = 0;
-        for i in 1..applicable.len() {
-            let fwd = applicable[i]
-                .1
-                .iter()
-                .zip(&applicable[best].1)
-                .all(|(a, b)| self.rt_subtype(a, b));
-            let bwd = applicable[best]
-                .1
-                .iter()
-                .zip(&applicable[i].1)
-                .all(|(a, b)| self.rt_subtype(a, b));
-            if fwd && !bwd {
-                best = i;
-            }
-        }
-        let (ci, _) = applicable[best];
-        let (mid, mi, env) = &cands[ci];
-        let Some(body) = self.prog.model_bodies.get(&(mid.0, *mi as u32)) else {
-            return Err(RuntimeError::new(
-                ErrorKind::NoSuchMethod,
-                format!("model method `{name}` has no body"),
-            ));
+            let (ci, _) = applicable[best];
+            let (mid, mi, env) = &cands[ci];
+            Some(Rc::new(ModelTarget {
+                mid: *mid,
+                mi: *mi,
+                tenv: env.tenv.clone(),
+                menv: env.menv.clone(),
+            }))
         };
-        let m = &self.prog.table.model(*mid).methods[*mi];
-        let frame = Frame { locals: Vec::new(), tenv: env.tenv.clone(), menv: env.menv.clone() };
-        let recv = recv.map(|r| match r {
-            Value::Packed(p) => p.value.clone(),
-            other => other,
-        });
-        self.run_body(frame, body, recv, args, m.ret.is_void())
+        if let Some(key) = key {
+            self.dispatch.model.borrow_mut().insert(key, target.clone());
+        }
+        self.invoke_model_target(target.as_deref(), id, name, recv, args)
     }
 
 }

@@ -5,14 +5,19 @@
 //! time. Arrays use element-type-specialized storage so `T[]` instantiated
 //! at `double` is a flat `Vec<f64>`, not a vector of boxed values (§7.3).
 
-use genus_types::{ClassId, ConstraintId, ModelId, PrimTy};
+use genus_common::{FastMap, Symbol};
+use genus_types::{ClassDef, ClassId, ConstraintId, ModelId, PrimTy};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
 /// A runtime-reified type: the ground image of a checked [`genus_types::Type`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` are sound because reified types contain no floating-point
+/// payloads — only ids, primitives, and nested reified types/models — so
+/// they can key the interpreter's dispatch memo tables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum RtType {
     /// Primitive.
     Prim(PrimTy),
@@ -46,7 +51,7 @@ impl RtType {
 }
 
 /// A runtime model witness.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ModelValue {
     /// The natural model of a constraint instantiation.
     Natural {
@@ -64,6 +69,45 @@ pub enum ModelValue {
         /// Reified model arguments.
         margs: Vec<ModelValue>,
     },
+}
+
+/// Per-class method lookup tables: `(name, arity) → method index`, built
+/// lazily by the interpreter the first time a class receives a dispatch.
+///
+/// `virt` maps to the first *concrete* instance method in declaration
+/// order (bodied or native) — exactly the candidates the virtual-dispatch
+/// walk accepts, so abstract and interface signatures never shadow an
+/// inherited implementation. `stat` maps to the first static method.
+#[derive(Debug, Default)]
+pub struct ClassMethodIndex {
+    virt: FastMap<(Symbol, usize), usize>,
+    stat: FastMap<(Symbol, usize), usize>,
+}
+
+impl ClassMethodIndex {
+    /// Indexes a class's declared methods.
+    pub fn build(def: &ClassDef) -> Self {
+        let mut ix = ClassMethodIndex::default();
+        for (mi, m) in def.methods.iter().enumerate() {
+            let key = (m.name, m.params.len());
+            if m.is_static {
+                ix.stat.entry(key).or_insert(mi);
+            } else if m.body.is_some() || m.is_native {
+                ix.virt.entry(key).or_insert(mi);
+            }
+        }
+        ix
+    }
+
+    /// First concrete instance method matching `(name, arity)`, if any.
+    pub fn virtual_method(&self, name: Symbol, arity: usize) -> Option<usize> {
+        self.virt.get(&(name, arity)).copied()
+    }
+
+    /// First static method matching `(name, arity)`, if any.
+    pub fn static_method(&self, name: Symbol, arity: usize) -> Option<usize> {
+        self.stat.get(&(name, arity)).copied()
+    }
 }
 
 /// Specialized array storage (§7.3): primitives are stored unboxed.

@@ -29,6 +29,9 @@ pub struct Parser<'d> {
 
 type PResult<T> = Result<T, ()>;
 
+// `PResult`'s error is `()` by design: the real error is already in
+// `diags` when a parse routine fails.
+#[allow(clippy::result_unit_err)]
 impl<'d> Parser<'d> {
     /// Creates a parser over a pre-lexed token stream.
     pub fn new(tokens: Vec<Token>, diags: &'d mut Diagnostics) -> Self {

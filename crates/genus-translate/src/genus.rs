@@ -119,6 +119,9 @@ pub struct BoxedDoubleModel;
 
 impl ObjectModel for BoxedDoubleModel {
     fn new_array(&self, n: usize) -> GArray {
+        // Placeholder slots may share one box; `Rc<f64>` is immutable and
+        // `array_set` replaces whole slots.
+        #[allow(clippy::rc_clone_in_vec_init)]
         GArray::Ref(vec![Rc::new(0.0); n])
     }
     fn array_get(&self, a: &GArray, i: usize) -> GValue {

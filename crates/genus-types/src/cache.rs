@@ -1,0 +1,314 @@
+//! Query caches hung off [`Table`](crate::table::Table).
+//!
+//! The checker's hot queries — subtype tests, constraint prerequisite
+//! closures, structural-conformance checks, and default model resolution
+//! — are pure functions of the declaration table (plus, for resolution,
+//! the set of in-scope `use` declarations). `QueryCache` memoizes them
+//! behind interior mutability so read-only query code (`&Table`) can
+//! populate the caches.
+//!
+//! Invalidation: callers that mutate the table in ways existing keys
+//! could observe (registering declarations, rewriting signatures in
+//! place) must call [`QueryCache::clear`]. Allocating *fresh* type/model
+//! variables is safe without clearing — previously cached keys cannot
+//! mention ids that did not exist yet. After the checker's
+//! signature-completion pass the table is never mutated again, so the
+//! caches live untouched for the rest of checking and interpretation.
+//!
+//! The `no-cache` cargo feature (or [`set_caches_enabled`] at runtime)
+//! turns every cache into a pass-through so benches can A/B the caching
+//! layer and tests can compare cached against uncached results.
+
+use crate::ty::{ConstraintInst, Type};
+use genus_common::FastMap;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread switch. Defaults to enabled unless the `no-cache`
+    /// feature is active; flips at runtime via [`set_caches_enabled`].
+    /// Thread-local so parallel tests toggling it cannot interfere.
+    static CACHES_DISABLED: Cell<bool> = const { Cell::new(cfg!(feature = "no-cache")) };
+}
+
+/// Whether the query caches are active on the current thread.
+pub fn caches_enabled() -> bool {
+    !CACHES_DISABLED.with(Cell::get)
+}
+
+/// Enables or disables all query caches on the current thread (A/B
+/// benching and differential tests). Disabling does not drop
+/// already-stored entries; it only bypasses them.
+pub fn set_caches_enabled(on: bool) {
+    CACHES_DISABLED.with(|c| c.set(!on));
+}
+
+/// Hit/miss counters for every cache, snapshot via [`QueryCache::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub subtype_hits: u64,
+    pub subtype_misses: u64,
+    pub prereq_hits: u64,
+    pub prereq_misses: u64,
+    pub conforms_hits: u64,
+    pub conforms_misses: u64,
+    pub resolve_hits: u64,
+    pub resolve_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits across all caches.
+    pub fn hits(&self) -> u64 {
+        self.subtype_hits + self.prereq_hits + self.conforms_hits + self.resolve_hits
+    }
+
+    /// Total misses across all caches.
+    pub fn misses(&self) -> u64 {
+        self.subtype_misses + self.prereq_misses + self.conforms_misses + self.resolve_misses
+    }
+}
+
+fn hash_pair(sub: &Type, sup: &Type) -> u64 {
+    let mut h = DefaultHasher::new();
+    sub.hash(&mut h);
+    sup.hash(&mut h);
+    h.finish()
+}
+
+/// One hash bucket of structurally keyed subtype verdicts.
+type SubtypeBucket = Vec<(Type, Type, bool)>;
+
+/// Memo tables for table-pure queries. See the module docs for the
+/// soundness/invalidation story.
+#[derive(Default)]
+pub struct QueryCache {
+    /// `(sub, sup) → bool`, bucketed by hash so lookups need no key
+    /// clone (collisions resolved by structural comparison).
+    subtype: RefCell<FastMap<u64, SubtypeBucket>>,
+    /// Constraint prerequisite closures (computed by the checker).
+    prereq: RefCell<FastMap<ConstraintInst, Arc<Vec<ConstraintInst>>>>,
+    /// Structural conformance (`natural::conforms`) results.
+    conforms: RefCell<FastMap<ConstraintInst, bool>>,
+    /// Opaque slot for the checker's resolution memo: the value type
+    /// involves checker-crate types, so it is stored type-erased here
+    /// and downcast by `genus-check`. `Send` so a checked program (and
+    /// its table) can move onto the interpreter thread.
+    resolve_slot: RefCell<Option<Box<dyn Any + Send>>>,
+
+    subtype_hits: Cell<u64>,
+    subtype_misses: Cell<u64>,
+    prereq_hits: Cell<u64>,
+    prereq_misses: Cell<u64>,
+    conforms_hits: Cell<u64>,
+    conforms_misses: Cell<u64>,
+    resolve_hits: Cell<u64>,
+    resolve_misses: Cell<u64>,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("subtype_entries", &self.subtype.borrow().values().map(Vec::len).sum::<usize>())
+            .field("prereq_entries", &self.prereq.borrow().len())
+            .field("conforms_entries", &self.conforms.borrow().len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl QueryCache {
+    /// Drops every entry (including the checker's resolution memo).
+    /// Counters survive so benches can observe lifetime totals.
+    pub fn clear(&self) {
+        self.subtype.borrow_mut().clear();
+        self.prereq.borrow_mut().clear();
+        self.conforms.borrow_mut().clear();
+        *self.resolve_slot.borrow_mut() = None;
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            subtype_hits: self.subtype_hits.get(),
+            subtype_misses: self.subtype_misses.get(),
+            prereq_hits: self.prereq_hits.get(),
+            prereq_misses: self.prereq_misses.get(),
+            conforms_hits: self.conforms_hits.get(),
+            conforms_misses: self.conforms_misses.get(),
+            resolve_hits: self.resolve_hits.get(),
+            resolve_misses: self.resolve_misses.get(),
+        }
+    }
+
+    /// Cached subtype verdict, if present.
+    pub fn subtype_get(&self, sub: &Type, sup: &Type) -> Option<bool> {
+        if !caches_enabled() {
+            return None;
+        }
+        let key = hash_pair(sub, sup);
+        let map = self.subtype.borrow();
+        let found = map
+            .get(&key)
+            .and_then(|bucket| bucket.iter().find(|(s, p, _)| s == sub && p == sup))
+            .map(|&(_, _, r)| r);
+        match found {
+            Some(r) => {
+                self.subtype_hits.set(self.subtype_hits.get() + 1);
+                Some(r)
+            }
+            None => {
+                self.subtype_misses.set(self.subtype_misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a subtype verdict.
+    pub fn subtype_put(&self, sub: &Type, sup: &Type, result: bool) {
+        if !caches_enabled() {
+            return;
+        }
+        let key = hash_pair(sub, sup);
+        self.subtype
+            .borrow_mut()
+            .entry(key)
+            .or_default()
+            .push((sub.clone(), sup.clone(), result));
+    }
+
+    /// Cached prerequisite closure for a constraint instantiation.
+    pub fn prereq_get(&self, inst: &ConstraintInst) -> Option<Arc<Vec<ConstraintInst>>> {
+        if !caches_enabled() {
+            return None;
+        }
+        match self.prereq.borrow().get(inst) {
+            Some(rc) => {
+                self.prereq_hits.set(self.prereq_hits.get() + 1);
+                Some(Arc::clone(rc))
+            }
+            None => {
+                self.prereq_misses.set(self.prereq_misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a prerequisite closure.
+    pub fn prereq_put(&self, inst: &ConstraintInst, closure: Arc<Vec<ConstraintInst>>) {
+        if !caches_enabled() {
+            return;
+        }
+        self.prereq.borrow_mut().insert(inst.clone(), closure);
+    }
+
+    /// Cached structural-conformance verdict.
+    pub fn conforms_get(&self, inst: &ConstraintInst) -> Option<bool> {
+        if !caches_enabled() {
+            return None;
+        }
+        match self.conforms.borrow().get(inst).copied() {
+            Some(r) => {
+                self.conforms_hits.set(self.conforms_hits.get() + 1);
+                Some(r)
+            }
+            None => {
+                self.conforms_misses.set(self.conforms_misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a structural-conformance verdict.
+    pub fn conforms_put(&self, inst: &ConstraintInst, result: bool) {
+        if !caches_enabled() {
+            return;
+        }
+        self.conforms.borrow_mut().insert(inst.clone(), result);
+    }
+
+    /// Grants scoped access to the type-erased resolution-memo slot.
+    /// The closure must not re-enter `with_resolve_slot`.
+    pub fn with_resolve_slot<R>(&self, f: impl FnOnce(&mut Option<Box<dyn Any + Send>>) -> R) -> R {
+        f(&mut self.resolve_slot.borrow_mut())
+    }
+
+    /// Bumps the resolution-memo hit counter (owned by `genus-check`).
+    pub fn note_resolve_hit(&self) {
+        self.resolve_hits.set(self.resolve_hits.get() + 1);
+    }
+
+    /// Bumps the resolution-memo miss counter.
+    pub fn note_resolve_miss(&self) {
+        self.resolve_misses.set(self.resolve_misses.get() + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::PrimTy;
+
+    fn int() -> Type {
+        Type::Prim(PrimTy::Int)
+    }
+
+    fn long() -> Type {
+        Type::Prim(PrimTy::Long)
+    }
+
+    #[test]
+    fn subtype_roundtrip_and_stats() {
+        // These tests exercise cache mechanics directly, so force the
+        // caches on even when built with `--features no-cache`.
+        set_caches_enabled(true);
+        let c = QueryCache::default();
+        assert_eq!(c.subtype_get(&int(), &long()), None);
+        c.subtype_put(&int(), &long(), true);
+        assert_eq!(c.subtype_get(&int(), &long()), Some(true));
+        assert_eq!(c.subtype_get(&long(), &int()), None);
+        let s = c.stats();
+        assert_eq!(s.subtype_hits, 1);
+        assert_eq!(s.subtype_misses, 2);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        // These tests exercise cache mechanics directly, so force the
+        // caches on even when built with `--features no-cache`.
+        set_caches_enabled(true);
+        let c = QueryCache::default();
+        c.subtype_put(&int(), &int(), true);
+        assert_eq!(c.subtype_get(&int(), &int()), Some(true));
+        c.clear();
+        assert_eq!(c.subtype_get(&int(), &int()), None);
+        assert_eq!(c.stats().subtype_hits, 1);
+    }
+
+    #[test]
+    fn disabling_bypasses_lookups() {
+        // These tests exercise cache mechanics directly, so force the
+        // caches on even when built with `--features no-cache`.
+        set_caches_enabled(true);
+        let c = QueryCache::default();
+        c.subtype_put(&int(), &int(), true);
+        set_caches_enabled(false);
+        assert_eq!(c.subtype_get(&int(), &int()), None);
+        set_caches_enabled(true);
+        assert_eq!(c.subtype_get(&int(), &int()), Some(true));
+    }
+
+    #[test]
+    fn resolve_slot_stores_any() {
+        let c = QueryCache::default();
+        c.with_resolve_slot(|slot| *slot = Some(Box::new(41u32)));
+        let v = c.with_resolve_slot(|slot| {
+            let m = slot.as_mut().unwrap().downcast_mut::<u32>().unwrap();
+            *m += 1;
+            *m
+        });
+        assert_eq!(v, 42);
+    }
+}

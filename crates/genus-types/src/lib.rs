@@ -26,6 +26,7 @@
 //! assert_eq!(t.display(&table).to_string(), "int");
 //! ```
 
+pub mod cache;
 pub mod display;
 pub mod subst;
 pub mod subtype;
@@ -34,6 +35,7 @@ pub mod ty;
 pub mod unify;
 pub mod variance;
 
+pub use cache::{caches_enabled, set_caches_enabled, CacheStats, QueryCache};
 pub use genus_syntax::ast::PrimTy;
 pub use subst::Subst;
 pub use subtype::is_subtype;

@@ -28,6 +28,23 @@ pub fn is_subtype(table: &Table, sub: &Type, sup: &Type) -> bool {
             }
         }
     }
+    // Only the hierarchy-walking cases below are worth memoizing; the
+    // fast paths above already handled everything else.
+    if !matches!(sub, Type::Class { .. } | Type::Var(_)) {
+        return false;
+    }
+    if let Some(r) = table.cache.subtype_get(sub, sup) {
+        return r;
+    }
+    let r = subtype_walk(table, sub, sup);
+    table.cache.subtype_put(sub, sup, r);
+    r
+}
+
+/// The uncached hierarchy walk backing [`is_subtype`]. Recursive calls
+/// re-enter the cached entry point, so every level along the walk is
+/// memoized independently.
+fn subtype_walk(table: &Table, sub: &Type, sup: &Type) -> bool {
     match (sub, sup) {
         // A type variable is a subtype of its declared upper bound's
         // supertypes.

@@ -213,6 +213,11 @@ pub struct Table {
     tv_names: Vec<Symbol>,
     tv_bounds: Vec<Option<Type>>,
     mv_names: Vec<Symbol>,
+
+    /// Memo tables for table-pure queries (subtyping, prerequisite
+    /// closures, conformance, resolution). Mutating methods that could
+    /// invalidate existing keys clear it; see [`crate::cache`].
+    pub cache: crate::cache::QueryCache,
 }
 
 impl Table {
@@ -286,6 +291,7 @@ impl Table {
 
     /// Registers a class and indexes its name. Returns its id.
     pub fn add_class(&mut self, def: ClassDef) -> ClassId {
+        self.cache.clear();
         let id = ClassId(self.classes.len() as u32);
         self.class_by_name.insert(def.name, id);
         self.classes.push(def);
@@ -294,6 +300,7 @@ impl Table {
 
     /// Registers a constraint and indexes its name. Returns its id.
     pub fn add_constraint(&mut self, def: ConstraintDef) -> ConstraintId {
+        self.cache.clear();
         let id = ConstraintId(self.constraints.len() as u32);
         self.constraint_by_name.insert(def.name, id);
         self.constraints.push(def);
@@ -302,6 +309,7 @@ impl Table {
 
     /// Registers a model and indexes its name. Returns its id.
     pub fn add_model(&mut self, def: ModelDef) -> ModelId {
+        self.cache.clear();
         let id = ModelId(self.models.len() as u32);
         self.model_by_name.insert(def.name, id);
         self.models.push(def);

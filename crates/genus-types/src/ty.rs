@@ -15,7 +15,7 @@ pub struct MvId(pub u32);
 pub use genus_syntax::ast::PrimTy;
 
 /// A semantic type.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// Primitive type (usable as a type argument, §3.1).
     Prim(PrimTy),
@@ -140,7 +140,7 @@ impl Type {
 }
 
 /// A constraint applied to argument types, e.g. `GraphLike[V, E]`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConstraintInst {
     /// The constraint.
     pub id: ConstraintId,
@@ -157,7 +157,7 @@ impl ConstraintInst {
 
 /// A `where`-clause requirement as recorded in declarations: the constraint
 /// plus the model variable that names its witness inside the scope.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct WhereReq {
     /// Required constraint.
     pub inst: ConstraintInst,
@@ -168,7 +168,7 @@ pub struct WhereReq {
 }
 
 /// A model: evidence that types satisfy a constraint.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Model {
     /// An instance of a declared model, with type and model arguments for
     /// its generic signature (parameterized models, Figure 5).

@@ -16,7 +16,8 @@
 
 pub use genus_check::{check_program, hir, CheckedProgram};
 pub use genus_common::{Diagnostics, SourceMap};
-pub use genus_interp::{ErrorKind, Interp, RuntimeError, Value};
+pub use genus_interp::{DispatchStats, ErrorKind, Interp, RuntimeError, Value};
+pub use genus_types::{caches_enabled, set_caches_enabled, CacheStats};
 
 /// Outcome of running a program through [`Compiler::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,22 +87,23 @@ impl Compiler {
     /// message.
     pub fn run(&self) -> Result<RunResult, String> {
         let prog = self.compile()?;
-        std::thread::scope(|scope| {
-            std::thread::Builder::new()
-                .name("genus-interp".to_string())
-                .stack_size(256 << 20)
-                .spawn_scoped(scope, || {
-                    let mut interp = Interp::new(&prog);
-                    let v = interp.run_main().map_err(|e| e.to_string())?;
-                    Ok(RunResult {
-                        rendered_value: format!("{v}"),
-                        output: interp.take_output(),
-                    })
+        // The program (with its warmed-up query caches) moves onto the
+        // interpreter thread; caches use interior mutability and are not
+        // shareable across threads, only sendable.
+        std::thread::Builder::new()
+            .name("genus-interp".to_string())
+            .stack_size(256 << 20)
+            .spawn(move || {
+                let mut interp = Interp::new(&prog);
+                let v = interp.run_main().map_err(|e| e.to_string())?;
+                Ok(RunResult {
+                    rendered_value: format!("{v}"),
+                    output: interp.take_output(),
                 })
-                .expect("spawn interpreter thread")
-                .join()
-                .expect("interpreter thread panicked")
-        })
+            })
+            .expect("spawn interpreter thread")
+            .join()
+            .expect("interpreter thread panicked")
     }
 }
 

@@ -418,3 +418,146 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 }
+
+// ---------------------------------------------------------------------
+// Caching is semantically invisible: cached and uncached pipelines agree
+// ---------------------------------------------------------------------
+
+/// Restores the thread-local cache toggle on drop so a failing case
+/// cannot leak a disabled-cache state into later cases or tests.
+struct CacheGuard(bool);
+
+impl Drop for CacheGuard {
+    fn drop(&mut self) {
+        genus::set_caches_enabled(self.0);
+    }
+}
+
+fn with_caches<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    let _guard = CacheGuard(genus::caches_enabled());
+    genus::set_caches_enabled(on);
+    f()
+}
+
+/// Compiles on the current thread (the toggle is thread-local, and
+/// `Compiler::run` would hop to a fresh interpreter thread with default
+/// cache state) and normalizes to `Result<(), String>`.
+fn check_outcome(src: &str) -> Result<(), String> {
+    genus::Compiler::new()
+        .with_stdlib()
+        .source("prop.genus", src)
+        .compile()
+        .map(|_| ())
+}
+
+/// Compiles *and interprets* on the current thread so the interpreter's
+/// inline caches and dispatch memos obey the toggle too.
+fn run_outcome(src: &str) -> Result<(String, String), String> {
+    let prog = genus::Compiler::new()
+        .with_stdlib()
+        .source("prop.genus", src)
+        .compile()?;
+    let mut interp = genus::Interp::new(&prog);
+    let v = interp.run_main().map_err(|e| e.to_string())?;
+    Ok((format!("{v}"), interp.take_output()))
+}
+
+/// A nested-clone program that forces recursive default-model resolution
+/// of `Cloneable[ArrayList[...[Pt]...]]`. With `has_clone` false the
+/// chain bottoms out unresolved and checking must fail — identically
+/// with and without the memo tables.
+fn nested_clone_src(depth: usize, has_clone: bool) -> String {
+    let mut ty = "Pt".to_string();
+    for _ in 0..depth {
+        ty = format!("ArrayList[{ty}]");
+    }
+    let clone_method = if has_clone { "Pt clone() { return new Pt(x); }" } else { "" };
+    format!(
+        "class Pt {{
+           int x;
+           Pt(int x) {{ this.x = x; }}
+           {clone_method}
+         }}
+         model ALDC[E] for Cloneable[ArrayList[E]] where Cloneable[E] {{
+           ArrayList[E] clone() {{
+             ArrayList[E] l = new ArrayList[E]();
+             for (E e : this) {{ l.add(e.clone()); }}
+             return l;
+           }}
+         }}
+         use ALDC;
+         void cloneIt[T](T t) where Cloneable[T] {{ }}
+         void main() {{
+           {ty} x = null;
+           cloneIt(x);
+         }}"
+    )
+}
+
+/// Deep-clones a two-level list through a `use`-resolved model, then
+/// mutates the original: exercises virtual dispatch, model (multimethod)
+/// dispatch, and recursive resolution in one run.
+fn deep_clone_run_src(values: &[i32]) -> String {
+    let adds: String = values.iter().map(|v| format!("inner.add(new Pt({v})); ")).collect();
+    format!(
+        "class Pt {{
+           int x;
+           Pt(int x) {{ this.x = x; }}
+           Pt clone() {{ return new Pt(x); }}
+           int get() {{ return x; }}
+         }}
+         model ALDC[E] for Cloneable[ArrayList[E]] where Cloneable[E] {{
+           ArrayList[E] clone() {{
+             ArrayList[E] l = new ArrayList[E]();
+             for (E e : this) {{ l.add(e.clone()); }}
+             return l;
+           }}
+         }}
+         use ALDC;
+         T copy[T](T t) where Cloneable[T] {{ return t.clone(); }}
+         void main() {{
+           ArrayList[Pt] inner = new ArrayList[Pt]();
+           {adds}
+           ArrayList[ArrayList[Pt]] outer = new ArrayList[ArrayList[Pt]]();
+           outer.add(inner);
+           ArrayList[ArrayList[Pt]] snap = copy(outer);
+           inner.add(new Pt(999));
+           for (ArrayList[Pt] l : snap) {{ for (Pt p : l) {{ print(p.get()); print(\" \"); }} }}
+           println(\"|\");
+           for (ArrayList[Pt] l : outer) {{ for (Pt p : l) {{ print(p.get()); print(\" \"); }} }}
+         }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn resolution_outcome_is_cache_independent(depth in 1usize..6, has_clone in any::<bool>()) {
+        let src = nested_clone_src(depth, has_clone);
+        let uncached = with_caches(false, || check_outcome(&src));
+        let cached = with_caches(true, || check_outcome(&src));
+        prop_assert_eq!(&uncached, &cached);
+        prop_assert_eq!(uncached.is_ok(), has_clone);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn interpretation_is_cache_independent(values in prop::collection::vec(-100i32..100, 0..12)) {
+        let src = deep_clone_run_src(&values);
+        let uncached = with_caches(false, || run_outcome(&src));
+        let cached = with_caches(true, || run_outcome(&src));
+        prop_assert_eq!(&uncached, &cached);
+        // And both agree with the reference deep-clone semantics: the
+        // snapshot does not see the post-clone mutation.
+        let (_, output) = uncached.map_err(TestCaseError::fail)?;
+        let expect_snap: String = values.iter().map(|v| format!("{v} ")).collect();
+        let expect_outer = format!("{expect_snap}999 ");
+        let parts: Vec<&str> = output.splitn(2, "|\n").collect();
+        prop_assert_eq!(parts[0].trim_end_matches(' '), expect_snap.trim_end_matches(' '));
+        prop_assert_eq!(parts[1].trim_end_matches(' '), expect_outer.trim_end_matches(' '));
+    }
+}

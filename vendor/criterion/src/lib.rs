@@ -1,0 +1,249 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use — `Criterion`, `benchmark_group`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — on top of `std::time::Instant`.
+//!
+//! Measurement model: each benchmark is warmed up for ~0.3 s, then
+//! `sample_size` samples are taken; each sample times a batch of
+//! iterations sized so a sample lasts at least ~2 ms. The reported
+//! triple is `[min mean max]` of the per-iteration sample means, in the
+//! same spirit (though not the same statistics) as real criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped per measurement (API-compatible subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop driver handed to `bench_function` closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean per-iteration nanoseconds, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher { sample_size, samples: Vec::new() }
+    }
+
+    /// Times `routine` repeatedly; the routine's return value is
+    /// black-boxed so the optimizer cannot elide it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate per-iteration cost.
+        let per_iter = {
+            let mut iters: u64 = 0;
+            let start = Instant::now();
+            loop {
+                black_box(routine());
+                iters += 1;
+                let elapsed = start.elapsed();
+                if elapsed >= Duration::from_millis(300) || iters >= 1_000_000 {
+                    break elapsed.as_nanos() as f64 / iters as f64;
+                }
+            }
+        };
+        // Size a sample at ~2 ms, at least one iteration.
+        let batch = ((2_000_000.0 / per_iter.max(1.0)).ceil() as u64).max(1);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up and estimate per-iteration cost.
+        let per_iter = {
+            let mut iters: u64 = 0;
+            let mut total = Duration::ZERO;
+            loop {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+                iters += 1;
+                if total >= Duration::from_millis(300) || iters >= 1_000_000 {
+                    break total.as_nanos() as f64 / iters as f64;
+                }
+            }
+        };
+        let batch = ((2_000_000.0 / per_iter.max(1.0)).ceil() as u64).max(1).min(10_000);
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+/// Benchmark driver (API-compatible subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark (builder style).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&id, &b.samples);
+    }
+
+    /// No-op hook for parity with real criterion's summary step.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&id, &b.samples);
+        self
+    }
+
+    /// Ends the group (statistics are reported eagerly, so a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: both the `name/config/targets` struct form
+/// and the positional form of the real macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_samples() {
+        let mut b = Bencher::new(5);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

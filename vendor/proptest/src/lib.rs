@@ -1,0 +1,545 @@
+//! Minimal offline stand-in for the `proptest` property-testing framework.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the `proptest!`, `prop_oneof!`, `prop_assert!`, and `prop_assert_eq!`
+//! macros, `Strategy` with `prop_map` / `prop_recursive` / `boxed`,
+//! range and tuple strategies, `Just`, `any::<bool>()`,
+//! `prop::collection::vec`, and regex-ish `&str` string strategies.
+//!
+//! Generation is deterministic: each test case is seeded from the test's
+//! source location and case index, so failures reproduce exactly.
+//! Shrinking is not implemented — a failing case reports its inputs via
+//! the assertion message and panics.
+
+pub mod test_runner {
+    /// Deterministic PRNG driving generation (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> TestRng {
+            TestRng { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA076_1D64_78BD_642F }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[lo, hi)`; `lo` if the span is empty.
+        pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+            if hi <= lo {
+                lo
+            } else {
+                lo + self.next_u64() % (hi - lo)
+            }
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl std::fmt::Display) -> TestCaseError {
+            TestCaseError(msg.to_string())
+        }
+
+        pub fn reject(msg: impl std::fmt::Display) -> TestCaseError {
+            TestCaseError(format!("rejected: {msg}"))
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration (subset of the real `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Drives `cases` deterministic test cases; panics on the first failure.
+    pub fn run_cases<F>(config: &ProptestConfig, file: &str, line: u32, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for i in 0..config.cases {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in file.bytes() {
+                seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            seed = (seed ^ u64::from(line)).wrapping_mul(0x100_0000_01b3);
+            seed = (seed ^ u64::from(i)).wrapping_mul(0x100_0000_01b3);
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(e) = case(&mut rng) {
+                panic!("proptest: test case #{i} failed: {e}");
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A boxed, clonable strategy (stand-in for `BoxedStrategy`).
+    pub struct SBox<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for SBox<T> {
+        fn clone(&self) -> Self {
+            SBox { gen: Rc::clone(&self.gen) }
+        }
+    }
+
+    impl<T> SBox<T> {
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> SBox<T> {
+            SBox { gen: Rc::new(f) }
+        }
+    }
+
+    /// Value-generation strategy (subset of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> SBox<O>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            SBox::new(move |rng| f(self.generate(rng)))
+        }
+
+        fn boxed(self) -> SBox<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            SBox::new(move |rng| self.generate(rng))
+        }
+
+        /// Builds a recursive strategy: `recurse` wraps the strategy for
+        /// one more level of nesting; depth levels are stacked, mixing the
+        /// leaf back in at each level so sizes vary.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> SBox<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(SBox<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur).boxed();
+                let l = leaf.clone();
+                cur = SBox::new(move |rng| {
+                    if rng.next_u64() % 4 == 0 {
+                        l.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                });
+            }
+            cur
+        }
+    }
+
+    impl<T> Strategy for SBox<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical strategy (stand-in for `Arbitrary`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut TestRng) -> i32 {
+            rng.next_u64() as i32
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary + 'static>() -> SBox<T> {
+        SBox::new(T::arbitrary)
+    }
+
+    /// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+    pub fn union<T: 'static>(arms: Vec<SBox<T>>) -> SBox<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        SBox::new(move |rng| {
+            let i = (rng.next_u64() % arms.len() as u64) as usize;
+            arms[i].generate(rng)
+        })
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let lo = self.start as i128;
+                        let hi = self.end as i128;
+                        if hi <= lo {
+                            return self.start;
+                        }
+                        let span = (hi - lo) as u128;
+                        let v = lo + (u128::from(rng.next_u64()) % span) as i128;
+                        v as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {
+            $(
+                impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                    type Value = ($($s::Value,)+);
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.generate(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    // ---------------------------------------------------------------
+    // Regex-ish string strategies: `"[a-z]{0,6}"`, `"\PC{0,120}"`, …
+    // ---------------------------------------------------------------
+
+    /// Inclusive character ranges making up a class.
+    #[derive(Debug, Clone)]
+    struct CharClass {
+        ranges: Vec<(u32, u32)>,
+    }
+
+    impl CharClass {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let (lo, hi) = self.ranges[(rng.next_u64() % self.ranges.len() as u64) as usize];
+            loop {
+                let v = lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// Parses the pattern subset used by the workspace: a single char
+    /// class (`[a-z]`, `[ -~\n]`, or `\PC`) followed by `{min,max}`.
+    fn parse_pattern(pat: &str) -> (CharClass, usize, usize) {
+        let (class_src, rest) = if let Some(r) = pat.strip_prefix("\\PC") {
+            // Any printable (non-control) char: sample across a few
+            // representative Unicode blocks.
+            let class = CharClass {
+                ranges: vec![
+                    (0x20, 0x7E),
+                    (0xA1, 0x17F),
+                    (0x391, 0x3C9),
+                    (0x4E00, 0x4E80),
+                    (0x1F600, 0x1F640),
+                ],
+            };
+            return with_counts(class, r);
+        } else if let Some(r) = pat.strip_prefix('[') {
+            let end = r.find(']').unwrap_or_else(|| panic!("unclosed char class in `{pat}`"));
+            (&r[..end], &r[end + 1..])
+        } else {
+            panic!("unsupported pattern `{pat}` (shim supports `[class]{{m,n}}` and `\\PC{{m,n}}`)");
+        };
+        let mut ranges = Vec::new();
+        let chars: Vec<char> = class_src.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = match chars[i] {
+                '\\' if i + 1 < chars.len() => {
+                    i += 1;
+                    match chars[i] {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    }
+                }
+                other => other,
+            };
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                ranges.push((c as u32, chars[i + 2] as u32));
+                i += 3;
+            } else {
+                ranges.push((c as u32, c as u32));
+                i += 1;
+            }
+        }
+        with_counts(CharClass { ranges }, rest)
+    }
+
+    fn with_counts(class: CharClass, rest: &str) -> (CharClass, usize, usize) {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("expected `{{m,n}}` counts, got `{rest}`"));
+        let (min, max) = match inner.split_once(',') {
+            Some((a, b)) => (a.trim().parse().expect("min"), b.trim().parse().expect("max")),
+            None => {
+                let n = inner.trim().parse().expect("count");
+                (n, n)
+            }
+        };
+        (class, min, max)
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, min, max) = parse_pattern(self);
+            let len = rng.below(min as u64, max as u64 + 1) as usize;
+            (0..len).map(|_| class.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{SBox, Strategy};
+    use std::ops::Range;
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S>(element: S, size: Range<usize>) -> SBox<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        SBox::new(move |rng| {
+            let n = rng.below(size.start as u64, size.end as u64) as usize;
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` works as in real proptest.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, SBox, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (config = $config:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run_cases(&__config, file!(), line!(), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __out
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategy arms (unweighted subset of `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts inside a property, failing the case (not panicking) on false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = ($lhs, $rhs);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = ($lhs, $rhs);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`: {}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (3i32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_parse() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = "[a-z]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6 && s.chars().all(|c| c.is_ascii_lowercase()));
+            let u = "\\PC{0,120}".generate(&mut rng);
+            assert!(u.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec((0i32..100, any::<bool>()), 0..10);
+        let mut a = crate::test_runner::TestRng::seed_from_u64(9);
+        let mut b = crate::test_runner::TestRng::seed_from_u64(9);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(xs in prop::collection::vec(0i64..50, 0..8), flag in any::<bool>()) {
+            prop_assert!(xs.len() < 8, "len was {}", xs.len());
+            let doubled: Vec<i64> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_recursive(v in prop_oneof![Just(1u32), Just(2u32), (5u32..9)]) {
+            prop_assert!(v == 1 || v == 2 || (5..9).contains(&v));
+        }
+    }
+}
