@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Local CI gate: release build, full test suite, and lint-clean clippy.
+# Local CI gate: release build, full test suite (caches on and off),
+# lint-clean clippy, and compiling (not running) the benchmarks.
 #
 # Usage: ./ci.sh
-#
-# To exercise the pipeline with every cache bypassed (the `no-cache`
-# feature), run the workspace tests a second time:
-#   cargo test -q --workspace --features no-cache
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+# The differential harness again with every dispatch/type-query cache
+# bypassed: both engines must agree on the slow paths too.
+cargo test -q --features no-cache
 cargo clippy --all-targets -- -D warnings
+# Benchmarks must at least compile; running them is a manual step
+# (`cargo bench -p bench`), which also writes BENCH_vm.json.
+cargo bench --no-run

@@ -8,7 +8,8 @@
 //! methods behind interfaces), not like a one-method toy class.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use genus::{CheckedProgram, Compiler, Interp};
+use genus::{CheckedProgram, Compiler, Interp, Vm};
+use std::time::Instant;
 
 fn padding(prefix: &str, n: usize) -> String {
     (0..n).map(|i| format!("int {prefix}{i}() {{ return {i}; }}\n")).collect()
@@ -172,9 +173,105 @@ fn bench_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Insertion sort through a `where Comparable[T]` model slot: every element
+/// comparison is a constraint-method call, so the inner loop is dominated by
+/// dictionary-passing dispatch — the workload the bytecode VM targets.
+const INSERTION_SORT: &str = "
+    void isort[T](T[] xs) where Comparable[T] {
+      for (int i = 1; i < xs.length; i = i + 1) {
+        T key = xs[i];
+        int j = i - 1;
+        while (j >= 0 && xs[j].compareTo(key) > 0) {
+          xs[j + 1] = xs[j];
+          j = j - 1;
+        }
+        xs[j + 1] = key;
+      }
+    }
+    int main() {
+      int n = 300;
+      int s = 0;
+      for (int r = 0; r < 5; r = r + 1) {
+        int[] xs = new int[n];
+        for (int i = 0; i < n; i = i + 1) { xs[i] = (i * 7919 + r) % 997; }
+        isort(xs);
+        s = s + xs[0] + xs[n - 1] * 2;
+      }
+      return s;
+    }";
+
+fn run_ast(prog: &CheckedProgram) -> String {
+    let mut interp = Interp::new(prog);
+    let v = interp.run_main().expect("bench program runs on AST");
+    format!("{v}")
+}
+
+fn run_vm(prog: &CheckedProgram, code: &std::rc::Rc<genus::VmProgram>) -> String {
+    let mut vm = Vm::with_code(prog, code.clone());
+    let v = vm.run_main().expect("bench program runs on VM");
+    format!("{v}")
+}
+
+/// Minimum wall time in nanoseconds for each of two routines, sampled in
+/// alternation so slow machine-load drift biases neither side. The
+/// minimum is the noise-robust estimator: interference only adds time.
+fn measure_pair(mut a: impl FnMut(), mut b: impl FnMut(), samples: usize) -> (f64, f64) {
+    let mut one = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_nanos() as f64
+    };
+    for _ in 0..3 {
+        one(&mut a);
+        one(&mut b);
+    }
+    let (mut min_a, mut min_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..samples {
+        min_a = min_a.min(one(&mut a));
+        min_b = min_b.min(one(&mut b));
+    }
+    (min_a, min_b)
+}
+
+/// AST interpreter vs. bytecode VM on dispatch-heavy workloads. Besides the
+/// criterion report, writes a machine-readable summary to `BENCH_vm.json`
+/// at the repository root (the vendored criterion shim has no JSON output).
+fn bench_vm(c: &mut Criterion) {
+    let workloads =
+        [("model_dispatch", compile(MODEL_DISPATCH, true)), ("insertion_sort", compile(INSERTION_SORT, true))];
+    let mut rows = Vec::new();
+    let mut g = c.benchmark_group("vm");
+    g.sample_size(10);
+    for (name, prog) in &workloads {
+        let code = Vm::new(prog).code().clone();
+        // The engines must agree before we time them.
+        assert_eq!(run_ast(prog), run_vm(prog, &code), "engine divergence on `{name}`");
+        g.bench_function(format!("{name}_ast"), |b| b.iter(|| run_ast(prog)));
+        g.bench_function(format!("{name}_vm"), |b| b.iter(|| run_vm(prog, &code)));
+        let (ast_ns, vm_ns) = measure_pair(
+            || std::mem::drop(run_ast(prog)),
+            || std::mem::drop(run_vm(prog, &code)),
+            15,
+        );
+        rows.push(format!(
+            "    \"{name}\": {{\"ast_ns\": {ast_ns:.0}, \"vm_ns\": {vm_ns:.0}, \"vm_speedup\": {:.3}}}",
+            ast_ns / vm_ns
+        ));
+    }
+    g.finish();
+    let json = format!(
+        "{{\n  \"bench\": \"ast_vs_vm\",\n  \"caches_enabled\": {},\n  \"min_of\": 15,\n  \"workloads\": {{\n{}\n  }}\n}}\n",
+        genus::caches_enabled(),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_vm.json");
+    std::fs::write(path, &json).expect("write BENCH_vm.json");
+    eprintln!("wrote {path}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_dispatch
+    targets = bench_dispatch, bench_vm
 }
 criterion_main!(benches);

@@ -22,8 +22,9 @@
 //! assert_eq!(interp.take_output(), "hi\n");
 //! ```
 
-mod natives;
-mod ops;
+pub mod natives;
+pub mod ops;
+pub mod rtti;
 pub mod value;
 
 pub use value::{
@@ -31,12 +32,13 @@ pub use value::{
     Storage, Value,
 };
 
+use crate::ops::{arith, compare, widen_value};
+use crate::rtti::{ModelDispatchKey, ModelTarget, RecvKind, VirtTarget};
 use genus_check::hir::{self, BinKind, NumKind};
 use genus_check::CheckedProgram;
 use genus_common::{FastMap, Symbol};
 use genus_syntax::ast::BinOp;
-use genus_types::{caches_enabled, ClassId, Model, ModelId, MvId, PrimTy, TvId, Type};
-use crate::ops::{arith, compare, widen_value};
+use genus_types::{caches_enabled, ClassId, Model, ModelId, MvId, TvId, Type};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -55,77 +57,6 @@ enum Flow {
 #[derive(Default)]
 struct Frame {
     locals: Vec<Value>,
-    tenv: HashMap<TvId, RtType>,
-    menv: HashMap<MvId, ModelValue>,
-}
-
-/// A memoized virtual-dispatch target: the defining class and method
-/// index, plus the parent-edge path (`hops`) from the dynamic class to
-/// the defining class. The path is instantiation-independent — parent
-/// class ids come from `extends`/`implements` clauses whose head classes
-/// are fixed — so one entry serves every instantiation of the class;
-/// receiver-specific type/model arguments are re-derived by replaying
-/// the hops.
-#[derive(Debug, Clone)]
-struct VirtTarget {
-    hops: Vec<usize>,
-    cid: ClassId,
-    mi: usize,
-    /// The defining class's instantiation, precomputed when every parent
-    /// edge on the path is receiver-independent (mentions no type/model
-    /// variables) — then hits skip the hop replay entirely.
-    fixed: Option<(Vec<RtType>, Vec<ModelValue>)>,
-}
-
-/// Whether evaluating this type yields the same reification in every
-/// frame (no type/model variables; inference leftovers and existentials
-/// erase deterministically).
-fn ty_receiver_independent(t: &Type) -> bool {
-    match t {
-        Type::Prim(_) | Type::Null | Type::Infer(_) | Type::Existential { .. } => true,
-        Type::Var(_) => false,
-        Type::Array(e) => ty_receiver_independent(e),
-        Type::Class { args, models, .. } => {
-            args.iter().all(ty_receiver_independent)
-                && models.iter().all(model_receiver_independent)
-        }
-    }
-}
-
-/// Model analogue of [`ty_receiver_independent`].
-fn model_receiver_independent(m: &Model) -> bool {
-    match m {
-        Model::Var(_) => false,
-        Model::Infer(_) => true,
-        Model::Natural { inst } => inst.args.iter().all(ty_receiver_independent),
-        Model::Decl { type_args, model_args, .. } => {
-            type_args.iter().all(ty_receiver_independent)
-                && model_args.iter().all(model_receiver_independent)
-        }
-    }
-}
-
-/// Key for the multimethod dispatch memo: model instance, operation, and
-/// the dynamic receiver/argument types the applicability and specificity
-/// rules (§5.1) depend on. `RtType::Null` stands for null values, whose
-/// applicability is also type-determined.
-#[derive(Debug, PartialEq, Eq, Hash)]
-struct ModelDispatchKey {
-    id: ModelId,
-    targs: Vec<RtType>,
-    margs: Vec<ModelValue>,
-    name: Symbol,
-    is_static: bool,
-    recv: Option<RtType>,
-    args: Vec<RtType>,
-}
-
-/// The winning candidate of a multimethod dispatch, with the model-level
-/// environment its body runs under.
-#[derive(Debug)]
-struct ModelTarget {
-    mid: ModelId,
-    mi: usize,
     tenv: HashMap<TvId, RtType>,
     menv: HashMap<MvId, ModelValue>,
 }
@@ -161,7 +92,7 @@ type SiteCache = FastMap<usize, (ClassId, Option<Rc<VirtTarget>>)>;
 #[derive(Default)]
 struct DispatchTables {
     /// Lazily built per-class `(name, arity) → method index` maps.
-    class_index: RefCell<FastMap<ClassId, Rc<ClassMethodIndex>>>,
+    class_index: rtti::ClassIndexes,
     /// `(dynamic class, name, arity) → target` for virtual dispatch.
     virt: RefCell<VirtMemo>,
     /// Monomorphic inline caches keyed by call-site HIR node address:
@@ -297,7 +228,10 @@ impl<'p> Interp<'p> {
         is_void: bool,
     ) -> RResult<Value> {
         if self.depth.get() >= self.max_depth {
-            return Err(RuntimeError::new(ErrorKind::StackOverflow, "call depth exceeded"));
+            return Err(RuntimeError::new(
+                ErrorKind::StackOverflow,
+                "call depth exceeded",
+            ));
         }
         self.depth.set(self.depth.get() + 1);
         frame.locals = vec![Value::Null; body.num_locals];
@@ -319,7 +253,10 @@ impl<'p> Interp<'p> {
                 ErrorKind::MissingReturn,
                 "non-void body completed without returning",
             )),
-            _ => Err(RuntimeError::new(ErrorKind::Other, "break/continue escaped a body")),
+            _ => Err(RuntimeError::new(
+                ErrorKind::Other,
+                "break/continue escaped a body",
+            )),
         }
     }
 
@@ -347,7 +284,12 @@ impl<'p> Interp<'p> {
                 frame.locals[local.0 as usize] = v;
                 Ok(Flow::Normal)
             }
-            hir::Stmt::LetOpen { local, init, tvs, mvs } => {
+            hir::Stmt::LetOpen {
+                local,
+                init,
+                tvs,
+                mvs,
+            } => {
                 let v = self.eval(frame, init)?;
                 match v {
                     Value::Packed(p) => {
@@ -378,7 +320,11 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            hir::Stmt::If { cond, then_blk, else_blk } => {
+            hir::Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 if self.truthy(frame, cond)? {
                     self.exec_block(frame, then_blk)
                 } else {
@@ -432,64 +378,17 @@ impl<'p> Interp<'p> {
 
     /// Evaluates a static type to its runtime reification in `frame`.
     fn eval_type(&self, frame: &Frame, t: &Type) -> RtType {
-        match t {
-            Type::Prim(p) => RtType::Prim(*p),
-            Type::Null => RtType::Null,
-            Type::Infer(_) => RtType::Null,
-            Type::Var(v) => frame.tenv.get(v).cloned().unwrap_or(RtType::Null),
-            Type::Array(e) => RtType::Array(Box::new(self.eval_type(frame, e))),
-            Type::Class { id, args, models } => RtType::Class {
-                id: *id,
-                args: args.iter().map(|a| self.eval_type(frame, a)).collect(),
-                models: models.iter().map(|m| self.eval_model(frame, m)).collect(),
-            },
-            // Existentials erase to a generic reference at run time; their
-            // witnesses live in `Packed` values.
-            Type::Existential { .. } => RtType::Null,
-        }
+        rtti::eval_type(self.prog, &frame.tenv, &frame.menv, t)
     }
 
     /// Evaluates a static model to its runtime witness in `frame`.
     fn eval_model(&self, frame: &Frame, m: &Model) -> ModelValue {
-        match m {
-            Model::Var(v) => frame.menv.get(v).cloned().unwrap_or(ModelValue::Natural {
-                constraint: genus_types::ConstraintId(0),
-                args: vec![],
-            }),
-            Model::Infer(_) => {
-                ModelValue::Natural { constraint: genus_types::ConstraintId(0), args: vec![] }
-            }
-            Model::Natural { inst } => ModelValue::Natural {
-                constraint: inst.id,
-                args: inst.args.iter().map(|a| self.eval_type(frame, a)).collect(),
-            },
-            Model::Decl { id, type_args, model_args } => ModelValue::Decl {
-                id: *id,
-                targs: type_args.iter().map(|a| self.eval_type(frame, a)).collect(),
-                margs: model_args.iter().map(|x| self.eval_model(frame, x)).collect(),
-            },
-        }
+        rtti::eval_model(self.prog, &frame.tenv, &frame.menv, m)
     }
 
     /// Runtime type of a value.
     pub fn value_rt_type(&self, v: &Value) -> RtType {
-        match v {
-            Value::Int(_) => RtType::Prim(PrimTy::Int),
-            Value::Long(_) => RtType::Prim(PrimTy::Long),
-            Value::Double(_) => RtType::Prim(PrimTy::Double),
-            Value::Bool(_) => RtType::Prim(PrimTy::Boolean),
-            Value::Char(_) => RtType::Prim(PrimTy::Char),
-            Value::Str(_) => match self.prog.table.lookup_class(Symbol::intern("String")) {
-                Some(id) => RtType::Class { id, args: vec![], models: vec![] },
-                None => RtType::Null,
-            },
-            Value::Obj(o) => {
-                RtType::Class { id: o.class, args: o.targs.clone(), models: o.models.clone() }
-            }
-            Value::Arr(a) => RtType::Array(Box::new(a.elem.clone())),
-            Value::Packed(p) => self.value_rt_type(&p.value),
-            Value::Null | Value::Void => RtType::Null,
-        }
+        rtti::value_rt_type(self.prog, v)
     }
 
     /// Direct supertypes of a reified class instantiation.
@@ -499,83 +398,18 @@ impl<'p> Interp<'p> {
         args: &[RtType],
         models: &[ModelValue],
     ) -> Vec<(ClassId, Vec<RtType>, Vec<ModelValue>)> {
-        let def = self.prog.table.class(id);
-        let mut frame = Frame::default();
-        for (tv, t) in def.params.iter().zip(args) {
-            frame.tenv.insert(*tv, t.clone());
-        }
-        for (w, m) in def.wheres.iter().zip(models) {
-            frame.menv.insert(w.mv, m.clone());
-        }
-        let mut out = Vec::new();
-        let mut push = |t: &Type| {
-            if let RtType::Class { id, args, models } = self.eval_type(&frame, t) {
-                out.push((id, args, models));
-            }
-        };
-        if let Some(e) = &def.extends {
-            push(e);
-        }
-        for i in &def.implements {
-            push(i);
-        }
-        out
-    }
-
-    /// The instantiation of a reified class viewed at ancestor `target`.
-    fn rt_supertype_at(
-        &self,
-        id: ClassId,
-        args: &[RtType],
-        models: &[ModelValue],
-        target: ClassId,
-    ) -> Option<(Vec<RtType>, Vec<ModelValue>)> {
-        if id == target {
-            return Some((args.to_vec(), models.to_vec()));
-        }
-        for (pid, pargs, pmodels) in self.rt_parents(id, args, models) {
-            if let Some(found) = self.rt_supertype_at(pid, &pargs, &pmodels, target) {
-                return Some(found);
-            }
-        }
-        None
+        rtti::rt_parents(self.prog, id, args, models)
     }
 
     /// Runtime subtyping over reified types (invariant generics, reference
     /// types below `Object`).
     pub fn rt_subtype(&self, a: &RtType, b: &RtType) -> bool {
-        if a == b {
-            return true;
-        }
-        if let RtType::Class { id, args, .. } = b {
-            if args.is_empty() {
-                if let Some(obj) = self.prog.table.lookup_class(Symbol::intern("Object")) {
-                    if *id == obj && !matches!(a, RtType::Prim(_)) {
-                        return true;
-                    }
-                }
-            }
-        }
-        match (a, b) {
-            (RtType::Null, x) => !matches!(x, RtType::Prim(_)),
-            (
-                RtType::Class { id, args, models },
-                RtType::Class { id: tid, args: targs, models: tmodels },
-            ) => match self.rt_supertype_at(*id, args, models, *tid) {
-                Some((sargs, smodels)) => &sargs == targs && &smodels == tmodels,
-                None => false,
-            },
-            _ => false,
-        }
+        rtti::rt_subtype(self.prog, a, b)
     }
 
     /// Reified `instanceof` (null is not an instance of anything).
     pub fn value_instanceof(&self, v: &Value, t: &RtType) -> bool {
-        if v.is_null() {
-            return false;
-        }
-        let vt = self.value_rt_type(v);
-        self.rt_subtype(&vt, t)
+        rtti::value_instanceof(self.prog, v, t)
     }
 
     // ------------------------------------------------------------------
@@ -610,11 +444,18 @@ impl<'p> Interp<'p> {
                     .unwrap_or(Value::Null);
                 Ok(v)
             }
-            K::SetField { recv, class, field, value } => {
+            K::SetField {
+                recv,
+                class,
+                field,
+                value,
+            } => {
                 let r = self.eval(frame, recv)?;
                 let v = self.eval(frame, value)?;
                 let o = self.expect_obj(&r)?;
-                o.fields.borrow_mut().insert((class.0, *field as u32), v.clone());
+                o.fields
+                    .borrow_mut()
+                    .insert((class.0, *field as u32), v.clone());
                 Ok(v)
             }
             K::GetStatic { class, field } => Ok(self
@@ -623,34 +464,82 @@ impl<'p> Interp<'p> {
                 .get(&(class.0, *field as u32))
                 .cloned()
                 .unwrap_or(Value::Null)),
-            K::SetStatic { class, field, value } => {
+            K::SetStatic {
+                class,
+                field,
+                value,
+            } => {
                 let v = self.eval(frame, value)?;
-                self.statics.borrow_mut().insert((class.0, *field as u32), v.clone());
+                self.statics
+                    .borrow_mut()
+                    .insert((class.0, *field as u32), v.clone());
                 Ok(v)
             }
-            K::CallVirtual { recv, name, arity, targs, margs, args } => {
+            K::CallVirtual {
+                recv,
+                name,
+                arity,
+                targs,
+                margs,
+                args,
+            } => {
                 let r = self.eval(frame, recv)?;
                 let vargs = self.eval_args(frame, args)?;
-                let rt = targs.iter().map(|t| self.eval_type(frame, t)).collect::<Vec<_>>();
-                let rm = margs.iter().map(|m| self.eval_model(frame, m)).collect::<Vec<_>>();
+                let rt = targs
+                    .iter()
+                    .map(|t| self.eval_type(frame, t))
+                    .collect::<Vec<_>>();
+                let rm = margs
+                    .iter()
+                    .map(|m| self.eval_model(frame, m))
+                    .collect::<Vec<_>>();
                 // The HIR node's address identifies the call site for its
                 // inline cache; nodes live as long as the program borrow.
                 let site = e as *const hir::Expr as usize;
                 self.call_virtual_at(Some(site), r, *name, *arity, rt, rm, vargs)
             }
-            K::CallStatic { class, method, targs, margs, args } => {
+            K::CallStatic {
+                class,
+                method,
+                targs,
+                margs,
+                args,
+            } => {
                 let vargs = self.eval_args(frame, args)?;
-                let rt = targs.iter().map(|t| self.eval_type(frame, t)).collect::<Vec<_>>();
-                let rm = margs.iter().map(|m| self.eval_model(frame, m)).collect::<Vec<_>>();
+                let rt = targs
+                    .iter()
+                    .map(|t| self.eval_type(frame, t))
+                    .collect::<Vec<_>>();
+                let rm = margs
+                    .iter()
+                    .map(|m| self.eval_model(frame, m))
+                    .collect::<Vec<_>>();
                 self.invoke_class_method(*class, *method, vec![], vec![], None, rt, rm, vargs)
             }
-            K::CallGlobal { index, targs, margs, args } => {
+            K::CallGlobal {
+                index,
+                targs,
+                margs,
+                args,
+            } => {
                 let vargs = self.eval_args(frame, args)?;
-                let rt = targs.iter().map(|t| self.eval_type(frame, t)).collect::<Vec<_>>();
-                let rm = margs.iter().map(|m| self.eval_model(frame, m)).collect::<Vec<_>>();
+                let rt = targs
+                    .iter()
+                    .map(|t| self.eval_type(frame, t))
+                    .collect::<Vec<_>>();
+                let rm = margs
+                    .iter()
+                    .map(|m| self.eval_model(frame, m))
+                    .collect::<Vec<_>>();
                 self.call_global(*index, rt, rm, vargs)
             }
-            K::CallModel { model, name, recv, static_recv, args } => {
+            K::CallModel {
+                model,
+                name,
+                recv,
+                static_recv,
+                args,
+            } => {
                 let mv = self.eval_model(frame, model);
                 let r = match recv {
                     Some(r) => Some(self.eval(frame, r)?),
@@ -661,9 +550,21 @@ impl<'p> Interp<'p> {
                 self.call_model(&mv, *name, r, srt, vargs)
             }
             K::DefaultValue { of } => Ok(self.eval_type(frame, of).default_value()),
-            K::New { class, targs, models, ctor, args } => {
-                let rt = targs.iter().map(|t| self.eval_type(frame, t)).collect::<Vec<_>>();
-                let rm = models.iter().map(|m| self.eval_model(frame, m)).collect::<Vec<_>>();
+            K::New {
+                class,
+                targs,
+                models,
+                ctor,
+                args,
+            } => {
+                let rt = targs
+                    .iter()
+                    .map(|t| self.eval_type(frame, t))
+                    .collect::<Vec<_>>();
+                let rm = models
+                    .iter()
+                    .map(|m| self.eval_model(frame, m))
+                    .collect::<Vec<_>>();
                 let vargs = self.eval_args(frame, args)?;
                 self.construct(*class, rt, rm, *ctor, vargs)
             }
@@ -671,7 +572,10 @@ impl<'p> Interp<'p> {
                 let et = self.eval_type(frame, elem);
                 let l = self.eval(frame, len)?;
                 let Value::Int(n) = l else {
-                    return Err(RuntimeError::new(ErrorKind::Other, "array length must be int"));
+                    return Err(RuntimeError::new(
+                        ErrorKind::Other,
+                        "array length must be int",
+                    ));
                 };
                 if n < 0 {
                     return Err(RuntimeError::new(
@@ -738,13 +642,26 @@ impl<'p> Interp<'p> {
                 let v = self.eval(frame, expr)?;
                 self.cast(frame, v, ty)
             }
-            K::Pack { expr, ex: _, types, models } => {
+            K::Pack {
+                expr,
+                ex: _,
+                types,
+                models,
+            } => {
                 let v = self.eval(frame, expr)?;
                 let ts = types.iter().map(|t| self.eval_type(frame, t)).collect();
                 let ms = models.iter().map(|m| self.eval_model(frame, m)).collect();
-                Ok(Value::Packed(Rc::new(PackedData { value: v, types: ts, models: ms })))
+                Ok(Value::Packed(Rc::new(PackedData {
+                    value: v,
+                    types: ts,
+                    models: ms,
+                })))
             }
-            K::Cond { cond, then_e, else_e } => {
+            K::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 if self.truthy(frame, cond)? {
                     self.eval(frame, then_e)
                 } else {
@@ -768,7 +685,12 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Value::Void)
             }
-            K::PrimCall { prim, name, recv, args } => {
+            K::PrimCall {
+                prim,
+                name,
+                recv,
+                args,
+            } => {
                 let r = match recv {
                     Some(r) => Some(self.eval(frame, r)?),
                     None => None,
@@ -792,48 +714,15 @@ impl<'p> Interp<'p> {
     }
 
     fn expect_obj<'v>(&self, v: &'v Value) -> RResult<&'v Rc<ObjData>> {
-        match v {
-            Value::Obj(o) => Ok(o),
-            Value::Packed(p) => match &p.value {
-                Value::Obj(o) => Ok(o),
-                Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null dereference")),
-                other => Err(RuntimeError::new(
-                    ErrorKind::Other,
-                    format!("expected object, got {other:?}"),
-                )),
-            },
-            Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null dereference")),
-            other => {
-                Err(RuntimeError::new(ErrorKind::Other, format!("expected object, got {other:?}")))
-            }
-        }
+        rtti::expect_obj(v)
     }
 
     fn expect_arr<'v>(&self, v: &'v Value) -> RResult<&'v Rc<ArrayData>> {
-        match v {
-            Value::Arr(a) => Ok(a),
-            Value::Packed(p) => match &p.value {
-                Value::Arr(a) => Ok(a),
-                _ => Err(RuntimeError::new(ErrorKind::Other, "expected array")),
-            },
-            Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null array")),
-            other => {
-                Err(RuntimeError::new(ErrorKind::Other, format!("expected array, got {other:?}")))
-            }
-        }
+        rtti::expect_arr(v)
     }
 
     fn expect_index(&self, v: &Value, len: usize) -> RResult<usize> {
-        let Value::Int(i) = v else {
-            return Err(RuntimeError::new(ErrorKind::Other, "array index must be int"));
-        };
-        if *i < 0 || *i as usize >= len {
-            return Err(RuntimeError::new(
-                ErrorKind::IndexOutOfBounds,
-                format!("index {i} out of bounds for length {len}"),
-            ));
-        }
-        Ok(*i as usize)
+        rtti::expect_index(v, len)
     }
 
     fn eval_binary(
@@ -883,167 +772,11 @@ impl<'p> Interp<'p> {
     }
 
     fn instanceof_type(&self, frame: &Frame, v: &Value, ty: &Type) -> bool {
-        match ty {
-            Type::Existential { params, bounds, wheres, body } => {
-                self.match_existential(frame, v, params, bounds, wheres, body).is_some()
-            }
-            _ => {
-                let t = self.eval_type(frame, ty);
-                self.value_instanceof(v, &t)
-            }
-        }
-    }
-
-    /// Matches a value against an existential pattern, returning the hole
-    /// solutions `(types, models)` on success. This is what makes
-    /// Figure 7's `src instanceof TreeSet[? extends T with c]` work.
-    #[allow(clippy::too_many_arguments)]
-    fn match_existential(
-        &self,
-        frame: &Frame,
-        v: &Value,
-        params: &[TvId],
-        bounds: &[Option<Type>],
-        wheres: &[genus_types::WhereReq],
-        body: &Type,
-    ) -> Option<(Vec<RtType>, Vec<ModelValue>)> {
-        if v.is_null() {
-            return None;
-        }
-        let inner = match v {
-            Value::Packed(p) => &p.value,
-            other => other,
-        };
-        let Type::Class { id, args, models } = body else {
-            // `[some U] U` matches anything; witnesses come from packaging.
-            if let Type::Var(u) = body {
-                if params.contains(u) {
-                    let vt = self.value_rt_type(inner);
-                    if let Value::Packed(p) = v {
-                        return Some((vec![vt], p.models.clone()));
-                    }
-                    if wheres.is_empty() {
-                        return Some((vec![vt], vec![]));
-                    }
-                }
-            }
-            return None;
-        };
-        let vt = self.value_rt_type(inner);
-        let RtType::Class { id: vid, args: vargs, models: vmodels } = &vt else {
-            return None;
-        };
-        let (sargs, smodels) = self.rt_supertype_at(*vid, vargs, vmodels, *id)?;
-        let mut hole_tys: HashMap<TvId, RtType> = HashMap::new();
-        for (pat, actual) in args.iter().zip(&sargs) {
-            match pat {
-                Type::Var(u) if params.contains(u) => {
-                    if let Some(prev) = hole_tys.get(u) {
-                        if prev != actual {
-                            return None;
-                        }
-                    } else {
-                        let idx = params.iter().position(|p| p == u).expect("hole in params");
-                        if let Some(Some(b)) = bounds.get(idx) {
-                            let bt = self.eval_type(frame, b);
-                            if !self.rt_subtype(actual, &bt) {
-                                return None;
-                            }
-                        }
-                        hole_tys.insert(*u, actual.clone());
-                    }
-                }
-                _ => {
-                    let want = self.eval_type(frame, pat);
-                    if &want != actual {
-                        return None;
-                    }
-                }
-            }
-        }
-        let mut hole_models: HashMap<MvId, ModelValue> = HashMap::new();
-        let hole_mvs: Vec<MvId> = wheres.iter().map(|w| w.mv).collect();
-        for (pat, actual) in models.iter().zip(&smodels) {
-            match pat {
-                Model::Var(mv) if hole_mvs.contains(mv) => {
-                    if let Some(prev) = hole_models.get(mv) {
-                        if prev != actual {
-                            return None;
-                        }
-                    } else {
-                        hole_models.insert(*mv, actual.clone());
-                    }
-                }
-                _ => {
-                    let want = self.eval_model(frame, pat);
-                    if &want != actual {
-                        return None;
-                    }
-                }
-            }
-        }
-        let types =
-            params.iter().map(|p| hole_tys.get(p).cloned().unwrap_or(RtType::Null)).collect();
-        let models =
-            wheres.iter().map(|w| hole_models.get(&w.mv).cloned()).collect::<Option<Vec<_>>>()?;
-        Some((types, models))
+        rtti::instanceof_type(self.prog, &frame.tenv, &frame.menv, v, ty)
     }
 
     fn cast(&self, frame: &Frame, v: Value, ty: &Type) -> RResult<Value> {
-        // Numeric casts (including narrowing).
-        if let Type::Prim(p) = ty {
-            return match (&v, p) {
-                (Value::Int(x), PrimTy::Int) => Ok(Value::Int(*x)),
-                (Value::Int(x), PrimTy::Long) => Ok(Value::Long(i64::from(*x))),
-                (Value::Int(x), PrimTy::Double) => Ok(Value::Double(f64::from(*x))),
-                (Value::Long(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
-                (Value::Long(x), PrimTy::Long) => Ok(Value::Long(*x)),
-                (Value::Long(x), PrimTy::Double) => Ok(Value::Double(*x as f64)),
-                (Value::Double(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
-                (Value::Double(x), PrimTy::Long) => Ok(Value::Long(*x as i64)),
-                (Value::Double(x), PrimTy::Double) => Ok(Value::Double(*x)),
-                (Value::Char(c), PrimTy::Int) => Ok(Value::Int(*c as i32)),
-                (Value::Int(x), PrimTy::Char) => {
-                    Ok(Value::Char(char::from_u32(*x as u32).unwrap_or('\u{FFFD}')))
-                }
-                (Value::Char(c), PrimTy::Char) => Ok(Value::Char(*c)),
-                (Value::Bool(b), PrimTy::Boolean) => Ok(Value::Bool(*b)),
-                _ => Err(RuntimeError::new(
-                    ErrorKind::ClassCast,
-                    format!("cannot cast {v:?} to {}", p.name()),
-                )),
-            };
-        }
-        if v.is_null() {
-            return Ok(Value::Null);
-        }
-        if let Type::Existential { params, bounds, wheres, body } = ty {
-            return match self.match_existential(frame, &v, params, bounds, wheres, body) {
-                Some((types, models)) => {
-                    let inner = match v {
-                        Value::Packed(p) => p.value.clone(),
-                        other => other,
-                    };
-                    Ok(Value::Packed(Rc::new(PackedData { value: inner, types, models })))
-                }
-                None => Err(RuntimeError::new(
-                    ErrorKind::ClassCast,
-                    "value does not match existential type".to_string(),
-                )),
-            };
-        }
-        let t = self.eval_type(frame, ty);
-        if self.value_instanceof(&v, &t) {
-            Ok(match v {
-                Value::Packed(p) => p.value.clone(),
-                other => other,
-            })
-        } else {
-            Err(RuntimeError::new(
-                ErrorKind::ClassCast,
-                format!("cannot cast value of type {:?} to {:?}", self.value_rt_type(&v), t),
-            ))
-        }
+        rtti::cast_value(self.prog, &frame.tenv, &frame.menv, v, ty)
     }
 
     /// Stringification used by concatenation and `print`: objects get their
@@ -1072,71 +805,9 @@ impl<'p> Interp<'p> {
     // Calls
     // ------------------------------------------------------------------
 
-    /// Finds `(declaring class, method index, class targs, class models)`
-    /// for a virtual call, walking the dynamic class chain then interfaces.
-    /// This is the uncached slow path; cached dispatch goes through
-    /// [`Interp::cached_virt_target`].
-    fn find_virtual(
-        &self,
-        id: ClassId,
-        args: &[RtType],
-        models: &[ModelValue],
-        name: Symbol,
-        arity: usize,
-    ) -> Option<(ClassId, usize, Vec<RtType>, Vec<ModelValue>)> {
-        let def = self.prog.table.class(id);
-        for (mi, m) in def.methods.iter().enumerate() {
-            if m.name == name && m.params.len() == arity && !m.is_static {
-                // Skip pure signatures (abstract or interface methods
-                // without a body) so the search continues to an
-                // implementation; native methods are kept.
-                if m.body.is_some() || m.is_native {
-                    return Some((id, mi, args.to_vec(), models.to_vec()));
-                }
-            }
-        }
-        for (pid, pargs, pmodels) in self.rt_parents(id, args, models) {
-            if let Some(found) = self.find_virtual(pid, &pargs, &pmodels, name, arity) {
-                return Some(found);
-            }
-        }
-        None
-    }
-
     /// The lazily built method index for `id`.
     fn class_index(&self, id: ClassId) -> Rc<ClassMethodIndex> {
-        if let Some(ix) = self.dispatch.class_index.borrow().get(&id) {
-            return Rc::clone(ix);
-        }
-        let ix = Rc::new(ClassMethodIndex::build(self.prog.table.class(id)));
-        self.dispatch.class_index.borrow_mut().insert(id, Rc::clone(&ix));
-        ix
-    }
-
-    /// Walks the hierarchy like [`Interp::find_virtual`] but records the
-    /// parent-edge path taken, so the result can be memoized per class
-    /// and replayed for other instantiations.
-    fn find_virtual_path(
-        &self,
-        id: ClassId,
-        args: &[RtType],
-        models: &[ModelValue],
-        name: Symbol,
-        arity: usize,
-        hops: &mut Vec<usize>,
-    ) -> Option<(ClassId, usize)> {
-        if let Some(mi) = self.class_index(id).virtual_method(name, arity) {
-            return Some((id, mi));
-        }
-        for (h, (pid, pargs, pmodels)) in self.rt_parents(id, args, models).into_iter().enumerate()
-        {
-            hops.push(h);
-            if let Some(found) = self.find_virtual_path(pid, &pargs, &pmodels, name, arity, hops) {
-                return Some(found);
-            }
-            hops.pop();
-        }
-        None
+        self.dispatch.class_index.get(self.prog, id)
     }
 
     /// Memoized virtual-target lookup keyed on the dynamic class.
@@ -1154,41 +825,17 @@ impl<'p> Interp<'p> {
             return t.clone();
         }
         bump(&self.dispatch.virt_misses);
-        let mut hops = Vec::new();
-        let t = self.find_virtual_path(id, args, models, name, arity, &mut hops).map(
-            |(cid, mi)| {
-                let mut vt = VirtTarget { hops, cid, mi, fixed: None };
-                if !vt.hops.is_empty() && self.path_is_receiver_independent(id, &vt.hops) {
-                    let (_, _, cargs, cmodels) = self.replay_target(&vt, id, args, models);
-                    vt.fixed = Some((cargs, cmodels));
-                }
-                Rc::new(vt)
-            },
+        let t = rtti::resolve_virtual(
+            self.prog,
+            &self.dispatch.class_index,
+            id,
+            args,
+            models,
+            name,
+            arity,
         );
         self.dispatch.virt.borrow_mut().insert(key, t.clone());
         t
-    }
-
-    /// Whether every parent edge along `hops` evaluates identically for
-    /// all instantiations of `id` (so the target's instantiation can be
-    /// computed once and frozen).
-    fn path_is_receiver_independent(&self, id: ClassId, hops: &[usize]) -> bool {
-        let mut cur = id;
-        for &h in hops {
-            let def = self.prog.table.class(cur);
-            // Hop indices follow `rt_parents` order: `extends` first,
-            // then `implements`.
-            let t = match def.extends.as_ref() {
-                Some(ext) if h == 0 => ext,
-                ext => &def.implements[h - usize::from(ext.is_some())],
-            };
-            if !ty_receiver_independent(t) {
-                return false;
-            }
-            let Type::Class { id: pid, .. } = t else { return false };
-            cur = *pid;
-        }
-        true
     }
 
     /// Virtual-target lookup through the call site's inline cache (when a
@@ -1213,32 +860,11 @@ impl<'p> Interp<'p> {
         }
         bump(&self.dispatch.ic_misses);
         let t = self.virt_target(id, args, models, name, arity);
-        self.dispatch.sites.borrow_mut().insert(site, (id, t.clone()));
+        self.dispatch
+            .sites
+            .borrow_mut()
+            .insert(site, (id, t.clone()));
         t
-    }
-
-    /// Re-derives the receiver-specific instantiation of the defining
-    /// class by replaying a memoized target's parent-edge path.
-    fn replay_target(
-        &self,
-        t: &VirtTarget,
-        id: ClassId,
-        args: &[RtType],
-        models: &[ModelValue],
-    ) -> (ClassId, usize, Vec<RtType>, Vec<ModelValue>) {
-        let (mut id, mut args, mut models) = (id, args.to_vec(), models.to_vec());
-        for &h in &t.hops {
-            let (pid, pargs, pmodels) = self
-                .rt_parents(id, &args, &models)
-                .into_iter()
-                .nth(h)
-                .expect("memoized hop path stays within the class's parents");
-            id = pid;
-            args = pargs;
-            models = pmodels;
-        }
-        debug_assert_eq!(id, t.cid);
-        (t.cid, t.mi, args, models)
     }
 
     /// Invokes a virtual method on a value.
@@ -1281,10 +907,12 @@ impl<'p> Interp<'p> {
                     self.cached_virt_target(site, o.class, &o.targs, &o.models, name, arity)
                         .map(|t| match &t.fixed {
                             Some((a, m)) => (t.cid, t.mi, a.clone(), m.clone()),
-                            None => self.replay_target(&t, o.class, &o.targs, &o.models),
+                            None => {
+                                rtti::replay_target(self.prog, &t, o.class, &o.targs, &o.models)
+                            }
                         })
                 } else {
-                    self.find_virtual(o.class, &o.targs, &o.models, name, arity)
+                    rtti::find_virtual(self.prog, o.class, &o.targs, &o.models, name, arity)
                 };
                 let Some((cid, mi, cargs, cmodels)) = found else {
                     return Err(RuntimeError::new(
@@ -1467,7 +1095,11 @@ impl<'p> Interp<'p> {
                     };
                     match rt {
                         RtType::Prim(p) => self.prim_call(p, name, None, args),
-                        RtType::Class { id, args: cargs, models: cmodels } => {
+                        RtType::Class {
+                            id,
+                            args: cargs,
+                            models: cmodels,
+                        } => {
                             let def = self.prog.table.class(id);
                             let mi = if caches_enabled() {
                                 self.class_index(id).static_method(name, args.len())
@@ -1506,43 +1138,6 @@ impl<'p> Interp<'p> {
         }
     }
 
-    /// Collects `(model id, method index, env)` candidates: the model's own
-    /// methods plus those inherited via `extends` (§5.3).
-    fn model_candidates(
-        &self,
-        id: ModelId,
-        targs: &[RtType],
-        margs: &[ModelValue],
-        out: &mut Vec<(ModelId, usize, Frame)>,
-        depth: usize,
-    ) {
-        if depth > 16 {
-            return;
-        }
-        let def = self.prog.table.model(id);
-        let mut env = Frame::default();
-        for (tv, t) in def.tparams.iter().zip(targs) {
-            env.tenv.insert(*tv, t.clone());
-        }
-        for (w, m) in def.wheres.iter().zip(margs) {
-            env.menv.insert(w.mv, m.clone());
-        }
-        for (mi, _) in def.methods.iter().enumerate() {
-            out.push((
-                id,
-                mi,
-                Frame { locals: Vec::new(), tenv: env.tenv.clone(), menv: env.menv.clone() },
-            ));
-        }
-        for parent in &def.extends {
-            if let ModelValue::Decl { id: pid, targs: pt, margs: pm } =
-                self.eval_model(&env, parent)
-            {
-                self.model_candidates(pid, &pt, &pm, out, depth + 1);
-            }
-        }
-    }
-
     /// Runs the chosen multimethod candidate (or the fallback when no
     /// candidate applied): the shared tail of cached and uncached
     /// dispatch.
@@ -1562,7 +1157,10 @@ impl<'p> Interp<'p> {
             }
             return Err(RuntimeError::new(
                 ErrorKind::NoSuchMethod,
-                format!("model `{}` has no applicable `{name}`", self.prog.table.model(id).name),
+                format!(
+                    "model `{}` has no applicable `{name}`",
+                    self.prog.table.model(id).name
+                ),
             ));
         };
         let Some(body) = self.prog.model_bodies.get(&(t.mid.0, t.mi as u32)) else {
@@ -1572,7 +1170,11 @@ impl<'p> Interp<'p> {
             ));
         };
         let m = &self.prog.table.model(t.mid).methods[t.mi];
-        let frame = Frame { locals: Vec::new(), tenv: t.tenv.clone(), menv: t.menv.clone() };
+        let frame = Frame {
+            locals: Vec::new(),
+            tenv: t.tenv.clone(),
+            menv: t.menv.clone(),
+        };
         let recv = recv.map(|r| match r {
             Value::Packed(p) => p.value.clone(),
             other => other,
@@ -1602,7 +1204,10 @@ impl<'p> Interp<'p> {
                 margs: margs.to_vec(),
                 name,
                 is_static,
-                recv: recv.as_ref().map(|r| self.value_rt_type(r)).or_else(|| static_recv.clone()),
+                recv: recv
+                    .as_ref()
+                    .map(|r| self.value_rt_type(r))
+                    .or_else(|| static_recv.clone()),
                 args: args.iter().map(|a| self.value_rt_type(a)).collect(),
             };
             if let Some(t) = self.dispatch.model.borrow().get(&key).cloned() {
@@ -1614,75 +1219,31 @@ impl<'p> Interp<'p> {
         } else {
             None
         };
-        let mut cands = Vec::new();
-        self.model_candidates(id, targs, margs, &mut cands, 0);
-        // Applicability: the dynamic receiver and argument values must be
-        // instances of the declared (evaluated) types.
-        let mut applicable: Vec<(usize, Vec<RtType>)> = Vec::new();
-        for (ci, (mid, mi, env)) in cands.iter().enumerate() {
-            let m = &self.prog.table.model(*mid).methods[*mi];
-            if m.name != name || m.is_static != is_static || m.params.len() != args.len() {
-                continue;
+        let (recv_t, recv_kind) = match (&recv, &static_recv) {
+            (Some(r), _) => {
+                let vt = self.value_rt_type(r);
+                (Some(vt), true)
             }
-            let recv_t = self.eval_type(env, &m.receiver);
-            let ok_recv = match (&recv, &static_recv) {
-                (Some(r), _) => self.value_instanceof(r, &recv_t),
-                (None, Some(srt)) => &recv_t == srt,
-                (None, None) => false,
-            };
-            if !ok_recv {
-                continue;
-            }
-            let param_ts: Vec<RtType> =
-                m.params.iter().map(|(_, t)| self.eval_type(env, t)).collect();
-            let ok_args = args.iter().zip(&param_ts).all(|(a, t)| {
-                self.value_instanceof(a, t) || matches!(t, RtType::Prim(_)) || a.is_null()
-            });
-            if !ok_args {
-                continue;
-            }
-            let mut tuple = vec![recv_t];
-            tuple.extend(param_ts);
-            applicable.push((ci, tuple));
-        }
-        let target = if applicable.is_empty() {
-            None
-        } else {
-            // Most specific by pointwise runtime subtyping. Ties keep the
-            // earlier candidate: own definitions precede inherited ones in
-            // the candidate list, so a child model's definition shadows an
-            // inherited definition with the same dispatch tuple (§5.3).
-            let mut best = 0;
-            for i in 1..applicable.len() {
-                let fwd = applicable[i]
-                    .1
-                    .iter()
-                    .zip(&applicable[best].1)
-                    .all(|(a, b)| self.rt_subtype(a, b));
-                let bwd = applicable[best]
-                    .1
-                    .iter()
-                    .zip(&applicable[i].1)
-                    .all(|(a, b)| self.rt_subtype(a, b));
-                if fwd && !bwd {
-                    best = i;
-                }
-            }
-            let (ci, _) = applicable[best];
-            let (mid, mi, env) = &cands[ci];
-            Some(Rc::new(ModelTarget {
-                mid: *mid,
-                mi: *mi,
-                tenv: env.tenv.clone(),
-                menv: env.menv.clone(),
-            }))
+            (None, Some(_)) => (static_recv.clone(), false),
+            (None, None) => (None, false),
         };
+        let kind = match (&recv_t, recv_kind) {
+            (Some(vt), true) => Some(RecvKind::Value(
+                vt,
+                recv.as_ref().is_some_and(Value::is_null),
+            )),
+            (Some(srt), false) => Some(RecvKind::Static(srt)),
+            (None, _) => None,
+        };
+        let arg_ts: Vec<RtType> = args.iter().map(|a| self.value_rt_type(a)).collect();
+        let args_null: Vec<bool> = args.iter().map(Value::is_null).collect();
+        let target =
+            rtti::select_model_target(self.prog, id, targs, margs, name, kind, &arg_ts, &args_null);
         if let Some(key) = key {
             self.dispatch.model.borrow_mut().insert(key, target.clone());
         }
         self.invoke_model_target(target.as_deref(), id, name, recv, args)
     }
-
 }
 
 #[cfg(test)]
@@ -1693,7 +1254,9 @@ mod tests {
     fn run(src: &str) -> (Value, String) {
         let prog = check_source(src).unwrap_or_else(|e| panic!("check failed:\n{e}"));
         let mut i = Interp::new(&prog);
-        let v = i.run_main().unwrap_or_else(|e| panic!("runtime error: {e}"));
+        let v = i
+            .run_main()
+            .unwrap_or_else(|e| panic!("runtime error: {e}"));
         let out = i.take_output();
         (v, out)
     }
@@ -1714,22 +1277,19 @@ mod tests {
 
     #[test]
     fn arrays_are_specialized() {
-        let (v, _) = run(
-            "double main() {
+        let (v, _) = run("double main() {
                double[] xs = new double[3];
                xs[0] = 1.5; xs[1] = 2.5; xs[2] = xs[0] + xs[1];
                double s = 0.0;
                for (double x : xs) { s = s + x; }
                return s;
-             }",
-        );
+             }");
         assert!(matches!(v, Value::Double(x) if (x - 8.0).abs() < 1e-9));
     }
 
     #[test]
     fn classes_fields_methods() {
-        let (v, _) = run(
-            "class Counter {
+        let (v, _) = run("class Counter {
                int count;
                Counter() { count = 0; }
                void inc() { count = count + 1; }
@@ -1739,15 +1299,13 @@ mod tests {
                Counter c = new Counter();
                c.inc(); c.inc(); c.inc();
                return c.get();
-             }",
-        );
+             }");
         assert!(matches!(v, Value::Int(3)));
     }
 
     #[test]
     fn generic_class_with_constraint() {
-        let (v, _) = run(
-            "class Box[T where Comparable[T]] {
+        let (v, _) = run("class Box[T where Comparable[T]] {
                T item;
                Box(T item) { this.item = item; }
                boolean isBigger(T other) { return item.compareTo(other) > 0; }
@@ -1755,29 +1313,25 @@ mod tests {
              boolean main() {
                Box[int] b = new Box[int](5);
                return b.isBigger(3);
-             }",
-        );
+             }");
         assert!(matches!(v, Value::Bool(true)));
     }
 
     #[test]
     fn generic_method_inference_and_default_models() {
-        let (v, _) = run(
-            "int which[T](T a, T b) where Comparable[T] {
+        let (v, _) = run("int which[T](T a, T b) where Comparable[T] {
                if (a.compareTo(b) >= 0) { return 0; } else { return 1; }
              }
              int main() {
                return which(3, 7) + which(\"b\", \"a\");
-             }",
-        );
+             }");
         // which(3,7) = 1, which("b","a") = 0.
         assert!(matches!(v, Value::Int(1)));
     }
 
     #[test]
     fn explicit_model_selection() {
-        let (v, _) = run(
-            r#"model CIEq for Eq[String] {
+        let (v, _) = run(r#"model CIEq for Eq[String] {
                  boolean equals(String str) { return equalsIgnoreCase(str); }
                }
                boolean same[T](T a, T b) where Eq[T] {
@@ -1787,15 +1341,13 @@ mod tests {
                  boolean ci = same[String with CIEq]("Hello", "HELLO");
                  boolean cs = same("Hello", "HELLO");
                  return ci && !cs;
-               }"#,
-        );
+               }"#);
         assert!(matches!(v, Value::Bool(true)));
     }
 
     #[test]
     fn static_constraint_ops() {
-        let (v, _) = run(
-            "constraint Ring[T] {
+        let (v, _) = run("constraint Ring[T] {
                static T T.zero();
                T T.plus(T that);
              }
@@ -1808,8 +1360,7 @@ mod tests {
                double[] xs = new double[3];
                xs[0] = 1.0; xs[1] = 2.0; xs[2] = 3.5;
                return sum(xs);
-             }",
-        );
+             }");
         assert!(matches!(v, Value::Double(x) if (x - 6.5).abs() < 1e-9));
     }
 
@@ -1831,8 +1382,7 @@ mod tests {
 
     #[test]
     fn inheritance_and_override() {
-        let (v, _) = run(
-            "class Animal {
+        let (v, _) = run("class Animal {
                Animal() { }
                int legs() { return 4; }
              }
@@ -1843,8 +1393,7 @@ mod tests {
              int main() {
                Animal a = new Bird();
                return a.legs();
-             }",
-        );
+             }");
         assert!(matches!(v, Value::Int(2)));
     }
 }

@@ -14,33 +14,20 @@ type RResult<T> = Result<T, RuntimeError>;
 impl<'p> Interp<'p> {
     /// Dispatches a `String` method dynamically (reached when a string is
     /// stored behind `Object` or a type variable).
-    pub(crate) fn string_virtual(&self, recv: &Value, name: Symbol, args: Vec<Value>) -> RResult<Value> {
-        let op = match name.as_str() {
-            "equals" => NativeOp::StrEquals,
-            "compareTo" => NativeOp::StrCompareTo,
-            "equalsIgnoreCase" => NativeOp::StrEqualsIgnoreCase,
-            "compareToIgnoreCase" => NativeOp::StrCompareToIgnoreCase,
-            "length" => NativeOp::StrLength,
-            "charAt" => NativeOp::StrCharAt,
-            "substring" => NativeOp::StrSubstring,
-            "concat" => NativeOp::StrConcat,
-            "hashCode" => NativeOp::StrHashCode,
-            "toLowerCase" => NativeOp::StrToLowerCase,
-            "indexOf" => NativeOp::StrIndexOf,
-            "toString" => NativeOp::ToString,
-            _ => {
-                return Err(RuntimeError::new(
-                    ErrorKind::NoSuchMethod,
-                    format!("no String method `{name}`"),
-                ))
-            }
+    pub(crate) fn string_virtual(
+        &self,
+        recv: &Value,
+        name: Symbol,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        let Some(op) = string_native_op(name) else {
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("no String method `{name}`"),
+            ));
         };
         self.native_call(op, Some(recv.clone()), args)
     }
-
-    // ------------------------------------------------------------------
-    // Primitives and natives
-    // ------------------------------------------------------------------
 
     pub(crate) fn prim_call(
         &self,
@@ -49,242 +36,317 @@ impl<'p> Interp<'p> {
         recv: Option<Value>,
         args: Vec<Value>,
     ) -> RResult<Value> {
-        let n = name.as_str();
-        let Some(r) = recv else {
-            // Static primitive operations.
-            return match n {
-                "default" => Ok(RtType::Prim(prim).default_value()),
-                "zero" => Ok(match prim {
-                    PrimTy::Int => Value::Int(0),
-                    PrimTy::Long => Value::Long(0),
-                    PrimTy::Double => Value::Double(0.0),
-                    _ => RtType::Prim(prim).default_value(),
-                }),
-                "one" => Ok(match prim {
-                    PrimTy::Int => Value::Int(1),
-                    PrimTy::Long => Value::Long(1),
-                    PrimTy::Double => Value::Double(1.0),
-                    _ => RtType::Prim(prim).default_value(),
-                }),
-                _ => Err(RuntimeError::new(
-                    ErrorKind::NoSuchMethod,
-                    format!("no static `{n}` on `{}`", prim.name()),
-                )),
-            };
-        };
-        let r = match r {
-            Value::Packed(p) => p.value.clone(),
-            other => other,
-        };
-        match n {
-            "equals" => Ok(Value::Bool(r.ref_eq(&args[0]))),
-            "compareTo" => {
-                let ord = match (&r, &args[0]) {
-                    (Value::Int(a), Value::Int(b)) => a.cmp(b) as i32,
-                    (Value::Long(a), Value::Long(b)) => a.cmp(b) as i32,
-                    (Value::Double(a), Value::Double(b)) => {
-                        a.partial_cmp(b).map(|o| o as i32).unwrap_or(0)
-                    }
-                    (Value::Char(a), Value::Char(b)) => a.cmp(b) as i32,
-                    (Value::Bool(a), Value::Bool(b)) => a.cmp(b) as i32,
-                    _ => {
-                        return Err(RuntimeError::new(
-                            ErrorKind::Other,
-                            "compareTo on mismatched primitives",
-                        ))
-                    }
-                };
-                Ok(Value::Int(ord))
-            }
-            "hashCode" => Ok(Value::Int(match &r {
-                Value::Int(x) => *x,
-                Value::Long(x) => (*x ^ (*x >> 32)) as i32,
-                Value::Double(x) => {
-                    let b = x.to_bits();
-                    (b ^ (b >> 32)) as i32
-                }
-                Value::Bool(b) => {
-                    if *b {
-                        1231
-                    } else {
-                        1237
-                    }
-                }
-                Value::Char(c) => *c as i32,
-                _ => 0,
-            })),
-            "toString" => Ok(Value::Str(Rc::from(format!("{r}").as_str()))),
-            "plus" | "minus" | "times" | "min" | "max" => {
-                let op = n;
-                let b = args[0].clone();
-                Ok(match (&r, &b) {
-                    (Value::Int(x), Value::Int(y)) => Value::Int(match op {
-                        "plus" => x.wrapping_add(*y),
-                        "minus" => x.wrapping_sub(*y),
-                        "times" => x.wrapping_mul(*y),
-                        "min" => *x.min(y),
-                        _ => *x.max(y),
-                    }),
-                    (Value::Long(x), Value::Long(y)) => Value::Long(match op {
-                        "plus" => x.wrapping_add(*y),
-                        "minus" => x.wrapping_sub(*y),
-                        "times" => x.wrapping_mul(*y),
-                        "min" => *x.min(y),
-                        _ => *x.max(y),
-                    }),
-                    (Value::Double(x), Value::Double(y)) => Value::Double(match op {
-                        "plus" => x + y,
-                        "minus" => x - y,
-                        "times" => x * y,
-                        "min" => x.min(*y),
-                        _ => x.max(*y),
-                    }),
-                    _ => {
-                        return Err(RuntimeError::new(
-                            ErrorKind::Other,
-                            "ring op on mismatched primitives",
-                        ))
-                    }
-                })
-            }
-            "abs" => Ok(match r {
-                Value::Int(x) => Value::Int(x.wrapping_abs()),
-                Value::Long(x) => Value::Long(x.wrapping_abs()),
-                Value::Double(x) => Value::Double(x.abs()),
-                other => other,
+        prim_call(prim, name, recv, args)
+    }
+
+    pub(crate) fn native_call(
+        &self,
+        op: NativeOp,
+        recv: Option<Value>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        native_call_with(|v| self.stringify(v), op, recv, args)
+    }
+}
+
+/// The [`NativeOp`] behind a dynamically dispatched `String` method, if
+/// any (reached when a string is stored behind `Object` or a type
+/// variable).
+#[must_use]
+pub fn string_native_op(name: Symbol) -> Option<NativeOp> {
+    Some(match name.as_str() {
+        "equals" => NativeOp::StrEquals,
+        "compareTo" => NativeOp::StrCompareTo,
+        "equalsIgnoreCase" => NativeOp::StrEqualsIgnoreCase,
+        "compareToIgnoreCase" => NativeOp::StrCompareToIgnoreCase,
+        "length" => NativeOp::StrLength,
+        "charAt" => NativeOp::StrCharAt,
+        "substring" => NativeOp::StrSubstring,
+        "concat" => NativeOp::StrConcat,
+        "hashCode" => NativeOp::StrHashCode,
+        "toLowerCase" => NativeOp::StrToLowerCase,
+        "indexOf" => NativeOp::StrIndexOf,
+        "toString" => NativeOp::ToString,
+        _ => return None,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Primitives and natives
+// ----------------------------------------------------------------------
+
+/// Calls a primitive-type method (the natural models of `int`, `double`,
+/// … — §3.3). `recv: None` is a static operation like `int.zero()`.
+///
+/// # Errors
+///
+/// `NoSuchMethodError` for unknown operations; `Other` for mismatched
+/// primitive operands.
+pub fn prim_call(
+    prim: PrimTy,
+    name: Symbol,
+    recv: Option<Value>,
+    args: Vec<Value>,
+) -> RResult<Value> {
+    let n = name.as_str();
+    let Some(r) = recv else {
+        // Static primitive operations.
+        return match n {
+            "default" => Ok(RtType::Prim(prim).default_value()),
+            "zero" => Ok(match prim {
+                PrimTy::Int => Value::Int(0),
+                PrimTy::Long => Value::Long(0),
+                PrimTy::Double => Value::Double(0.0),
+                _ => RtType::Prim(prim).default_value(),
+            }),
+            "one" => Ok(match prim {
+                PrimTy::Int => Value::Int(1),
+                PrimTy::Long => Value::Long(1),
+                PrimTy::Double => Value::Double(1.0),
+                _ => RtType::Prim(prim).default_value(),
             }),
             _ => Err(RuntimeError::new(
                 ErrorKind::NoSuchMethod,
-                format!("no `{n}` on `{}`", prim.name()),
+                format!("no static `{n}` on `{}`", prim.name()),
             )),
-        }
-    }
-
-    pub(crate) fn native_call(&self, op: NativeOp, recv: Option<Value>, args: Vec<Value>) -> RResult<Value> {
-        let as_str = |v: &Value| -> RResult<Rc<str>> {
-            match v {
-                Value::Str(s) => Ok(s.clone()),
-                Value::Packed(p) => match &p.value {
-                    Value::Str(s) => Ok(s.clone()),
-                    _ => Err(RuntimeError::new(ErrorKind::Other, "expected a string")),
-                },
-                Value::Null => {
-                    Err(RuntimeError::new(ErrorKind::NullPointer, "null string dereference"))
-                }
-                _ => Err(RuntimeError::new(ErrorKind::Other, "expected a string")),
-            }
         };
-        match op {
-            NativeOp::StrEquals => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                Ok(Value::Bool(match &args[0] {
-                    Value::Str(s) => *r == **s,
-                    Value::Packed(p) => matches!(&p.value, Value::Str(s) if *r == **s),
-                    _ => false,
-                }))
+    };
+    let r = match r {
+        Value::Packed(p) => p.value.clone(),
+        other => other,
+    };
+    match n {
+        "equals" => Ok(Value::Bool(r.ref_eq(&args[0]))),
+        "compareTo" => {
+            let ord = match (&r, &args[0]) {
+                (Value::Int(a), Value::Int(b)) => a.cmp(b) as i32,
+                (Value::Long(a), Value::Long(b)) => a.cmp(b) as i32,
+                (Value::Double(a), Value::Double(b)) => {
+                    a.partial_cmp(b).map(|o| o as i32).unwrap_or(0)
+                }
+                (Value::Char(a), Value::Char(b)) => a.cmp(b) as i32,
+                (Value::Bool(a), Value::Bool(b)) => a.cmp(b) as i32,
+                _ => {
+                    return Err(RuntimeError::new(
+                        ErrorKind::Other,
+                        "compareTo on mismatched primitives",
+                    ))
+                }
+            };
+            Ok(Value::Int(ord))
+        }
+        "hashCode" => Ok(Value::Int(match &r {
+            Value::Int(x) => *x,
+            Value::Long(x) => (*x ^ (*x >> 32)) as i32,
+            Value::Double(x) => {
+                let b = x.to_bits();
+                (b ^ (b >> 32)) as i32
             }
-            NativeOp::StrCompareTo => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                let o = as_str(&args[0])?;
-                Ok(Value::Int(match r.cmp(&o) {
-                    std::cmp::Ordering::Less => -1,
-                    std::cmp::Ordering::Equal => 0,
-                    std::cmp::Ordering::Greater => 1,
-                }))
+            Value::Bool(b) => {
+                if *b {
+                    1231
+                } else {
+                    1237
+                }
             }
-            NativeOp::StrEqualsIgnoreCase => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                let o = as_str(&args[0])?;
-                Ok(Value::Bool(r.to_lowercase() == o.to_lowercase()))
-            }
-            NativeOp::StrCompareToIgnoreCase => {
-                let r = as_str(recv.as_ref().expect("recv"))?.to_lowercase();
-                let o = as_str(&args[0])?.to_lowercase();
-                Ok(Value::Int(match r.cmp(&o) {
-                    std::cmp::Ordering::Less => -1,
-                    std::cmp::Ordering::Equal => 0,
-                    std::cmp::Ordering::Greater => 1,
-                }))
-            }
-            NativeOp::StrLength => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                Ok(Value::Int(r.chars().count() as i32))
-            }
-            NativeOp::StrCharAt => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                let Value::Int(i) = args[0] else {
-                    return Err(RuntimeError::new(ErrorKind::Other, "charAt index must be int"));
-                };
-                r.chars().nth(i.max(0) as usize).map(Value::Char).ok_or_else(|| {
+            Value::Char(c) => *c as i32,
+            _ => 0,
+        })),
+        "toString" => Ok(Value::Str(Rc::from(format!("{r}").as_str()))),
+        "plus" | "minus" | "times" | "min" | "max" => {
+            let op = n;
+            let b = args[0].clone();
+            Ok(match (&r, &b) {
+                (Value::Int(x), Value::Int(y)) => Value::Int(match op {
+                    "plus" => x.wrapping_add(*y),
+                    "minus" => x.wrapping_sub(*y),
+                    "times" => x.wrapping_mul(*y),
+                    "min" => *x.min(y),
+                    _ => *x.max(y),
+                }),
+                (Value::Long(x), Value::Long(y)) => Value::Long(match op {
+                    "plus" => x.wrapping_add(*y),
+                    "minus" => x.wrapping_sub(*y),
+                    "times" => x.wrapping_mul(*y),
+                    "min" => *x.min(y),
+                    _ => *x.max(y),
+                }),
+                (Value::Double(x), Value::Double(y)) => Value::Double(match op {
+                    "plus" => x + y,
+                    "minus" => x - y,
+                    "times" => x * y,
+                    "min" => x.min(*y),
+                    _ => x.max(*y),
+                }),
+                _ => {
+                    return Err(RuntimeError::new(
+                        ErrorKind::Other,
+                        "ring op on mismatched primitives",
+                    ))
+                }
+            })
+        }
+        "abs" => Ok(match r {
+            Value::Int(x) => Value::Int(x.wrapping_abs()),
+            Value::Long(x) => Value::Long(x.wrapping_abs()),
+            Value::Double(x) => Value::Double(x.abs()),
+            other => other,
+        }),
+        _ => Err(RuntimeError::new(
+            ErrorKind::NoSuchMethod,
+            format!("no `{n}` on `{}`", prim.name()),
+        )),
+    }
+}
+
+/// Executes a [`NativeOp`]. `stringify` renders a value for
+/// `Object.toString`-style operations (it needs to call back into the
+/// engine because `toString` overrides can be user code).
+///
+/// # Errors
+///
+/// Operation-specific runtime errors (`NullPointerException`,
+/// `IndexOutOfBounds`, …).
+pub fn native_call_with(
+    mut stringify: impl FnMut(&Value) -> RResult<String>,
+    op: NativeOp,
+    recv: Option<Value>,
+    args: Vec<Value>,
+) -> RResult<Value> {
+    let as_str = |v: &Value| -> RResult<Rc<str>> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            Value::Packed(p) => match &p.value {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(RuntimeError::new(ErrorKind::Other, "expected a string")),
+            },
+            Value::Null => Err(RuntimeError::new(
+                ErrorKind::NullPointer,
+                "null string dereference",
+            )),
+            _ => Err(RuntimeError::new(ErrorKind::Other, "expected a string")),
+        }
+    };
+    match op {
+        NativeOp::StrEquals => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            Ok(Value::Bool(match &args[0] {
+                Value::Str(s) => *r == **s,
+                Value::Packed(p) => matches!(&p.value, Value::Str(s) if *r == **s),
+                _ => false,
+            }))
+        }
+        NativeOp::StrCompareTo => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            let o = as_str(&args[0])?;
+            Ok(Value::Int(match r.cmp(&o) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            }))
+        }
+        NativeOp::StrEqualsIgnoreCase => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            let o = as_str(&args[0])?;
+            Ok(Value::Bool(r.to_lowercase() == o.to_lowercase()))
+        }
+        NativeOp::StrCompareToIgnoreCase => {
+            let r = as_str(recv.as_ref().expect("recv"))?.to_lowercase();
+            let o = as_str(&args[0])?.to_lowercase();
+            Ok(Value::Int(match r.cmp(&o) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            }))
+        }
+        NativeOp::StrLength => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            Ok(Value::Int(r.chars().count() as i32))
+        }
+        NativeOp::StrCharAt => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            let Value::Int(i) = args[0] else {
+                return Err(RuntimeError::new(
+                    ErrorKind::Other,
+                    "charAt index must be int",
+                ));
+            };
+            r.chars()
+                .nth(i.max(0) as usize)
+                .map(Value::Char)
+                .ok_or_else(|| {
                     RuntimeError::new(
                         ErrorKind::IndexOutOfBounds,
                         format!("charAt({i}) out of range"),
                     )
                 })
+        }
+        NativeOp::StrSubstring => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            let (Value::Int(lo), Value::Int(hi)) = (&args[0], &args[1]) else {
+                return Err(RuntimeError::new(ErrorKind::Other, "substring indices"));
+            };
+            let chars: Vec<char> = r.chars().collect();
+            let lo = (*lo).max(0) as usize;
+            let hi = (*hi).max(0) as usize;
+            if lo > hi || hi > chars.len() {
+                return Err(RuntimeError::new(
+                    ErrorKind::IndexOutOfBounds,
+                    format!("substring({lo}, {hi}) out of range"),
+                ));
             }
-            NativeOp::StrSubstring => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                let (Value::Int(lo), Value::Int(hi)) = (&args[0], &args[1]) else {
-                    return Err(RuntimeError::new(ErrorKind::Other, "substring indices"));
-                };
-                let chars: Vec<char> = r.chars().collect();
-                let lo = (*lo).max(0) as usize;
-                let hi = (*hi).max(0) as usize;
-                if lo > hi || hi > chars.len() {
-                    return Err(RuntimeError::new(
-                        ErrorKind::IndexOutOfBounds,
-                        format!("substring({lo}, {hi}) out of range"),
-                    ));
-                }
-                let s: String = chars[lo..hi].iter().collect();
-                Ok(Value::Str(Rc::from(s.as_str())))
+            let s: String = chars[lo..hi].iter().collect();
+            Ok(Value::Str(Rc::from(s.as_str())))
+        }
+        NativeOp::StrConcat => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            let o = as_str(&args[0])?;
+            Ok(Value::Str(Rc::from(format!("{r}{o}").as_str())))
+        }
+        NativeOp::StrHashCode => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            let mut h: i32 = 0;
+            for c in r.chars() {
+                h = h.wrapping_mul(31).wrapping_add(c as i32);
             }
-            NativeOp::StrConcat => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                let o = as_str(&args[0])?;
-                Ok(Value::Str(Rc::from(format!("{r}{o}").as_str())))
-            }
-            NativeOp::StrHashCode => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                let mut h: i32 = 0;
-                for c in r.chars() {
-                    h = h.wrapping_mul(31).wrapping_add(c as i32);
-                }
-                Ok(Value::Int(h))
-            }
-            NativeOp::StrToLowerCase => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                Ok(Value::Str(Rc::from(r.to_lowercase().as_str())))
-            }
-            NativeOp::StrIndexOf => {
-                let r = as_str(recv.as_ref().expect("recv"))?;
-                let o = as_str(&args[0])?;
-                Ok(Value::Int(r.find(&*o).map(|p| r[..p].chars().count() as i32).unwrap_or(-1)))
-            }
-            NativeOp::ObjHashCode => {
-                let r = recv.as_ref().expect("recv");
-                Ok(Value::Int(match r {
-                    Value::Obj(o) => Rc::as_ptr(o) as i32,
-                    Value::Str(s) => {
-                        let mut h: i32 = 0;
-                        for c in s.chars() {
-                            h = h.wrapping_mul(31).wrapping_add(c as i32);
-                        }
-                        h
+            Ok(Value::Int(h))
+        }
+        NativeOp::StrToLowerCase => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            Ok(Value::Str(Rc::from(r.to_lowercase().as_str())))
+        }
+        NativeOp::StrIndexOf => {
+            let r = as_str(recv.as_ref().expect("recv"))?;
+            let o = as_str(&args[0])?;
+            Ok(Value::Int(
+                r.find(&*o)
+                    .map(|p| r[..p].chars().count() as i32)
+                    .unwrap_or(-1),
+            ))
+        }
+        NativeOp::ObjHashCode => {
+            let r = recv.as_ref().expect("recv");
+            Ok(Value::Int(match r {
+                Value::Obj(o) => Rc::as_ptr(o) as i32,
+                Value::Str(s) => {
+                    let mut h: i32 = 0;
+                    for c in s.chars() {
+                        h = h.wrapping_mul(31).wrapping_add(c as i32);
                     }
-                    _ => 0,
-                }))
-            }
-            NativeOp::ObjEquals => {
-                let r = recv.as_ref().expect("recv");
-                Ok(Value::Bool(r.ref_eq(&args[0])))
-            }
-            NativeOp::ObjToString | NativeOp::ToString => {
-                let r = recv.as_ref().expect("recv");
-                match r {
-                    Value::Str(s) => Ok(Value::Str(s.clone())),
-                    other => Ok(Value::Str(Rc::from(self.stringify(other)?.as_str()))),
+                    h
                 }
+                _ => 0,
+            }))
+        }
+        NativeOp::ObjEquals => {
+            let r = recv.as_ref().expect("recv");
+            Ok(Value::Bool(r.ref_eq(&args[0])))
+        }
+        NativeOp::ObjToString | NativeOp::ToString => {
+            let r = recv.as_ref().expect("recv");
+            match r {
+                Value::Str(s) => Ok(Value::Str(s.clone())),
+                other => Ok(Value::Str(Rc::from(stringify(other)?.as_str()))),
             }
         }
     }
@@ -308,21 +370,33 @@ mod tests {
     #[test]
     fn string_natives() {
         with_interp(|i| {
-            let v = i.native_call(NativeOp::StrLength, Some(s("héllo")), vec![]).unwrap();
+            let v = i
+                .native_call(NativeOp::StrLength, Some(s("héllo")), vec![])
+                .unwrap();
             assert!(matches!(v, Value::Int(5)));
             let v = i
                 .native_call(NativeOp::StrCompareTo, Some(s("a")), vec![s("b")])
                 .unwrap();
             assert!(matches!(v, Value::Int(-1)));
             let v = i
-                .native_call(NativeOp::StrEqualsIgnoreCase, Some(s("AbC")), vec![s("aBc")])
+                .native_call(
+                    NativeOp::StrEqualsIgnoreCase,
+                    Some(s("AbC")),
+                    vec![s("aBc")],
+                )
                 .unwrap();
             assert!(matches!(v, Value::Bool(true)));
             let v = i
-                .native_call(NativeOp::StrSubstring, Some(s("hello")), vec![Value::Int(1), Value::Int(3)])
+                .native_call(
+                    NativeOp::StrSubstring,
+                    Some(s("hello")),
+                    vec![Value::Int(1), Value::Int(3)],
+                )
                 .unwrap();
             assert!(matches!(v, Value::Str(x) if &*x == "el"));
-            let v = i.native_call(NativeOp::StrIndexOf, Some(s("hello")), vec![s("ll")]).unwrap();
+            let v = i
+                .native_call(NativeOp::StrIndexOf, Some(s("hello")), vec![s("ll")])
+                .unwrap();
             assert!(matches!(v, Value::Int(2)));
         });
     }
@@ -346,7 +420,12 @@ mod tests {
         with_interp(|i| {
             let name = Symbol::intern("plus");
             let v = i
-                .prim_call(PrimTy::Double, name, Some(Value::Double(1.5)), vec![Value::Double(2.0)])
+                .prim_call(
+                    PrimTy::Double,
+                    name,
+                    Some(Value::Double(1.5)),
+                    vec![Value::Double(2.0)],
+                )
                 .unwrap();
             assert!(matches!(v, Value::Double(x) if (x - 3.5).abs() < 1e-12));
             let v = i
@@ -354,11 +433,21 @@ mod tests {
                 .unwrap();
             assert!(matches!(v, Value::Int(0)));
             let v = i
-                .prim_call(PrimTy::Int, Symbol::intern("compareTo"), Some(Value::Int(3)), vec![Value::Int(5)])
+                .prim_call(
+                    PrimTy::Int,
+                    Symbol::intern("compareTo"),
+                    Some(Value::Int(3)),
+                    vec![Value::Int(5)],
+                )
                 .unwrap();
             assert!(matches!(v, Value::Int(-1)));
             let e = i
-                .prim_call(PrimTy::Boolean, Symbol::intern("plus"), Some(Value::Bool(true)), vec![Value::Bool(false)])
+                .prim_call(
+                    PrimTy::Boolean,
+                    Symbol::intern("plus"),
+                    Some(Value::Bool(true)),
+                    vec![Value::Bool(false)],
+                )
                 .unwrap_err();
             assert_eq!(e.kind, ErrorKind::Other);
         });

@@ -7,7 +7,10 @@ use genus_types::PrimTy;
 
 type RResult<T> = Result<T, RuntimeError>;
 
-pub(crate) fn widen_value(v: Value, to: PrimTy) -> Value {
+/// Applies a numeric widening (int→long/double, long→double, char→int);
+/// non-widening pairs pass through unchanged.
+#[must_use]
+pub fn widen_value(v: Value, to: PrimTy) -> Value {
     match (v, to) {
         (Value::Int(x), PrimTy::Long) => Value::Long(i64::from(x)),
         (Value::Int(x), PrimTy::Double) => Value::Double(f64::from(x)),
@@ -17,11 +20,20 @@ pub(crate) fn widen_value(v: Value, to: PrimTy) -> Value {
     }
 }
 
-pub(crate) fn arith(op: BinOp, nk: NumKind, l: Value, r: Value) -> RResult<Value> {
+/// Evaluates a numeric arithmetic operator with Java wrapping semantics.
+///
+/// # Errors
+///
+/// `ArithmeticException` on integer division/remainder by zero; `Other`
+/// on operand kind mismatches.
+pub fn arith(op: BinOp, nk: NumKind, l: Value, r: Value) -> RResult<Value> {
     match nk {
         NumKind::Int => {
             let (Value::Int(a), Value::Int(b)) = (&l, &r) else {
-                return Err(RuntimeError::new(ErrorKind::Other, "int arithmetic on non-ints"));
+                return Err(RuntimeError::new(
+                    ErrorKind::Other,
+                    "int arithmetic on non-ints",
+                ));
             };
             let (a, b) = (*a, *b);
             Ok(Value::Int(match op {
@@ -45,7 +57,10 @@ pub(crate) fn arith(op: BinOp, nk: NumKind, l: Value, r: Value) -> RResult<Value
         }
         NumKind::Long => {
             let (Value::Long(a), Value::Long(b)) = (&l, &r) else {
-                return Err(RuntimeError::new(ErrorKind::Other, "long arithmetic on non-longs"));
+                return Err(RuntimeError::new(
+                    ErrorKind::Other,
+                    "long arithmetic on non-longs",
+                ));
             };
             let (a, b) = (*a, *b);
             Ok(Value::Long(match op {
@@ -69,7 +84,10 @@ pub(crate) fn arith(op: BinOp, nk: NumKind, l: Value, r: Value) -> RResult<Value
         }
         NumKind::Double => {
             let (Value::Double(a), Value::Double(b)) = (&l, &r) else {
-                return Err(RuntimeError::new(ErrorKind::Other, "double arithmetic mismatch"));
+                return Err(RuntimeError::new(
+                    ErrorKind::Other,
+                    "double arithmetic mismatch",
+                ));
             };
             let (a, b) = (*a, *b);
             Ok(Value::Double(match op {
@@ -84,23 +102,37 @@ pub(crate) fn arith(op: BinOp, nk: NumKind, l: Value, r: Value) -> RResult<Value
     }
 }
 
-pub(crate) fn compare(op: BinOp, nk: NumKind, l: Value, r: Value) -> RResult<Value> {
+/// Evaluates a numeric comparison (NaN compares false except `!=`).
+///
+/// # Errors
+///
+/// `Other` on operand kind mismatches.
+pub fn compare(op: BinOp, nk: NumKind, l: Value, r: Value) -> RResult<Value> {
     let ord: std::cmp::Ordering = match nk {
         NumKind::Int => {
             let (Value::Int(a), Value::Int(b)) = (&l, &r) else {
-                return Err(RuntimeError::new(ErrorKind::Other, "int comparison mismatch"));
+                return Err(RuntimeError::new(
+                    ErrorKind::Other,
+                    "int comparison mismatch",
+                ));
             };
             a.cmp(b)
         }
         NumKind::Long => {
             let (Value::Long(a), Value::Long(b)) = (&l, &r) else {
-                return Err(RuntimeError::new(ErrorKind::Other, "long comparison mismatch"));
+                return Err(RuntimeError::new(
+                    ErrorKind::Other,
+                    "long comparison mismatch",
+                ));
             };
             a.cmp(b)
         }
         NumKind::Double => {
             let (Value::Double(a), Value::Double(b)) = (&l, &r) else {
-                return Err(RuntimeError::new(ErrorKind::Other, "double comparison mismatch"));
+                return Err(RuntimeError::new(
+                    ErrorKind::Other,
+                    "double comparison mismatch",
+                ));
             };
             match a.partial_cmp(b) {
                 Some(o) => o,
@@ -123,14 +155,19 @@ pub(crate) fn compare(op: BinOp, nk: NumKind, l: Value, r: Value) -> RResult<Val
     }))
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn int_arith_wraps_and_divides() {
-        let v = arith(BinOp::Add, NumKind::Int, Value::Int(i32::MAX), Value::Int(1)).unwrap();
+        let v = arith(
+            BinOp::Add,
+            NumKind::Int,
+            Value::Int(i32::MAX),
+            Value::Int(1),
+        )
+        .unwrap();
         assert!(matches!(v, Value::Int(i32::MIN)));
         let v = arith(BinOp::Div, NumKind::Int, Value::Int(7), Value::Int(2)).unwrap();
         assert!(matches!(v, Value::Int(3)));
@@ -142,8 +179,13 @@ mod tests {
 
     #[test]
     fn double_division_by_zero_is_infinite() {
-        let v =
-            arith(BinOp::Div, NumKind::Double, Value::Double(1.0), Value::Double(0.0)).unwrap();
+        let v = arith(
+            BinOp::Div,
+            NumKind::Double,
+            Value::Double(1.0),
+            Value::Double(0.0),
+        )
+        .unwrap();
         assert!(matches!(v, Value::Double(x) if x.is_infinite()));
     }
 
@@ -163,13 +205,20 @@ mod tests {
 
     #[test]
     fn widening() {
-        assert!(matches!(widen_value(Value::Int(3), PrimTy::Long), Value::Long(3)));
-        assert!(
-            matches!(widen_value(Value::Int(3), PrimTy::Double), Value::Double(x) if x == 3.0)
-        );
-        assert!(matches!(widen_value(Value::Char('a'), PrimTy::Int), Value::Int(97)));
+        assert!(matches!(
+            widen_value(Value::Int(3), PrimTy::Long),
+            Value::Long(3)
+        ));
+        assert!(matches!(widen_value(Value::Int(3), PrimTy::Double), Value::Double(x) if x == 3.0));
+        assert!(matches!(
+            widen_value(Value::Char('a'), PrimTy::Int),
+            Value::Int(97)
+        ));
         // Non-widening pairs pass through unchanged.
-        assert!(matches!(widen_value(Value::Bool(true), PrimTy::Int), Value::Bool(true)));
+        assert!(matches!(
+            widen_value(Value::Bool(true), PrimTy::Int),
+            Value::Bool(true)
+        ));
     }
 
     #[test]

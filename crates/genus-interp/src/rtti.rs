@@ -1,0 +1,955 @@
+//! Shared runtime-type machinery: reification, runtime subtyping,
+//! existential matching, casts, and dispatch-target resolution.
+//!
+//! Both execution engines — the tree-walking interpreter ([`crate::Interp`])
+//! and the bytecode VM (`genus-vm`) — implement the *same* dynamic
+//! semantics (§4.6, §5.1, §7.2 of the paper). The semantics live here as
+//! free functions over the checked program plus explicit type/model
+//! environments, so an engine only contributes its evaluation strategy and
+//! its caches, never a second copy of the rules.
+
+use crate::value::{
+    ArrayData, ClassMethodIndex, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError,
+    Value,
+};
+use genus_check::CheckedProgram;
+use genus_common::{FastMap, Symbol};
+use genus_types::{ClassId, Model, ModelId, MvId, PrimTy, TvId, Type, WhereReq};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+type RResult<T> = Result<T, RuntimeError>;
+
+/// Type-variable bindings of a runtime environment.
+pub type TEnv = HashMap<TvId, RtType>;
+/// Model-variable bindings of a runtime environment.
+pub type MEnv = HashMap<MvId, ModelValue>;
+
+// ----------------------------------------------------------------------
+// Reification
+// ----------------------------------------------------------------------
+
+/// Evaluates a static type to its runtime reification under `tenv`/`menv`.
+pub fn eval_type(prog: &CheckedProgram, tenv: &TEnv, menv: &MEnv, t: &Type) -> RtType {
+    match t {
+        Type::Prim(p) => RtType::Prim(*p),
+        Type::Null => RtType::Null,
+        Type::Infer(_) => RtType::Null,
+        Type::Var(v) => tenv.get(v).cloned().unwrap_or(RtType::Null),
+        Type::Array(e) => RtType::Array(Box::new(eval_type(prog, tenv, menv, e))),
+        Type::Class { id, args, models } => RtType::Class {
+            id: *id,
+            args: args
+                .iter()
+                .map(|a| eval_type(prog, tenv, menv, a))
+                .collect(),
+            models: models
+                .iter()
+                .map(|m| eval_model(prog, tenv, menv, m))
+                .collect(),
+        },
+        // Existentials erase to a generic reference at run time; their
+        // witnesses live in `Packed` values.
+        Type::Existential { .. } => RtType::Null,
+    }
+}
+
+/// Evaluates a static model to its runtime witness under `tenv`/`menv`.
+pub fn eval_model(prog: &CheckedProgram, tenv: &TEnv, menv: &MEnv, m: &Model) -> ModelValue {
+    match m {
+        Model::Var(v) => menv.get(v).cloned().unwrap_or(ModelValue::Natural {
+            constraint: genus_types::ConstraintId(0),
+            args: vec![],
+        }),
+        Model::Infer(_) => ModelValue::Natural {
+            constraint: genus_types::ConstraintId(0),
+            args: vec![],
+        },
+        Model::Natural { inst } => ModelValue::Natural {
+            constraint: inst.id,
+            args: inst
+                .args
+                .iter()
+                .map(|a| eval_type(prog, tenv, menv, a))
+                .collect(),
+        },
+        Model::Decl {
+            id,
+            type_args,
+            model_args,
+        } => ModelValue::Decl {
+            id: *id,
+            targs: type_args
+                .iter()
+                .map(|a| eval_type(prog, tenv, menv, a))
+                .collect(),
+            margs: model_args
+                .iter()
+                .map(|x| eval_model(prog, tenv, menv, x))
+                .collect(),
+        },
+    }
+}
+
+/// Runtime type of a value.
+pub fn value_rt_type(prog: &CheckedProgram, v: &Value) -> RtType {
+    match v {
+        Value::Int(_) => RtType::Prim(PrimTy::Int),
+        Value::Long(_) => RtType::Prim(PrimTy::Long),
+        Value::Double(_) => RtType::Prim(PrimTy::Double),
+        Value::Bool(_) => RtType::Prim(PrimTy::Boolean),
+        Value::Char(_) => RtType::Prim(PrimTy::Char),
+        Value::Str(_) => match prog.table.lookup_class(Symbol::intern("String")) {
+            Some(id) => RtType::Class {
+                id,
+                args: vec![],
+                models: vec![],
+            },
+            None => RtType::Null,
+        },
+        Value::Obj(o) => RtType::Class {
+            id: o.class,
+            args: o.targs.clone(),
+            models: o.models.clone(),
+        },
+        Value::Arr(a) => RtType::Array(Box::new(a.elem.clone())),
+        Value::Packed(p) => value_rt_type(prog, &p.value),
+        Value::Null | Value::Void => RtType::Null,
+    }
+}
+
+/// Whether evaluating this type yields the same reification in every
+/// frame (no type/model variables; inference leftovers and existentials
+/// erase deterministically).
+pub fn ty_receiver_independent(t: &Type) -> bool {
+    match t {
+        Type::Prim(_) | Type::Null | Type::Infer(_) | Type::Existential { .. } => true,
+        Type::Var(_) => false,
+        Type::Array(e) => ty_receiver_independent(e),
+        Type::Class { args, models, .. } => {
+            args.iter().all(ty_receiver_independent)
+                && models.iter().all(model_receiver_independent)
+        }
+    }
+}
+
+/// Model analogue of [`ty_receiver_independent`].
+pub fn model_receiver_independent(m: &Model) -> bool {
+    match m {
+        Model::Var(_) => false,
+        Model::Infer(_) => true,
+        Model::Natural { inst } => inst.args.iter().all(ty_receiver_independent),
+        Model::Decl {
+            type_args,
+            model_args,
+            ..
+        } => {
+            type_args.iter().all(ty_receiver_independent)
+                && model_args.iter().all(model_receiver_independent)
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Runtime subtyping
+// ----------------------------------------------------------------------
+
+/// Direct supertypes of a reified class instantiation.
+pub fn rt_parents(
+    prog: &CheckedProgram,
+    id: ClassId,
+    args: &[RtType],
+    models: &[ModelValue],
+) -> Vec<(ClassId, Vec<RtType>, Vec<ModelValue>)> {
+    let def = prog.table.class(id);
+    let mut tenv = TEnv::new();
+    let mut menv = MEnv::new();
+    for (tv, t) in def.params.iter().zip(args) {
+        tenv.insert(*tv, t.clone());
+    }
+    for (w, m) in def.wheres.iter().zip(models) {
+        menv.insert(w.mv, m.clone());
+    }
+    let mut out = Vec::new();
+    let mut push = |t: &Type| {
+        if let RtType::Class { id, args, models } = eval_type(prog, &tenv, &menv, t) {
+            out.push((id, args, models));
+        }
+    };
+    if let Some(e) = &def.extends {
+        push(e);
+    }
+    for i in &def.implements {
+        push(i);
+    }
+    out
+}
+
+/// The instantiation of a reified class viewed at ancestor `target`.
+pub fn rt_supertype_at(
+    prog: &CheckedProgram,
+    id: ClassId,
+    args: &[RtType],
+    models: &[ModelValue],
+    target: ClassId,
+) -> Option<(Vec<RtType>, Vec<ModelValue>)> {
+    if id == target {
+        return Some((args.to_vec(), models.to_vec()));
+    }
+    for (pid, pargs, pmodels) in rt_parents(prog, id, args, models) {
+        if let Some(found) = rt_supertype_at(prog, pid, &pargs, &pmodels, target) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Runtime subtyping over reified types (invariant generics, reference
+/// types below `Object`).
+pub fn rt_subtype(prog: &CheckedProgram, a: &RtType, b: &RtType) -> bool {
+    if a == b {
+        return true;
+    }
+    if let RtType::Class { id, args, .. } = b {
+        if args.is_empty() {
+            if let Some(obj) = prog.table.lookup_class(Symbol::intern("Object")) {
+                if *id == obj && !matches!(a, RtType::Prim(_)) {
+                    return true;
+                }
+            }
+        }
+    }
+    match (a, b) {
+        (RtType::Null, x) => !matches!(x, RtType::Prim(_)),
+        (
+            RtType::Class { id, args, models },
+            RtType::Class {
+                id: tid,
+                args: targs,
+                models: tmodels,
+            },
+        ) => match rt_supertype_at(prog, *id, args, models, *tid) {
+            Some((sargs, smodels)) => &sargs == targs && &smodels == tmodels,
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+/// Reified `instanceof` (null is not an instance of anything).
+pub fn value_instanceof(prog: &CheckedProgram, v: &Value, t: &RtType) -> bool {
+    if v.is_null() {
+        return false;
+    }
+    let vt = value_rt_type(prog, v);
+    rt_subtype(prog, &vt, t)
+}
+
+/// `instanceof` against a (possibly existential) static type.
+pub fn instanceof_type(
+    prog: &CheckedProgram,
+    tenv: &TEnv,
+    menv: &MEnv,
+    v: &Value,
+    ty: &Type,
+) -> bool {
+    match ty {
+        Type::Existential {
+            params,
+            bounds,
+            wheres,
+            body,
+        } => match_existential(prog, tenv, menv, v, params, bounds, wheres, body).is_some(),
+        _ => {
+            let t = eval_type(prog, tenv, menv, ty);
+            value_instanceof(prog, v, &t)
+        }
+    }
+}
+
+/// Matches a value against an existential pattern, returning the hole
+/// solutions `(types, models)` on success. This is what makes
+/// Figure 7's `src instanceof TreeSet[? extends T with c]` work.
+#[allow(clippy::too_many_arguments)]
+pub fn match_existential(
+    prog: &CheckedProgram,
+    tenv: &TEnv,
+    menv: &MEnv,
+    v: &Value,
+    params: &[TvId],
+    bounds: &[Option<Type>],
+    wheres: &[WhereReq],
+    body: &Type,
+) -> Option<(Vec<RtType>, Vec<ModelValue>)> {
+    if v.is_null() {
+        return None;
+    }
+    let inner = match v {
+        Value::Packed(p) => &p.value,
+        other => other,
+    };
+    let Type::Class { id, args, models } = body else {
+        // `[some U] U` matches anything; witnesses come from packaging.
+        if let Type::Var(u) = body {
+            if params.contains(u) {
+                let vt = value_rt_type(prog, inner);
+                if let Value::Packed(p) = v {
+                    return Some((vec![vt], p.models.clone()));
+                }
+                if wheres.is_empty() {
+                    return Some((vec![vt], vec![]));
+                }
+            }
+        }
+        return None;
+    };
+    let vt = value_rt_type(prog, inner);
+    let RtType::Class {
+        id: vid,
+        args: vargs,
+        models: vmodels,
+    } = &vt
+    else {
+        return None;
+    };
+    let (sargs, smodels) = rt_supertype_at(prog, *vid, vargs, vmodels, *id)?;
+    let mut hole_tys: HashMap<TvId, RtType> = HashMap::new();
+    for (pat, actual) in args.iter().zip(&sargs) {
+        match pat {
+            Type::Var(u) if params.contains(u) => {
+                if let Some(prev) = hole_tys.get(u) {
+                    if prev != actual {
+                        return None;
+                    }
+                } else {
+                    let idx = params.iter().position(|p| p == u).expect("hole in params");
+                    if let Some(Some(b)) = bounds.get(idx) {
+                        let bt = eval_type(prog, tenv, menv, b);
+                        if !rt_subtype(prog, actual, &bt) {
+                            return None;
+                        }
+                    }
+                    hole_tys.insert(*u, actual.clone());
+                }
+            }
+            _ => {
+                let want = eval_type(prog, tenv, menv, pat);
+                if &want != actual {
+                    return None;
+                }
+            }
+        }
+    }
+    let mut hole_models: HashMap<MvId, ModelValue> = HashMap::new();
+    let hole_mvs: Vec<MvId> = wheres.iter().map(|w| w.mv).collect();
+    for (pat, actual) in models.iter().zip(&smodels) {
+        match pat {
+            Model::Var(mv) if hole_mvs.contains(mv) => {
+                if let Some(prev) = hole_models.get(mv) {
+                    if prev != actual {
+                        return None;
+                    }
+                } else {
+                    hole_models.insert(*mv, actual.clone());
+                }
+            }
+            _ => {
+                let want = eval_model(prog, tenv, menv, pat);
+                if &want != actual {
+                    return None;
+                }
+            }
+        }
+    }
+    let types = params
+        .iter()
+        .map(|p| hole_tys.get(p).cloned().unwrap_or(RtType::Null))
+        .collect();
+    let models = wheres
+        .iter()
+        .map(|w| hole_models.get(&w.mv).cloned())
+        .collect::<Option<Vec<_>>>()?;
+    Some((types, models))
+}
+
+/// Checked cast semantics shared by both engines: numeric conversion
+/// matrices, null passthrough, existential (re)packing, and the reified
+/// class-cast check.
+pub fn cast_value(
+    prog: &CheckedProgram,
+    tenv: &TEnv,
+    menv: &MEnv,
+    v: Value,
+    ty: &Type,
+) -> RResult<Value> {
+    // Numeric casts (including narrowing).
+    if let Type::Prim(p) = ty {
+        return match (&v, p) {
+            (Value::Int(x), PrimTy::Int) => Ok(Value::Int(*x)),
+            (Value::Int(x), PrimTy::Long) => Ok(Value::Long(i64::from(*x))),
+            (Value::Int(x), PrimTy::Double) => Ok(Value::Double(f64::from(*x))),
+            (Value::Long(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
+            (Value::Long(x), PrimTy::Long) => Ok(Value::Long(*x)),
+            (Value::Long(x), PrimTy::Double) => Ok(Value::Double(*x as f64)),
+            (Value::Double(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
+            (Value::Double(x), PrimTy::Long) => Ok(Value::Long(*x as i64)),
+            (Value::Double(x), PrimTy::Double) => Ok(Value::Double(*x)),
+            (Value::Char(c), PrimTy::Int) => Ok(Value::Int(*c as i32)),
+            (Value::Int(x), PrimTy::Char) => {
+                Ok(Value::Char(char::from_u32(*x as u32).unwrap_or('\u{FFFD}')))
+            }
+            (Value::Char(c), PrimTy::Char) => Ok(Value::Char(*c)),
+            (Value::Bool(b), PrimTy::Boolean) => Ok(Value::Bool(*b)),
+            _ => Err(RuntimeError::new(
+                ErrorKind::ClassCast,
+                format!("cannot cast {v:?} to {}", p.name()),
+            )),
+        };
+    }
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    if let Type::Existential {
+        params,
+        bounds,
+        wheres,
+        body,
+    } = ty
+    {
+        return match match_existential(prog, tenv, menv, &v, params, bounds, wheres, body) {
+            Some((types, models)) => {
+                let inner = match v {
+                    Value::Packed(p) => p.value.clone(),
+                    other => other,
+                };
+                Ok(Value::Packed(Rc::new(PackedData {
+                    value: inner,
+                    types,
+                    models,
+                })))
+            }
+            None => Err(RuntimeError::new(
+                ErrorKind::ClassCast,
+                "value does not match existential type".to_string(),
+            )),
+        };
+    }
+    let t = eval_type(prog, tenv, menv, ty);
+    if value_instanceof(prog, &v, &t) {
+        Ok(match v {
+            Value::Packed(p) => p.value.clone(),
+            other => other,
+        })
+    } else {
+        Err(RuntimeError::new(
+            ErrorKind::ClassCast,
+            format!(
+                "cannot cast value of type {:?} to {:?}",
+                value_rt_type(prog, &v),
+                t
+            ),
+        ))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Virtual dispatch resolution
+// ----------------------------------------------------------------------
+
+/// Lazily built per-class `(name, arity) → method index` tables, shared
+/// cache structure for any engine.
+#[derive(Default)]
+pub struct ClassIndexes {
+    map: RefCell<FastMap<ClassId, Rc<ClassMethodIndex>>>,
+}
+
+impl ClassIndexes {
+    /// The (lazily built) method index for `id`.
+    pub fn get(&self, prog: &CheckedProgram, id: ClassId) -> Rc<ClassMethodIndex> {
+        if let Some(ix) = self.map.borrow().get(&id) {
+            return Rc::clone(ix);
+        }
+        let ix = Rc::new(ClassMethodIndex::build(prog.table.class(id)));
+        self.map.borrow_mut().insert(id, Rc::clone(&ix));
+        ix
+    }
+}
+
+/// A memoized virtual-dispatch target: the defining class and method
+/// index, plus the parent-edge path (`hops`) from the dynamic class to
+/// the defining class. The path is instantiation-independent — parent
+/// class ids come from `extends`/`implements` clauses whose head classes
+/// are fixed — so one entry serves every instantiation of the class;
+/// receiver-specific type/model arguments are re-derived by replaying
+/// the hops.
+#[derive(Debug, Clone)]
+pub struct VirtTarget {
+    /// Parent-edge indices from the dynamic class to the defining class.
+    pub hops: Vec<usize>,
+    /// Defining class.
+    pub cid: ClassId,
+    /// Method index within the defining class.
+    pub mi: usize,
+    /// The defining class's instantiation, precomputed when every parent
+    /// edge on the path is receiver-independent (mentions no type/model
+    /// variables) — then hits skip the hop replay entirely.
+    pub fixed: Option<(Vec<RtType>, Vec<ModelValue>)>,
+}
+
+/// Finds `(declaring class, method index, class targs, class models)`
+/// for a virtual call, walking the dynamic class chain then interfaces.
+/// This is the uncached slow path (`no-cache` builds).
+pub fn find_virtual(
+    prog: &CheckedProgram,
+    id: ClassId,
+    args: &[RtType],
+    models: &[ModelValue],
+    name: Symbol,
+    arity: usize,
+) -> Option<(ClassId, usize, Vec<RtType>, Vec<ModelValue>)> {
+    let def = prog.table.class(id);
+    for (mi, m) in def.methods.iter().enumerate() {
+        if m.name == name && m.params.len() == arity && !m.is_static {
+            // Skip pure signatures (abstract or interface methods
+            // without a body) so the search continues to an
+            // implementation; native methods are kept.
+            if m.body.is_some() || m.is_native {
+                return Some((id, mi, args.to_vec(), models.to_vec()));
+            }
+        }
+    }
+    for (pid, pargs, pmodels) in rt_parents(prog, id, args, models) {
+        if let Some(found) = find_virtual(prog, pid, &pargs, &pmodels, name, arity) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Walks the hierarchy like [`find_virtual`] but records the parent-edge
+/// path taken, so the result can be memoized per class and replayed for
+/// other instantiations.
+#[allow(clippy::too_many_arguments)]
+fn find_virtual_path(
+    prog: &CheckedProgram,
+    indexes: &ClassIndexes,
+    id: ClassId,
+    args: &[RtType],
+    models: &[ModelValue],
+    name: Symbol,
+    arity: usize,
+    hops: &mut Vec<usize>,
+) -> Option<(ClassId, usize)> {
+    if let Some(mi) = indexes.get(prog, id).virtual_method(name, arity) {
+        return Some((id, mi));
+    }
+    for (h, (pid, pargs, pmodels)) in rt_parents(prog, id, args, models).into_iter().enumerate() {
+        hops.push(h);
+        if let Some(found) =
+            find_virtual_path(prog, indexes, pid, &pargs, &pmodels, name, arity, hops)
+        {
+            return Some(found);
+        }
+        hops.pop();
+    }
+    None
+}
+
+/// Whether every parent edge along `hops` evaluates identically for
+/// all instantiations of `id` (so the target's instantiation can be
+/// computed once and frozen).
+fn path_is_receiver_independent(prog: &CheckedProgram, id: ClassId, hops: &[usize]) -> bool {
+    let mut cur = id;
+    for &h in hops {
+        let def = prog.table.class(cur);
+        // Hop indices follow `rt_parents` order: `extends` first,
+        // then `implements`.
+        let t = match def.extends.as_ref() {
+            Some(ext) if h == 0 => ext,
+            ext => &def.implements[h - usize::from(ext.is_some())],
+        };
+        if !ty_receiver_independent(t) {
+            return false;
+        }
+        let Type::Class { id: pid, .. } = t else {
+            return false;
+        };
+        cur = *pid;
+    }
+    true
+}
+
+/// Resolves a virtual-dispatch target for the dynamic class `id`,
+/// precomputing the fixed instantiation where the path allows it. The
+/// result is engine-memoizable per `(class, name, arity)`.
+pub fn resolve_virtual(
+    prog: &CheckedProgram,
+    indexes: &ClassIndexes,
+    id: ClassId,
+    args: &[RtType],
+    models: &[ModelValue],
+    name: Symbol,
+    arity: usize,
+) -> Option<Rc<VirtTarget>> {
+    let mut hops = Vec::new();
+    find_virtual_path(prog, indexes, id, args, models, name, arity, &mut hops).map(|(cid, mi)| {
+        let mut vt = VirtTarget {
+            hops,
+            cid,
+            mi,
+            fixed: None,
+        };
+        if !vt.hops.is_empty() && path_is_receiver_independent(prog, id, &vt.hops) {
+            let (_, _, cargs, cmodels) = replay_target(prog, &vt, id, args, models);
+            vt.fixed = Some((cargs, cmodels));
+        }
+        Rc::new(vt)
+    })
+}
+
+/// Re-derives the receiver-specific instantiation of the defining
+/// class by replaying a memoized target's parent-edge path.
+pub fn replay_target(
+    prog: &CheckedProgram,
+    t: &VirtTarget,
+    id: ClassId,
+    args: &[RtType],
+    models: &[ModelValue],
+) -> (ClassId, usize, Vec<RtType>, Vec<ModelValue>) {
+    let (mut id, mut args, mut models) = (id, args.to_vec(), models.to_vec());
+    for &h in &t.hops {
+        let (pid, pargs, pmodels) = rt_parents(prog, id, &args, &models)
+            .into_iter()
+            .nth(h)
+            .expect("memoized hop path stays within the class's parents");
+        id = pid;
+        args = pargs;
+        models = pmodels;
+    }
+    debug_assert_eq!(id, t.cid);
+    (t.cid, t.mi, args, models)
+}
+
+// ----------------------------------------------------------------------
+// Value projections shared by the engines
+// ----------------------------------------------------------------------
+
+/// Projects a value to an object reference, unwrapping existential
+/// packages.
+///
+/// # Errors
+///
+/// `NullPointerException` on null; `Other` on non-objects.
+pub fn expect_obj(v: &Value) -> RResult<&Rc<ObjData>> {
+    match v {
+        Value::Obj(o) => Ok(o),
+        Value::Packed(p) => match &p.value {
+            Value::Obj(o) => Ok(o),
+            Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null dereference")),
+            other => Err(RuntimeError::new(
+                ErrorKind::Other,
+                format!("expected object, got {other:?}"),
+            )),
+        },
+        Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null dereference")),
+        other => Err(RuntimeError::new(
+            ErrorKind::Other,
+            format!("expected object, got {other:?}"),
+        )),
+    }
+}
+
+/// Projects a value to an array reference, unwrapping existential
+/// packages.
+///
+/// # Errors
+///
+/// `NullPointerException` on null; `Other` on non-arrays.
+pub fn expect_arr(v: &Value) -> RResult<&Rc<ArrayData>> {
+    match v {
+        Value::Arr(a) => Ok(a),
+        Value::Packed(p) => match &p.value {
+            Value::Arr(a) => Ok(a),
+            _ => Err(RuntimeError::new(ErrorKind::Other, "expected array")),
+        },
+        Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null array")),
+        other => Err(RuntimeError::new(
+            ErrorKind::Other,
+            format!("expected array, got {other:?}"),
+        )),
+    }
+}
+
+/// Bounds-checks an array index value.
+///
+/// # Errors
+///
+/// `Other` for non-int indices; `IndexOutOfBounds` otherwise.
+pub fn expect_index(v: &Value, len: usize) -> RResult<usize> {
+    let Value::Int(i) = v else {
+        return Err(RuntimeError::new(ErrorKind::Other, "array index must be int"));
+    };
+    if *i < 0 || *i as usize >= len {
+        return Err(RuntimeError::new(
+            ErrorKind::IndexOutOfBounds,
+            format!("index {i} out of bounds for length {len}"),
+        ));
+    }
+    Ok(*i as usize)
+}
+
+// ----------------------------------------------------------------------
+// Multimethod (model) dispatch resolution (§5.1)
+// ----------------------------------------------------------------------
+
+/// Key for a multimethod dispatch memo: model instance, operation, and
+/// the dynamic receiver/argument types the applicability and specificity
+/// rules (§5.1) depend on. `RtType::Null` stands for null values, whose
+/// applicability is also type-determined.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct ModelDispatchKey {
+    /// Model declaration.
+    pub id: ModelId,
+    /// Reified model type arguments.
+    pub targs: Vec<RtType>,
+    /// Reified model model-arguments.
+    pub margs: Vec<ModelValue>,
+    /// Operation name.
+    pub name: Symbol,
+    /// Static (receiverless) operation?
+    pub is_static: bool,
+    /// Dynamic receiver type (or the static receiver type).
+    pub recv: Option<RtType>,
+    /// Dynamic argument types.
+    pub args: Vec<RtType>,
+}
+
+/// The winning candidate of a multimethod dispatch, with the model-level
+/// environment its body runs under.
+#[derive(Debug)]
+pub struct ModelTarget {
+    /// Defining model.
+    pub mid: ModelId,
+    /// Method index within the model.
+    pub mi: usize,
+    /// Type environment the body runs under.
+    pub tenv: TEnv,
+    /// Model environment the body runs under.
+    pub menv: MEnv,
+}
+
+/// How the dispatch receiver is given.
+pub enum RecvKind<'a> {
+    /// An instance operation: the *dynamic* type of the receiver value
+    /// (`RtType::Null` for a null receiver, which never applies).
+    Value(&'a RtType, /* receiver is null */ bool),
+    /// A static operation: the receiver *type* (`T.zero()`), matched
+    /// exactly.
+    Static(&'a RtType),
+}
+
+/// Collects `(model id, method index, env)` candidates: the model's own
+/// methods plus those inherited via `extends` (§5.3).
+fn model_candidates(
+    prog: &CheckedProgram,
+    id: ModelId,
+    targs: &[RtType],
+    margs: &[ModelValue],
+    out: &mut Vec<(ModelId, usize, TEnv, MEnv)>,
+    depth: usize,
+) {
+    if depth > 16 {
+        return;
+    }
+    let def = prog.table.model(id);
+    let mut tenv = TEnv::new();
+    let mut menv = MEnv::new();
+    for (tv, t) in def.tparams.iter().zip(targs) {
+        tenv.insert(*tv, t.clone());
+    }
+    for (w, m) in def.wheres.iter().zip(margs) {
+        menv.insert(w.mv, m.clone());
+    }
+    for (mi, _) in def.methods.iter().enumerate() {
+        out.push((id, mi, tenv.clone(), menv.clone()));
+    }
+    for parent in &def.extends {
+        if let ModelValue::Decl {
+            id: pid,
+            targs: pt,
+            margs: pm,
+        } = eval_model(prog, &tenv, &menv, parent)
+        {
+            model_candidates(prog, pid, &pt, &pm, out, depth + 1);
+        }
+    }
+}
+
+/// Selects the most specific applicable multimethod candidate (§5.1) for
+/// an operation on a declared model. Returns `None` when no candidate
+/// applies (the caller falls back to the receiver's own method).
+///
+/// The decision is a pure function of the model instance, the operation,
+/// and the dynamic receiver/argument types, so engines can memoize it
+/// under a [`ModelDispatchKey`].
+#[allow(clippy::too_many_arguments)]
+pub fn select_model_target(
+    prog: &CheckedProgram,
+    id: ModelId,
+    targs: &[RtType],
+    margs: &[ModelValue],
+    name: Symbol,
+    recv: Option<RecvKind<'_>>,
+    arg_ts: &[RtType],
+    args_null: &[bool],
+) -> Option<Rc<ModelTarget>> {
+    let is_static = !matches!(recv, Some(RecvKind::Value(..)));
+    let mut cands = Vec::new();
+    model_candidates(prog, id, targs, margs, &mut cands, 0);
+    // Applicability: the dynamic receiver and argument values must be
+    // instances of the declared (evaluated) types.
+    let mut applicable: Vec<(usize, Vec<RtType>)> = Vec::new();
+    for (ci, (mid, mi, tenv, menv)) in cands.iter().enumerate() {
+        let m = &prog.table.model(*mid).methods[*mi];
+        if m.name != name || m.is_static != is_static || m.params.len() != arg_ts.len() {
+            continue;
+        }
+        let recv_t = eval_type(prog, tenv, menv, &m.receiver);
+        let ok_recv = match &recv {
+            Some(RecvKind::Value(vt, is_null)) => !is_null && rt_subtype(prog, vt, &recv_t),
+            Some(RecvKind::Static(srt)) => &recv_t == *srt,
+            None => false,
+        };
+        if !ok_recv {
+            continue;
+        }
+        let param_ts: Vec<RtType> = m
+            .params
+            .iter()
+            .map(|(_, t)| eval_type(prog, tenv, menv, t))
+            .collect();
+        let ok_args = arg_ts
+            .iter()
+            .zip(args_null)
+            .zip(&param_ts)
+            .all(|((vt, null), t)| {
+                (!null && rt_subtype(prog, vt, t)) || matches!(t, RtType::Prim(_)) || *null
+            });
+        if !ok_args {
+            continue;
+        }
+        let mut tuple = vec![recv_t];
+        tuple.extend(param_ts);
+        applicable.push((ci, tuple));
+    }
+    if applicable.is_empty() {
+        return None;
+    }
+    // Most specific by pointwise runtime subtyping. Ties keep the
+    // earlier candidate: own definitions precede inherited ones in
+    // the candidate list, so a child model's definition shadows an
+    // inherited definition with the same dispatch tuple (§5.3).
+    let mut best = 0;
+    for i in 1..applicable.len() {
+        let fwd = applicable[i]
+            .1
+            .iter()
+            .zip(&applicable[best].1)
+            .all(|(a, b)| rt_subtype(prog, a, b));
+        let bwd = applicable[best]
+            .1
+            .iter()
+            .zip(&applicable[i].1)
+            .all(|(a, b)| rt_subtype(prog, a, b));
+        if fwd && !bwd {
+            best = i;
+        }
+    }
+    let (ci, _) = applicable[best];
+    let (mid, mi, tenv, menv) = &cands[ci];
+    Some(Rc::new(ModelTarget {
+        mid: *mid,
+        mi: *mi,
+        tenv: tenv.clone(),
+        menv: menv.clone(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_check::check_source;
+
+    #[test]
+    fn reification_and_subtyping_roundtrip() {
+        let prog = check_source(
+            "class A { A() { } }
+             class B extends A { B() { } }
+             void main() { }",
+        )
+        .unwrap();
+        let a = prog.table.lookup_class(Symbol::intern("A")).unwrap();
+        let b = prog.table.lookup_class(Symbol::intern("B")).unwrap();
+        let ta = RtType::Class {
+            id: a,
+            args: vec![],
+            models: vec![],
+        };
+        let tb = RtType::Class {
+            id: b,
+            args: vec![],
+            models: vec![],
+        };
+        assert!(rt_subtype(&prog, &tb, &ta));
+        assert!(!rt_subtype(&prog, &ta, &tb));
+        assert!(rt_subtype(&prog, &RtType::Null, &ta));
+        assert!(!rt_subtype(
+            &prog,
+            &RtType::Null,
+            &RtType::Prim(PrimTy::Int)
+        ));
+    }
+
+    #[test]
+    fn virtual_resolution_matches_uncached_walk() {
+        let prog = check_source(
+            "class A { A() { } int f() { return 1; } }
+             class B extends A { B() { } }
+             void main() { }",
+        )
+        .unwrap();
+        let b = prog.table.lookup_class(Symbol::intern("B")).unwrap();
+        let idx = ClassIndexes::default();
+        let f = Symbol::intern("f");
+        let t = resolve_virtual(&prog, &idx, b, &[], &[], f, 0).expect("resolves");
+        let (cid, mi, _, _) = find_virtual(&prog, b, &[], &[], f, 0).expect("walks");
+        assert_eq!((t.cid, t.mi), (cid, mi));
+        assert_eq!(t.hops, vec![0]);
+        assert!(t.fixed.is_some(), "monomorphic parent edge should freeze");
+    }
+
+    #[test]
+    fn cast_value_numeric_and_failure() {
+        let prog = check_source("void main() { }").unwrap();
+        let (tenv, menv) = (TEnv::new(), MEnv::new());
+        let v = cast_value(
+            &prog,
+            &tenv,
+            &menv,
+            Value::Int(65),
+            &Type::Prim(PrimTy::Char),
+        )
+        .unwrap();
+        assert!(matches!(v, Value::Char('A')));
+        let e = cast_value(
+            &prog,
+            &tenv,
+            &menv,
+            Value::Bool(true),
+            &Type::Prim(PrimTy::Int),
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::ClassCast);
+    }
+}

@@ -341,7 +341,10 @@ pub enum ErrorKind {
 impl RuntimeError {
     /// Creates an error.
     pub fn new(kind: ErrorKind, msg: impl Into<String>) -> Self {
-        RuntimeError { kind, msg: msg.into() }
+        RuntimeError {
+            kind,
+            msg: msg.into(),
+        }
     }
 }
 
@@ -394,7 +397,10 @@ mod tests {
 
     #[test]
     fn default_values() {
-        assert!(matches!(RtType::Prim(PrimTy::Int).default_value(), Value::Int(0)));
+        assert!(matches!(
+            RtType::Prim(PrimTy::Int).default_value(),
+            Value::Int(0)
+        ));
         assert!(matches!(RtType::Null.default_value(), Value::Null));
     }
 

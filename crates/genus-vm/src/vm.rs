@@ -1,0 +1,1389 @@
+//! The register VM: an explicit-frame dispatch loop over compiled
+//! bytecode.
+//!
+//! Where the tree-walking interpreter recurses on the host stack (one
+//! native frame per Genus frame), the VM keeps Genus frames in an
+//! explicit `Vec` and loops — the host stack stays flat on the hot call
+//! path, so the VM does not need the facade's big-stack thread. The few
+//! remaining host-recursive paths (stringification's `toString`
+//! dispatch, field and static initializers) each include counted Genus
+//! frames, so they stay bounded by the same `max_depth` budget as the
+//! interpreter.
+//!
+//! Semantics are shared with the interpreter through
+//! [`genus_interp::rtti`] (reification, dispatch resolution) and
+//! [`genus_interp::natives`]/[`genus_interp::ops`] (built-ins,
+//! arithmetic): the two engines cannot drift on type tests, dispatch
+//! decisions, or primitive behavior. The differential test suite (see
+//! the `genus` facade) asserts identical results, captured output, and
+//! runtime errors on every test program.
+//!
+//! # Examples
+//!
+//! ```
+//! use genus_check::check_source;
+//! use genus_vm::Vm;
+//!
+//! let prog = check_source(r#"
+//!     int main() { println("hi"); return 41 + 1; }
+//! "#).unwrap();
+//! let mut vm = Vm::new(&prog);
+//! let v = vm.run_main().unwrap();
+//! assert!(matches!(v, genus_interp::Value::Int(42)));
+//! assert_eq!(vm.take_output(), "hi\n");
+//! ```
+
+use crate::bytecode::{FuncId, Op, VmProgram};
+use crate::compile::compile_program;
+use genus_check::hir::{NativeOp, NumKind};
+use genus_check::CheckedProgram;
+use genus_common::{FastMap, Symbol};
+use genus_interp::natives;
+use genus_interp::ops::{arith, compare, widen_value};
+use genus_interp::rtti::{
+    self, MEnv, ModelDispatchKey, ModelTarget, RecvKind, TEnv, VirtTarget,
+};
+use genus_interp::{
+    ArrayData, DispatchStats, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError,
+    Storage, Value,
+};
+use genus_types::{caches_enabled, ClassId, ModelId};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+type RResult<T> = Result<T, RuntimeError>;
+
+/// One VM activation record. Registers `0..num_locals` are the HIR
+/// locals; the rest are expression temporaries.
+struct VmFrame {
+    func: FuncId,
+    pc: usize,
+    regs: Vec<Value>,
+    tenv: TEnv,
+    menv: MEnv,
+    /// Register in the *parent* frame receiving the return value
+    /// (`None` discards it, e.g. constructor frames).
+    dst: Option<u16>,
+    /// Whether this frame counts against the Genus call-depth budget
+    /// (initializer frames do not, matching the interpreter).
+    counted: bool,
+}
+
+/// Result of resolving a call: either an immediate value (natives,
+/// primitives) or a frame to push.
+enum Action {
+    Value(Value),
+    Frame(VmFrame),
+}
+
+/// Memo tables behind the VM's dispatch fast paths — same shape as the
+/// interpreter's, except the inline caches are a dense vector indexed by
+/// the bytecode's site ids rather than a map keyed by HIR addresses.
+type VirtMemo = FastMap<(ClassId, Symbol, usize), Option<Rc<VirtTarget>>>;
+type InlineCache = Vec<Option<(ClassId, Option<Rc<VirtTarget>>)>>;
+
+struct VmDispatch {
+    class_index: rtti::ClassIndexes,
+    virt: RefCell<VirtMemo>,
+    /// Monomorphic inline caches, one slot per `CallVirtual` site.
+    sites: RefCell<InlineCache>,
+    model: RefCell<FastMap<ModelDispatchKey, Option<Rc<ModelTarget>>>>,
+    ic_hits: Cell<u64>,
+    ic_misses: Cell<u64>,
+    virt_hits: Cell<u64>,
+    virt_misses: Cell<u64>,
+    model_hits: Cell<u64>,
+    model_misses: Cell<u64>,
+}
+
+fn bump(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
+
+/// Unwraps an existential package (virtual and model dispatch see the
+/// underlying value).
+fn unpack(v: Value) -> Value {
+    match v {
+        Value::Packed(p) => p.value.clone(),
+        other => other,
+    }
+}
+
+/// The virtual machine. Holds static fields and captured output across
+/// calls, mirroring [`genus_interp::Interp`]'s surface.
+pub struct Vm<'p> {
+    prog: &'p CheckedProgram,
+    code: Rc<VmProgram>,
+    statics: RefCell<HashMap<(u32, u32), Value>>,
+    output: RefCell<String>,
+    dispatch: VmDispatch,
+    /// Recycled register vectors: frames return their registers here on
+    /// exit so a call does not pay a heap allocation.
+    regs_pool: RefCell<Vec<Vec<Value>>>,
+    /// Whether `print` also writes to process stdout.
+    pub echo: bool,
+    depth: Cell<usize>,
+    /// Maximum Genus call depth before a `StackOverflowError`.
+    pub max_depth: usize,
+}
+
+impl<'p> Vm<'p> {
+    /// Compiles `prog` to bytecode and creates a VM for it.
+    pub fn new(prog: &'p CheckedProgram) -> Self {
+        Self::with_code(prog, Rc::new(compile_program(prog)))
+    }
+
+    /// Creates a VM over already-compiled bytecode (lets callers share
+    /// one compilation across runs).
+    pub fn with_code(prog: &'p CheckedProgram, code: Rc<VmProgram>) -> Self {
+        let sites = vec![None; code.num_sites];
+        Vm {
+            prog,
+            code,
+            statics: RefCell::new(HashMap::new()),
+            output: RefCell::new(String::new()),
+            dispatch: VmDispatch {
+                class_index: rtti::ClassIndexes::default(),
+                virt: RefCell::new(FastMap::default()),
+                sites: RefCell::new(sites),
+                model: RefCell::new(FastMap::default()),
+                ic_hits: Cell::new(0),
+                ic_misses: Cell::new(0),
+                virt_hits: Cell::new(0),
+                virt_misses: Cell::new(0),
+                model_hits: Cell::new(0),
+                model_misses: Cell::new(0),
+            },
+            regs_pool: RefCell::new(Vec::new()),
+            echo: false,
+            depth: Cell::new(0),
+            max_depth: 1000,
+        }
+    }
+
+    /// The compiled bytecode this VM executes.
+    #[must_use]
+    pub fn code(&self) -> &Rc<VmProgram> {
+        &self.code
+    }
+
+    /// Runs static initializers then `main()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first uncaught [`RuntimeError`].
+    pub fn run_main(&mut self) -> RResult<Value> {
+        self.init_statics()?;
+        let Some(main) = self.prog.main_index() else {
+            return Err(RuntimeError::new(ErrorKind::Other, "no `main()` method"));
+        };
+        self.call_global(main, vec![], vec![], vec![])
+    }
+
+    /// Runs static initializers (idempotent per VM).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`RuntimeError`] raised by an initializer.
+    pub fn init_statics(&self) -> RResult<()> {
+        for (cid, fi, fid) in &self.code.static_inits {
+            let frame = self.frame(*fid, None, vec![], false);
+            let v = self.run_call(frame)?;
+            self.statics.borrow_mut().insert((cid.0, *fi as u32), v);
+        }
+        Ok(())
+    }
+
+    /// Calls a global (top-level) method by index.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`RuntimeError`] raised by the body.
+    pub fn call_global(
+        &self,
+        index: usize,
+        targs: Vec<RtType>,
+        margs: Vec<ModelValue>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
+        let action = self.prepare_global(index, targs, margs, args)?;
+        self.complete(action)
+    }
+
+    /// Takes the captured `print` output.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.output.borrow_mut())
+    }
+
+    /// Snapshot of the dispatch-cache hit/miss counters.
+    #[must_use]
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        DispatchStats {
+            ic_hits: self.dispatch.ic_hits.get(),
+            ic_misses: self.dispatch.ic_misses.get(),
+            virt_hits: self.dispatch.virt_hits.get(),
+            virt_misses: self.dispatch.virt_misses.get(),
+            model_hits: self.dispatch.model_hits.get(),
+            model_misses: self.dispatch.model_misses.get(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Frames
+    // ------------------------------------------------------------------
+
+    /// A fresh frame for `func` with `this`/`args` in the leading
+    /// registers and empty type/model environments.
+    fn frame(&self, func: FuncId, this: Option<Value>, args: Vec<Value>, counted: bool) -> VmFrame {
+        let f = &self.code.funcs[func.0 as usize];
+        let mut regs = self.regs_pool.borrow_mut().pop().unwrap_or_default();
+        regs.resize(f.num_regs, Value::Null);
+        let mut slot = 0;
+        if let Some(t) = this {
+            regs[0] = t;
+            slot = 1;
+        }
+        for a in args {
+            regs[slot] = a;
+            slot += 1;
+        }
+        VmFrame {
+            func,
+            pc: 0,
+            regs,
+            tenv: TEnv::default(),
+            menv: MEnv::default(),
+            dst: None,
+            counted,
+        }
+    }
+
+    /// Depth accounting at frame entry; errors like the interpreter's
+    /// `run_body` prologue.
+    fn enter(&self, counted: bool) -> RResult<()> {
+        if counted {
+            if self.depth.get() >= self.max_depth {
+                return Err(RuntimeError::new(
+                    ErrorKind::StackOverflow,
+                    "call depth exceeded",
+                ));
+            }
+            self.depth.set(self.depth.get() + 1);
+        }
+        Ok(())
+    }
+
+    /// Runs a resolved call to completion on a nested frame stack.
+    fn complete(&self, action: Action) -> RResult<Value> {
+        match action {
+            Action::Value(v) => Ok(v),
+            Action::Frame(f) => self.run_call(f),
+        }
+    }
+
+    /// Applies a resolved call inside the dispatch loop: immediate
+    /// values write `dst` directly, frames are pushed.
+    fn apply(&self, stack: &mut Vec<VmFrame>, dst: u16, action: Action) -> RResult<()> {
+        match action {
+            Action::Value(v) => {
+                stack.last_mut().expect("frame").regs[dst as usize] = v;
+            }
+            Action::Frame(mut f) => {
+                self.enter(f.counted)?;
+                f.dst = Some(dst);
+                stack.push(f);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The dispatch loop
+    // ------------------------------------------------------------------
+
+    /// Runs `root` (and every frame it pushes) to completion. The Genus
+    /// depth counter is restored on error so callers that swallow errors
+    /// (stringification) do not leak budget.
+    fn run_call(&self, root: VmFrame) -> RResult<Value> {
+        let base = self.depth.get();
+        let r = self.run_frames(root);
+        if r.is_err() {
+            self.depth.set(base);
+        }
+        r
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_frames(&self, root: VmFrame) -> RResult<Value> {
+        let code = Rc::clone(&self.code);
+        self.enter(root.counted)?;
+        let mut stack: Vec<VmFrame> = vec![root];
+        loop {
+            let frame = stack.last_mut().expect("frame");
+            let func = &code.funcs[frame.func.0 as usize];
+            let op = func.code[frame.pc];
+            frame.pc += 1;
+            match op {
+                Op::Const { dst, k } => {
+                    frame.regs[dst as usize] = code.consts[k as usize].clone();
+                }
+                Op::Move { dst, src } => {
+                    frame.regs[dst as usize] = frame.regs[src as usize].clone();
+                }
+                Op::Jump { target } => frame.pc = target as usize,
+                Op::JumpIfFalse { cond, target } => match &frame.regs[cond as usize] {
+                    Value::Bool(false) => frame.pc = target as usize,
+                    Value::Bool(true) => {}
+                    other => {
+                        return Err(RuntimeError::new(
+                            ErrorKind::Other,
+                            format!("condition evaluated to non-boolean {other:?}"),
+                        ))
+                    }
+                },
+                Op::JumpIfTrue { cond, target } => match &frame.regs[cond as usize] {
+                    Value::Bool(true) => frame.pc = target as usize,
+                    Value::Bool(false) => {}
+                    other => {
+                        return Err(RuntimeError::new(
+                            ErrorKind::Other,
+                            format!("condition evaluated to non-boolean {other:?}"),
+                        ))
+                    }
+                },
+                Op::Return { src } => {
+                    let v = frame.regs[src as usize].clone();
+                    if let Some(v) = self.pop_frame(&mut stack, v) {
+                        return Ok(v);
+                    }
+                }
+                Op::ReturnVoid => {
+                    if let Some(v) = self.pop_frame(&mut stack, Value::Void) {
+                        return Ok(v);
+                    }
+                }
+                Op::FallOff => {
+                    return Err(RuntimeError::new(
+                        ErrorKind::MissingReturn,
+                        "non-void body completed without returning",
+                    ))
+                }
+                Op::Escaped => {
+                    return Err(RuntimeError::new(
+                        ErrorKind::Other,
+                        "break/continue escaped a body",
+                    ))
+                }
+                Op::GetField { dst, obj, class, field } => {
+                    let r = frame.regs[obj as usize].clone();
+                    let o = rtti::expect_obj(&r)?;
+                    let v = o
+                        .fields
+                        .borrow()
+                        .get(&(class.0, field))
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                    frame.regs[dst as usize] = v;
+                }
+                Op::SetField { obj, class, field, src } => {
+                    let r = frame.regs[obj as usize].clone();
+                    let v = frame.regs[src as usize].clone();
+                    let o = rtti::expect_obj(&r)?;
+                    o.fields.borrow_mut().insert((class.0, field), v);
+                }
+                Op::GetStatic { dst, class, field } => {
+                    frame.regs[dst as usize] = self
+                        .statics
+                        .borrow()
+                        .get(&(class.0, field))
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                }
+                Op::SetStatic { class, field, src } => {
+                    let v = frame.regs[src as usize].clone();
+                    self.statics.borrow_mut().insert((class.0, field), v);
+                }
+                Op::Arith { dst, op, nk, l, r } => {
+                    let lv = frame.regs[l as usize].clone();
+                    let rv = frame.regs[r as usize].clone();
+                    frame.regs[dst as usize] = arith(op, nk, lv, rv)?;
+                }
+                Op::Cmp { dst, op, nk, l, r } => {
+                    let lv = frame.regs[l as usize].clone();
+                    let rv = frame.regs[r as usize].clone();
+                    frame.regs[dst as usize] = compare(op, nk, lv, rv)?;
+                }
+                Op::RefEq { dst, l, r, negate } => {
+                    let eq = frame.regs[l as usize].ref_eq(&frame.regs[r as usize]);
+                    frame.regs[dst as usize] = Value::Bool(eq != negate);
+                }
+                Op::Concat { dst, l, r } => {
+                    let lv = frame.regs[l as usize].clone();
+                    let rv = frame.regs[r as usize].clone();
+                    let mut s = self.stringify(&lv)?;
+                    s.push_str(&self.stringify(&rv)?);
+                    stack.last_mut().expect("frame").regs[dst as usize] =
+                        Value::Str(Rc::from(s.as_str()));
+                }
+                Op::Not { dst, src } => match &frame.regs[src as usize] {
+                    Value::Bool(b) => frame.regs[dst as usize] = Value::Bool(!*b),
+                    _ => {
+                        return Err(RuntimeError::new(ErrorKind::Other, "`!` on non-boolean"))
+                    }
+                },
+                Op::Neg { dst, src, nk } => {
+                    let v = frame.regs[src as usize].clone();
+                    frame.regs[dst as usize] = match (nk, v) {
+                        (NumKind::Int, Value::Int(x)) => Value::Int(x.wrapping_neg()),
+                        (NumKind::Long, Value::Long(x)) => Value::Long(x.wrapping_neg()),
+                        (NumKind::Double, Value::Double(x)) => Value::Double(-x),
+                        (_, v) => {
+                            return Err(RuntimeError::new(
+                                ErrorKind::Other,
+                                format!("cannot negate {v:?}"),
+                            ))
+                        }
+                    };
+                }
+                Op::Widen { dst, src, to } => {
+                    let v = frame.regs[src as usize].clone();
+                    frame.regs[dst as usize] = widen_value(v, to);
+                }
+                Op::NewArray { dst, len, elem } => {
+                    let et = rtti::eval_type(
+                        self.prog,
+                        &frame.tenv,
+                        &frame.menv,
+                        &code.types[elem as usize],
+                    );
+                    let Value::Int(n) = frame.regs[len as usize] else {
+                        return Err(RuntimeError::new(
+                            ErrorKind::Other,
+                            "array length must be int",
+                        ));
+                    };
+                    if n < 0 {
+                        return Err(RuntimeError::new(
+                            ErrorKind::IndexOutOfBounds,
+                            format!("negative array length {n}"),
+                        ));
+                    }
+                    frame.regs[dst as usize] = Value::Arr(Rc::new(ArrayData {
+                        storage: RefCell::new(Storage::new(&et, n as usize)),
+                        elem: et,
+                    }));
+                }
+                Op::ArrayLen { dst, arr } => {
+                    let av = frame.regs[arr as usize].clone();
+                    let a = rtti::expect_arr(&av)?;
+                    let len = a.storage.borrow().len();
+                    frame.regs[dst as usize] = Value::Int(len as i32);
+                }
+                Op::ArrayGet { dst, arr, idx } => {
+                    let av = frame.regs[arr as usize].clone();
+                    let a = rtti::expect_arr(&av)?;
+                    let i = rtti::expect_index(&frame.regs[idx as usize], a.storage.borrow().len())?;
+                    let v = a.storage.borrow().get(i);
+                    frame.regs[dst as usize] = v;
+                }
+                Op::ArraySet { arr, idx, src } => {
+                    let av = frame.regs[arr as usize].clone();
+                    let a = rtti::expect_arr(&av)?;
+                    let i = rtti::expect_index(&frame.regs[idx as usize], a.storage.borrow().len())?;
+                    let v = frame.regs[src as usize].clone();
+                    a.storage.borrow_mut().set(i, v);
+                }
+                Op::InstanceOf { dst, src, ty } => {
+                    let v = frame.regs[src as usize].clone();
+                    let b = rtti::instanceof_type(
+                        self.prog,
+                        &frame.tenv,
+                        &frame.menv,
+                        &v,
+                        &code.types[ty as usize],
+                    );
+                    frame.regs[dst as usize] = Value::Bool(b);
+                }
+                Op::Cast { dst, src, ty } => {
+                    let v = frame.regs[src as usize].clone();
+                    frame.regs[dst as usize] = rtti::cast_value(
+                        self.prog,
+                        &frame.tenv,
+                        &frame.menv,
+                        v,
+                        &code.types[ty as usize],
+                    )?;
+                }
+                Op::DefaultValue { dst, ty } => {
+                    frame.regs[dst as usize] = rtti::eval_type(
+                        self.prog,
+                        &frame.tenv,
+                        &frame.menv,
+                        &code.types[ty as usize],
+                    )
+                    .default_value();
+                }
+                Op::Pack { dst, src, spec } => {
+                    let s = &code.pack_specs[spec as usize];
+                    let v = frame.regs[src as usize].clone();
+                    let ts = s
+                        .types
+                        .iter()
+                        .map(|t| rtti::eval_type(self.prog, &frame.tenv, &frame.menv, t))
+                        .collect();
+                    let ms = s
+                        .models
+                        .iter()
+                        .map(|m| rtti::eval_model(self.prog, &frame.tenv, &frame.menv, m))
+                        .collect();
+                    frame.regs[dst as usize] = Value::Packed(Rc::new(PackedData {
+                        value: v,
+                        types: ts,
+                        models: ms,
+                    }));
+                }
+                Op::Open { dst, src, spec } => {
+                    let s = &code.open_specs[spec as usize];
+                    let v = frame.regs[src as usize].clone();
+                    match v {
+                        Value::Packed(p) => {
+                            for (tv, t) in s.tvs.iter().zip(&p.types) {
+                                frame.tenv.insert(*tv, t.clone());
+                            }
+                            for (mv, m) in s.mvs.iter().zip(&p.models) {
+                                frame.menv.insert(*mv, m.clone());
+                            }
+                            frame.regs[dst as usize] = p.value.clone();
+                        }
+                        Value::Null => {
+                            return Err(RuntimeError::new(
+                                ErrorKind::NullPointer,
+                                "cannot open a null existential",
+                            ));
+                        }
+                        other => {
+                            // Witnesses were statically evident (no packing
+                            // was needed): bind from the runtime type.
+                            let rt = rtti::value_rt_type(self.prog, &other);
+                            for tv in &s.tvs {
+                                frame.tenv.insert(*tv, rt.clone());
+                            }
+                            frame.regs[dst as usize] = other;
+                        }
+                    }
+                }
+                Op::Print { src, newline } => {
+                    let v = frame.regs[src as usize].clone();
+                    let s = self.stringify(&v)?;
+                    {
+                        let mut out = self.output.borrow_mut();
+                        out.push_str(&s);
+                        if newline {
+                            out.push('\n');
+                        }
+                    }
+                    if self.echo {
+                        if newline {
+                            println!("{s}");
+                        } else {
+                            print!("{s}");
+                        }
+                    }
+                }
+                Op::CallVirtual { dst, recv, spec, site } => {
+                    let s = &code.virt_specs[spec as usize];
+                    let r = frame.regs[recv as usize].clone();
+                    let args: Vec<Value> =
+                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let rt: Vec<RtType> = s
+                        .targs
+                        .iter()
+                        .map(|t| rtti::eval_type(self.prog, &frame.tenv, &frame.menv, t))
+                        .collect();
+                    let rm: Vec<ModelValue> = s
+                        .margs
+                        .iter()
+                        .map(|m| rtti::eval_model(self.prog, &frame.tenv, &frame.menv, m))
+                        .collect();
+                    let action =
+                        self.prepare_virtual(Some(site), r, s.name, s.arity, rt, rm, args)?;
+                    self.apply(&mut stack, dst, action)?;
+                }
+                Op::CallStatic { dst, spec } => {
+                    let s = &code.static_specs[spec as usize];
+                    let args: Vec<Value> =
+                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let rt: Vec<RtType> = s
+                        .targs
+                        .iter()
+                        .map(|t| rtti::eval_type(self.prog, &frame.tenv, &frame.menv, t))
+                        .collect();
+                    let rm: Vec<ModelValue> = s
+                        .margs
+                        .iter()
+                        .map(|m| rtti::eval_model(self.prog, &frame.tenv, &frame.menv, m))
+                        .collect();
+                    let action = self.prepare_class_method(
+                        s.class,
+                        s.method,
+                        vec![],
+                        vec![],
+                        None,
+                        rt,
+                        rm,
+                        args,
+                    )?;
+                    self.apply(&mut stack, dst, action)?;
+                }
+                Op::CallGlobal { dst, spec } => {
+                    let s = &code.global_specs[spec as usize];
+                    let args: Vec<Value> =
+                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let rt: Vec<RtType> = s
+                        .targs
+                        .iter()
+                        .map(|t| rtti::eval_type(self.prog, &frame.tenv, &frame.menv, t))
+                        .collect();
+                    let rm: Vec<ModelValue> = s
+                        .margs
+                        .iter()
+                        .map(|m| rtti::eval_model(self.prog, &frame.tenv, &frame.menv, m))
+                        .collect();
+                    let action = self.prepare_global(s.index, rt, rm, args)?;
+                    self.apply(&mut stack, dst, action)?;
+                }
+                Op::CallModel { dst, spec } => {
+                    let s = &code.model_specs[spec as usize];
+                    let mv = rtti::eval_model(self.prog, &frame.tenv, &frame.menv, &s.model);
+                    let r = s.recv.map(|r| frame.regs[r as usize].clone());
+                    let srt = s
+                        .static_recv
+                        .as_ref()
+                        .map(|t| rtti::eval_type(self.prog, &frame.tenv, &frame.menv, t));
+                    let args: Vec<Value> =
+                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let action = self.prepare_model(&mv, s.name, r, srt, args)?;
+                    self.apply(&mut stack, dst, action)?;
+                }
+                Op::New { dst, spec } => {
+                    let s = &code.new_specs[spec as usize];
+                    let rt: Vec<RtType> = s
+                        .targs
+                        .iter()
+                        .map(|t| rtti::eval_type(self.prog, &frame.tenv, &frame.menv, t))
+                        .collect();
+                    let rm: Vec<ModelValue> = s
+                        .models
+                        .iter()
+                        .map(|m| rtti::eval_model(self.prog, &frame.tenv, &frame.menv, m))
+                        .collect();
+                    let args: Vec<Value> =
+                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let this = self.new_object(s.class, &rt, &rm)?;
+                    let def = self.prog.table.class(s.class);
+                    let Some(&fid) = code.ctors.get(&(s.class.0, s.ctor as u32)) else {
+                        return Err(RuntimeError::new(
+                            ErrorKind::NoSuchMethod,
+                            format!("class `{}` ctor {} has no body", def.name, s.ctor),
+                        ));
+                    };
+                    let mut f = self.frame(fid, Some(this.clone()), args, true);
+                    for (tv, t) in def.params.iter().zip(rt) {
+                        f.tenv.insert(*tv, t);
+                    }
+                    for (w, mm) in def.wheres.iter().zip(rm) {
+                        f.menv.insert(w.mv, mm);
+                    }
+                    self.enter(true)?;
+                    let frame = stack.last_mut().expect("frame");
+                    frame.regs[dst as usize] = this;
+                    stack.push(f);
+                }
+                Op::PrimCall { dst, spec } => {
+                    let s = &code.prim_specs[spec as usize];
+                    let r = s.recv.map(|r| frame.regs[r as usize].clone());
+                    let args: Vec<Value> =
+                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    frame.regs[dst as usize] = natives::prim_call(s.prim, s.name, r, args)?;
+                }
+                Op::Native { dst, spec } => {
+                    let s = &code.native_specs[spec as usize];
+                    let r = s.recv.map(|r| frame.regs[r as usize].clone());
+                    let args: Vec<Value> =
+                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let v = self.native(s.op, r, args)?;
+                    stack.last_mut().expect("frame").regs[dst as usize] = v;
+                }
+            }
+        }
+    }
+
+    /// Pops the finished frame, delivering `v` to the parent. Returns
+    /// `Some(v)` when the root frame finished.
+    fn pop_frame(&self, stack: &mut Vec<VmFrame>, v: Value) -> Option<Value> {
+        let mut fin = stack.pop().expect("frame");
+        if fin.counted {
+            self.depth.set(self.depth.get() - 1);
+        }
+        {
+            let mut pool = self.regs_pool.borrow_mut();
+            if pool.len() < 64 {
+                // Dropping the values now (not at reuse) releases their
+                // references promptly, as a non-pooled frame would.
+                fin.regs.clear();
+                pool.push(std::mem::take(&mut fin.regs));
+            }
+        }
+        match stack.last_mut() {
+            Some(parent) => {
+                if let Some(d) = fin.dst {
+                    parent.regs[d as usize] = v;
+                }
+                None
+            }
+            None => Some(v),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Call resolution (shared with the interpreter via `rtti`)
+    // ------------------------------------------------------------------
+
+    /// Memoized virtual-target lookup keyed on the dynamic class.
+    fn virt_target(
+        &self,
+        id: ClassId,
+        args: &[RtType],
+        models: &[ModelValue],
+        name: Symbol,
+        arity: usize,
+    ) -> Option<Rc<VirtTarget>> {
+        let key = (id, name, arity);
+        if let Some(t) = self.dispatch.virt.borrow().get(&key) {
+            bump(&self.dispatch.virt_hits);
+            return t.clone();
+        }
+        bump(&self.dispatch.virt_misses);
+        let t = rtti::resolve_virtual(
+            self.prog,
+            &self.dispatch.class_index,
+            id,
+            args,
+            models,
+            name,
+            arity,
+        );
+        self.dispatch.virt.borrow_mut().insert(key, t.clone());
+        t
+    }
+
+    /// Virtual-target lookup through the site's inline-cache slot,
+    /// falling back to the per-class memo.
+    fn cached_virt_target(
+        &self,
+        site: Option<u32>,
+        id: ClassId,
+        args: &[RtType],
+        models: &[ModelValue],
+        name: Symbol,
+        arity: usize,
+    ) -> Option<Rc<VirtTarget>> {
+        let Some(site) = site else {
+            return self.virt_target(id, args, models, name, arity);
+        };
+        if let Some(Some((cls, t))) = self.dispatch.sites.borrow().get(site as usize) {
+            if *cls == id {
+                bump(&self.dispatch.ic_hits);
+                return t.clone();
+            }
+        }
+        bump(&self.dispatch.ic_misses);
+        let t = self.virt_target(id, args, models, name, arity);
+        self.dispatch.sites.borrow_mut()[site as usize] = Some((id, t.clone()));
+        t
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn prepare_virtual(
+        &self,
+        site: Option<u32>,
+        recv: Value,
+        name: Symbol,
+        arity: usize,
+        targs: Vec<RtType>,
+        margs: Vec<ModelValue>,
+        args: Vec<Value>,
+    ) -> RResult<Action> {
+        let recv = unpack(recv);
+        match &recv {
+            Value::Obj(o) => {
+                let found = if caches_enabled() {
+                    self.cached_virt_target(site, o.class, &o.targs, &o.models, name, arity)
+                        .map(|t| match &t.fixed {
+                            Some((a, m)) => (t.cid, t.mi, a.clone(), m.clone()),
+                            None => {
+                                rtti::replay_target(self.prog, &t, o.class, &o.targs, &o.models)
+                            }
+                        })
+                } else {
+                    rtti::find_virtual(self.prog, o.class, &o.targs, &o.models, name, arity)
+                };
+                let Some((cid, mi, cargs, cmodels)) = found else {
+                    return Err(RuntimeError::new(
+                        ErrorKind::NoSuchMethod,
+                        format!(
+                            "no method `{name}`/{arity} on class `{}`",
+                            self.prog.table.class(o.class).name
+                        ),
+                    ));
+                };
+                self.prepare_class_method(
+                    cid,
+                    mi,
+                    cargs,
+                    cmodels,
+                    Some(recv.clone()),
+                    targs,
+                    margs,
+                    args,
+                )
+            }
+            Value::Str(_) => {
+                let Some(op) = natives::string_native_op(name) else {
+                    return Err(RuntimeError::new(
+                        ErrorKind::NoSuchMethod,
+                        format!("no String method `{name}`"),
+                    ));
+                };
+                Ok(Action::Value(self.native(op, Some(recv.clone()), args)?))
+            }
+            Value::Int(_) | Value::Long(_) | Value::Double(_) | Value::Bool(_) | Value::Char(_) => {
+                let p = match rtti::value_rt_type(self.prog, &recv) {
+                    RtType::Prim(p) => p,
+                    _ => unreachable!("primitive value"),
+                };
+                Ok(Action::Value(natives::prim_call(p, name, Some(recv), args)?))
+            }
+            Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "call on null")),
+            other => Err(RuntimeError::new(
+                ErrorKind::Other,
+                format!("cannot dispatch `{name}` on {other:?}"),
+            )),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn prepare_class_method(
+        &self,
+        cid: ClassId,
+        mi: usize,
+        cargs: Vec<RtType>,
+        cmodels: Vec<ModelValue>,
+        this: Option<Value>,
+        targs: Vec<RtType>,
+        margs: Vec<ModelValue>,
+        args: Vec<Value>,
+    ) -> RResult<Action> {
+        let def = self.prog.table.class(cid);
+        let m = &def.methods[mi];
+        if m.is_native {
+            if let Some(op) = genus_check::body::native_op(def.name, m.name) {
+                return Ok(Action::Value(self.native(op, this, args)?));
+            }
+        }
+        let Some(&fid) = self.code.methods.get(&(cid.0, mi as u32)) else {
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("method `{}::{}` has no body", def.name, m.name),
+            ));
+        };
+        let mut frame = self.frame(fid, this, args, true);
+        for (tv, t) in def.params.iter().zip(cargs) {
+            frame.tenv.insert(*tv, t);
+        }
+        for (w, mm) in def.wheres.iter().zip(cmodels) {
+            frame.menv.insert(w.mv, mm);
+        }
+        for (tv, t) in m.tparams.iter().zip(targs) {
+            frame.tenv.insert(*tv, t);
+        }
+        for (w, mm) in m.wheres.iter().zip(margs) {
+            frame.menv.insert(w.mv, mm);
+        }
+        Ok(Action::Frame(frame))
+    }
+
+    fn prepare_global(
+        &self,
+        index: usize,
+        targs: Vec<RtType>,
+        margs: Vec<ModelValue>,
+        args: Vec<Value>,
+    ) -> RResult<Action> {
+        let g = &self.prog.table.globals[index];
+        let Some(&fid) = self.code.globals.get(&(index as u32)) else {
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("global `{}` has no body", g.name),
+            ));
+        };
+        let mut frame = self.frame(fid, None, args, true);
+        for (tv, t) in g.tparams.iter().zip(targs) {
+            frame.tenv.insert(*tv, t);
+        }
+        for (w, m) in g.wheres.iter().zip(margs) {
+            frame.menv.insert(w.mv, m);
+        }
+        Ok(Action::Frame(frame))
+    }
+
+    /// Allocates an object and runs its field-initializer chain (base
+    /// classes first), leaving the constructor to the caller.
+    fn new_object(
+        &self,
+        cid: ClassId,
+        targs: &[RtType],
+        models: &[ModelValue],
+    ) -> RResult<Value> {
+        let obj = Rc::new(ObjData {
+            class: cid,
+            targs: targs.to_vec(),
+            models: models.to_vec(),
+            fields: RefCell::new(HashMap::new()),
+        });
+        let this = Value::Obj(obj);
+        let mut chain = Vec::new();
+        let mut cur = Some((cid, targs.to_vec(), models.to_vec()));
+        while let Some((id, a, m)) = cur {
+            let parents = rtti::rt_parents(self.prog, id, &a, &m);
+            chain.push((id, a, m));
+            cur = parents
+                .into_iter()
+                .find(|(pid, _, _)| !self.prog.table.class(*pid).is_interface);
+        }
+        for (id, a, m) in chain.iter().rev() {
+            let def = self.prog.table.class(*id);
+            let mut tenv = TEnv::default();
+            let mut menv = MEnv::default();
+            for (tv, t) in def.params.iter().zip(a) {
+                tenv.insert(*tv, t.clone());
+            }
+            for (w, mm) in def.wheres.iter().zip(m) {
+                menv.insert(w.mv, mm.clone());
+            }
+            for (fi, f) in def.fields.iter().enumerate() {
+                if f.is_static {
+                    continue;
+                }
+                let key = (id.0, fi as u32);
+                let v = match self.code.field_inits.get(&key) {
+                    Some(&fid) => {
+                        let mut frame = self.frame(fid, Some(this.clone()), vec![], false);
+                        frame.tenv = tenv.clone();
+                        frame.menv = menv.clone();
+                        self.run_call(frame)?
+                    }
+                    None => rtti::eval_type(self.prog, &tenv, &menv, &f.ty).default_value(),
+                };
+                if let Value::Obj(o) = &this {
+                    o.fields.borrow_mut().insert(key, v);
+                }
+            }
+        }
+        Ok(this)
+    }
+
+    // ------------------------------------------------------------------
+    // Model dispatch (multimethods, §5.1)
+    // ------------------------------------------------------------------
+
+    fn prepare_model(
+        &self,
+        model: &ModelValue,
+        name: Symbol,
+        recv: Option<Value>,
+        static_recv: Option<RtType>,
+        args: Vec<Value>,
+    ) -> RResult<Action> {
+        match model {
+            ModelValue::Natural { .. } => match recv {
+                Some(r) => self.prepare_virtual(None, r, name, args.len(), vec![], vec![], args),
+                None => {
+                    let Some(rt) = static_recv else {
+                        return Err(RuntimeError::new(
+                            ErrorKind::Other,
+                            "static model call without receiver type",
+                        ));
+                    };
+                    match rt {
+                        RtType::Prim(p) => {
+                            Ok(Action::Value(natives::prim_call(p, name, None, args)?))
+                        }
+                        RtType::Class { id, args: cargs, models: cmodels } => {
+                            let def = self.prog.table.class(id);
+                            let mi = if caches_enabled() {
+                                self.dispatch
+                                    .class_index
+                                    .get(self.prog, id)
+                                    .static_method(name, args.len())
+                            } else {
+                                def.methods.iter().position(|m| {
+                                    m.is_static && m.name == name && m.params.len() == args.len()
+                                })
+                            };
+                            match mi {
+                                Some(mi) => self.prepare_class_method(
+                                    id,
+                                    mi,
+                                    cargs,
+                                    cmodels,
+                                    None,
+                                    vec![],
+                                    vec![],
+                                    args,
+                                ),
+                                None => Err(RuntimeError::new(
+                                    ErrorKind::NoSuchMethod,
+                                    format!("no static `{name}` on `{}`", def.name),
+                                )),
+                            }
+                        }
+                        other => Err(RuntimeError::new(
+                            ErrorKind::NoSuchMethod,
+                            format!("no static `{name}` on {other:?}"),
+                        )),
+                    }
+                }
+            },
+            ModelValue::Decl { id, targs, margs } => {
+                self.model_dispatch(*id, targs, margs, name, recv, static_recv, args)
+            }
+        }
+    }
+
+    /// Builds the action for a chosen multimethod candidate (or the
+    /// fallback when none applied).
+    fn prepare_model_target(
+        &self,
+        target: Option<&ModelTarget>,
+        id: ModelId,
+        name: Symbol,
+        recv: Option<Value>,
+        args: Vec<Value>,
+    ) -> RResult<Action> {
+        let Some(t) = target else {
+            // Fall back to the underlying type's own method (a model may
+            // leave prerequisite operations to the natural model).
+            if let Some(r) = recv {
+                return self.prepare_virtual(None, r, name, args.len(), vec![], vec![], args);
+            }
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!(
+                    "model `{}` has no applicable `{name}`",
+                    self.prog.table.model(id).name
+                ),
+            ));
+        };
+        let Some(&fid) = self.code.model_methods.get(&(t.mid.0, t.mi as u32)) else {
+            return Err(RuntimeError::new(
+                ErrorKind::NoSuchMethod,
+                format!("model method `{name}` has no body"),
+            ));
+        };
+        let recv = recv.map(unpack);
+        let mut frame = self.frame(fid, recv, args, true);
+        frame.tenv = t.tenv.clone();
+        frame.menv = t.menv.clone();
+        Ok(Action::Frame(frame))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn model_dispatch(
+        &self,
+        id: ModelId,
+        targs: &[RtType],
+        margs: &[ModelValue],
+        name: Symbol,
+        recv: Option<Value>,
+        static_recv: Option<RtType>,
+        args: Vec<Value>,
+    ) -> RResult<Action> {
+        let is_static = recv.is_none();
+        let key = if caches_enabled() {
+            let key = ModelDispatchKey {
+                id,
+                targs: targs.to_vec(),
+                margs: margs.to_vec(),
+                name,
+                is_static,
+                recv: recv
+                    .as_ref()
+                    .map(|r| rtti::value_rt_type(self.prog, r))
+                    .or_else(|| static_recv.clone()),
+                args: args.iter().map(|a| rtti::value_rt_type(self.prog, a)).collect(),
+            };
+            if let Some(t) = self.dispatch.model.borrow().get(&key).cloned() {
+                bump(&self.dispatch.model_hits);
+                return self.prepare_model_target(t.as_deref(), id, name, recv, args);
+            }
+            bump(&self.dispatch.model_misses);
+            Some(key)
+        } else {
+            None
+        };
+        let (recv_t, recv_is_value) = match (&recv, &static_recv) {
+            (Some(r), _) => (Some(rtti::value_rt_type(self.prog, r)), true),
+            (None, Some(_)) => (static_recv.clone(), false),
+            (None, None) => (None, false),
+        };
+        let kind = match (&recv_t, recv_is_value) {
+            (Some(vt), true) => Some(RecvKind::Value(
+                vt,
+                recv.as_ref().is_some_and(Value::is_null),
+            )),
+            (Some(srt), false) => Some(RecvKind::Static(srt)),
+            (None, _) => None,
+        };
+        let arg_ts: Vec<RtType> =
+            args.iter().map(|a| rtti::value_rt_type(self.prog, a)).collect();
+        let args_null: Vec<bool> = args.iter().map(Value::is_null).collect();
+        let target =
+            rtti::select_model_target(self.prog, id, targs, margs, name, kind, &arg_ts, &args_null);
+        if let Some(key) = key {
+            self.dispatch.model.borrow_mut().insert(key, target.clone());
+        }
+        self.prepare_model_target(target.as_deref(), id, name, recv, args)
+    }
+
+    // ------------------------------------------------------------------
+    // Natives and stringification
+    // ------------------------------------------------------------------
+
+    fn native(&self, op: NativeOp, recv: Option<Value>, args: Vec<Value>) -> RResult<Value> {
+        natives::native_call_with(|v| self.stringify(v), op, recv, args)
+    }
+
+    /// Stringification used by concatenation and `print`: objects get
+    /// their `toString` dispatched dynamically (on a nested frame
+    /// stack); failures fall back to the default rendering, exactly as
+    /// in the interpreter.
+    pub fn stringify(&self, v: &Value) -> RResult<String> {
+        match v {
+            Value::Obj(_) => {
+                let r = self
+                    .prepare_virtual(
+                        None,
+                        v.clone(),
+                        Symbol::intern("toString"),
+                        0,
+                        vec![],
+                        vec![],
+                        vec![],
+                    )
+                    .and_then(|a| self.complete(a));
+                match r {
+                    Ok(Value::Str(s)) => Ok(s.to_string()),
+                    _ => Ok(format!("{v}")),
+                }
+            }
+            Value::Packed(p) => self.stringify(&p.value),
+            other => Ok(format!("{other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_check::check_source;
+    use genus_interp::Interp;
+
+    fn run_vm(src: &str) -> (Value, String) {
+        let prog = check_source(src).unwrap_or_else(|e| panic!("check failed:\n{e}"));
+        let mut vm = Vm::new(&prog);
+        let v = vm.run_main().unwrap_or_else(|e| panic!("runtime error: {e}"));
+        let out = vm.take_output();
+        (v, out)
+    }
+
+    /// Runs on both engines and asserts the rendered value and output
+    /// agree.
+    fn run_both(src: &str) -> (String, String) {
+        let prog = check_source(src).unwrap_or_else(|e| panic!("check failed:\n{e}"));
+        let mut i = Interp::new(&prog);
+        let iv = i.run_main().unwrap_or_else(|e| panic!("interp error: {e}"));
+        let iout = i.take_output();
+        let mut vm = Vm::new(&prog);
+        let vv = vm.run_main().unwrap_or_else(|e| panic!("vm error: {e}"));
+        let vout = vm.take_output();
+        assert_eq!(format!("{iv}"), format!("{vv}"), "values diverge");
+        assert_eq!(iout, vout, "output diverges");
+        (format!("{vv}"), vout)
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        let (v, _) = run_vm(
+            "int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) { s += i; } return s; }",
+        );
+        assert!(matches!(v, Value::Int(55)));
+    }
+
+    #[test]
+    fn strings_and_print() {
+        let (_, out) = run_vm(r#"void main() { String s = "a" + "b"; println(s + 1); }"#);
+        assert_eq!(out, "ab1\n");
+    }
+
+    #[test]
+    fn short_circuit_evaluation_order() {
+        let (v, out) = run_both(
+            "boolean side(boolean r) { print(\"x\"); return r; }
+             int main() {
+               boolean a = side(false) && side(true);
+               boolean b = side(true) || side(false);
+               if (a || !b) { return 1; }
+               return 0;
+             }",
+        );
+        assert_eq!(v, "0");
+        assert_eq!(out, "xx");
+    }
+
+    #[test]
+    fn classes_inheritance_dispatch() {
+        let (v, _) = run_both(
+            "class Animal {
+               Animal() { }
+               int legs() { return 4; }
+               String describe() { return \"has \" + this.legs() + \" legs\"; }
+             }
+             class Bird extends Animal {
+               Bird() { }
+               int legs() { return 2; }
+             }
+             String main() {
+               Animal a = new Bird();
+               return a.describe();
+             }",
+        );
+        assert_eq!(v, "has 2 legs");
+    }
+
+    #[test]
+    fn generics_models_multimethods() {
+        run_both(
+            r#"model CIEq for Eq[String] {
+                 boolean equals(String str) { return equalsIgnoreCase(str); }
+               }
+               boolean same[T](T a, T b) where Eq[T] {
+                 return a.equals(b);
+               }
+               void main() {
+                 println(same[String with CIEq]("Hello", "HELLO"));
+                 println(same("Hello", "HELLO"));
+               }"#,
+        );
+    }
+
+    #[test]
+    fn static_constraint_ops_and_arrays() {
+        let (v, _) = run_both(
+            "constraint Ring[T] {
+               static T T.zero();
+               T T.plus(T that);
+             }
+             T sum[T](T[] xs) where Ring[T] {
+               T acc = T.zero();
+               for (T x : xs) { acc = acc.plus(x); }
+               return acc;
+             }
+             double main() {
+               double[] xs = new double[3];
+               xs[0] = 1.0; xs[1] = 2.0; xs[2] = 3.5;
+               return sum(xs);
+             }",
+        );
+        assert_eq!(v, "6.5");
+    }
+
+    #[test]
+    fn field_initializers_and_ctors() {
+        let (v, _) = run_both(
+            "class Base {
+               int x = 10;
+               Base() { }
+             }
+             class Derived extends Base {
+               int y = x + 5;
+               Derived() { }
+             }
+             int main() {
+               Derived d = new Derived();
+               return d.x + d.y;
+             }",
+        );
+        assert_eq!(v, "25");
+    }
+
+    #[test]
+    fn runtime_errors_match() {
+        for src in [
+            "int main() { int[] xs = new int[2]; return xs[5]; }",
+            "int main() { String s = null; return s.length(); }",
+            "int main() { return 1 / 0; }",
+            "int rec(int n) { return rec(n + 1); } int main() { return rec(0); }",
+        ] {
+            let prog = check_source(src).expect("checks");
+            let mut i = Interp::new(&prog);
+            // Keep the recursion case within the test thread's native
+            // stack: the interpreter burns host stack per Genus frame
+            // (the facade normally gives it a big-stack thread).
+            i.max_depth = 100;
+            let ie = i.run_main().expect_err("interp should trap");
+            let mut vm = Vm::new(&prog);
+            vm.max_depth = 100;
+            let ve = vm.run_main().expect_err("vm should trap");
+            assert_eq!(ie.kind, ve.kind, "error kinds diverge for {src}");
+            assert_eq!(ie.to_string(), ve.to_string(), "messages diverge for {src}");
+        }
+    }
+
+    #[test]
+    fn inline_caches_warm_up() {
+        let prog = check_source(
+            "class A { A() { } int f() { return 1; } }
+             int main() {
+               A a = new A();
+               int s = 0;
+               for (int i = 0; i < 100; i = i + 1) { s = s + a.f(); }
+               return s;
+             }",
+        )
+        .expect("checks");
+        let mut vm = Vm::new(&prog);
+        let v = vm.run_main().expect("runs");
+        assert!(matches!(v, Value::Int(100)));
+        if genus_types::caches_enabled() {
+            let stats = vm.dispatch_stats();
+            assert!(stats.ic_hits >= 99, "expected warm IC, got {stats:?}");
+        }
+    }
+
+    #[test]
+    fn bytecode_is_deterministic() {
+        let prog = check_source(
+            "class P { int v; P(int v) { this.v = v; } int get() { return v; } }
+             int main() { return new P(7).get(); }",
+        )
+        .expect("checks");
+        let a = compile_program(&prog);
+        let b = compile_program(&prog);
+        assert_eq!(a.code_len(), b.code_len());
+        assert_eq!(a.consts.len(), b.consts.len());
+        assert_eq!(a.num_sites, b.num_sites);
+        assert_eq!(format!("{:?}", a.funcs), format!("{:?}", b.funcs));
+    }
+}

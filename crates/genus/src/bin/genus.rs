@@ -4,29 +4,64 @@
 //! $ genus run program.genus            # compile + execute main()
 //! $ genus check program.genus ...      # type-check only
 //! $ genus run --no-stdlib tiny.genus   # prelude only
+//! $ genus run --engine=vm program.genus  # bytecode VM instead of the AST
+//! $ genus run --stats program.genus    # print cache/dispatch statistics
 //! ```
 
+use genus::Engine;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: genus <run|check> [--no-stdlib] <file.genus> [more files...]\n\
+        "usage: genus <run|check> [options] <file.genus> [more files...]\n\
          \n\
          run     compile the files (with the standard library unless\n\
          \x20        --no-stdlib is given) and execute main()\n\
-         check   type-check only and report diagnostics"
+         check   type-check only and report diagnostics\n\
+         \n\
+         options:\n\
+         \x20 --no-stdlib        compile with only the built-in prelude\n\
+         \x20 --engine=<ast|vm>  execution engine: the tree-walking\n\
+         \x20                    interpreter (default) or the bytecode VM\n\
+         \x20 --stats            after running, print dispatch-cache and\n\
+         \x20                    type-query-cache statistics to stderr"
     );
     std::process::exit(2);
+}
+
+fn print_stats(ex: &genus::Execution) {
+    let d = &ex.dispatch_stats;
+    let c = &ex.cache_stats;
+    eprintln!("--- dispatch stats ---");
+    eprintln!("inline cache:   {} hits / {} misses", d.ic_hits, d.ic_misses);
+    eprintln!("virtual memo:   {} hits / {} misses", d.virt_hits, d.virt_misses);
+    eprintln!("model dispatch: {} hits / {} misses", d.model_hits, d.model_misses);
+    eprintln!("--- type-query cache stats ---");
+    eprintln!("subtype:  {} hits / {} misses", c.subtype_hits, c.subtype_misses);
+    eprintln!("prereq:   {} hits / {} misses", c.prereq_hits, c.prereq_misses);
+    eprintln!("conforms: {} hits / {} misses", c.conforms_hits, c.conforms_misses);
+    eprintln!("resolve:  {} hits / {} misses", c.resolve_hits, c.resolve_misses);
+    eprintln!("total:    {} hits / {} misses", c.hits(), c.misses());
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
     let mut stdlib = true;
+    let mut stats = false;
+    let mut engine = Engine::Ast;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         if a == "--no-stdlib" {
             stdlib = false;
+        } else if a == "--stats" {
+            stats = true;
+        } else if let Some(name) = a.strip_prefix("--engine=") {
+            let Some(e) = Engine::from_name(name) else {
+                eprintln!("error: unknown engine `{name}` (expected `ast` or `vm`)");
+                return ExitCode::from(2);
+            };
+            engine = e;
         } else if a == "--help" || a == "-h" {
             usage();
         } else {
@@ -36,7 +71,7 @@ fn main() -> ExitCode {
     if files.is_empty() {
         usage();
     }
-    let mut compiler = genus::Compiler::new();
+    let mut compiler = genus::Compiler::new().engine(engine);
     if stdlib {
         compiler = compiler.with_stdlib();
     }
@@ -66,13 +101,26 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        "run" => match compiler.run() {
-            Ok(result) => {
-                print!("{}", result.output);
-                if result.rendered_value != "void" {
-                    println!("=> {}", result.rendered_value);
+        "run" => match compiler.execute() {
+            Ok(ex) => {
+                // Output printed before a trap is still shown.
+                print!("{}", ex.output);
+                let code = match &ex.outcome {
+                    Ok(v) => {
+                        if v != "void" {
+                            println!("=> {v}");
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
+                };
+                if stats {
+                    print_stats(&ex);
                 }
-                ExitCode::SUCCESS
+                code
             }
             Err(e) => {
                 eprintln!("{e}");

@@ -1,13 +1,21 @@
 //! Facade for the Genus language implementation: a one-stop compile-and-run
-//! pipeline over `genus-syntax`, `genus-check`, `genus-interp`, and the
-//! `genus-stdlib` sources.
+//! pipeline over `genus-syntax`, `genus-check`, the two execution engines
+//! (`genus-interp`, `genus-vm`), and the `genus-stdlib` sources.
 //!
 //! # Examples
 //!
 //! ```
-//! use genus::Compiler;
+//! use genus::{Compiler, Engine};
 //!
 //! let result = Compiler::new()
+//!     .source("demo.genus", "int main() { return 21 * 2; }")
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.rendered_value, "42");
+//!
+//! // Same program through the bytecode VM:
+//! let result = Compiler::new()
+//!     .engine(Engine::Vm)
 //!     .source("demo.genus", "int main() { return 21 * 2; }")
 //!     .run()
 //!     .unwrap();
@@ -18,6 +26,40 @@ pub use genus_check::{check_program, hir, CheckedProgram};
 pub use genus_common::{Diagnostics, SourceMap};
 pub use genus_interp::{DispatchStats, ErrorKind, Interp, RuntimeError, Value};
 pub use genus_types::{caches_enabled, set_caches_enabled, CacheStats};
+pub use genus_vm::{compile_program, Vm, VmProgram};
+
+/// Which execution engine runs the program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The tree-walking interpreter over HIR. Recurses on the host
+    /// stack, so the facade runs it on a dedicated big-stack thread.
+    #[default]
+    Ast,
+    /// The bytecode register VM (`genus-vm`). Keeps Genus frames in an
+    /// explicit stack, so it runs on the calling thread.
+    Vm,
+}
+
+impl Engine {
+    /// Parses an engine name as used by `genus run --engine=<name>`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "ast" | "interp" => Some(Engine::Ast),
+            "vm" | "bytecode" => Some(Engine::Vm),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Ast => "ast",
+            Engine::Vm => "vm",
+        }
+    }
+}
 
 /// Outcome of running a program through [`Compiler::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,15 +70,31 @@ pub struct RunResult {
     pub output: String,
 }
 
+/// Full outcome of [`Compiler::execute`]: unlike [`Compiler::run`], the
+/// captured output and statistics are available even when `main` traps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// `main`'s rendered return value, or the runtime error message.
+    pub outcome: Result<String, String>,
+    /// Everything printed before completion (or before the trap).
+    pub output: String,
+    /// The engine's dispatch-cache counters for this run.
+    pub dispatch_stats: DispatchStats,
+    /// The type-level query-cache counters (subtype/prereq/conforms/
+    /// resolve), accumulated over checking and execution.
+    pub cache_stats: CacheStats,
+}
+
 /// A builder-style compiler front end.
 ///
 /// Sources are checked together with the built-in prelude and (optionally)
 /// the standard library ported from the Java Collections Framework and the
 /// FindBugs-style graph library (§8.1, §8.2 of the paper).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Compiler {
     sources: Vec<(String, String)>,
     stdlib: bool,
+    engine: Engine,
 }
 
 impl Compiler {
@@ -54,6 +112,12 @@ impl Compiler {
     /// Includes the Genus standard library (collections + graph).
     pub fn with_stdlib(mut self) -> Self {
         self.stdlib = true;
+        self
+    }
+
+    /// Selects the execution engine (default: [`Engine::Ast`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -75,35 +139,108 @@ impl Compiler {
         genus_check::check_sources(&pairs)
     }
 
-    /// Compiles and runs `main()`, returning its value and captured output.
-    ///
-    /// The program runs on a dedicated thread with a large stack so that
-    /// the interpreter's recursion guard — not the native stack — is the
-    /// binding limit.
+    /// Compiles and runs `main()` on the selected engine, returning the
+    /// full [`Execution`] — outcome, captured output, and statistics —
+    /// whether or not the program trapped.
     ///
     /// # Errors
     ///
-    /// Returns rendered diagnostics on compile errors, or the runtime error
-    /// message.
-    pub fn run(&self) -> Result<RunResult, String> {
+    /// Returns rendered diagnostics on compile errors. Runtime errors
+    /// are reported inside [`Execution::outcome`], not here.
+    pub fn execute(&self) -> Result<Execution, String> {
         let prog = self.compile()?;
-        // The program (with its warmed-up query caches) moves onto the
-        // interpreter thread; caches use interior mutability and are not
-        // shareable across threads, only sendable.
-        std::thread::Builder::new()
-            .name("genus-interp".to_string())
-            .stack_size(256 << 20)
-            .spawn(move || {
-                let mut interp = Interp::new(&prog);
-                let v = interp.run_main().map_err(|e| e.to_string())?;
-                Ok(RunResult {
-                    rendered_value: format!("{v}"),
-                    output: interp.take_output(),
-                })
-            })
-            .expect("spawn interpreter thread")
-            .join()
-            .expect("interpreter thread panicked")
+        Ok(match self.engine {
+            Engine::Ast => execute_ast(prog).0,
+            Engine::Vm => execute_vm(&prog),
+        })
+    }
+
+    /// Compiles and runs `main()`, returning its value and captured output.
+    ///
+    /// # Errors
+    ///
+    /// Returns rendered diagnostics on compile errors, or the runtime
+    /// error message. Output printed before a trap is appended to the
+    /// error so it is never silently dropped.
+    pub fn run(&self) -> Result<RunResult, String> {
+        let ex = self.execute()?;
+        finish(ex)
+    }
+
+    /// Compiles once, runs `main()` on **both** engines, and checks that
+    /// they agree on the outcome (value or error message) and captured
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns compile diagnostics, the (identical) runtime error, or a
+    /// divergence report prefixed with `engine divergence` if the
+    /// engines disagree — the backstop assertion of the differential
+    /// test suite.
+    pub fn run_differential(&self) -> Result<RunResult, String> {
+        let prog = self.compile()?;
+        let (ast, prog) = execute_ast(prog);
+        let vm = execute_vm(&prog);
+        if ast.outcome != vm.outcome || ast.output != vm.output {
+            return Err(format!(
+                "engine divergence:\n  ast outcome: {:?}\n  vm  outcome: {:?}\n  ast output: {:?}\n  vm  output: {:?}",
+                ast.outcome, vm.outcome, ast.output, vm.output
+            ));
+        }
+        finish(vm)
+    }
+}
+
+/// Runs on the tree-walking interpreter. The program (with its warmed-up
+/// query caches) moves onto a dedicated thread — caches use interior
+/// mutability and are not shareable across threads, only sendable — and
+/// the big stack keeps the interpreter's recursion guard, not the native
+/// stack, the binding limit. The program is handed back so callers can
+/// reuse the compilation (differential runs).
+fn execute_ast(prog: CheckedProgram) -> (Execution, CheckedProgram) {
+    std::thread::Builder::new()
+        .name("genus-interp".to_string())
+        .stack_size(256 << 20)
+        .spawn(move || {
+            let mut interp = Interp::new(&prog);
+            let outcome = interp.run_main().map(|v| format!("{v}")).map_err(|e| e.to_string());
+            let ex = Execution {
+                outcome,
+                output: interp.take_output(),
+                dispatch_stats: interp.dispatch_stats(),
+                cache_stats: prog.table.cache.stats(),
+            };
+            drop(interp);
+            (ex, prog)
+        })
+        .expect("spawn interpreter thread")
+        .join()
+        .expect("interpreter thread panicked")
+}
+
+/// Runs on the bytecode VM. Its dispatch loop keeps the host stack flat,
+/// so no dedicated thread is needed.
+fn execute_vm(prog: &CheckedProgram) -> Execution {
+    let mut vm = Vm::new(prog);
+    let outcome = vm.run_main().map(|v| format!("{v}")).map_err(|e| e.to_string());
+    Execution {
+        outcome,
+        output: vm.take_output(),
+        dispatch_stats: vm.dispatch_stats(),
+        cache_stats: prog.table.cache.stats(),
+    }
+}
+
+/// Collapses an [`Execution`] into [`Compiler::run`]'s result shape,
+/// attaching pre-trap output to the error message.
+fn finish(ex: Execution) -> Result<RunResult, String> {
+    match ex.outcome {
+        Ok(rendered_value) => Ok(RunResult {
+            rendered_value,
+            output: ex.output,
+        }),
+        Err(e) if ex.output.is_empty() => Err(e),
+        Err(e) => Err(format!("{e}\n--- output before the error ---\n{}", ex.output)),
     }
 }
 
@@ -123,6 +260,29 @@ pub fn run_with_stdlib(src: &str) -> Result<RunResult, String> {
 /// Propagates compile diagnostics or runtime errors as strings.
 pub fn run_simple(src: &str) -> Result<RunResult, String> {
     Compiler::new().source("main.genus", src).run()
+}
+
+/// [`run_with_stdlib`], but on both engines with a divergence check.
+///
+/// # Errors
+///
+/// Propagates compile diagnostics, runtime errors, or a divergence
+/// report as strings.
+pub fn run_differential_with_stdlib(src: &str) -> Result<RunResult, String> {
+    Compiler::new()
+        .with_stdlib()
+        .source("main.genus", src)
+        .run_differential()
+}
+
+/// [`run_simple`], but on both engines with a divergence check.
+///
+/// # Errors
+///
+/// Propagates compile diagnostics, runtime errors, or a divergence
+/// report as strings.
+pub fn run_differential_simple(src: &str) -> Result<RunResult, String> {
+    Compiler::new().source("main.genus", src).run_differential()
 }
 
 #[cfg(test)]
@@ -153,5 +313,63 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.rendered_value, "42");
+    }
+
+    #[test]
+    fn vm_engine_runs() {
+        let r = Compiler::new()
+            .engine(Engine::Vm)
+            .source("m.genus", "int main() { println(\"y\"); return 8; }")
+            .run()
+            .unwrap();
+        assert_eq!(r.rendered_value, "8");
+        assert_eq!(r.output, "y\n");
+    }
+
+    #[test]
+    fn output_survives_runtime_errors() {
+        for engine in [Engine::Ast, Engine::Vm] {
+            let ex = Compiler::new()
+                .engine(engine)
+                .source(
+                    "m.genus",
+                    "int main() { println(\"before\"); int[] a = new int[1]; return a[3]; }",
+                )
+                .execute()
+                .unwrap();
+            assert!(ex.outcome.is_err(), "{engine:?} should trap");
+            assert_eq!(ex.output, "before\n", "{engine:?} dropped pre-trap output");
+            // And run() carries it inside the error message.
+            let e = Compiler::new()
+                .engine(engine)
+                .source(
+                    "m.genus",
+                    "int main() { println(\"before\"); int[] a = new int[1]; return a[3]; }",
+                )
+                .run()
+                .unwrap_err();
+            assert!(e.contains("before"), "{engine:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn differential_agreement_and_divergence_reporting() {
+        let r = run_differential_simple(
+            "int main() { int s = 0; for (int i = 0; i < 5; i = i + 1) { s += i; } return s; }",
+        )
+        .unwrap();
+        assert_eq!(r.rendered_value, "10");
+        // Identical runtime errors pass through differential runs.
+        let e = run_differential_simple("int main() { return 1 % 0; }").unwrap_err();
+        assert!(e.contains("% by zero"), "{e}");
+        assert!(!e.contains("divergence"), "{e}");
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        assert_eq!(Engine::from_name("vm"), Some(Engine::Vm));
+        assert_eq!(Engine::from_name("ast"), Some(Engine::Ast));
+        assert_eq!(Engine::from_name("jit"), None);
+        assert_eq!(Engine::Vm.name(), "vm");
     }
 }

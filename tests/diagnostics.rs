@@ -1,7 +1,11 @@
 //! Integration tests for static diagnostics: the errors the paper's type
 //! system is designed to catch.
 
-use genus_repro::{run_simple, run_with_stdlib};
+// Every program in this suite runs on BOTH engines (AST interpreter and
+// bytecode VM) with a divergence check — the differential harness.
+use genus_repro::{
+    run_differential_simple as run_simple, run_differential_with_stdlib as run_with_stdlib,
+};
 
 fn err_of(src: &str) -> String {
     run_with_stdlib(src).expect_err("program should be rejected")

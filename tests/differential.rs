@@ -1,0 +1,76 @@
+//! Differential harness over the shipped sample programs: every file in
+//! `samples/` is compiled once through the public `Compiler` API and executed
+//! on BOTH engines (AST interpreter and bytecode VM), asserting identical
+//! rendered values, captured output, and dispatch behaviour.
+
+use genus_repro::{Compiler, Engine};
+
+fn sample(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/samples");
+    std::fs::read_to_string(format!("{path}/{name}"))
+        .unwrap_or_else(|e| panic!("cannot read sample `{name}`: {e}"))
+}
+
+/// Run one sample on a specific engine and return (outcome, output).
+fn run_on(name: &str, engine: Engine) -> (Result<String, String>, String) {
+    let ex = Compiler::new()
+        .with_stdlib()
+        .engine(engine)
+        .source(name.to_string(), sample(name))
+        .execute()
+        .unwrap_or_else(|e| panic!("sample `{name}` failed to compile: {e}"));
+    (ex.outcome, ex.output)
+}
+
+/// Every sample must succeed and agree byte-for-byte across engines.
+fn check_sample(name: &str) {
+    let (ast_outcome, ast_output) = run_on(name, Engine::Ast);
+    let (vm_outcome, vm_output) = run_on(name, Engine::Vm);
+    assert!(ast_outcome.is_ok(), "`{name}` trapped on AST: {ast_outcome:?}");
+    assert_eq!(ast_outcome, vm_outcome, "`{name}` outcome diverged");
+    assert_eq!(ast_output, vm_output, "`{name}` output diverged");
+    // And through the one-shot differential runner, which also compares
+    // engine results internally and reports any divergence in its error.
+    let r = Compiler::new()
+        .with_stdlib()
+        .source(name.to_string(), sample(name))
+        .run_differential()
+        .unwrap_or_else(|e| panic!("differential run of `{name}` failed: {e}"));
+    assert_eq!(r.output, ast_output, "`{name}` differential output mismatch");
+}
+
+#[test]
+fn sample_hello() {
+    let (outcome, output) = run_on("hello.genus", Engine::Vm);
+    assert_eq!(outcome.as_deref(), Ok("void"));
+    assert_eq!(output, "hello from Genus\n");
+    check_sample("hello.genus");
+}
+
+#[test]
+fn sample_scheduler() {
+    check_sample("scheduler.genus");
+}
+
+#[test]
+fn sample_word_count() {
+    check_sample("word_count.genus");
+}
+
+/// No sample file is left out of the harness: if someone adds a new sample,
+/// this test forces them to add a differential case for it above.
+#[test]
+fn all_samples_are_covered() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/samples");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .expect("samples/ directory exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".genus"))
+        .collect();
+    found.sort();
+    assert_eq!(
+        found,
+        ["hello.genus", "scheduler.genus", "word_count.genus"],
+        "new sample added: cover it in tests/differential.rs"
+    );
+}

@@ -1,7 +1,11 @@
 //! Use-site genericity (§6): wildcard types and models, packing, capture
 //! conversion, and explicit local binding beyond the Figure 9 basics.
 
-use genus_repro::{run_simple, run_with_stdlib};
+// Every program in this suite runs on BOTH engines (AST interpreter and
+// bytecode VM) with a divergence check — the differential harness.
+use genus_repro::{
+    run_differential_simple as run_simple, run_differential_with_stdlib as run_with_stdlib,
+};
 
 fn run_ok(src: &str) -> (String, String) {
     match run_with_stdlib(src) {

@@ -2,7 +2,9 @@
 //! multi-file compilation — the Java-core substrate underneath the
 //! genericity mechanism.
 
-use genus_repro::{run_simple, Compiler};
+// Every program in this suite runs on BOTH engines (AST interpreter and
+// bytecode VM) with a divergence check — the differential harness.
+use genus_repro::{run_differential_simple as run_simple, Compiler};
 
 fn run_ok(src: &str) -> (String, String) {
     match run_simple(src) {
@@ -294,7 +296,7 @@ fn multi_file_compilation() {
                return v.x * 10 + v.y;
              }",
         )
-        .run()
+        .run_differential()
         .expect("multi-file program runs");
     assert_eq!(r.rendered_value, "68");
 }
@@ -315,7 +317,7 @@ fn instanceof_with_generics_reified() {
                return r;
              }",
         )
-        .run()
+        .run_differential()
         .expect("program runs");
     // Reified generics: ArrayList[int] is not an ArrayList[String].
     assert_eq!(r.rendered_value, "101");
@@ -332,7 +334,7 @@ fn cast_to_wrong_instantiation_fails() {
                ArrayList[String] s = (ArrayList[String]) a;
              }",
         )
-        .run()
+        .run_differential()
         .unwrap_err();
     assert!(e.contains("ClassCastException"), "{e}");
 }

@@ -1,7 +1,9 @@
 //! Deeper model-system semantics: self-enablement, inheritance overrides,
 //! enrichment visibility, and model-dependent behavior differences.
 
-use genus_repro::run_with_stdlib;
+// Every program in this suite runs on BOTH engines (AST interpreter and
+// bytecode VM) with a divergence check — the differential harness.
+use genus_repro::run_differential_with_stdlib as run_with_stdlib;
 
 fn run_ok(src: &str) -> (String, String) {
     match run_with_stdlib(src) {

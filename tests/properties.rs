@@ -1,6 +1,8 @@
 //! Property-based tests over the pipeline and the evaluation substrates.
 
-use genus_repro::run_with_stdlib;
+// Every program in this suite runs on BOTH engines (AST interpreter and
+// bytecode VM) with a divergence check — the differential harness.
+use genus_repro::run_differential_with_stdlib as run_with_stdlib;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------

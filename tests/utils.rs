@@ -1,7 +1,9 @@
 //! Tests for the extended standard library: PriorityQueue, Stack, Queue,
 //! and the generic list algorithms.
 
-use genus_repro::run_with_stdlib;
+// Every program in this suite runs on BOTH engines (AST interpreter and
+// bytecode VM) with a divergence check — the differential harness.
+use genus_repro::run_differential_with_stdlib as run_with_stdlib;
 
 fn run_ok(src: &str) -> (String, String) {
     match run_with_stdlib(src) {
