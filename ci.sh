@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# Local CI gate: release build, full test suite (caches on and off),
-# lint-clean clippy, and compiling (not running) the benchmarks.
+# Local CI gate: formatting, release build, full test suite (caches on and
+# off), lint-clean clippy, warning-free rustdoc, the diagnostics golden
+# suite in both rendering modes, and compiling (not running) the
+# benchmarks.
 #
 # Usage: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 # The differential harness again with every dispatch/type-query cache
 # bypassed: both engines must agree on the slow paths too.
 cargo test -q --features no-cache
 cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps -q
+# The diagnostics rendering contract, exercised end to end in both the
+# human (snippet) and machine (JSON) --error-format modes: the golden
+# files pin the human/short/json renderings, and the CLI suite drives the
+# binary with --error-format=human/short/json plus the exit-code tiers.
+cargo test -q --test render_golden --test diagnostics --test errors_doc
+cargo test -q -p genus --test cli
 # Benchmarks must at least compile; running them is a manual step
 # (`cargo bench -p bench`), which also writes BENCH_vm.json.
 cargo bench --no-run

@@ -90,7 +90,11 @@ fn ablation_reified_fast_path(c: &mut Criterion) {
     // orderings (Figure 7). The element flow is identical; the measured
     // difference is the reified-model test plus the chosen path.
     let mk = |with_model: bool| {
-        let decl = if with_model { " with ReverseCmp[int]" } else { "" };
+        let decl = if with_model {
+            " with ReverseCmp[int]"
+        } else {
+            ""
+        };
         format!(
             "void main() {{
                TreeSet[int{decl}] a = new TreeSet[int{decl}]();
@@ -105,8 +109,12 @@ fn ablation_reified_fast_path(c: &mut Criterion) {
     let prog_diff = compile(&mk(true));
     let mut g = c.benchmark_group("ablation_reified_fast_path");
     g.sample_size(10);
-    g.bench_function("same_ordering_fast_path", |b| b.iter(|| run_program(&prog_same)));
-    g.bench_function("different_ordering_slow_path", |b| b.iter(|| run_program(&prog_diff)));
+    g.bench_function("same_ordering_fast_path", |b| {
+        b.iter(|| run_program(&prog_same))
+    });
+    g.bench_function("different_ordering_slow_path", |b| {
+        b.iter(|| run_program(&prog_diff))
+    });
     g.finish();
 }
 

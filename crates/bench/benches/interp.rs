@@ -12,7 +12,9 @@ use genus::{CheckedProgram, Compiler, Interp, Vm};
 use std::time::Instant;
 
 fn padding(prefix: &str, n: usize) -> String {
-    (0..n).map(|i| format!("int {prefix}{i}() {{ return {i}; }}\n")).collect()
+    (0..n)
+        .map(|i| format!("int {prefix}{i}() {{ return {i}; }}\n"))
+        .collect()
 }
 
 /// One receiver class, one call site: the per-call-site inline cache
@@ -116,7 +118,9 @@ fn compile(src: &str, stdlib: bool) -> CheckedProgram {
     if stdlib {
         c = c.with_stdlib();
     }
-    c.source("bench.genus", src).compile().expect("bench program checks")
+    c.source("bench.genus", src)
+        .compile()
+        .expect("bench program checks")
 }
 
 /// Runs once before timing and asserts the caches actually absorb the
@@ -160,9 +164,11 @@ fn bench_dispatch(c: &mut Criterion) {
     assert_hit_rates(&mono, &mega, &model);
     let mut g = c.benchmark_group("dispatch");
     g.sample_size(10);
-    for (name, prog) in
-        [("monomorphic", &mono), ("megamorphic", &mega), ("model_dispatch", &model)]
-    {
+    for (name, prog) in [
+        ("monomorphic", &mono),
+        ("megamorphic", &mega),
+        ("model_dispatch", &model),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut interp = Interp::new(prog);
@@ -237,15 +243,21 @@ fn measure_pair(mut a: impl FnMut(), mut b: impl FnMut(), samples: usize) -> (f6
 /// criterion report, writes a machine-readable summary to `BENCH_vm.json`
 /// at the repository root (the vendored criterion shim has no JSON output).
 fn bench_vm(c: &mut Criterion) {
-    let workloads =
-        [("model_dispatch", compile(MODEL_DISPATCH, true)), ("insertion_sort", compile(INSERTION_SORT, true))];
+    let workloads = [
+        ("model_dispatch", compile(MODEL_DISPATCH, true)),
+        ("insertion_sort", compile(INSERTION_SORT, true)),
+    ];
     let mut rows = Vec::new();
     let mut g = c.benchmark_group("vm");
     g.sample_size(10);
     for (name, prog) in &workloads {
         let code = Vm::new(prog).code().clone();
         // The engines must agree before we time them.
-        assert_eq!(run_ast(prog), run_vm(prog, &code), "engine divergence on `{name}`");
+        assert_eq!(
+            run_ast(prog),
+            run_vm(prog, &code),
+            "engine divergence on `{name}`"
+        );
         g.bench_function(format!("{name}_ast"), |b| b.iter(|| run_ast(prog)));
         g.bench_function(format!("{name}_vm"), |b| b.iter(|| run_vm(prog, &code)));
         let (ast_ns, vm_ns) = measure_pair(

@@ -90,7 +90,10 @@ impl<'a> BodyCtx<'a> {
     pub fn declare_param(&mut self, name: Symbol, ty: Type) -> LocalId {
         let id = LocalId(self.num_locals as u32);
         self.num_locals += 1;
-        self.locals.last_mut().expect("scope stack").insert(name, (id, ty));
+        self.locals
+            .last_mut()
+            .expect("scope stack")
+            .insert(name, (id, ty));
         id
     }
 
@@ -112,7 +115,11 @@ impl<'a> BodyCtx<'a> {
 
     fn str_ty(&self) -> Type {
         match self.table.lookup_class(Symbol::intern("String")) {
-            Some(id) => Type::Class { id, args: vec![], models: vec![] },
+            Some(id) => Type::Class {
+                id,
+                args: vec![],
+                models: vec![],
+            },
             None => Type::Null,
         }
     }
@@ -123,7 +130,10 @@ impl<'a> BodyCtx<'a> {
     }
 
     fn error_expr(&self) -> hir::Expr {
-        hir::Expr { kind: hir::ExprKind::Null, ty: Type::Null }
+        hir::Expr {
+            kind: hir::ExprKind::Null,
+            ty: Type::Null,
+        }
     }
 
     fn fresh_infer(&self) -> u32 {
@@ -147,7 +157,10 @@ impl<'a> BodyCtx<'a> {
     /// context.
     pub fn resolve_ty_ctx(&mut self, t: &ast::Ty) -> Type {
         let ty = {
-            let mut r = Resolver { table: self.table, diags: self.diags };
+            let mut r = Resolver {
+                table: self.table,
+                diags: self.diags,
+            };
             r.resolve_ty(&self.scope, t)
         };
         self.complete_type(ty, t.span)
@@ -157,8 +170,10 @@ impl<'a> BodyCtx<'a> {
     pub fn complete_type(&mut self, ty: Type, span: Span) -> Type {
         match ty {
             Type::Class { id, args, models } => {
-                let args: Vec<Type> =
-                    args.into_iter().map(|a| self.complete_type(a, span)).collect();
+                let args: Vec<Type> = args
+                    .into_iter()
+                    .map(|a| self.complete_type(a, span))
+                    .collect();
                 let wheres = self.table.class(id).wheres.clone();
                 let params = self.table.class(id).params.clone();
                 let models = if models.is_empty() && !wheres.is_empty() {
@@ -170,12 +185,20 @@ impl<'a> BodyCtx<'a> {
                     }
                     out
                 } else {
-                    models.into_iter().map(|m| self.complete_model(m, span)).collect()
+                    models
+                        .into_iter()
+                        .map(|m| self.complete_model(m, span))
+                        .collect()
                 };
                 Type::Class { id, args, models }
             }
             Type::Array(e) => Type::Array(Box::new(self.complete_type(*e, span))),
-            Type::Existential { params, bounds, wheres, body } => {
+            Type::Existential {
+                params,
+                bounds,
+                wheres,
+                body,
+            } => {
                 // Inside the existential, its own witnesses are enabled.
                 let added = wheres.len();
                 for w in &wheres {
@@ -187,7 +210,12 @@ impl<'a> BodyCtx<'a> {
                     .collect();
                 let body = Box::new(self.complete_type(*body, span));
                 self.enabled.truncate(self.enabled.len() - added);
-                Type::Existential { params, bounds, wheres, body }
+                Type::Existential {
+                    params,
+                    bounds,
+                    wheres,
+                    body,
+                }
             }
             other => other,
         }
@@ -196,11 +224,17 @@ impl<'a> BodyCtx<'a> {
     /// Completes elided model arguments inside a model expression.
     pub fn complete_model(&mut self, m: Model, span: Span) -> Model {
         match m {
-            Model::Decl { id, type_args, model_args } => {
+            Model::Decl {
+                id,
+                type_args,
+                model_args,
+            } => {
                 let wheres = self.table.model(id).wheres.clone();
                 let tparams = self.table.model(id).tparams.clone();
-                let type_args: Vec<Type> =
-                    type_args.into_iter().map(|t| self.complete_type(t, span)).collect();
+                let type_args: Vec<Type> = type_args
+                    .into_iter()
+                    .map(|t| self.complete_type(t, span))
+                    .collect();
                 let model_args = if model_args.is_empty() && !wheres.is_empty() {
                     let subst = Subst::from_pairs(&tparams, &type_args);
                     wheres
@@ -208,14 +242,25 @@ impl<'a> BodyCtx<'a> {
                         .map(|w| self.resolve_model_for(&subst.apply_inst(&w.inst), span))
                         .collect()
                 } else {
-                    model_args.into_iter().map(|x| self.complete_model(x, span)).collect()
+                    model_args
+                        .into_iter()
+                        .map(|x| self.complete_model(x, span))
+                        .collect()
                 };
-                Model::Decl { id, type_args, model_args }
+                Model::Decl {
+                    id,
+                    type_args,
+                    model_args,
+                }
             }
             Model::Natural { inst } => Model::Natural {
                 inst: ConstraintInst {
                     id: inst.id,
-                    args: inst.args.into_iter().map(|t| self.complete_type(t, span)).collect(),
+                    args: inst
+                        .args
+                        .into_iter()
+                        .map(|t| self.complete_type(t, span))
+                        .collect(),
                 },
             },
             other => other,
@@ -228,9 +273,14 @@ impl<'a> BodyCtx<'a> {
         match res {
             Ok(m) => m,
             Err(ResolveError::Ambiguous(ms)) => {
-                let names: Vec<String> =
-                    ms.iter().map(|m| m.display(self.table).to_string()).collect();
-                self.diags.error(
+                let names: Vec<String> = ms
+                    .iter()
+                    .map(|m| m.display(self.table).to_string())
+                    .collect();
+                // Point a labeled secondary span at each named candidate's
+                // declaration site, so the rendered snippet shows them all.
+                let mut d = Diagnostic::error(
+                    "E0401",
                     span,
                     format!(
                         "ambiguous default model for `{}`: candidates are {} — \
@@ -239,10 +289,21 @@ impl<'a> BodyCtx<'a> {
                         names.join(", ")
                     ),
                 );
+                for m in &ms {
+                    if let Model::Decl { id, .. } = m {
+                        let def = &self.table.models[id.0 as usize];
+                        d = d.with_note(
+                            def.span,
+                            format!("candidate `{}` declared here", m.display(self.table)),
+                        );
+                    }
+                }
+                self.diags.push(d);
                 Model::Natural { inst: inst.clone() }
             }
             Err(ResolveError::NotFound) => {
                 self.diags.error(
+                    "E0402",
                     span,
                     format!("no model found for `{}`", inst.display(self.table)),
                 );
@@ -251,6 +312,7 @@ impl<'a> BodyCtx<'a> {
             Err(ResolveError::DepthExceeded(chain)) => {
                 self.diags.push(
                     Diagnostic::error(
+                        "E0403",
                         span,
                         format!(
                             "default model resolution for `{}` exceeded its recursion bound \
@@ -261,7 +323,10 @@ impl<'a> BodyCtx<'a> {
                     )
                     .with_goal_chain(
                         span,
-                        chain.iter().skip(1).map(|g| g.display(self.table).to_string()),
+                        chain
+                            .iter()
+                            .skip(1)
+                            .map(|g| g.display(self.table).to_string()),
                     ),
                 );
                 Model::Natural { inst: inst.clone() }
@@ -274,9 +339,14 @@ impl<'a> BodyCtx<'a> {
         match m {
             Model::Natural { inst: n } => crate::entail::entails(self.table, n, inst),
             Model::Var(mv) => self.enabled.iter().any(|(wi, wm)| {
-                matches!(wm, Model::Var(v) if v == mv) && crate::entail::entails(self.table, wi, inst)
+                matches!(wm, Model::Var(v) if v == mv)
+                    && crate::entail::entails(self.table, wi, inst)
             }),
-            Model::Decl { id, type_args, model_args } => {
+            Model::Decl {
+                id,
+                type_args,
+                model_args,
+            } => {
                 let d = self.table.model(*id);
                 let subst = Subst::from_pairs(&d.tparams, type_args).with_models(
                     &d.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(),
@@ -292,11 +362,22 @@ impl<'a> BodyCtx<'a> {
     // Blocks and statements
     // ------------------------------------------------------------------
 
-    /// Checks a block, managing the local scope.
+    /// Checks a block, managing the local scope. Statements directly
+    /// following a terminator (`return`/`break`/`continue`) in the same
+    /// block are still checked but flagged as unreachable (`W0001`) —
+    /// once per block, at the first dead statement.
     pub fn check_block(&mut self, b: &ast::Block) -> hir::Block {
         self.locals.push(HashMap::new());
         let mut out = Vec::new();
+        let mut terminated = false;
         for s in &b.stmts {
+            if terminated {
+                self.diags.warning("W0001", s.span, "unreachable statement");
+            }
+            terminated = matches!(
+                s.kind,
+                ast::StmtKind::Return(_) | ast::StmtKind::Break | ast::StmtKind::Continue
+            );
             self.check_stmt(s, &mut out);
         }
         self.locals.pop();
@@ -326,9 +407,19 @@ impl<'a> BodyCtx<'a> {
                     .last_mut()
                     .expect("scope stack")
                     .insert(*name, (id, declared.clone()));
-                out.push(hir::Stmt::Let { local: id, init: init_h, ty: declared });
+                out.push(hir::Stmt::Let {
+                    local: id,
+                    init: init_h,
+                    ty: declared,
+                });
             }
-            ast::StmtKind::LocalBind { params, ty, name, wheres, init } => {
+            ast::StmtKind::LocalBind {
+                params,
+                ty,
+                name,
+                wheres,
+                init,
+            } => {
                 self.check_local_bind(params, ty, *name, wheres, init, s.span, out);
             }
             ast::StmtKind::Expr(e) => {
@@ -336,7 +427,11 @@ impl<'a> BodyCtx<'a> {
                 self.flush_pending(out);
                 out.push(hir::Stmt::Expr(h));
             }
-            ast::StmtKind::If { cond, then_blk, else_blk } => {
+            ast::StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.check_expr(cond);
                 let c = self.expect_bool(c, cond.span);
                 self.flush_pending(out);
@@ -345,7 +440,11 @@ impl<'a> BodyCtx<'a> {
                     .as_ref()
                     .map(|b| self.check_block(b))
                     .unwrap_or_default();
-                out.push(hir::Stmt::If { cond: c, then_blk: t, else_blk: e });
+                out.push(hir::Stmt::If {
+                    cond: c,
+                    then_blk: t,
+                    else_blk: e,
+                });
             }
             ast::StmtKind::While { cond, body } => {
                 let c = self.check_expr(cond);
@@ -354,9 +453,18 @@ impl<'a> BodyCtx<'a> {
                 self.loop_depth += 1;
                 let b = self.check_block(body);
                 self.loop_depth -= 1;
-                out.push(hir::Stmt::While { cond: c, body: b, update: hir::Block::default() });
+                out.push(hir::Stmt::While {
+                    cond: c,
+                    body: b,
+                    update: hir::Block::default(),
+                });
             }
-            ast::StmtKind::For { init, cond, update, body } => {
+            ast::StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 self.locals.push(HashMap::new());
                 let mut inner = Vec::new();
                 if let Some(i) = init {
@@ -383,18 +491,31 @@ impl<'a> BodyCtx<'a> {
                     upd.stmts.push(hir::Stmt::Expr(h));
                 }
                 self.loop_depth -= 1;
-                inner.push(hir::Stmt::While { cond: c, body: b, update: upd });
+                inner.push(hir::Stmt::While {
+                    cond: c,
+                    body: b,
+                    update: upd,
+                });
                 self.locals.pop();
                 out.push(hir::Stmt::Block(hir::Block { stmts: inner }));
             }
-            ast::StmtKind::ForEach { ty, name, iter, body } => {
+            ast::StmtKind::ForEach {
+                ty,
+                name,
+                iter,
+                body,
+            } => {
                 self.check_foreach(ty, *name, iter, body, s.span, out);
             }
             ast::StmtKind::Return(e) => {
                 let h = match e {
                     Some(e) => {
                         if self.ret_ty.is_void() {
-                            self.diags.error(e.span, "cannot return a value from a void method");
+                            self.diags.error(
+                                "E0508",
+                                e.span,
+                                "cannot return a value from a void method",
+                            );
                             None
                         } else {
                             let h = self.check_expr(e);
@@ -405,6 +526,7 @@ impl<'a> BodyCtx<'a> {
                     None => {
                         if !self.ret_ty.is_void() {
                             self.diags.error(
+                                "E0508",
                                 s.span,
                                 format!(
                                     "method must return a value of type `{}`",
@@ -420,13 +542,15 @@ impl<'a> BodyCtx<'a> {
             }
             ast::StmtKind::Break => {
                 if self.loop_depth == 0 {
-                    self.diags.error(s.span, "`break` outside of a loop");
+                    self.diags
+                        .error("E0507", s.span, "`break` outside of a loop");
                 }
                 out.push(hir::Stmt::Break);
             }
             ast::StmtKind::Continue => {
                 if self.loop_depth == 0 {
-                    self.diags.error(s.span, "`continue` outside of a loop");
+                    self.diags
+                        .error("E0507", s.span, "`continue` outside of a loop");
                 }
                 out.push(hir::Stmt::Continue);
             }
@@ -459,7 +583,10 @@ impl<'a> BodyCtx<'a> {
         }
         let mut reqs = Vec::new();
         {
-            let mut r = Resolver { table: self.table, diags: self.diags };
+            let mut r = Resolver {
+                table: self.table,
+                diags: self.diags,
+            };
             let mut sc = self.scope.clone();
             for w in wheres {
                 if let Some(req) = r.resolve_where(&mut sc, w) {
@@ -476,25 +603,30 @@ impl<'a> BodyCtx<'a> {
         // The initializer must be an existential whose opening matches the
         // declared binding.
         let ok = match &init_h.ty {
-            Type::Existential { params: eps, bounds: _, wheres: ews, body } => {
+            Type::Existential {
+                params: eps,
+                bounds: _,
+                wheres: ews,
+                body,
+            } => {
                 if eps.len() != tvs.len() || ews.len() != reqs.len() {
                     false
                 } else {
-                    let subst = Subst::from_pairs(eps, &tvs.iter().map(|t| Type::Var(*t)).collect::<Vec<_>>());
+                    let subst = Subst::from_pairs(
+                        eps,
+                        &tvs.iter().map(|t| Type::Var(*t)).collect::<Vec<_>>(),
+                    );
                     let body_t = subst.apply(body);
-                    let insts_ok = ews
-                        .iter()
-                        .zip(&reqs)
-                        .all(|(a, b)| {
-                            let ai = subst.apply_inst(&a.inst);
-                            ai.id == b.inst.id
-                                && ai.args.len() == b.inst.args.len()
-                                && ai
-                                    .args
-                                    .iter()
-                                    .zip(&b.inst.args)
-                                    .all(|(x, y)| type_eq(self.table, x, y))
-                        });
+                    let insts_ok = ews.iter().zip(&reqs).all(|(a, b)| {
+                        let ai = subst.apply_inst(&a.inst);
+                        ai.id == b.inst.id
+                            && ai.args.len() == b.inst.args.len()
+                            && ai
+                                .args
+                                .iter()
+                                .zip(&b.inst.args)
+                                .all(|(x, y)| type_eq(self.table, x, y))
+                    });
                     insts_ok && type_eq(self.table, &body_t, &declared)
                 }
             }
@@ -519,7 +651,10 @@ impl<'a> BodyCtx<'a> {
         };
         self.flush_pending(out);
         let id = self.temp();
-        self.locals.last_mut().expect("scope stack").insert(name, (id, declared));
+        self.locals
+            .last_mut()
+            .expect("scope stack")
+            .insert(name, (id, declared));
         out.push(hir::Stmt::LetOpen {
             local: id,
             init: init_h,
@@ -560,14 +695,22 @@ impl<'a> BodyCtx<'a> {
                     }),
                 });
                 let int_ty = Type::Prim(PrimTy::Int);
-                let arr_e = hir::Expr { kind: hir::ExprKind::Local(arr_slot), ty: it.ty.clone() };
-                let idx_e = hir::Expr { kind: hir::ExprKind::Local(idx_slot), ty: int_ty.clone() };
+                let arr_e = hir::Expr {
+                    kind: hir::ExprKind::Local(arr_slot),
+                    ty: it.ty.clone(),
+                };
+                let idx_e = hir::Expr {
+                    kind: hir::ExprKind::Local(idx_slot),
+                    ty: int_ty.clone(),
+                };
                 let cond = hir::Expr {
                     kind: hir::ExprKind::Binary {
                         kind: BinKind::Cmp(ast::BinOp::Lt, NumKind::Int),
                         lhs: Box::new(idx_e.clone()),
                         rhs: Box::new(hir::Expr {
-                            kind: hir::ExprKind::ArrayLen { arr: Box::new(arr_e.clone()) },
+                            kind: hir::ExprKind::ArrayLen {
+                                arr: Box::new(arr_e.clone()),
+                            },
                             ty: int_ty.clone(),
                         }),
                     },
@@ -616,7 +759,11 @@ impl<'a> BodyCtx<'a> {
                         ty: int_ty,
                     })],
                 };
-                out.push(hir::Stmt::While { cond, body: hir::Block { stmts: inner }, update });
+                out.push(hir::Stmt::While {
+                    cond,
+                    body: hir::Block { stmts: inner },
+                    update,
+                });
             }
             ref t => {
                 // Iterable protocol: find `Iterable[E]` among supertypes.
@@ -629,6 +776,7 @@ impl<'a> BodyCtx<'a> {
                     });
                 let Some(elem) = elem else {
                     self.diags.error(
+                        "E0501",
                         iter.span,
                         format!(
                             "for-each requires an array or `Iterable`, found `{}`",
@@ -640,7 +788,11 @@ impl<'a> BodyCtx<'a> {
                 let iterator_ty = self
                     .table
                     .lookup_class(Symbol::intern("Iterator"))
-                    .map(|id| Type::Class { id, args: vec![elem.clone()], models: vec![] })
+                    .map(|id| Type::Class {
+                        id,
+                        args: vec![elem.clone()],
+                        models: vec![],
+                    })
                     .unwrap_or(Type::Null);
                 let it_slot = self.temp();
                 out.push(hir::Stmt::Let {
@@ -658,8 +810,10 @@ impl<'a> BodyCtx<'a> {
                         ty: iterator_ty.clone(),
                     }),
                 });
-                let it_e =
-                    hir::Expr { kind: hir::ExprKind::Local(it_slot), ty: iterator_ty.clone() };
+                let it_e = hir::Expr {
+                    kind: hir::ExprKind::Local(it_slot),
+                    ty: iterator_ty.clone(),
+                };
                 let cond = hir::Expr {
                     kind: hir::ExprKind::CallVirtual {
                         recv: Box::new(it_e.clone()),
@@ -715,6 +869,7 @@ impl<'a> BodyCtx<'a> {
     fn expect_bool(&mut self, e: hir::Expr, span: Span) -> hir::Expr {
         if !matches!(e.ty, Type::Prim(PrimTy::Boolean)) && !matches!(e.ty, Type::Null) {
             self.diags.error(
+                "E0501",
                 span,
                 format!("expected `boolean`, found `{}`", e.ty.display(self.table)),
             );
@@ -743,17 +898,28 @@ impl<'a> BodyCtx<'a> {
             if Self::widen_prim(*f, *t) {
                 let (f, t) = (*f, *t);
                 return hir::Expr {
-                    kind: hir::ExprKind::Widen { expr: Box::new(e), from: f, to: t },
+                    kind: hir::ExprKind::Widen {
+                        expr: Box::new(e),
+                        from: f,
+                        to: t,
+                    },
                     ty: to.clone(),
                 };
             }
         }
-        if let Type::Existential { params, bounds, wheres, body } = to {
+        if let Type::Existential {
+            params,
+            bounds,
+            wheres,
+            body,
+        } = to
+        {
             if let Some(h) = self.try_pack(&e, params, bounds, wheres, body, to, span) {
                 return h;
             }
         }
         self.diags.error(
+            "E0501",
             span,
             format!(
                 "type mismatch: expected `{}`, found `{}`",
@@ -833,6 +999,7 @@ impl<'a> BodyCtx<'a> {
                 Ok(m) => models.push(m),
                 Err(_) => {
                     self.diags.error(
+                        "E0517",
                         span,
                         format!(
                             "cannot pack into `{}`: no model for `{}`",
@@ -859,7 +1026,13 @@ impl<'a> BodyCtx<'a> {
     /// with fresh variables, hoist it into a temporary, and enable the fresh
     /// witnesses in the current scope.
     fn open_if_existential(&mut self, e: hir::Expr) -> hir::Expr {
-        let Type::Existential { params, bounds, wheres, body } = e.ty.clone() else {
+        let Type::Existential {
+            params,
+            bounds,
+            wheres,
+            body,
+        } = e.ty.clone()
+        else {
             return e;
         };
         let mut fresh_tvs = Vec::new();
@@ -896,7 +1069,10 @@ impl<'a> BodyCtx<'a> {
             tvs: fresh_tvs,
             mvs: fresh_mvs,
         });
-        hir::Expr { kind: hir::ExprKind::Local(slot), ty: open_ty }
+        hir::Expr {
+            kind: hir::ExprKind::Local(slot),
+            ty: open_ty,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -906,47 +1082,72 @@ impl<'a> BodyCtx<'a> {
     /// Checks an expression, producing typed HIR.
     pub fn check_expr(&mut self, e: &ast::Expr) -> hir::Expr {
         match &e.kind {
-            ast::ExprKind::IntLit(v) => {
-                hir::Expr { kind: hir::ExprKind::Int(*v), ty: Type::Prim(PrimTy::Int) }
-            }
-            ast::ExprKind::LongLit(v) => {
-                hir::Expr { kind: hir::ExprKind::Long(*v), ty: Type::Prim(PrimTy::Long) }
-            }
-            ast::ExprKind::DoubleLit(v) => {
-                hir::Expr { kind: hir::ExprKind::Double(*v), ty: Type::Prim(PrimTy::Double) }
-            }
-            ast::ExprKind::BoolLit(v) => {
-                hir::Expr { kind: hir::ExprKind::Bool(*v), ty: Type::Prim(PrimTy::Boolean) }
-            }
-            ast::ExprKind::CharLit(v) => {
-                hir::Expr { kind: hir::ExprKind::Char(*v), ty: Type::Prim(PrimTy::Char) }
-            }
-            ast::ExprKind::StrLit(s) => {
-                hir::Expr { kind: hir::ExprKind::Str(s.clone()), ty: self.str_ty() }
-            }
-            ast::ExprKind::Null => hir::Expr { kind: hir::ExprKind::Null, ty: Type::Null },
+            ast::ExprKind::IntLit(v) => hir::Expr {
+                kind: hir::ExprKind::Int(*v),
+                ty: Type::Prim(PrimTy::Int),
+            },
+            ast::ExprKind::LongLit(v) => hir::Expr {
+                kind: hir::ExprKind::Long(*v),
+                ty: Type::Prim(PrimTy::Long),
+            },
+            ast::ExprKind::DoubleLit(v) => hir::Expr {
+                kind: hir::ExprKind::Double(*v),
+                ty: Type::Prim(PrimTy::Double),
+            },
+            ast::ExprKind::BoolLit(v) => hir::Expr {
+                kind: hir::ExprKind::Bool(*v),
+                ty: Type::Prim(PrimTy::Boolean),
+            },
+            ast::ExprKind::CharLit(v) => hir::Expr {
+                kind: hir::ExprKind::Char(*v),
+                ty: Type::Prim(PrimTy::Char),
+            },
+            ast::ExprKind::StrLit(s) => hir::Expr {
+                kind: hir::ExprKind::Str(s.clone()),
+                ty: self.str_ty(),
+            },
+            ast::ExprKind::Null => hir::Expr {
+                kind: hir::ExprKind::Null,
+                ty: Type::Null,
+            },
             ast::ExprKind::This => match self.this_ty.clone() {
-                Some(t) => hir::Expr { kind: hir::ExprKind::Local(LocalId(0)), ty: t },
+                Some(t) => hir::Expr {
+                    kind: hir::ExprKind::Local(LocalId(0)),
+                    ty: t,
+                },
                 None => {
-                    self.diags.error(e.span, "`this` is not available in a static context");
+                    self.diags.error(
+                        "E0509",
+                        e.span,
+                        "`this` is not available in a static context",
+                    );
                     self.error_expr()
                 }
             },
             ast::ExprKind::Name(n) => self.check_name(*n, e.span),
             ast::ExprKind::Field { recv, name } => self.check_field(recv, *name, e.span),
-            ast::ExprKind::Call { recv, name, type_args, args } => {
-                self.check_call(recv.as_deref(), *name, type_args.as_ref(), args, e.span)
-            }
-            ast::ExprKind::ExpanderCall { recv, expander, name, args } => {
-                self.check_expander_call(recv, expander, *name, args, e.span)
-            }
+            ast::ExprKind::Call {
+                recv,
+                name,
+                type_args,
+                args,
+            } => self.check_call(recv.as_deref(), *name, type_args.as_ref(), args, e.span),
+            ast::ExprKind::ExpanderCall {
+                recv,
+                expander,
+                name,
+                args,
+            } => self.check_expander_call(recv, expander, *name, args, e.span),
             ast::ExprKind::New { ty, args } => self.check_new(ty, args, e.span),
             ast::ExprKind::NewArray { elem, len } => {
                 let elem_t = self.resolve_ty_ctx(elem);
                 let l = self.check_expr(len);
                 let l = self.coerce(l, &Type::Prim(PrimTy::Int), len.span);
                 hir::Expr {
-                    kind: hir::ExprKind::NewArray { elem: elem_t.clone(), len: Box::new(l) },
+                    kind: hir::ExprKind::NewArray {
+                        elem: elem_t.clone(),
+                        len: Box::new(l),
+                    },
                     ty: Type::Array(Box::new(elem_t)),
                 }
             }
@@ -957,13 +1158,20 @@ impl<'a> BodyCtx<'a> {
                 let i = self.coerce(i, &Type::Prim(PrimTy::Int), idx.span);
                 match a.ty.clone() {
                     Type::Array(elem) => hir::Expr {
-                        kind: hir::ExprKind::ArrayGet { arr: Box::new(a), idx: Box::new(i) },
+                        kind: hir::ExprKind::ArrayGet {
+                            arr: Box::new(a),
+                            idx: Box::new(i),
+                        },
                         ty: *elem,
                     },
                     other => {
                         self.diags.error(
+                            "E0514",
                             arr.span,
-                            format!("cannot index non-array type `{}`", other.display(self.table)),
+                            format!(
+                                "cannot index non-array type `{}`",
+                                other.display(self.table)
+                            ),
                         );
                         self.error_expr()
                     }
@@ -988,6 +1196,7 @@ impl<'a> BodyCtx<'a> {
                             Type::Prim(PrimTy::Double) => NumKind::Double,
                             ref other => {
                                 self.diags.error(
+                                    "E0511",
                                     expr.span,
                                     format!(
                                         "cannot negate non-numeric type `{}`",
@@ -998,7 +1207,13 @@ impl<'a> BodyCtx<'a> {
                             }
                         };
                         let ty = h.ty.clone();
-                        hir::Expr { kind: hir::ExprKind::Neg { expr: Box::new(h), kind }, ty }
+                        hir::Expr {
+                            kind: hir::ExprKind::Neg {
+                                expr: Box::new(h),
+                                kind,
+                            },
+                            ty,
+                        }
                     }
                 }
             }
@@ -1006,20 +1221,36 @@ impl<'a> BodyCtx<'a> {
                 let h = self.check_expr(expr);
                 let t = self.resolve_ty_ctx(ty);
                 if !h.ty.is_reference() && !matches!(h.ty, Type::Var(_)) {
-                    self.diags
-                        .error(expr.span, "`instanceof` requires a reference expression");
+                    self.diags.error(
+                        "E0513",
+                        expr.span,
+                        "`instanceof` requires a reference expression",
+                    );
                 }
                 hir::Expr {
-                    kind: hir::ExprKind::InstanceOf { expr: Box::new(h), ty: t },
+                    kind: hir::ExprKind::InstanceOf {
+                        expr: Box::new(h),
+                        ty: t,
+                    },
                     ty: Type::Prim(PrimTy::Boolean),
                 }
             }
             ast::ExprKind::Cast { ty, expr } => {
                 let h = self.check_expr(expr);
                 let t = self.resolve_ty_ctx(ty);
-                hir::Expr { kind: hir::ExprKind::Cast { expr: Box::new(h), ty: t.clone() }, ty: t }
+                hir::Expr {
+                    kind: hir::ExprKind::Cast {
+                        expr: Box::new(h),
+                        ty: t.clone(),
+                    },
+                    ty: t,
+                }
             }
-            ast::ExprKind::Cond { cond, then_e, else_e } => {
+            ast::ExprKind::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 let c = self.check_expr(cond);
                 let c = self.expect_bool(c, cond.span);
                 let t = self.check_expr(then_e);
@@ -1030,10 +1261,11 @@ impl<'a> BodyCtx<'a> {
                     f.ty.clone()
                 } else if matches!((&t.ty, &f.ty), (Type::Prim(_), Type::Prim(_))) {
                     // Numeric join.
-                    
+
                     self.numeric_join(&t.ty, &f.ty, e.span)
                 } else {
                     self.diags.error(
+                        "E0501",
                         e.span,
                         format!(
                             "branches of `?:` have incompatible types `{}` and `{}`",
@@ -1076,6 +1308,7 @@ impl<'a> BodyCtx<'a> {
             }
             _ => {
                 self.diags.error(
+                    "E0511",
                     span,
                     format!(
                         "no common numeric type for `{}` and `{}`",
@@ -1090,15 +1323,24 @@ impl<'a> BodyCtx<'a> {
 
     fn check_name(&mut self, n: Symbol, span: Span) -> hir::Expr {
         if let Some((id, ty)) = self.lookup_local(n) {
-            return hir::Expr { kind: hir::ExprKind::Local(id), ty };
+            return hir::Expr {
+                kind: hir::ExprKind::Local(id),
+                ty,
+            };
         }
         // A field of `this`?
         if let Some(this_ty) = self.this_ty.clone() {
             if let Some(f) = lookup_field(self.table, &this_ty, n) {
-                let this = hir::Expr { kind: hir::ExprKind::Local(LocalId(0)), ty: this_ty };
+                let this = hir::Expr {
+                    kind: hir::ExprKind::Local(LocalId(0)),
+                    ty: this_ty,
+                };
                 if f.is_static {
                     return hir::Expr {
-                        kind: hir::ExprKind::GetStatic { class: f.class, field: f.index },
+                        kind: hir::ExprKind::GetStatic {
+                            class: f.class,
+                            field: f.index,
+                        },
                         ty: f.ty,
                     };
                 }
@@ -1116,13 +1358,17 @@ impl<'a> BodyCtx<'a> {
             if let Some(f) = lookup_field(self.table, &owner_ty, n) {
                 if f.is_static {
                     return hir::Expr {
-                        kind: hir::ExprKind::GetStatic { class: f.class, field: f.index },
+                        kind: hir::ExprKind::GetStatic {
+                            class: f.class,
+                            field: f.index,
+                        },
                         ty: f.ty,
                     };
                 }
             }
         }
-        self.diags.error(span, format!("unknown variable `{n}`"));
+        self.diags
+            .error("E0502", span, format!("unknown variable `{n}`"));
         self.error_expr()
     }
 
@@ -1133,7 +1379,11 @@ impl<'a> BodyCtx<'a> {
         }
         if let Some(cid) = self.table.lookup_class(n) {
             if self.table.class(cid).params.is_empty() {
-                return Some(Type::Class { id: cid, args: vec![], models: vec![] });
+                return Some(Type::Class {
+                    id: cid,
+                    args: vec![],
+                    models: vec![],
+                });
             }
         }
         None
@@ -1146,13 +1396,22 @@ impl<'a> BodyCtx<'a> {
                 if let Some(cid) = self.table.lookup_class(*n) {
                     let cls_ty = Type::Class {
                         id: cid,
-                        args: self.table.class(cid).params.iter().map(|t| Type::Var(*t)).collect(),
+                        args: self
+                            .table
+                            .class(cid)
+                            .params
+                            .iter()
+                            .map(|t| Type::Var(*t))
+                            .collect(),
                         models: vec![],
                     };
                     if let Some(f) = lookup_field(self.table, &cls_ty, name) {
                         if f.is_static {
                             return hir::Expr {
-                                kind: hir::ExprKind::GetStatic { class: f.class, field: f.index },
+                                kind: hir::ExprKind::GetStatic {
+                                    class: f.class,
+                                    field: f.index,
+                                },
                                 ty: f.ty,
                             };
                         }
@@ -1172,15 +1431,23 @@ impl<'a> BodyCtx<'a> {
         }
         match lookup_field(self.table, &r.ty, name) {
             Some(f) if !f.is_static => hir::Expr {
-                kind: hir::ExprKind::GetField { recv: Box::new(r), class: f.class, field: f.index },
+                kind: hir::ExprKind::GetField {
+                    recv: Box::new(r),
+                    class: f.class,
+                    field: f.index,
+                },
                 ty: f.ty,
             },
             Some(f) => hir::Expr {
-                kind: hir::ExprKind::GetStatic { class: f.class, field: f.index },
+                kind: hir::ExprKind::GetStatic {
+                    class: f.class,
+                    field: f.index,
+                },
                 ty: f.ty,
             },
             None => {
                 self.diags.error(
+                    "E0512",
                     span,
                     format!("no field `{name}` on type `{}`", r.ty.display(self.table)),
                 );
@@ -1214,7 +1481,10 @@ impl<'a> BodyCtx<'a> {
                     let v = self.check_expr(&rhs_ast);
                     let v = self.coerce(v, &ty, rhs.span);
                     return hir::Expr {
-                        kind: hir::ExprKind::SetLocal { local: id, value: Box::new(v) },
+                        kind: hir::ExprKind::SetLocal {
+                            local: id,
+                            value: Box::new(v),
+                        },
                         ty,
                     };
                 }
@@ -1233,8 +1503,10 @@ impl<'a> BodyCtx<'a> {
                                 ty: f.ty,
                             };
                         }
-                        let this =
-                            hir::Expr { kind: hir::ExprKind::Local(LocalId(0)), ty: this_ty };
+                        let this = hir::Expr {
+                            kind: hir::ExprKind::Local(LocalId(0)),
+                            ty: this_ty,
+                        };
                         return hir::Expr {
                             kind: hir::ExprKind::SetField {
                                 recv: Box::new(this),
@@ -1265,7 +1537,8 @@ impl<'a> BodyCtx<'a> {
                         }
                     }
                 }
-                self.diags.error(lhs.span, format!("unknown variable `{n}`"));
+                self.diags
+                    .error("E0502", lhs.span, format!("unknown variable `{n}`"));
                 self.error_expr()
             }
             ast::ExprKind::Field { recv, name } => {
@@ -1298,6 +1571,7 @@ impl<'a> BodyCtx<'a> {
                     }
                     None => {
                         self.diags.error(
+                            "E0512",
                             span,
                             format!("no field `{name}` on `{}`", r.ty.display(self.table)),
                         );
@@ -1325,6 +1599,7 @@ impl<'a> BodyCtx<'a> {
                     }
                     other => {
                         self.diags.error(
+                            "E0514",
                             arr.span,
                             format!("cannot index non-array `{}`", other.display(self.table)),
                         );
@@ -1333,7 +1608,8 @@ impl<'a> BodyCtx<'a> {
                 }
             }
             _ => {
-                self.diags.error(lhs.span, "invalid assignment target");
+                self.diags
+                    .error("E0506", lhs.span, "invalid assignment target");
                 self.error_expr()
             }
         }
@@ -1435,6 +1711,7 @@ impl<'a> BodyCtx<'a> {
                             || !(r.ty.is_reference() || matches!(r.ty, Type::Var(_)))
                         {
                             self.diags.error(
+                                "E0511",
                                 span,
                                 format!(
                                     "cannot compare `{}` and `{}` with `{}`",
@@ -1472,7 +1749,9 @@ impl<'a> BodyCtx<'a> {
         span: Span,
     ) -> hir::Expr {
         // Built-in printing.
-        if recv.is_none() && (name.as_str() == "print" || name.as_str() == "println") && args.len() == 1
+        if recv.is_none()
+            && (name.as_str() == "print" || name.as_str() == "println")
+            && args.len() == 1
         {
             let a = self.check_expr(&args[0]);
             return hir::Expr {
@@ -1490,8 +1769,10 @@ impl<'a> BodyCtx<'a> {
                 if let Some(this_ty) = self.this_ty.clone() {
                     let cands = lookup_methods_patched(self.table, &this_ty, name);
                     if cands.iter().any(|m| m.params.len() == args.len()) {
-                        let this =
-                            hir::Expr { kind: hir::ExprKind::Local(LocalId(0)), ty: this_ty };
+                        let this = hir::Expr {
+                            kind: hir::ExprKind::Local(LocalId(0)),
+                            ty: this_ty,
+                        };
                         return self.dispatch_found(
                             Some(this),
                             name,
@@ -1506,7 +1787,10 @@ impl<'a> BodyCtx<'a> {
                     // Static context: unqualified static methods of the
                     // owner class.
                     let cands = lookup_methods_patched(self.table, &owner_ty, name);
-                    if cands.iter().any(|m| m.params.len() == args.len() && m.is_static) {
+                    if cands
+                        .iter()
+                        .any(|m| m.params.len() == args.len() && m.is_static)
+                    {
                         return self.dispatch_found(
                             None,
                             name,
@@ -1550,14 +1834,18 @@ impl<'a> BodyCtx<'a> {
                     }
                     0 => {
                         self.diags.error(
+                            "E0503",
                             span,
                             format!("unknown method `{name}` with {} argument(s)", args.len()),
                         );
                         self.error_expr()
                     }
                     _ => {
-                        self.diags
-                            .error(span, format!("ambiguous call to top-level method `{name}`"));
+                        self.diags.error(
+                            "E0504",
+                            span,
+                            format!("ambiguous call to top-level method `{name}`"),
+                        );
                         self.error_expr()
                     }
                 }
@@ -1578,6 +1866,7 @@ impl<'a> BodyCtx<'a> {
                         }
                         if self.table.lookup_class(*n).is_some() {
                             self.diags.error(
+                                "E0518",
                                 recv_e.span,
                                 format!(
                                     "generic class `{n}` cannot be used as a static receiver without instantiation"
@@ -1590,7 +1879,10 @@ impl<'a> BodyCtx<'a> {
                 let r = self.check_expr(recv_e);
                 let r = self.open_if_existential(r);
                 let cands = lookup_methods_patched(self.table, &r.ty, name);
-                if cands.iter().any(|m| m.params.len() == args.len() && !m.is_static) {
+                if cands
+                    .iter()
+                    .any(|m| m.params.len() == args.len() && !m.is_static)
+                {
                     return self.dispatch_found(
                         Some(r),
                         name,
@@ -1622,10 +1914,20 @@ impl<'a> BodyCtx<'a> {
         match found.len() {
             1 => {
                 let (inst, model) = found.into_iter().next().expect("len checked");
-                self.call_model_op(model, inst, name, Some(recv), None, checked_args, args, span)
+                self.call_model_op(
+                    model,
+                    inst,
+                    name,
+                    Some(recv),
+                    None,
+                    checked_args,
+                    args,
+                    span,
+                )
             }
             0 => {
                 self.diags.error(
+                    "E0503",
                     span,
                     format!(
                         "no method or constraint operation `{name}` applicable to `{}`",
@@ -1636,6 +1938,7 @@ impl<'a> BodyCtx<'a> {
             }
             n => {
                 self.diags.error(
+                    "E0504",
                     span,
                     format!(
                         "ambiguous operation `{name}` on `{}`: {n} enabled models apply — \
@@ -1661,14 +1964,19 @@ impl<'a> BodyCtx<'a> {
         // The universal `T.default()` (§3.1).
         if name.as_str() == "default" && args.is_empty() {
             return hir::Expr {
-                kind: hir::ExprKind::DefaultValue { of: recv_ty.clone() },
+                kind: hir::ExprKind::DefaultValue {
+                    of: recv_ty.clone(),
+                },
                 ty: recv_ty,
             };
         }
         // Static class methods.
         if let Type::Class { .. } = &recv_ty {
             let cands = lookup_methods_patched(self.table, &recv_ty, name);
-            if cands.iter().any(|m| m.is_static && m.params.len() == args.len()) {
+            if cands
+                .iter()
+                .any(|m| m.is_static && m.params.len() == args.len())
+            {
                 return self.dispatch_found(None, name, cands, type_args, checked_args, args, span);
             }
         }
@@ -1684,11 +1992,11 @@ impl<'a> BodyCtx<'a> {
                         let r = subst.apply(&Type::Var(op.receiver));
                         if type_eq(self.table, &r, &recv_ty)
                             && !found.iter().any(|(i2, m2)| {
-                                i2 == inst
-                                    && genus_types::subtype::model_eq(self.table, m2, &model)
-                            }) {
-                                found.push((inst.clone(), model.clone()));
-                            }
+                                i2 == inst && genus_types::subtype::model_eq(self.table, m2, &model)
+                            })
+                        {
+                            found.push((inst.clone(), model.clone()));
+                        }
                     }
                 }
             }
@@ -1713,7 +2021,9 @@ impl<'a> BodyCtx<'a> {
                 // time).
                 if let Type::Prim(p) = recv_ty {
                     let ms = crate::methods::prim_methods(p);
-                    if ms.iter().any(|m| m.is_static && m.name == name && m.params.len() == args.len())
+                    if ms
+                        .iter()
+                        .any(|m| m.is_static && m.name == name && m.params.len() == args.len())
                     {
                         let ty = ms
                             .iter()
@@ -1732,6 +2042,7 @@ impl<'a> BodyCtx<'a> {
                     }
                 }
                 self.diags.error(
+                    "E0503",
                     span,
                     format!(
                         "no static method or constraint operation `{name}` on `{}`",
@@ -1742,6 +2053,7 @@ impl<'a> BodyCtx<'a> {
             }
             _ => {
                 self.diags.error(
+                    "E0504",
                     span,
                     format!(
                         "ambiguous static operation `{name}` on `{}`: multiple enabled models apply",
@@ -1776,6 +2088,7 @@ impl<'a> BodyCtx<'a> {
             .find(|o| o.name == name && o.params.len() == args.len() && o.is_static == is_static)
         else {
             self.diags.error(
+                "E0503",
                 span,
                 format!(
                     "constraint `{}` has no matching operation `{name}`",
@@ -1813,7 +2126,13 @@ impl<'a> BodyCtx<'a> {
         let checked_args: Vec<hir::Expr> = args.iter().map(|a| self.check_expr(a)).collect();
         // A type-name expander selects the natural model
         // (`"x".(String.equals)("X")`): find the constraint by operation.
-        if let ast::ModelExpr::Named { name: en, args: eargs, models: emodels, .. } = expander {
+        if let ast::ModelExpr::Named {
+            name: en,
+            args: eargs,
+            models: emodels,
+            ..
+        } = expander
+        {
             let is_model_var = self.scope.mvs.contains_key(en);
             let is_model = self.table.lookup_model(*en).is_some();
             if !is_model_var && !is_model {
@@ -1823,7 +2142,11 @@ impl<'a> BodyCtx<'a> {
                 } else {
                     self.table.lookup_class(*en).and_then(|cid| {
                         if self.table.class(cid).params.is_empty() {
-                            Some(Type::Class { id: cid, args: vec![], models: vec![] })
+                            Some(Type::Class {
+                                id: cid,
+                                args: vec![],
+                                models: vec![],
+                            })
                         } else {
                             None
                         }
@@ -1864,15 +2187,15 @@ impl<'a> BodyCtx<'a> {
                         }
                         0 => {
                             self.diags.error(
+                                "E0516",
                                 span,
-                                format!(
-                                    "no natural model of `{en}` provides operation `{name}`"
-                                ),
+                                format!("no natural model of `{en}` provides operation `{name}`"),
                             );
                             return self.error_expr();
                         }
                         _ => {
                             self.diags.error(
+                                "E0516",
                                 span,
                                 format!(
                                     "operation `{name}` of `{en}` is provided by multiple constraints; \
@@ -1887,7 +2210,10 @@ impl<'a> BodyCtx<'a> {
         }
         // Model variable or declared model.
         let model = {
-            let mut res = Resolver { table: self.table, diags: self.diags };
+            let mut res = Resolver {
+                table: self.table,
+                diags: self.diags,
+            };
             let sc = self.scope.clone();
             res.resolve_model_expr(&sc, expander, None)
         };
@@ -1899,7 +2225,11 @@ impl<'a> BodyCtx<'a> {
                 .iter()
                 .find(|(_, m)| matches!(m, Model::Var(v) if v == mv))
                 .map(|(i, _)| i.clone()),
-            Model::Decl { id, type_args, model_args } => {
+            Model::Decl {
+                id,
+                type_args,
+                model_args,
+            } => {
                 let d = self.table.model(*id);
                 let s = Subst::from_pairs(&d.tparams, type_args).with_models(
                     &d.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(),
@@ -1911,7 +2241,11 @@ impl<'a> BodyCtx<'a> {
             Model::Infer(_) => None,
         };
         let Some(winst) = winst else {
-            self.diags.error(span, "cannot determine the constraint of this expander");
+            self.diags.error(
+                "E0516",
+                span,
+                "cannot determine the constraint of this expander",
+            );
             return self.error_expr();
         };
         // Find the operation in the constraint or its prerequisites.
@@ -1937,6 +2271,7 @@ impl<'a> BodyCtx<'a> {
             }
         }
         self.diags.error(
+            "E0503",
             span,
             format!(
                 "model for `{}` has no operation `{name}` with {} argument(s)",
@@ -1949,17 +2284,31 @@ impl<'a> BodyCtx<'a> {
 
     fn check_new(&mut self, ty: &ast::Ty, args: &[ast::Expr], span: Span) -> hir::Expr {
         let t = self.resolve_ty_ctx(ty);
-        let Type::Class { id, args: targs, models } = t.clone() else {
-            self.diags.error(span, "`new` requires a class type");
+        let Type::Class {
+            id,
+            args: targs,
+            models,
+        } = t.clone()
+        else {
+            self.diags
+                .error("E0510", span, "`new` requires a class type");
             return self.error_expr();
         };
         let def = self.table.class(id);
         if def.is_interface {
-            self.diags.error(span, format!("cannot instantiate interface `{}`", def.name));
+            self.diags.error(
+                "E0510",
+                span,
+                format!("cannot instantiate interface `{}`", def.name),
+            );
             return self.error_expr();
         }
         if def.is_abstract {
-            self.diags.error(span, format!("cannot instantiate abstract class `{}`", def.name));
+            self.diags.error(
+                "E0510",
+                span,
+                format!("cannot instantiate abstract class `{}`", def.name),
+            );
             return self.error_expr();
         }
         // Validate explicit models witness the class's constraints.
@@ -1969,9 +2318,11 @@ impl<'a> BodyCtx<'a> {
             .with_models(&wheres.iter().map(|w| w.mv).collect::<Vec<_>>(), &models);
         for (w, m) in wheres.iter().zip(&models) {
             let inst = subst.apply_inst(&w.inst);
-            if !inst.args.iter().any(|a| matches!(a, Type::Infer(_))) && !self.model_witnesses(m, &inst)
+            if !inst.args.iter().any(|a| matches!(a, Type::Infer(_)))
+                && !self.model_witnesses(m, &inst)
             {
                 self.diags.error(
+                    "E0404",
                     span,
                     format!(
                         "model `{}` does not witness `{}`",
@@ -1990,6 +2341,7 @@ impl<'a> BodyCtx<'a> {
             .position(|c| c.params.len() == args.len());
         let Some(ci) = ctor_idx else {
             self.diags.error(
+                "E0505",
                 span,
                 format!(
                     "class `{}` has no constructor with {} argument(s)",
@@ -2007,7 +2359,13 @@ impl<'a> BodyCtx<'a> {
         let checked_args: Vec<hir::Expr> = args.iter().map(|a| self.check_expr(a)).collect();
         let final_args = self.coerce_args(checked_args, &ptys, args);
         hir::Expr {
-            kind: hir::ExprKind::New { class: id, targs, models, ctor: ci, args: final_args },
+            kind: hir::ExprKind::New {
+                class: id,
+                targs,
+                models,
+                ctor: ci,
+                args: final_args,
+            },
             ty: t,
         }
     }
@@ -2053,6 +2411,7 @@ impl<'a> BodyCtx<'a> {
             .find(|m| m.params.len() == args.len() && (!want_static || m.is_static))
         else {
             self.diags.error(
+                "E0505",
                 span,
                 format!("no overload of `{name}` takes {} argument(s)", args.len()),
             );
@@ -2120,7 +2479,8 @@ impl<'a> BodyCtx<'a> {
                 ty: ret,
             },
             _ => {
-                self.diags.error(span, format!("cannot call `{name}` here"));
+                self.diags
+                    .error("E0503", span, format!("cannot call `{name}` here"));
                 self.error_expr()
             }
         }
@@ -2189,6 +2549,7 @@ impl<'a> BodyCtx<'a> {
             let t = sol.apply(&Type::Infer(*i));
             if t.has_infer() {
                 self.diags.error(
+                    "E0519",
                     span,
                     format!(
                         "cannot infer type argument `{}`; supply it explicitly",
@@ -2210,13 +2571,17 @@ impl<'a> BodyCtx<'a> {
             let inst = sol.apply_inst(&inst);
             if let Some(me) = explicit_model {
                 let m = {
-                    let mut res = Resolver { table: self.table, diags: self.diags };
+                    let mut res = Resolver {
+                        table: self.table,
+                        diags: self.diags,
+                    };
                     let sc = self.scope.clone();
                     res.resolve_model_expr(&sc, me, Some(&inst))
                 };
                 let m = self.complete_model(m, span);
                 if !self.model_witnesses(&m, &inst) {
                     self.diags.error(
+                        "E0404",
                         me.span(),
                         format!(
                             "model `{}` does not witness `{}`",
@@ -2235,12 +2600,13 @@ impl<'a> BodyCtx<'a> {
             }
             margs.push(self.resolve_model_for(&inst, span));
         }
-        let final_subst = inst_subst.with_models(
-            &c.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(),
-            &margs,
-        );
-        let ptys: Vec<Type> =
-            c.params.iter().map(|p| sol.apply(&final_subst.apply(p))).collect();
+        let final_subst =
+            inst_subst.with_models(&c.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(), &margs);
+        let ptys: Vec<Type> = c
+            .params
+            .iter()
+            .map(|p| sol.apply(&final_subst.apply(p)))
+            .collect();
         let ret = sol.apply(&final_subst.apply(&c.ret));
         let _ = asts;
         (targs, margs, ptys, ret)

@@ -16,8 +16,7 @@ use genus_common::{Diagnostics, Span, Symbol};
 use genus_syntax::ast;
 use genus_types::{
     ClassDef, ClassId, ConstraintDef, ConstraintId, ConstraintInst, ConstraintOp, CtorDef,
-    FieldDef, MethodDef, Model, ModelDef, ModelMethod, MvId, Table, TvId, Type, UseDef,
-    WhereReq,
+    FieldDef, MethodDef, Model, ModelDef, ModelMethod, MvId, Table, TvId, Type, UseDef, WhereReq,
 };
 use std::collections::HashMap;
 
@@ -59,10 +58,15 @@ impl<'a> Resolver<'a> {
             ast::TyKind::Prim(p) => Type::Prim(*p),
             ast::TyKind::Array(e) => Type::Array(Box::new(self.resolve_ty(scope, e))),
             ast::TyKind::Wildcard { .. } => {
-                self.diags.error(t.span, "wildcard type not allowed here");
+                self.diags
+                    .error("E0210", t.span, "wildcard type not allowed here");
                 Type::Null
             }
-            ast::TyKind::Existential { params, wheres, body } => {
+            ast::TyKind::Existential {
+                params,
+                wheres,
+                body,
+            } => {
                 let mut inner = scope.child();
                 let mut tvs = Vec::new();
                 for p in params {
@@ -91,7 +95,12 @@ impl<'a> Resolver<'a> {
                     }
                 }
                 let body_t = self.resolve_ty(&inner, body);
-                Type::Existential { params: tvs, bounds, wheres: ws, body: Box::new(body_t) }
+                Type::Existential {
+                    params: tvs,
+                    bounds,
+                    wheres: ws,
+                    body: Box::new(body_t),
+                }
             }
             ast::TyKind::Named { name, args, models } => {
                 // Type variable?
@@ -111,12 +120,14 @@ impl<'a> Resolver<'a> {
                             }
                         }
                     }
-                    self.diags.error(t.span, format!("unknown type `{name}`"));
+                    self.diags
+                        .error("E0204", t.span, format!("unknown type `{name}`"));
                     return Type::Null;
                 };
                 let def_params = self.table.class(cid).params.clone();
                 if args.len() != def_params.len() {
                     self.diags.error(
+                        "E0208",
                         t.span,
                         format!(
                             "wrong number of type arguments for `{name}`: expected {}, found {}",
@@ -170,13 +181,18 @@ impl<'a> Resolver<'a> {
                     for w in &wheres {
                         let inst = subst.apply_inst(&w.inst);
                         let mv = self.table.fresh_mv(Symbol::intern("?m"));
-                        ex_wheres.push(WhereReq { inst, mv, named: false });
+                        ex_wheres.push(WhereReq {
+                            inst,
+                            mv,
+                            named: false,
+                        });
                         resolved_models.push(Model::Var(mv));
                     }
                 }
                 if !models.is_empty() {
                     if models.len() != wheres.len() {
                         self.diags.error(
+                            "E0212",
                             t.span,
                             format!(
                                 "wrong number of models for `{name}`: expected {}, found {}",
@@ -197,10 +213,17 @@ impl<'a> Resolver<'a> {
                                     args: vec![],
                                 });
                                 if expected.is_none() {
-                                    self.diags
-                                        .error(*span, "wildcard model has no expected constraint");
+                                    self.diags.error(
+                                        "E0211",
+                                        *span,
+                                        "wildcard model has no expected constraint",
+                                    );
                                 }
-                                ex_wheres.push(WhereReq { inst, mv, named: false });
+                                ex_wheres.push(WhereReq {
+                                    inst,
+                                    mv,
+                                    named: false,
+                                });
                                 resolved_models.push(Model::Var(mv));
                             }
                             _ => {
@@ -210,7 +233,11 @@ impl<'a> Resolver<'a> {
                         }
                     }
                 }
-                let base = Type::Class { id: cid, args: resolved_args, models: resolved_models };
+                let base = Type::Class {
+                    id: cid,
+                    args: resolved_args,
+                    models: resolved_models,
+                };
                 if ex_params.is_empty() && ex_wheres.is_empty() {
                     base
                 } else {
@@ -233,7 +260,10 @@ impl<'a> Resolver<'a> {
             params: vec![u],
             bounds: vec![None],
             wheres: vec![WhereReq {
-                inst: ConstraintInst { id: kid, args: vec![Type::Var(u)] },
+                inst: ConstraintInst {
+                    id: kid,
+                    args: vec![Type::Var(u)],
+                },
                 mv,
                 named: false,
             }],
@@ -248,12 +278,14 @@ impl<'a> Resolver<'a> {
         c: &ast::ConstraintRef,
     ) -> Option<ConstraintInst> {
         let Some(kid) = self.table.lookup_constraint(c.name) else {
-            self.diags.error(c.span, format!("unknown constraint `{}`", c.name));
+            self.diags
+                .error("E0205", c.span, format!("unknown constraint `{}`", c.name));
             return None;
         };
         let arity = self.table.constraint(kid).params.len();
         if c.args.len() != arity {
             self.diags.error(
+                "E0209",
                 c.span,
                 format!(
                     "constraint `{}` expects {} type argument(s), found {}",
@@ -264,7 +296,10 @@ impl<'a> Resolver<'a> {
             );
         }
         let args: Vec<Type> = c.args.iter().map(|a| self.resolve_ty(scope, a)).collect();
-        Some(ConstraintInst { id: kid, args: pad_args(&args, arity) })
+        Some(ConstraintInst {
+            id: kid,
+            args: pad_args(&args, arity),
+        })
     }
 
     /// Resolves a where-clause binding, registering its model variable in
@@ -276,7 +311,11 @@ impl<'a> Resolver<'a> {
         if let Some(v) = w.var {
             scope.mvs.insert(v, mv);
         }
-        Some(WhereReq { inst, mv, named: w.var.is_some() })
+        Some(WhereReq {
+            inst,
+            mv,
+            named: w.var.is_some(),
+        })
     }
 
     /// Resolves a model expression. `expected` is the constraint the model
@@ -290,7 +329,8 @@ impl<'a> Resolver<'a> {
     ) -> Model {
         match m {
             ast::ModelExpr::Wildcard { span } => {
-                self.diags.error(*span, "wildcard model not allowed here");
+                self.diags
+                    .error("E0211", *span, "wildcard model not allowed here");
                 Model::Natural {
                     inst: expected.cloned().unwrap_or(ConstraintInst {
                         id: ConstraintId(0),
@@ -298,7 +338,12 @@ impl<'a> Resolver<'a> {
                     }),
                 }
             }
-            ast::ModelExpr::Named { name, args, models, span } => {
+            ast::ModelExpr::Named {
+                name,
+                args,
+                models,
+                span,
+            } => {
                 // 1. A model variable in scope.
                 if args.is_empty() && models.is_empty() {
                     if let Some(mv) = scope.mvs.get(name) {
@@ -313,6 +358,7 @@ impl<'a> Resolver<'a> {
                     };
                     if args.len() != tparams.len() && !args.is_empty() {
                         self.diags.error(
+                            "E0212",
                             *span,
                             format!(
                                 "model `{name}` expects {} type argument(s), found {}",
@@ -321,8 +367,7 @@ impl<'a> Resolver<'a> {
                             ),
                         );
                     }
-                    let targs: Vec<Type> =
-                        args.iter().map(|a| self.resolve_ty(scope, a)).collect();
+                    let targs: Vec<Type> = args.iter().map(|a| self.resolve_ty(scope, a)).collect();
                     let targs = pad_args(&targs, tparams.len());
                     let subst = genus_types::Subst::from_pairs(&tparams, &targs);
                     let mut margs = Vec::new();
@@ -332,7 +377,11 @@ impl<'a> Resolver<'a> {
                     }
                     // Missing model/type args are left for contextual
                     // inference (body checker) or flagged during completion.
-                    return Model::Decl { id: mid, type_args: targs, model_args: margs };
+                    return Model::Decl {
+                        id: mid,
+                        type_args: targs,
+                        model_args: margs,
+                    };
                 }
                 // 3. A type name selecting the natural model
                 //    (`Set[String with String]`).
@@ -344,14 +393,19 @@ impl<'a> Resolver<'a> {
                         return Model::Natural { inst: exp.clone() };
                     }
                     self.diags.error(
+                        "E0213",
                         *span,
                         format!("cannot determine which constraint the natural model of `{name}` should witness here"),
                     );
                     return Model::Natural {
-                        inst: ConstraintInst { id: ConstraintId(0), args: vec![] },
+                        inst: ConstraintInst {
+                            id: ConstraintId(0),
+                            args: vec![],
+                        },
                     };
                 }
-                self.diags.error(*span, format!("unknown model `{name}`"));
+                self.diags
+                    .error("E0206", *span, format!("unknown model `{name}`"));
                 Model::Natural {
                     inst: expected.cloned().unwrap_or(ConstraintInst {
                         id: ConstraintId(0),
@@ -364,7 +418,10 @@ impl<'a> Resolver<'a> {
 }
 
 fn is_prim_name(name: Symbol) -> bool {
-    matches!(name.as_str(), "int" | "long" | "double" | "boolean" | "char")
+    matches!(
+        name.as_str(),
+        "int" | "long" | "double" | "boolean" | "char"
+    )
 }
 
 fn pad_args(args: &[Type], want: usize) -> Vec<Type> {
@@ -395,21 +452,25 @@ fn register_names(programs: &[ast::Program], table: &mut Table, diags: &mut Diag
             match d {
                 ast::Decl::Class(c) => {
                     if table.lookup_class(c.name).is_some() {
-                        diags.error(c.span, format!("duplicate type `{}`", c.name));
+                        diags.error("E0201", c.span, format!("duplicate type `{}`", c.name));
                         continue;
                     }
                     table.add_class(placeholder_class(c.name, false, c.is_abstract, c.span));
                 }
                 ast::Decl::Interface(i) => {
                     if table.lookup_class(i.name).is_some() {
-                        diags.error(i.span, format!("duplicate type `{}`", i.name));
+                        diags.error("E0201", i.span, format!("duplicate type `{}`", i.name));
                         continue;
                     }
                     table.add_class(placeholder_class(i.name, true, true, i.span));
                 }
                 ast::Decl::Constraint(c) => {
                     if table.lookup_constraint(c.name).is_some() {
-                        diags.error(c.span, format!("duplicate constraint `{}`", c.name));
+                        diags.error(
+                            "E0202",
+                            c.span,
+                            format!("duplicate constraint `{}`", c.name),
+                        );
                         continue;
                     }
                     table.add_constraint(ConstraintDef {
@@ -423,14 +484,17 @@ fn register_names(programs: &[ast::Program], table: &mut Table, diags: &mut Diag
                 }
                 ast::Decl::Model(m) => {
                     if table.lookup_model(m.name).is_some() {
-                        diags.error(m.span, format!("duplicate model `{}`", m.name));
+                        diags.error("E0203", m.span, format!("duplicate model `{}`", m.name));
                         continue;
                     }
                     table.add_model(ModelDef {
                         name: m.name,
                         tparams: vec![],
                         wheres: vec![],
-                        for_inst: ConstraintInst { id: ConstraintId(0), args: vec![] },
+                        for_inst: ConstraintInst {
+                            id: ConstraintId(0),
+                            args: vec![],
+                        },
                         extends: vec![],
                         methods: vec![],
                         span: m.span,
@@ -465,7 +529,9 @@ fn collect_headers(programs: &[ast::Program], table: &mut Table, diags: &mut Dia
     for p in programs {
         for d in &p.decls {
             if let ast::Decl::Constraint(c) = d {
-                let Some(kid) = table.lookup_constraint(c.name) else { continue };
+                let Some(kid) = table.lookup_constraint(c.name) else {
+                    continue;
+                };
                 let mut params = Vec::new();
                 for tp in &c.params {
                     params.push(table.fresh_tv(tp.name));
@@ -556,7 +622,9 @@ fn collect_headers(programs: &[ast::Program], table: &mut Table, diags: &mut Dia
 }
 
 fn collect_constraint(c: &ast::ConstraintDecl, table: &mut Table, diags: &mut Diagnostics) {
-    let Some(kid) = table.lookup_constraint(c.name) else { return };
+    let Some(kid) = table.lookup_constraint(c.name) else {
+        return;
+    };
     let params = table.constraint(kid).params.clone();
     let mut scope = Scope::new();
     for (tp, tv) in c.params.iter().zip(&params) {
@@ -577,8 +645,12 @@ fn collect_constraint(c: &ast::ConstraintDecl, table: &mut Table, diags: &mut Di
                 Some(tv) => *tv,
                 None => {
                     r.diags.error(
+                        "E0214",
                         m.span,
-                        format!("receiver `{rn}` is not a parameter of constraint `{}`", c.name),
+                        format!(
+                            "receiver `{rn}` is not a parameter of constraint `{}`",
+                            c.name
+                        ),
                     );
                     params.first().copied().unwrap_or(TvId(0))
                 }
@@ -586,6 +658,7 @@ fn collect_constraint(c: &ast::ConstraintDecl, table: &mut Table, diags: &mut Di
             None => {
                 if params.len() != 1 {
                     r.diags.error(
+                        "E0214",
                         m.span,
                         "operations of multiparameter constraints must declare a receiver type",
                     );
@@ -594,8 +667,11 @@ fn collect_constraint(c: &ast::ConstraintDecl, table: &mut Table, diags: &mut Di
             }
         };
         let ret = r.resolve_ty(&scope, &m.ret);
-        let ps: Vec<(Symbol, Type)> =
-            m.params.iter().map(|p| (p.name, r.resolve_ty(&scope, &p.ty))).collect();
+        let ps: Vec<(Symbol, Type)> = m
+            .params
+            .iter()
+            .map(|p| (p.name, r.resolve_ty(&scope, &p.ty)))
+            .collect();
         ops.push(ConstraintOp {
             name: m.name,
             is_static: m.is_static,
@@ -610,7 +686,9 @@ fn collect_constraint(c: &ast::ConstraintDecl, table: &mut Table, diags: &mut Di
 }
 
 fn register_class_params(name: Symbol, generics: &ast::GenericSig, table: &mut Table) {
-    let Some(cid) = table.lookup_class(name) else { return };
+    let Some(cid) = table.lookup_class(name) else {
+        return;
+    };
     let mut params = Vec::new();
     for tp in &generics.type_params {
         params.push(table.fresh_tv(tp.name));
@@ -624,7 +702,9 @@ fn collect_class_wheres(
     table: &mut Table,
     diags: &mut Diagnostics,
 ) {
-    let Some(cid) = table.lookup_class(name) else { return };
+    let Some(cid) = table.lookup_class(name) else {
+        return;
+    };
     let params = table.class(cid).params.clone();
     let mut scope = Scope::new();
     for (tp, tv) in generics.type_params.iter().zip(&params) {
@@ -641,11 +721,7 @@ fn collect_class_wheres(
 }
 
 /// Rebuilds the scope of a class from its collected header.
-pub fn class_scope(
-    table: &Table,
-    cid: ClassId,
-    generics: &ast::GenericSig,
-) -> Scope {
+pub fn class_scope(table: &Table, cid: ClassId, generics: &ast::GenericSig) -> Scope {
     let def = table.class(cid);
     let mut scope = Scope::new();
     for (tp, tv) in generics.type_params.iter().zip(&def.params) {
@@ -660,7 +736,9 @@ pub fn class_scope(
 }
 
 fn collect_class_body(c: &ast::ClassDecl, table: &mut Table, diags: &mut Diagnostics) {
-    let Some(cid) = table.lookup_class(c.name) else { return };
+    let Some(cid) = table.lookup_class(c.name) else {
+        return;
+    };
     let scope = class_scope(table, cid, &c.generics);
     let mut r = Resolver { table, diags };
     let extends = match &c.extends {
@@ -672,11 +750,19 @@ fn collect_class_body(c: &ast::ClassDecl, table: &mut Table, diags: &mut Diagnos
             } else {
                 r.table
                     .lookup_class(Symbol::intern("Object"))
-                    .map(|oid| Type::Class { id: oid, args: vec![], models: vec![] })
+                    .map(|oid| Type::Class {
+                        id: oid,
+                        args: vec![],
+                        models: vec![],
+                    })
             }
         }
     };
-    let implements: Vec<Type> = c.implements.iter().map(|t| r.resolve_ty(&scope, t)).collect();
+    let implements: Vec<Type> = c
+        .implements
+        .iter()
+        .map(|t| r.resolve_ty(&scope, t))
+        .collect();
     let mut fields = Vec::new();
     for f in &c.fields {
         let ty = r.resolve_ty(&scope, &f.ty);
@@ -690,9 +776,16 @@ fn collect_class_body(c: &ast::ClassDecl, table: &mut Table, diags: &mut Diagnos
     }
     let mut ctors = Vec::new();
     for ct in &c.ctors {
-        let params: Vec<(Symbol, Type)> =
-            ct.params.iter().map(|p| (p.name, r.resolve_ty(&scope, &p.ty))).collect();
-        ctors.push(CtorDef { params, body: ct.body.clone(), span: ct.span });
+        let params: Vec<(Symbol, Type)> = ct
+            .params
+            .iter()
+            .map(|p| (p.name, r.resolve_ty(&scope, &p.ty)))
+            .collect();
+        ctors.push(CtorDef {
+            params,
+            body: ct.body.clone(),
+            span: ct.span,
+        });
     }
     let mut methods = Vec::new();
     for m in &c.methods {
@@ -710,7 +803,9 @@ fn collect_class_body(c: &ast::ClassDecl, table: &mut Table, diags: &mut Diagnos
 }
 
 fn collect_interface_body(i: &ast::InterfaceDecl, table: &mut Table, diags: &mut Diagnostics) {
-    let Some(cid) = table.lookup_class(i.name) else { return };
+    let Some(cid) = table.lookup_class(i.name) else {
+        return;
+    };
     let scope = class_scope(table, cid, &i.generics);
     let mut r = Resolver { table, diags };
     let extends: Vec<Type> = i.extends.iter().map(|t| r.resolve_ty(&scope, t)).collect();
@@ -738,6 +833,7 @@ fn check_member_clashes(
         for b in &methods[i + 1..] {
             if a.name == b.name && a.params.len() == b.params.len() && a.is_static == b.is_static {
                 diags.error(
+                    "E0216",
                     b.span,
                     format!(
                         "duplicate method `{}` with {} parameter(s): overloads must differ in arity",
@@ -752,6 +848,7 @@ fn check_member_clashes(
         for b in &ctors[i + 1..] {
             if a.params.len() == b.params.len() {
                 diags.error(
+                    "E0216",
                     b.span,
                     "duplicate constructor: constructor overloads must differ in arity",
                 );
@@ -781,8 +878,11 @@ fn collect_method(
         }
     }
     let ret = r.resolve_ty(&scope, &m.ret);
-    let params: Vec<(Symbol, Type)> =
-        m.params.iter().map(|p| (p.name, r.resolve_ty(&scope, &p.ty))).collect();
+    let params: Vec<(Symbol, Type)> = m
+        .params
+        .iter()
+        .map(|p| (p.name, r.resolve_ty(&scope, &p.ty)))
+        .collect();
     Some(MethodDef {
         name: m.name,
         is_static: m.is_static,
@@ -798,7 +898,9 @@ fn collect_method(
 }
 
 fn collect_model_header(m: &ast::ModelDecl, table: &mut Table, diags: &mut Diagnostics) {
-    let Some(mid) = table.lookup_model(m.name) else { return };
+    let Some(mid) = table.lookup_model(m.name) else {
+        return;
+    };
     let mut scope = Scope::new();
     let mut tparams = Vec::new();
     for tp in &m.generics.type_params {
@@ -815,7 +917,10 @@ fn collect_model_header(m: &ast::ModelDecl, table: &mut Table, diags: &mut Diagn
     }
     let for_inst = r
         .resolve_constraint_ref(&scope, &m.for_constraint)
-        .unwrap_or(ConstraintInst { id: ConstraintId(0), args: vec![] });
+        .unwrap_or(ConstraintInst {
+            id: ConstraintId(0),
+            args: vec![],
+        });
     table.models[mid.0 as usize].tparams = tparams;
     table.models[mid.0 as usize].wheres = wheres;
     table.models[mid.0 as usize].for_inst = for_inst;
@@ -837,7 +942,9 @@ pub fn model_scope(table: &Table, mid: genus_types::ModelId, generics: &ast::Gen
 }
 
 fn collect_model_body(m: &ast::ModelDecl, table: &mut Table, diags: &mut Diagnostics) {
-    let Some(mid) = table.lookup_model(m.name) else { return };
+    let Some(mid) = table.lookup_model(m.name) else {
+        return;
+    };
     let scope = model_scope(table, mid, &m.generics);
     let for_inst = table.model(mid).for_inst.clone();
     let mut r = Resolver { table, diags };
@@ -870,6 +977,7 @@ fn resolve_model_method(
                 for_inst.args[0].clone()
             } else {
                 r.diags.error(
+                    "E0214",
                     d.span,
                     "methods of models for multiparameter constraints must declare a receiver type",
                 );
@@ -877,8 +985,11 @@ fn resolve_model_method(
             }
         }
     };
-    let params: Vec<(Symbol, Type)> =
-        d.params.iter().map(|p| (p.name, r.resolve_ty(scope, &p.ty))).collect();
+    let params: Vec<(Symbol, Type)> = d
+        .params
+        .iter()
+        .map(|p| (p.name, r.resolve_ty(scope, &p.ty)))
+        .collect();
     ModelMethod {
         name: d.name,
         is_static: d.is_static,
@@ -893,7 +1004,11 @@ fn resolve_model_method(
 
 fn collect_enrich(e: &ast::EnrichDecl, table: &mut Table, diags: &mut Diagnostics) {
     let Some(mid) = table.lookup_model(e.target) else {
-        diags.error(e.span, format!("cannot enrich unknown model `{}`", e.target));
+        diags.error(
+            "E0207",
+            e.span,
+            format!("cannot enrich unknown model `{}`", e.target),
+        );
         return;
     };
     // Enrichment methods are resolved in the *model's* generic context. The
@@ -921,7 +1036,10 @@ fn collect_use(u: &ast::UseDecl, table: &mut Table, diags: &mut Diagnostics) {
     // `use M;` where `M` is a parameterized model is sugar for the fully
     // parameterized form (§4.7): copy M's generic signature as the use's.
     if u.generics.is_empty() && u.for_constraint.is_none() {
-        if let ast::ModelExpr::Named { name, args, models, .. } = &u.model {
+        if let ast::ModelExpr::Named {
+            name, args, models, ..
+        } = &u.model
+        {
             if args.is_empty() && models.is_empty() {
                 if let Some(mid) = table.lookup_model(*name) {
                     let d = table.model(mid);
@@ -942,7 +1060,11 @@ fn collect_use(u: &ast::UseDecl, table: &mut Table, diags: &mut Diagnostics) {
                     });
                     return;
                 }
-                diags.error(u.span, format!("unknown model `{name}` in use declaration"));
+                diags.error(
+                    "E0206",
+                    u.span,
+                    format!("unknown model `{name}` in use declaration"),
+                );
                 return;
             }
         }
@@ -970,7 +1092,11 @@ fn collect_use(u: &ast::UseDecl, table: &mut Table, diags: &mut Diagnostics) {
     let for_inst = match for_inst {
         Some(f) => f,
         None => match &model {
-            Model::Decl { id, type_args, model_args } => {
+            Model::Decl {
+                id,
+                type_args,
+                model_args,
+            } => {
                 let d = r.table.model(*id);
                 let subst = genus_types::Subst::from_pairs(&d.tparams, type_args).with_models(
                     &d.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(),
@@ -979,13 +1105,25 @@ fn collect_use(u: &ast::UseDecl, table: &mut Table, diags: &mut Diagnostics) {
                 subst.apply_inst(&d.for_inst)
             }
             _ => {
-                r.diags
-                    .error(u.span, "cannot infer the constraint this use declaration enables");
-                ConstraintInst { id: ConstraintId(0), args: vec![] }
+                r.diags.error(
+                    "E0213",
+                    u.span,
+                    "cannot infer the constraint this use declaration enables",
+                );
+                ConstraintInst {
+                    id: ConstraintId(0),
+                    args: vec![],
+                }
             }
         },
     };
-    table.uses.push(UseDef { tparams, wheres, model, for_inst, span: u.span });
+    table.uses.push(UseDef {
+        tparams,
+        wheres,
+        model,
+        for_inst,
+        span: u.span,
+    });
 }
 
 fn check_prereq_cycles(table: &Table, diags: &mut Diagnostics) {
@@ -998,15 +1136,22 @@ fn check_prereq_cycles(table: &Table, diags: &mut Diagnostics) {
         }
         if state[i] == 1 {
             diags.error(
+                "E0215",
                 table.constraints[i].span,
-                format!("constraint `{}` participates in a prerequisite cycle", table.constraints[i].name),
+                format!(
+                    "constraint `{}` participates in a prerequisite cycle",
+                    table.constraints[i].name
+                ),
             );
             state[i] = 2;
             return;
         }
         state[i] = 1;
-        let prereqs: Vec<usize> =
-            table.constraints[i].prereqs.iter().map(|p| p.id.0 as usize).collect();
+        let prereqs: Vec<usize> = table.constraints[i]
+            .prereqs
+            .iter()
+            .map(|p| p.id.0 as usize)
+            .collect();
         for j in prereqs {
             dfs(table, j, state, diags);
         }
@@ -1066,7 +1211,9 @@ pub fn global_enabled(_table: &Table) -> Enabled {
 
 /// Allocates `n` fresh `MvId`s (helper for capture conversion).
 pub fn fresh_mvs(table: &mut Table, n: usize) -> Vec<MvId> {
-    (0..n).map(|i| table.fresh_mv(Symbol::intern(&format!("#m{i}")))).collect()
+    (0..n)
+        .map(|i| table.fresh_mv(Symbol::intern(&format!("#m{i}"))))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1077,11 +1224,9 @@ mod tests {
 
     #[test]
     fn class_header_collects_params_and_wheres() {
-        let t = check_source(
-            "class Box[T where Comparable[T] c] { Box() { } }\nvoid main() { }",
-        )
-        .expect("checks")
-        .table;
+        let t = check_source("class Box[T where Comparable[T] c] { Box() { } }\nvoid main() { }")
+            .expect("checks")
+            .table;
         let cid = t.lookup_class(Symbol::intern("Box")).expect("Box");
         let def = t.class(cid);
         assert_eq!(def.params.len(), 1);
@@ -1121,7 +1266,11 @@ mod tests {
         assert_eq!(u.tparams.len(), 1);
         assert_eq!(u.wheres.len(), 1);
         match &u.model {
-            Model::Decl { type_args, model_args, .. } => {
+            Model::Decl {
+                type_args,
+                model_args,
+                ..
+            } => {
                 assert!(matches!(type_args[0], Type::Var(_)));
                 assert!(matches!(model_args[0], Model::Var(_)));
             }

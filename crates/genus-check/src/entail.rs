@@ -28,7 +28,9 @@ fn entails_depth(table: &Table, from: &ConstraintInst, to: &ConstraintInst, dept
         return false;
     }
     let subst = Subst::from_pairs(&def.params, &from.args);
-    def.prereqs.iter().any(|pre| entails_depth(table, &subst.apply_inst(pre), to, depth - 1))
+    def.prereqs
+        .iter()
+        .any(|pre| entails_depth(table, &subst.apply_inst(pre), to, depth - 1))
 }
 
 fn variance_entails(table: &Table, from: &ConstraintInst, to: &ConstraintInst) -> bool {
@@ -37,7 +39,12 @@ fn variance_entails(table: &Table, from: &ConstraintInst, to: &ConstraintInst) -
         return false;
     }
     for (i, (f, t)) in from.args.iter().zip(&to.args).enumerate() {
-        let v = def.variance.get(i).copied().unwrap_or(Variance::Invariant).for_entailment();
+        let v = def
+            .variance
+            .get(i)
+            .copied()
+            .unwrap_or(Variance::Invariant)
+            .for_entailment();
         let ok = match v {
             Variance::Covariant => is_subtype(table, f, t),
             Variance::Contravariant | Variance::Bivariant => is_subtype(table, t, f),
@@ -92,7 +99,13 @@ mod tests {
 
     /// Builds: Object, Shape <: Object, Circle <: Shape;
     /// `Eq[T]` (contravariant) and `Comparable[T] extends Eq[T]`.
-    fn setup() -> (Table, genus_types::ConstraintId, genus_types::ConstraintId, Type, Type) {
+    fn setup() -> (
+        Table,
+        genus_types::ConstraintId,
+        genus_types::ConstraintId,
+        Type,
+        Type,
+    ) {
         let mut tb = Table::new();
         let obj = tb.add_class(ClassDef {
             name: Symbol::intern("Object"),
@@ -107,7 +120,11 @@ mod tests {
             methods: vec![],
             span: Span::dummy(),
         });
-        let obj_ty = Type::Class { id: obj, args: vec![], models: vec![] };
+        let obj_ty = Type::Class {
+            id: obj,
+            args: vec![],
+            models: vec![],
+        };
         let shape = tb.add_class(ClassDef {
             name: Symbol::intern("Shape"),
             is_interface: false,
@@ -121,7 +138,11 @@ mod tests {
             methods: vec![],
             span: Span::dummy(),
         });
-        let shape_ty = Type::Class { id: shape, args: vec![], models: vec![] };
+        let shape_ty = Type::Class {
+            id: shape,
+            args: vec![],
+            models: vec![],
+        };
         let circle = tb.add_class(ClassDef {
             name: Symbol::intern("Circle"),
             is_interface: false,
@@ -135,7 +156,11 @@ mod tests {
             methods: vec![],
             span: Span::dummy(),
         });
-        let circle_ty = Type::Class { id: circle, args: vec![], models: vec![] };
+        let circle_ty = Type::Class {
+            id: circle,
+            args: vec![],
+            models: vec![],
+        };
         let t = tb.fresh_tv(Symbol::intern("T"));
         let eq = tb.add_constraint(ConstraintDef {
             name: Symbol::intern("Eq"),
@@ -156,7 +181,10 @@ mod tests {
         let cmp = tb.add_constraint(ConstraintDef {
             name: Symbol::intern("Comparable"),
             params: vec![u],
-            prereqs: vec![ConstraintInst { id: eq, args: vec![Type::Var(u)] }],
+            prereqs: vec![ConstraintInst {
+                id: eq,
+                args: vec![Type::Var(u)],
+            }],
             ops: vec![ConstraintOp {
                 name: Symbol::intern("compareTo"),
                 is_static: false,
@@ -175,8 +203,14 @@ mod tests {
     #[test]
     fn prereq_entailment() {
         let (tb, eq, cmp, shape, _) = setup();
-        let from = ConstraintInst { id: cmp, args: vec![shape.clone()] };
-        let to = ConstraintInst { id: eq, args: vec![shape] };
+        let from = ConstraintInst {
+            id: cmp,
+            args: vec![shape.clone()],
+        };
+        let to = ConstraintInst {
+            id: eq,
+            args: vec![shape],
+        };
         assert!(entails(&tb, &from, &to));
         assert!(!entails(&tb, &to, &from));
     }
@@ -184,8 +218,14 @@ mod tests {
     #[test]
     fn contravariant_entailment() {
         let (tb, eq, _, shape, circle) = setup();
-        let from = ConstraintInst { id: eq, args: vec![shape.clone()] };
-        let to = ConstraintInst { id: eq, args: vec![circle.clone()] };
+        let from = ConstraintInst {
+            id: eq,
+            args: vec![shape.clone()],
+        };
+        let to = ConstraintInst {
+            id: eq,
+            args: vec![circle.clone()],
+        };
         assert!(entails(&tb, &from, &to));
         // Covariant direction must fail for a contravariant parameter.
         assert!(!entails(&tb, &to, &from));
@@ -195,17 +235,32 @@ mod tests {
     fn combined_prereq_then_variance() {
         let (tb, eq, cmp, shape, circle) = setup();
         // Comparable[Shape] ⇒ Eq[Shape] ⇒ Eq[Circle].
-        let from = ConstraintInst { id: cmp, args: vec![shape] };
-        let to = ConstraintInst { id: eq, args: vec![circle] };
+        let from = ConstraintInst {
+            id: cmp,
+            args: vec![shape],
+        };
+        let to = ConstraintInst {
+            id: eq,
+            args: vec![circle],
+        };
         assert!(entails(&tb, &from, &to));
     }
 
     #[test]
     fn closure_lists_prereqs() {
         let (tb, eq, cmp, shape, _) = setup();
-        let from = ConstraintInst { id: cmp, args: vec![shape.clone()] };
+        let from = ConstraintInst {
+            id: cmp,
+            args: vec![shape.clone()],
+        };
         let cl = prereq_closure(&tb, &from);
         assert_eq!(cl.len(), 2);
-        assert_eq!(cl[1], ConstraintInst { id: eq, args: vec![shape] });
+        assert_eq!(
+            cl[1],
+            ConstraintInst {
+                id: eq,
+                args: vec![shape]
+            }
+        );
     }
 }

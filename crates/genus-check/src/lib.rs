@@ -34,7 +34,7 @@ pub mod wf;
 
 use body::BodyCtx;
 use collect::Scope;
-use genus_common::{Diagnostics, SourceMap, Symbol};
+use genus_common::{Diagnostic, Diagnostics, ErrorFormat, Severity, SourceMap, Symbol};
 use genus_syntax::ast;
 use genus_types::{ClassId, Model, ModelId, Table, Type};
 use std::collections::HashMap;
@@ -68,6 +68,68 @@ impl CheckedProgram {
     }
 }
 
+/// Structured result of checking: the source map the diagnostics point
+/// into, every diagnostic (errors *and* warnings, normalized — sorted by
+/// (file, offset, code) and deduplicated), and the checked program when no
+/// errors were found.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// All registered source files, for rendering diagnostics.
+    pub sm: SourceMap,
+    /// Every diagnostic, in normalized order.
+    pub diags: Vec<Diagnostic>,
+    /// The checked program, present iff there were no errors.
+    pub program: Option<CheckedProgram>,
+}
+
+impl CheckReport {
+    /// Whether any error-severity diagnostic was reported.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The warning-severity diagnostics.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// The error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The stable codes of all error diagnostics, in normalized order.
+    pub fn error_codes(&self) -> Vec<&'static str> {
+        self.errors().map(|d| d.code).collect()
+    }
+
+    /// Renders every diagnostic in the given format (errors and warnings
+    /// alike), joined appropriately for that format.
+    pub fn render(&self, format: ErrorFormat) -> String {
+        let sep = if format == ErrorFormat::Human {
+            "\n\n"
+        } else {
+            "\n"
+        };
+        self.diags
+            .iter()
+            .map(|d| d.render_with(&self.sm, format))
+            .collect::<Vec<_>>()
+            .join(sep)
+    }
+
+    /// Renders only the error diagnostics, in the compact one-line mode —
+    /// the string shape `check_sources` historically returned.
+    pub fn render_errors_short(&self) -> String {
+        self.errors()
+            .map(|d| d.render(&self.sm))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
 /// Checks one Genus source string (plus the prelude). Convenience for tests
 /// and examples; real embedders use [`check_program`] with their own source
 /// map.
@@ -85,6 +147,17 @@ pub fn check_source(src: &str) -> Result<CheckedProgram, String> {
 ///
 /// Returns the rendered diagnostics when checking fails.
 pub fn check_sources(sources: &[(&str, &str)]) -> Result<CheckedProgram, String> {
+    let mut report = check_sources_report(sources);
+    if report.has_errors() {
+        return Err(report.render_errors_short());
+    }
+    Ok(report.program.take().expect("no errors implies a program"))
+}
+
+/// Checks multiple Genus source files (plus the prelude) and returns the
+/// full structured [`CheckReport`] — diagnostics with stable codes and
+/// spans, warnings included, plus the program when checking succeeded.
+pub fn check_sources_report(sources: &[(&str, &str)]) -> CheckReport {
     let mut sm = SourceMap::new();
     let mut diags = Diagnostics::new();
     let mut programs = Vec::new();
@@ -95,13 +168,23 @@ pub fn check_sources(sources: &[(&str, &str)]) -> Result<CheckedProgram, String>
         programs.push(genus_syntax::parse_program(&sm, f, &mut diags));
     }
     if diags.has_errors() {
-        return Err(diags.render_all(&sm));
+        return CheckReport {
+            sm,
+            diags: diags.take(),
+            program: None,
+        };
     }
     let checked = check_program(&programs, &mut diags);
-    if diags.has_errors() {
-        return Err(diags.render_all(&sm));
+    let program = if diags.has_errors() {
+        None
+    } else {
+        Some(checked)
+    };
+    CheckReport {
+        sm,
+        diags: diags.take(),
+        program,
     }
-    Ok(checked)
 }
 
 /// Runs the full checking pipeline over parsed programs (the prelude must be
@@ -162,7 +245,10 @@ fn scope_of_model(table: &Table, mid: ModelId) -> Scope {
 }
 
 fn enabled_of(wheres: &[genus_types::WhereReq]) -> Vec<(genus_types::ConstraintInst, Model)> {
-    wheres.iter().map(|w| (w.inst.clone(), Model::Var(w.mv))).collect()
+    wheres
+        .iter()
+        .map(|w| (w.inst.clone(), Model::Var(w.mv)))
+        .collect()
 }
 
 /// The "self type" of a class: the class applied to its own parameters and
@@ -198,17 +284,34 @@ fn complete_signatures(table: &mut Table, diags: &mut Diagnostics) {
         let scope = scope_of_class(table, cid);
         let enabled = enabled_of(&def.wheres);
         let span = def.span;
-        let mut ctx =
-            BodyCtx::new(table, diags, scope.clone(), enabled.clone(), None, Type::void());
+        let mut ctx = BodyCtx::new(
+            table,
+            diags,
+            scope.clone(),
+            enabled.clone(),
+            None,
+            Type::void(),
+        );
         let extends = def.extends.clone().map(|t| ctx.complete_type(t, span));
-        let implements: Vec<Type> =
-            def.implements.iter().map(|t| ctx.complete_type(t.clone(), span)).collect();
-        let fields: Vec<Type> =
-            def.fields.iter().map(|f| ctx.complete_type(f.ty.clone(), span)).collect();
+        let implements: Vec<Type> = def
+            .implements
+            .iter()
+            .map(|t| ctx.complete_type(t.clone(), span))
+            .collect();
+        let fields: Vec<Type> = def
+            .fields
+            .iter()
+            .map(|f| ctx.complete_type(f.ty.clone(), span))
+            .collect();
         let ctor_params: Vec<Vec<Type>> = def
             .ctors
             .iter()
-            .map(|c| c.params.iter().map(|(_, t)| ctx.complete_type(t.clone(), span)).collect())
+            .map(|c| {
+                c.params
+                    .iter()
+                    .map(|(_, t)| ctx.complete_type(t.clone(), span))
+                    .collect()
+            })
             .collect();
         drop(ctx);
         // Methods get their own wheres added to the environment.
@@ -221,8 +324,11 @@ fn complete_signatures(table: &mut Table, diags: &mut Diagnostics) {
                 mscope.tvs.insert(table.tv_name(*tv), *tv);
             }
             let mut mctx = BodyCtx::new(table, diags, mscope, en, None, Type::void());
-            let params: Vec<Type> =
-                m.params.iter().map(|(_, t)| mctx.complete_type(t.clone(), m.span)).collect();
+            let params: Vec<Type> = m
+                .params
+                .iter()
+                .map(|(_, t)| mctx.complete_type(t.clone(), m.span))
+                .collect();
             let ret = mctx.complete_type(m.ret.clone(), m.span);
             method_sigs.push((params, ret));
         }
@@ -253,10 +359,17 @@ fn complete_signatures(table: &mut Table, diags: &mut Diagnostics) {
         enabled.push((def.for_inst.clone(), self_model(table, mid)));
         let span = def.span;
         let mut ctx = BodyCtx::new(table, diags, scope, enabled, None, Type::void());
-        let for_args: Vec<Type> =
-            def.for_inst.args.iter().map(|t| ctx.complete_type(t.clone(), span)).collect();
-        let extends: Vec<Model> =
-            def.extends.iter().map(|m| ctx.complete_model(m.clone(), span)).collect();
+        let for_args: Vec<Type> = def
+            .for_inst
+            .args
+            .iter()
+            .map(|t| ctx.complete_type(t.clone(), span))
+            .collect();
+        let extends: Vec<Model> = def
+            .extends
+            .iter()
+            .map(|m| ctx.complete_model(m.clone(), span))
+            .collect();
         let methods: Vec<(Type, Vec<Type>, Type)> = def
             .methods
             .iter()
@@ -297,8 +410,11 @@ fn complete_signatures(table: &mut Table, diags: &mut Diagnostics) {
         }
         let enabled = enabled_of(&g.wheres);
         let mut ctx = BodyCtx::new(table, diags, scope, enabled, None, Type::void());
-        let params: Vec<Type> =
-            g.params.iter().map(|(_, t)| ctx.complete_type(t.clone(), g.span)).collect();
+        let params: Vec<Type> = g
+            .params
+            .iter()
+            .map(|(_, t)| ctx.complete_type(t.clone(), g.span))
+            .collect();
         let ret = ctx.complete_type(g.ret.clone(), g.span);
         drop(ctx);
         let d = &mut table.globals[gi];
@@ -326,7 +442,11 @@ fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
                     diags,
                     scope.clone(),
                     enabled.clone(),
-                    if f.is_static { None } else { Some(this_ty.clone()) },
+                    if f.is_static {
+                        None
+                    } else {
+                        Some(this_ty.clone())
+                    },
                     Type::void(),
                 );
                 ctx.set_owner_class(cid);
@@ -360,7 +480,9 @@ fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
             }
             let block = ctx.check_block(&ctor.body);
             let num_locals = ctx.finish();
-            checked.ctor_bodies.insert((cid.0, ki as u32), hir::Body { num_locals, block });
+            checked
+                .ctor_bodies
+                .insert((cid.0, ki as u32), hir::Body { num_locals, block });
         }
         // Methods.
         for (mi, m) in def.methods.iter().enumerate() {
@@ -384,7 +506,11 @@ fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
                 diags,
                 mscope,
                 en,
-                if m.is_static { None } else { Some(this_ty.clone()) },
+                if m.is_static {
+                    None
+                } else {
+                    Some(this_ty.clone())
+                },
                 m.ret.clone(),
             );
             ctx.set_owner_class(cid);
@@ -396,7 +522,9 @@ fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
             }
             let block = ctx.check_block(body);
             let num_locals = ctx.finish();
-            checked.method_bodies.insert((cid.0, mi as u32), hir::Body { num_locals, block });
+            checked
+                .method_bodies
+                .insert((cid.0, mi as u32), hir::Body { num_locals, block });
         }
     }
     // Model methods.
@@ -412,7 +540,11 @@ fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
                 diags,
                 scope.clone(),
                 enabled.clone(),
-                if m.is_static { None } else { Some(m.receiver.clone()) },
+                if m.is_static {
+                    None
+                } else {
+                    Some(m.receiver.clone())
+                },
                 m.ret.clone(),
             );
             if !m.is_static {
@@ -423,7 +555,9 @@ fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
             }
             let block = ctx.check_block(&m.body);
             let num_locals = ctx.finish();
-            checked.model_bodies.insert((mid.0, ki as u32), hir::Body { num_locals, block });
+            checked
+                .model_bodies
+                .insert((mid.0, ki as u32), hir::Body { num_locals, block });
         }
     }
     // Globals.
@@ -449,6 +583,8 @@ fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
         }
         let block = ctx.check_block(body);
         let num_locals = ctx.finish();
-        checked.global_bodies.insert(gi as u32, hir::Body { num_locals, block });
+        checked
+            .global_bodies
+            .insert(gi as u32, hir::Body { num_locals, block });
     }
 }

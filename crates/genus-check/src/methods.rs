@@ -48,7 +48,10 @@ pub fn lookup_methods(table: &Table, recv_ty: &Type, name: Symbol) -> Vec<FoundM
 }
 
 fn push_unshadowed(out: &mut Vec<FoundMethod>, fm: FoundMethod) {
-    if out.iter().any(|m| m.name == fm.name && m.params.len() == fm.params.len()) {
+    if out
+        .iter()
+        .any(|m| m.name == fm.name && m.params.len() == fm.params.len())
+    {
         return; // shadowed by a more-derived definition
     }
     out.push(fm);
@@ -135,7 +138,10 @@ pub fn lookup_field(table: &Table, recv_ty: &Type, name: Symbol) -> Option<Found
             }
             None
         }
-        Type::Var(v) => table.tv_bound(*v).cloned().and_then(|b| lookup_field(table, &b, name)),
+        Type::Var(v) => table
+            .tv_bound(*v)
+            .cloned()
+            .and_then(|b| lookup_field(table, &b, name)),
         _ => None,
     }
 }
@@ -186,7 +192,11 @@ pub fn patch_prim_string(table: &Table, methods: &mut [FoundMethod]) {
     if let Some(sid) = table.lookup_class(Symbol::intern("String")) {
         for m in methods {
             if m.name.as_str() == "toString" && matches!(m.owner, MethodOwner::Prim(_)) {
-                m.ret = Type::Class { id: sid, args: vec![], models: vec![] };
+                m.ret = Type::Class {
+                    id: sid,
+                    args: vec![],
+                    models: vec![],
+                };
             }
         }
     }
@@ -207,7 +217,9 @@ mod tests {
     fn prim_method_sets() {
         let ints = prim_methods(PrimTy::Int);
         assert!(ints.iter().any(|m| m.name.as_str() == "compareTo"));
-        assert!(ints.iter().any(|m| m.name.as_str() == "zero" && m.is_static));
+        assert!(ints
+            .iter()
+            .any(|m| m.name.as_str() == "zero" && m.is_static));
         let bools = prim_methods(PrimTy::Boolean);
         assert!(bools.iter().all(|m| m.name.as_str() != "plus"));
         assert!(bools.iter().any(|m| m.name.as_str() == "equals"));

@@ -53,12 +53,20 @@ fn gather(table: &Table, mid: ModelId, subst: &Subst, out: &mut Vec<ModelMethod>
         }
     }
     for parent in &def.extends {
-        if let Model::Decl { id, type_args, model_args } = parent {
+        if let Model::Decl {
+            id,
+            type_args,
+            model_args,
+        } = parent
+        {
             let pdef = table.model(*id);
             let s = Subst::from_pairs(&pdef.tparams, &subst_apply_all(subst, type_args))
                 .with_models(
                     &pdef.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(),
-                    &model_args.iter().map(|m| subst.apply_model(m)).collect::<Vec<_>>(),
+                    &model_args
+                        .iter()
+                        .map(|m| subst.apply_model(m))
+                        .collect::<Vec<_>>(),
                 );
             gather(table, *id, &s, out, depth + 1);
         }
@@ -76,7 +84,14 @@ pub fn check_model_conformance(table: &Table, mid: ModelId, diags: &mut Diagnost
     let def = table.model(mid);
     let methods = visible_methods(table, mid);
     for inst in crate::entail::prereq_closure(table, &def.for_inst).iter() {
-        check_ops_covered(table, inst, &methods, def.span, diags, &def.name.to_string());
+        check_ops_covered(
+            table,
+            inst,
+            &methods,
+            def.span,
+            diags,
+            &def.name.to_string(),
+        );
     }
     check_unique_best(table, &methods, diags);
 }
@@ -98,19 +113,21 @@ fn check_ops_covered(
         let required_recv = subst.apply(&Type::Var(op.receiver));
         let required_params: Vec<Type> = op.params.iter().map(|(_, t)| subst.apply(t)).collect();
         let required_ret = subst.apply(&op.ret);
-        let covered = methods.iter().any(|m| {
-            m.name == op.name
-                && m.is_static == op.is_static
-                && m.params.len() == required_params.len()
-                && is_subtype(table, &required_recv, &m.receiver)
-                && required_params
-                    .iter()
-                    .zip(&m.params)
-                    .all(|(req, (_, decl))| is_subtype(table, req, decl))
-                && (is_subtype(table, &m.ret, &required_ret) || required_ret.is_void())
-        }) || natural_covers(table, &required_recv, op, &required_params, &required_ret);
+        let covered =
+            methods.iter().any(|m| {
+                m.name == op.name
+                    && m.is_static == op.is_static
+                    && m.params.len() == required_params.len()
+                    && is_subtype(table, &required_recv, &m.receiver)
+                    && required_params
+                        .iter()
+                        .zip(&m.params)
+                        .all(|(req, (_, decl))| is_subtype(table, req, decl))
+                    && (is_subtype(table, &m.ret, &required_ret) || required_ret.is_void())
+            }) || natural_covers(table, &required_recv, op, &required_params, &required_ret);
         if !covered {
             diags.error(
+                "E0601",
                 span,
                 format!(
                     "model `{model_name}` does not witness `{}`: operation `{}` is not covered",
@@ -135,9 +152,9 @@ fn natural_covers(
     required_ret: &Type,
 ) -> bool {
     let candidates = crate::methods::lookup_methods_patched(table, recv, op.name);
-    candidates
-        .iter()
-        .any(|m| crate::natural::signature_conforms(table, m, op.is_static, required_params, required_ret))
+    candidates.iter().any(|m| {
+        crate::natural::signature_conforms(table, m, op.is_static, required_params, required_ret)
+    })
 }
 
 /// The Relaxed-MultiJava-style check: for every pair of definitions of the
@@ -146,10 +163,7 @@ fn natural_covers(
 pub fn check_unique_best(table: &Table, methods: &[ModelMethod], diags: &mut Diagnostics) {
     for (i, a) in methods.iter().enumerate() {
         for b in &methods[i + 1..] {
-            if a.name != b.name
-                || a.is_static != b.is_static
-                || a.params.len() != b.params.len()
-            {
+            if a.name != b.name || a.is_static != b.is_static || a.params.len() != b.params.len() {
                 continue;
             }
             let ta = tuple(a);
@@ -183,6 +197,7 @@ pub fn check_unique_best(table: &Table, methods: &[ModelMethod], diags: &mut Dia
             });
             if !resolved {
                 diags.error(
+                    "E0602",
                     b.span,
                     format!(
                         "ambiguous multimethod: `{}` definitions at overlapping argument types \
@@ -275,7 +290,9 @@ mod tests {
              }
              void main() { }",
         );
-        let child = table.lookup_model(Symbol::intern("Child")).expect("Child exists");
+        let child = table
+            .lookup_model(Symbol::intern("Child"))
+            .expect("Child exists");
         let ms = visible_methods(&table, child);
         // Child's own `second` shadows Base's; Base's `first` is inherited.
         assert_eq!(ms.len(), 2);
@@ -298,7 +315,11 @@ mod tests {
         let mid = table.lookup_model(Symbol::intern("M")).expect("M exists");
         let ms = visible_methods(&table, mid);
         let b = table.lookup_class(Symbol::intern("B")).expect("B exists");
-        let b_ty = Type::Class { id: b, args: vec![], models: vec![] };
+        let b_ty = Type::Class {
+            id: b,
+            args: vec![],
+            models: vec![],
+        };
         let best = best_method(
             &table,
             &ms,
@@ -323,7 +344,9 @@ mod tests {
              model Second for Touch[A] extends First { A A.touch(A that) { return this; } }
              void main() { }",
         );
-        let second = table.lookup_model(Symbol::intern("Second")).expect("Second");
+        let second = table
+            .lookup_model(Symbol::intern("Second"))
+            .expect("Second");
         let ms = visible_methods(&table, second);
         // Own definition shadows the inherited equal-tuple one entirely.
         assert_eq!(ms.iter().filter(|m| m.name.as_str() == "touch").count(), 1);

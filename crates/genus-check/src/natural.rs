@@ -53,7 +53,9 @@ fn op_satisfied(table: &Table, subst: &Subst, op: &genus_types::ConstraintOp) ->
         return true;
     }
     let candidates = lookup_methods_patched(table, &recv_ty, op.name);
-    candidates.iter().any(|m| signature_conforms(table, m, op.is_static, &required_params, &required_ret))
+    candidates
+        .iter()
+        .any(|m| signature_conforms(table, m, op.is_static, &required_params, &required_ret))
 }
 
 /// Whether a found method can implement an operation requiring
@@ -110,7 +112,10 @@ mod tests {
     fn int_conforms_to_eq_like() {
         let mut table = Table::new();
         let eq = eq_like(&mut table, "Eq", "equals");
-        let inst = ConstraintInst { id: eq, args: vec![Type::Prim(PrimTy::Int)] };
+        let inst = ConstraintInst {
+            id: eq,
+            args: vec![Type::Prim(PrimTy::Int)],
+        };
         assert!(conforms(&table, &inst));
     }
 
@@ -118,7 +123,10 @@ mod tests {
     fn int_does_not_conform_to_renamed_op() {
         let mut table = Table::new();
         let weird = eq_like(&mut table, "Weird", "definitelyNotAnIntMethod");
-        let inst = ConstraintInst { id: weird, args: vec![Type::Prim(PrimTy::Int)] };
+        let inst = ConstraintInst {
+            id: weird,
+            args: vec![Type::Prim(PrimTy::Int)],
+        };
         assert!(!conforms(&table, &inst));
     }
 
@@ -151,8 +159,20 @@ mod tests {
             variance: vec![],
             span: genus_common::Span::dummy(),
         });
-        assert!(conforms(&table, &ConstraintInst { id: ring, args: vec![Type::Prim(PrimTy::Double)] }));
-        assert!(!conforms(&table, &ConstraintInst { id: ring, args: vec![Type::Prim(PrimTy::Boolean)] }));
+        assert!(conforms(
+            &table,
+            &ConstraintInst {
+                id: ring,
+                args: vec![Type::Prim(PrimTy::Double)]
+            }
+        ));
+        assert!(!conforms(
+            &table,
+            &ConstraintInst {
+                id: ring,
+                args: vec![Type::Prim(PrimTy::Boolean)]
+            }
+        ));
     }
 
     #[test]
@@ -174,7 +194,13 @@ mod tests {
             variance: vec![],
             span: genus_common::Span::dummy(),
         });
-        assert!(conforms(&table, &ConstraintInst { id: d, args: vec![Type::Prim(PrimTy::Boolean)] }));
+        assert!(conforms(
+            &table,
+            &ConstraintInst {
+                id: d,
+                args: vec![Type::Prim(PrimTy::Boolean)]
+            }
+        ));
         let _ = TvId(0);
     }
 }

@@ -38,9 +38,7 @@
 use crate::entail::{entails, prereq_closure};
 use crate::natural::conforms;
 use genus_types::subtype::model_eq;
-use genus_types::{
-    caches_enabled, unify::unify, ConstraintInst, Model, Subst, Table, Type,
-};
+use genus_types::{caches_enabled, unify::unify, ConstraintInst, Model, Subst, Table, Type};
 use std::any::Any;
 use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
@@ -156,7 +154,10 @@ impl CanonMap {
 }
 
 fn canon_inst(inst: &ConstraintInst, map: &mut CanonMap) -> ConstraintInst {
-    ConstraintInst { id: inst.id, args: inst.args.iter().map(|t| canon_ty(t, map)).collect() }
+    ConstraintInst {
+        id: inst.id,
+        args: inst.args.iter().map(|t| canon_ty(t, map)).collect(),
+    }
 }
 
 fn canon_ty(t: &Type, map: &mut CanonMap) -> Type {
@@ -168,9 +169,17 @@ fn canon_ty(t: &Type, map: &mut CanonMap) -> Type {
             args: args.iter().map(|a| canon_ty(a, map)).collect(),
             models: models.iter().map(|m| canon_model(m, map)).collect(),
         },
-        Type::Existential { params, bounds, wheres, body } => Type::Existential {
+        Type::Existential {
+            params,
+            bounds,
+            wheres,
+            body,
+        } => Type::Existential {
             params: params.clone(),
-            bounds: bounds.iter().map(|b| b.as_ref().map(|t| canon_ty(t, map))).collect(),
+            bounds: bounds
+                .iter()
+                .map(|b| b.as_ref().map(|t| canon_ty(t, map)))
+                .collect(),
             wheres: wheres
                 .iter()
                 .map(|w| genus_types::WhereReq {
@@ -188,8 +197,14 @@ fn canon_ty(t: &Type, map: &mut CanonMap) -> Type {
 fn canon_model(m: &Model, map: &mut CanonMap) -> Model {
     match m {
         Model::Infer(i) => Model::Infer(map.model(*i)),
-        Model::Natural { inst } => Model::Natural { inst: canon_inst(inst, map) },
-        Model::Decl { id, type_args, model_args } => Model::Decl {
+        Model::Natural { inst } => Model::Natural {
+            inst: canon_inst(inst, map),
+        },
+        Model::Decl {
+            id,
+            type_args,
+            model_args,
+        } => Model::Decl {
             id: *id,
             type_args: type_args.iter().map(|t| canon_ty(t, map)).collect(),
             model_args: model_args.iter().map(|x| canon_model(x, map)).collect(),
@@ -293,7 +308,11 @@ fn resolve_goal(
     let mut candidates: Vec<Model> = Vec::new();
     // 1. Natural model.
     if conforms(ctx.table, inst) {
-        add_candidate(ctx.table, &mut candidates, Cow::Owned(Model::Natural { inst: inst.clone() }));
+        add_candidate(
+            ctx.table,
+            &mut candidates,
+            Cow::Owned(Model::Natural { inst: inst.clone() }),
+        );
     }
     // 2. Scope-enabled witnesses (where clauses, self-models, captures),
     //    through entailment.
@@ -345,7 +364,15 @@ fn try_use(
     inst: &ConstraintInst,
     depth: usize,
 ) -> Result<Option<Model>, ResolveError> {
-    instantiate_and_match(ctx, &u.tparams, &u.wheres, &u.model, &u.for_inst, inst, depth)
+    instantiate_and_match(
+        ctx,
+        &u.tparams,
+        &u.wheres,
+        &u.model,
+        &u.for_inst,
+        inst,
+        depth,
+    )
 }
 
 /// Tries a declared model directly (rule 3): its `for` constraint — or any
@@ -382,9 +409,15 @@ fn try_declared(
         return Ok(None);
     }
     for head in closure.iter() {
-        if let Some(m) =
-            instantiate_and_match(ctx, &def.tparams, &def.wheres, &self_model, head, inst, depth)?
-        {
+        if let Some(m) = instantiate_and_match(
+            ctx,
+            &def.tparams,
+            &def.wheres,
+            &self_model,
+            head,
+            inst,
+            depth,
+        )? {
             return Ok(Some(m));
         }
     }
@@ -479,11 +512,12 @@ pub fn resolve_expander(
                 if op.name == name && op.params.len() == arity && !op.is_static {
                     let r = subst.apply(&Type::Var(op.receiver));
                     if genus_types::is_subtype(ctx.table, recv_ty, &r)
-                        && !out.iter().any(|(i2, m2)| {
-                            i2 == inst && model_eq(ctx.table, m2, model)
-                        }) {
-                            out.push((inst.clone(), model.clone()));
-                        }
+                        && !out
+                            .iter()
+                            .any(|(i2, m2)| i2 == inst && model_eq(ctx.table, m2, model))
+                    {
+                        out.push((inst.clone(), model.clone()));
+                    }
                 }
             }
         }
@@ -524,7 +558,10 @@ mod tests {
         let next = Cell::new(0);
         let enabled = vec![];
         let ctx = ResolveCtx::new(&tb, &enabled, &next);
-        let inst = ConstraintInst { id: eq, args: vec![Type::Prim(PrimTy::Int)] };
+        let inst = ConstraintInst {
+            id: eq,
+            args: vec![Type::Prim(PrimTy::Int)],
+        };
         let m = resolve_default(&ctx, &inst).unwrap();
         assert_eq!(m, Model::Natural { inst });
     }
@@ -535,7 +572,10 @@ mod tests {
         let eq = eq_constraint(&mut tb);
         genus_types::variance::store_variances(&mut tb);
         let mv = tb.fresh_mv(Symbol::intern("c"));
-        let inst = ConstraintInst { id: eq, args: vec![Type::Prim(PrimTy::Int)] };
+        let inst = ConstraintInst {
+            id: eq,
+            args: vec![Type::Prim(PrimTy::Int)],
+        };
         let enabled = vec![(inst.clone(), Model::Var(mv))];
         let next = Cell::new(0);
         let ctx = ResolveCtx::new(&tb, &enabled, &next);
@@ -554,7 +594,10 @@ mod tests {
         // A type variable does not conform structurally (no bound), so only
         // the where-clause model witnesses Eq[T].
         let tv = tb.fresh_tv(Symbol::intern("T"));
-        let inst = ConstraintInst { id: eq, args: vec![Type::Var(tv)] };
+        let inst = ConstraintInst {
+            id: eq,
+            args: vec![Type::Var(tv)],
+        };
         let enabled = vec![(inst.clone(), Model::Var(mv))];
         let next = Cell::new(0);
         let ctx = ResolveCtx::new(&tb, &enabled, &next);
@@ -567,7 +610,10 @@ mod tests {
         let eq = eq_constraint(&mut tb);
         genus_types::variance::store_variances(&mut tb);
         let tv = tb.fresh_tv(Symbol::intern("T"));
-        let inst = ConstraintInst { id: eq, args: vec![Type::Var(tv)] };
+        let inst = ConstraintInst {
+            id: eq,
+            args: vec![Type::Var(tv)],
+        };
         tb.add_model(ModelDef {
             name: Symbol::intern("OnlyEq"),
             tparams: vec![],
@@ -624,16 +670,26 @@ mod tests {
         genus_types::variance::store_variances(&mut tb);
         let e = tb.fresh_tv(Symbol::intern("E"));
         let c = tb.fresh_mv(Symbol::intern("c"));
-        let box_e = Type::Class { id: bx, args: vec![Type::Var(e)], models: vec![] };
+        let box_e = Type::Class {
+            id: bx,
+            args: vec![Type::Var(e)],
+            models: vec![],
+        };
         let mid = tb.add_model(ModelDef {
             name: Symbol::intern("M"),
             tparams: vec![e],
             wheres: vec![genus_types::WhereReq {
-                inst: ConstraintInst { id: cl, args: vec![Type::Var(e)] },
+                inst: ConstraintInst {
+                    id: cl,
+                    args: vec![Type::Var(e)],
+                },
                 mv: c,
                 named: true,
             }],
-            for_inst: ConstraintInst { id: cl, args: vec![box_e.clone()] },
+            for_inst: ConstraintInst {
+                id: cl,
+                args: vec![box_e.clone()],
+            },
             extends: vec![],
             methods: vec![],
             span: Span::dummy(),
@@ -641,7 +697,10 @@ mod tests {
         tb.uses.push(genus_types::UseDef {
             tparams: vec![e],
             wheres: vec![genus_types::WhereReq {
-                inst: ConstraintInst { id: cl, args: vec![Type::Var(e)] },
+                inst: ConstraintInst {
+                    id: cl,
+                    args: vec![Type::Var(e)],
+                },
                 mv: c,
                 named: true,
             }],
@@ -650,23 +709,39 @@ mod tests {
                 type_args: vec![Type::Var(e)],
                 model_args: vec![Model::Var(c)],
             },
-            for_inst: ConstraintInst { id: cl, args: vec![box_e] },
+            for_inst: ConstraintInst {
+                id: cl,
+                args: vec![box_e],
+            },
             span: Span::dummy(),
         });
-        let box_int =
-            Type::Class { id: bx, args: vec![Type::Prim(PrimTy::Int)], models: vec![] };
-        let goal = ConstraintInst { id: cl, args: vec![box_int] };
+        let box_int = Type::Class {
+            id: bx,
+            args: vec![Type::Prim(PrimTy::Int)],
+            models: vec![],
+        };
+        let goal = ConstraintInst {
+            id: cl,
+            args: vec![box_int],
+        };
         let enabled = vec![];
         let next = Cell::new(0);
         let ctx = ResolveCtx::new(&tb, &enabled, &next);
         match resolve_default(&ctx, &goal).unwrap() {
-            Model::Decl { id, type_args, model_args } => {
+            Model::Decl {
+                id,
+                type_args,
+                model_args,
+            } => {
                 assert_eq!(id, mid);
                 assert_eq!(type_args, vec![Type::Prim(PrimTy::Int)]);
                 assert_eq!(
                     model_args,
                     vec![Model::Natural {
-                        inst: ConstraintInst { id: cl, args: vec![Type::Prim(PrimTy::Int)] }
+                        inst: ConstraintInst {
+                            id: cl,
+                            args: vec![Type::Prim(PrimTy::Int)]
+                        }
                     }]
                 );
             }
@@ -695,7 +770,10 @@ mod tests {
             span: Span::dummy(),
         });
         genus_types::variance::store_variances(&mut tb);
-        let goal = ConstraintInst { id: cl, args: vec![Type::Prim(PrimTy::Int)] };
+        let goal = ConstraintInst {
+            id: cl,
+            args: vec![Type::Prim(PrimTy::Int)],
+        };
         let enabled = vec![];
         let next = Cell::new(0);
         let ctx = ResolveCtx::new(&tb, &enabled, &next);
@@ -713,7 +791,10 @@ mod tests {
         let next = Cell::new(0);
         let enabled = vec![];
         let ctx = ResolveCtx::new(&tb, &enabled, &next);
-        let inst = ConstraintInst { id: eq, args: vec![Type::Prim(PrimTy::Int)] };
+        let inst = ConstraintInst {
+            id: eq,
+            args: vec![Type::Prim(PrimTy::Int)],
+        };
         let before = tb.cache.stats();
         let m1 = resolve_default(&ctx, &inst).unwrap();
         let m2 = resolve_default(&ctx, &inst).unwrap();
@@ -730,7 +811,10 @@ mod tests {
         genus_types::variance::store_variances(&mut tb);
         let mv = tb.fresh_mv(Symbol::intern("c"));
         let tv = tb.fresh_tv(Symbol::intern("T"));
-        let inst = ConstraintInst { id: eq, args: vec![Type::Var(tv)] };
+        let inst = ConstraintInst {
+            id: eq,
+            args: vec![Type::Var(tv)],
+        };
         let next = Cell::new(0);
         // Empty scope: nothing witnesses Eq[T].
         let empty = vec![];
@@ -745,15 +829,27 @@ mod tests {
     #[test]
     fn canonicalization_renumbers_infer_vars() {
         let cid = genus_types::ConstraintId(0);
-        let a = ConstraintInst { id: cid, args: vec![Type::Infer(7), Type::Infer(9), Type::Infer(7)] };
-        let b = ConstraintInst { id: cid, args: vec![Type::Infer(3), Type::Infer(5), Type::Infer(3)] };
+        let a = ConstraintInst {
+            id: cid,
+            args: vec![Type::Infer(7), Type::Infer(9), Type::Infer(7)],
+        };
+        let b = ConstraintInst {
+            id: cid,
+            args: vec![Type::Infer(3), Type::Infer(5), Type::Infer(3)],
+        };
         assert_eq!(canonical_inst(&a), canonical_inst(&b));
         assert_eq!(
             canonical_inst(&a),
-            ConstraintInst { id: cid, args: vec![Type::Infer(0), Type::Infer(1), Type::Infer(0)] }
+            ConstraintInst {
+                id: cid,
+                args: vec![Type::Infer(0), Type::Infer(1), Type::Infer(0)]
+            }
         );
         // Distinct sharing patterns stay distinct.
-        let c = ConstraintInst { id: cid, args: vec![Type::Infer(3), Type::Infer(5), Type::Infer(5)] };
+        let c = ConstraintInst {
+            id: cid,
+            args: vec![Type::Infer(3), Type::Infer(5), Type::Infer(5)],
+        };
         assert_ne!(canonical_inst(&a), canonical_inst(&c));
     }
 
@@ -822,17 +918,31 @@ mod tests {
         genus_types::variance::store_variances(&mut tb);
         let e = tb.fresh_tv(Symbol::intern("E"));
         let c = tb.fresh_mv(Symbol::intern("c"));
-        let box_e = Type::Class { id: bx, args: vec![Type::Var(e)], models: vec![] };
-        let box_box_e = Type::Class { id: bx, args: vec![box_e.clone()], models: vec![] };
+        let box_e = Type::Class {
+            id: bx,
+            args: vec![Type::Var(e)],
+            models: vec![],
+        };
+        let box_box_e = Type::Class {
+            id: bx,
+            args: vec![box_e.clone()],
+            models: vec![],
+        };
         let mid = tb.add_model(ModelDef {
             name: Symbol::intern("M"),
             tparams: vec![e],
             wheres: vec![genus_types::WhereReq {
-                inst: ConstraintInst { id: cl, args: vec![box_box_e.clone()] },
+                inst: ConstraintInst {
+                    id: cl,
+                    args: vec![box_box_e.clone()],
+                },
                 mv: c,
                 named: true,
             }],
-            for_inst: ConstraintInst { id: cl, args: vec![box_e.clone()] },
+            for_inst: ConstraintInst {
+                id: cl,
+                args: vec![box_e.clone()],
+            },
             extends: vec![],
             methods: vec![],
             span: Span::dummy(),
@@ -840,7 +950,10 @@ mod tests {
         tb.uses.push(genus_types::UseDef {
             tparams: vec![e],
             wheres: vec![genus_types::WhereReq {
-                inst: ConstraintInst { id: cl, args: vec![box_box_e] },
+                inst: ConstraintInst {
+                    id: cl,
+                    args: vec![box_box_e],
+                },
                 mv: c,
                 named: true,
             }],
@@ -849,17 +962,30 @@ mod tests {
                 type_args: vec![Type::Var(e)],
                 model_args: vec![Model::Var(c)],
             },
-            for_inst: ConstraintInst { id: cl, args: vec![box_e] },
+            for_inst: ConstraintInst {
+                id: cl,
+                args: vec![box_e],
+            },
             span: Span::dummy(),
         });
-        let box_int = Type::Class { id: bx, args: vec![Type::Prim(PrimTy::Int)], models: vec![] };
-        let goal = ConstraintInst { id: cl, args: vec![box_int] };
+        let box_int = Type::Class {
+            id: bx,
+            args: vec![Type::Prim(PrimTy::Int)],
+            models: vec![],
+        };
+        let goal = ConstraintInst {
+            id: cl,
+            args: vec![box_int],
+        };
         let enabled = vec![];
         let next = Cell::new(0);
         let ctx = ResolveCtx::new(&tb, &enabled, &next);
         match resolve_default(&ctx, &goal) {
             Err(ResolveError::DepthExceeded(chain)) => {
-                assert!(chain.len() >= 2, "chain should name several goals, got {chain:?}");
+                assert!(
+                    chain.len() >= 2,
+                    "chain should name several goals, got {chain:?}"
+                );
                 assert_eq!(chain[0], goal, "outermost goal leads the chain");
                 assert!(chain.iter().all(|g| g.id == cl));
             }

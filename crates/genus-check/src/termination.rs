@@ -26,6 +26,7 @@ pub fn check_use_termination(table: &Table, diags: &mut Diagnostics) {
     for u in &table.uses {
         if let Err(msg) = use_terminates(u) {
             diags.error(
+                "E0701",
                 u.span,
                 format!(
                     "use declaration violates the termination restriction: {msg} \
@@ -77,8 +78,7 @@ fn type_size(t: &Type) -> usize {
         Type::Array(e) => 1 + type_size(e),
         Type::Class { args, .. } => 1 + args.iter().map(type_size).sum::<usize>(),
         Type::Existential { body, wheres, .. } => {
-            1 + type_size(body)
-                + wheres.iter().map(|w| inst_size(&w.inst)).sum::<usize>()
+            1 + type_size(body) + wheres.iter().map(|w| inst_size(&w.inst)).sum::<usize>()
         }
     }
 }
@@ -125,13 +125,19 @@ mod tests {
                 .into_iter()
                 .enumerate()
                 .map(|(i, args)| WhereReq {
-                    inst: ConstraintInst { id: ConstraintId(0), args },
+                    inst: ConstraintInst {
+                        id: ConstraintId(0),
+                        args,
+                    },
                     mv: MvId(i as u32),
                     named: false,
                 })
                 .collect(),
             model: Model::Var(MvId(99)),
-            for_inst: ConstraintInst { id: ConstraintId(0), args: head_args },
+            for_inst: ConstraintInst {
+                id: ConstraintId(0),
+                args: head_args,
+            },
             span: Span::dummy(),
         }
     }

@@ -8,9 +8,7 @@
 
 use crate::methods::lookup_methods_patched;
 use genus_common::Diagnostics;
-use genus_types::{
-    is_subtype, subtype::type_eq, ClassId, Model, Subst, Table, Type,
-};
+use genus_types::{is_subtype, subtype::type_eq, ClassId, Model, Subst, Table, Type};
 
 /// Runs hierarchy checks over every class in the table.
 pub fn check_hierarchy(table: &Table, diags: &mut Diagnostics) {
@@ -34,7 +32,9 @@ fn self_type(table: &Table, cid: ClassId) -> Type {
 
 /// Every supertype of a class instantiation (transitive, substituted).
 fn supertypes(table: &Table, ty: &Type, out: &mut Vec<Type>) {
-    let Type::Class { id, args, models } = ty else { return };
+    let Type::Class { id, args, models } = ty else {
+        return;
+    };
     let def = table.class(*id);
     let subst = Subst::from_pairs(&def.params, args)
         .with_models(&def.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(), models);
@@ -72,6 +72,7 @@ fn check_overrides(table: &Table, cid: ClassId, diags: &mut Diagnostics) {
                 // identify the type parameters positionally.
                 if fm.tparams.len() != m.tparams.len() || fm.wheres.len() != m.wheres.len() {
                     diags.error(
+                        "E0301",
                         m.span,
                         format!(
                             "method `{}` overrides a method with a different generic signature",
@@ -86,7 +87,10 @@ fn check_overrides(table: &Table, cid: ClassId, diags: &mut Diagnostics) {
                 )
                 .with_models(
                     &fm.wheres.iter().map(|w| w.mv).collect::<Vec<_>>(),
-                    &m.wheres.iter().map(|w| Model::Var(w.mv)).collect::<Vec<_>>(),
+                    &m.wheres
+                        .iter()
+                        .map(|w| Model::Var(w.mv))
+                        .collect::<Vec<_>>(),
                 );
                 let params_ok = m
                     .params
@@ -95,6 +99,7 @@ fn check_overrides(table: &Table, cid: ClassId, diags: &mut Diagnostics) {
                     .all(|((_, a), b)| type_eq(table, a, &tsubst.apply(b)));
                 if !params_ok {
                     diags.error(
+                        "E0302",
                         m.span,
                         format!(
                             "method `{}` does not override compatibly: parameter types must \
@@ -108,6 +113,7 @@ fn check_overrides(table: &Table, cid: ClassId, diags: &mut Diagnostics) {
                     || (m.ret.is_void() && fm.ret.is_void());
                 if !ret_ok {
                     diags.error(
+                        "E0303",
                         m.span,
                         format!(
                             "method `{}` overrides with an incompatible return type",
@@ -128,7 +134,9 @@ fn check_implements(table: &Table, cid: ClassId, diags: &mut Diagnostics) {
     let mut supers = Vec::new();
     supertypes(table, &self_ty, &mut supers);
     for sup in &supers {
-        let Type::Class { id: sid, .. } = sup else { continue };
+        let Type::Class { id: sid, .. } = sup else {
+            continue;
+        };
         let sdef = table.class(*sid);
         for m in &sdef.methods {
             let needs_impl = (sdef.is_interface || m.is_abstract)
@@ -152,6 +160,7 @@ fn check_implements(table: &Table, cid: ClassId, diags: &mut Diagnostics) {
             });
             if !provided {
                 diags.error(
+                    "E0304",
                     def.span,
                     format!(
                         "class `{}` does not implement `{}`/{} required by `{}`",

@@ -19,7 +19,12 @@ struct GlobalInterner {
 
 fn global() -> &'static Mutex<GlobalInterner> {
     static G: OnceLock<Mutex<GlobalInterner>> = OnceLock::new();
-    G.get_or_init(|| Mutex::new(GlobalInterner { map: HashMap::new(), strings: Vec::new() }))
+    G.get_or_init(|| {
+        Mutex::new(GlobalInterner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
 }
 
 impl Symbol {
@@ -111,7 +116,9 @@ mod tests {
 
     #[test]
     fn many_symbols_stay_distinct() {
-        let syms: Vec<Symbol> = (0..500).map(|i| Symbol::intern(&format!("id{i}"))).collect();
+        let syms: Vec<Symbol> = (0..500)
+            .map(|i| Symbol::intern(&format!("id{i}")))
+            .collect();
         for (i, s) in syms.iter().enumerate() {
             assert_eq!(s.as_str(), format!("id{i}"));
         }

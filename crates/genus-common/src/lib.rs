@@ -15,16 +15,19 @@
 //! assert_eq!(sm.snippet(span), "C");
 //!
 //! let mut diags = Diagnostics::new();
-//! diags.error(span, "something about C");
+//! diags.error("E0501", span, "something about C");
 //! assert!(diags.has_errors());
 //! ```
 
+pub mod codes;
 pub mod diag;
 pub mod hash;
 pub mod intern;
+pub mod json;
 pub mod source;
 
-pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use codes::{lookup as lookup_code, CodeInfo, REGISTRY};
+pub use diag::{Diagnostic, Diagnostics, ErrorFormat, Severity};
 pub use hash::{FastMap, FnvHasher};
 pub use intern::{Interner, Symbol};
 pub use source::{FileId, SourceFile, SourceMap, Span};

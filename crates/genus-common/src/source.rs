@@ -28,7 +28,11 @@ impl Span {
 
     /// A span usable when no real source location exists (synthesized nodes).
     pub fn dummy() -> Self {
-        Span { file: FileId(u32::MAX), lo: 0, hi: 0 }
+        Span {
+            file: FileId(u32::MAX),
+            lo: 0,
+            hi: 0,
+        }
     }
 
     /// Whether this is the synthetic dummy span.
@@ -50,7 +54,11 @@ impl Span {
             return self;
         }
         debug_assert_eq!(self.file, other.file, "joining spans across files");
-        Span { file: self.file, lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Span {
+            file: self.file,
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Length of the span in bytes.
@@ -94,7 +102,11 @@ impl SourceFile {
                 line_starts.push(i as u32 + 1);
             }
         }
-        SourceFile { name: name.into(), src, line_starts }
+        SourceFile {
+            name: name.into(),
+            src,
+            line_starts,
+        }
     }
 
     /// Converts a byte offset to a 1-based (line, column) pair.

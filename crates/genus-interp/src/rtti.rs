@@ -119,6 +119,25 @@ pub fn value_rt_type(prog: &CheckedProgram, v: &Value) -> RtType {
     }
 }
 
+/// Human-readable name of a runtime type, for diagnostic messages
+/// (`ArrayList[int]`, `int[]`, ...).
+pub fn rt_type_name(prog: &CheckedProgram, t: &RtType) -> String {
+    match t {
+        RtType::Prim(p) => p.name().to_string(),
+        RtType::Class { id, args, .. } => {
+            let name = prog.table.class(*id).name.to_string();
+            if args.is_empty() {
+                name
+            } else {
+                let args: Vec<String> = args.iter().map(|a| rt_type_name(prog, a)).collect();
+                format!("{name}[{}]", args.join(", "))
+            }
+        }
+        RtType::Array(elem) => format!("{}[]", rt_type_name(prog, elem)),
+        RtType::Null => "null".to_string(),
+    }
+}
+
 /// Whether evaluating this type yields the same reification in every
 /// frame (no type/model variables; inference leftovers and existentials
 /// erase deterministically).
@@ -445,9 +464,9 @@ pub fn cast_value(
         Err(RuntimeError::new(
             ErrorKind::ClassCast,
             format!(
-                "cannot cast value of type {:?} to {:?}",
-                value_rt_type(prog, &v),
-                t
+                "cannot cast value of type `{}` to `{}`",
+                rt_type_name(prog, &value_rt_type(prog, &v)),
+                rt_type_name(prog, &t),
             ),
         ))
     }
@@ -646,13 +665,19 @@ pub fn expect_obj(v: &Value) -> RResult<&Rc<ObjData>> {
         Value::Obj(o) => Ok(o),
         Value::Packed(p) => match &p.value {
             Value::Obj(o) => Ok(o),
-            Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null dereference")),
+            Value::Null => Err(RuntimeError::new(
+                ErrorKind::NullPointer,
+                "null dereference",
+            )),
             other => Err(RuntimeError::new(
                 ErrorKind::Other,
                 format!("expected object, got {other:?}"),
             )),
         },
-        Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null dereference")),
+        Value::Null => Err(RuntimeError::new(
+            ErrorKind::NullPointer,
+            "null dereference",
+        )),
         other => Err(RuntimeError::new(
             ErrorKind::Other,
             format!("expected object, got {other:?}"),
@@ -688,7 +713,10 @@ pub fn expect_arr(v: &Value) -> RResult<&Rc<ArrayData>> {
 /// `Other` for non-int indices; `IndexOutOfBounds` otherwise.
 pub fn expect_index(v: &Value, len: usize) -> RResult<usize> {
     let Value::Int(i) = v else {
-        return Err(RuntimeError::new(ErrorKind::Other, "array index must be int"));
+        return Err(RuntimeError::new(
+            ErrorKind::Other,
+            "array index must be int",
+        ));
     };
     if *i < 0 || *i as usize >= len {
         return Err(RuntimeError::new(

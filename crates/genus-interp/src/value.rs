@@ -309,12 +309,20 @@ impl fmt::Display for Value {
 
 /// A runtime failure, mirroring the Java exceptions the paper's metrics talk
 /// about (§8.1 counts `ClassCastException`s in specifications).
+///
+/// Each kind maps onto a stable `R0xxx` code in the shared diagnostic
+/// registry ([`genus_common::codes`]); both execution engines produce the
+/// same codes, so differential parity compares `(code, span)` structurally
+/// instead of exact message strings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeError {
     /// Error category.
     pub kind: ErrorKind,
     /// Message.
     pub msg: String,
+    /// Source location of the fault, when the engine can attribute one
+    /// (dummy otherwise — HIR does not yet carry expression spans).
+    pub span: genus_common::Span,
 }
 
 /// Categories of runtime errors.
@@ -338,13 +346,51 @@ pub enum ErrorKind {
     Other,
 }
 
+impl ErrorKind {
+    /// The stable registered diagnostic code for this kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::ClassCast => "R0001",
+            ErrorKind::NullPointer => "R0002",
+            ErrorKind::IndexOutOfBounds => "R0003",
+            ErrorKind::Arithmetic => "R0004",
+            ErrorKind::NoSuchMethod => "R0005",
+            ErrorKind::MissingReturn => "R0006",
+            ErrorKind::StackOverflow => "R0007",
+            ErrorKind::Other => "R0008",
+        }
+    }
+}
+
 impl RuntimeError {
     /// Creates an error.
     pub fn new(kind: ErrorKind, msg: impl Into<String>) -> Self {
         RuntimeError {
             kind,
             msg: msg.into(),
+            span: genus_common::Span::dummy(),
         }
+    }
+
+    /// Attaches a source span, keeping an already-attached (more precise,
+    /// inner) one.
+    #[must_use]
+    pub fn or_span(mut self, span: genus_common::Span) -> Self {
+        if self.span.is_dummy() {
+            self.span = span;
+        }
+        self
+    }
+
+    /// The stable registered diagnostic code (`R0xxx`).
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
+
+    /// This error as a structured diagnostic, for uniform rendering next
+    /// to compile-time errors.
+    pub fn to_diagnostic(&self) -> genus_common::Diagnostic {
+        genus_common::Diagnostic::error(self.code(), self.span, self.to_string())
     }
 }
 

@@ -34,8 +34,16 @@ impl BurdenReport {
 
 const DECL_KEYWORDS: [&str; 3] = ["class", "interface", "constraint"];
 const COUNTED_KEYWORDS: [&str; 2] = ["extends", "where"];
-const IGNORED_WORDS: [&str; 8] =
-    ["implements", "for", "public", "abstract", "final", "static", "with", "super"];
+const IGNORED_WORDS: [&str; 8] = [
+    "implements",
+    "for",
+    "public",
+    "abstract",
+    "final",
+    "static",
+    "with",
+    "super",
+];
 
 /// Extracts type-declaration headers (from the declaring keyword to the
 /// opening brace) and counts their annotation burden.
@@ -95,11 +103,17 @@ fn count_header(header: &[String]) -> Option<DeclBurden> {
             type_refs += 1;
         }
     }
-    Some(DeclBurden { name, type_refs, keywords })
+    Some(DeclBurden {
+        name,
+        type_refs,
+        keywords,
+    })
 }
 
 fn is_word(t: &str) -> bool {
-    t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+    t.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
 }
 
 fn tokenize(src: &str) -> Vec<String> {

@@ -24,7 +24,8 @@ impl SafetyReport {
 
     /// Descending-view lines eliminated.
     pub fn descending_loc_eliminated(&self) -> usize {
-        self.java_descending_loc.saturating_sub(self.genus_descending_loc)
+        self.java_descending_loc
+            .saturating_sub(self.genus_descending_loc)
     }
 
     /// Renders the report next to the paper's numbers.
@@ -89,12 +90,15 @@ mod tests {
         let r = safety_report();
         // The paper counts 35 ClassCastException occurrences in the
         // TreeSet/TreeMap specifications; our corpus reproduces that.
-        assert_eq!(r.java_cce, 35, "corpus should carry the paper's 35 CCE mentions");
+        assert_eq!(
+            r.java_cce, 35,
+            "corpus should carry the paper's 35 CCE mentions"
+        );
         assert_eq!(r.genus_cce, 0, "orderings in types make CCE impossible");
     }
 
     #[test]
-    fn descending_views_shrink(){
+    fn descending_views_shrink() {
         let r = safety_report();
         assert!(
             r.java_descending_loc >= 120,
@@ -133,7 +137,11 @@ pub struct WithClauseReport {
 
 /// Counts non-comment `with` clauses in the collections port by region.
 pub fn with_clause_report() -> WithClauseReport {
-    let mut r = WithClauseReport { in_descending_views: 0, in_fast_path: 0, elsewhere: 0 };
+    let mut r = WithClauseReport {
+        in_descending_views: 0,
+        in_fast_path: 0,
+        elsewhere: 0,
+    };
     let mut in_desc = false;
     for line in genus_stdlib::COLLECTIONS.lines() {
         if line.contains("BEGIN DESCENDING VIEWS") {
@@ -167,8 +175,14 @@ mod with_tests {
     #[test]
     fn with_clauses_only_where_the_paper_says() {
         let r = with_clause_report();
-        assert!(r.in_descending_views > 0, "descending views use ReverseCmp explicitly");
-        assert!(r.in_fast_path > 0, "Figure 7's fast path names the ordering");
+        assert!(
+            r.in_descending_views > 0,
+            "descending views use ReverseCmp explicitly"
+        );
+        assert!(
+            r.in_fast_path > 0,
+            "Figure 7's fast path names the ordering"
+        );
         assert_eq!(
             r.elsewhere, 0,
             "default model resolution should make every other with clause redundant: {r:?}"

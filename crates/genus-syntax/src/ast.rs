@@ -164,7 +164,14 @@ impl Ty {
 
     /// A named type with no arguments (also used for type variables).
     pub fn simple(name: Symbol, span: Span) -> Self {
-        Ty { kind: TyKind::Named { name, args: Vec::new(), models: Vec::new() }, span }
+        Ty {
+            kind: TyKind::Named {
+                name,
+                args: Vec::new(),
+                models: Vec::new(),
+            },
+            span,
+        }
     }
 }
 
@@ -748,7 +755,11 @@ mod tests {
     fn simple_ty_helper() {
         let t = Ty::simple(Symbol::intern("T"), Span::dummy());
         match t.kind {
-            TyKind::Named { name, ref args, ref models } => {
+            TyKind::Named {
+                name,
+                ref args,
+                ref models,
+            } => {
                 assert_eq!(name.as_str(), "T");
                 assert!(args.is_empty());
                 assert!(models.is_empty());

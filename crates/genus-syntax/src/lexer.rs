@@ -19,7 +19,6 @@ impl<'a> Lexer<'a> {
         *self.bytes.get(self.pos + 1).unwrap_or(&0)
     }
 
-
     fn span(&self, lo: usize) -> Span {
         Span::new(self.file, lo as u32, self.pos as u32)
     }
@@ -48,7 +47,7 @@ impl<'a> Lexer<'a> {
                         self.pos += 1;
                     }
                     if !closed {
-                        diags.error(self.span(lo), "unterminated block comment");
+                        diags.error("E0001", self.span(lo), "unterminated block comment");
                     }
                 }
                 _ => break,
@@ -101,7 +100,7 @@ impl<'a> Lexer<'a> {
         // escaped char may be multi-byte).
         let lo = self.pos;
         let Some(c) = self.src[self.pos.min(self.src.len())..].chars().next() else {
-            diags.error(self.span(lo), "unterminated escape at end of file");
+            diags.error("E0004", self.span(lo), "unterminated escape at end of file");
             return '\0';
         };
         self.pos += c.len_utf8();
@@ -114,7 +113,11 @@ impl<'a> Lexer<'a> {
             '\'' => '\'',
             '"' => '"',
             other => {
-                diags.error(self.span(lo), format!("unknown escape `\\{other}`"));
+                diags.error(
+                    "E0004",
+                    self.span(lo),
+                    format!("unknown escape `\\{other}`"),
+                );
                 other
             }
         }
@@ -127,7 +130,7 @@ impl<'a> Lexer<'a> {
         loop {
             match self.peek() {
                 0 | b'\n' => {
-                    diags.error(self.span(lo), "unterminated string literal");
+                    diags.error("E0002", self.span(lo), "unterminated string literal");
                     break;
                 }
                 b'"' => {
@@ -159,7 +162,7 @@ impl<'a> Lexer<'a> {
                 self.lex_escape(diags)
             }
             0 => {
-                diags.error(self.span(lo), "unterminated char literal");
+                diags.error("E0003", self.span(lo), "unterminated char literal");
                 '\0'
             }
             _ => {
@@ -172,7 +175,7 @@ impl<'a> Lexer<'a> {
         if self.peek() == b'\'' {
             self.pos += 1;
         } else {
-            diags.error(self.span(lo), "unterminated char literal");
+            diags.error("E0003", self.span(lo), "unterminated char literal");
         }
         TokenKind::CharLit(c)
     }
@@ -184,13 +187,21 @@ impl<'a> Lexer<'a> {
 /// and produces a usable stream.
 pub fn lex(sm: &SourceMap, file: FileId, diags: &mut Diagnostics) -> Vec<Token> {
     let src = &sm.file(file).src;
-    let mut lx = Lexer { src, bytes: src.as_bytes(), pos: 0, file };
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        file,
+    };
     let mut out = Vec::new();
     loop {
         lx.skip_trivia(diags);
         let lo = lx.pos;
         if lx.pos >= lx.bytes.len() {
-            out.push(Token { kind: TokenKind::Eof, span: lx.span(lo) });
+            out.push(Token {
+                kind: TokenKind::Eof,
+                span: lx.span(lo),
+            });
             return out;
         }
         let b = lx.peek();
@@ -325,7 +336,7 @@ pub fn lex(sm: &SourceMap, file: FileId, diags: &mut Diagnostics) -> Vec<Token> 
                     lx.pos += 1;
                     TokenKind::AndAnd
                 } else {
-                    diags.error(lx.span(lo), "single `&` is not a Genus operator");
+                    diags.error("E0005", lx.span(lo), "single `&` is not a Genus operator");
                     continue;
                 }
             }
@@ -335,7 +346,7 @@ pub fn lex(sm: &SourceMap, file: FileId, diags: &mut Diagnostics) -> Vec<Token> 
                     lx.pos += 1;
                     TokenKind::OrOr
                 } else {
-                    diags.error(lx.span(lo), "single `|` is not a Genus operator");
+                    diags.error("E0005", lx.span(lo), "single `|` is not a Genus operator");
                     continue;
                 }
             }
@@ -343,11 +354,14 @@ pub fn lex(sm: &SourceMap, file: FileId, diags: &mut Diagnostics) -> Vec<Token> 
                 // Advance over one full character (may be multi-byte).
                 let c = lx.src[lx.pos..].chars().next().unwrap_or('\u{FFFD}');
                 lx.pos += c.len_utf8();
-                diags.error(lx.span(lo), format!("unexpected character `{c}`"));
+                diags.error("E0005", lx.span(lo), format!("unexpected character `{c}`"));
                 continue;
             }
         };
-        out.push(Token { kind, span: lx.span(lo) });
+        out.push(Token {
+            kind,
+            span: lx.span(lo),
+        });
     }
 }
 

@@ -16,7 +16,11 @@ use genus_common::{Diagnostics, FileId, SourceMap, Span, Symbol};
 /// and statement boundaries so a partial AST is produced on error.
 pub fn parse_program(sm: &SourceMap, file: FileId, diags: &mut Diagnostics) -> Program {
     let tokens = lex(sm, file, diags);
-    let mut p = Parser { tokens, pos: 0, diags };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags,
+    };
     p.program()
 }
 
@@ -35,7 +39,11 @@ type PResult<T> = Result<T, ()>;
 impl<'d> Parser<'d> {
     /// Creates a parser over a pre-lexed token stream.
     pub fn new(tokens: Vec<Token>, diags: &'d mut Diagnostics) -> Self {
-        Parser { tokens, pos: 0, diags }
+        Parser {
+            tokens,
+            pos: 0,
+            diags,
+        }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -55,7 +63,9 @@ impl<'d> Parser<'d> {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -81,14 +91,18 @@ impl<'d> Parser<'d> {
             self.bump();
             Ok(sp)
         } else {
-            self.error_here(format!("expected {}, found {}", k.describe(), self.peek().describe()));
+            self.error_here(format!(
+                "expected {}, found {}",
+                k.describe(),
+                self.peek().describe()
+            ));
             Err(())
         }
     }
 
     fn error_here(&mut self, msg: String) {
         let sp = self.span();
-        self.diags.error(sp, msg);
+        self.diags.error("E0101", sp, msg);
     }
 
     fn ident(&mut self) -> PResult<(Symbol, Span)> {
@@ -97,7 +111,10 @@ impl<'d> Parser<'d> {
             self.bump();
             Ok((s, sp))
         } else {
-            self.error_here(format!("expected identifier, found {}", self.peek().describe()));
+            self.error_here(format!(
+                "expected identifier, found {}",
+                self.peek().describe()
+            ));
             Err(())
         }
     }
@@ -110,10 +127,7 @@ impl<'d> Parser<'d> {
         self.pos = cp.0;
         // Diagnostics produced during a failed speculative parse are dropped
         // by truncating back to the checkpoint length.
-        let kept: Vec<_> = self.diags.take().into_iter().take(cp.1).collect();
-        for d in kept {
-            self.diags.push(d);
-        }
+        self.diags.truncate(cp.1);
     }
 
     /// Runs `f` speculatively: on `Err`, restores the token position and
@@ -235,7 +249,11 @@ impl<'d> Parser<'d> {
                 } else {
                     None
                 };
-                sig.type_params.push(TypeParam { name, bound, span: sp });
+                sig.type_params.push(TypeParam {
+                    name,
+                    bound,
+                    span: sp,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -260,7 +278,11 @@ impl<'d> Parser<'d> {
                 None
             };
             let span = cref.span;
-            out.push(WhereBinding { constraint: cref, var, span });
+            out.push(WhereBinding {
+                constraint: cref,
+                var,
+                span,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -296,9 +318,16 @@ impl<'d> Parser<'d> {
         let lo = self.expect(&TokenKind::Class)?;
         let (name, _) = self.ident()?;
         let mut generics = self.generic_header()?;
-        let extends = if self.eat(&TokenKind::Extends) { Some(self.ty()?) } else { None };
-        let implements =
-            if self.eat(&TokenKind::Implements) { self.ty_list()? } else { Vec::new() };
+        let extends = if self.eat(&TokenKind::Extends) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let implements = if self.eat(&TokenKind::Implements) {
+            self.ty_list()?
+        } else {
+            Vec::new()
+        };
         if self.eat(&TokenKind::Where) {
             let mut extra = self.where_bindings()?;
             generics.wheres.append(&mut extra);
@@ -309,7 +338,10 @@ impl<'d> Parser<'d> {
         let mut methods = Vec::new();
         while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
             let before = self.pos;
-            if self.class_member(name, &mut fields, &mut ctors, &mut methods).is_err() {
+            if self
+                .class_member(name, &mut fields, &mut ctors, &mut methods)
+                .is_err()
+            {
                 self.recover_in_body();
                 if self.pos == before {
                     self.bump();
@@ -410,9 +442,19 @@ impl<'d> Parser<'d> {
             methods.push(m);
             Ok(())
         } else {
-            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             let hi = self.expect(&TokenKind::Semi)?;
-            fields.push(FieldDecl { is_static, ty, name, init, span: name_sp.to(hi) });
+            fields.push(FieldDecl {
+                is_static,
+                ty,
+                name,
+                init,
+                span: name_sp.to(hi),
+            });
             Ok(())
         }
     }
@@ -478,7 +520,11 @@ impl<'d> Parser<'d> {
             loop {
                 let ty = self.ty()?;
                 let (name, sp) = self.ident()?;
-                out.push(Param { span: ty.span.to(sp), ty, name });
+                out.push(Param {
+                    span: ty.span.to(sp),
+                    ty,
+                    name,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -492,7 +538,11 @@ impl<'d> Parser<'d> {
         let lo = self.expect(&TokenKind::Interface)?;
         let (name, _) = self.ident()?;
         let mut generics = self.generic_header()?;
-        let extends = if self.eat(&TokenKind::Extends) { self.ty_list()? } else { Vec::new() };
+        let extends = if self.eat(&TokenKind::Extends) {
+            self.ty_list()?
+        } else {
+            Vec::new()
+        };
         if self.eat(&TokenKind::Where) {
             let mut extra = self.where_bindings()?;
             generics.wheres.append(&mut extra);
@@ -502,8 +552,10 @@ impl<'d> Parser<'d> {
         while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
             let before = self.pos;
             let mut is_static = false;
-            while matches!(self.peek(), TokenKind::Static | TokenKind::Abstract | TokenKind::Final)
-            {
+            while matches!(
+                self.peek(),
+                TokenKind::Static | TokenKind::Abstract | TokenKind::Final
+            ) {
                 if self.at(&TokenKind::Static) {
                     is_static = true;
                 }
@@ -520,7 +572,13 @@ impl<'d> Parser<'d> {
             }
         }
         let hi = self.expect(&TokenKind::RBrace)?;
-        Ok(InterfaceDecl { name, generics, extends, methods, span: lo.to(hi) })
+        Ok(InterfaceDecl {
+            name,
+            generics,
+            extends,
+            methods,
+            span: lo.to(hi),
+        })
     }
 
     fn constraint_decl(&mut self) -> PResult<ConstraintDecl> {
@@ -530,7 +588,11 @@ impl<'d> Parser<'d> {
         let mut params = Vec::new();
         loop {
             let (pn, psp) = self.ident()?;
-            params.push(TypeParam { name: pn, bound: None, span: psp });
+            params.push(TypeParam {
+                name: pn,
+                bound: None,
+                span: psp,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -560,7 +622,13 @@ impl<'d> Parser<'d> {
             }
         }
         let hi = self.expect(&TokenKind::RBrace)?;
-        Ok(ConstraintDecl { name, params, extends, methods, span: lo.to(hi) })
+        Ok(ConstraintDecl {
+            name,
+            params,
+            extends,
+            methods,
+            span: lo.to(hi),
+        })
     }
 
     /// `static? RetTy Recv.name(params);` or `RetTy name(params);`
@@ -620,7 +688,14 @@ impl<'d> Parser<'d> {
             }
         }
         let hi = self.expect(&TokenKind::RBrace)?;
-        Ok(ModelDecl { name, generics, for_constraint, extends, methods, span: lo.to(hi) })
+        Ok(ModelDecl {
+            name,
+            generics,
+            for_constraint,
+            extends,
+            methods,
+            span: lo.to(hi),
+        })
     }
 
     /// `static? RetTy (RecvTy .)? name (params) { ... }`
@@ -647,7 +722,15 @@ impl<'d> Parser<'d> {
         let params = self.params()?;
         let body = self.block()?;
         let span = name_sp.to(body.span);
-        Ok(ModelMethodDef { is_static, ret, receiver, name, params, body, span })
+        Ok(ModelMethodDef {
+            is_static,
+            ret,
+            receiver,
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn enrich_decl(&mut self) -> PResult<EnrichDecl> {
@@ -668,17 +751,33 @@ impl<'d> Parser<'d> {
             }
         }
         let hi = self.expect(&TokenKind::RBrace)?;
-        Ok(EnrichDecl { target, methods, span: lo.to(hi) })
+        Ok(EnrichDecl {
+            target,
+            methods,
+            span: lo.to(hi),
+        })
     }
 
     fn use_decl(&mut self) -> PResult<UseDecl> {
         let lo = self.expect(&TokenKind::Use)?;
-        let generics =
-            if self.at(&TokenKind::LBracket) { self.generic_header()? } else { GenericSig::default() };
+        let generics = if self.at(&TokenKind::LBracket) {
+            self.generic_header()?
+        } else {
+            GenericSig::default()
+        };
         let model = self.model_expr()?;
-        let for_constraint = if self.eat(&TokenKind::For) { Some(self.constraint_ref()?) } else { None };
+        let for_constraint = if self.eat(&TokenKind::For) {
+            Some(self.constraint_ref()?)
+        } else {
+            None
+        };
         let hi = self.expect(&TokenKind::Semi)?;
-        Ok(UseDecl { generics, model, for_constraint, span: lo.to(hi) })
+        Ok(UseDecl {
+            generics,
+            model,
+            for_constraint,
+            span: lo.to(hi),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -717,27 +816,43 @@ impl<'d> Parser<'d> {
                 if !self.at(&TokenKind::Where) && !self.at(&TokenKind::RBracket) {
                     loop {
                         let (n, sp) = self.ident()?;
-                        let bound =
-                            if self.eat(&TokenKind::Extends) { Some(self.ty()?) } else { None };
-                        params.push(TypeParam { name: n, bound, span: sp });
+                        let bound = if self.eat(&TokenKind::Extends) {
+                            Some(self.ty()?)
+                        } else {
+                            None
+                        };
+                        params.push(TypeParam {
+                            name: n,
+                            bound,
+                            span: sp,
+                        });
                         if !self.eat(&TokenKind::Comma) {
                             break;
                         }
                     }
                 }
-                let wheres =
-                    if self.eat(&TokenKind::Where) { self.where_bindings()? } else { Vec::new() };
+                let wheres = if self.eat(&TokenKind::Where) {
+                    self.where_bindings()?
+                } else {
+                    Vec::new()
+                };
                 self.expect(&TokenKind::RBracket)?;
                 let body = self.ty()?;
                 let span = lo.to(body.span);
-                Ty::new(TyKind::Existential { params, wheres, body: Box::new(body) }, span)
+                Ty::new(
+                    TyKind::Existential {
+                        params,
+                        wheres,
+                        body: Box::new(body),
+                    },
+                    span,
+                )
             }
             TokenKind::Ident(name) => {
                 self.bump();
                 let mut args = Vec::new();
                 let mut models = Vec::new();
-                if self.at(&TokenKind::LBracket)
-                    && !matches!(self.peek_at(1), TokenKind::RBracket)
+                if self.at(&TokenKind::LBracket) && !matches!(self.peek_at(1), TokenKind::RBracket)
                 {
                     self.bump();
                     if !self.at(&TokenKind::With) {
@@ -785,7 +900,11 @@ impl<'d> Parser<'d> {
         if self.at(&TokenKind::Question) {
             let lo = self.span();
             self.bump();
-            let bound = if self.eat(&TokenKind::Extends) { Some(Box::new(self.ty()?)) } else { None };
+            let bound = if self.eat(&TokenKind::Extends) {
+                Some(Box::new(self.ty()?))
+            } else {
+                None
+            };
             let span = lo.to(self.prev_span());
             return Ok(Ty::new(TyKind::Wildcard { bound }, span));
         }
@@ -823,7 +942,12 @@ impl<'d> Parser<'d> {
             self.expect(&TokenKind::RBracket)?;
         }
         let span = lo.to(self.prev_span());
-        Ok(ModelExpr::Named { name, args, models, span })
+        Ok(ModelExpr::Named {
+            name,
+            args,
+            models,
+            span,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -847,7 +971,10 @@ impl<'d> Parser<'d> {
             }
         }
         let hi = self.expect(&TokenKind::RBrace)?;
-        Ok(Block { stmts, span: lo.to(hi) })
+        Ok(Block {
+            stmts,
+            span: lo.to(hi),
+        })
     }
 
     fn stmt_as_block(&mut self) -> PResult<Block> {
@@ -856,7 +983,10 @@ impl<'d> Parser<'d> {
         } else {
             let s = self.stmt()?;
             let span = s.span;
-            Ok(Block { stmts: vec![s], span })
+            Ok(Block {
+                stmts: vec![s],
+                span,
+            })
         }
     }
 
@@ -867,7 +997,10 @@ impl<'d> Parser<'d> {
             TokenKind::LBrace => {
                 let b = self.block()?;
                 let span = b.span;
-                Ok(Stmt { kind: StmtKind::Block(b), span })
+                Ok(Stmt {
+                    kind: StmtKind::Block(b),
+                    span,
+                })
             }
             TokenKind::If => {
                 self.bump();
@@ -881,7 +1014,14 @@ impl<'d> Parser<'d> {
                     None
                 };
                 let span = lo.to(self.prev_span());
-                Ok(Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, span })
+                Ok(Stmt {
+                    kind: StmtKind::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    },
+                    span,
+                })
             }
             TokenKind::While => {
                 self.bump();
@@ -890,7 +1030,10 @@ impl<'d> Parser<'d> {
                 self.expect(&TokenKind::RParen)?;
                 let body = self.stmt_as_block()?;
                 let span = lo.to(self.prev_span());
-                Ok(Stmt { kind: StmtKind::While { cond, body }, span })
+                Ok(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    span,
+                })
             }
             TokenKind::For => {
                 self.bump();
@@ -907,40 +1050,83 @@ impl<'d> Parser<'d> {
                     self.expect(&TokenKind::RParen)?;
                     let body = self.stmt_as_block()?;
                     let span = lo.to(self.prev_span());
-                    return Ok(Stmt { kind: StmtKind::ForEach { ty, name, iter, body }, span });
+                    return Ok(Stmt {
+                        kind: StmtKind::ForEach {
+                            ty,
+                            name,
+                            iter,
+                            body,
+                        },
+                        span,
+                    });
                 }
                 let init = if self.eat(&TokenKind::Semi) {
                     None
                 } else {
                     Some(Box::new(self.simple_stmt()?))
                 };
-                let cond = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let cond = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi)?;
-                let update = if self.at(&TokenKind::RParen) { None } else { Some(self.expr()?) };
+                let update = if self.at(&TokenKind::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::RParen)?;
                 let body = self.stmt_as_block()?;
                 let span = lo.to(self.prev_span());
-                Ok(Stmt { kind: StmtKind::For { init, cond, update, body }, span })
+                Ok(Stmt {
+                    kind: StmtKind::For {
+                        init,
+                        cond,
+                        update,
+                        body,
+                    },
+                    span,
+                })
             }
             TokenKind::Return => {
                 self.bump();
-                let e = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let e = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 let hi = self.expect(&TokenKind::Semi)?;
-                Ok(Stmt { kind: StmtKind::Return(e), span: lo.to(hi) })
+                Ok(Stmt {
+                    kind: StmtKind::Return(e),
+                    span: lo.to(hi),
+                })
             }
             TokenKind::Break => {
                 self.bump();
                 let hi = self.expect(&TokenKind::Semi)?;
-                Ok(Stmt { kind: StmtKind::Break, span: lo.to(hi) })
+                Ok(Stmt {
+                    kind: StmtKind::Break,
+                    span: lo.to(hi),
+                })
             }
             TokenKind::Continue => {
                 self.bump();
                 let hi = self.expect(&TokenKind::Semi)?;
-                Ok(Stmt { kind: StmtKind::Continue, span: lo.to(hi) })
+                Ok(Stmt {
+                    kind: StmtKind::Continue,
+                    span: lo.to(hi),
+                })
             }
             TokenKind::Semi => {
                 self.bump();
-                Ok(Stmt { kind: StmtKind::Block(Block { stmts: vec![], span: lo }), span: lo })
+                Ok(Stmt {
+                    kind: StmtKind::Block(Block {
+                        stmts: vec![],
+                        span: lo,
+                    }),
+                    span: lo,
+                })
             }
             TokenKind::LBracket => {
                 // Explicit local binding (§6.2):
@@ -949,7 +1135,11 @@ impl<'d> Parser<'d> {
                 let mut params = Vec::new();
                 loop {
                     let (n, sp) = self.ident()?;
-                    params.push(TypeParam { name: n, bound: None, span: sp });
+                    params.push(TypeParam {
+                        name: n,
+                        bound: None,
+                        span: sp,
+                    });
                     if !self.eat(&TokenKind::Comma) {
                         break;
                     }
@@ -959,13 +1149,22 @@ impl<'d> Parser<'d> {
                 let ty = self.ty()?;
                 let (name, _) = self.ident()?;
                 self.expect(&TokenKind::RParen)?;
-                let wheres =
-                    if self.eat(&TokenKind::Where) { self.where_bindings()? } else { Vec::new() };
+                let wheres = if self.eat(&TokenKind::Where) {
+                    self.where_bindings()?
+                } else {
+                    Vec::new()
+                };
                 self.expect(&TokenKind::Assign)?;
                 let init = self.expr()?;
                 let hi = self.expect(&TokenKind::Semi)?;
                 Ok(Stmt {
-                    kind: StmtKind::LocalBind { params, ty, name, wheres, init },
+                    kind: StmtKind::LocalBind {
+                        params,
+                        ty,
+                        name,
+                        wheres,
+                        init,
+                    },
                     span: lo.to(hi),
                 })
             }
@@ -983,16 +1182,26 @@ impl<'d> Parser<'d> {
         let local = self.speculate(|p| {
             let ty = p.ty()?;
             let (name, _) = p.ident()?;
-            let init = if p.eat(&TokenKind::Assign) { Some(p.expr()?) } else { None };
+            let init = if p.eat(&TokenKind::Assign) {
+                Some(p.expr()?)
+            } else {
+                None
+            };
             let hi = p.expect(&TokenKind::Semi)?;
             Ok((ty, name, init, hi))
         });
         if let Some((ty, name, init, hi)) = local {
-            return Ok(Stmt { kind: StmtKind::Local { ty, name, init }, span: lo.to(hi) });
+            return Ok(Stmt {
+                kind: StmtKind::Local { ty, name, init },
+                span: lo.to(hi),
+            });
         }
         let e = self.expr()?;
         let hi = self.expect(&TokenKind::Semi)?;
-        Ok(Stmt { kind: StmtKind::Expr(e), span: lo.to(hi) })
+        Ok(Stmt {
+            kind: StmtKind::Expr(e),
+            span: lo.to(hi),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1017,7 +1226,14 @@ impl<'d> Parser<'d> {
         let rhs = self.assignment()?;
         let span = lhs.span.to(rhs.span);
         let op = if is_plain { None } else { op };
-        Ok(Expr { kind: ExprKind::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs), op }, span })
+        Ok(Expr {
+            kind: ExprKind::Assign {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                op,
+            },
+            span,
+        })
     }
 
     fn ternary(&mut self) -> PResult<Expr> {
@@ -1045,7 +1261,11 @@ impl<'d> Parser<'d> {
             let rhs = self.and_expr()?;
             let span = lhs.span.to(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -1058,7 +1278,11 @@ impl<'d> Parser<'d> {
             let rhs = self.equality()?;
             let span = lhs.span.to(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -1076,7 +1300,14 @@ impl<'d> Parser<'d> {
             self.bump();
             let rhs = self.relational()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span };
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -1088,7 +1319,13 @@ impl<'d> Parser<'d> {
                 self.bump();
                 let ty = self.ty()?;
                 let span = lhs.span.to(ty.span);
-                lhs = Expr { kind: ExprKind::InstanceOf { expr: Box::new(lhs), ty }, span };
+                lhs = Expr {
+                    kind: ExprKind::InstanceOf {
+                        expr: Box::new(lhs),
+                        ty,
+                    },
+                    span,
+                };
                 continue;
             }
             let op = match self.peek() {
@@ -1101,7 +1338,14 @@ impl<'d> Parser<'d> {
             self.bump();
             let rhs = self.additive()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span };
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -1117,7 +1361,14 @@ impl<'d> Parser<'d> {
             self.bump();
             let rhs = self.multiplicative()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span };
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -1134,7 +1385,14 @@ impl<'d> Parser<'d> {
             self.bump();
             let rhs = self.unary()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span };
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -1146,13 +1404,25 @@ impl<'d> Parser<'d> {
                 self.bump();
                 let e = self.unary()?;
                 let span = lo.to(e.span);
-                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Not, expr: Box::new(e) }, span })
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(e),
+                    },
+                    span,
+                })
             }
             TokenKind::Minus => {
                 self.bump();
                 let e = self.unary()?;
                 let span = lo.to(e.span);
-                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Neg, expr: Box::new(e) }, span })
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(e),
+                    },
+                    span,
+                })
             }
             TokenKind::LParen => {
                 // Possible cast: `( Ty ) unary-expr`.
@@ -1182,7 +1452,13 @@ impl<'d> Parser<'d> {
                 });
                 if let Some((ty, e)) = cast {
                     let span = lo.to(e.span);
-                    return Ok(Expr { kind: ExprKind::Cast { ty, expr: Box::new(e) }, span });
+                    return Ok(Expr {
+                        kind: ExprKind::Cast {
+                            ty,
+                            expr: Box::new(e),
+                        },
+                        span,
+                    });
                 }
                 self.postfix()
             }
@@ -1245,7 +1521,12 @@ impl<'d> Parser<'d> {
                     let args = self.call_args()?;
                     let span = e.span.to(self.prev_span());
                     e = Expr {
-                        kind: ExprKind::ExpanderCall { recv: Box::new(e), expander, name, args },
+                        kind: ExprKind::ExpanderCall {
+                            recv: Box::new(e),
+                            expander,
+                            name,
+                            args,
+                        },
                         span,
                     };
                     continue;
@@ -1287,11 +1568,23 @@ impl<'d> Parser<'d> {
                         };
                     } else {
                         let span = e.span.to(nsp);
-                        e = Expr { kind: ExprKind::Field { recv: Box::new(e), name }, span };
+                        e = Expr {
+                            kind: ExprKind::Field {
+                                recv: Box::new(e),
+                                name,
+                            },
+                            span,
+                        };
                     }
                 } else {
                     let span = e.span.to(nsp);
-                    e = Expr { kind: ExprKind::Field { recv: Box::new(e), name }, span };
+                    e = Expr {
+                        kind: ExprKind::Field {
+                            recv: Box::new(e),
+                            name,
+                        },
+                        span,
+                    };
                 }
                 continue;
             }
@@ -1300,7 +1593,13 @@ impl<'d> Parser<'d> {
                 let idx = self.expr()?;
                 let hi = self.expect(&TokenKind::RBracket)?;
                 let span = e.span.to(hi);
-                e = Expr { kind: ExprKind::Index { arr: Box::new(e), idx: Box::new(idx) }, span };
+                e = Expr {
+                    kind: ExprKind::Index {
+                        arr: Box::new(e),
+                        idx: Box::new(idx),
+                    },
+                    span,
+                };
                 continue;
             }
             break;
@@ -1313,39 +1612,66 @@ impl<'d> Parser<'d> {
         match self.peek().clone() {
             TokenKind::IntLit(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::IntLit(v), span: lo })
+                Ok(Expr {
+                    kind: ExprKind::IntLit(v),
+                    span: lo,
+                })
             }
             TokenKind::LongLit(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::LongLit(v), span: lo })
+                Ok(Expr {
+                    kind: ExprKind::LongLit(v),
+                    span: lo,
+                })
             }
             TokenKind::DoubleLit(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::DoubleLit(v), span: lo })
+                Ok(Expr {
+                    kind: ExprKind::DoubleLit(v),
+                    span: lo,
+                })
             }
             TokenKind::StrLit(s) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::StrLit(s), span: lo })
+                Ok(Expr {
+                    kind: ExprKind::StrLit(s),
+                    span: lo,
+                })
             }
             TokenKind::CharLit(c) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::CharLit(c), span: lo })
+                Ok(Expr {
+                    kind: ExprKind::CharLit(c),
+                    span: lo,
+                })
             }
             TokenKind::True => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::BoolLit(true), span: lo })
+                Ok(Expr {
+                    kind: ExprKind::BoolLit(true),
+                    span: lo,
+                })
             }
             TokenKind::False => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::BoolLit(false), span: lo })
+                Ok(Expr {
+                    kind: ExprKind::BoolLit(false),
+                    span: lo,
+                })
             }
             TokenKind::Null => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Null, span: lo })
+                Ok(Expr {
+                    kind: ExprKind::Null,
+                    span: lo,
+                })
             }
             TokenKind::This => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::This, span: lo })
+                Ok(Expr {
+                    kind: ExprKind::This,
+                    span: lo,
+                })
             }
             TokenKind::New => {
                 self.bump();
@@ -1363,7 +1689,10 @@ impl<'d> Parser<'d> {
                     let len = self.expr()?;
                     let hi = self.expect(&TokenKind::RBracket)?;
                     return Ok(Expr {
-                        kind: ExprKind::NewArray { elem, len: Box::new(len) },
+                        kind: ExprKind::NewArray {
+                            elem,
+                            len: Box::new(len),
+                        },
                         span: lo.to(hi),
                     });
                 }
@@ -1378,7 +1707,10 @@ impl<'d> Parser<'d> {
                 });
                 if let Some((ty, args)) = ctor {
                     let span = lo.to(self.prev_span());
-                    return Ok(Expr { kind: ExprKind::New { ty, args }, span });
+                    return Ok(Expr {
+                        kind: ExprKind::New { ty, args },
+                        span,
+                    });
                 }
                 // Array form: `new T[expr]` where T may carry generic args.
                 let arr = self.speculate(|p| {
@@ -1414,10 +1746,9 @@ impl<'d> Parser<'d> {
                             Ok((args, models))
                         });
                         match with_args {
-                            Some((args, models)) => Ty::new(
-                                TyKind::Named { name, args, models },
-                                nsp.to(p.prev_span()),
-                            ),
+                            Some((args, models)) => {
+                                Ty::new(TyKind::Named { name, args, models }, nsp.to(p.prev_span()))
+                            }
                             None => Ty::simple(name, nsp),
                         }
                     } else {
@@ -1430,7 +1761,10 @@ impl<'d> Parser<'d> {
                 });
                 if let Some((elem, len, hi)) = arr {
                     return Ok(Expr {
-                        kind: ExprKind::NewArray { elem, len: Box::new(len) },
+                        kind: ExprKind::NewArray {
+                            elem,
+                            len: Box::new(len),
+                        },
                         span: lo.to(hi),
                     });
                 }
@@ -1449,7 +1783,12 @@ impl<'d> Parser<'d> {
                     let args = self.call_args()?;
                     let span = lo.to(self.prev_span());
                     return Ok(Expr {
-                        kind: ExprKind::Call { recv: None, name, type_args: None, args },
+                        kind: ExprKind::Call {
+                            recv: None,
+                            name,
+                            type_args: None,
+                            args,
+                        },
                         span,
                     });
                 }
@@ -1466,15 +1805,26 @@ impl<'d> Parser<'d> {
                     if let Some((ta, args)) = gen_call {
                         let span = lo.to(self.prev_span());
                         return Ok(Expr {
-                            kind: ExprKind::Call { recv: None, name, type_args: Some(ta), args },
+                            kind: ExprKind::Call {
+                                recv: None,
+                                name,
+                                type_args: Some(ta),
+                                args,
+                            },
                             span,
                         });
                     }
                 }
-                Ok(Expr { kind: ExprKind::Name(name), span: lo })
+                Ok(Expr {
+                    kind: ExprKind::Name(name),
+                    span: lo,
+                })
             }
             other => {
-                self.error_here(format!("expected an expression, found {}", other.describe()));
+                self.error_here(format!(
+                    "expected an expression, found {}",
+                    other.describe()
+                ));
                 Err(())
             }
         }
@@ -1748,7 +2098,11 @@ mod tests {
         );
         match &p.decls[0] {
             Decl::Method(m) => match &m.ret.kind {
-                TyKind::Existential { params, wheres, body } => {
+                TyKind::Existential {
+                    params,
+                    wheres,
+                    body,
+                } => {
                     assert_eq!(params.len(), 1);
                     assert_eq!(wheres.len(), 1);
                     match &body.kind {
@@ -1764,9 +2118,7 @@ mod tests {
 
     #[test]
     fn wildcards_and_wildcard_models() {
-        let p = parse_ok(
-            "void f(Set[String with ?] a, List[?] b, Collection[? extends T] c) { }",
-        );
+        let p = parse_ok("void f(Set[String with ?] a, List[?] b, Collection[? extends T] c) { }");
         match &p.decls[0] {
             Decl::Method(m) => {
                 match &m.params[0].ty.kind {
@@ -1949,6 +2301,9 @@ mod tests {
         let mut d = Diagnostics::new();
         let p = parse_program(&sm, f, &mut d);
         assert!(d.has_errors());
-        assert!(p.decls.iter().any(|dd| dd.name().map(|n| n.as_str()) == Some("Ok")));
+        assert!(p
+            .decls
+            .iter()
+            .any(|dd| dd.name().map(|n| n.as_str()) == Some("Ok")));
     }
 }

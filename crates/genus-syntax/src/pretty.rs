@@ -143,7 +143,11 @@ impl Printer {
                 self.ty(e);
                 self.out.push_str("[]");
             }
-            TyKind::Existential { params, wheres, body } => {
+            TyKind::Existential {
+                params,
+                wheres,
+                body,
+            } => {
                 self.out.push_str("[some ");
                 for (i, p) in params.iter().enumerate() {
                     if i > 0 {
@@ -174,7 +178,9 @@ impl Printer {
 
     fn model_expr(&mut self, m: &ModelExpr) {
         match m {
-            ModelExpr::Named { name, args, models, .. } => {
+            ModelExpr::Named {
+                name, args, models, ..
+            } => {
                 self.out.push_str(name.as_str());
                 if !args.is_empty() || !models.is_empty() {
                     self.out.push('[');
@@ -455,7 +461,13 @@ impl Printer {
                 }
                 self.out.push(';');
             }
-            StmtKind::LocalBind { params, ty, name, wheres, init } => {
+            StmtKind::LocalBind {
+                params,
+                ty,
+                name,
+                wheres,
+                init,
+            } => {
                 self.out.push('[');
                 for (i, p) in params.iter().enumerate() {
                     if i > 0 {
@@ -478,7 +490,11 @@ impl Printer {
                 self.expr(e);
                 self.out.push(';');
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.out.push_str("if (");
                 self.expr(cond);
                 self.out.push_str(") ");
@@ -494,7 +510,12 @@ impl Printer {
                 self.out.push_str(") ");
                 self.block(body);
             }
-            StmtKind::For { init, cond, update, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 self.out.push_str("for (");
                 match init {
                     Some(s) => self.stmt(s),
@@ -511,7 +532,12 @@ impl Printer {
                 self.out.push_str(") ");
                 self.block(body);
             }
-            StmtKind::ForEach { ty, name, iter, body } => {
+            StmtKind::ForEach {
+                ty,
+                name,
+                iter,
+                body,
+            } => {
                 self.out.push_str("for (");
                 self.ty(ty);
                 let _ = write!(self.out, " {name} : ");
@@ -568,7 +594,12 @@ impl Printer {
                 self.expr_atom(recv);
                 let _ = write!(self.out, ".{name}");
             }
-            ExprKind::Call { recv, name, type_args, args } => {
+            ExprKind::Call {
+                recv,
+                name,
+                type_args,
+                args,
+            } => {
                 if let Some(r) = recv {
                     self.expr_atom(r);
                     self.out.push('.');
@@ -595,7 +626,12 @@ impl Printer {
                 }
                 self.args(args);
             }
-            ExprKind::ExpanderCall { recv, expander, name, args } => {
+            ExprKind::ExpanderCall {
+                recv,
+                expander,
+                name,
+                args,
+            } => {
                 self.expr_atom(recv);
                 self.out.push_str(".(");
                 self.model_expr(expander);
@@ -661,7 +697,11 @@ impl Printer {
                 self.expr_atom(expr);
                 self.out.push(')');
             }
-            ExprKind::Cond { cond, then_e, else_e } => {
+            ExprKind::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 self.out.push('(');
                 self.expr(cond);
                 self.out.push_str(" ? ");
@@ -743,7 +783,11 @@ mod tests {
         let f2 = sm.add_file("t2", printed.clone());
         let mut d2 = Diagnostics::new();
         let p2 = parse_program(&sm, f2, &mut d2);
-        assert!(!d2.has_errors(), "reparse failed:\n{printed}\n{}", d2.render_all(&sm));
+        assert!(
+            !d2.has_errors(),
+            "reparse failed:\n{printed}\n{}",
+            d2.render_all(&sm)
+        );
         let printed2 = program_to_string(&p2);
         assert_eq!(printed, printed2, "pretty-print not a fixpoint");
     }

@@ -243,7 +243,10 @@ mod tests {
     #[test]
     fn keyword_lookup() {
         assert_eq!(TokenKind::keyword("class"), Some(TokenKind::Class));
-        assert_eq!(TokenKind::keyword("constraint"), Some(TokenKind::Constraint));
+        assert_eq!(
+            TokenKind::keyword("constraint"),
+            Some(TokenKind::Constraint)
+        );
         assert_eq!(TokenKind::keyword("frobnicate"), None);
     }
 

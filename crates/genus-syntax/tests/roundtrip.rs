@@ -20,7 +20,14 @@ fn dummy() -> genus_common::Span {
 // ---------------------------------------------------------------------
 
 fn type_name() -> impl Strategy<Value = &'static str> {
-    prop_oneof![Just("Foo"), Just("Bar"), Just("List"), Just("Set"), Just("T"), Just("U")]
+    prop_oneof![
+        Just("Foo"),
+        Just("Bar"),
+        Just("List"),
+        Just("Set"),
+        Just("T"),
+        Just("U")
+    ]
 }
 
 fn model_name() -> impl Strategy<Value = &'static str> {
@@ -30,14 +37,22 @@ fn model_name() -> impl Strategy<Value = &'static str> {
 fn arb_ty() -> impl Strategy<Value = ast::Ty> {
     let leaf = prop_oneof![
         Just(ast::Ty::new(ast::TyKind::Prim(ast::PrimTy::Int), dummy())),
-        Just(ast::Ty::new(ast::TyKind::Prim(ast::PrimTy::Double), dummy())),
-        Just(ast::Ty::new(ast::TyKind::Prim(ast::PrimTy::Boolean), dummy())),
+        Just(ast::Ty::new(
+            ast::TyKind::Prim(ast::PrimTy::Double),
+            dummy()
+        )),
+        Just(ast::Ty::new(
+            ast::TyKind::Prim(ast::PrimTy::Boolean),
+            dummy()
+        )),
         type_name().prop_map(|n| ast::Ty::simple(sym(n), dummy())),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             // Arrays.
-            inner.clone().prop_map(|t| ast::Ty::new(ast::TyKind::Array(Box::new(t)), dummy())),
+            inner
+                .clone()
+                .prop_map(|t| ast::Ty::new(ast::TyKind::Array(Box::new(t)), dummy())),
             // Generic applications with optional models.
             (
                 type_name(),
@@ -45,7 +60,11 @@ fn arb_ty() -> impl Strategy<Value = ast::Ty> {
                 prop::collection::vec(arb_model_leaf(), 0..2)
             )
                 .prop_map(|(n, args, models)| ast::Ty::new(
-                    ast::TyKind::Named { name: sym(n), args, models },
+                    ast::TyKind::Named {
+                        name: sym(n),
+                        args,
+                        models
+                    },
                     dummy()
                 )),
             // Wildcards inside a generic application.
@@ -57,14 +76,22 @@ fn arb_ty() -> impl Strategy<Value = ast::Ty> {
                     dummy(),
                 );
                 ast::Ty::new(
-                    ast::TyKind::Named { name: sym(n), args: vec![w], models: vec![] },
+                    ast::TyKind::Named {
+                        name: sym(n),
+                        args: vec![w],
+                        models: vec![],
+                    },
                     dummy(),
                 )
             }),
             // Existentials.
             (type_name(), inner).prop_map(|(n, body)| ast::Ty::new(
                 ast::TyKind::Existential {
-                    params: vec![ast::TypeParam { name: sym(n), bound: None, span: dummy() }],
+                    params: vec![ast::TypeParam {
+                        name: sym(n),
+                        bound: None,
+                        span: dummy()
+                    }],
                     wheres: vec![],
                     body: Box::new(body),
                 },
@@ -96,17 +123,38 @@ fn method_name() -> impl Strategy<Value = &'static str> {
 
 fn arb_expr() -> impl Strategy<Value = ast::Expr> {
     let leaf = prop_oneof![
-        (0i64..1000).prop_map(|v| ast::Expr { kind: ast::ExprKind::IntLit(v), span: dummy() }),
-        (0i64..100).prop_map(|v| ast::Expr { kind: ast::ExprKind::LongLit(v), span: dummy() }),
+        (0i64..1000).prop_map(|v| ast::Expr {
+            kind: ast::ExprKind::IntLit(v),
+            span: dummy()
+        }),
+        (0i64..100).prop_map(|v| ast::Expr {
+            kind: ast::ExprKind::LongLit(v),
+            span: dummy()
+        }),
         (0u32..1000).prop_map(|v| ast::Expr {
             kind: ast::ExprKind::DoubleLit(f64::from(v) / 8.0),
             span: dummy()
         }),
-        any::<bool>().prop_map(|b| ast::Expr { kind: ast::ExprKind::BoolLit(b), span: dummy() }),
-        "[a-z]{0,6}".prop_map(|s| ast::Expr { kind: ast::ExprKind::StrLit(s), span: dummy() }),
-        Just(ast::Expr { kind: ast::ExprKind::Null, span: dummy() }),
-        Just(ast::Expr { kind: ast::ExprKind::This, span: dummy() }),
-        var_name().prop_map(|n| ast::Expr { kind: ast::ExprKind::Name(sym(n)), span: dummy() }),
+        any::<bool>().prop_map(|b| ast::Expr {
+            kind: ast::ExprKind::BoolLit(b),
+            span: dummy()
+        }),
+        "[a-z]{0,6}".prop_map(|s| ast::Expr {
+            kind: ast::ExprKind::StrLit(s),
+            span: dummy()
+        }),
+        Just(ast::Expr {
+            kind: ast::ExprKind::Null,
+            span: dummy()
+        }),
+        Just(ast::Expr {
+            kind: ast::ExprKind::This,
+            span: dummy()
+        }),
+        var_name().prop_map(|n| ast::Expr {
+            kind: ast::ExprKind::Name(sym(n)),
+            span: dummy()
+        }),
     ];
     leaf.prop_recursive(3, 32, 3, |inner| {
         prop_oneof![
@@ -124,17 +172,28 @@ fn arb_expr() -> impl Strategy<Value = ast::Expr> {
                 inner.clone()
             )
                 .prop_map(|(op, l, r)| ast::Expr {
-                    kind: ast::ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    kind: ast::ExprKind::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r)
+                    },
                     span: dummy(),
                 }),
             // Unary not.
             inner.clone().prop_map(|e| ast::Expr {
-                kind: ast::ExprKind::Unary { op: ast::UnOp::Not, expr: Box::new(e) },
+                kind: ast::ExprKind::Unary {
+                    op: ast::UnOp::Not,
+                    expr: Box::new(e)
+                },
                 span: dummy(),
             }),
             // Calls.
-            (method_name(), prop::collection::vec(inner.clone(), 0..3), inner.clone()).prop_map(
-                |(m, args, recv)| ast::Expr {
+            (
+                method_name(),
+                prop::collection::vec(inner.clone(), 0..3),
+                inner.clone()
+            )
+                .prop_map(|(m, args, recv)| ast::Expr {
                     kind: ast::ExprKind::Call {
                         recv: Some(Box::new(recv)),
                         name: sym(m),
@@ -142,16 +201,21 @@ fn arb_expr() -> impl Strategy<Value = ast::Expr> {
                         args,
                     },
                     span: dummy(),
-                }
-            ),
+                }),
             // Field access.
             (var_name(), inner.clone()).prop_map(|(f, recv)| ast::Expr {
-                kind: ast::ExprKind::Field { recv: Box::new(recv), name: sym(f) },
+                kind: ast::ExprKind::Field {
+                    recv: Box::new(recv),
+                    name: sym(f)
+                },
                 span: dummy(),
             }),
             // Indexing.
             (inner.clone(), inner.clone()).prop_map(|(a, i)| ast::Expr {
-                kind: ast::ExprKind::Index { arr: Box::new(a), idx: Box::new(i) },
+                kind: ast::ExprKind::Index {
+                    arr: Box::new(a),
+                    idx: Box::new(i)
+                },
                 span: dummy(),
             }),
             // Ternary.
@@ -173,7 +237,10 @@ fn arb_expr() -> impl Strategy<Value = ast::Expr> {
             }),
             // New with constructor args.
             (type_name(), prop::collection::vec(inner, 0..2)).prop_map(|(t, args)| ast::Expr {
-                kind: ast::ExprKind::New { ty: ast::Ty::simple(sym(t), dummy()), args },
+                kind: ast::ExprKind::New {
+                    ty: ast::Ty::simple(sym(t), dummy()),
+                    args
+                },
                 span: dummy(),
             }),
         ]

@@ -171,7 +171,11 @@ impl GenusArrayList {
         for (i, v) in values.iter().enumerate() {
             model.array_set(&mut arr, i, GValue::D(*v));
         }
-        GenusArrayList { arr, model, len: values.len() }
+        GenusArrayList {
+            arr,
+            model,
+            len: values.len(),
+        }
     }
 
     /// `size()`.

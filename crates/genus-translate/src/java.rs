@@ -37,7 +37,9 @@ pub struct JArrayList {
 impl JArrayList {
     /// Creates a list from boxed elements.
     pub fn from_values(values: &[f64]) -> Self {
-        JArrayList { data: values.iter().map(|v| Rc::new(*v)).collect() }
+        JArrayList {
+            data: values.iter().map(|v| Rc::new(*v)).collect(),
+        }
     }
 
     /// `size()`.
@@ -96,7 +98,9 @@ pub struct BoxedArray {
 impl BoxedArray {
     /// Boxes a slice of doubles.
     pub fn from_values(values: &[f64]) -> Self {
-        BoxedArray { data: values.iter().map(|v| Rc::new(*v)).collect() }
+        BoxedArray {
+            data: values.iter().map(|v| Rc::new(*v)).collect(),
+        }
     }
 
     /// Unboxes for verification.

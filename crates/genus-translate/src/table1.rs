@@ -135,7 +135,11 @@ pub fn run_table1(n: usize, reps: usize) -> Table1 {
 
     let mut rows = Vec::new();
     let mut push = |g: Genericity, s: Structure, cell: Cell| {
-        rows.push(Row { genericity: g, structure: s, cell });
+        rows.push(Row {
+            genericity: g,
+            structure: s,
+            cell,
+        });
     };
 
     // ---- Non-generic sorts -------------------------------------------
@@ -416,7 +420,12 @@ impl Table1 {
                 (Some(g), None) => format!("{:.2}", ms(g)),
                 _ => "—".to_string(),
             };
-            out.push_str(&format!("{:<44} {:>12} {:>20}\n", row.structure.label(), java, genus));
+            out.push_str(&format!(
+                "{:<44} {:>12} {:>20}\n",
+                row.structure.label(),
+                java,
+                genus
+            ));
         }
         out.push_str(&format!(
             "monomorphic baseline (paper's C entry): {:.2} ms\n",
@@ -427,7 +436,10 @@ impl Table1 {
 
     /// Finds a row.
     pub fn cell(&self, g: Genericity, s: Structure) -> Option<&Cell> {
-        self.rows.iter().find(|r| r.genericity == g && r.structure == s).map(|r| &r.cell)
+        self.rows
+            .iter()
+            .find(|r| r.genericity == g && r.structure == s)
+            .map(|r| &r.cell)
     }
 
     /// Checks the qualitative *shape* claims of §8.3 against the measured
@@ -445,7 +457,10 @@ impl Table1 {
         let mut report = String::new();
         let mut ok = true;
         let mut check = |name: &str, cond: bool, detail: String| {
-            report.push_str(&format!("{} {name}: {detail}\n", if cond { "PASS" } else { "FAIL" }));
+            report.push_str(&format!(
+                "{} {name}: {detail}\n",
+                if cond { "PASS" } else { "FAIL" }
+            ));
             if !cond {
                 ok = false;
             }
@@ -465,33 +480,59 @@ impl Table1 {
                 );
             }
         }
-        for g in [Genericity::NonGeneric, Genericity::Comparable, Genericity::ArrayLike] {
-            let prim = self.cell(g, Structure::ArrayListDouble).and_then(|c| c.genus);
-            let boxed = self.cell(g, Structure::ArrayListBoxed).and_then(|c| c.genus);
+        for g in [
+            Genericity::NonGeneric,
+            Genericity::Comparable,
+            Genericity::ArrayLike,
+        ] {
+            let prim = self
+                .cell(g, Structure::ArrayListDouble)
+                .and_then(|c| c.genus);
+            let boxed = self
+                .cell(g, Structure::ArrayListBoxed)
+                .and_then(|c| c.genus);
             if let (Some(p), Some(b)) = (prim, boxed) {
                 check(
                     "unboxed-beats-boxed",
                     p <= b,
-                    format!("{}: ArrayList[double] {:.3}ms vs ArrayList[Double] {:.3}ms", g.label(), p * 1e3, b * 1e3),
+                    format!(
+                        "{}: ArrayList[double] {:.3}ms vs ArrayList[Double] {:.3}ms",
+                        g.label(),
+                        p * 1e3,
+                        b * 1e3
+                    ),
                 );
             }
         }
-        let ng = self.cell(Genericity::NonGeneric, Structure::ArrayListDouble).and_then(|c| c.genus);
-        let al = self.cell(Genericity::ArrayLike, Structure::ArrayListDouble).and_then(|c| c.genus);
+        let ng = self
+            .cell(Genericity::NonGeneric, Structure::ArrayListDouble)
+            .and_then(|c| c.genus);
+        let al = self
+            .cell(Genericity::ArrayLike, Structure::ArrayListDouble)
+            .and_then(|c| c.genus);
         if let (Some(a), Some(b)) = (ng, al) {
             check(
                 "genericity-costs",
                 a <= b * 1.10,
-                format!("ArrayList[double]: non-generic {:.3}ms vs fully generic {:.3}ms", a * 1e3, b * 1e3),
+                format!(
+                    "ArrayList[double]: non-generic {:.3}ms vs fully generic {:.3}ms",
+                    a * 1e3,
+                    b * 1e3
+                ),
             );
         }
-        let spec_da =
-            self.cell(Genericity::Comparable, Structure::DoubleArray).and_then(|c| c.specialized);
+        let spec_da = self
+            .cell(Genericity::Comparable, Structure::DoubleArray)
+            .and_then(|c| c.specialized);
         if let Some(s) = spec_da {
             check(
                 "specialized-near-baseline",
                 s <= self.baseline * 2.0,
-                format!("spec double[] {:.3}ms vs baseline {:.3}ms", s * 1e3, self.baseline * 1e3),
+                format!(
+                    "spec double[] {:.3}ms vs baseline {:.3}ms",
+                    s * 1e3,
+                    self.baseline * 1e3
+                ),
             );
         }
         (report, ok)

@@ -111,7 +111,10 @@ pub struct QueryCache {
 impl std::fmt::Debug for QueryCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryCache")
-            .field("subtype_entries", &self.subtype.borrow().values().map(Vec::len).sum::<usize>())
+            .field(
+                "subtype_entries",
+                &self.subtype.borrow().values().map(Vec::len).sum::<usize>(),
+            )
             .field("prereq_entries", &self.prereq.borrow().len())
             .field("conforms_entries", &self.conforms.borrow().len())
             .field("stats", &self.stats())

@@ -81,7 +81,12 @@ fn write_type(f: &mut fmt::Formatter<'_>, t: &Type, tb: &Table) -> fmt::Result {
             }
             Ok(())
         }
-        Type::Existential { params, bounds, wheres, body } => {
+        Type::Existential {
+            params,
+            bounds,
+            wheres,
+            body,
+        } => {
             write!(f, "[some ")?;
             for (i, p) in params.iter().enumerate() {
                 if i > 0 {
@@ -118,7 +123,11 @@ fn write_model(f: &mut fmt::Formatter<'_>, m: &Model, tb: &Table) -> fmt::Result
             write_inst(f, inst, tb)?;
             write!(f, ")")
         }
-        Model::Decl { id, type_args, model_args } => {
+        Model::Decl {
+            id,
+            type_args,
+            model_args,
+        } => {
             write!(f, "{}", tb.model(*id).name)?;
             if !type_args.is_empty() || !model_args.is_empty() {
                 write!(f, "[")?;
@@ -185,7 +194,10 @@ mod tests {
             variance: vec![],
             span: Span::dummy(),
         });
-        let inst = ConstraintInst { id: cid, args: vec![Type::Var(tv)] };
+        let inst = ConstraintInst {
+            id: cid,
+            args: vec![Type::Var(tv)],
+        };
         assert_eq!(inst.display(&tb).to_string(), "Eq[T]");
         let m = Model::Natural { inst };
         assert_eq!(m.display(&tb).to_string(), "natural(Eq[T])");

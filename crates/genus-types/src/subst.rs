@@ -78,7 +78,12 @@ impl Subst {
                 args: args.iter().map(|a| self.apply(a)).collect(),
                 models: models.iter().map(|m| self.apply_model(m)).collect(),
             },
-            Type::Existential { params, bounds, wheres, body } => {
+            Type::Existential {
+                params,
+                bounds,
+                wheres,
+                body,
+            } => {
                 // Bound variables are globally unique, so capture cannot
                 // occur; simply avoid substituting the binders themselves.
                 let mut inner = self.clone();
@@ -112,8 +117,14 @@ impl Subst {
                 Some(new) => self.apply_model(new),
                 None => m.clone(),
             },
-            Model::Natural { inst } => Model::Natural { inst: self.apply_inst(inst) },
-            Model::Decl { id, type_args, model_args } => Model::Decl {
+            Model::Natural { inst } => Model::Natural {
+                inst: self.apply_inst(inst),
+            },
+            Model::Decl {
+                id,
+                type_args,
+                model_args,
+            } => Model::Decl {
                 id: *id,
                 type_args: type_args.iter().map(|a| self.apply(a)).collect(),
                 model_args: model_args.iter().map(|x| self.apply_model(x)).collect(),
@@ -123,12 +134,19 @@ impl Subst {
 
     /// Applies the substitution to a constraint instantiation.
     pub fn apply_inst(&self, inst: &ConstraintInst) -> ConstraintInst {
-        ConstraintInst { id: inst.id, args: inst.args.iter().map(|a| self.apply(a)).collect() }
+        ConstraintInst {
+            id: inst.id,
+            args: inst.args.iter().map(|a| self.apply(a)).collect(),
+        }
     }
 
     /// Applies the substitution to a where-requirement.
     pub fn apply_where(&self, w: &WhereReq) -> WhereReq {
-        WhereReq { inst: self.apply_inst(&w.inst), mv: w.mv, named: w.named }
+        WhereReq {
+            inst: self.apply_inst(&w.inst),
+            mv: w.mv,
+            named: w.named,
+        }
     }
 
     /// Composes: the result applies `self` first, then `other`.
@@ -190,7 +208,10 @@ mod tests {
             id: ClassId(3),
             args: vec![Type::Var(tv(0))],
             models: vec![Model::Natural {
-                inst: ConstraintInst { id: crate::table::ConstraintId(0), args: vec![Type::Var(tv(0))] },
+                inst: ConstraintInst {
+                    id: crate::table::ConstraintId(0),
+                    args: vec![Type::Var(tv(0))],
+                },
             }],
         };
         match s.apply(&c) {

@@ -7,7 +7,7 @@
 
 use crate::subst::Subst;
 use crate::table::Table;
-use crate::ty::{Model, Type, TvId};
+use crate::ty::{Model, TvId, Type};
 use genus_common::Symbol;
 
 /// Whether `sub` is a subtype of `sup`.
@@ -92,18 +92,39 @@ fn alpha_eq(table: &Table, a: &Type, b: &Type, map: &mut Vec<(TvId, TvId)>) -> b
         }
         (Type::Array(x), Type::Array(y)) => alpha_eq(table, x, y, map),
         (
-            Type::Class { id: i1, args: a1, models: m1 },
-            Type::Class { id: i2, args: a2, models: m2 },
+            Type::Class {
+                id: i1,
+                args: a1,
+                models: m1,
+            },
+            Type::Class {
+                id: i2,
+                args: a2,
+                models: m2,
+            },
         ) => {
             i1 == i2
                 && a1.len() == a2.len()
                 && m1.len() == m2.len()
                 && a1.iter().zip(a2).all(|(x, y)| alpha_eq(table, x, y, map))
-                && m1.iter().zip(m2).all(|(x, y)| model_alpha_eq(table, x, y, map))
+                && m1
+                    .iter()
+                    .zip(m2)
+                    .all(|(x, y)| model_alpha_eq(table, x, y, map))
         }
         (
-            Type::Existential { params: p1, bounds: bo1, wheres: w1, body: b1 },
-            Type::Existential { params: p2, bounds: bo2, wheres: w2, body: b2 },
+            Type::Existential {
+                params: p1,
+                bounds: bo1,
+                wheres: w1,
+                body: b1,
+            },
+            Type::Existential {
+                params: p2,
+                bounds: bo2,
+                wheres: w2,
+                body: b2,
+            },
         ) => {
             if p1.len() != p2.len() || w1.len() != w2.len() || bo1.len() != bo2.len() {
                 return false;
@@ -145,17 +166,32 @@ fn model_alpha_eq(table: &Table, a: &Model, b: &Model, map: &mut Vec<(TvId, TvId
         (Model::Natural { inst: i1 }, Model::Natural { inst: i2 }) => {
             i1.id == i2.id
                 && i1.args.len() == i2.args.len()
-                && i1.args.iter().zip(&i2.args).all(|(x, y)| alpha_eq(table, x, y, map))
+                && i1
+                    .args
+                    .iter()
+                    .zip(&i2.args)
+                    .all(|(x, y)| alpha_eq(table, x, y, map))
         }
         (
-            Model::Decl { id: d1, type_args: t1, model_args: m1 },
-            Model::Decl { id: d2, type_args: t2, model_args: m2 },
+            Model::Decl {
+                id: d1,
+                type_args: t1,
+                model_args: m1,
+            },
+            Model::Decl {
+                id: d2,
+                type_args: t2,
+                model_args: m2,
+            },
         ) => {
             d1 == d2
                 && t1.len() == t2.len()
                 && m1.len() == m2.len()
                 && t1.iter().zip(t2).all(|(x, y)| alpha_eq(table, x, y, map))
-                && m1.iter().zip(m2).all(|(x, y)| model_alpha_eq(table, x, y, map))
+                && m1
+                    .iter()
+                    .zip(m2)
+                    .all(|(x, y)| model_alpha_eq(table, x, y, map))
         }
         _ => false,
     }
@@ -195,7 +231,9 @@ pub fn supertype_at(table: &Table, sub: &Type, target: crate::table::ClassId) ->
             }
             None
         }
-        Type::Var(v) => table.tv_bound(*v).and_then(|b| supertype_at(table, b, target)),
+        Type::Var(v) => table
+            .tv_bound(*v)
+            .and_then(|b| supertype_at(table, b, target)),
         _ => None,
     }
 }
@@ -227,11 +265,23 @@ mod tests {
     fn nominal_chain() {
         let mut tb = Table::new();
         let obj = simple_class(&mut tb, "Object", None);
-        let obj_ty = Type::Class { id: obj, args: vec![], models: vec![] };
+        let obj_ty = Type::Class {
+            id: obj,
+            args: vec![],
+            models: vec![],
+        };
         let shape = simple_class(&mut tb, "Shape", Some(obj_ty.clone()));
-        let shape_ty = Type::Class { id: shape, args: vec![], models: vec![] };
+        let shape_ty = Type::Class {
+            id: shape,
+            args: vec![],
+            models: vec![],
+        };
         let circle = simple_class(&mut tb, "Circle", Some(shape_ty.clone()));
-        let circle_ty = Type::Class { id: circle, args: vec![], models: vec![] };
+        let circle_ty = Type::Class {
+            id: circle,
+            args: vec![],
+            models: vec![],
+        };
 
         assert!(is_subtype(&tb, &circle_ty, &shape_ty));
         assert!(is_subtype(&tb, &circle_ty, &obj_ty));
@@ -258,8 +308,16 @@ mod tests {
             methods: vec![],
             span: Span::dummy(),
         });
-        let li = Type::Class { id: list, args: vec![Type::Prim(PrimTy::Int)], models: vec![] };
-        let ld = Type::Class { id: list, args: vec![Type::Prim(PrimTy::Double)], models: vec![] };
+        let li = Type::Class {
+            id: list,
+            args: vec![Type::Prim(PrimTy::Int)],
+            models: vec![],
+        };
+        let ld = Type::Class {
+            id: list,
+            args: vec![Type::Prim(PrimTy::Double)],
+            models: vec![],
+        };
         assert!(is_subtype(&tb, &li, &li));
         assert!(!is_subtype(&tb, &li, &ld));
     }
@@ -289,7 +347,11 @@ mod tests {
     fn supertype_at_walks_hierarchy() {
         let mut tb = Table::new();
         let obj = simple_class(&mut tb, "Object", None);
-        let obj_ty = Type::Class { id: obj, args: vec![], models: vec![] };
+        let obj_ty = Type::Class {
+            id: obj,
+            args: vec![],
+            models: vec![],
+        };
         let e = tb.fresh_tv(Symbol::intern("E"));
         let list = tb.add_class(ClassDef {
             name: Symbol::intern("List"),
@@ -305,7 +367,11 @@ mod tests {
             span: Span::dummy(),
         });
         let e2 = tb.fresh_tv(Symbol::intern("E"));
-        let list_of_e2 = Type::Class { id: list, args: vec![Type::Var(e2)], models: vec![] };
+        let list_of_e2 = Type::Class {
+            id: list,
+            args: vec![Type::Var(e2)],
+            models: vec![],
+        };
         let alist = tb.add_class(ClassDef {
             name: Symbol::intern("ArrayList"),
             is_interface: false,
@@ -319,16 +385,28 @@ mod tests {
             methods: vec![],
             span: Span::dummy(),
         });
-        let al_int = Type::Class { id: alist, args: vec![Type::Prim(PrimTy::Int)], models: vec![] };
+        let al_int = Type::Class {
+            id: alist,
+            args: vec![Type::Prim(PrimTy::Int)],
+            models: vec![],
+        };
         let sup = supertype_at(&tb, &al_int, list).expect("should reach List");
         assert_eq!(
             sup,
-            Type::Class { id: list, args: vec![Type::Prim(PrimTy::Int)], models: vec![] }
+            Type::Class {
+                id: list,
+                args: vec![Type::Prim(PrimTy::Int)],
+                models: vec![]
+            }
         );
         assert!(is_subtype(
             &tb,
             &al_int,
-            &Type::Class { id: list, args: vec![Type::Prim(PrimTy::Int)], models: vec![] }
+            &Type::Class {
+                id: list,
+                args: vec![Type::Prim(PrimTy::Int)],
+                models: vec![]
+            }
         ));
     }
 }

@@ -87,9 +87,16 @@ impl Type {
             Type::Class { args, models, .. } => {
                 args.iter().any(Type::has_infer) || models.iter().any(Model::has_infer)
             }
-            Type::Existential { bounds, wheres, body, .. } => {
+            Type::Existential {
+                bounds,
+                wheres,
+                body,
+                ..
+            } => {
                 body.has_infer()
-                    || wheres.iter().any(|w| w.inst.args.iter().any(Type::has_infer))
+                    || wheres
+                        .iter()
+                        .any(|w| w.inst.args.iter().any(Type::has_infer))
                     || bounds.iter().flatten().any(Type::has_infer)
             }
         }
@@ -113,7 +120,12 @@ impl Type {
                     m.free_tvs(out);
                 }
             }
-            Type::Existential { params, bounds, wheres, body } => {
+            Type::Existential {
+                params,
+                bounds,
+                wheres,
+                body,
+            } => {
                 let mut inner = Vec::new();
                 body.free_tvs(&mut inner);
                 for w in wheres {
@@ -200,9 +212,11 @@ impl Model {
             Model::Var(_) => false,
             Model::Infer(_) => true,
             Model::Natural { inst } => inst.args.iter().any(Type::has_infer),
-            Model::Decl { type_args, model_args, .. } => {
-                type_args.iter().any(Type::has_infer) || model_args.iter().any(Model::has_infer)
-            }
+            Model::Decl {
+                type_args,
+                model_args,
+                ..
+            } => type_args.iter().any(Type::has_infer) || model_args.iter().any(Model::has_infer),
         }
     }
 
@@ -215,7 +229,11 @@ impl Model {
                     a.free_tvs(out);
                 }
             }
-            Model::Decl { type_args, model_args, .. } => {
+            Model::Decl {
+                type_args,
+                model_args,
+                ..
+            } => {
                 for a in type_args {
                     a.free_tvs(out);
                 }

@@ -37,8 +37,16 @@ pub fn unify(table: &Table, a: &Type, b: &Type, subst: &mut Subst) -> Result<(),
         (Type::Var(x), Type::Var(y)) if x == y => Ok(()),
         (Type::Array(x), Type::Array(y)) => unify(table, x, y, subst),
         (
-            Type::Class { id: i1, args: a1, models: m1 },
-            Type::Class { id: i2, args: a2, models: m2 },
+            Type::Class {
+                id: i1,
+                args: a1,
+                models: m1,
+            },
+            Type::Class {
+                id: i2,
+                args: a2,
+                models: m2,
+            },
         ) if i1 == i2 && a1.len() == a2.len() && m1.len() == m2.len() => {
             for (x, y) in a1.iter().zip(a2) {
                 unify(table, x, y, subst)?;
@@ -87,8 +95,16 @@ pub fn unify_model(
             Ok(())
         }
         (
-            Model::Decl { id: d1, type_args: t1, model_args: m1 },
-            Model::Decl { id: d2, type_args: t2, model_args: m2 },
+            Model::Decl {
+                id: d1,
+                type_args: t1,
+                model_args: m1,
+            },
+            Model::Decl {
+                id: d2,
+                type_args: t2,
+                model_args: m2,
+            },
         ) if d1 == d2 && t1.len() == t2.len() && m1.len() == m2.len() => {
             for (x, y) in t1.iter().zip(t2) {
                 unify(table, x, y, subst)?;
@@ -137,7 +153,10 @@ fn occurs_ty(i: u32, t: &Type) -> bool {
             args.iter().any(|a| occurs_ty(i, a)) || models.iter().any(|m| occurs_in_model_ty(i, m))
         }
         Type::Existential { wheres, body, .. } => {
-            occurs_ty(i, body) || wheres.iter().any(|w| w.inst.args.iter().any(|a| occurs_ty(i, a)))
+            occurs_ty(i, body)
+                || wheres
+                    .iter()
+                    .any(|w| w.inst.args.iter().any(|a| occurs_ty(i, a)))
         }
     }
 }
@@ -146,7 +165,11 @@ fn occurs_in_model_ty(i: u32, m: &Model) -> bool {
     match m {
         Model::Infer(_) | Model::Var(_) => false,
         Model::Natural { inst } => inst.args.iter().any(|a| occurs_ty(i, a)),
-        Model::Decl { type_args, model_args, .. } => {
+        Model::Decl {
+            type_args,
+            model_args,
+            ..
+        } => {
             type_args.iter().any(|a| occurs_ty(i, a))
                 || model_args.iter().any(|x| occurs_in_model_ty(i, x))
         }
@@ -190,8 +213,16 @@ mod tests {
         let mut tb = Table::new();
         let list = list_class(&mut tb);
         let mut s = Subst::new();
-        let a = Type::Class { id: list, args: vec![Type::Infer(0)], models: vec![] };
-        let b = Type::Class { id: list, args: vec![Type::Prim(PrimTy::Int)], models: vec![] };
+        let a = Type::Class {
+            id: list,
+            args: vec![Type::Infer(0)],
+            models: vec![],
+        };
+        let b = Type::Class {
+            id: list,
+            args: vec![Type::Prim(PrimTy::Int)],
+            models: vec![],
+        };
         unify(&tb, &a, &b, &mut s).unwrap();
         assert_eq!(s.apply(&Type::Infer(0)), Type::Prim(PrimTy::Int));
     }
@@ -202,7 +233,11 @@ mod tests {
         let list = list_class(&mut tb);
         let mut s = Subst::new();
         let a = Type::Infer(0);
-        let b = Type::Class { id: list, args: vec![Type::Infer(0)], models: vec![] };
+        let b = Type::Class {
+            id: list,
+            args: vec![Type::Infer(0)],
+            models: vec![],
+        };
         assert!(unify(&tb, &a, &b, &mut s).is_err());
     }
 
@@ -210,7 +245,13 @@ mod tests {
     fn clash_fails() {
         let tb = Table::new();
         let mut s = Subst::new();
-        assert!(unify(&tb, &Type::Prim(PrimTy::Int), &Type::Prim(PrimTy::Double), &mut s).is_err());
+        assert!(unify(
+            &tb,
+            &Type::Prim(PrimTy::Int),
+            &Type::Prim(PrimTy::Double),
+            &mut s
+        )
+        .is_err());
     }
 
     #[test]
@@ -228,7 +269,10 @@ mod tests {
         let mut s = Subst::new();
         let a = Model::Infer(0);
         let b = Model::Natural {
-            inst: ConstraintInst { id: eq, args: vec![Type::Prim(PrimTy::Int)] },
+            inst: ConstraintInst {
+                id: eq,
+                args: vec![Type::Prim(PrimTy::Int)],
+            },
         };
         unify_model(&tb, &a, &b, &mut s).unwrap();
         assert_eq!(s.apply_model(&Model::Infer(0)), b);

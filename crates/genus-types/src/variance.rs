@@ -50,8 +50,9 @@ impl Variance {
 /// iteration (constraints may reference each other through prerequisites).
 pub fn compute_variances(table: &Table) -> Vec<Vec<Variance>> {
     let n = table.constraints.len();
-    let mut result: Vec<Vec<Variance>> =
-        (0..n).map(|i| vec![Variance::Bivariant; table.constraints[i].params.len()]).collect();
+    let mut result: Vec<Vec<Variance>> = (0..n)
+        .map(|i| vec![Variance::Bivariant; table.constraints[i].params.len()])
+        .collect();
     loop {
         let mut changed = false;
         for (ci, def) in table.constraints.iter().enumerate() {
@@ -122,7 +123,9 @@ fn occurrence(param: TvId, ty: &Type, pos: Variance) -> Variance {
         }
         Type::Existential { wheres, body, .. } => {
             let inside = occurs_anywhere(param, body)
-                || wheres.iter().any(|w| w.inst.args.iter().any(|a| occurs_anywhere(param, a)));
+                || wheres
+                    .iter()
+                    .any(|w| w.inst.args.iter().any(|a| occurs_anywhere(param, a)));
             if inside {
                 Variance::Invariant
             } else {
@@ -224,7 +227,10 @@ mod tests {
         tb.add_constraint(ConstraintDef {
             name: Symbol::intern("Comparable"),
             params: vec![u],
-            prereqs: vec![ConstraintInst { id: eq, args: vec![Type::Var(u)] }],
+            prereqs: vec![ConstraintInst {
+                id: eq,
+                args: vec![Type::Var(u)],
+            }],
             ops: vec![op(
                 "compareTo",
                 false,
@@ -300,7 +306,13 @@ mod tests {
             name: Symbol::intern("ArrayLike"),
             params: vec![t],
             prereqs: vec![],
-            ops: vec![op("toArray", false, t, vec![], Type::Array(Box::new(Type::Var(t))))],
+            ops: vec![op(
+                "toArray",
+                false,
+                t,
+                vec![],
+                Type::Array(Box::new(Type::Var(t))),
+            )],
             variance: vec![],
             span: Span::dummy(),
         });

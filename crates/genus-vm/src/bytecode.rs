@@ -55,19 +55,54 @@ pub enum Op {
     Escaped,
     /// `dst = obj.field` (missing fields read as `null`, matching the
     /// interpreter's pre-constructor visibility).
-    GetField { dst: u16, obj: u16, class: ClassId, field: u32 },
+    GetField {
+        dst: u16,
+        obj: u16,
+        class: ClassId,
+        field: u32,
+    },
     /// `obj.field = src`.
-    SetField { obj: u16, class: ClassId, field: u32, src: u16 },
+    SetField {
+        obj: u16,
+        class: ClassId,
+        field: u32,
+        src: u16,
+    },
     /// `dst = Class.field`.
-    GetStatic { dst: u16, class: ClassId, field: u32 },
+    GetStatic {
+        dst: u16,
+        class: ClassId,
+        field: u32,
+    },
     /// `Class.field = src`.
-    SetStatic { class: ClassId, field: u32, src: u16 },
+    SetStatic {
+        class: ClassId,
+        field: u32,
+        src: u16,
+    },
     /// `dst = l op r` for numeric arithmetic.
-    Arith { dst: u16, op: BinOp, nk: NumKind, l: u16, r: u16 },
+    Arith {
+        dst: u16,
+        op: BinOp,
+        nk: NumKind,
+        l: u16,
+        r: u16,
+    },
     /// `dst = l op r` for numeric comparison.
-    Cmp { dst: u16, op: BinOp, nk: NumKind, l: u16, r: u16 },
+    Cmp {
+        dst: u16,
+        op: BinOp,
+        nk: NumKind,
+        l: u16,
+        r: u16,
+    },
     /// Reference/primitive (in)equality.
-    RefEq { dst: u16, l: u16, r: u16, negate: bool },
+    RefEq {
+        dst: u16,
+        l: u16,
+        r: u16,
+        negate: bool,
+    },
     /// String concatenation; stringifies both operands (dispatching
     /// `toString` for objects).
     Concat { dst: u16, l: u16, r: u16 },
@@ -99,7 +134,12 @@ pub enum Op {
     /// `print`/`println`.
     Print { src: u16, newline: bool },
     /// Virtual call through `virt_specs[spec]`, inline-cached at `site`.
-    CallVirtual { dst: u16, recv: u16, spec: u32, site: u32 },
+    CallVirtual {
+        dst: u16,
+        recv: u16,
+        spec: u32,
+        site: u32,
+    },
     /// Static class-method call through `static_specs[spec]`.
     CallStatic { dst: u16, spec: u32 },
     /// Top-level call through `global_specs[spec]`.

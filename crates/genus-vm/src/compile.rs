@@ -103,9 +103,7 @@ fn writes_locals(e: &hir::Expr) -> bool {
         K::GetField { recv, .. } => writes_locals(recv),
         K::SetField { recv, value, .. } => writes_locals(recv) || writes_locals(value),
         K::SetStatic { value, .. } => writes_locals(value),
-        K::CallVirtual { recv, args, .. } => {
-            writes_locals(recv) || args.iter().any(writes_locals)
-        }
+        K::CallVirtual { recv, args, .. } => writes_locals(recv) || args.iter().any(writes_locals),
         K::CallStatic { args, .. } | K::CallGlobal { args, .. } | K::New { args, .. } => {
             args.iter().any(writes_locals)
         }
@@ -127,9 +125,11 @@ fn writes_locals(e: &hir::Expr) -> bool {
         | K::InstanceOf { expr, .. }
         | K::Cast { expr, .. }
         | K::Pack { expr, .. } => writes_locals(expr),
-        K::Cond { cond, then_e, else_e } => {
-            writes_locals(cond) || writes_locals(then_e) || writes_locals(else_e)
-        }
+        K::Cond {
+            cond,
+            then_e,
+            else_e,
+        } => writes_locals(cond) || writes_locals(then_e) || writes_locals(else_e),
         K::Print { arg, .. } => writes_locals(arg),
     }
 }
@@ -155,7 +155,13 @@ impl<'b> FnCompiler<'b> {
     fn new(b: &'b mut Builder, num_locals: usize) -> Self {
         assert!(num_locals < usize::from(u16::MAX), "register file overflow");
         let base = num_locals as u16;
-        FnCompiler { b, code: Vec::new(), sp: base, max_regs: base, loops: Vec::new() }
+        FnCompiler {
+            b,
+            code: Vec::new(),
+            sp: base,
+            max_regs: base,
+            loops: Vec::new(),
+        }
     }
 
     fn temp(&mut self) -> u16 {
@@ -180,7 +186,9 @@ impl<'b> FnCompiler<'b> {
 
     fn patch(&mut self, idx: usize, to: u32) {
         match &mut self.code[idx] {
-            Op::Jump { target } | Op::JumpIfFalse { target, .. } | Op::JumpIfTrue { target, .. } => {
+            Op::Jump { target }
+            | Op::JumpIfFalse { target, .. }
+            | Op::JumpIfTrue { target, .. } => {
                 *target = to;
             }
             other => unreachable!("patching non-branch {other:?}"),
@@ -211,15 +219,34 @@ impl<'b> FnCompiler<'b> {
                     }
                 }
             }
-            hir::Stmt::LetOpen { local, init, tvs, mvs } => {
+            hir::Stmt::LetOpen {
+                local,
+                init,
+                tvs,
+                mvs,
+            } => {
                 let t = self.operand(init, true);
                 let spec = self.b.open_specs.len() as u32;
-                self.b.open_specs.push(OpenSpec { tvs: tvs.clone(), mvs: mvs.clone() });
-                self.emit(Op::Open { dst: local.0 as u16, src: t, spec });
+                self.b.open_specs.push(OpenSpec {
+                    tvs: tvs.clone(),
+                    mvs: mvs.clone(),
+                });
+                self.emit(Op::Open {
+                    dst: local.0 as u16,
+                    src: t,
+                    spec,
+                });
             }
-            hir::Stmt::If { cond, then_blk, else_blk } => {
+            hir::Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.operand(cond, true);
-                let jf = self.emit(Op::JumpIfFalse { cond: c, target: u32::MAX });
+                let jf = self.emit(Op::JumpIfFalse {
+                    cond: c,
+                    target: u32::MAX,
+                });
                 self.release(mark);
                 self.block(then_blk);
                 let jend = self.emit(Op::Jump { target: u32::MAX });
@@ -232,7 +259,10 @@ impl<'b> FnCompiler<'b> {
             hir::Stmt::While { cond, body, update } => {
                 let l_cond = self.here();
                 let c = self.operand(cond, true);
-                let jf = self.emit(Op::JumpIfFalse { cond: c, target: u32::MAX });
+                let jf = self.emit(Op::JumpIfFalse {
+                    cond: c,
+                    target: u32::MAX,
+                });
                 self.release(mark);
                 self.loops.push(LoopFrame::default());
                 self.block(body);
@@ -338,7 +368,9 @@ impl<'b> FnCompiler<'b> {
             }
             K::Double(v) => {
                 let v = *v;
-                let k = self.b.konst(ConstKey::Double(v.to_bits()), || Value::Double(v));
+                let k = self
+                    .b
+                    .konst(ConstKey::Double(v.to_bits()), || Value::Double(v));
                 self.emit(Op::Const { dst, k });
             }
             K::Bool(v) => {
@@ -352,8 +384,9 @@ impl<'b> FnCompiler<'b> {
                 self.emit(Op::Const { dst, k });
             }
             K::Str(s) => {
-                let k =
-                    self.b.konst(ConstKey::Str(s.clone()), || Value::Str(Rc::from(s.as_str())));
+                let k = self.b.konst(ConstKey::Str(s.clone()), || {
+                    Value::Str(Rc::from(s.as_str()))
+                });
                 self.emit(Op::Const { dst, k });
             }
             K::Null => {
@@ -370,26 +403,63 @@ impl<'b> FnCompiler<'b> {
                 self.expr(value, dst);
                 let target = local.0 as u16;
                 if target != dst {
-                    self.emit(Op::Move { dst: target, src: dst });
+                    self.emit(Op::Move {
+                        dst: target,
+                        src: dst,
+                    });
                 }
             }
             K::GetField { recv, class, field } => {
                 let r = self.operand(recv, true);
-                self.emit(Op::GetField { dst, obj: r, class: *class, field: *field as u32 });
+                self.emit(Op::GetField {
+                    dst,
+                    obj: r,
+                    class: *class,
+                    field: *field as u32,
+                });
             }
-            K::SetField { recv, class, field, value } => {
+            K::SetField {
+                recv,
+                class,
+                field,
+                value,
+            } => {
                 let r = self.operand(recv, !writes_locals(value));
                 self.expr(value, dst);
-                self.emit(Op::SetField { obj: r, class: *class, field: *field as u32, src: dst });
+                self.emit(Op::SetField {
+                    obj: r,
+                    class: *class,
+                    field: *field as u32,
+                    src: dst,
+                });
             }
             K::GetStatic { class, field } => {
-                self.emit(Op::GetStatic { dst, class: *class, field: *field as u32 });
+                self.emit(Op::GetStatic {
+                    dst,
+                    class: *class,
+                    field: *field as u32,
+                });
             }
-            K::SetStatic { class, field, value } => {
+            K::SetStatic {
+                class,
+                field,
+                value,
+            } => {
                 self.expr(value, dst);
-                self.emit(Op::SetStatic { class: *class, field: *field as u32, src: dst });
+                self.emit(Op::SetStatic {
+                    class: *class,
+                    field: *field as u32,
+                    src: dst,
+                });
             }
-            K::CallVirtual { recv, name, arity, targs, margs, args } => {
+            K::CallVirtual {
+                recv,
+                name,
+                arity,
+                targs,
+                margs,
+                args,
+            } => {
                 let r = self.recv_operand(recv, args);
                 let regs = self.args(args);
                 let spec = self.b.virt_specs.len() as u32;
@@ -401,9 +471,20 @@ impl<'b> FnCompiler<'b> {
                     args: regs,
                 });
                 let site = self.b.site();
-                self.emit(Op::CallVirtual { dst, recv: r, spec, site });
+                self.emit(Op::CallVirtual {
+                    dst,
+                    recv: r,
+                    spec,
+                    site,
+                });
             }
-            K::CallStatic { class, method, targs, margs, args } => {
+            K::CallStatic {
+                class,
+                method,
+                targs,
+                margs,
+                args,
+            } => {
                 let regs = self.args(args);
                 let spec = self.b.static_specs.len() as u32;
                 self.b.static_specs.push(StaticSpec {
@@ -415,7 +496,12 @@ impl<'b> FnCompiler<'b> {
                 });
                 self.emit(Op::CallStatic { dst, spec });
             }
-            K::CallGlobal { index, targs, margs, args } => {
+            K::CallGlobal {
+                index,
+                targs,
+                margs,
+                args,
+            } => {
                 let regs = self.args(args);
                 let spec = self.b.global_specs.len() as u32;
                 self.b.global_specs.push(GlobalSpec {
@@ -426,7 +512,13 @@ impl<'b> FnCompiler<'b> {
                 });
                 self.emit(Op::CallGlobal { dst, spec });
             }
-            K::CallModel { model, name, recv, static_recv, args } => {
+            K::CallModel {
+                model,
+                name,
+                recv,
+                static_recv,
+                args,
+            } => {
                 let r = recv.as_ref().map(|r| self.recv_operand(r, args));
                 let regs = self.args(args);
                 let spec = self.b.model_specs.len() as u32;
@@ -443,7 +535,13 @@ impl<'b> FnCompiler<'b> {
                 let ty = self.b.ty(of);
                 self.emit(Op::DefaultValue { dst, ty });
             }
-            K::New { class, targs, models, ctor, args } => {
+            K::New {
+                class,
+                targs,
+                models,
+                ctor,
+                args,
+            } => {
                 let regs = self.args(args);
                 let spec = self.b.new_specs.len() as u32;
                 self.b.new_specs.push(NewSpec {
@@ -467,14 +565,21 @@ impl<'b> FnCompiler<'b> {
             K::ArrayGet { arr, idx } => {
                 let a = self.operand(arr, !writes_locals(idx));
                 let i = self.operand(idx, true);
-                self.emit(Op::ArrayGet { dst, arr: a, idx: i });
+                self.emit(Op::ArrayGet {
+                    dst,
+                    arr: a,
+                    idx: i,
+                });
             }
             K::ArraySet { arr, idx, value } => {
-                let a =
-                    self.operand(arr, !writes_locals(idx) && !writes_locals(value));
+                let a = self.operand(arr, !writes_locals(idx) && !writes_locals(value));
                 let i = self.operand(idx, !writes_locals(value));
                 self.expr(value, dst);
-                self.emit(Op::ArraySet { arr: a, idx: i, src: dst });
+                self.emit(Op::ArraySet {
+                    arr: a,
+                    idx: i,
+                    src: dst,
+                });
             }
             K::Binary { kind, lhs, rhs } => self.binary(*kind, lhs, rhs, dst),
             K::Not(x) => {
@@ -483,11 +588,19 @@ impl<'b> FnCompiler<'b> {
             }
             K::Neg { expr, kind } => {
                 self.expr(expr, dst);
-                self.emit(Op::Neg { dst, src: dst, nk: *kind });
+                self.emit(Op::Neg {
+                    dst,
+                    src: dst,
+                    nk: *kind,
+                });
             }
             K::Widen { expr, from: _, to } => {
                 self.expr(expr, dst);
-                self.emit(Op::Widen { dst, src: dst, to: *to });
+                self.emit(Op::Widen {
+                    dst,
+                    src: dst,
+                    to: *to,
+                });
             }
             K::InstanceOf { expr, ty } => {
                 self.expr(expr, dst);
@@ -499,17 +612,34 @@ impl<'b> FnCompiler<'b> {
                 let ty = self.b.ty(ty);
                 self.emit(Op::Cast { dst, src: dst, ty });
             }
-            K::Pack { expr, ex: _, types, models } => {
+            K::Pack {
+                expr,
+                ex: _,
+                types,
+                models,
+            } => {
                 self.expr(expr, dst);
                 let spec = self.b.pack_specs.len() as u32;
-                self.b
-                    .pack_specs
-                    .push(PackSpec { types: types.clone(), models: models.clone() });
-                self.emit(Op::Pack { dst, src: dst, spec });
+                self.b.pack_specs.push(PackSpec {
+                    types: types.clone(),
+                    models: models.clone(),
+                });
+                self.emit(Op::Pack {
+                    dst,
+                    src: dst,
+                    spec,
+                });
             }
-            K::Cond { cond, then_e, else_e } => {
+            K::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 let c = self.operand(cond, true);
-                let jf = self.emit(Op::JumpIfFalse { cond: c, target: u32::MAX });
+                let jf = self.emit(Op::JumpIfFalse {
+                    cond: c,
+                    target: u32::MAX,
+                });
                 self.release(mark);
                 self.expr(then_e, dst);
                 let jend = self.emit(Op::Jump { target: u32::MAX });
@@ -521,11 +651,19 @@ impl<'b> FnCompiler<'b> {
             }
             K::Print { arg, newline } => {
                 let t = self.operand(arg, true);
-                self.emit(Op::Print { src: t, newline: *newline });
+                self.emit(Op::Print {
+                    src: t,
+                    newline: *newline,
+                });
                 let k = self.b.konst(ConstKey::Void, || Value::Void);
                 self.emit(Op::Const { dst, k });
             }
-            K::PrimCall { prim, name, recv, args } => {
+            K::PrimCall {
+                prim,
+                name,
+                recv,
+                args,
+            } => {
                 let r = recv.as_ref().map(|r| self.recv_operand(r, args));
                 let regs = self.args(args);
                 let spec = self.b.prim_specs.len() as u32;
@@ -541,7 +679,11 @@ impl<'b> FnCompiler<'b> {
                 let r = recv.as_ref().map(|r| self.recv_operand(r, args));
                 let regs = self.args(args);
                 let spec = self.b.native_specs.len() as u32;
-                self.b.native_specs.push(NativeSpec { op: *op, recv: r, args: regs });
+                self.b.native_specs.push(NativeSpec {
+                    op: *op,
+                    recv: r,
+                    args: regs,
+                });
                 self.emit(Op::Native { dst, spec });
             }
         }
@@ -557,9 +699,15 @@ impl<'b> FnCompiler<'b> {
             BinKind::And => {
                 let t = self.temp();
                 self.expr(lhs, t);
-                let j1 = self.emit(Op::JumpIfFalse { cond: t, target: u32::MAX });
+                let j1 = self.emit(Op::JumpIfFalse {
+                    cond: t,
+                    target: u32::MAX,
+                });
                 self.expr(rhs, t);
-                let j2 = self.emit(Op::JumpIfFalse { cond: t, target: u32::MAX });
+                let j2 = self.emit(Op::JumpIfFalse {
+                    cond: t,
+                    target: u32::MAX,
+                });
                 let kt = self.b.konst(ConstKey::Bool(true), || Value::Bool(true));
                 self.emit(Op::Const { dst, k: kt });
                 let jend = self.emit(Op::Jump { target: u32::MAX });
@@ -574,9 +722,15 @@ impl<'b> FnCompiler<'b> {
             BinKind::Or => {
                 let t = self.temp();
                 self.expr(lhs, t);
-                let j1 = self.emit(Op::JumpIfTrue { cond: t, target: u32::MAX });
+                let j1 = self.emit(Op::JumpIfTrue {
+                    cond: t,
+                    target: u32::MAX,
+                });
                 self.expr(rhs, t);
-                let j2 = self.emit(Op::JumpIfTrue { cond: t, target: u32::MAX });
+                let j2 = self.emit(Op::JumpIfTrue {
+                    cond: t,
+                    target: u32::MAX,
+                });
                 let kf = self.b.konst(ConstKey::Bool(false), || Value::Bool(false));
                 self.emit(Op::Const { dst, k: kf });
                 let jend = self.emit(Op::Jump { target: u32::MAX });
@@ -596,7 +750,12 @@ impl<'b> FnCompiler<'b> {
             BinKind::EqRef(op) | BinKind::EqPrim(op) => {
                 let l = self.operand(lhs, !writes_locals(rhs));
                 let r = self.operand(rhs, true);
-                self.emit(Op::RefEq { dst, l, r, negate: op != genus_syntax::ast::BinOp::Eq });
+                self.emit(Op::RefEq {
+                    dst,
+                    l,
+                    r,
+                    negate: op != genus_syntax::ast::BinOp::Eq,
+                });
             }
             BinKind::Arith(op, nk) => {
                 let l = self.operand(lhs, !writes_locals(rhs));
@@ -629,12 +788,23 @@ fn compile_fn(
     } else {
         f.emit(Op::FallOff);
     }
-    VmFunc { name, num_locals, num_regs: f.max_regs as usize, code: f.code, is_void }
+    VmFunc {
+        name,
+        num_locals,
+        num_regs: f.max_regs as usize,
+        code: f.code,
+        is_void,
+    }
 }
 
 /// Wraps a bare initializer expression as a returning body.
 fn init_body(expr: &hir::Expr, num_locals: usize) -> (usize, hir::Block) {
-    (num_locals, hir::Block { stmts: vec![hir::Stmt::Return(Some(expr.clone()))] })
+    (
+        num_locals,
+        hir::Block {
+            stmts: vec![hir::Stmt::Return(Some(expr.clone()))],
+        },
+    )
 }
 
 /// Compiles every executable body of a checked program to bytecode.

@@ -40,9 +40,7 @@ use genus_check::CheckedProgram;
 use genus_common::{FastMap, Symbol};
 use genus_interp::natives;
 use genus_interp::ops::{arith, compare, widen_value};
-use genus_interp::rtti::{
-    self, MEnv, ModelDispatchKey, ModelTarget, RecvKind, TEnv, VirtTarget,
-};
+use genus_interp::rtti::{self, MEnv, ModelDispatchKey, ModelTarget, RecvKind, TEnv, VirtTarget};
 use genus_interp::{
     ArrayData, DispatchStats, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError,
     Storage, Value,
@@ -375,7 +373,12 @@ impl<'p> Vm<'p> {
                         "break/continue escaped a body",
                     ))
                 }
-                Op::GetField { dst, obj, class, field } => {
+                Op::GetField {
+                    dst,
+                    obj,
+                    class,
+                    field,
+                } => {
                     let r = frame.regs[obj as usize].clone();
                     let o = rtti::expect_obj(&r)?;
                     let v = o
@@ -386,7 +389,12 @@ impl<'p> Vm<'p> {
                         .unwrap_or(Value::Null);
                     frame.regs[dst as usize] = v;
                 }
-                Op::SetField { obj, class, field, src } => {
+                Op::SetField {
+                    obj,
+                    class,
+                    field,
+                    src,
+                } => {
                     let r = frame.regs[obj as usize].clone();
                     let v = frame.regs[src as usize].clone();
                     let o = rtti::expect_obj(&r)?;
@@ -428,9 +436,7 @@ impl<'p> Vm<'p> {
                 }
                 Op::Not { dst, src } => match &frame.regs[src as usize] {
                     Value::Bool(b) => frame.regs[dst as usize] = Value::Bool(!*b),
-                    _ => {
-                        return Err(RuntimeError::new(ErrorKind::Other, "`!` on non-boolean"))
-                    }
+                    _ => return Err(RuntimeError::new(ErrorKind::Other, "`!` on non-boolean")),
                 },
                 Op::Neg { dst, src, nk } => {
                     let v = frame.regs[src as usize].clone();
@@ -483,14 +489,16 @@ impl<'p> Vm<'p> {
                 Op::ArrayGet { dst, arr, idx } => {
                     let av = frame.regs[arr as usize].clone();
                     let a = rtti::expect_arr(&av)?;
-                    let i = rtti::expect_index(&frame.regs[idx as usize], a.storage.borrow().len())?;
+                    let i =
+                        rtti::expect_index(&frame.regs[idx as usize], a.storage.borrow().len())?;
                     let v = a.storage.borrow().get(i);
                     frame.regs[dst as usize] = v;
                 }
                 Op::ArraySet { arr, idx, src } => {
                     let av = frame.regs[arr as usize].clone();
                     let a = rtti::expect_arr(&av)?;
-                    let i = rtti::expect_index(&frame.regs[idx as usize], a.storage.borrow().len())?;
+                    let i =
+                        rtti::expect_index(&frame.regs[idx as usize], a.storage.borrow().len())?;
                     let v = frame.regs[src as usize].clone();
                     a.storage.borrow_mut().set(i, v);
                 }
@@ -591,11 +599,19 @@ impl<'p> Vm<'p> {
                         }
                     }
                 }
-                Op::CallVirtual { dst, recv, spec, site } => {
+                Op::CallVirtual {
+                    dst,
+                    recv,
+                    spec,
+                    site,
+                } => {
                     let s = &code.virt_specs[spec as usize];
                     let r = frame.regs[recv as usize].clone();
-                    let args: Vec<Value> =
-                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let args: Vec<Value> = s
+                        .args
+                        .iter()
+                        .map(|&a| frame.regs[a as usize].clone())
+                        .collect();
                     let rt: Vec<RtType> = s
                         .targs
                         .iter()
@@ -612,8 +628,11 @@ impl<'p> Vm<'p> {
                 }
                 Op::CallStatic { dst, spec } => {
                     let s = &code.static_specs[spec as usize];
-                    let args: Vec<Value> =
-                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let args: Vec<Value> = s
+                        .args
+                        .iter()
+                        .map(|&a| frame.regs[a as usize].clone())
+                        .collect();
                     let rt: Vec<RtType> = s
                         .targs
                         .iter()
@@ -638,8 +657,11 @@ impl<'p> Vm<'p> {
                 }
                 Op::CallGlobal { dst, spec } => {
                     let s = &code.global_specs[spec as usize];
-                    let args: Vec<Value> =
-                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let args: Vec<Value> = s
+                        .args
+                        .iter()
+                        .map(|&a| frame.regs[a as usize].clone())
+                        .collect();
                     let rt: Vec<RtType> = s
                         .targs
                         .iter()
@@ -661,8 +683,11 @@ impl<'p> Vm<'p> {
                         .static_recv
                         .as_ref()
                         .map(|t| rtti::eval_type(self.prog, &frame.tenv, &frame.menv, t));
-                    let args: Vec<Value> =
-                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let args: Vec<Value> = s
+                        .args
+                        .iter()
+                        .map(|&a| frame.regs[a as usize].clone())
+                        .collect();
                     let action = self.prepare_model(&mv, s.name, r, srt, args)?;
                     self.apply(&mut stack, dst, action)?;
                 }
@@ -678,8 +703,11 @@ impl<'p> Vm<'p> {
                         .iter()
                         .map(|m| rtti::eval_model(self.prog, &frame.tenv, &frame.menv, m))
                         .collect();
-                    let args: Vec<Value> =
-                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let args: Vec<Value> = s
+                        .args
+                        .iter()
+                        .map(|&a| frame.regs[a as usize].clone())
+                        .collect();
                     let this = self.new_object(s.class, &rt, &rm)?;
                     let def = self.prog.table.class(s.class);
                     let Some(&fid) = code.ctors.get(&(s.class.0, s.ctor as u32)) else {
@@ -703,15 +731,21 @@ impl<'p> Vm<'p> {
                 Op::PrimCall { dst, spec } => {
                     let s = &code.prim_specs[spec as usize];
                     let r = s.recv.map(|r| frame.regs[r as usize].clone());
-                    let args: Vec<Value> =
-                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let args: Vec<Value> = s
+                        .args
+                        .iter()
+                        .map(|&a| frame.regs[a as usize].clone())
+                        .collect();
                     frame.regs[dst as usize] = natives::prim_call(s.prim, s.name, r, args)?;
                 }
                 Op::Native { dst, spec } => {
                     let s = &code.native_specs[spec as usize];
                     let r = s.recv.map(|r| frame.regs[r as usize].clone());
-                    let args: Vec<Value> =
-                        s.args.iter().map(|&a| frame.regs[a as usize].clone()).collect();
+                    let args: Vec<Value> = s
+                        .args
+                        .iter()
+                        .map(|&a| frame.regs[a as usize].clone())
+                        .collect();
                     let v = self.native(s.op, r, args)?;
                     stack.last_mut().expect("frame").regs[dst as usize] = v;
                 }
@@ -863,7 +897,12 @@ impl<'p> Vm<'p> {
                     RtType::Prim(p) => p,
                     _ => unreachable!("primitive value"),
                 };
-                Ok(Action::Value(natives::prim_call(p, name, Some(recv), args)?))
+                Ok(Action::Value(natives::prim_call(
+                    p,
+                    name,
+                    Some(recv),
+                    args,
+                )?))
             }
             Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "call on null")),
             other => Err(RuntimeError::new(
@@ -940,12 +979,7 @@ impl<'p> Vm<'p> {
 
     /// Allocates an object and runs its field-initializer chain (base
     /// classes first), leaving the constructor to the caller.
-    fn new_object(
-        &self,
-        cid: ClassId,
-        targs: &[RtType],
-        models: &[ModelValue],
-    ) -> RResult<Value> {
+    fn new_object(&self, cid: ClassId, targs: &[RtType], models: &[ModelValue]) -> RResult<Value> {
         let obj = Rc::new(ObjData {
             class: cid,
             targs: targs.to_vec(),
@@ -1020,7 +1054,11 @@ impl<'p> Vm<'p> {
                         RtType::Prim(p) => {
                             Ok(Action::Value(natives::prim_call(p, name, None, args)?))
                         }
-                        RtType::Class { id, args: cargs, models: cmodels } => {
+                        RtType::Class {
+                            id,
+                            args: cargs,
+                            models: cmodels,
+                        } => {
                             let def = self.prog.table.class(id);
                             let mi = if caches_enabled() {
                                 self.dispatch
@@ -1122,7 +1160,10 @@ impl<'p> Vm<'p> {
                     .as_ref()
                     .map(|r| rtti::value_rt_type(self.prog, r))
                     .or_else(|| static_recv.clone()),
-                args: args.iter().map(|a| rtti::value_rt_type(self.prog, a)).collect(),
+                args: args
+                    .iter()
+                    .map(|a| rtti::value_rt_type(self.prog, a))
+                    .collect(),
             };
             if let Some(t) = self.dispatch.model.borrow().get(&key).cloned() {
                 bump(&self.dispatch.model_hits);
@@ -1146,8 +1187,10 @@ impl<'p> Vm<'p> {
             (Some(srt), false) => Some(RecvKind::Static(srt)),
             (None, _) => None,
         };
-        let arg_ts: Vec<RtType> =
-            args.iter().map(|a| rtti::value_rt_type(self.prog, a)).collect();
+        let arg_ts: Vec<RtType> = args
+            .iter()
+            .map(|a| rtti::value_rt_type(self.prog, a))
+            .collect();
         let args_null: Vec<bool> = args.iter().map(Value::is_null).collect();
         let target =
             rtti::select_model_target(self.prog, id, targs, margs, name, kind, &arg_ts, &args_null);
@@ -1203,7 +1246,9 @@ mod tests {
     fn run_vm(src: &str) -> (Value, String) {
         let prog = check_source(src).unwrap_or_else(|e| panic!("check failed:\n{e}"));
         let mut vm = Vm::new(&prog);
-        let v = vm.run_main().unwrap_or_else(|e| panic!("runtime error: {e}"));
+        let v = vm
+            .run_main()
+            .unwrap_or_else(|e| panic!("runtime error: {e}"));
         let out = vm.take_output();
         (v, out)
     }
@@ -1341,12 +1386,13 @@ mod tests {
             // Keep the recursion case within the test thread's native
             // stack: the interpreter burns host stack per Genus frame
             // (the facade normally gives it a big-stack thread).
-            i.max_depth = 100;
+            i.max_depth = 64;
             let ie = i.run_main().expect_err("interp should trap");
             let mut vm = Vm::new(&prog);
-            vm.max_depth = 100;
+            vm.max_depth = 64;
             let ve = vm.run_main().expect_err("vm should trap");
             assert_eq!(ie.kind, ve.kind, "error kinds diverge for {src}");
+            assert_eq!(ie.code(), ve.code(), "codes diverge for {src}");
             assert_eq!(ie.to_string(), ve.to_string(), "messages diverge for {src}");
         }
     }

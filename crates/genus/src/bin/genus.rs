@@ -5,11 +5,23 @@
 //! $ genus check program.genus ...      # type-check only
 //! $ genus run --no-stdlib tiny.genus   # prelude only
 //! $ genus run --engine=vm program.genus  # bytecode VM instead of the AST
+//! $ genus run --error-format=json p.genus  # one JSON object per diagnostic
 //! $ genus run --stats program.genus    # print cache/dispatch statistics
 //! ```
+//!
+//! Exit codes are tiered so scripts and CI can distinguish failure modes:
+//! `0` success, `1` compile errors (or warnings under `--deny-warnings`),
+//! `2` usage or I/O errors, `3` runtime trap.
 
-use genus::Engine;
+use genus::{CheckReport, Engine, ErrorFormat};
 use std::process::ExitCode;
+
+/// Exit tier for compile errors (and denied warnings).
+const EXIT_COMPILE: u8 = 1;
+/// Exit tier for usage and I/O errors.
+const EXIT_USAGE: u8 = 2;
+/// Exit tier for a runtime trap.
+const EXIT_TRAP: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
@@ -23,25 +35,69 @@ fn usage() -> ! {
          \x20 --no-stdlib        compile with only the built-in prelude\n\
          \x20 --engine=<ast|vm>  execution engine: the tree-walking\n\
          \x20                    interpreter (default) or the bytecode VM\n\
+         \x20 --error-format=<human|short|json>\n\
+         \x20                    diagnostic rendering: full snippets with\n\
+         \x20                    carets (default), one line per diagnostic,\n\
+         \x20                    or one JSON object per diagnostic\n\
+         \x20 --deny-warnings    treat warnings as errors (exit 1)\n\
          \x20 --stats            after running, print dispatch-cache and\n\
-         \x20                    type-query-cache statistics to stderr"
+         \x20                    type-query-cache statistics to stderr\n\
+         \n\
+         exit codes: 0 success, 1 compile errors, 2 usage/IO, 3 runtime trap"
     );
-    std::process::exit(2);
+    std::process::exit(i32::from(EXIT_USAGE));
 }
 
 fn print_stats(ex: &genus::Execution) {
     let d = &ex.dispatch_stats;
     let c = &ex.cache_stats;
     eprintln!("--- dispatch stats ---");
-    eprintln!("inline cache:   {} hits / {} misses", d.ic_hits, d.ic_misses);
-    eprintln!("virtual memo:   {} hits / {} misses", d.virt_hits, d.virt_misses);
-    eprintln!("model dispatch: {} hits / {} misses", d.model_hits, d.model_misses);
+    eprintln!(
+        "inline cache:   {} hits / {} misses",
+        d.ic_hits, d.ic_misses
+    );
+    eprintln!(
+        "virtual memo:   {} hits / {} misses",
+        d.virt_hits, d.virt_misses
+    );
+    eprintln!(
+        "model dispatch: {} hits / {} misses",
+        d.model_hits, d.model_misses
+    );
     eprintln!("--- type-query cache stats ---");
-    eprintln!("subtype:  {} hits / {} misses", c.subtype_hits, c.subtype_misses);
-    eprintln!("prereq:   {} hits / {} misses", c.prereq_hits, c.prereq_misses);
-    eprintln!("conforms: {} hits / {} misses", c.conforms_hits, c.conforms_misses);
-    eprintln!("resolve:  {} hits / {} misses", c.resolve_hits, c.resolve_misses);
+    eprintln!(
+        "subtype:  {} hits / {} misses",
+        c.subtype_hits, c.subtype_misses
+    );
+    eprintln!(
+        "prereq:   {} hits / {} misses",
+        c.prereq_hits, c.prereq_misses
+    );
+    eprintln!(
+        "conforms: {} hits / {} misses",
+        c.conforms_hits, c.conforms_misses
+    );
+    eprintln!(
+        "resolve:  {} hits / {} misses",
+        c.resolve_hits, c.resolve_misses
+    );
     eprintln!("total:    {} hits / {} misses", c.hits(), c.misses());
+}
+
+/// Prints the report's warnings to stderr in the chosen format.
+fn print_warnings(report: &CheckReport, format: ErrorFormat) {
+    let sep = if format == ErrorFormat::Human {
+        "\n\n"
+    } else {
+        "\n"
+    };
+    let rendered: Vec<String> = report
+        .warnings()
+        .map(|d| d.render_with(&report.sm, format))
+        .collect();
+    if !rendered.is_empty() {
+        eprintln!("{}", rendered.join(sep));
+    }
 }
 
 fn main() -> ExitCode {
@@ -49,21 +105,36 @@ fn main() -> ExitCode {
     let Some(cmd) = args.next() else { usage() };
     let mut stdlib = true;
     let mut stats = false;
+    let mut deny_warnings = false;
     let mut engine = Engine::Ast;
+    let mut format = ErrorFormat::Human;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         if a == "--no-stdlib" {
             stdlib = false;
         } else if a == "--stats" {
             stats = true;
+        } else if a == "--deny-warnings" {
+            deny_warnings = true;
         } else if let Some(name) = a.strip_prefix("--engine=") {
             let Some(e) = Engine::from_name(name) else {
                 eprintln!("error: unknown engine `{name}` (expected `ast` or `vm`)");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_USAGE);
             };
             engine = e;
+        } else if let Some(name) = a.strip_prefix("--error-format=") {
+            let Some(f) = ErrorFormat::from_name(name) else {
+                eprintln!(
+                    "error: unknown error format `{name}` (expected `human`, `short`, or `json`)"
+                );
+                return ExitCode::from(EXIT_USAGE);
+            };
+            format = f;
         } else if a == "--help" || a == "-h" {
             usage();
+        } else if a.starts_with('-') {
+            eprintln!("error: unknown option `{a}`");
+            return ExitCode::from(EXIT_USAGE);
         } else {
             files.push(a);
         }
@@ -71,7 +142,7 @@ fn main() -> ExitCode {
     if files.is_empty() {
         usage();
     }
-    let mut compiler = genus::Compiler::new().engine(engine);
+    let mut compiler = genus::Compiler::new().engine(engine).error_format(format);
     if stdlib {
         compiler = compiler.with_stdlib();
     }
@@ -80,53 +151,59 @@ fn main() -> ExitCode {
             Ok(src) => compiler = compiler.source(f.clone(), src),
             Err(e) => {
                 eprintln!("error: cannot read `{f}`: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_USAGE);
             }
         }
     }
+
+    // Type-check once up front so warnings can be surfaced (with their
+    // stable codes) even on successful runs.
+    let mut report = compiler.check_report();
+    if report.has_errors() {
+        eprintln!("{}", report.render(format));
+        return ExitCode::from(EXIT_COMPILE);
+    }
+    print_warnings(&report, format);
+    if deny_warnings && report.warnings().next().is_some() {
+        eprintln!("error: warnings denied by --deny-warnings");
+        return ExitCode::from(EXIT_COMPILE);
+    }
+    let prog = report.program.take().expect("no errors implies a program");
+
     match cmd.as_str() {
-        "check" => match compiler.compile() {
-            Ok(prog) => {
-                println!(
-                    "ok: {} classes, {} constraints, {} models, {} top-level methods",
-                    prog.table.classes.len(),
-                    prog.table.constraints.len(),
-                    prog.table.models.len(),
-                    prog.table.globals.len()
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
-        },
-        "run" => match compiler.execute() {
-            Ok(ex) => {
-                // Output printed before a trap is still shown.
-                print!("{}", ex.output);
-                let code = match &ex.outcome {
-                    Ok(v) => {
-                        if v != "void" {
-                            println!("=> {v}");
-                        }
-                        ExitCode::SUCCESS
+        "check" => {
+            println!(
+                "ok: {} classes, {} constraints, {} models, {} top-level methods",
+                prog.table.classes.len(),
+                prog.table.constraints.len(),
+                prog.table.models.len(),
+                prog.table.globals.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let ex = compiler.execute_checked(prog);
+            // Output printed before a trap is still shown.
+            print!("{}", ex.output);
+            let code = match &ex.outcome {
+                Ok(v) => {
+                    if v != "void" {
+                        println!("=> {v}");
                     }
-                    Err(e) => {
-                        eprintln!("{e}");
-                        ExitCode::FAILURE
-                    }
-                };
-                if stats {
-                    print_stats(&ex);
+                    ExitCode::SUCCESS
                 }
-                code
+                Err(e) => {
+                    // Render the trap like a diagnostic, format-aware, so
+                    // `--error-format=json` stays machine-readable end to end.
+                    eprintln!("{}", e.to_diagnostic().render_with(&report.sm, format));
+                    ExitCode::from(EXIT_TRAP)
+                }
+            };
+            if stats {
+                print_stats(&ex);
             }
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
-        },
+            code
+        }
         _ => usage(),
     }
 }

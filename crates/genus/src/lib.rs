@@ -22,8 +22,10 @@
 //! assert_eq!(result.rendered_value, "42");
 //! ```
 
-pub use genus_check::{check_program, hir, CheckedProgram};
-pub use genus_common::{Diagnostics, SourceMap};
+pub use genus_check::{check_program, hir, CheckReport, CheckedProgram};
+pub use genus_common::{
+    codes, json, Diagnostic, Diagnostics, ErrorFormat, Severity, SourceMap, Span,
+};
 pub use genus_interp::{DispatchStats, ErrorKind, Interp, RuntimeError, Value};
 pub use genus_types::{caches_enabled, set_caches_enabled, CacheStats};
 pub use genus_vm::{compile_program, Vm, VmProgram};
@@ -74,8 +76,9 @@ pub struct RunResult {
 /// captured output and statistics are available even when `main` traps.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Execution {
-    /// `main`'s rendered return value, or the runtime error message.
-    pub outcome: Result<String, String>,
+    /// `main`'s rendered return value, or the structured runtime trap
+    /// (stable `R0xxx` code + message + optional span).
+    pub outcome: Result<String, RuntimeError>,
     /// Everything printed before completion (or before the trap).
     pub output: String,
     /// The engine's dispatch-cache counters for this run.
@@ -95,6 +98,7 @@ pub struct Compiler {
     sources: Vec<(String, String)>,
     stdlib: bool,
     engine: Engine,
+    format: ErrorFormat,
 }
 
 impl Compiler {
@@ -121,12 +125,17 @@ impl Compiler {
         self
     }
 
-    /// Type-checks everything and returns the checked program.
-    ///
-    /// # Errors
-    ///
-    /// Returns rendered diagnostics on any parse or type error.
-    pub fn compile(&self) -> Result<CheckedProgram, String> {
+    /// Selects how rendered diagnostics are formatted (default:
+    /// [`ErrorFormat::Short`], the classic one-line mode).
+    pub fn error_format(mut self, format: ErrorFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Type-checks everything and returns the structured [`CheckReport`]:
+    /// every diagnostic (errors and warnings) with its stable code and
+    /// spans, plus the checked program when there were no errors.
+    pub fn check_report(&self) -> CheckReport {
         let mut pairs: Vec<(&str, &str)> = Vec::new();
         if self.stdlib {
             for (name, src) in genus_stdlib::sources() {
@@ -136,7 +145,24 @@ impl Compiler {
         for (name, src) in &self.sources {
             pairs.push((name.as_str(), src.as_str()));
         }
-        genus_check::check_sources(&pairs)
+        genus_check::check_sources_report(&pairs)
+    }
+
+    /// Type-checks everything and returns the checked program.
+    ///
+    /// # Errors
+    ///
+    /// Returns diagnostics rendered in the selected
+    /// [`error_format`](Compiler::error_format) on any parse or type error.
+    pub fn compile(&self) -> Result<CheckedProgram, String> {
+        let mut report = self.check_report();
+        if report.has_errors() {
+            return Err(match self.format {
+                ErrorFormat::Short => report.render_errors_short(),
+                _ => report.render(self.format),
+            });
+        }
+        Ok(report.program.take().expect("no errors implies a program"))
     }
 
     /// Compiles and runs `main()` on the selected engine, returning the
@@ -149,10 +175,17 @@ impl Compiler {
     /// are reported inside [`Execution::outcome`], not here.
     pub fn execute(&self) -> Result<Execution, String> {
         let prog = self.compile()?;
-        Ok(match self.engine {
+        Ok(self.execute_checked(prog))
+    }
+
+    /// Runs an already-checked program on the selected engine. Useful when
+    /// the caller obtained the program via [`Compiler::check_report`] (to
+    /// render warnings first) and wants to reuse it.
+    pub fn execute_checked(&self, prog: CheckedProgram) -> Execution {
+        match self.engine {
             Engine::Ast => execute_ast(prog).0,
             Engine::Vm => execute_vm(&prog),
-        })
+        }
     }
 
     /// Compiles and runs `main()`, returning its value and captured output.
@@ -168,20 +201,29 @@ impl Compiler {
     }
 
     /// Compiles once, runs `main()` on **both** engines, and checks that
-    /// they agree on the outcome (value or error message) and captured
-    /// output.
+    /// they agree. Successful runs must agree on the rendered value and
+    /// captured output; traps must agree on the **structured** error —
+    /// stable `R0xxx` code and span — rather than the exact message
+    /// string, so either engine can reword a message without breaking
+    /// parity.
     ///
     /// # Errors
     ///
-    /// Returns compile diagnostics, the (identical) runtime error, or a
-    /// divergence report prefixed with `engine divergence` if the
-    /// engines disagree — the backstop assertion of the differential
+    /// Returns compile diagnostics, the (structurally identical) runtime
+    /// error, or a divergence report prefixed with `engine divergence` if
+    /// the engines disagree — the backstop assertion of the differential
     /// test suite.
     pub fn run_differential(&self) -> Result<RunResult, String> {
         let prog = self.compile()?;
         let (ast, prog) = execute_ast(prog);
         let vm = execute_vm(&prog);
-        if ast.outcome != vm.outcome || ast.output != vm.output {
+        let outcomes_agree = match (&ast.outcome, &vm.outcome) {
+            (Ok(a), Ok(v)) => a == v,
+            // Structured parity: code + span, not message text.
+            (Err(a), Err(v)) => a.code() == v.code() && a.span == v.span,
+            _ => false,
+        };
+        if !outcomes_agree || ast.output != vm.output {
             return Err(format!(
                 "engine divergence:\n  ast outcome: {:?}\n  vm  outcome: {:?}\n  ast output: {:?}\n  vm  output: {:?}",
                 ast.outcome, vm.outcome, ast.output, vm.output
@@ -203,7 +245,7 @@ fn execute_ast(prog: CheckedProgram) -> (Execution, CheckedProgram) {
         .stack_size(256 << 20)
         .spawn(move || {
             let mut interp = Interp::new(&prog);
-            let outcome = interp.run_main().map(|v| format!("{v}")).map_err(|e| e.to_string());
+            let outcome = interp.run_main().map(|v| format!("{v}"));
             let ex = Execution {
                 outcome,
                 output: interp.take_output(),
@@ -222,7 +264,7 @@ fn execute_ast(prog: CheckedProgram) -> (Execution, CheckedProgram) {
 /// so no dedicated thread is needed.
 fn execute_vm(prog: &CheckedProgram) -> Execution {
     let mut vm = Vm::new(prog);
-    let outcome = vm.run_main().map(|v| format!("{v}")).map_err(|e| e.to_string());
+    let outcome = vm.run_main().map(|v| format!("{v}"));
     Execution {
         outcome,
         output: vm.take_output(),
@@ -232,15 +274,24 @@ fn execute_vm(prog: &CheckedProgram) -> Execution {
 }
 
 /// Collapses an [`Execution`] into [`Compiler::run`]'s result shape,
-/// attaching pre-trap output to the error message.
+/// attaching the stable code and pre-trap output to the error message.
 fn finish(ex: Execution) -> Result<RunResult, String> {
     match ex.outcome {
         Ok(rendered_value) => Ok(RunResult {
             rendered_value,
             output: ex.output,
         }),
-        Err(e) if ex.output.is_empty() => Err(e),
-        Err(e) => Err(format!("{e}\n--- output before the error ---\n{}", ex.output)),
+        Err(e) => {
+            let msg = format!("error[{}]: {e}", e.code());
+            if ex.output.is_empty() {
+                Err(msg)
+            } else {
+                Err(format!(
+                    "{msg}\n--- output before the error ---\n{}",
+                    ex.output
+                ))
+            }
+        }
     }
 }
 
@@ -250,7 +301,10 @@ fn finish(ex: Execution) -> Result<RunResult, String> {
 ///
 /// Propagates compile diagnostics or runtime errors as strings.
 pub fn run_with_stdlib(src: &str) -> Result<RunResult, String> {
-    Compiler::new().with_stdlib().source("main.genus", src).run()
+    Compiler::new()
+        .with_stdlib()
+        .source("main.genus", src)
+        .run()
 }
 
 /// Compiles and runs a single source with only the prelude.

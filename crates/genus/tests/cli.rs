@@ -1,0 +1,159 @@
+//! End-to-end tests for the `genus` CLI binary: tiered exit codes,
+//! `--error-format` selection, warnings on successful runs, and the
+//! machine-readable JSON mode round-tripping through a JSON parser.
+
+use genus::json;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_genus"))
+}
+
+/// Writes `src` under the target tmp dir and returns its path.
+fn source_file(name: &str, src: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    let path = dir.join(name);
+    std::fs::write(&path, src).expect("write source");
+    path
+}
+
+fn run_cli(args: &[&str], file: &PathBuf) -> Output {
+    bin()
+        .args(args)
+        .arg(file)
+        .output()
+        .expect("spawn genus binary")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+#[test]
+fn success_exits_zero() {
+    let f = source_file("ok.genus", "int main() { return 21 * 2; }");
+    let out = run_cli(&["run"], &f);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "=> 42\n");
+}
+
+#[test]
+fn compile_errors_exit_one() {
+    let f = source_file("bad.genus", "int main() { return undefined_var; }");
+    let out = run_cli(&["run"], &f);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_of(&out);
+    // Human format is the CLI default: snippet with carets.
+    assert!(err.contains("error[E0502]"), "{err}");
+    assert!(err.contains("^^^"), "{err}");
+}
+
+#[test]
+fn runtime_traps_exit_three() {
+    let f = source_file(
+        "trap.genus",
+        "int main() { int[] a = new int[2]; return a[5]; }",
+    );
+    let out = run_cli(&["run"], &f);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        stderr_of(&out).contains("error[R0003]"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    let out = bin().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "no arguments is a usage error");
+    let out = bin()
+        .args(["run", "/nonexistent/missing.genus"])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unreadable file is an I/O error"
+    );
+    let f = source_file("ok2.genus", "int main() { return 0; }");
+    let out = run_cli(&["run", "--bogus-flag"], &f);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown option is a usage error"
+    );
+}
+
+#[test]
+fn warnings_print_on_success_and_deny_warnings_fails() {
+    let f = source_file("warn.genus", "int main() { return 1; int x = 2; }");
+    let out = run_cli(&["run", "--error-format=short"], &f);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "warnings alone must not fail the run"
+    );
+    let err = stderr_of(&out);
+    assert!(err.contains("warning[W0001]"), "{err}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "=> 1\n");
+
+    let out = run_cli(&["run", "--deny-warnings"], &f);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--deny-warnings promotes warnings"
+    );
+}
+
+/// `--error-format=json` emits one JSON object per line, and each line
+/// round-trips through a JSON parser with the documented fields intact.
+#[test]
+fn json_diagnostics_round_trip() {
+    let f = source_file("bad_json.genus", "int main() { return undefined_var; }");
+    let out = run_cli(&["run", "--error-format=json"], &f);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_of(&out);
+    let mut saw_e0502 = false;
+    for line in err.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSON `{line}`: {e}"));
+        let code = v
+            .get("code")
+            .and_then(json::Json::as_str)
+            .expect("code field");
+        assert!(code.starts_with('E'), "{code}");
+        assert_eq!(
+            v.get("severity").and_then(json::Json::as_str),
+            Some("error")
+        );
+        assert!(v.get("message").and_then(json::Json::as_str).is_some());
+        let spans = v
+            .get("spans")
+            .and_then(json::Json::as_arr)
+            .expect("spans field");
+        let primary = &spans[0];
+        assert!(primary.get("file").and_then(json::Json::as_str).is_some());
+        assert!(primary.get("line").and_then(json::Json::as_num).is_some());
+        assert!(primary.get("col").and_then(json::Json::as_num).is_some());
+        saw_e0502 |= code == "E0502";
+    }
+    assert!(saw_e0502, "expected E0502 among: {err}");
+}
+
+/// A runtime trap under `--error-format=json` is machine-readable too.
+#[test]
+fn json_trap_round_trip() {
+    let f = source_file("trap_json.genus", "int main() { int z = 0; return 1 / z; }");
+    let out = run_cli(&["run", "--error-format=json"], &f);
+    assert_eq!(out.status.code(), Some(3));
+    let err = stderr_of(&out);
+    let line = err.lines().next().expect("one diagnostic line");
+    let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSON `{line}`: {e}"));
+    assert_eq!(v.get("code").and_then(json::Json::as_str), Some("R0004"));
+    assert_eq!(
+        v.get("severity").and_then(json::Json::as_str),
+        Some("error")
+    );
+}

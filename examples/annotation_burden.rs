@@ -14,13 +14,25 @@ fn main() {
 
     println!("Java-idiom graph library (F-bounded, Figure 1 style):");
     for d in &java.decls {
-        println!("  {:<36} type refs {:>3}  keywords {:>2}  total {:>3}", d.name, d.type_refs, d.keywords, d.total());
+        println!(
+            "  {:<36} type refs {:>3}  keywords {:>2}  total {:>3}",
+            d.name,
+            d.type_refs,
+            d.keywords,
+            d.total()
+        );
     }
     println!("  {:<36} {:>26} {:>3}", "TOTAL", "", java.total());
 
     println!("\nGenus graph library (multiparameter constraints, Figure 3 style):");
     for d in &genus_side.decls {
-        println!("  {:<36} type refs {:>3}  keywords {:>2}  total {:>3}", d.name, d.type_refs, d.keywords, d.total());
+        println!(
+            "  {:<36} type refs {:>3}  keywords {:>2}  total {:>3}",
+            d.name,
+            d.type_refs,
+            d.keywords,
+            d.total()
+        );
     }
     println!("  {:<36} {:>26} {:>3}", "TOTAL", "", genus_side.total());
 

@@ -28,7 +28,10 @@ fn main() {
          }",
     )
     .expect("fast-path program runs");
-    println!("  addAll from same-ordering TreeSet: {} fast-path adds (expect 3)", fast.rendered_value);
+    println!(
+        "  addAll from same-ordering TreeSet: {} fast-path adds (expect 3)",
+        fast.rendered_value
+    );
 
     // 2. Cross-ordering assignment is a *static* error — the situation that
     //    throws ClassCastException at run time in Java.

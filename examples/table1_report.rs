@@ -10,9 +10,14 @@
 use genus_translate::run_table1;
 
 fn main() {
-    let n: usize = std::env::var("TABLE1_N").ok().and_then(|s| s.parse().ok()).unwrap_or(4000);
-    let reps: usize =
-        std::env::var("TABLE1_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let n: usize = std::env::var("TABLE1_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    let reps: usize = std::env::var("TABLE1_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     eprintln!("measuring Table 1 with n = {n}, reps = {reps} ...");
     let table = run_table1(n, reps);
     println!("{}", table.render());

@@ -1,14 +1,62 @@
 //! Integration tests for static diagnostics: the errors the paper's type
 //! system is designed to catch.
+//!
+//! Assertions are **code-based**: each rejected program must report the
+//! expected stable diagnostic code (`E0xxx` / `R0xxx`), not a particular
+//! message wording. Messages may be reworded freely; codes are the contract.
 
 // Every program in this suite runs on BOTH engines (AST interpreter and
 // bytecode VM) with a divergence check — the differential harness.
 use genus_repro::{
     run_differential_simple as run_simple, run_differential_with_stdlib as run_with_stdlib,
+    Compiler, Engine,
 };
 
-fn err_of(src: &str) -> String {
-    run_with_stdlib(src).expect_err("program should be rejected")
+/// Type-checks `src` (with the stdlib iff `stdlib`), asserts it is
+/// rejected, and returns the stable codes of all reported errors.
+fn reject_codes(src: &str, stdlib: bool) -> Vec<&'static str> {
+    let mut c = Compiler::new().source("test.genus", src);
+    if stdlib {
+        c = c.with_stdlib();
+    }
+    let report = c.check_report();
+    assert!(report.has_errors(), "program should be rejected:\n{src}");
+    report.error_codes()
+}
+
+/// Asserts `src` is rejected with `code` among its compile errors — and
+/// that the differential runner agrees the program does not run.
+fn assert_rejected(src: &str, stdlib: bool, code: &str) {
+    let codes = reject_codes(src, stdlib);
+    assert!(codes.contains(&code), "expected {code}, got {codes:?}");
+    let r = if stdlib {
+        run_with_stdlib(src)
+    } else {
+        run_simple(src)
+    };
+    assert!(
+        r.is_err(),
+        "differential runner accepted a rejected program"
+    );
+}
+
+/// Runs `src` to a runtime trap on **both** engines, asserts they agree on
+/// the structured error (stable code + span), and returns the code.
+fn trap_code(src: &str, stdlib: bool) -> &'static str {
+    let compiler = |engine| {
+        let mut c = Compiler::new().engine(engine).source("test.genus", src);
+        if stdlib {
+            c = c.with_stdlib();
+        }
+        c
+    };
+    let ast = compiler(Engine::Ast).execute().expect("compiles").outcome;
+    let vm = compiler(Engine::Vm).execute().expect("compiles").outcome;
+    let ast = ast.expect_err("AST engine should trap");
+    let vm = vm.expect_err("VM engine should trap");
+    assert_eq!(ast.code(), vm.code(), "engines disagree on the trap code");
+    assert_eq!(ast.span, vm.span, "engines disagree on the trap span");
+    ast.code()
 }
 
 // ---------------------------------------------------------------------
@@ -19,7 +67,7 @@ fn err_of(src: &str) -> String {
 fn ambiguous_enabled_models_require_with() {
     // The natural model for Comparable[int] and a use-enabled model are
     // both enabled: rule 2 says the programmer must disambiguate.
-    let e = err_of(
+    assert_rejected(
         "model RevIntCmp for Comparable[int] {
            boolean equals(int that) { return this == that; }
            int compareTo(int that) { return 0 - this.compareTo(that); }
@@ -28,24 +76,26 @@ fn ambiguous_enabled_models_require_with() {
          void main() {
            TreeSet[int] s = new TreeSet[int]();
          }",
+        true,
+        "E0401",
     );
-    assert!(e.contains("ambiguous default model"), "{e}");
 }
 
 #[test]
 fn missing_model_is_an_error() {
-    let e = err_of(
+    assert_rejected(
         "class NoCompare { NoCompare() { } }
          void main() {
            TreeSet[NoCompare] s = new TreeSet[NoCompare]();
          }",
+        true,
+        "E0402",
     );
-    assert!(e.contains("no model found"), "{e}");
 }
 
 #[test]
 fn with_clause_must_witness_the_constraint() {
-    let e = err_of(
+    assert_rejected(
         r#"model CIEq for Eq[String] {
              boolean equals(String str) { return equalsIgnoreCase(str); }
            }
@@ -53,8 +103,9 @@ fn with_clause_must_witness_the_constraint() {
              // CIEq witnesses Eq[String], not Comparable[String].
              TreeSet[String with CIEq] s = new TreeSet[String with CIEq]();
            }"#,
+        true,
+        "E0404",
     );
-    assert!(e.contains("does not witness"), "{e}");
 }
 
 // ---------------------------------------------------------------------
@@ -64,8 +115,7 @@ fn with_clause_must_witness_the_constraint() {
 #[test]
 fn use_dualgraph_is_rejected() {
     // The paper's canonical example: `use DualGraph;` cycles.
-    let e = err_of("use DualGraph;\nvoid main() { }");
-    assert!(e.contains("termination restriction"), "{e}");
+    assert_rejected("use DualGraph;\nvoid main() { }", true, "E0701");
 }
 
 #[test]
@@ -95,7 +145,7 @@ fn use_with_smaller_subgoals_is_accepted() {
 
 #[test]
 fn ambiguous_multimethods_rejected() {
-    let e = err_of(
+    assert_rejected(
         "constraint Comb[T] { T T.comb(T that); }
          model BadComb for Comb[Shape] {
            Shape Shape.comb(Shape s) { return s; }
@@ -103,8 +153,9 @@ fn ambiguous_multimethods_rejected() {
            Shape Shape.comb(Rectangle r) { return r; }
          }
          void main() { }",
+        true,
+        "E0602",
     );
-    assert!(e.contains("ambiguous multimethod"), "{e}");
 }
 
 #[test]
@@ -124,12 +175,13 @@ fn glb_definition_resolves_multimethod_ambiguity() {
 
 #[test]
 fn model_must_cover_constraint_ops() {
-    let e = err_of(
+    assert_rejected(
         "constraint Weird[T] { T T.definitelyNotProvided(T that); }
          model Nope for Weird[Shape] { }
          void main() { }",
+        true,
+        "E0601",
     );
-    assert!(e.contains("does not witness"), "{e}");
 }
 
 // ---------------------------------------------------------------------
@@ -138,99 +190,136 @@ fn model_must_cover_constraint_ops() {
 
 #[test]
 fn prerequisite_cycles_rejected() {
-    let e = run_simple(
+    assert_rejected(
         "constraint A[T] extends B[T] { }
          constraint B[T] extends A[T] { }
          void main() { }",
-    )
-    .unwrap_err();
-    assert!(e.contains("prerequisite cycle"), "{e}");
+        false,
+        "E0215",
+    );
 }
 
 #[test]
 fn duplicate_declarations_rejected() {
-    let e = run_simple("class C { C() { } }\nclass C { C() { } }\nvoid main() { }").unwrap_err();
-    assert!(e.contains("duplicate type"), "{e}");
+    assert_rejected(
+        "class C { C() { } }\nclass C { C() { } }\nvoid main() { }",
+        false,
+        "E0201",
+    );
 }
 
 #[test]
 fn interface_instantiation_rejected() {
-    let e = err_of("void main() { Map[int, int] m = new Map[int, int](); }");
-    assert!(e.contains("cannot instantiate interface"), "{e}");
+    assert_rejected(
+        "void main() { Map[int, int] m = new Map[int, int](); }",
+        true,
+        "E0510",
+    );
 }
 
 #[test]
 fn wrong_type_arg_arity() {
-    let e = err_of("void main() { ArrayList[int, int] l = null; }");
-    assert!(e.contains("wrong number of type arguments"), "{e}");
+    assert_rejected(
+        "void main() { ArrayList[int, int] l = null; }",
+        true,
+        "E0208",
+    );
 }
 
 #[test]
 fn constraint_arity_checked() {
-    let e = run_simple("void f[T]() where Eq[T, T] { }\nvoid main() { }").unwrap_err();
-    assert!(e.contains("expects 1 type argument"), "{e}");
+    assert_rejected(
+        "void f[T]() where Eq[T, T] { }\nvoid main() { }",
+        false,
+        "E0209",
+    );
 }
 
 #[test]
 fn receiver_must_be_constraint_param() {
-    let e = run_simple(
+    assert_rejected(
         "constraint Bad[V, E] { V X.source(); }
          void main() { }",
-    )
-    .unwrap_err();
-    assert!(e.contains("not a parameter"), "{e}");
+        false,
+        "E0214",
+    );
 }
 
 #[test]
 fn overloads_must_differ_in_arity() {
-    let e = run_simple(
+    assert_rejected(
         "class C {
            C() { }
            void m(int x) { }
            void m(String s) { }
          }
          void main() { }",
-    )
-    .unwrap_err();
-    assert!(e.contains("overloads must differ in arity"), "{e}");
+        false,
+        "E0216",
+    );
 }
 
 #[test]
 fn unknown_constraint_in_where() {
-    let e = run_simple("void f[T]() where Sortable[T] { }\nvoid main() { }").unwrap_err();
-    assert!(e.contains("unknown constraint"), "{e}");
+    assert_rejected(
+        "void f[T]() where Sortable[T] { }\nvoid main() { }",
+        false,
+        "E0205",
+    );
 }
 
 #[test]
 fn enrich_unknown_model() {
-    let e = run_simple("enrich Ghost { }\nvoid main() { }").unwrap_err();
-    assert!(e.contains("cannot enrich unknown model"), "{e}");
+    assert_rejected("enrich Ghost { }\nvoid main() { }", false, "E0207");
 }
 
 #[test]
 fn break_outside_loop() {
-    let e = run_simple("void main() { break; }").unwrap_err();
-    assert!(e.contains("outside of a loop"), "{e}");
+    assert_rejected("void main() { break; }", false, "E0507");
 }
 
 #[test]
 fn return_type_checked() {
-    let e = run_simple("int main() { return \"zzz\"; }").unwrap_err();
-    assert!(e.contains("type mismatch"), "{e}");
+    assert_rejected("int main() { return \"zzz\"; }", false, "E0501");
 }
 
 #[test]
 fn instanceof_on_primitive_rejected() {
-    let e = err_of("void main() { int x = 3; boolean b = x instanceof String; }");
-    assert!(e.contains("reference"), "{e}");
+    assert_rejected(
+        "void main() { int x = 3; boolean b = x instanceof String; }",
+        true,
+        "E0513",
+    );
+}
+
+#[test]
+fn unreachable_statement_warns_but_runs() {
+    let c = Compiler::new().source("test.genus", "int main() { return 1; int x = 2; }");
+    let report = c.check_report();
+    assert!(!report.has_errors(), "warnings must not reject the program");
+    let warns: Vec<_> = report.warnings().collect();
+    assert_eq!(warns.len(), 1, "{warns:?}");
+    assert_eq!(warns[0].code, "W0001");
+    let r = run_simple("int main() { return 1; int x = 2; }").unwrap();
+    assert_eq!(r.rendered_value, "1");
 }
 
 // ---------------------------------------------------------------------
-// Runtime errors carry the Java exception taxonomy (§8.1's CCE metric)
+// Runtime errors carry stable R-codes shared by both engines, mapped
+// onto the Java exception taxonomy (§8.1's CCE metric)
 // ---------------------------------------------------------------------
 
 #[test]
-fn runtime_cce_message() {
+fn runtime_cce_code() {
+    let code = trap_code(
+        "void main() {
+           Object o = new Rectangle();
+           Triangle t = (Triangle) o;
+         }",
+        true,
+    );
+    assert_eq!(code, "R0001");
+    // The rendered message keeps the Java exception name.
     let e = run_with_stdlib(
         "void main() {
            Object o = new Rectangle();
@@ -238,31 +327,44 @@ fn runtime_cce_message() {
          }",
     )
     .unwrap_err();
+    assert!(e.contains("error[R0001]"), "{e}");
     assert!(e.contains("ClassCastException"), "{e}");
 }
 
 #[test]
 fn index_out_of_bounds() {
-    let e = run_simple("int main() { int[] a = new int[2]; return a[5]; }").unwrap_err();
-    assert!(e.contains("IndexOutOfBoundsException"), "{e}");
+    assert_eq!(
+        trap_code("int main() { int[] a = new int[2]; return a[5]; }", false),
+        "R0003"
+    );
 }
 
 #[test]
 fn division_by_zero() {
-    let e = run_simple("int main() { int z = 0; return 3 / z; }").unwrap_err();
-    assert!(e.contains("ArithmeticException"), "{e}");
+    assert_eq!(
+        trap_code("int main() { int z = 0; return 3 / z; }", false),
+        "R0004"
+    );
 }
 
 #[test]
 fn null_dereference() {
-    let e = run_with_stdlib("int main() { ArrayList[int] l = null; return l.size(); }")
-        .unwrap_err();
-    assert!(e.contains("NullPointerException"), "{e}");
+    assert_eq!(
+        trap_code(
+            "int main() { ArrayList[int] l = null; return l.size(); }",
+            true
+        ),
+        "R0002"
+    );
 }
 
 #[test]
 fn stack_overflow_guard() {
-    let e = run_simple("int f(int x) { return f(x + 1); }\nint main() { return f(0); }")
-        .unwrap_err();
-    assert!(e.contains("StackOverflowError"), "{e}");
+    assert_eq!(
+        trap_code(
+            "int f(int x) { return f(x + 1); }\nint main() { return f(0); }",
+            false
+        ),
+        "R0007"
+    );
 }

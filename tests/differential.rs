@@ -3,7 +3,7 @@
 //! on BOTH engines (AST interpreter and bytecode VM), asserting identical
 //! rendered values, captured output, and dispatch behaviour.
 
-use genus_repro::{Compiler, Engine};
+use genus_repro::{Compiler, Engine, RuntimeError};
 
 fn sample(name: &str) -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/samples");
@@ -12,7 +12,7 @@ fn sample(name: &str) -> String {
 }
 
 /// Run one sample on a specific engine and return (outcome, output).
-fn run_on(name: &str, engine: Engine) -> (Result<String, String>, String) {
+fn run_on(name: &str, engine: Engine) -> (Result<String, RuntimeError>, String) {
     let ex = Compiler::new()
         .with_stdlib()
         .engine(engine)
@@ -26,7 +26,10 @@ fn run_on(name: &str, engine: Engine) -> (Result<String, String>, String) {
 fn check_sample(name: &str) {
     let (ast_outcome, ast_output) = run_on(name, Engine::Ast);
     let (vm_outcome, vm_output) = run_on(name, Engine::Vm);
-    assert!(ast_outcome.is_ok(), "`{name}` trapped on AST: {ast_outcome:?}");
+    assert!(
+        ast_outcome.is_ok(),
+        "`{name}` trapped on AST: {ast_outcome:?}"
+    );
     assert_eq!(ast_outcome, vm_outcome, "`{name}` outcome diverged");
     assert_eq!(ast_output, vm_output, "`{name}` output diverged");
     // And through the one-shot differential runner, which also compares
@@ -36,7 +39,10 @@ fn check_sample(name: &str) {
         .source(name.to_string(), sample(name))
         .run_differential()
         .unwrap_or_else(|e| panic!("differential run of `{name}` failed: {e}"));
-    assert_eq!(r.output, ast_output, "`{name}` differential output mismatch");
+    assert_eq!(
+        r.output, ast_output,
+        "`{name}` differential output mismatch"
+    );
 }
 
 #[test]

@@ -1,0 +1,87 @@
+//! Keeps `docs/ERRORS.md` and the code registry in lock-step: every
+//! registered code must be documented (heading, matching title, phase
+//! line, and a triggering-program fence), and every documented code must
+//! be registered. Renaming, adding, or removing a code without updating
+//! the index fails here.
+
+use genus_repro::codes::REGISTRY;
+
+fn doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/ERRORS.md");
+    std::fs::read_to_string(path).expect("docs/ERRORS.md must exist")
+}
+
+/// The `## CODE: title` headings in the doc, in order.
+fn doc_headings(doc: &str) -> Vec<(&str, &str)> {
+    doc.lines()
+        .filter_map(|l| l.strip_prefix("## "))
+        .filter_map(|h| h.split_once(": "))
+        .collect()
+}
+
+#[test]
+fn every_registered_code_is_documented() {
+    let doc = doc();
+    let headings = doc_headings(&doc);
+    for info in REGISTRY {
+        let Some((_, title)) = headings.iter().find(|(c, _)| *c == info.code) else {
+            panic!(
+                "code {} is registered but missing from docs/ERRORS.md",
+                info.code
+            );
+        };
+        assert_eq!(
+            *title, info.title,
+            "docs/ERRORS.md title for {} drifted from the registry",
+            info.code
+        );
+    }
+}
+
+#[test]
+fn every_documented_code_is_registered_with_its_phase() {
+    let doc = doc();
+    let headings = doc_headings(&doc);
+    assert_eq!(
+        headings.len(),
+        REGISTRY.len(),
+        "docs/ERRORS.md documents a different number of codes than the registry"
+    );
+    for (code, _) in &headings {
+        let info = genus_repro::codes::lookup(code)
+            .unwrap_or_else(|| panic!("docs/ERRORS.md documents unregistered code {code}"));
+        // The section must state the emitting phase recorded in the registry.
+        let section = section_of(&doc, code);
+        assert!(
+            section.contains(&format!("Phase: `{}`", info.phase)),
+            "section for {code} must contain `Phase: `{}``",
+            info.phase
+        );
+        assert!(
+            section.contains("```genus"),
+            "section for {code} must show a triggering program in a ```genus fence"
+        );
+    }
+}
+
+/// The doc text between a code's heading and the next heading.
+fn section_of<'a>(doc: &'a str, code: &str) -> &'a str {
+    let start = doc.find(&format!("## {code}: ")).expect("heading exists");
+    let rest = &doc[start..];
+    match rest[3..].find("\n## ") {
+        Some(end) => &rest[..end + 3],
+        None => rest,
+    }
+}
+
+#[test]
+fn doc_order_follows_the_registry() {
+    let doc = doc();
+    let headings = doc_headings(&doc);
+    let doc_codes: Vec<&str> = headings.iter().map(|(c, _)| *c).collect();
+    let reg_codes: Vec<&str> = REGISTRY.iter().map(|i| i.code).collect();
+    assert_eq!(
+        doc_codes, reg_codes,
+        "docs/ERRORS.md must list codes in registry order"
+    );
+}

@@ -162,10 +162,9 @@ fn reference_dijkstra(n: usize, edges: &[(usize, usize, f64)]) -> Vec<f64> {
     for _ in 0..n {
         let mut best = None;
         for v in 0..n {
-            if !done[v] && dist[v].is_finite()
-                && best.is_none_or(|b: usize| dist[v] < dist[b]) {
-                    best = Some(v);
-                }
+            if !done[v] && dist[v].is_finite() && best.is_none_or(|b: usize| dist[v] < dist[b]) {
+                best = Some(v);
+            }
         }
         let Some(v) = best else { break };
         done[v] = true;
@@ -473,7 +472,11 @@ fn nested_clone_src(depth: usize, has_clone: bool) -> String {
     for _ in 0..depth {
         ty = format!("ArrayList[{ty}]");
     }
-    let clone_method = if has_clone { "Pt clone() { return new Pt(x); }" } else { "" };
+    let clone_method = if has_clone {
+        "Pt clone() { return new Pt(x); }"
+    } else {
+        ""
+    };
     format!(
         "class Pt {{
            int x;
@@ -500,7 +503,10 @@ fn nested_clone_src(depth: usize, has_clone: bool) -> String {
 /// mutates the original: exercises virtual dispatch, model (multimethod)
 /// dispatch, and recursive resolution in one run.
 fn deep_clone_run_src(values: &[i32]) -> String {
-    let adds: String = values.iter().map(|v| format!("inner.add(new Pt({v})); ")).collect();
+    let adds: String = values
+        .iter()
+        .map(|v| format!("inner.add(new Pt({v})); "))
+        .collect();
     format!(
         "class Pt {{
            int x;

@@ -1,0 +1,97 @@
+//! Golden-file tests for diagnostic rendering: the exact bytes of the
+//! rustc-style snippet renderer (caret underlines, labeled secondary
+//! spans, elided goal chains) and of the short and JSON modes.
+//!
+//! Goldens live in `tests/goldens/`. To refresh after an intentional
+//! rendering change, run with `UPDATE_GOLDENS=1` and review the diff.
+
+use genus_repro::{Compiler, Diagnostic, ErrorFormat, SourceMap, Span};
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/goldens/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden `{path}` ({e}); run with UPDATE_GOLDENS=1"));
+    assert_eq!(
+        actual, expected,
+        "rendered output drifted from golden `{name}`;\n\
+         if the change is intentional, refresh with UPDATE_GOLDENS=1"
+    );
+}
+
+/// The §4.4 ambiguity error: one primary span at the use site plus a
+/// labeled secondary span at each candidate model declaration.
+const AMBIGUOUS: &str = "\
+model RevIntCmp for Comparable[int] {
+  boolean equals(int that) { return this == that; }
+  int compareTo(int that) { return 0 - this.compareTo(that); }
+}
+use RevIntCmp;
+void main() {
+  TreeSet[int] s = new TreeSet[int]();
+}
+";
+
+fn ambiguous_report() -> genus_repro::CheckReport {
+    let report = Compiler::new()
+        .with_stdlib()
+        .source("ambig.genus", AMBIGUOUS)
+        .check_report();
+    assert!(report.has_errors());
+    assert!(
+        report.error_codes().contains(&"E0401"),
+        "{:?}",
+        report.error_codes()
+    );
+    report
+}
+
+#[test]
+fn ambiguous_model_human_snippet() {
+    check_golden(
+        "ambiguous_model.human.txt",
+        &ambiguous_report().render(ErrorFormat::Human),
+    );
+}
+
+#[test]
+fn ambiguous_model_short() {
+    check_golden(
+        "ambiguous_model.short.txt",
+        &ambiguous_report().render(ErrorFormat::Short),
+    );
+}
+
+#[test]
+fn ambiguous_model_json() {
+    let rendered = ambiguous_report().render(ErrorFormat::Json);
+    // Every line must be a well-formed JSON object.
+    for line in rendered.lines() {
+        genus_repro::json::parse(line).unwrap_or_else(|e| panic!("bad JSON `{line}`: {e}"));
+    }
+    check_golden("ambiguous_model.json.txt", &rendered);
+}
+
+/// A long model-resolution goal chain is elided in the middle (4 head
+/// links, an elision marker, 2 tail links) so the snippet stays readable.
+#[test]
+fn goal_chain_elision_human_snippet() {
+    let mut sm = SourceMap::new();
+    let file = sm.add_file("chain.genus", "use Diverge;\nvoid main() { }\n");
+    let span = Span::new(file, 0, 12);
+    let links = (0..10).map(|i| format!("Cloneable[List{i}[int]]"));
+    let d = Diagnostic::error(
+        "E0403",
+        span,
+        "default model resolution for `Cloneable[List0[int]]` exceeded its recursion bound \
+         (64 levels) — a recursive `use` likely diverges",
+    )
+    .with_goal_chain(span, links);
+    check_golden(
+        "goal_chain.human.txt",
+        &d.render_with(&sm, ErrorFormat::Human),
+    );
+}

@@ -32,7 +32,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(sample_size: usize) -> Bencher {
-        Bencher { sample_size, samples: Vec::new() }
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
     }
 
     /// Times `routine` repeatedly; the routine's return value is
@@ -58,7 +61,8 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(routine());
             }
-            self.samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
         }
     }
 
@@ -83,14 +87,17 @@ impl Bencher {
                 }
             }
         };
-        let batch = ((2_000_000.0 / per_iter.max(1.0)).ceil() as u64).max(1).min(10_000);
+        let batch = ((2_000_000.0 / per_iter.max(1.0)).ceil() as u64)
+            .max(1)
+            .min(10_000);
         for _ in 0..self.sample_size {
             let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
             let start = Instant::now();
             for input in inputs {
                 black_box(routine(input));
             }
-            self.samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
         }
     }
 }
@@ -144,7 +151,11 @@ impl Criterion {
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 
     /// Runs a single ungrouped benchmark.
@@ -174,7 +185,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into());
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);

@@ -20,7 +20,9 @@ pub mod test_runner {
 
     impl TestRng {
         pub fn seed_from_u64(seed: u64) -> TestRng {
-            TestRng { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA076_1D64_78BD_642F }
+            TestRng {
+                state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA076_1D64_78BD_642F,
+            }
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -115,7 +117,9 @@ pub mod strategy {
 
     impl<T> Clone for SBox<T> {
         fn clone(&self) -> Self {
-            SBox { gen: Rc::clone(&self.gen) }
+            SBox {
+                gen: Rc::clone(&self.gen),
+            }
         }
     }
 
@@ -323,10 +327,14 @@ pub mod strategy {
             };
             return with_counts(class, r);
         } else if let Some(r) = pat.strip_prefix('[') {
-            let end = r.find(']').unwrap_or_else(|| panic!("unclosed char class in `{pat}`"));
+            let end = r
+                .find(']')
+                .unwrap_or_else(|| panic!("unclosed char class in `{pat}`"));
             (&r[..end], &r[end + 1..])
         } else {
-            panic!("unsupported pattern `{pat}` (shim supports `[class]{{m,n}}` and `\\PC{{m,n}}`)");
+            panic!(
+                "unsupported pattern `{pat}` (shim supports `[class]{{m,n}}` and `\\PC{{m,n}}`)"
+            );
         };
         let mut ranges = Vec::new();
         let chars: Vec<char> = class_src.chars().collect();
@@ -360,7 +368,10 @@ pub mod strategy {
             .and_then(|r| r.strip_suffix('}'))
             .unwrap_or_else(|| panic!("expected `{{m,n}}` counts, got `{rest}`"));
         let (min, max) = match inner.split_once(',') {
-            Some((a, b)) => (a.trim().parse().expect("min"), b.trim().parse().expect("max")),
+            Some((a, b)) => (
+                a.trim().parse().expect("min"),
+                b.trim().parse().expect("max"),
+            ),
             None => {
                 let n = inner.trim().parse().expect("count");
                 (n, n)
