@@ -9,7 +9,10 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --check
-cargo build --release
+# --workspace: the root manifest is both a package and a workspace, and a
+# bare `cargo build` only builds the root package — the CLI sweep below
+# needs the freshly built target/release/genus.
+cargo build --release --workspace
 cargo test -q
 # The differential harness again with every dispatch/type-query cache
 # bypassed: both engines must agree on the slow paths too.
@@ -22,6 +25,17 @@ RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps -q
 # binary with --error-format=human/short/json plus the exit-code tiers.
 cargo test -q --test render_golden --test diagnostics --test errors_doc
 cargo test -q -p genus --test cli
+# Opt-parity gate: the bytecode optimizer must be observationally
+# invisible. The differential suite sweeps --opt-level 0/1/2 internally
+# and the property suite fuzzes O0-vs-O2 (opt_levels_agree); on top, a
+# CLI-level sweep checks the shipped binary end to end.
+cargo test -q --test differential --test properties
+for lvl in 0 1 2; do
+  target/release/genus run --engine=vm --opt-level="$lvl" \
+    samples/existential_registry.genus > "target/opt_parity_$lvl.out"
+done
+cmp target/opt_parity_0.out target/opt_parity_1.out
+cmp target/opt_parity_0.out target/opt_parity_2.out
 # Benchmarks must at least compile; running them is a manual step
 # (`cargo bench -p bench`), which also writes BENCH_vm.json.
 cargo bench --no-run

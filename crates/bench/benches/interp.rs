@@ -206,6 +206,39 @@ const INSERTION_SORT: &str = "
       return s;
     }";
 
+/// Insertion sort through a *user* constraint with an explicitly chosen
+/// model: the inner loop is pure `Op::CallModel` traffic with a statically
+/// known model tuple, which is exactly what the optimizer's heterogeneous
+/// translation (`--opt-level=2`) rewrites into direct calls. Prelude-only,
+/// so the numbers isolate dispatch from stdlib code.
+const SPECIALIZED_DISPATCH: &str = "
+    constraint Ord[T] { boolean T.before(T other); }
+    model IntOrd for Ord[int] {
+      boolean before(int other) { return this < other; }
+    }
+    void ssort[T](T[] xs) where Ord[T] {
+      for (int i = 1; i < xs.length; i = i + 1) {
+        T key = xs[i];
+        int j = i - 1;
+        while (j >= 0 && key.before(xs[j])) {
+          xs[j + 1] = xs[j];
+          j = j - 1;
+        }
+        xs[j + 1] = key;
+      }
+    }
+    int main() {
+      int n = 300;
+      int s = 0;
+      for (int r = 0; r < 5; r = r + 1) {
+        int[] xs = new int[n];
+        for (int i = 0; i < n; i = i + 1) { xs[i] = (i * 7919 + r) % 997; }
+        ssort[int with IntOrd](xs);
+        s = s + xs[0] + xs[n - 1] * 2;
+      }
+      return s;
+    }";
+
 fn run_ast(prog: &CheckedProgram) -> String {
     let mut interp = Interp::new(prog);
     let v = interp.run_main().expect("bench program runs on AST");
@@ -222,7 +255,7 @@ fn run_vm(prog: &CheckedProgram, code: &std::rc::Rc<genus::VmProgram>) -> String
 /// alternation so slow machine-load drift biases neither side. The
 /// minimum is the noise-robust estimator: interference only adds time.
 fn measure_pair(mut a: impl FnMut(), mut b: impl FnMut(), samples: usize) -> (f64, f64) {
-    let mut one = |f: &mut dyn FnMut()| {
+    let one = |f: &mut dyn FnMut()| {
         let start = Instant::now();
         f();
         start.elapsed().as_nanos() as f64
@@ -270,11 +303,41 @@ fn bench_vm(c: &mut Criterion) {
             ast_ns / vm_ns
         ));
     }
+    // The optimizer A/B: the same compiled program at opt-level 0
+    // (homogeneous dictionary passing) vs opt-level 2 (heterogeneous
+    // translation + cleanup), both on the VM.
+    let opt_workloads = [
+        ("specialized_dispatch", compile(SPECIALIZED_DISPATCH, false)),
+        ("model_dispatch", compile(MODEL_DISPATCH, true)),
+    ];
+    let mut opt_rows = Vec::new();
+    for (name, prog) in &opt_workloads {
+        let code0 = std::rc::Rc::new(genus::compile_optimized(prog, 0));
+        let code2 = std::rc::Rc::new(genus::compile_optimized(prog, 2));
+        assert_eq!(
+            run_vm(prog, &code0),
+            run_vm(prog, &code2),
+            "opt-level divergence on `{name}`"
+        );
+        g.bench_function(format!("{name}_vm_o0"), |b| b.iter(|| run_vm(prog, &code0)));
+        g.bench_function(format!("{name}_vm_o2"), |b| b.iter(|| run_vm(prog, &code2)));
+        let (o0_ns, o2_ns) = measure_pair(
+            || std::mem::drop(run_vm(prog, &code0)),
+            || std::mem::drop(run_vm(prog, &code2)),
+            15,
+        );
+        let s = code2.opt_stats;
+        opt_rows.push(format!(
+            "    \"{name}\": {{\"vm_o0_ns\": {o0_ns:.0}, \"vm_o2_ns\": {o2_ns:.0}, \"o2_speedup\": {:.3}, \"funcs_specialized\": {}, \"calls_directed\": {}, \"call_model_devirted\": {}}}",
+            o0_ns / o2_ns, s.funcs_specialized, s.calls_directed, s.call_model_devirted
+        ));
+    }
     g.finish();
     let json = format!(
-        "{{\n  \"bench\": \"ast_vs_vm\",\n  \"caches_enabled\": {},\n  \"min_of\": 15,\n  \"workloads\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"ast_vs_vm\",\n  \"caches_enabled\": {},\n  \"min_of\": 15,\n  \"workloads\": {{\n{}\n  }},\n  \"opt\": {{\n{}\n  }}\n}}\n",
         genus::caches_enabled(),
-        rows.join(",\n")
+        rows.join(",\n"),
+        opt_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_vm.json");
     std::fs::write(path, &json).expect("write BENCH_vm.json");

@@ -402,31 +402,9 @@ pub fn cast_value(
     v: Value,
     ty: &Type,
 ) -> RResult<Value> {
-    // Numeric casts (including narrowing).
-    if let Type::Prim(p) = ty {
-        return match (&v, p) {
-            (Value::Int(x), PrimTy::Int) => Ok(Value::Int(*x)),
-            (Value::Int(x), PrimTy::Long) => Ok(Value::Long(i64::from(*x))),
-            (Value::Int(x), PrimTy::Double) => Ok(Value::Double(f64::from(*x))),
-            (Value::Long(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
-            (Value::Long(x), PrimTy::Long) => Ok(Value::Long(*x)),
-            (Value::Long(x), PrimTy::Double) => Ok(Value::Double(*x as f64)),
-            (Value::Double(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
-            (Value::Double(x), PrimTy::Long) => Ok(Value::Long(*x as i64)),
-            (Value::Double(x), PrimTy::Double) => Ok(Value::Double(*x)),
-            (Value::Char(c), PrimTy::Int) => Ok(Value::Int(*c as i32)),
-            (Value::Int(x), PrimTy::Char) => {
-                Ok(Value::Char(char::from_u32(*x as u32).unwrap_or('\u{FFFD}')))
-            }
-            (Value::Char(c), PrimTy::Char) => Ok(Value::Char(*c)),
-            (Value::Bool(b), PrimTy::Boolean) => Ok(Value::Bool(*b)),
-            _ => Err(RuntimeError::new(
-                ErrorKind::ClassCast,
-                format!("cannot cast {v:?} to {}", p.name()),
-            )),
-        };
-    }
-    if v.is_null() {
+    // Numeric casts (including narrowing) go through the reified matrix
+    // below; everything else lets `null` pass through unchanged first.
+    if !matches!(ty, Type::Prim(_)) && v.is_null() {
         return Ok(Value::Null);
     }
     if let Type::Existential {
@@ -455,7 +433,41 @@ pub fn cast_value(
         };
     }
     let t = eval_type(prog, tenv, menv, ty);
-    if value_instanceof(prog, &v, &t) {
+    cast_value_rt(prog, v, &t)
+}
+
+/// Checked cast against an already-reified (non-existential) target type:
+/// the tail of [`cast_value`], split out so engines that pre-reify their
+/// cast targets (the VM optimizer's `rt_types` table) share the exact
+/// same conversion matrix and failure messages.
+pub fn cast_value_rt(prog: &CheckedProgram, v: Value, t: &RtType) -> RResult<Value> {
+    if let RtType::Prim(p) = t {
+        return match (&v, p) {
+            (Value::Int(x), PrimTy::Int) => Ok(Value::Int(*x)),
+            (Value::Int(x), PrimTy::Long) => Ok(Value::Long(i64::from(*x))),
+            (Value::Int(x), PrimTy::Double) => Ok(Value::Double(f64::from(*x))),
+            (Value::Long(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
+            (Value::Long(x), PrimTy::Long) => Ok(Value::Long(*x)),
+            (Value::Long(x), PrimTy::Double) => Ok(Value::Double(*x as f64)),
+            (Value::Double(x), PrimTy::Int) => Ok(Value::Int(*x as i32)),
+            (Value::Double(x), PrimTy::Long) => Ok(Value::Long(*x as i64)),
+            (Value::Double(x), PrimTy::Double) => Ok(Value::Double(*x)),
+            (Value::Char(c), PrimTy::Int) => Ok(Value::Int(*c as i32)),
+            (Value::Int(x), PrimTy::Char) => {
+                Ok(Value::Char(char::from_u32(*x as u32).unwrap_or('\u{FFFD}')))
+            }
+            (Value::Char(c), PrimTy::Char) => Ok(Value::Char(*c)),
+            (Value::Bool(b), PrimTy::Boolean) => Ok(Value::Bool(*b)),
+            _ => Err(RuntimeError::new(
+                ErrorKind::ClassCast,
+                format!("cannot cast {v:?} to {}", p.name()),
+            )),
+        };
+    }
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    if value_instanceof(prog, &v, t) {
         Ok(match v {
             Value::Packed(p) => p.value.clone(),
             other => other,
@@ -466,7 +478,7 @@ pub fn cast_value(
             format!(
                 "cannot cast value of type `{}` to `{}`",
                 rt_type_name(prog, &value_rt_type(prog, &v)),
-                rt_type_name(prog, &t),
+                rt_type_name(prog, t),
             ),
         ))
     }
@@ -778,8 +790,10 @@ pub enum RecvKind<'a> {
 }
 
 /// Collects `(model id, method index, env)` candidates: the model's own
-/// methods plus those inherited via `extends` (§5.3).
-fn model_candidates(
+/// methods plus those inherited via `extends` (§5.3). Public so the VM
+/// optimizer can enumerate the same candidate set when proving a
+/// `CallModel` site devirtualizable at compile time.
+pub fn model_candidates(
     prog: &CheckedProgram,
     id: ModelId,
     targs: &[RtType],

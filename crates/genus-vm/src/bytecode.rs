@@ -19,9 +19,10 @@
 //!   index the VM's inline-cache vector (the bytecode analogue of the
 //!   interpreter's per-HIR-node cache).
 
+use crate::opt::OptStats;
 use genus_check::hir::{NativeOp, NumKind};
 use genus_common::Symbol;
-use genus_interp::Value;
+use genus_interp::{RtType, Value};
 use genus_syntax::ast::BinOp;
 use genus_types::{ClassId, Model, MvId, PrimTy, TvId, Type};
 use std::collections::HashMap;
@@ -147,6 +148,10 @@ pub enum Op {
     /// Constraint-operation call through a model witness
     /// (`model_specs[spec]`); dispatches as a multimethod (§5.1).
     CallModel { dst: u16, spec: u32 },
+    /// Direct call to a known function through `direct_specs[spec]` —
+    /// the product of the optimizer's heterogeneous translation (§7.3):
+    /// dispatch already resolved, environments already substituted away.
+    CallDirect { dst: u16, spec: u32 },
     /// Object construction through `new_specs[spec]`: allocates, runs the
     /// field-initializer chain, then pushes the constructor frame.
     New { dst: u16, spec: u32 },
@@ -213,6 +218,32 @@ pub struct ModelSpec {
     pub recv: Option<u16>,
     /// Receiver *type* for static operations (`T.zero()`).
     pub static_recv: Option<Type>,
+    /// Argument registers.
+    pub args: Vec<u16>,
+    /// Static (checked) type of the receiver expression, when present.
+    /// Recorded for the optimizer: a closed receiver type lets the
+    /// specializer prove a multimethod candidate applicable at compile
+    /// time. Never consulted by the VM's dynamic dispatch.
+    pub recv_ty: Option<Type>,
+    /// Static (checked) types of the argument expressions, parallel to
+    /// `args`. Optimizer-only, like `recv_ty`.
+    pub arg_tys: Vec<Type>,
+}
+
+/// Payload of a [`Op::CallDirect`]: the devirtualized call produced by the
+/// specializer. The callee is a concrete [`VmFunc`] whose body already has
+/// every type/model variable substituted, so the frame runs with *empty*
+/// environments and no dispatch of any kind.
+#[derive(Debug, Clone)]
+pub struct DirectSpec {
+    /// Resolved callee.
+    pub func: FuncId,
+    /// Receiver register for instance targets.
+    pub recv: Option<u16>,
+    /// Whether the receiver must be null-checked before the call. The
+    /// dynamic dispatch this spec replaces would have routed a null
+    /// receiver to the "call on null" trap; the direct call must too.
+    pub null_check: bool,
     /// Argument registers.
     pub args: Vec<u16>,
 }
@@ -307,6 +338,8 @@ pub struct VmProgram {
     pub global_specs: Vec<GlobalSpec>,
     /// `CallModel` payloads.
     pub model_specs: Vec<ModelSpec>,
+    /// `CallDirect` payloads (optimizer output; empty at `--opt-level=0`).
+    pub direct_specs: Vec<DirectSpec>,
     /// `New` payloads.
     pub new_specs: Vec<NewSpec>,
     /// `PrimCall` payloads.
@@ -332,6 +365,13 @@ pub struct VmProgram {
     pub static_inits: Vec<(ClassId, usize, FuncId)>,
     /// Number of inline-cacheable virtual call sites.
     pub num_sites: usize,
+    /// Pre-reified images of `types` entries that are closed and
+    /// existential-free, parallel to `types` (optimizer output; empty at
+    /// `--opt-level=0`, in which case the VM evaluates the open term
+    /// against the frame's environment as usual).
+    pub rt_types: Vec<Option<RtType>>,
+    /// Counters from the optimization pipeline that produced this program.
+    pub opt_stats: OptStats,
 }
 
 impl VmProgram {

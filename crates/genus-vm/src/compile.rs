@@ -528,6 +528,8 @@ impl<'b> FnCompiler<'b> {
                     recv: r,
                     static_recv: static_recv.clone(),
                     args: regs,
+                    recv_ty: recv.as_ref().map(|r| r.ty.clone()),
+                    arg_tys: args.iter().map(|a| a.ty.clone()).collect(),
                 });
                 self.emit(Op::CallModel { dst, spec });
             }

@@ -23,10 +23,21 @@
 //! `genus_types::set_caches_enabled` or at build time with the
 //! `no-cache` feature.
 
+//!
+//! On top of the homogeneous baseline, the [`opt`] module implements the
+//! paper's §7.3 *heterogeneous* translation as an optimization pipeline:
+//! call sites with statically known type/model tuples get specialized
+//! clones with dispatch resolved to direct calls, followed by classic
+//! intra-function cleanup (constant folding, branch folding, dead-code
+//! elimination). [`compile_optimized`] runs compilation plus the
+//! pipeline at a chosen `--opt-level`.
+
 pub mod bytecode;
 pub mod compile;
+pub mod opt;
 pub mod vm;
 
 pub use bytecode::{FuncId, Op, VmFunc, VmProgram};
 pub use compile::compile_program;
+pub use opt::{compile_optimized, optimize, OptStats};
 pub use vm::Vm;

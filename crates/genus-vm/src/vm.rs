@@ -457,12 +457,7 @@ impl<'p> Vm<'p> {
                     frame.regs[dst as usize] = widen_value(v, to);
                 }
                 Op::NewArray { dst, len, elem } => {
-                    let et = rtti::eval_type(
-                        self.prog,
-                        &frame.tenv,
-                        &frame.menv,
-                        &code.types[elem as usize],
-                    );
+                    let et = self.reify(&code, &frame.tenv, &frame.menv, elem);
                     let Value::Int(n) = frame.regs[len as usize] else {
                         return Err(RuntimeError::new(
                             ErrorKind::Other,
@@ -504,33 +499,39 @@ impl<'p> Vm<'p> {
                 }
                 Op::InstanceOf { dst, src, ty } => {
                     let v = frame.regs[src as usize].clone();
-                    let b = rtti::instanceof_type(
-                        self.prog,
-                        &frame.tenv,
-                        &frame.menv,
-                        &v,
-                        &code.types[ty as usize],
-                    );
+                    // `rt_types` only caches non-existential entries, whose
+                    // `instanceof_type` is exactly `value_instanceof` of the
+                    // evaluated term.
+                    let b = match code.rt_types.get(ty as usize).and_then(Option::as_ref) {
+                        Some(rt) => rtti::value_instanceof(self.prog, &v, rt),
+                        None => rtti::instanceof_type(
+                            self.prog,
+                            &frame.tenv,
+                            &frame.menv,
+                            &v,
+                            &code.types[ty as usize],
+                        ),
+                    };
                     frame.regs[dst as usize] = Value::Bool(b);
                 }
                 Op::Cast { dst, src, ty } => {
                     let v = frame.regs[src as usize].clone();
-                    frame.regs[dst as usize] = rtti::cast_value(
-                        self.prog,
-                        &frame.tenv,
-                        &frame.menv,
-                        v,
-                        &code.types[ty as usize],
-                    )?;
+                    frame.regs[dst as usize] =
+                        match code.rt_types.get(ty as usize).and_then(Option::as_ref) {
+                            Some(rt) => rtti::cast_value_rt(self.prog, v, rt)?,
+                            None => rtti::cast_value(
+                                self.prog,
+                                &frame.tenv,
+                                &frame.menv,
+                                v,
+                                &code.types[ty as usize],
+                            )?,
+                        };
                 }
                 Op::DefaultValue { dst, ty } => {
-                    frame.regs[dst as usize] = rtti::eval_type(
-                        self.prog,
-                        &frame.tenv,
-                        &frame.menv,
-                        &code.types[ty as usize],
-                    )
-                    .default_value();
+                    frame.regs[dst as usize] = self
+                        .reify(&code, &frame.tenv, &frame.menv, ty)
+                        .default_value();
                 }
                 Op::Pack { dst, src, spec } => {
                     let s = &code.pack_specs[spec as usize];
@@ -691,6 +692,29 @@ impl<'p> Vm<'p> {
                     let action = self.prepare_model(&mv, s.name, r, srt, args)?;
                     self.apply(&mut stack, dst, action)?;
                 }
+                Op::CallDirect { dst, spec } => {
+                    let s = &code.direct_specs[spec as usize];
+                    let recv = match s.recv {
+                        Some(r) => {
+                            let v = frame.regs[r as usize].clone();
+                            if s.null_check && v.is_null() {
+                                return Err(RuntimeError::new(
+                                    ErrorKind::NullPointer,
+                                    "call on null",
+                                ));
+                            }
+                            Some(unpack(v))
+                        }
+                        None => None,
+                    };
+                    let args: Vec<Value> = s
+                        .args
+                        .iter()
+                        .map(|&a| frame.regs[a as usize].clone())
+                        .collect();
+                    let f = self.frame(s.func, recv, args, true);
+                    self.apply(&mut stack, dst, Action::Frame(f))?;
+                }
                 Op::New { dst, spec } => {
                     let s = &code.new_specs[spec as usize];
                     let rt: Vec<RtType> = s
@@ -750,6 +774,16 @@ impl<'p> Vm<'p> {
                     stack.last_mut().expect("frame").regs[dst as usize] = v;
                 }
             }
+        }
+    }
+
+    /// Reifies `types[ty]`, taking the optimizer's pre-evaluated image
+    /// when one exists (closed terms evaluate the same under any
+    /// environment).
+    fn reify(&self, code: &VmProgram, tenv: &TEnv, menv: &MEnv, ty: u32) -> RtType {
+        match code.rt_types.get(ty as usize).and_then(Option::as_ref) {
+            Some(rt) => rt.clone(),
+            None => rtti::eval_type(self.prog, tenv, menv, &code.types[ty as usize]),
         }
     }
 

@@ -35,13 +35,19 @@ fn usage() -> ! {
          \x20 --no-stdlib        compile with only the built-in prelude\n\
          \x20 --engine=<ast|vm>  execution engine: the tree-walking\n\
          \x20                    interpreter (default) or the bytecode VM\n\
+         \x20 --opt-level=<0|1|2>\n\
+         \x20                    VM bytecode optimization: 0 none, 1 cleanup\n\
+         \x20                    passes, 2 (default) adds specialization\n\
+         \x20                    (heterogeneous translation); same observable\n\
+         \x20                    behaviour at every level\n\
          \x20 --error-format=<human|short|json>\n\
          \x20                    diagnostic rendering: full snippets with\n\
          \x20                    carets (default), one line per diagnostic,\n\
          \x20                    or one JSON object per diagnostic\n\
          \x20 --deny-warnings    treat warnings as errors (exit 1)\n\
-         \x20 --stats            after running, print dispatch-cache and\n\
-         \x20                    type-query-cache statistics to stderr\n\
+         \x20 --stats            after running, print dispatch-cache,\n\
+         \x20                    type-query-cache, and (VM) bytecode-\n\
+         \x20                    optimizer statistics to stderr\n\
          \n\
          exit codes: 0 success, 1 compile errors, 2 usage/IO, 3 runtime trap"
     );
@@ -82,6 +88,19 @@ fn print_stats(ex: &genus::Execution) {
         c.resolve_hits, c.resolve_misses
     );
     eprintln!("total:    {} hits / {} misses", c.hits(), c.misses());
+    if let Some(o) = &ex.opt_stats {
+        eprintln!("--- bytecode optimizer stats (opt-level {}) ---", o.level);
+        eprintln!("functions specialized:   {}", o.funcs_specialized);
+        eprintln!("calls made direct:       {}", o.calls_directed);
+        eprintln!("model calls devirted:    {}", o.call_model_devirted);
+        eprintln!("budget fallbacks:        {}", o.budget_fallbacks);
+        eprintln!("dynamic fallbacks:       {}", o.dynamic_fallbacks);
+        eprintln!("constants folded:        {}", o.consts_folded);
+        eprintln!("branches folded:         {}", o.branches_folded);
+        eprintln!("moves coalesced:         {}", o.moves_coalesced);
+        eprintln!("instructions eliminated: {}", o.ops_eliminated);
+        eprintln!("types pre-reified:       {}", o.types_reified);
+    }
 }
 
 /// Prints the report's warnings to stderr in the chosen format.
@@ -107,6 +126,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut deny_warnings = false;
     let mut engine = Engine::Ast;
+    let mut opt_level: u8 = 2;
     let mut format = ErrorFormat::Human;
     let mut files: Vec<String> = Vec::new();
     for a in args {
@@ -122,6 +142,14 @@ fn main() -> ExitCode {
                 return ExitCode::from(EXIT_USAGE);
             };
             engine = e;
+        } else if let Some(level) = a.strip_prefix("--opt-level=") {
+            match level.parse::<u8>() {
+                Ok(l) if l <= 2 => opt_level = l,
+                _ => {
+                    eprintln!("error: unknown opt level `{level}` (expected 0, 1, or 2)");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            }
         } else if let Some(name) = a.strip_prefix("--error-format=") {
             let Some(f) = ErrorFormat::from_name(name) else {
                 eprintln!(
@@ -142,7 +170,10 @@ fn main() -> ExitCode {
     if files.is_empty() {
         usage();
     }
-    let mut compiler = genus::Compiler::new().engine(engine).error_format(format);
+    let mut compiler = genus::Compiler::new()
+        .engine(engine)
+        .opt_level(opt_level)
+        .error_format(format);
     if stdlib {
         compiler = compiler.with_stdlib();
     }

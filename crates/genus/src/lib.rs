@@ -28,7 +28,7 @@ pub use genus_common::{
 };
 pub use genus_interp::{DispatchStats, ErrorKind, Interp, RuntimeError, Value};
 pub use genus_types::{caches_enabled, set_caches_enabled, CacheStats};
-pub use genus_vm::{compile_program, Vm, VmProgram};
+pub use genus_vm::{compile_optimized, compile_program, OptStats, Vm, VmProgram};
 
 /// Which execution engine runs the program.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,6 +86,9 @@ pub struct Execution {
     /// The type-level query-cache counters (subtype/prereq/conforms/
     /// resolve), accumulated over checking and execution.
     pub cache_stats: CacheStats,
+    /// Bytecode-optimizer counters (specialization, folding, …). `None`
+    /// on the AST engine, which has no bytecode to optimize.
+    pub opt_stats: Option<OptStats>,
 }
 
 /// A builder-style compiler front end.
@@ -93,12 +96,25 @@ pub struct Execution {
 /// Sources are checked together with the built-in prelude and (optionally)
 /// the standard library ported from the Java Collections Framework and the
 /// FindBugs-style graph library (§8.1, §8.2 of the paper).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Compiler {
     sources: Vec<(String, String)>,
     stdlib: bool,
     engine: Engine,
     format: ErrorFormat,
+    opt_level: u8,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler {
+            sources: Vec::new(),
+            stdlib: false,
+            engine: Engine::default(),
+            format: ErrorFormat::default(),
+            opt_level: 2,
+        }
+    }
 }
 
 impl Compiler {
@@ -122,6 +138,16 @@ impl Compiler {
     /// Selects the execution engine (default: [`Engine::Ast`]).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the VM's bytecode optimization level (default: 2).
+    /// `0` disables the optimizer, `1` runs cleanup and type reification,
+    /// `2` adds heterogeneous-translation specialization. Ignored by the
+    /// AST engine. Observable behaviour is identical at every level —
+    /// only speed and the [`Execution::opt_stats`] counters differ.
+    pub fn opt_level(mut self, level: u8) -> Self {
+        self.opt_level = level.min(2);
         self
     }
 
@@ -184,7 +210,7 @@ impl Compiler {
     pub fn execute_checked(&self, prog: CheckedProgram) -> Execution {
         match self.engine {
             Engine::Ast => execute_ast(prog).0,
-            Engine::Vm => execute_vm(&prog),
+            Engine::Vm => execute_vm(&prog, self.opt_level),
         }
     }
 
@@ -216,7 +242,7 @@ impl Compiler {
     pub fn run_differential(&self) -> Result<RunResult, String> {
         let prog = self.compile()?;
         let (ast, prog) = execute_ast(prog);
-        let vm = execute_vm(&prog);
+        let vm = execute_vm(&prog, self.opt_level);
         let outcomes_agree = match (&ast.outcome, &vm.outcome) {
             (Ok(a), Ok(v)) => a == v,
             // Structured parity: code + span, not message text.
@@ -251,6 +277,7 @@ fn execute_ast(prog: CheckedProgram) -> (Execution, CheckedProgram) {
                 output: interp.take_output(),
                 dispatch_stats: interp.dispatch_stats(),
                 cache_stats: prog.table.cache.stats(),
+                opt_stats: None,
             };
             drop(interp);
             (ex, prog)
@@ -260,16 +287,19 @@ fn execute_ast(prog: CheckedProgram) -> (Execution, CheckedProgram) {
         .expect("interpreter thread panicked")
 }
 
-/// Runs on the bytecode VM. Its dispatch loop keeps the host stack flat,
-/// so no dedicated thread is needed.
-fn execute_vm(prog: &CheckedProgram) -> Execution {
-    let mut vm = Vm::new(prog);
+/// Runs on the bytecode VM (compiled at `opt_level`). Its dispatch loop
+/// keeps the host stack flat, so no dedicated thread is needed.
+fn execute_vm(prog: &CheckedProgram, opt_level: u8) -> Execution {
+    let code = std::rc::Rc::new(compile_optimized(prog, opt_level));
+    let opt_stats = Some(code.opt_stats);
+    let mut vm = Vm::with_code(prog, code);
     let outcome = vm.run_main().map(|v| format!("{v}"));
     Execution {
         outcome,
         output: vm.take_output(),
         dispatch_stats: vm.dispatch_stats(),
         cache_stats: prog.table.cache.stats(),
+        opt_stats,
     }
 }
 

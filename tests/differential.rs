@@ -1,9 +1,15 @@
 //! Differential harness over the shipped sample programs: every file in
 //! `samples/` is compiled once through the public `Compiler` API and executed
 //! on BOTH engines (AST interpreter and bytecode VM), asserting identical
-//! rendered values, captured output, and dispatch behaviour.
+//! rendered values, captured output, and dispatch behaviour. The VM runs at
+//! **every** optimization level (0, 1, 2), so the heterogeneous-translation
+//! specializer and cleanup passes are held to the same parity bar as the
+//! baseline compiler.
 
 use genus_repro::{Compiler, Engine, RuntimeError};
+
+/// Every VM optimization level the harness sweeps.
+const OPT_LEVELS: [u8; 3] = [0, 1, 2];
 
 fn sample(name: &str) -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/samples");
@@ -12,42 +18,55 @@ fn sample(name: &str) -> String {
 }
 
 /// Run one sample on a specific engine and return (outcome, output).
-fn run_on(name: &str, engine: Engine) -> (Result<String, RuntimeError>, String) {
+fn run_on(name: &str, engine: Engine, opt_level: u8) -> (Result<String, RuntimeError>, String) {
     let ex = Compiler::new()
         .with_stdlib()
         .engine(engine)
+        .opt_level(opt_level)
         .source(name.to_string(), sample(name))
         .execute()
         .unwrap_or_else(|e| panic!("sample `{name}` failed to compile: {e}"));
     (ex.outcome, ex.output)
 }
 
-/// Every sample must succeed and agree byte-for-byte across engines.
+/// Every sample must succeed and agree byte-for-byte across engines, with
+/// the VM checked at every opt level.
 fn check_sample(name: &str) {
-    let (ast_outcome, ast_output) = run_on(name, Engine::Ast);
-    let (vm_outcome, vm_output) = run_on(name, Engine::Vm);
+    let (ast_outcome, ast_output) = run_on(name, Engine::Ast, 0);
     assert!(
         ast_outcome.is_ok(),
         "`{name}` trapped on AST: {ast_outcome:?}"
     );
-    assert_eq!(ast_outcome, vm_outcome, "`{name}` outcome diverged");
-    assert_eq!(ast_output, vm_output, "`{name}` output diverged");
-    // And through the one-shot differential runner, which also compares
-    // engine results internally and reports any divergence in its error.
-    let r = Compiler::new()
-        .with_stdlib()
-        .source(name.to_string(), sample(name))
-        .run_differential()
-        .unwrap_or_else(|e| panic!("differential run of `{name}` failed: {e}"));
-    assert_eq!(
-        r.output, ast_output,
-        "`{name}` differential output mismatch"
-    );
+    for level in OPT_LEVELS {
+        let (vm_outcome, vm_output) = run_on(name, Engine::Vm, level);
+        assert_eq!(
+            ast_outcome, vm_outcome,
+            "`{name}` outcome diverged at opt-level {level}"
+        );
+        assert_eq!(
+            ast_output, vm_output,
+            "`{name}` output diverged at opt-level {level}"
+        );
+        // And through the one-shot differential runner, which also compares
+        // engine results internally and reports any divergence in its error.
+        let r = Compiler::new()
+            .with_stdlib()
+            .opt_level(level)
+            .source(name.to_string(), sample(name))
+            .run_differential()
+            .unwrap_or_else(|e| {
+                panic!("differential run of `{name}` at opt-level {level} failed: {e}")
+            });
+        assert_eq!(
+            r.output, ast_output,
+            "`{name}` differential output mismatch at opt-level {level}"
+        );
+    }
 }
 
 #[test]
 fn sample_hello() {
-    let (outcome, output) = run_on("hello.genus", Engine::Vm);
+    let (outcome, output) = run_on("hello.genus", Engine::Vm, 2);
     assert_eq!(outcome.as_deref(), Ok("void"));
     assert_eq!(output, "hello from Genus\n");
     check_sample("hello.genus");
@@ -63,6 +82,50 @@ fn sample_word_count() {
     check_sample("word_count.genus");
 }
 
+#[test]
+fn sample_existential_registry() {
+    check_sample("existential_registry.genus");
+}
+
+/// Runtime traps on the existential paths must carry the same stable code
+/// and span under both engines and at every opt level: opening a null
+/// package is the regression case (the optimizer must not perturb
+/// `Op::Open`'s error identity).
+#[test]
+fn open_null_trap_parity_across_levels() {
+    let src = r#"[some T where Comparable[T]] T pick(boolean ok) {
+           if (ok) { return 42; }
+           return null;
+         }
+         int main() {
+           [U] (U x) where Comparable[U] = pick(false);
+           return x.compareTo(x);
+         }"#;
+    let ast = Compiler::new()
+        .source("open_null.genus", src)
+        .execute()
+        .expect("compiles");
+    let ast_err = ast.outcome.expect_err("AST should trap on null open");
+    for level in OPT_LEVELS {
+        let vm = Compiler::new()
+            .engine(Engine::Vm)
+            .opt_level(level)
+            .source("open_null.genus", src)
+            .execute()
+            .expect("compiles");
+        let vm_err = vm.outcome.expect_err("VM should trap on null open");
+        assert_eq!(
+            ast_err.code(),
+            vm_err.code(),
+            "codes diverge at opt-level {level}"
+        );
+        assert_eq!(
+            ast_err.span, vm_err.span,
+            "spans diverge at opt-level {level}"
+        );
+    }
+}
+
 /// No sample file is left out of the harness: if someone adds a new sample,
 /// this test forces them to add a differential case for it above.
 #[test]
@@ -76,7 +139,12 @@ fn all_samples_are_covered() {
     found.sort();
     assert_eq!(
         found,
-        ["hello.genus", "scheduler.genus", "word_count.genus"],
+        [
+            "existential_registry.genus",
+            "hello.genus",
+            "scheduler.genus",
+            "word_count.genus"
+        ],
         "new sample added: cover it in tests/differential.rs"
     );
 }

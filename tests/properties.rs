@@ -421,6 +421,99 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// The bytecode optimizer is semantically invisible: opt levels 0 and 2
+// produce identical outputs and identical structured diagnostics
+// ---------------------------------------------------------------------
+
+/// A generic insertion sort driven through a user model (so level 2
+/// exercises specialization and `CallModel` devirtualization), with an
+/// optional injected out-of-bounds trap after partial output.
+fn optimizer_probe_src(values: &[i32], trap: bool) -> String {
+    let sets: String = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| format!("xs[{i}] = {v}; "))
+        .collect();
+    let tail = if trap {
+        "int boom = xs[xs.length + 1]; print(boom);"
+    } else {
+        ""
+    };
+    format!(
+        "constraint Ord[T] {{ boolean T.before(T other); }}
+         model IntOrd for Ord[int] {{
+           boolean before(int other) {{ return this < other; }}
+         }}
+         void sort[T](T[] xs) where Ord[T] {{
+           for (int i = 1; i < xs.length; i = i + 1) {{
+             T key = xs[i];
+             int j = i - 1;
+             while (j >= 0 && key.before(xs[j])) {{
+               xs[j + 1] = xs[j];
+               j = j - 1;
+             }}
+             xs[j + 1] = key;
+           }}
+         }}
+         void main() {{
+           int[] xs = new int[{n}];
+           {sets}
+           sort[int with IntOrd](xs);
+           for (int x : xs) {{ print(x); print(\" \"); }}
+           {tail}
+         }}",
+        n = values.len(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn opt_levels_agree(values in prop::collection::vec(-1000i32..1000, 1..20), trap in any::<bool>()) {
+        let src = optimizer_probe_src(&values, trap);
+        let run_at = |level: u8| {
+            genus::Compiler::new()
+                .engine(genus::Engine::Vm)
+                .opt_level(level)
+                .source("probe.genus", src.clone())
+                .execute()
+                .map_err(TestCaseError::fail)
+        };
+        let o0 = run_at(0)?;
+        let o2 = run_at(2)?;
+        // Byte-identical output, identical outcome — including the
+        // structured identity (stable code + span) of any trap.
+        prop_assert_eq!(&o0.output, &o2.output);
+        match (&o0.outcome, &o2.outcome) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(a.code(), b.code());
+                prop_assert_eq!(a.span, b.span);
+            }
+            (a, b) => prop_assert!(false, "outcome kind diverged: {:?} vs {:?}", a, b),
+        }
+        prop_assert_eq!(o0.outcome.is_err(), trap);
+        if !trap {
+            let mut expect = values.clone();
+            expect.sort_unstable();
+            let got: Vec<i32> = o2
+                .output
+                .split_whitespace()
+                .map(|t| t.parse().expect("int output"))
+                .collect();
+            prop_assert_eq!(got, expect);
+        }
+        // The probe is generic + model-driven, so level 2 must actually
+        // have specialized something (the test would otherwise pass
+        // vacuously with the optimizer disabled).
+        let stats = o2.opt_stats.expect("VM runs carry opt stats");
+        prop_assert!(stats.funcs_specialized >= 1, "specializer never fired: {:?}", stats);
+        prop_assert_eq!(o0.opt_stats.expect("stats at level 0").funcs_specialized, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Caching is semantically invisible: cached and uncached pipelines agree
 // ---------------------------------------------------------------------
 
