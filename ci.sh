@@ -36,6 +36,21 @@ for lvl in 0 1 2; do
 done
 cmp target/opt_parity_0.out target/opt_parity_1.out
 cmp target/opt_parity_0.out target/opt_parity_2.out
+# The execution service: unit + integration suite (program-cache
+# coherence, worker pool, resource traps, session ordering, TCP), then an
+# end-to-end gate piping a 3-request JSON-lines batch — one OK, one
+# fuel-exhausting, one compile error — through the shipped binary and
+# checking each response line's outcome.
+cargo test -q -p genus-serve
+printf '%s\n' \
+  '{"id": "ok", "source": "int main() { println(\"hi\"); return 7; }"}' \
+  '{"id": "spin", "source": "int main() { while (true) {} return 0; }", "fuel": 50000}' \
+  '{"id": "bad", "source": "int main() { return nope; }"}' \
+  | target/release/genus serve --workers=4 > target/serve_e2e.out
+test "$(wc -l < target/serve_e2e.out)" -eq 3
+grep -q '"id":"ok".*"outcome":"ok".*"value":"7"' target/serve_e2e.out
+grep -q '"id":"spin".*"outcome":"trap".*"code":"R0009"' target/serve_e2e.out
+grep -q '"id":"bad".*"outcome":"error"' target/serve_e2e.out
 # Benchmarks must at least compile; running them is a manual step
 # (`cargo bench -p bench`), which also writes BENCH_vm.json.
 cargo bench --no-run

@@ -98,6 +98,8 @@ registry! {
     "R0006", "runtime", "missing return value";
     "R0007", "runtime", "stack overflow";
     "R0008", "runtime", "runtime error";
+    "R0009", "runtime", "fuel exhausted";
+    "R0010", "runtime", "memory limit exceeded";
     // --- warnings ---
     "W0001", "typecheck", "unreachable statement";
 }

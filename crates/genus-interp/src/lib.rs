@@ -22,11 +22,13 @@
 //! assert_eq!(interp.take_output(), "hi\n");
 //! ```
 
+pub mod meter;
 pub mod natives;
 pub mod ops;
 pub mod rtti;
 pub mod value;
 
+pub use meter::{Limits, Meter, ResourceStats};
 pub use value::{
     ArrayData, ClassMethodIndex, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError,
     Storage, Value,
@@ -123,6 +125,9 @@ pub struct Interp<'p> {
     depth: std::cell::Cell<usize>,
     /// Maximum Genus call depth before a `StackOverflowError`.
     pub max_depth: usize,
+    /// Per-run resource meter (fuel / memory / deadline). Unlimited by
+    /// default; replace via [`Interp::set_limits`] before running.
+    pub meter: Meter,
 }
 
 impl<'p> Interp<'p> {
@@ -139,7 +144,19 @@ impl<'p> Interp<'p> {
             // builds; run deep programs on a large-stack thread (the
             // `genus` facade does this automatically).
             max_depth: 1000,
+            meter: Meter::unlimited(),
         }
+    }
+
+    /// Installs resource limits for this interpreter's next run, resetting
+    /// the meter (fuel/memory counters start from zero, deadline from now).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.meter = Meter::with_limits(limits);
+    }
+
+    /// Resources consumed so far (fuel steps and heap units).
+    pub fn resource_stats(&self) -> ResourceStats {
+        self.meter.stats()
     }
 
     /// Runs static initializers then `main()`.
@@ -271,6 +288,7 @@ impl<'p> Interp<'p> {
     }
 
     fn exec_stmt(&self, frame: &mut Frame, s: &hir::Stmt) -> RResult<Flow> {
+        self.meter.step()?;
         match s {
             hir::Stmt::Expr(e) => {
                 self.eval(frame, e)?;
@@ -419,6 +437,7 @@ impl<'p> Interp<'p> {
     #[allow(clippy::too_many_lines)]
     fn eval(&self, frame: &mut Frame, e: &hir::Expr) -> RResult<Value> {
         use hir::ExprKind as K;
+        self.meter.step()?;
         match &e.kind {
             K::Int(v) => Ok(Value::Int(*v as i32)),
             K::Long(v) => Ok(Value::Long(*v)),
@@ -583,6 +602,7 @@ impl<'p> Interp<'p> {
                         format!("negative array length {n}"),
                     ));
                 }
+                self.meter.charge(n as u64 + 1)?;
                 Ok(Value::Arr(Rc::new(ArrayData {
                     storage: RefCell::new(Storage::new(&et, n as usize)),
                     elem: et,
@@ -651,6 +671,7 @@ impl<'p> Interp<'p> {
                 let v = self.eval(frame, expr)?;
                 let ts = types.iter().map(|t| self.eval_type(frame, t)).collect();
                 let ms = models.iter().map(|m| self.eval_model(frame, m)).collect();
+                self.meter.charge(meter::PACK_COST)?;
                 Ok(Value::Packed(Rc::new(PackedData {
                     value: v,
                     types: ts,
@@ -750,6 +771,7 @@ impl<'p> Interp<'p> {
                 let r = self.eval(frame, rhs)?;
                 let mut s = self.stringify(&l)?;
                 s.push_str(&self.stringify(&r)?);
+                self.meter.charge(s.len() as u64)?;
                 Ok(Value::Str(Rc::from(s.as_str())))
             }
             BinKind::EqRef(op) | BinKind::EqPrim(op) => {
@@ -999,6 +1021,7 @@ impl<'p> Interp<'p> {
         ctor: usize,
         args: Vec<Value>,
     ) -> RResult<Value> {
+        self.meter.charge(meter::OBJECT_COST)?;
         let obj = Rc::new(ObjData {
             class: cid,
             targs: targs.clone(),

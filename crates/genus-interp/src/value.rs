@@ -342,6 +342,10 @@ pub enum ErrorKind {
     MissingReturn,
     /// Interpreter recursion limit.
     StackOverflow,
+    /// Per-request fuel budget exhausted (or wall-clock deadline passed).
+    FuelExhausted,
+    /// Per-request heap-allocation cap exceeded.
+    MemoryLimit,
     /// Anything else.
     Other,
 }
@@ -358,6 +362,8 @@ impl ErrorKind {
             ErrorKind::MissingReturn => "R0006",
             ErrorKind::StackOverflow => "R0007",
             ErrorKind::Other => "R0008",
+            ErrorKind::FuelExhausted => "R0009",
+            ErrorKind::MemoryLimit => "R0010",
         }
     }
 }
@@ -404,6 +410,8 @@ impl fmt::Display for RuntimeError {
             ErrorKind::NoSuchMethod => "NoSuchMethodError",
             ErrorKind::MissingReturn => "MissingReturnError",
             ErrorKind::StackOverflow => "StackOverflowError",
+            ErrorKind::FuelExhausted => "FuelExhaustedError",
+            ErrorKind::MemoryLimit => "MemoryLimitError",
             ErrorKind::Other => "RuntimeError",
         };
         write!(f, "{name}: {}", self.msg)

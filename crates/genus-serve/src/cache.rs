@@ -1,0 +1,233 @@
+//! The content-hash-keyed shared program cache.
+//!
+//! Each distinct `(source, stdlib, opt_level)` triple is compiled **once**
+//! per server, no matter how many requests race on it: the map slot is an
+//! `Arc<OnceLock<…>>`, so the first thread to claim a fresh slot runs the
+//! compiler while every other thread blocks on `get_or_init` and then
+//! shares the same `Arc`'d program. The checked AST is `Sync` (the type
+//! query caches are lock-based), and the VM bytecode holds only
+//! `Send + Sync` data, so one cached entry serves any number of workers
+//! concurrently — the paper's per-instantiation model resolution keeps a
+//! checked program self-contained, which is what makes this sound.
+//!
+//! Keys are FNV-1a content hashes with a collision chain that compares
+//! the full source, so hash collisions cost a probe, never a wrong
+//! program.
+
+use genus_check::CheckedProgram;
+use genus_common::{FastMap, FnvHasher};
+use genus_vm::{compile_optimized, VmProgram};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A compiled-and-checked program shared by every request with the same
+/// source. The bytecode is compiled lazily on the first VM-engine request
+/// (AST-only traffic never pays for it).
+pub struct CachedProgram {
+    /// The checked AST (also carries the type tables and query caches).
+    pub prog: CheckedProgram,
+    /// The entry's optimization level (fixed per cache key).
+    pub opt_level: u8,
+    vm_code: OnceLock<Arc<VmProgram>>,
+}
+
+impl std::fmt::Debug for CachedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedProgram")
+            .field("opt_level", &self.opt_level)
+            .field("vm_compiled", &self.vm_code.get().is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CachedProgram {
+    /// The shared bytecode, compiling it on first use.
+    pub fn vm_code(&self) -> Arc<VmProgram> {
+        Arc::clone(
+            self.vm_code
+                .get_or_init(|| Arc::new(compile_optimized(&self.prog, self.opt_level))),
+        )
+    }
+}
+
+/// Full cache key. The source text is kept so hash collisions are
+/// resolved by comparison, never by trust.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    source: String,
+    stdlib: bool,
+    opt_level: u8,
+}
+
+fn content_hash(key: &Key) -> u64 {
+    let mut h = FnvHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+type Slot = Arc<OnceLock<Result<Arc<CachedProgram>, String>>>;
+
+/// Counter snapshot for the program cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramCacheStats {
+    /// Requests that found their slot already in the map.
+    pub hits: u64,
+    /// Requests that inserted a fresh slot (exactly one per distinct key,
+    /// no matter how many submissions race).
+    pub misses: u64,
+    /// Compilations actually executed (== `misses` unless a compile
+    /// panicked).
+    pub compiles: u64,
+}
+
+/// The shared program cache. Cheap to clone the `Arc` around; all methods
+/// take `&self`.
+#[derive(Default)]
+pub struct ProgramCache {
+    /// Hash → collision chain of `(key, slot)` pairs.
+    map: Mutex<FastMap<u64, Vec<(Key, Slot)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiles: AtomicU64,
+}
+
+impl ProgramCache {
+    /// Creates an empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Returns the compiled program for `(source, stdlib, opt_level)`,
+    /// compiling it if this is the first request for that key, and
+    /// whether the slot was already present (`true` = cache hit). When
+    /// several threads race on a fresh key, exactly one compiles; the
+    /// rest block until the result is ready and then share it.
+    ///
+    /// # Errors
+    ///
+    /// The inner `Result` carries rendered compile diagnostics (shared
+    /// verbatim by every request for the failing source).
+    pub fn get_or_compile(
+        &self,
+        source: &str,
+        stdlib: bool,
+        opt_level: u8,
+    ) -> (Result<Arc<CachedProgram>, String>, bool) {
+        let key = Key {
+            source: source.to_string(),
+            stdlib,
+            opt_level,
+        };
+        let hash = content_hash(&key);
+        let (slot, hit) = {
+            let mut map = self.map.lock().unwrap();
+            let chain = map.entry(hash).or_default();
+            match chain.iter().find(|(k, _)| *k == key) {
+                Some((_, slot)) => (Arc::clone(slot), true),
+                None => {
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    chain.push((key, Arc::clone(&slot)));
+                    (slot, false)
+                }
+            }
+        };
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let result = slot
+            .get_or_init(|| {
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                compile(source, stdlib).map(|prog| {
+                    Arc::new(CachedProgram {
+                        prog,
+                        opt_level,
+                        vm_code: OnceLock::new(),
+                    })
+                })
+            })
+            .clone();
+        (result, hit)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ProgramCacheStats {
+        ProgramCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct cached programs.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One checked compile, mirroring the facade's pipeline (prelude +
+/// optional stdlib + the request source) so serve results match
+/// `genus run` byte for byte.
+fn compile(source: &str, stdlib: bool) -> Result<CheckedProgram, String> {
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    if stdlib {
+        for (name, src) in genus_stdlib::sources() {
+            pairs.push((name, src));
+        }
+    }
+    pairs.push(("request.genus", source));
+    let mut report = genus_check::check_sources_report(&pairs);
+    if report.has_errors() {
+        return Err(report.render_errors_short());
+    }
+    Ok(report.program.take().expect("no errors implies a program"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let cache = ProgramCache::new();
+        let src = "int main() { return 1; }";
+        let (a, hit_a) = cache.get_or_compile(src, false, 2);
+        assert!(a.is_ok() && !hit_a);
+        let (_, hit_b) = cache.get_or_compile(src, false, 2);
+        assert!(hit_b);
+        // A different opt level is a different entry.
+        let (_, hit_c) = cache.get_or_compile(src, false, 0);
+        assert!(!hit_c);
+        assert_eq!(cache.len(), 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.compiles), (1, 2, 2));
+    }
+
+    #[test]
+    fn compile_errors_are_cached_too() {
+        let cache = ProgramCache::new();
+        let (r1, _) = cache.get_or_compile("int main() { return nope; }", false, 2);
+        let e1 = r1.unwrap_err();
+        let (r2, hit) = cache.get_or_compile("int main() { return nope; }", false, 2);
+        assert!(hit, "failing sources hit their cached diagnostics");
+        assert_eq!(e1, r2.unwrap_err());
+        assert_eq!(cache.stats().compiles, 1);
+    }
+
+    #[test]
+    fn vm_code_is_compiled_once_and_shared() {
+        let cache = ProgramCache::new();
+        let (r, _) = cache.get_or_compile("int main() { return 2; }", false, 2);
+        let cached = r.unwrap();
+        let a = cached.vm_code();
+        let b = cached.vm_code();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,172 @@
+//! A fixed worker pool with graceful shutdown.
+//!
+//! Workers are plain OS threads over a `Mutex<VecDeque>` + `Condvar`
+//! queue. Each worker gets a big stack (the AST interpreter recurses on
+//! the host stack, so serve workers need the same headroom the facade's
+//! dedicated interpreter thread provides). Shutdown is cooperative:
+//! [`WorkerPool::shutdown`] lets queued jobs drain, then joins every
+//! worker.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutting_down: AtomicBool,
+}
+
+/// Fixed-size worker pool. Dropping the pool without calling
+/// [`WorkerPool::shutdown`] also shuts it down (draining the queue
+/// first), so tests cannot leak workers.
+pub struct WorkerPool {
+    state: Arc<PoolState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Native stack per worker: the AST engine runs Genus frames on the host
+/// stack, and its `max_depth` recursion guard is calibrated against a
+/// 256 MiB stack (same size the `genus` facade uses for its dedicated
+/// interpreter thread).
+pub const WORKER_STACK_SIZE: usize = 256 << 20;
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("genus-serve-worker-{i}"))
+                    .stack_size(WORKER_STACK_SIZE)
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        WorkerPool { state, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Jobs submitted after shutdown began are dropped
+    /// (the queue is already draining).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        if self.state.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        self.state.queue.lock().unwrap().push_back(Box::new(job));
+        self.state.available.notify_one();
+    }
+
+    /// Graceful shutdown: stops accepting work, lets the queue drain,
+    /// and joins every worker.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.state.shutting_down.store(true, Ordering::Release);
+        self.state.available.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if state.shutting_down.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = state.available.wait(queue).unwrap();
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+
+    #[test]
+    fn all_jobs_run_across_workers() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i).unwrap());
+        }
+        pool.shutdown();
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>(), "single worker: FIFO");
+    }
+
+    #[test]
+    fn workers_have_big_stacks() {
+        // A deep host-stack recursion that would overflow a default
+        // 2 MiB thread must be fine on a pool worker.
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || {
+            fn grow(n: usize) -> usize {
+                let pad = [0u8; 4096];
+                if n == 0 {
+                    pad[0] as usize
+                } else {
+                    grow(n - 1) + pad.len().min(1)
+                }
+            }
+            tx.send(grow(10_000)).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 10_000);
+        pool.shutdown();
+    }
+}

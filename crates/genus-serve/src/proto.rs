@@ -1,0 +1,344 @@
+//! The JSON-lines wire protocol: one request object per input line, one
+//! response object per output line, in request order.
+//!
+//! Requests (`genus_common::json` is both parser and escaper — no
+//! third-party serialization):
+//!
+//! ```json
+//! {"id": "r1", "source": "int main() { return 42; }",
+//!  "engine": "vm", "opt": 2, "stdlib": false,
+//!  "fuel": 1000000, "memory": 65536, "deadline_ms": 2000}
+//! ```
+//!
+//! Only `id` and `source` are required. `engine` defaults to `"vm"`,
+//! `opt` to 2, `stdlib` to `true` (the same default as `genus run`;
+//! pass `false` for prelude-only compiles); the resource fields default
+//! to the server's per-request budgets.
+//!
+//! Responses:
+//!
+//! ```json
+//! {"id": "r1", "outcome": "ok", "value": "42", "output": "",
+//!  "fuel_used": 3, "mem_used": 0, "cache": "hit", "ms": 0, "engine": "vm"}
+//! ```
+//!
+//! `outcome` is `"ok"` (with `value`), `"trap"` (with the stable `code`,
+//! e.g. `R0009` for fuel exhaustion, and `message`), or `"error"` for
+//! compile failures (with `message`). Fields are emitted in a fixed
+//! order, so response lines are byte-deterministic for a given outcome.
+
+use genus_common::json::{self, Json};
+use genus_interp::Limits;
+
+/// Which engine executes a request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The AST tree-walking interpreter (needs a big-stack worker).
+    Ast,
+    /// The bytecode register VM (the default: its compiled program is
+    /// shared across workers through the cache).
+    #[default]
+    Vm,
+}
+
+impl EngineKind {
+    /// Parses an engine name (same names as `genus run --engine=`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        match name {
+            "ast" | "interp" => Some(EngineKind::Ast),
+            "vm" | "bytecode" => Some(EngineKind::Vm),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Ast => "ast",
+            EngineKind::Vm => "vm",
+        }
+    }
+}
+
+/// One execution request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// The Genus program (compiled once per distinct source — see the
+    /// program cache).
+    pub source: String,
+    /// Engine selection.
+    pub engine: EngineKind,
+    /// VM optimization level (0–2).
+    pub opt_level: u8,
+    /// Whether the standard library is compiled in.
+    pub stdlib: bool,
+    /// Per-request resource budgets (fuel / memory / deadline).
+    pub limits: Limits,
+}
+
+impl Request {
+    /// A request with the given id and source and all-default knobs.
+    pub fn new(id: impl Into<String>, source: impl Into<String>) -> Request {
+        Request {
+            id: id.into(),
+            source: source.into(),
+            engine: EngineKind::default(),
+            opt_level: 2,
+            stdlib: true,
+            limits: Limits::default(),
+        }
+    }
+
+    /// Parses one request line. Fields absent from the line fall back to
+    /// `defaults` (resource budgets) or the protocol defaults (engine,
+    /// opt level, stdlib).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, a missing/empty `id` or
+    /// `source`, or an unknown `engine` name.
+    pub fn parse(line: &str, defaults: &Limits) -> Result<Request, String> {
+        let v = json::parse(line)?;
+        let Json::Obj(_) = &v else {
+            return Err("request must be a JSON object".to_string());
+        };
+        let id = match v.get("id") {
+            Some(Json::Str(s)) => s.clone(),
+            Some(Json::Num(n)) => format_num(*n),
+            Some(_) => return Err("`id` must be a string or number".to_string()),
+            None => return Err("missing `id`".to_string()),
+        };
+        let source = v
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing `source` string".to_string())?
+            .to_string();
+        let engine = match v.get("engine") {
+            Some(j) => {
+                let name = j
+                    .as_str()
+                    .ok_or_else(|| "`engine` must be a string".to_string())?;
+                EngineKind::from_name(name).ok_or_else(|| format!("unknown engine `{name}`"))?
+            }
+            None => EngineKind::default(),
+        };
+        let opt_level = match v.get("opt") {
+            Some(j) => num_field(j, "opt")?.min(2.0) as u8,
+            None => 2,
+        };
+        let stdlib = match v.get("stdlib") {
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("`stdlib` must be a boolean".to_string()),
+            None => true,
+        };
+        let mut limits = *defaults;
+        if let Some(j) = v.get("fuel") {
+            limits.fuel = Some(num_field(j, "fuel")? as u64);
+        }
+        if let Some(j) = v.get("memory") {
+            limits.memory = Some(num_field(j, "memory")? as u64);
+        }
+        if let Some(j) = v.get("deadline_ms") {
+            limits.deadline_ms = Some(num_field(j, "deadline_ms")? as u64);
+        }
+        Ok(Request {
+            id,
+            source,
+            engine,
+            opt_level,
+            stdlib,
+            limits,
+        })
+    }
+}
+
+fn num_field(j: &Json, name: &str) -> Result<f64, String> {
+    match j.as_num() {
+        Some(n) if n >= 0.0 => Ok(n),
+        _ => Err(format!("`{name}` must be a non-negative number")),
+    }
+}
+
+/// Renders an id that arrived as a JSON number.
+fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// `main()` returned; the payload is its rendered value.
+    Ok(String),
+    /// A runtime trap: the stable `R0xxx` code and the message.
+    Trap {
+        /// Stable diagnostic code (`R0009` for fuel, `R0010` for memory, …).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The source failed to compile; the payload is the rendered
+    /// diagnostics (short format).
+    Error(String),
+}
+
+/// One execution response, serialized as a single JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's correlation id.
+    pub id: String,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Everything the program printed (isolated per request — worker
+    /// stdout is never shared).
+    pub output: String,
+    /// Fuel steps consumed.
+    pub fuel_used: u64,
+    /// Abstract heap units charged.
+    pub mem_used: u64,
+    /// Whether the compiled program came from the cache.
+    pub cache_hit: bool,
+    /// Wall-clock service time in milliseconds (queue + compile + run).
+    pub ms: u64,
+    /// The engine that ran (or would have run) the request.
+    pub engine: EngineKind,
+}
+
+impl Response {
+    /// An `outcome: "error"` response (compile failures, malformed
+    /// requests, scheduler rejections carry their message here).
+    pub fn error(id: impl Into<String>, message: impl Into<String>) -> Response {
+        Response {
+            id: id.into(),
+            outcome: Outcome::Error(message.into()),
+            output: String::new(),
+            fuel_used: 0,
+            mem_used: 0,
+            cache_hit: false,
+            ms: 0,
+            engine: EngineKind::default(),
+        }
+    }
+
+    /// Serializes the response as one JSON line (no trailing newline).
+    /// Key order is fixed — `id, outcome, [value | code, message |
+    /// message], output, fuel_used, mem_used, cache, ms, engine` — so a
+    /// given response always renders to the same bytes.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"id\":");
+        json::write_escaped(&mut s, &self.id);
+        match &self.outcome {
+            Outcome::Ok(value) => {
+                s.push_str(",\"outcome\":\"ok\",\"value\":");
+                json::write_escaped(&mut s, value);
+            }
+            Outcome::Trap { code, message } => {
+                s.push_str(",\"outcome\":\"trap\",\"code\":");
+                json::write_escaped(&mut s, code);
+                s.push_str(",\"message\":");
+                json::write_escaped(&mut s, message);
+            }
+            Outcome::Error(message) => {
+                s.push_str(",\"outcome\":\"error\",\"message\":");
+                json::write_escaped(&mut s, message);
+            }
+        }
+        s.push_str(",\"output\":");
+        json::write_escaped(&mut s, &self.output);
+        s.push_str(&format!(
+            ",\"fuel_used\":{},\"mem_used\":{},\"cache\":\"{}\",\"ms\":{},\"engine\":\"{}\"}}",
+            self.fuel_used,
+            self.mem_used,
+            if self.cache_hit { "hit" } else { "miss" },
+            self.ms,
+            self.engine.name()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_request() {
+        let r = Request::parse(
+            r#"{"id": "a", "source": "int main() { return 1; }"}"#,
+            &Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.id, "a");
+        assert_eq!(r.engine, EngineKind::Vm);
+        assert_eq!(r.opt_level, 2);
+        assert!(r.stdlib, "stdlib is on by default, like `genus run`");
+        assert_eq!(r.limits, Limits::default());
+    }
+
+    #[test]
+    fn parse_full_request_overrides_defaults() {
+        let defaults = Limits {
+            fuel: Some(10),
+            memory: Some(20),
+            deadline_ms: Some(30),
+        };
+        let r = Request::parse(
+            r#"{"id": 7, "source": "x", "engine": "ast", "opt": 1,
+               "stdlib": false, "fuel": 99, "deadline_ms": 500}"#,
+            &defaults,
+        )
+        .unwrap();
+        assert_eq!(r.id, "7");
+        assert_eq!(r.engine, EngineKind::Ast);
+        assert_eq!(r.opt_level, 1);
+        assert!(!r.stdlib, "explicit `stdlib: false` overrides the default");
+        assert_eq!(r.limits.fuel, Some(99));
+        assert_eq!(r.limits.memory, Some(20), "untouched fields keep defaults");
+        assert_eq!(r.limits.deadline_ms, Some(500));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        let d = Limits::default();
+        assert!(Request::parse("not json", &d).is_err());
+        assert!(Request::parse(r#"{"source": "x"}"#, &d).is_err());
+        assert!(Request::parse(r#"{"id": "a"}"#, &d).is_err());
+        assert!(Request::parse(r#"{"id": "a", "source": "x", "engine": "jit"}"#, &d).is_err());
+        assert!(Request::parse(r#"{"id": "a", "source": "x", "fuel": -1}"#, &d).is_err());
+    }
+
+    #[test]
+    fn response_lines_are_deterministic_and_parse_back() {
+        let r = Response {
+            id: "r1".to_string(),
+            outcome: Outcome::Trap {
+                code: "R0009".to_string(),
+                message: "fuel budget of 10 steps exhausted".to_string(),
+            },
+            output: "line\n".to_string(),
+            fuel_used: 11,
+            mem_used: 0,
+            cache_hit: true,
+            ms: 3,
+            engine: EngineKind::Vm,
+        };
+        let line = r.to_json_line();
+        assert_eq!(line, r.to_json_line(), "serialization is deterministic");
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("r1"));
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("trap"));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("R0009"));
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(v.get("fuel_used").and_then(Json::as_num), Some(11.0));
+        assert_eq!(v.get("output").and_then(Json::as_str), Some("line\n"));
+    }
+}

@@ -1,0 +1,319 @@
+//! The execution service: request scheduling over the worker pool and the
+//! program cache, plus the JSON-lines session loops (stdin/stdout and TCP).
+//!
+//! Guarantees:
+//!
+//! - **One compile per distinct program** — all compilation goes through
+//!   the shared [`ProgramCache`].
+//! - **Deterministic, non-interleaved output** — each run captures its
+//!   program's prints privately (engines never write to process stdout),
+//!   and a session emits exactly one response line per request, *in
+//!   request order*, even though execution is pipelined across workers.
+//! - **Resource governance** — fuel and memory budgets ride into the
+//!   engines' meters; wall-clock deadlines are enforced by the scheduler:
+//!   time spent queued counts against the deadline, and a request whose
+//!   deadline expired before a worker picked it up is rejected with the
+//!   same `R0009` trap it would have earned by running.
+//! - **Graceful shutdown** — a session ends at EOF; [`Server::shutdown`]
+//!   drains queued jobs and joins every worker. (`SIGINT` falls back to
+//!   the OS default of terminating the process: the runtime has no
+//!   signal-handling dependency, and serve holds no on-disk state that
+//!   could be corrupted mid-request.)
+
+use crate::cache::{CachedProgram, ProgramCache, ProgramCacheStats};
+use crate::pool::WorkerPool;
+use crate::proto::{EngineKind, Outcome, Request, Response};
+use genus_interp::{Interp, Limits, RuntimeError, Value};
+use genus_vm::Vm;
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default per-request fuel budget applied by the `genus serve` / `genus
+/// batch` CLI when the caller does not set one: generous enough for every
+/// shipped sample by orders of magnitude, small enough to stop an
+/// infinite loop promptly.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Budgets applied to requests that do not carry their own.
+    pub default_limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            default_limits: Limits::default(),
+        }
+    }
+}
+
+/// The multi-threaded execution service. See the module docs for the
+/// scheduling and isolation guarantees.
+pub struct Server {
+    cache: Arc<ProgramCache>,
+    pool: WorkerPool,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Builds a server with its worker pool running.
+    pub fn new(config: ServeConfig) -> Server {
+        Server {
+            cache: Arc::new(ProgramCache::new()),
+            pool: WorkerPool::new(config.workers),
+            config,
+        }
+    }
+
+    /// The shared program cache (counters back the `cache: hit|miss`
+    /// response field and the tests' exactly-one-compile assertions).
+    pub fn cache(&self) -> &Arc<ProgramCache> {
+        &self.cache
+    }
+
+    /// The configured per-request default budgets.
+    pub fn default_limits(&self) -> Limits {
+        self.config.default_limits
+    }
+
+    /// Program-cache counter snapshot.
+    pub fn cache_stats(&self) -> ProgramCacheStats {
+        self.cache.stats()
+    }
+
+    /// Submits one request for asynchronous execution. The returned
+    /// channel yields exactly one [`Response`].
+    pub fn submit(&self, request: Request) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        let cache = Arc::clone(&self.cache);
+        let submitted = Instant::now();
+        self.pool.submit(move || {
+            let response = handle_request(&cache, request, submitted);
+            // The session may have hung up (e.g. a dropped TCP client);
+            // losing the response then is correct.
+            let _ = tx.send(response);
+        });
+        rx
+    }
+
+    /// Runs a whole batch, returning responses **in request order**
+    /// (execution itself is pipelined across the pool).
+    pub fn run_batch(&self, requests: Vec<Request>) -> Vec<Response> {
+        let receivers: Vec<(String, mpsc::Receiver<Response>)> = requests
+            .into_iter()
+            .map(|r| (r.id.clone(), self.submit(r)))
+            .collect();
+        receivers
+            .into_iter()
+            .map(|(id, rx)| {
+                rx.recv()
+                    .unwrap_or_else(|_| Response::error(id, "worker dropped the request"))
+            })
+            .collect()
+    }
+
+    /// Drives one JSON-lines session: reads request lines from `reader`
+    /// until EOF, writes exactly one response line per request to
+    /// `writer` in request order, and returns the number of requests
+    /// handled. Execution is pipelined — later requests run while
+    /// earlier ones are still in flight — but emission is strictly
+    /// ordered, so output is deterministic and never interleaved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `reader`/`writer`.
+    pub fn run_session<R: BufRead, W: Write>(
+        &self,
+        reader: R,
+        writer: &mut W,
+    ) -> std::io::Result<usize> {
+        let mut pending: std::collections::VecDeque<mpsc::Receiver<Response>> =
+            std::collections::VecDeque::new();
+        let mut handled = 0usize;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rx = match Request::parse(&line, &self.config.default_limits) {
+                Ok(req) => self.submit(req),
+                Err(msg) => {
+                    // Malformed lines still produce exactly one in-order
+                    // response, carrying whatever id we could salvage.
+                    let id = salvage_id(&line);
+                    let (tx, rx) = mpsc::channel();
+                    let _ = tx.send(Response::error(id, format!("bad request: {msg}")));
+                    rx
+                }
+            };
+            pending.push_back(rx);
+            handled += 1;
+            // Emit every response that is already complete at the head of
+            // the queue, keeping latency low without breaking order.
+            while let Some(front) = pending.front() {
+                match front.try_recv() {
+                    Ok(resp) => {
+                        writeln!(writer, "{}", resp.to_json_line())?;
+                        pending.pop_front();
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        // EOF: drain the rest in order.
+        for rx in pending {
+            let resp = rx
+                .recv()
+                .unwrap_or_else(|_| Response::error("", "worker dropped the request"));
+            writeln!(writer, "{}", resp.to_json_line())?;
+        }
+        writer.flush()?;
+        Ok(handled)
+    }
+
+    /// Accepts TCP connections forever, driving an independent
+    /// JSON-lines session per connection (concurrently — a slow client
+    /// does not stall the others). Returns only on accept errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `accept` failures.
+    pub fn serve_tcp(&self, listener: &TcpListener) -> std::io::Result<()> {
+        std::thread::scope(|scope| {
+            for conn in listener.incoming() {
+                let stream = conn?;
+                scope.spawn(move || {
+                    let reader = std::io::BufReader::new(&stream);
+                    let mut writer = &stream;
+                    // A dropped client is that session's problem only.
+                    let _ = self.run_session(reader, &mut writer);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// Graceful shutdown: queued requests finish, workers join.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+/// Best-effort id extraction from an unparseable request line, so the
+/// error response still correlates.
+fn salvage_id(line: &str) -> String {
+    genus_common::json::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(|id| id.as_str().map(String::from)))
+        .unwrap_or_default()
+}
+
+/// Worker-side request lifecycle: compile (through the cache), enforce
+/// the scheduler deadline, run, and shape the response.
+fn handle_request(cache: &ProgramCache, req: Request, submitted: Instant) -> Response {
+    let (compiled, cache_hit) = cache.get_or_compile(&req.source, req.stdlib, req.opt_level);
+    let cached = match compiled {
+        Ok(c) => c,
+        Err(message) => {
+            return Response {
+                ms: ms_since(submitted),
+                cache_hit,
+                engine: req.engine,
+                ..Response::error(req.id, message)
+            };
+        }
+    };
+    // Scheduler-enforced deadline: queue time counts. A request that
+    // missed its deadline while waiting is rejected with the same trap
+    // it would have earned by running past it.
+    let mut limits = req.limits;
+    if let Some(deadline) = limits.deadline_ms {
+        let waited = ms_since(submitted);
+        if waited >= deadline {
+            return Response {
+                id: req.id,
+                outcome: Outcome::Trap {
+                    code: "R0009".to_string(),
+                    message: "wall-clock deadline exceeded".to_string(),
+                },
+                output: String::new(),
+                fuel_used: 0,
+                mem_used: 0,
+                cache_hit,
+                ms: waited,
+                engine: req.engine,
+            };
+        }
+        limits.deadline_ms = Some(deadline - waited);
+    }
+    let run = execute(&cached, req.engine, limits);
+    Response {
+        id: req.id,
+        outcome: match run.outcome {
+            Ok(value) => Outcome::Ok(value),
+            Err(e) => Outcome::Trap {
+                code: e.code().to_string(),
+                message: e.to_string(),
+            },
+        },
+        output: run.output,
+        fuel_used: run.fuel_used,
+        mem_used: run.mem_used,
+        cache_hit,
+        ms: ms_since(submitted),
+        engine: req.engine,
+    }
+}
+
+struct RunOutcome {
+    outcome: Result<String, RuntimeError>,
+    output: String,
+    fuel_used: u64,
+    mem_used: u64,
+}
+
+/// Runs `main()` on the selected engine against the shared program. The
+/// worker's big stack hosts the AST interpreter directly; the VM shares
+/// the entry's compiled bytecode.
+fn execute(cached: &CachedProgram, engine: EngineKind, limits: Limits) -> RunOutcome {
+    match engine {
+        EngineKind::Ast => {
+            let mut interp = Interp::new(&cached.prog);
+            interp.set_limits(limits);
+            let outcome = interp.run_main().map(|v: Value| format!("{v}"));
+            let stats = interp.resource_stats();
+            RunOutcome {
+                outcome,
+                output: interp.take_output(),
+                fuel_used: stats.fuel_used,
+                mem_used: stats.mem_used,
+            }
+        }
+        EngineKind::Vm => {
+            let mut vm = Vm::with_code(&cached.prog, cached.vm_code());
+            vm.set_limits(limits);
+            let outcome = vm.run_main().map(|v: Value| format!("{v}"));
+            let stats = vm.resource_stats();
+            RunOutcome {
+                outcome,
+                output: vm.take_output(),
+                fuel_used: stats.fuel_used,
+                mem_used: stats.mem_used,
+            }
+        }
+    }
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn ms_since(start: Instant) -> u64 {
+    start.elapsed().as_millis() as u64
+}

@@ -1,0 +1,321 @@
+//! Integration tests for the execution service: cache coherence under
+//! concurrency, batch scheduling determinism, resource governance, and
+//! both session transports (in-memory pipe and TCP).
+
+use genus_serve::{EngineKind, Outcome, Request, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::sync::Arc;
+
+const LOOP_FOREVER: &str = "int main() { while (true) {} return 0; }";
+
+fn server(workers: usize) -> Server {
+    Server::new(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+}
+
+fn fueled(id: &str, source: &str, fuel: u64) -> Request {
+    let mut req = Request::new(id, source);
+    req.limits.fuel = Some(fuel);
+    req
+}
+
+/// N threads submitting the same source must trigger exactly one compile
+/// (miss counter == 1) and byte-identical outputs.
+#[test]
+fn concurrent_same_source_compiles_once() {
+    let server = Arc::new(server(8));
+    let src = r#"int main() {
+        int s = 0;
+        for (int i = 0; i < 100; i = i + 1) { s = s + i; }
+        println("sum " + s);
+        return s;
+    }"#;
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let rx = server.submit(fueled(&format!("t{i}"), src, 1_000_000));
+                rx.recv().unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for resp in &responses {
+        assert_eq!(
+            resp.outcome,
+            Outcome::Ok("4950".to_string()),
+            "{}",
+            resp.to_json_line()
+        );
+        assert_eq!(
+            resp.output, responses[0].output,
+            "outputs must be identical"
+        );
+        assert_eq!(resp.output, "sum 4950\n");
+    }
+    let stats = server.cache_stats();
+    assert_eq!(stats.misses, 1, "exactly one cache miss for one source");
+    assert_eq!(stats.compiles, 1, "exactly one compile for one source");
+    assert_eq!(stats.hits, 7);
+}
+
+/// The acceptance batch: 100 requests over 10 distinct programs on 4
+/// workers — exactly 10 compiles, responses in request order with
+/// per-request output isolation, and re-running the batch is
+/// byte-deterministic.
+#[test]
+fn hundred_request_batch_ten_programs_four_workers() {
+    let server = server(4);
+    let programs: Vec<String> = (0..10)
+        .map(|p| {
+            format!(
+                r#"int main() {{
+                    int acc = 0;
+                    for (int i = 0; i < {n}; i = i + 1) {{ acc = acc + i * {p}; }}
+                    println("program {p} -> " + acc);
+                    return acc;
+                }}"#,
+                n = 10 + p,
+                p = p
+            )
+        })
+        .collect();
+    let batch = |tag: &str| -> Vec<String> {
+        let requests: Vec<Request> = (0..100)
+            .map(|i| fueled(&format!("{tag}-{i}"), &programs[i % 10], 1_000_000))
+            .collect();
+        let responses = server.run_batch(requests);
+        assert_eq!(responses.len(), 100);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.id, format!("{tag}-{i}"), "responses in request order");
+            assert!(
+                matches!(resp.outcome, Outcome::Ok(_)),
+                "{}",
+                resp.to_json_line()
+            );
+            assert!(
+                resp.output.starts_with(&format!("program {} -> ", i % 10)),
+                "output isolation broken: {}",
+                resp.output
+            );
+            assert_eq!(
+                resp.output.lines().count(),
+                1,
+                "no interleaved output: {:?}",
+                resp.output
+            );
+        }
+        responses.iter().map(|r| r.output.clone()).collect()
+    };
+    let first = batch("a");
+    assert_eq!(server.cache_stats().compiles, 10, "exactly 10 compiles");
+    let second = batch("b");
+    assert_eq!(first, second, "batch outputs are deterministic");
+    assert_eq!(
+        server.cache_stats().compiles,
+        10,
+        "second batch is all cache hits"
+    );
+    assert_eq!(server.cache_stats().hits, 190);
+    server.shutdown();
+}
+
+/// An infinite loop must trap `R0009` on both engines instead of hanging
+/// the server.
+#[test]
+fn infinite_loop_returns_fuel_trap_on_both_engines() {
+    let server = server(2);
+    for engine in [EngineKind::Ast, EngineKind::Vm] {
+        let mut req = fueled(engine.name(), LOOP_FOREVER, 100_000);
+        req.engine = engine;
+        let resp = &server.run_batch(vec![req])[0];
+        match &resp.outcome {
+            Outcome::Trap { code, .. } => {
+                assert_eq!(code, "R0009", "{engine:?}: {}", resp.to_json_line());
+            }
+            other => panic!("{engine:?} should trap on fuel, got {other:?}"),
+        }
+        assert!(
+            resp.fuel_used > 100_000,
+            "{engine:?} fuel_used should pass the budget"
+        );
+    }
+    server.shutdown();
+}
+
+/// An infinite loop under only a wall-clock deadline (no fuel budget)
+/// must come back `R0009` within its deadline instead of hanging.
+#[test]
+fn infinite_loop_respects_deadline() {
+    let server = server(1);
+    let mut req = Request::new("dl", LOOP_FOREVER);
+    req.limits.deadline_ms = Some(200);
+    let start = std::time::Instant::now();
+    let resp = &server.run_batch(vec![req])[0];
+    let elapsed = start.elapsed();
+    match &resp.outcome {
+        Outcome::Trap { code, message } => {
+            assert_eq!(code, "R0009");
+            assert!(message.contains("deadline"), "{message}");
+        }
+        other => panic!("expected deadline trap, got {other:?}"),
+    }
+    assert!(
+        elapsed.as_millis() < 5_000,
+        "deadline ignored: took {elapsed:?}"
+    );
+    server.shutdown();
+}
+
+/// A request already past its deadline when a worker picks it up is
+/// rejected by the scheduler with the same `R0009` trap.
+#[test]
+fn queued_past_deadline_requests_are_rejected() {
+    // One worker, and the head job sleeps past the second job's deadline.
+    let server = server(1);
+    let mut blocker = Request::new("blocker", LOOP_FOREVER);
+    blocker.limits.deadline_ms = Some(300);
+    let mut starved = Request::new("starved", "int main() { return 1; }");
+    starved.limits.deadline_ms = Some(50);
+    let responses = server.run_batch(vec![blocker, starved]);
+    match &responses[1].outcome {
+        Outcome::Trap { code, .. } => assert_eq!(code, "R0009"),
+        other => panic!("starved request should be rejected, got {other:?}"),
+    }
+    assert_eq!(responses[1].fuel_used, 0, "rejected before running");
+    server.shutdown();
+}
+
+/// The heap cap traps `R0010` on both engines.
+#[test]
+fn memory_limit_traps_r0010_on_both_engines() {
+    let server = server(2);
+    let src = r#"int main() {
+        int i = 0;
+        while (true) { int[] a = new int[1024]; i = i + 1; }
+        return i;
+    }"#;
+    for engine in [EngineKind::Ast, EngineKind::Vm] {
+        let mut req = Request::new(engine.name(), src);
+        req.engine = engine;
+        req.limits.memory = Some(100_000);
+        let resp = &server.run_batch(vec![req])[0];
+        match &resp.outcome {
+            Outcome::Trap { code, .. } => {
+                assert_eq!(code, "R0010", "{engine:?}: {}", resp.to_json_line());
+            }
+            other => panic!("{engine:?} should trap on memory, got {other:?}"),
+        }
+        assert!(resp.mem_used > 100_000, "{engine:?} mem_used past the cap");
+    }
+    server.shutdown();
+}
+
+/// Full JSON-lines session over an in-memory pipe: mixed good, trapping,
+/// failing, and malformed requests — one ordered response line each.
+#[test]
+fn json_lines_session_end_to_end() {
+    let server = server(4);
+    let input = [
+        r#"{"id": "ok", "source": "int main() { println(\"hi\"); return 7; }", "fuel": 100000}"#,
+        r#"{"id": "burn", "source": "int main() { while (true) {} return 0; }", "fuel": 50000}"#,
+        r#"{"id": "bad-compile", "source": "int main() { return nope; }"}"#,
+        "this is not json",
+        r#"{"id": "ast", "source": "int main() { return 3; }", "engine": "ast", "fuel": 100000}"#,
+    ]
+    .join("\n");
+    let mut out = Vec::new();
+    let handled = server
+        .run_session(Cursor::new(input), &mut out)
+        .expect("session I/O");
+    assert_eq!(handled, 5);
+    let lines: Vec<String> = out.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 5, "exactly one response line per request");
+    let parsed: Vec<genus_common::json::Json> = lines
+        .iter()
+        .map(|l| genus_common::json::parse(l).expect("valid response JSON"))
+        .collect();
+    let field = |i: usize, k: &str| -> String {
+        parsed[i]
+            .get(k)
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string()
+    };
+    // In request order:
+    assert_eq!(field(0, "id"), "ok");
+    assert_eq!(field(0, "outcome"), "ok");
+    assert_eq!(field(0, "value"), "7");
+    assert_eq!(field(0, "output"), "hi\n");
+    assert_eq!(field(1, "id"), "burn");
+    assert_eq!(field(1, "outcome"), "trap");
+    assert_eq!(field(1, "code"), "R0009");
+    assert_eq!(field(2, "id"), "bad-compile");
+    assert_eq!(field(2, "outcome"), "error");
+    assert_eq!(field(3, "outcome"), "error");
+    assert_eq!(field(4, "id"), "ast");
+    assert_eq!(field(4, "engine"), "ast");
+    assert_eq!(field(4, "value"), "3");
+    server.shutdown();
+}
+
+/// The same protocol over a real TCP connection.
+#[test]
+fn tcp_session_round_trip() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::new(server(2));
+    {
+        let server = Arc::clone(&server);
+        // The accept loop runs until the test process exits.
+        std::thread::spawn(move || {
+            let _ = server.serve_tcp(&listener);
+        });
+    }
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    conn.write_all(
+        concat!(
+            r#"{"id": "a", "source": "int main() { return 11; }", "fuel": 100000}"#,
+            "\n",
+            r#"{"id": "b", "source": "int main() { while (true) {} return 0; }", "fuel": 9000}"#,
+            "\n",
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let reader = BufReader::new(&conn);
+    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].contains(r#""id":"a""#) && lines[0].contains(r#""value":"11""#));
+    assert!(lines[1].contains(r#""id":"b""#) && lines[1].contains(r#""code":"R0009""#));
+}
+
+/// Engine parity on the response surface: the same fueled program traps
+/// with the same code and fuel accounting story on AST and VM, and at
+/// O0 vs O2.
+#[test]
+fn fuel_trap_parity_across_engines_and_levels() {
+    let server = server(2);
+    let mut responses = Vec::new();
+    for (engine, opt) in [
+        (EngineKind::Ast, 0),
+        (EngineKind::Vm, 0),
+        (EngineKind::Vm, 2),
+    ] {
+        let mut req = fueled(&format!("{}-{opt}", engine.name()), LOOP_FOREVER, 10_000);
+        req.engine = engine;
+        req.opt_level = opt;
+        responses.push(server.run_batch(vec![req]).remove(0));
+    }
+    for resp in &responses {
+        match &resp.outcome {
+            Outcome::Trap { code, .. } => assert_eq!(code, "R0009", "{}", resp.to_json_line()),
+            other => panic!("expected fuel trap, got {other:?}"),
+        }
+        assert!(resp.output.is_empty());
+    }
+    server.shutdown();
+}

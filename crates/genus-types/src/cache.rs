@@ -22,10 +22,11 @@
 use crate::ty::{ConstraintInst, Type};
 use genus_common::FastMap;
 use std::any::Any;
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 thread_local! {
     /// Per-thread switch. Defaults to enabled unless the `no-cache`
@@ -69,6 +70,23 @@ impl CacheStats {
     pub fn misses(&self) -> u64 {
         self.subtype_misses + self.prereq_misses + self.conforms_misses + self.resolve_misses
     }
+
+    /// The delta accumulated since an earlier snapshot `base`: per-run
+    /// numbers for `--stats` and serve responses without zeroing shared
+    /// counters out from under concurrent runs.
+    #[must_use]
+    pub fn since(&self, base: &CacheStats) -> CacheStats {
+        CacheStats {
+            subtype_hits: self.subtype_hits.saturating_sub(base.subtype_hits),
+            subtype_misses: self.subtype_misses.saturating_sub(base.subtype_misses),
+            prereq_hits: self.prereq_hits.saturating_sub(base.prereq_hits),
+            prereq_misses: self.prereq_misses.saturating_sub(base.prereq_misses),
+            conforms_hits: self.conforms_hits.saturating_sub(base.conforms_hits),
+            conforms_misses: self.conforms_misses.saturating_sub(base.conforms_misses),
+            resolve_hits: self.resolve_hits.saturating_sub(base.resolve_hits),
+            resolve_misses: self.resolve_misses.saturating_sub(base.resolve_misses),
+        }
+    }
 }
 
 fn hash_pair(sub: &Type, sup: &Type) -> u64 {
@@ -87,36 +105,51 @@ type SubtypeBucket = Vec<(Type, Type, bool)>;
 pub struct QueryCache {
     /// `(sub, sup) → bool`, bucketed by hash so lookups need no key
     /// clone (collisions resolved by structural comparison).
-    subtype: RefCell<FastMap<u64, SubtypeBucket>>,
+    subtype: Mutex<FastMap<u64, SubtypeBucket>>,
     /// Constraint prerequisite closures (computed by the checker).
-    prereq: RefCell<FastMap<ConstraintInst, Arc<Vec<ConstraintInst>>>>,
+    prereq: Mutex<FastMap<ConstraintInst, Arc<Vec<ConstraintInst>>>>,
     /// Structural conformance (`natural::conforms`) results.
-    conforms: RefCell<FastMap<ConstraintInst, bool>>,
+    conforms: Mutex<FastMap<ConstraintInst, bool>>,
     /// Opaque slot for the checker's resolution memo: the value type
     /// involves checker-crate types, so it is stored type-erased here
     /// and downcast by `genus-check`. `Send` so a checked program (and
-    /// its table) can move onto the interpreter thread.
-    resolve_slot: RefCell<Option<Box<dyn Any + Send>>>,
+    /// its table) can move onto the interpreter thread; the `Mutex`
+    /// additionally makes the whole cache `Sync` so one checked program
+    /// can serve concurrent runs (the serve worker pool).
+    resolve_slot: Mutex<Option<Box<dyn Any + Send>>>,
 
-    subtype_hits: Cell<u64>,
-    subtype_misses: Cell<u64>,
-    prereq_hits: Cell<u64>,
-    prereq_misses: Cell<u64>,
-    conforms_hits: Cell<u64>,
-    conforms_misses: Cell<u64>,
-    resolve_hits: Cell<u64>,
-    resolve_misses: Cell<u64>,
+    subtype_hits: AtomicU64,
+    subtype_misses: AtomicU64,
+    prereq_hits: AtomicU64,
+    prereq_misses: AtomicU64,
+    conforms_hits: AtomicU64,
+    conforms_misses: AtomicU64,
+    resolve_hits: AtomicU64,
+    resolve_misses: AtomicU64,
 }
+
+/// Compile-time proof that a checked program's table can be shared across
+/// serve workers.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<QueryCache>();
+};
 
 impl std::fmt::Debug for QueryCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryCache")
             .field(
                 "subtype_entries",
-                &self.subtype.borrow().values().map(Vec::len).sum::<usize>(),
+                &self
+                    .subtype
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>(),
             )
-            .field("prereq_entries", &self.prereq.borrow().len())
-            .field("conforms_entries", &self.conforms.borrow().len())
+            .field("prereq_entries", &self.prereq.lock().unwrap().len())
+            .field("conforms_entries", &self.conforms.lock().unwrap().len())
             .field("stats", &self.stats())
             .finish()
     }
@@ -126,23 +159,38 @@ impl QueryCache {
     /// Drops every entry (including the checker's resolution memo).
     /// Counters survive so benches can observe lifetime totals.
     pub fn clear(&self) {
-        self.subtype.borrow_mut().clear();
-        self.prereq.borrow_mut().clear();
-        self.conforms.borrow_mut().clear();
-        *self.resolve_slot.borrow_mut() = None;
+        self.subtype.lock().unwrap().clear();
+        self.prereq.lock().unwrap().clear();
+        self.conforms.lock().unwrap().clear();
+        *self.resolve_slot.lock().unwrap() = None;
+    }
+
+    /// Zeroes every hit/miss counter, leaving cached entries in place.
+    /// Used by per-request stats reporting (`--stats`, serve responses):
+    /// snapshot-before/`since` gives a delta, `reset_counters` gives a
+    /// hard zero when one runner owns the program exclusively.
+    pub fn reset_counters(&self) {
+        self.subtype_hits.store(0, Ordering::Relaxed);
+        self.subtype_misses.store(0, Ordering::Relaxed);
+        self.prereq_hits.store(0, Ordering::Relaxed);
+        self.prereq_misses.store(0, Ordering::Relaxed);
+        self.conforms_hits.store(0, Ordering::Relaxed);
+        self.conforms_misses.store(0, Ordering::Relaxed);
+        self.resolve_hits.store(0, Ordering::Relaxed);
+        self.resolve_misses.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot of the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            subtype_hits: self.subtype_hits.get(),
-            subtype_misses: self.subtype_misses.get(),
-            prereq_hits: self.prereq_hits.get(),
-            prereq_misses: self.prereq_misses.get(),
-            conforms_hits: self.conforms_hits.get(),
-            conforms_misses: self.conforms_misses.get(),
-            resolve_hits: self.resolve_hits.get(),
-            resolve_misses: self.resolve_misses.get(),
+            subtype_hits: self.subtype_hits.load(Ordering::Relaxed),
+            subtype_misses: self.subtype_misses.load(Ordering::Relaxed),
+            prereq_hits: self.prereq_hits.load(Ordering::Relaxed),
+            prereq_misses: self.prereq_misses.load(Ordering::Relaxed),
+            conforms_hits: self.conforms_hits.load(Ordering::Relaxed),
+            conforms_misses: self.conforms_misses.load(Ordering::Relaxed),
+            resolve_hits: self.resolve_hits.load(Ordering::Relaxed),
+            resolve_misses: self.resolve_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -152,18 +200,18 @@ impl QueryCache {
             return None;
         }
         let key = hash_pair(sub, sup);
-        let map = self.subtype.borrow();
+        let map = self.subtype.lock().unwrap();
         let found = map
             .get(&key)
             .and_then(|bucket| bucket.iter().find(|(s, p, _)| s == sub && p == sup))
             .map(|&(_, _, r)| r);
         match found {
             Some(r) => {
-                self.subtype_hits.set(self.subtype_hits.get() + 1);
+                self.subtype_hits.fetch_add(1, Ordering::Relaxed);
                 Some(r)
             }
             None => {
-                self.subtype_misses.set(self.subtype_misses.get() + 1);
+                self.subtype_misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -175,11 +223,11 @@ impl QueryCache {
             return;
         }
         let key = hash_pair(sub, sup);
-        self.subtype
-            .borrow_mut()
-            .entry(key)
-            .or_default()
-            .push((sub.clone(), sup.clone(), result));
+        self.subtype.lock().unwrap().entry(key).or_default().push((
+            sub.clone(),
+            sup.clone(),
+            result,
+        ));
     }
 
     /// Cached prerequisite closure for a constraint instantiation.
@@ -187,13 +235,13 @@ impl QueryCache {
         if !caches_enabled() {
             return None;
         }
-        match self.prereq.borrow().get(inst) {
+        match self.prereq.lock().unwrap().get(inst) {
             Some(rc) => {
-                self.prereq_hits.set(self.prereq_hits.get() + 1);
+                self.prereq_hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(rc))
             }
             None => {
-                self.prereq_misses.set(self.prereq_misses.get() + 1);
+                self.prereq_misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -204,7 +252,7 @@ impl QueryCache {
         if !caches_enabled() {
             return;
         }
-        self.prereq.borrow_mut().insert(inst.clone(), closure);
+        self.prereq.lock().unwrap().insert(inst.clone(), closure);
     }
 
     /// Cached structural-conformance verdict.
@@ -212,13 +260,13 @@ impl QueryCache {
         if !caches_enabled() {
             return None;
         }
-        match self.conforms.borrow().get(inst).copied() {
+        match self.conforms.lock().unwrap().get(inst).copied() {
             Some(r) => {
-                self.conforms_hits.set(self.conforms_hits.get() + 1);
+                self.conforms_hits.fetch_add(1, Ordering::Relaxed);
                 Some(r)
             }
             None => {
-                self.conforms_misses.set(self.conforms_misses.get() + 1);
+                self.conforms_misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -229,23 +277,24 @@ impl QueryCache {
         if !caches_enabled() {
             return;
         }
-        self.conforms.borrow_mut().insert(inst.clone(), result);
+        self.conforms.lock().unwrap().insert(inst.clone(), result);
     }
 
     /// Grants scoped access to the type-erased resolution-memo slot.
-    /// The closure must not re-enter `with_resolve_slot`.
+    /// The closure must not re-enter `with_resolve_slot` (the slot is
+    /// held locked for the duration of the call).
     pub fn with_resolve_slot<R>(&self, f: impl FnOnce(&mut Option<Box<dyn Any + Send>>) -> R) -> R {
-        f(&mut self.resolve_slot.borrow_mut())
+        f(&mut self.resolve_slot.lock().unwrap())
     }
 
     /// Bumps the resolution-memo hit counter (owned by `genus-check`).
     pub fn note_resolve_hit(&self) {
-        self.resolve_hits.set(self.resolve_hits.get() + 1);
+        self.resolve_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Bumps the resolution-memo miss counter.
     pub fn note_resolve_miss(&self) {
-        self.resolve_misses.set(self.resolve_misses.get() + 1);
+        self.resolve_misses.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -301,6 +350,45 @@ mod tests {
         assert_eq!(c.subtype_get(&int(), &int()), None);
         set_caches_enabled(true);
         assert_eq!(c.subtype_get(&int(), &int()), Some(true));
+    }
+
+    #[test]
+    fn per_run_counter_deltas_and_reset() {
+        set_caches_enabled(true);
+        let c = QueryCache::default();
+        c.subtype_put(&int(), &int(), true);
+        assert_eq!(c.subtype_get(&int(), &int()), Some(true));
+        let base = c.stats();
+        assert_eq!(c.subtype_get(&int(), &int()), Some(true));
+        assert_eq!(c.subtype_get(&int(), &long()), None);
+        let delta = c.stats().since(&base);
+        assert_eq!(delta.subtype_hits, 1);
+        assert_eq!(delta.subtype_misses, 1);
+        // Reset zeroes counters but keeps entries cached.
+        c.reset_counters();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.subtype_get(&int(), &int()), Some(true));
+        assert_eq!(c.stats().subtype_hits, 1);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        set_caches_enabled(true);
+        let c = std::sync::Arc::new(QueryCache::default());
+        c.subtype_put(&int(), &long(), true);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    set_caches_enabled(true);
+                    assert_eq!(c.subtype_get(&int(), &long()), Some(true));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.stats().subtype_hits, 4);
     }
 
     #[test]

@@ -31,6 +31,65 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FuncId(pub u32);
 
+/// A pooled constant. This is the `Send + Sync` subset of [`Value`]
+/// (literals only — never references), with strings behind `Arc` so a
+/// compiled [`VmProgram`] can be shared across serve workers. Each VM
+/// instance materializes the pool into a private `Vec<Value>` once at
+/// construction, keeping `Op::Const` a plain indexed clone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// 32-bit integer literal.
+    Int(i32),
+    /// 64-bit integer literal.
+    Long(i64),
+    /// 64-bit float literal.
+    Double(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Character literal.
+    Char(char),
+    /// String literal.
+    Str(std::sync::Arc<str>),
+    /// The `null` reference.
+    Null,
+    /// The `void` unit value.
+    Void,
+}
+
+impl Const {
+    /// The pooled image of a literal value; `None` for reference values
+    /// (objects, arrays, packed existentials), which are never poolable.
+    #[must_use]
+    pub fn from_value(v: &Value) -> Option<Const> {
+        Some(match v {
+            Value::Int(x) => Const::Int(*x),
+            Value::Long(x) => Const::Long(*x),
+            Value::Double(x) => Const::Double(*x),
+            Value::Bool(x) => Const::Bool(*x),
+            Value::Char(x) => Const::Char(*x),
+            Value::Str(s) => Const::Str(std::sync::Arc::from(&**s)),
+            Value::Null => Const::Null,
+            Value::Void => Const::Void,
+            _ => return None,
+        })
+    }
+
+    /// Materializes the runtime value for this constant.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        match self {
+            Const::Int(x) => Value::Int(*x),
+            Const::Long(x) => Value::Long(*x),
+            Const::Double(x) => Value::Double(*x),
+            Const::Bool(x) => Value::Bool(*x),
+            Const::Char(x) => Value::Char(*x),
+            Const::Str(s) => Value::Str(std::rc::Rc::from(&**s)),
+            Const::Null => Value::Null,
+            Const::Void => Value::Void,
+        }
+    }
+}
+
 /// One register-machine instruction. All payloads bigger than a word live
 /// in the spec side tables of [`VmProgram`].
 #[derive(Debug, Clone, Copy)]
@@ -327,7 +386,7 @@ pub struct VmProgram {
     /// All compiled functions.
     pub funcs: Vec<VmFunc>,
     /// Constant pool (literals, `null`, `void`).
-    pub consts: Vec<Value>,
+    pub consts: Vec<Const>,
     /// Open types for `NewArray`/`InstanceOf`/`Cast`/`DefaultValue`.
     pub types: Vec<Type>,
     /// `CallVirtual` payloads.
@@ -381,3 +440,10 @@ impl VmProgram {
         self.funcs.iter().map(|f| f.code.len()).sum()
     }
 }
+
+/// Compile-time proof that a compiled program can be cached once and
+/// shared across serve workers (`Arc<VmProgram>`).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VmProgram>();
+};

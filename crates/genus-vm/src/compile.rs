@@ -17,15 +17,13 @@
 //! been made.
 
 use crate::bytecode::{
-    FuncId, GlobalSpec, ModelSpec, NativeSpec, NewSpec, Op, OpenSpec, PackSpec, PrimSpec,
+    Const, FuncId, GlobalSpec, ModelSpec, NativeSpec, NewSpec, Op, OpenSpec, PackSpec, PrimSpec,
     StaticSpec, VirtSpec, VmFunc, VmProgram,
 };
 use genus_check::hir::{self, BinKind};
 use genus_check::CheckedProgram;
-use genus_interp::Value;
 use genus_types::{ClassId, Type};
 use std::collections::HashMap;
-use std::rc::Rc;
 
 /// Hashable key for constant-pool deduplication (doubles by bit pattern).
 #[derive(PartialEq, Eq, Hash)]
@@ -44,7 +42,7 @@ enum ConstKey {
 /// dense virtual-call-site counter.
 #[derive(Default)]
 struct Builder {
-    consts: Vec<Value>,
+    consts: Vec<Const>,
     const_map: HashMap<ConstKey, u32>,
     types: Vec<Type>,
     virt_specs: Vec<VirtSpec>,
@@ -60,7 +58,7 @@ struct Builder {
 }
 
 impl Builder {
-    fn konst(&mut self, key: ConstKey, make: impl FnOnce() -> Value) -> u32 {
+    fn konst(&mut self, key: ConstKey, make: impl FnOnce() -> Const) -> u32 {
         if let Some(&k) = self.const_map.get(&key) {
             return k;
         }
@@ -358,39 +356,39 @@ impl<'b> FnCompiler<'b> {
         match &e.kind {
             K::Int(v) => {
                 let v = *v as i32;
-                let k = self.b.konst(ConstKey::Int(v), || Value::Int(v));
+                let k = self.b.konst(ConstKey::Int(v), || Const::Int(v));
                 self.emit(Op::Const { dst, k });
             }
             K::Long(v) => {
                 let v = *v;
-                let k = self.b.konst(ConstKey::Long(v), || Value::Long(v));
+                let k = self.b.konst(ConstKey::Long(v), || Const::Long(v));
                 self.emit(Op::Const { dst, k });
             }
             K::Double(v) => {
                 let v = *v;
                 let k = self
                     .b
-                    .konst(ConstKey::Double(v.to_bits()), || Value::Double(v));
+                    .konst(ConstKey::Double(v.to_bits()), || Const::Double(v));
                 self.emit(Op::Const { dst, k });
             }
             K::Bool(v) => {
                 let v = *v;
-                let k = self.b.konst(ConstKey::Bool(v), || Value::Bool(v));
+                let k = self.b.konst(ConstKey::Bool(v), || Const::Bool(v));
                 self.emit(Op::Const { dst, k });
             }
             K::Char(v) => {
                 let v = *v;
-                let k = self.b.konst(ConstKey::Char(v), || Value::Char(v));
+                let k = self.b.konst(ConstKey::Char(v), || Const::Char(v));
                 self.emit(Op::Const { dst, k });
             }
             K::Str(s) => {
                 let k = self.b.konst(ConstKey::Str(s.clone()), || {
-                    Value::Str(Rc::from(s.as_str()))
+                    Const::Str(std::sync::Arc::from(s.as_str()))
                 });
                 self.emit(Op::Const { dst, k });
             }
             K::Null => {
-                let k = self.b.konst(ConstKey::Null, || Value::Null);
+                let k = self.b.konst(ConstKey::Null, || Const::Null);
                 self.emit(Op::Const { dst, k });
             }
             K::Local(l) => {
@@ -657,7 +655,7 @@ impl<'b> FnCompiler<'b> {
                     src: t,
                     newline: *newline,
                 });
-                let k = self.b.konst(ConstKey::Void, || Value::Void);
+                let k = self.b.konst(ConstKey::Void, || Const::Void);
                 self.emit(Op::Const { dst, k });
             }
             K::PrimCall {
@@ -710,13 +708,13 @@ impl<'b> FnCompiler<'b> {
                     cond: t,
                     target: u32::MAX,
                 });
-                let kt = self.b.konst(ConstKey::Bool(true), || Value::Bool(true));
+                let kt = self.b.konst(ConstKey::Bool(true), || Const::Bool(true));
                 self.emit(Op::Const { dst, k: kt });
                 let jend = self.emit(Op::Jump { target: u32::MAX });
                 let l_false = self.here();
                 self.patch(j1, l_false);
                 self.patch(j2, l_false);
-                let kf = self.b.konst(ConstKey::Bool(false), || Value::Bool(false));
+                let kf = self.b.konst(ConstKey::Bool(false), || Const::Bool(false));
                 self.emit(Op::Const { dst, k: kf });
                 let l_end = self.here();
                 self.patch(jend, l_end);
@@ -733,13 +731,13 @@ impl<'b> FnCompiler<'b> {
                     cond: t,
                     target: u32::MAX,
                 });
-                let kf = self.b.konst(ConstKey::Bool(false), || Value::Bool(false));
+                let kf = self.b.konst(ConstKey::Bool(false), || Const::Bool(false));
                 self.emit(Op::Const { dst, k: kf });
                 let jend = self.emit(Op::Jump { target: u32::MAX });
                 let l_true = self.here();
                 self.patch(j1, l_true);
                 self.patch(j2, l_true);
-                let kt = self.b.konst(ConstKey::Bool(true), || Value::Bool(true));
+                let kt = self.b.konst(ConstKey::Bool(true), || Const::Bool(true));
                 self.emit(Op::Const { dst, k: kt });
                 let l_end = self.here();
                 self.patch(jend, l_end);

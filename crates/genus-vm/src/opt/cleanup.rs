@@ -9,7 +9,7 @@
 //! deliberately left in place — the trap, its error code, and its message
 //! are observable behaviour.
 
-use crate::bytecode::{Op, VmFunc, VmProgram};
+use crate::bytecode::{Const, Op, VmFunc, VmProgram};
 use crate::opt::OptStats;
 use genus_check::hir::NumKind;
 use genus_interp::ops::{arith, compare, widen_value};
@@ -56,35 +56,46 @@ fn vkey(v: &Value) -> Option<VKey> {
     })
 }
 
+fn ckey(c: &Const) -> VKey {
+    match c {
+        Const::Int(x) => VKey::Int(*x),
+        Const::Long(x) => VKey::Long(*x),
+        Const::Double(x) => VKey::Double(x.to_bits()),
+        Const::Bool(x) => VKey::Bool(*x),
+        Const::Char(x) => VKey::Char(*x),
+        Const::Str(s) => VKey::Str(s.to_string()),
+        Const::Null => VKey::Null,
+        Const::Void => VKey::Void,
+    }
+}
+
 /// Constant-pool interner shared across functions.
 struct Pool {
     map: HashMap<VKey, u32>,
 }
 
 impl Pool {
-    fn build(consts: &[Value]) -> Pool {
+    fn build(consts: &[Const]) -> Pool {
         let mut map = HashMap::new();
-        for (i, v) in consts.iter().enumerate() {
-            if let Some(k) = vkey(v) {
-                map.entry(k).or_insert(i as u32);
-            }
+        for (i, c) in consts.iter().enumerate() {
+            map.entry(ckey(c)).or_insert(i as u32);
         }
         Pool { map }
     }
 
-    fn intern(&mut self, consts: &mut Vec<Value>, v: Value) -> u32 {
+    fn intern(&mut self, consts: &mut Vec<Const>, v: Value) -> u32 {
         let key = vkey(&v).expect("folded values are poolable");
         if let Some(&k) = self.map.get(&key) {
             return k;
         }
         let k = consts.len() as u32;
-        consts.push(v);
+        consts.push(Const::from_value(&v).expect("folded values are poolable"));
         self.map.insert(key, k);
         k
     }
 }
 
-fn clean_fn(f: &mut VmFunc, consts: &mut Vec<Value>, pool: &mut Pool, stats: &mut OptStats) {
+fn clean_fn(f: &mut VmFunc, consts: &mut Vec<Const>, pool: &mut Pool, stats: &mut OptStats) {
     for _ in 0..10 {
         let mut changed = fold_pass(f, consts, pool, stats);
         changed |= thread_jumps(f);
@@ -162,7 +173,7 @@ fn label_set(code: &[Op]) -> HashSet<usize> {
 /// knowledge resets at every jump target.
 fn fold_pass(
     f: &mut VmFunc,
-    consts: &mut Vec<Value>,
+    consts: &mut Vec<Const>,
     pool: &mut Pool,
     stats: &mut OptStats,
 ) -> bool {
@@ -173,9 +184,10 @@ fn fold_pass(
         if labels.contains(&i) {
             known.clear();
         }
-        let get =
-            |known: &HashMap<u16, u32>, r: u16| known.get(&r).map(|&k| consts[k as usize].clone());
-        let mut fold = |v: Value, consts: &mut Vec<Value>| pool.intern(consts, v);
+        let get = |known: &HashMap<u16, u32>, r: u16| {
+            known.get(&r).map(|&k| consts[k as usize].to_value())
+        };
+        let mut fold = |v: Value, consts: &mut Vec<Const>| pool.intern(consts, v);
         let mut new_op: Option<Op> = None;
         match f.code[i] {
             Op::Move { dst, src } => {

@@ -38,6 +38,7 @@ use crate::compile::compile_program;
 use genus_check::hir::{NativeOp, NumKind};
 use genus_check::CheckedProgram;
 use genus_common::{FastMap, Symbol};
+use genus_interp::meter::{self, Limits, Meter, ResourceStats};
 use genus_interp::natives;
 use genus_interp::ops::{arith, compare, widen_value};
 use genus_interp::rtti::{self, MEnv, ModelDispatchKey, ModelTarget, RecvKind, TEnv, VirtTarget};
@@ -49,6 +50,7 @@ use genus_types::{caches_enabled, ClassId, ModelId};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 type RResult<T> = Result<T, RuntimeError>;
 
@@ -112,7 +114,11 @@ fn unpack(v: Value) -> Value {
 /// calls, mirroring [`genus_interp::Interp`]'s surface.
 pub struct Vm<'p> {
     prog: &'p CheckedProgram,
-    code: Rc<VmProgram>,
+    code: Arc<VmProgram>,
+    /// Constant pool materialized as runtime values for this VM instance
+    /// (`Op::Const` stays a plain indexed clone; the shared program keeps
+    /// only `Send + Sync` [`crate::bytecode::Const`]s).
+    consts: Vec<Value>,
     statics: RefCell<HashMap<(u32, u32), Value>>,
     output: RefCell<String>,
     dispatch: VmDispatch,
@@ -124,21 +130,26 @@ pub struct Vm<'p> {
     depth: Cell<usize>,
     /// Maximum Genus call depth before a `StackOverflowError`.
     pub max_depth: usize,
+    /// Per-run resource meter (fuel / memory / deadline). Unlimited by
+    /// default; replace via [`Vm::set_limits`] before running.
+    pub meter: Meter,
 }
 
 impl<'p> Vm<'p> {
     /// Compiles `prog` to bytecode and creates a VM for it.
     pub fn new(prog: &'p CheckedProgram) -> Self {
-        Self::with_code(prog, Rc::new(compile_program(prog)))
+        Self::with_code(prog, Arc::new(compile_program(prog)))
     }
 
     /// Creates a VM over already-compiled bytecode (lets callers share
-    /// one compilation across runs).
-    pub fn with_code(prog: &'p CheckedProgram, code: Rc<VmProgram>) -> Self {
+    /// one compilation across runs and threads).
+    pub fn with_code(prog: &'p CheckedProgram, code: Arc<VmProgram>) -> Self {
         let sites = vec![None; code.num_sites];
+        let consts = code.consts.iter().map(|c| c.to_value()).collect();
         Vm {
             prog,
             code,
+            consts,
             statics: RefCell::new(HashMap::new()),
             output: RefCell::new(String::new()),
             dispatch: VmDispatch {
@@ -157,13 +168,25 @@ impl<'p> Vm<'p> {
             echo: false,
             depth: Cell::new(0),
             max_depth: 1000,
+            meter: Meter::unlimited(),
         }
     }
 
     /// The compiled bytecode this VM executes.
     #[must_use]
-    pub fn code(&self) -> &Rc<VmProgram> {
+    pub fn code(&self) -> &Arc<VmProgram> {
         &self.code
+    }
+
+    /// Installs resource limits for this VM's next run, resetting the
+    /// meter (fuel/memory counters start from zero, deadline from now).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.meter = Meter::with_limits(limits);
+    }
+
+    /// Resources consumed so far (fuel steps and heap units).
+    pub fn resource_stats(&self) -> ResourceStats {
+        self.meter.stats()
     }
 
     /// Runs static initializers then `main()`.
@@ -314,17 +337,18 @@ impl<'p> Vm<'p> {
 
     #[allow(clippy::too_many_lines)]
     fn run_frames(&self, root: VmFrame) -> RResult<Value> {
-        let code = Rc::clone(&self.code);
+        let code = Arc::clone(&self.code);
         self.enter(root.counted)?;
         let mut stack: Vec<VmFrame> = vec![root];
         loop {
+            self.meter.step()?;
             let frame = stack.last_mut().expect("frame");
             let func = &code.funcs[frame.func.0 as usize];
             let op = func.code[frame.pc];
             frame.pc += 1;
             match op {
                 Op::Const { dst, k } => {
-                    frame.regs[dst as usize] = code.consts[k as usize].clone();
+                    frame.regs[dst as usize] = self.consts[k as usize].clone();
                 }
                 Op::Move { dst, src } => {
                     frame.regs[dst as usize] = frame.regs[src as usize].clone();
@@ -431,6 +455,7 @@ impl<'p> Vm<'p> {
                     let rv = frame.regs[r as usize].clone();
                     let mut s = self.stringify(&lv)?;
                     s.push_str(&self.stringify(&rv)?);
+                    self.meter.charge(s.len() as u64)?;
                     stack.last_mut().expect("frame").regs[dst as usize] =
                         Value::Str(Rc::from(s.as_str()));
                 }
@@ -470,6 +495,7 @@ impl<'p> Vm<'p> {
                             format!("negative array length {n}"),
                         ));
                     }
+                    self.meter.charge(n as u64 + 1)?;
                     frame.regs[dst as usize] = Value::Arr(Rc::new(ArrayData {
                         storage: RefCell::new(Storage::new(&et, n as usize)),
                         elem: et,
@@ -546,6 +572,7 @@ impl<'p> Vm<'p> {
                         .iter()
                         .map(|m| rtti::eval_model(self.prog, &frame.tenv, &frame.menv, m))
                         .collect();
+                    self.meter.charge(meter::PACK_COST)?;
                     frame.regs[dst as usize] = Value::Packed(Rc::new(PackedData {
                         value: v,
                         types: ts,
@@ -1014,6 +1041,7 @@ impl<'p> Vm<'p> {
     /// Allocates an object and runs its field-initializer chain (base
     /// classes first), leaving the constructor to the caller.
     fn new_object(&self, cid: ClassId, targs: &[RtType], models: &[ModelValue]) -> RResult<Value> {
+        self.meter.charge(meter::OBJECT_COST)?;
         let obj = Rc::new(ObjData {
             class: cid,
             targs: targs.to_vec(),

@@ -1,4 +1,5 @@
-//! The `genus` command-line driver: check and run Genus source files.
+//! The `genus` command-line driver: check, run, serve, and batch-run
+//! Genus source files.
 //!
 //! ```console
 //! $ genus run program.genus            # compile + execute main()
@@ -7,13 +8,18 @@
 //! $ genus run --engine=vm program.genus  # bytecode VM instead of the AST
 //! $ genus run --error-format=json p.genus  # one JSON object per diagnostic
 //! $ genus run --stats program.genus    # print cache/dispatch statistics
+//! $ genus run --fuel=100000 p.genus    # trap R0009 past the step budget
+//! $ genus serve --workers=4            # JSON-lines service on stdin/stdout
+//! $ genus serve --listen=127.0.0.1:7878  # ... or over TCP
+//! $ genus batch samples/               # run every .genus file in a dir
 //! ```
 //!
 //! Exit codes are tiered so scripts and CI can distinguish failure modes:
 //! `0` success, `1` compile errors (or warnings under `--deny-warnings`),
 //! `2` usage or I/O errors, `3` runtime trap.
 
-use genus::{CheckReport, Engine, ErrorFormat};
+use genus::{CheckReport, Engine, ErrorFormat, Limits};
+use genus_serve::{EngineKind, Outcome, Request, ServeConfig, Server, DEFAULT_FUEL};
 use std::process::ExitCode;
 
 /// Exit tier for compile errors (and denied warnings).
@@ -26,10 +32,17 @@ const EXIT_TRAP: u8 = 3;
 fn usage() -> ! {
     eprintln!(
         "usage: genus <run|check> [options] <file.genus> [more files...]\n\
+         \x20      genus serve [options]\n\
+         \x20      genus batch [options] <dir>\n\
          \n\
          run     compile the files (with the standard library unless\n\
          \x20        --no-stdlib is given) and execute main()\n\
          check   type-check only and report diagnostics\n\
+         serve   JSON-lines execution service: one request object per\n\
+         \x20        line on stdin (or a TCP connection with --listen),\n\
+         \x20        one response line each, in request order\n\
+         batch   run every .genus file in <dir> through the service and\n\
+         \x20        print a per-request stats line\n\
          \n\
          options:\n\
          \x20 --no-stdlib        compile with only the built-in prelude\n\
@@ -46,8 +59,16 @@ fn usage() -> ! {
          \x20                    or one JSON object per diagnostic\n\
          \x20 --deny-warnings    treat warnings as errors (exit 1)\n\
          \x20 --stats            after running, print dispatch-cache,\n\
-         \x20                    type-query-cache, and (VM) bytecode-\n\
-         \x20                    optimizer statistics to stderr\n\
+         \x20                    type-query-cache, resource, and (VM)\n\
+         \x20                    bytecode-optimizer statistics to stderr\n\
+         \x20 --fuel=<n>         trap R0009 after n interpreter steps\n\
+         \x20                    (serve/batch default: {DEFAULT_FUEL})\n\
+         \x20 --memory=<n>       trap R0010 past n heap allocation units\n\
+         \x20 --deadline-ms=<n>  trap R0009 past a wall-clock deadline\n\
+         \x20                    (serve: enforced by the scheduler, queue\n\
+         \x20                    time included)\n\
+         \x20 --workers=<n>      serve/batch worker threads (default 4)\n\
+         \x20 --listen=<addr>    serve over TCP on addr instead of stdio\n\
          \n\
          exit codes: 0 success, 1 compile errors, 2 usage/IO, 3 runtime trap"
     );
@@ -88,6 +109,9 @@ fn print_stats(ex: &genus::Execution) {
         c.resolve_hits, c.resolve_misses
     );
     eprintln!("total:    {} hits / {} misses", c.hits(), c.misses());
+    eprintln!("--- resource stats ---");
+    eprintln!("fuel used:  {} steps", ex.resource_stats.fuel_used);
+    eprintln!("heap used:  {} units", ex.resource_stats.mem_used);
     if let Some(o) = &ex.opt_stats {
         eprintln!("--- bytecode optimizer stats (opt-level {}) ---", o.level);
         eprintln!("functions specialized:   {}", o.funcs_specialized);
@@ -119,6 +143,17 @@ fn print_warnings(report: &CheckReport, format: ErrorFormat) {
     }
 }
 
+/// Parses a `--flag=<u64>` value, exiting with a usage error on garbage.
+fn parse_u64(flag: &str, value: &str) -> u64 {
+    match value.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: bad value `{value}` for --{flag} (expected an integer)");
+            std::process::exit(i32::from(EXIT_USAGE));
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
@@ -128,6 +163,9 @@ fn main() -> ExitCode {
     let mut engine = Engine::Ast;
     let mut opt_level: u8 = 2;
     let mut format = ErrorFormat::Human;
+    let mut limits = Limits::default();
+    let mut workers: usize = 4;
+    let mut listen: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         if a == "--no-stdlib" {
@@ -158,6 +196,16 @@ fn main() -> ExitCode {
                 return ExitCode::from(EXIT_USAGE);
             };
             format = f;
+        } else if let Some(v) = a.strip_prefix("--fuel=") {
+            limits.fuel = Some(parse_u64("fuel", v));
+        } else if let Some(v) = a.strip_prefix("--memory=") {
+            limits.memory = Some(parse_u64("memory", v));
+        } else if let Some(v) = a.strip_prefix("--deadline-ms=") {
+            limits.deadline_ms = Some(parse_u64("deadline-ms", v));
+        } else if let Some(v) = a.strip_prefix("--workers=") {
+            workers = (parse_u64("workers", v) as usize).max(1);
+        } else if let Some(addr) = a.strip_prefix("--listen=") {
+            listen = Some(addr.to_string());
         } else if a == "--help" || a == "-h" {
             usage();
         } else if a.starts_with('-') {
@@ -167,13 +215,30 @@ fn main() -> ExitCode {
             files.push(a);
         }
     }
+
+    // The service subcommands apply a default fuel budget so a looping
+    // request traps R0009 instead of pinning a worker forever.
+    if cmd == "serve" || cmd == "batch" {
+        if limits.fuel.is_none() {
+            limits.fuel = Some(DEFAULT_FUEL);
+        }
+        let config = ServeConfig {
+            workers,
+            default_limits: limits,
+        };
+        return match cmd.as_str() {
+            "serve" => cmd_serve(&config, listen.as_deref(), &files),
+            _ => cmd_batch(&config, engine, opt_level, stdlib, &files),
+        };
+    }
     if files.is_empty() {
         usage();
     }
     let mut compiler = genus::Compiler::new()
         .engine(engine)
         .opt_level(opt_level)
-        .error_format(format);
+        .error_format(format)
+        .limits(limits);
     if stdlib {
         compiler = compiler.with_stdlib();
     }
@@ -237,4 +302,147 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// `genus serve`: drive JSON-lines sessions over stdin/stdout, or over
+/// TCP with `--listen`. Requests choose their own engine/opt level; the
+/// CLI flags set the default resource budgets.
+fn cmd_serve(config: &ServeConfig, listen: Option<&str>, files: &[String]) -> ExitCode {
+    if !files.is_empty() {
+        eprintln!("error: `genus serve` takes no file arguments (requests arrive as JSON lines)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let server = Server::new(*config);
+    match listen {
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("error: cannot listen on `{addr}`: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            if let Ok(local) = listener.local_addr() {
+                eprintln!(
+                    "genus-serve: listening on {local} ({} workers)",
+                    config.workers
+                );
+            }
+            match server.serve_tcp(&listener) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: accept failed: {e}");
+                    ExitCode::from(EXIT_USAGE)
+                }
+            }
+        }
+        None => {
+            let stdin = std::io::stdin().lock();
+            let mut stdout = std::io::stdout().lock();
+            let result = server.run_session(stdin, &mut stdout);
+            let stats = server.cache_stats();
+            server.shutdown();
+            match result {
+                Ok(handled) => {
+                    eprintln!(
+                        "genus-serve: {handled} request(s), {} compile(s), {} cache hit(s)",
+                        stats.compiles, stats.hits
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: session I/O failed: {e}");
+                    ExitCode::from(EXIT_USAGE)
+                }
+            }
+        }
+    }
+}
+
+/// `genus batch <dir>`: run every `.genus` file in a directory through
+/// the service (sorted by name, so output order is deterministic) and
+/// print one stats line per request. The default fuel budget means a
+/// sample that loops forever fails its run instead of hanging the batch.
+fn cmd_batch(
+    config: &ServeConfig,
+    engine: Engine,
+    opt_level: u8,
+    stdlib: bool,
+    files: &[String],
+) -> ExitCode {
+    let [dir] = files else {
+        eprintln!("error: `genus batch` takes exactly one directory argument");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let entries = match std::fs::read_dir(dir) {
+        Ok(iter) => iter,
+        Err(e) => {
+            eprintln!("error: cannot read `{dir}`: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "genus"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("error: no .genus files in `{dir}`");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let mut requests = Vec::new();
+    for path in &paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read `{}`: {e}", path.display());
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        let mut req = Request::new(path.display().to_string(), source);
+        req.engine = match engine {
+            Engine::Ast => EngineKind::Ast,
+            Engine::Vm => EngineKind::Vm,
+        };
+        req.opt_level = opt_level;
+        req.stdlib = stdlib;
+        req.limits = config.default_limits;
+        requests.push(req);
+    }
+    let server = Server::new(*config);
+    let responses = server.run_batch(requests);
+    let stats = server.cache_stats();
+    server.shutdown();
+    let mut tier: u8 = 0;
+    for resp in &responses {
+        let cache = if resp.cache_hit { "hit" } else { "miss" };
+        match &resp.outcome {
+            Outcome::Ok(value) => {
+                println!(
+                    "{}: ok value={value} fuel={} cache={cache} ms={}",
+                    resp.id, resp.fuel_used, resp.ms
+                );
+            }
+            Outcome::Trap { code, message } => {
+                println!(
+                    "{}: trap {code} ({message}) fuel={} cache={cache} ms={}",
+                    resp.id, resp.fuel_used, resp.ms
+                );
+                tier = tier.max(EXIT_TRAP);
+            }
+            Outcome::Error(message) => {
+                let first = message.lines().next().unwrap_or("compile error");
+                println!("{}: error {first} cache={cache} ms={}", resp.id, resp.ms);
+                tier = tier.max(EXIT_COMPILE);
+            }
+        }
+    }
+    eprintln!(
+        "genus-batch: {} request(s), {} compile(s), {} cache hit(s)",
+        responses.len(),
+        stats.compiles,
+        stats.hits
+    );
+    ExitCode::from(tier)
 }

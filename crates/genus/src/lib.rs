@@ -26,7 +26,9 @@ pub use genus_check::{check_program, hir, CheckReport, CheckedProgram};
 pub use genus_common::{
     codes, json, Diagnostic, Diagnostics, ErrorFormat, Severity, SourceMap, Span,
 };
-pub use genus_interp::{DispatchStats, ErrorKind, Interp, RuntimeError, Value};
+pub use genus_interp::{
+    DispatchStats, ErrorKind, Interp, Limits, Meter, ResourceStats, RuntimeError, Value,
+};
 pub use genus_types::{caches_enabled, set_caches_enabled, CacheStats};
 pub use genus_vm::{compile_optimized, compile_program, OptStats, Vm, VmProgram};
 
@@ -89,6 +91,9 @@ pub struct Execution {
     /// Bytecode-optimizer counters (specialization, folding, …). `None`
     /// on the AST engine, which has no bytecode to optimize.
     pub opt_stats: Option<OptStats>,
+    /// Resources consumed by this run: fuel steps and abstract heap
+    /// units (see [`Limits`]). Counted even when no limit is set.
+    pub resource_stats: ResourceStats,
 }
 
 /// A builder-style compiler front end.
@@ -103,6 +108,7 @@ pub struct Compiler {
     engine: Engine,
     format: ErrorFormat,
     opt_level: u8,
+    limits: Limits,
 }
 
 impl Default for Compiler {
@@ -113,6 +119,7 @@ impl Default for Compiler {
             engine: Engine::default(),
             format: ErrorFormat::default(),
             opt_level: 2,
+            limits: Limits::default(),
         }
     }
 }
@@ -155,6 +162,37 @@ impl Compiler {
     /// [`ErrorFormat::Short`], the classic one-line mode).
     pub fn error_format(mut self, format: ErrorFormat) -> Self {
         self.format = format;
+        self
+    }
+
+    /// Caps the run at `fuel` execution steps (statements/expressions on
+    /// the AST engine, opcodes on the VM). Exhaustion traps with the
+    /// stable code `R0009`. Unlimited by default.
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.limits.fuel = Some(fuel);
+        self
+    }
+
+    /// Caps the run at `units` abstract heap units (charged at object,
+    /// array, string, and existential-package allocation sites).
+    /// Exceeding the cap traps with the stable code `R0010`. Unlimited
+    /// by default.
+    pub fn memory_limit(mut self, units: u64) -> Self {
+        self.limits.memory = Some(units);
+        self
+    }
+
+    /// Imposes a wall-clock deadline on the run, measured from when the
+    /// engine starts. Missing it traps with `R0009` (deadlines are a
+    /// form of fuel). Unlimited by default.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.limits.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Installs a full [`Limits`] bundle at once (serve requests).
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
         self
     }
 
@@ -209,8 +247,11 @@ impl Compiler {
     /// render warnings first) and wants to reuse it.
     pub fn execute_checked(&self, prog: CheckedProgram) -> Execution {
         match self.engine {
-            Engine::Ast => execute_ast(prog).0,
-            Engine::Vm => execute_vm(&prog, self.opt_level),
+            Engine::Ast => execute_ast(prog, self.limits).0,
+            Engine::Vm => {
+                let code = std::sync::Arc::new(compile_optimized(&prog, self.opt_level));
+                execute_vm_shared(&prog, &code, self.limits)
+            }
         }
     }
 
@@ -241,8 +282,9 @@ impl Compiler {
     /// test suite.
     pub fn run_differential(&self) -> Result<RunResult, String> {
         let prog = self.compile()?;
-        let (ast, prog) = execute_ast(prog);
-        let vm = execute_vm(&prog, self.opt_level);
+        let (ast, prog) = execute_ast(prog, self.limits);
+        let code = std::sync::Arc::new(compile_optimized(&prog, self.opt_level));
+        let vm = execute_vm_shared(&prog, &code, self.limits);
         let outcomes_agree = match (&ast.outcome, &vm.outcome) {
             (Ok(a), Ok(v)) => a == v,
             // Structured parity: code + span, not message text.
@@ -260,26 +302,16 @@ impl Compiler {
 }
 
 /// Runs on the tree-walking interpreter. The program (with its warmed-up
-/// query caches) moves onto a dedicated thread — caches use interior
-/// mutability and are not shareable across threads, only sendable — and
-/// the big stack keeps the interpreter's recursion guard, not the native
-/// stack, the binding limit. The program is handed back so callers can
-/// reuse the compilation (differential runs).
-fn execute_ast(prog: CheckedProgram) -> (Execution, CheckedProgram) {
+/// query caches) moves onto a dedicated thread, and the big stack keeps
+/// the interpreter's recursion guard, not the native stack, the binding
+/// limit. The program is handed back so callers can reuse the
+/// compilation (differential runs).
+fn execute_ast(prog: CheckedProgram, limits: Limits) -> (Execution, CheckedProgram) {
     std::thread::Builder::new()
         .name("genus-interp".to_string())
-        .stack_size(256 << 20)
+        .stack_size(INTERP_STACK_SIZE)
         .spawn(move || {
-            let mut interp = Interp::new(&prog);
-            let outcome = interp.run_main().map(|v| format!("{v}"));
-            let ex = Execution {
-                outcome,
-                output: interp.take_output(),
-                dispatch_stats: interp.dispatch_stats(),
-                cache_stats: prog.table.cache.stats(),
-                opt_stats: None,
-            };
-            drop(interp);
+            let ex = execute_ast_shared(&prog, limits);
             (ex, prog)
         })
         .expect("spawn interpreter thread")
@@ -287,18 +319,53 @@ fn execute_ast(prog: CheckedProgram) -> (Execution, CheckedProgram) {
         .expect("interpreter thread panicked")
 }
 
-/// Runs on the bytecode VM (compiled at `opt_level`). Its dispatch loop
-/// keeps the host stack flat, so no dedicated thread is needed.
-fn execute_vm(prog: &CheckedProgram, opt_level: u8) -> Execution {
-    let code = std::rc::Rc::new(compile_optimized(prog, opt_level));
+/// How much native stack the AST interpreter needs: each Genus frame
+/// costs tens of KiB of host stack in debug builds, so the facade (and
+/// the serve worker pool) runs it under a 256 MiB stack.
+pub const INTERP_STACK_SIZE: usize = 256 << 20;
+
+/// Runs `main()` on the tree-walking interpreter against a **shared**
+/// checked program (the caller is responsible for providing enough
+/// native stack — see [`INTERP_STACK_SIZE`]; the facade's big-stack
+/// thread or a serve worker both qualify). Cache counters in the result
+/// are the delta accumulated during this run, so concurrent runs over
+/// one cached program report per-request numbers.
+pub fn execute_ast_shared(prog: &CheckedProgram, limits: Limits) -> Execution {
+    let cache_base = prog.table.cache.stats();
+    let mut interp = Interp::new(prog);
+    interp.set_limits(limits);
+    let outcome = interp.run_main().map(|v| format!("{v}"));
+    Execution {
+        outcome,
+        resource_stats: interp.resource_stats(),
+        output: interp.take_output(),
+        dispatch_stats: interp.dispatch_stats(),
+        cache_stats: prog.table.cache.stats().since(&cache_base),
+        opt_stats: None,
+    }
+}
+
+/// Runs `main()` on the bytecode VM over a **shared** compiled program.
+/// The VM's dispatch loop keeps the host stack flat, so no dedicated
+/// thread is needed; `code` is `Send + Sync` and may be served to many
+/// workers at once. Cache counters in the result are the delta
+/// accumulated during this run.
+pub fn execute_vm_shared(
+    prog: &CheckedProgram,
+    code: &std::sync::Arc<VmProgram>,
+    limits: Limits,
+) -> Execution {
+    let cache_base = prog.table.cache.stats();
     let opt_stats = Some(code.opt_stats);
-    let mut vm = Vm::with_code(prog, code);
+    let mut vm = Vm::with_code(prog, std::sync::Arc::clone(code));
+    vm.set_limits(limits);
     let outcome = vm.run_main().map(|v| format!("{v}"));
     Execution {
         outcome,
+        resource_stats: vm.resource_stats(),
         output: vm.take_output(),
         dispatch_stats: vm.dispatch_stats(),
-        cache_stats: prog.table.cache.stats(),
+        cache_stats: prog.table.cache.stats().since(&cache_base),
         opt_stats,
     }
 }

@@ -157,3 +157,107 @@ fn json_trap_round_trip() {
         Some("error")
     );
 }
+
+/// `genus run --fuel=N` traps `R0009` with exit tier 3 on both engines.
+#[test]
+fn run_fuel_flag_traps_r0009() {
+    let f = source_file(
+        "spin.genus",
+        "int main() { int i = 0; while (true) { i = i + 1; } return i; }",
+    );
+    for engine in ["--engine=ast", "--engine=vm"] {
+        let out = run_cli(&["run", engine, "--fuel=20000", "--error-format=short"], &f);
+        assert_eq!(out.status.code(), Some(3), "{engine}");
+        let err = stderr_of(&out);
+        assert!(err.contains("R0009"), "{engine}: {err}");
+    }
+}
+
+/// `genus run --memory=N` traps `R0010` with exit tier 3.
+#[test]
+fn run_memory_flag_traps_r0010() {
+    let f = source_file(
+        "alloc.genus",
+        "int main() { int i = 0; while (true) { int[] a = new int[512]; i = i + 1; } return i; }",
+    );
+    let out = run_cli(&["run", "--memory=50000", "--error-format=short"], &f);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(stderr_of(&out).contains("R0010"), "{}", stderr_of(&out));
+}
+
+/// `genus serve` end to end: JSON-lines in, ordered JSON-lines out, with
+/// the default fuel budget stopping a looping request.
+#[test]
+fn serve_session_over_stdin() {
+    use std::io::Write;
+    let mut child = bin()
+        .args(["serve", "--workers=2", "--fuel=50000"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn genus serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(
+            concat!(
+                r#"{"id": "a", "source": "int main() { println(\"hi\"); return 7; }"}"#,
+                "\n",
+                r#"{"id": "b", "source": "int main() { while (true) {} return 0; }"}"#,
+                "\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits at EOF");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    let first = json::parse(lines[0]).expect("response JSON");
+    assert_eq!(first.get("id").and_then(json::Json::as_str), Some("a"));
+    assert_eq!(
+        first.get("outcome").and_then(json::Json::as_str),
+        Some("ok")
+    );
+    assert_eq!(first.get("value").and_then(json::Json::as_str), Some("7"));
+    let second = json::parse(lines[1]).expect("response JSON");
+    assert_eq!(second.get("id").and_then(json::Json::as_str), Some("b"));
+    assert_eq!(
+        second.get("code").and_then(json::Json::as_str),
+        Some("R0009")
+    );
+}
+
+/// `genus batch <dir>`: one stats line per file, sorted, with the trap
+/// tier in the exit code when a file exhausts its budget.
+#[test]
+fn batch_runs_a_directory() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("batch_cli");
+    std::fs::create_dir_all(&dir).expect("create batch dir");
+    std::fs::write(dir.join("a_ok.genus"), "int main() { return 1; }").unwrap();
+    std::fs::write(
+        dir.join("b_spin.genus"),
+        "int main() { while (true) {} return 0; }",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["batch", "--fuel=50000"])
+        .arg(&dir)
+        .output()
+        .expect("spawn genus batch");
+    assert_eq!(out.status.code(), Some(3), "{}", stderr_of(&out));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(
+        lines[0].contains("a_ok.genus") && lines[0].contains("ok value=1"),
+        "{stdout}"
+    );
+    assert!(
+        lines[1].contains("b_spin.genus") && lines[1].contains("trap R0009"),
+        "{stdout}"
+    );
+}

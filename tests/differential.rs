@@ -126,6 +126,78 @@ fn open_null_trap_parity_across_levels() {
     }
 }
 
+/// Every shipped sample must terminate within the service's default fuel
+/// budget on both engines at every opt level. A sample that loops forever
+/// (or regresses into pathological step counts) fails here with `R0009`
+/// instead of hanging the differential harness — the same guard `genus
+/// batch` applies at run time.
+#[test]
+fn all_samples_terminate_under_default_fuel() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/samples");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("samples/ directory exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".genus"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty());
+    for name in &names {
+        for (engine, level) in [(Engine::Ast, 0), (Engine::Vm, 0), (Engine::Vm, 2)] {
+            let ex = Compiler::new()
+                .with_stdlib()
+                .engine(engine)
+                .opt_level(level)
+                .fuel(genus_serve::DEFAULT_FUEL)
+                .source(name.clone(), sample(name))
+                .execute()
+                .unwrap_or_else(|e| panic!("sample `{name}` failed to compile: {e}"));
+            assert!(
+                ex.outcome.is_ok(),
+                "`{name}` did not terminate under the default fuel budget \
+                 on {engine:?} at opt-level {level}: {:?}",
+                ex.outcome
+            );
+            assert!(
+                ex.resource_stats.fuel_used < genus_serve::DEFAULT_FUEL,
+                "`{name}` fuel accounting out of range"
+            );
+        }
+    }
+}
+
+/// Fuel exhaustion must have the same error identity everywhere: the same
+/// looping program trapped under the same budget yields the same
+/// `(code, span)` pair on the AST engine and on the VM at O0 and O2.
+/// (Fuel traps carry no source span — the budget, not a program point,
+/// is at fault — so the spans compare equal as dummies by construction;
+/// this test locks that in so neither engine starts attaching a span the
+/// other lacks.)
+#[test]
+fn fuel_trap_parity_across_levels() {
+    let src = "int main() { int i = 0; while (true) { i = i + 1; } return i; }";
+    let run = |engine: Engine, level: u8| {
+        Compiler::new()
+            .engine(engine)
+            .opt_level(level)
+            .fuel(25_000)
+            .source("spin.genus".to_string(), src.to_string())
+            .execute()
+            .expect("compiles")
+            .outcome
+            .expect_err("must trap on fuel")
+    };
+    let ast_err = run(Engine::Ast, 0);
+    assert_eq!(ast_err.code(), "R0009");
+    for level in OPT_LEVELS {
+        let vm_err = run(Engine::Vm, level);
+        assert_eq!(
+            (ast_err.code(), ast_err.span),
+            (vm_err.code(), vm_err.span),
+            "fuel trap identity diverges at opt-level {level}"
+        );
+    }
+}
+
 /// No sample file is left out of the harness: if someone adds a new sample,
 /// this test forces them to add a differential case for it above.
 #[test]
