@@ -36,6 +36,16 @@ for lvl in 0 1 2; do
 done
 cmp target/opt_parity_0.out target/opt_parity_1.out
 cmp target/opt_parity_0.out target/opt_parity_2.out
+# Tier-parity gate: the closure-compiled Tier 2 must be observationally
+# identical to the VM (the differential suite above already asserts
+# exact fuel equality between them); here the shipped binary sweeps
+# every sample on both engines and compares output byte for byte.
+for sample in samples/*.genus; do
+  out="target/tier_parity_$(basename "$sample" .genus)"
+  target/release/genus run --engine=vm "$sample" > "$out.vm"
+  target/release/genus run --engine=jit "$sample" > "$out.jit"
+  cmp "$out.vm" "$out.jit"
+done
 # The execution service: unit + integration suite (program-cache
 # coherence, worker pool, resource traps, session ordering, TCP), then an
 # end-to-end gate piping a 3-request JSON-lines batch — one OK, one

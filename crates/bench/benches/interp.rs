@@ -245,9 +245,17 @@ fn run_ast(prog: &CheckedProgram) -> String {
     format!("{v}")
 }
 
-fn run_vm(prog: &CheckedProgram, code: &std::rc::Rc<genus::VmProgram>) -> String {
+fn run_vm(prog: &CheckedProgram, code: &std::sync::Arc<genus::VmProgram>) -> String {
     let mut vm = Vm::with_code(prog, code.clone());
     let v = vm.run_main().expect("bench program runs on VM");
+    format!("{v}")
+}
+
+fn run_tier(prog: &CheckedProgram, tier: &genus::TierProgram) -> String {
+    let mut vm = Vm::with_code(prog, tier.code().clone());
+    let v = vm
+        .run_main_tier(tier)
+        .expect("bench program runs on Tier 2");
     format!("{v}")
 }
 
@@ -312,8 +320,8 @@ fn bench_vm(c: &mut Criterion) {
     ];
     let mut opt_rows = Vec::new();
     for (name, prog) in &opt_workloads {
-        let code0 = std::rc::Rc::new(genus::compile_optimized(prog, 0));
-        let code2 = std::rc::Rc::new(genus::compile_optimized(prog, 2));
+        let code0 = std::sync::Arc::new(genus::compile_optimized(prog, 0));
+        let code2 = std::sync::Arc::new(genus::compile_optimized(prog, 2));
         assert_eq!(
             run_vm(prog, &code0),
             run_vm(prog, &code2),
@@ -332,12 +340,44 @@ fn bench_vm(c: &mut Criterion) {
             o0_ns / o2_ns, s.funcs_specialized, s.calls_directed, s.call_model_devirted
         ));
     }
+    // The tier A/B: the same O2 bytecode executed by the VM's
+    // fetch/decode loop vs closure-compiled Tier 2 (pre-resolved
+    // operands, no decode). Observable behaviour and fuel are identical
+    // by construction; only the dispatch overhead differs.
+    let tier_workloads = [
+        ("specialized_dispatch", compile(SPECIALIZED_DISPATCH, false)),
+        ("insertion_sort", compile(INSERTION_SORT, true)),
+        ("model_dispatch", compile(MODEL_DISPATCH, true)),
+    ];
+    let mut tier_rows = Vec::new();
+    for (name, prog) in &tier_workloads {
+        let code2 = std::sync::Arc::new(genus::compile_optimized(prog, 2));
+        let tier = genus::compile_tier(&code2);
+        assert_eq!(
+            run_vm(prog, &code2),
+            run_tier(prog, &tier),
+            "tier divergence on `{name}`"
+        );
+        g.bench_function(format!("{name}_tier"), |b| b.iter(|| run_tier(prog, &tier)));
+        let (vm_ns, tier_ns) = measure_pair(
+            || std::mem::drop(run_vm(prog, &code2)),
+            || std::mem::drop(run_tier(prog, &tier)),
+            15,
+        );
+        tier_rows.push(format!(
+            "    \"{name}\": {{\"vm_o2_ns\": {vm_ns:.0}, \"tier_ns\": {tier_ns:.0}, \"tier_speedup\": {:.3}, \"funcs_tiered\": {}, \"blocks\": {}}}",
+            vm_ns / tier_ns,
+            tier.stats.funcs_tiered,
+            tier.stats.blocks
+        ));
+    }
     g.finish();
     let json = format!(
-        "{{\n  \"bench\": \"ast_vs_vm\",\n  \"caches_enabled\": {},\n  \"min_of\": 15,\n  \"workloads\": {{\n{}\n  }},\n  \"opt\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"ast_vs_vm\",\n  \"caches_enabled\": {},\n  \"min_of\": 15,\n  \"workloads\": {{\n{}\n  }},\n  \"opt\": {{\n{}\n  }},\n  \"tier\": {{\n{}\n  }}\n}}\n",
         genus::caches_enabled(),
         rows.join(",\n"),
-        opt_rows.join(",\n")
+        opt_rows.join(",\n"),
+        tier_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_vm.json");
     std::fs::write(path, &json).expect("write BENCH_vm.json");

@@ -1,0 +1,239 @@
+//! Load-generator benchmark for `genus-serve`: client-observed latency
+//! (p50/p99) and throughput across worker-pool sizes, cache temperatures,
+//! and engines — including `engine: "auto"` hotness promotion through
+//! the tiers. Writes a machine-readable summary to `BENCH_serve.json` at
+//! the repository root.
+//!
+//! Not a criterion harness: the interesting quantities are tail latency
+//! under concurrent load and end-to-end throughput of the scheduler +
+//! program cache + engines, which a single-threaded `b.iter` cannot
+//! express. One client thread per in-flight request timestamps its own
+//! submit→response round trip, so queueing delay counts — the number a
+//! real caller would see.
+
+use genus_serve::{EngineKind, Outcome, Request, Response, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Requests per scenario: enough for a stable p99 at these run times
+/// without making the cold-cache scenarios compile-bound for minutes.
+const REQUESTS: usize = 64;
+
+/// Distinct program shapes for the cold scenarios (each compiles once).
+const PROGRAMS: usize = 16;
+
+/// A small dispatch-heavy program, parameterized so distinct seeds are
+/// distinct cache entries. Prelude-only: the cold scenarios measure the
+/// service pipeline, not stdlib checking.
+fn src(seed: usize) -> String {
+    format!(
+        "constraint Ord[T] {{ boolean T.before(T other); }}
+         model IntOrd for Ord[int] {{
+           boolean before(int other) {{ return this < other; }}
+         }}
+         int count[T](T[] xs, T p) where Ord[T] {{
+           int n = 0;
+           for (int i = 0; i < xs.length; i = i + 1) {{
+             if (xs[i].before(p)) {{ n = n + 1; }}
+           }}
+           return n;
+         }}
+         int main() {{
+           int[] xs = new int[256];
+           for (int i = 0; i < 256; i = i + 1) {{ xs[i] = (i * 7919 + {seed}) % 997; }}
+           int s = 0;
+           for (int r = 0; r < 40; r = r + 1) {{ s = s + count[int with IntOrd](xs, 500); }}
+           return s;
+         }}"
+    )
+}
+
+fn request(id: usize, seed: usize, engine: EngineKind) -> Request {
+    let mut req = Request::new(format!("r{id}"), src(seed));
+    req.engine = engine;
+    req.stdlib = false;
+    req.limits.fuel = Some(genus_serve::DEFAULT_FUEL);
+    req
+}
+
+struct Measured {
+    p50_us: f64,
+    p99_us: f64,
+    throughput_rps: f64,
+    engines: Vec<&'static str>,
+}
+
+/// Fires `reqs` concurrently (one client thread each), returning the
+/// client-observed latency distribution and aggregate throughput.
+fn drive(server: &Arc<Server>, reqs: Vec<Request>) -> Measured {
+    let n = reqs.len();
+    let wall = Instant::now();
+    let handles: Vec<_> = reqs
+        .into_iter()
+        .map(|req| {
+            let server = Arc::clone(server);
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                let resp: Response = server.submit(req).recv().expect("response");
+                assert!(
+                    matches!(resp.outcome, Outcome::Ok(_)),
+                    "bench request failed: {}",
+                    resp.to_json_line()
+                );
+                (start.elapsed().as_secs_f64() * 1e6, resp.engine.name())
+            })
+        })
+        .collect();
+    let mut lat = Vec::with_capacity(n);
+    let mut engines = Vec::with_capacity(n);
+    for h in handles {
+        let (us, engine) = h.join().expect("client thread");
+        lat.push(us);
+        engines.push(engine);
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    lat.sort_by(f64::total_cmp);
+    Measured {
+        p50_us: lat[n / 2],
+        p99_us: lat[((n as f64 * 0.99) as usize).min(n - 1)],
+        throughput_rps: n as f64 / elapsed,
+        engines,
+    }
+}
+
+/// Counts how each response resolved its engine (interesting for
+/// `engine: "auto"`, where the mix shows the promotion ladder).
+fn engine_mix(engines: &[&'static str]) -> String {
+    let count = |k: &str| engines.iter().filter(|e| **e == k).count();
+    format!(
+        "{{\"ast\": {}, \"vm\": {}, \"jit\": {}}}",
+        count("ast"),
+        count("vm"),
+        count("jit")
+    )
+}
+
+fn row(key: &str, workers: usize, cache: &str, engine: &str, m: &Measured, extra: &str) -> String {
+    format!(
+        "    \"{key}\": {{\"workers\": {workers}, \"cache\": \"{cache}\", \"engine\": \"{engine}\", \
+         \"p50_us\": {:.0}, \"p99_us\": {:.0}, \"throughput_rps\": {:.0}{extra}}}",
+        m.p50_us, m.p99_us, m.throughput_rps
+    )
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for workers in [1usize, 4, 16] {
+        // Cold: a fresh server, 64 requests over 16 distinct programs —
+        // compiles dominate, and racing requests on the same fresh
+        // source exercise the one-compile-per-program guarantee.
+        let server = Arc::new(Server::new(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }));
+        let cold = drive(
+            &server,
+            (0..REQUESTS)
+                .map(|i| request(i, i % PROGRAMS, EngineKind::Vm))
+                .collect(),
+        );
+        assert_eq!(server.cache_stats().compiles as usize, PROGRAMS);
+        rows.push(row(
+            &format!("w{workers}_cold_vm"),
+            workers,
+            "cold",
+            "vm",
+            &cold,
+            "",
+        ));
+
+        // Hot: the same sources again on the warmed cache — pure
+        // execution + scheduling, zero compiles.
+        let hot = drive(
+            &server,
+            (0..REQUESTS)
+                .map(|i| request(REQUESTS + i, i % PROGRAMS, EngineKind::Vm))
+                .collect(),
+        );
+        rows.push(row(
+            &format!("w{workers}_hot_vm"),
+            workers,
+            "hot",
+            "vm",
+            &hot,
+            "",
+        ));
+
+        // Hot + Tier 2: same warmed cache, explicit jit engine. The
+        // first wave pays one tier compile per program; steady state is
+        // closure-tree execution.
+        let hot_jit = drive(
+            &server,
+            (0..REQUESTS)
+                .map(|i| request(2 * REQUESTS + i, i % PROGRAMS, EngineKind::Jit))
+                .collect(),
+        );
+        assert_eq!(server.cache_stats().tier_compiles as usize, PROGRAMS);
+        rows.push(row(
+            &format!("w{workers}_hot_jit"),
+            workers,
+            "hot",
+            "jit",
+            &hot_jit,
+            "",
+        ));
+        server.shutdown_arc();
+
+        // Promotion: a fresh server hammered with ONE source under
+        // `engine: "auto"` — the entry climbs AST → VM → Tier 2 as its
+        // invocation count crosses the thresholds, with exactly one
+        // tier compile. The engine mix records the ladder.
+        let server = Arc::new(Server::new(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }));
+        let auto = drive(
+            &server,
+            (0..REQUESTS)
+                .map(|i| request(i, 0, EngineKind::Auto))
+                .collect(),
+        );
+        let stats = server.cache_stats();
+        assert_eq!(stats.tier_compiles, 1, "exactly one promotion tier compile");
+        rows.push(row(
+            &format!("w{workers}_auto_promotion"),
+            workers,
+            "cold",
+            "auto",
+            &auto,
+            &format!(
+                ", \"tier_compiles\": {}, \"engine_mix\": {}",
+                stats.tier_compiles,
+                engine_mix(&auto.engines)
+            ),
+        ));
+        server.shutdown_arc();
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"requests_per_scenario\": {REQUESTS},\n  \"distinct_programs\": {PROGRAMS},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {path}");
+    print!("{json}");
+}
+
+/// `Server::shutdown` takes `self` by value; this helper lets the bench
+/// drop an `Arc`'d server gracefully once all clients have joined.
+trait ShutdownArc {
+    fn shutdown_arc(self);
+}
+
+impl ShutdownArc for Arc<Server> {
+    fn shutdown_arc(self) {
+        if let Some(server) = Arc::into_inner(self) {
+            server.shutdown();
+        }
+    }
+}

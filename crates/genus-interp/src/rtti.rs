@@ -119,6 +119,27 @@ pub fn value_rt_type(prog: &CheckedProgram, v: &Value) -> RtType {
     }
 }
 
+/// Whether `v`'s runtime type is exactly `rt` — structurally equivalent
+/// to `value_rt_type(prog, v) == *rt`, but without constructing the type
+/// (no `targs`/`models` clones for objects, no boxed element clone for
+/// arrays). This is the hot-path comparator behind the VM's per-site
+/// model-dispatch inline caches.
+pub fn value_matches_rt(prog: &CheckedProgram, v: &Value, rt: &RtType) -> bool {
+    match v {
+        Value::Obj(o) => matches!(
+            rt,
+            RtType::Class { id, args, models }
+                if o.class == *id && o.targs == *args && o.models == *models
+        ),
+        Value::Arr(a) => matches!(rt, RtType::Array(e) if a.elem == **e),
+        Value::Packed(p) => value_matches_rt(prog, &p.value, rt),
+        // Primitives, strings, null: `value_rt_type` is allocation-free
+        // for these shapes (empty vecs never touch the heap), so reuse it
+        // for exact parity with the memo-key construction.
+        _ => value_rt_type(prog, v) == *rt,
+    }
+}
+
 /// Human-readable name of a runtime type, for diagnostic messages
 /// (`ArrayList[int]`, `int[]`, ...).
 pub fn rt_type_name(prog: &CheckedProgram, t: &RtType) -> String {

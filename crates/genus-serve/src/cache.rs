@@ -16,27 +16,36 @@
 
 use genus_check::CheckedProgram;
 use genus_common::{FastMap, FnvHasher};
-use genus_vm::{compile_optimized, VmProgram};
+use genus_vm::{compile_optimized, compile_tier, TierProgram, VmProgram};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A compiled-and-checked program shared by every request with the same
 /// source. The bytecode is compiled lazily on the first VM-engine request
-/// (AST-only traffic never pays for it).
+/// (AST-only traffic never pays for it), and the closure-compiled Tier 2
+/// form lazily on the first jit-engine request or hotness promotion —
+/// each behind its own `OnceLock`, so racing requests agree on exactly
+/// one compile per tier.
 pub struct CachedProgram {
     /// The checked AST (also carries the type tables and query caches).
     pub prog: CheckedProgram,
     /// The entry's optimization level (fixed per cache key).
     pub opt_level: u8,
+    /// Runs of this entry so far — the hotness signal driving
+    /// `engine: "auto"` tier promotion.
+    invocations: AtomicU64,
     vm_code: OnceLock<Arc<VmProgram>>,
+    tier_code: OnceLock<Arc<TierProgram>>,
 }
 
 impl std::fmt::Debug for CachedProgram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CachedProgram")
             .field("opt_level", &self.opt_level)
+            .field("invocations", &self.invocations())
             .field("vm_compiled", &self.vm_code.get().is_some())
+            .field("tier_compiled", &self.tier_code.get().is_some())
             .finish_non_exhaustive()
     }
 }
@@ -48,6 +57,32 @@ impl CachedProgram {
             self.vm_code
                 .get_or_init(|| Arc::new(compile_optimized(&self.prog, self.opt_level))),
         )
+    }
+
+    /// The shared Tier 2 closure program, compiling it (and the bytecode
+    /// underneath, if this entry never ran on the VM) on first use. Under
+    /// racing submissions exactly one thread tier-compiles; the rest
+    /// block on the `OnceLock` and share the result.
+    pub fn tier_code(&self) -> Arc<TierProgram> {
+        Arc::clone(
+            self.tier_code
+                .get_or_init(|| Arc::new(compile_tier(&self.vm_code()))),
+        )
+    }
+
+    /// Whether the Tier 2 form has been compiled (without triggering it).
+    pub fn tier_compiled(&self) -> bool {
+        self.tier_code.get().is_some()
+    }
+
+    /// Counts one run of this entry and returns the new total.
+    pub fn bump_invocations(&self) -> u64 {
+        self.invocations.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Runs of this entry so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
     }
 }
 
@@ -79,6 +114,9 @@ pub struct ProgramCacheStats {
     /// Compilations actually executed (== `misses` unless a compile
     /// panicked).
     pub compiles: u64,
+    /// Entries whose Tier 2 closure form has been compiled — at most one
+    /// tier compile per entry, no matter how many submissions race.
+    pub tier_compiles: u64,
 }
 
 /// The shared program cache. Cheap to clone the `Arc` around; all methods
@@ -144,7 +182,9 @@ impl ProgramCache {
                     Arc::new(CachedProgram {
                         prog,
                         opt_level,
+                        invocations: AtomicU64::new(0),
                         vm_code: OnceLock::new(),
+                        tier_code: OnceLock::new(),
                     })
                 })
             })
@@ -152,12 +192,25 @@ impl ProgramCache {
         (result, hit)
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. `tier_compiles` is derived by inspecting the
+    /// entries (the `OnceLock` *is* the count — there is no separate
+    /// counter to drift from it).
     pub fn stats(&self) -> ProgramCacheStats {
+        let tier_compiles = self
+            .map
+            .lock()
+            .unwrap()
+            .values()
+            .flatten()
+            .filter_map(|(_, slot)| slot.get())
+            .filter_map(|r| r.as_ref().ok())
+            .filter(|cached| cached.tier_compiled())
+            .count() as u64;
         ProgramCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
+            tier_compiles,
         }
     }
 
@@ -229,5 +282,21 @@ mod tests {
         let a = cached.vm_code();
         let b = cached.vm_code();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn tier_code_is_compiled_once_and_counted() {
+        let cache = ProgramCache::new();
+        let (r, _) = cache.get_or_compile("int main() { return 3; }", false, 2);
+        let cached = r.unwrap();
+        assert_eq!(cache.stats().tier_compiles, 0);
+        let a = cached.tier_code();
+        let b = cached.tier_code();
+        assert!(Arc::ptr_eq(&a, &b), "tier program is shared");
+        assert!(
+            Arc::ptr_eq(a.code(), &cached.vm_code()),
+            "tier is built over the entry's own bytecode"
+        );
+        assert_eq!(cache.stats().tier_compiles, 1);
     }
 }

@@ -10,7 +10,9 @@
 //!  "fuel": 1000000, "memory": 65536, "deadline_ms": 2000}
 //! ```
 //!
-//! Only `id` and `source` are required. `engine` defaults to `"vm"`,
+//! Only `id` and `source` are required. `engine` defaults to `"vm"`
+//! (also accepted: `"ast"`, `"jit"` for the closure-compiled Tier 2,
+//! and `"auto"` for server-side hotness promotion across all three),
 //! `opt` to 2, `stdlib` to `true` (the same default as `genus run`;
 //! pass `false` for prelude-only compiles); the resource fields default
 //! to the server's per-request budgets.
@@ -39,15 +41,27 @@ pub enum EngineKind {
     /// shared across workers through the cache).
     #[default]
     Vm,
+    /// Tier 2: the closure-compiled engine over the optimized bytecode.
+    /// Like the VM's, its compiled form is shared through the cache.
+    Jit,
+    /// Tiered execution with hotness promotion: the server picks the
+    /// engine from the cache entry's invocation count — cold programs
+    /// run on the AST interpreter (no bytecode compile), warm ones on
+    /// the VM, hot ones on Tier 2. The response's `engine` field reports
+    /// the engine that actually ran.
+    Auto,
 }
 
 impl EngineKind {
-    /// Parses an engine name (same names as `genus run --engine=`).
+    /// Parses an engine name (same names as `genus run --engine=`, plus
+    /// `auto` for server-side tier promotion).
     #[must_use]
     pub fn from_name(name: &str) -> Option<EngineKind> {
         match name {
             "ast" | "interp" => Some(EngineKind::Ast),
             "vm" | "bytecode" => Some(EngineKind::Vm),
+            "jit" | "tier" => Some(EngineKind::Jit),
+            "auto" => Some(EngineKind::Auto),
             _ => None,
         }
     }
@@ -58,6 +72,8 @@ impl EngineKind {
         match self {
             EngineKind::Ast => "ast",
             EngineKind::Vm => "vm",
+            EngineKind::Jit => "jit",
+            EngineKind::Auto => "auto",
         }
     }
 }
@@ -207,7 +223,10 @@ pub struct Response {
     pub cache_hit: bool,
     /// Wall-clock service time in milliseconds (queue + compile + run).
     pub ms: u64,
-    /// The engine that ran (or would have run) the request.
+    /// The engine that ran (or would have run) the request. For
+    /// `engine: "auto"` requests this is the **resolved** engine the
+    /// promotion policy picked, so callers can watch a program climb
+    /// the tiers.
     pub engine: EngineKind,
 }
 
@@ -312,7 +331,7 @@ mod tests {
         assert!(Request::parse("not json", &d).is_err());
         assert!(Request::parse(r#"{"source": "x"}"#, &d).is_err());
         assert!(Request::parse(r#"{"id": "a"}"#, &d).is_err());
-        assert!(Request::parse(r#"{"id": "a", "source": "x", "engine": "jit"}"#, &d).is_err());
+        assert!(Request::parse(r#"{"id": "a", "source": "x", "engine": "llvm"}"#, &d).is_err());
         assert!(Request::parse(r#"{"id": "a", "source": "x", "fuel": -1}"#, &d).is_err());
     }
 

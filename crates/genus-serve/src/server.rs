@@ -44,6 +44,15 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Budgets applied to requests that do not carry their own.
     pub default_limits: Limits,
+    /// `engine: "auto"` promotion: run on the bytecode VM once a cache
+    /// entry's invocation count **exceeds** this (below it, the AST
+    /// interpreter runs and the entry never pays for a bytecode
+    /// compile).
+    pub vm_threshold: u64,
+    /// `engine: "auto"` promotion: run on the closure-compiled Tier 2
+    /// once the invocation count exceeds this (`--tier-threshold=<n>`
+    /// on the CLI).
+    pub tier_threshold: u64,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +60,8 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             default_limits: Limits::default(),
+            vm_threshold: 2,
+            tier_threshold: 8,
         }
     }
 }
@@ -94,9 +105,10 @@ impl Server {
     pub fn submit(&self, request: Request) -> mpsc::Receiver<Response> {
         let (tx, rx) = mpsc::channel();
         let cache = Arc::clone(&self.cache);
+        let config = self.config;
         let submitted = Instant::now();
         self.pool.submit(move || {
-            let response = handle_request(&cache, request, submitted);
+            let response = handle_request(&cache, &config, request, submitted);
             // The session may have hung up (e.g. a dropped TCP client);
             // losing the response then is correct.
             let _ = tx.send(response);
@@ -217,9 +229,15 @@ fn salvage_id(line: &str) -> String {
         .unwrap_or_default()
 }
 
-/// Worker-side request lifecycle: compile (through the cache), enforce
-/// the scheduler deadline, run, and shape the response.
-fn handle_request(cache: &ProgramCache, req: Request, submitted: Instant) -> Response {
+/// Worker-side request lifecycle: compile (through the cache), resolve
+/// `engine: "auto"` against the entry's hotness, enforce the scheduler
+/// deadline, run, and shape the response.
+fn handle_request(
+    cache: &ProgramCache,
+    config: &ServeConfig,
+    req: Request,
+    submitted: Instant,
+) -> Response {
     let (compiled, cache_hit) = cache.get_or_compile(&req.source, req.stdlib, req.opt_level);
     let cached = match compiled {
         Ok(c) => c,
@@ -231,6 +249,23 @@ fn handle_request(cache: &ProgramCache, req: Request, submitted: Instant) -> Res
                 ..Response::error(req.id, message)
             };
         }
+    };
+    // Hotness promotion. Every run counts toward the entry's hotness;
+    // `auto` requests read the count to climb AST → VM → Tier 2. The
+    // tier compiles lazily in `execute` (behind the entry's `OnceLock`),
+    // so a program that never gets hot never pays for it.
+    let invocations = cached.bump_invocations();
+    let engine = match req.engine {
+        EngineKind::Auto => {
+            if invocations > config.tier_threshold {
+                EngineKind::Jit
+            } else if invocations > config.vm_threshold {
+                EngineKind::Vm
+            } else {
+                EngineKind::Ast
+            }
+        }
+        explicit => explicit,
     };
     // Scheduler-enforced deadline: queue time counts. A request that
     // missed its deadline while waiting is rejected with the same trap
@@ -250,12 +285,12 @@ fn handle_request(cache: &ProgramCache, req: Request, submitted: Instant) -> Res
                 mem_used: 0,
                 cache_hit,
                 ms: waited,
-                engine: req.engine,
+                engine,
             };
         }
         limits.deadline_ms = Some(deadline - waited);
     }
-    let run = execute(&cached, req.engine, limits);
+    let run = execute(&cached, engine, limits);
     Response {
         id: req.id,
         outcome: match run.outcome {
@@ -270,7 +305,7 @@ fn handle_request(cache: &ProgramCache, req: Request, submitted: Instant) -> Res
         mem_used: run.mem_used,
         cache_hit,
         ms: ms_since(submitted),
-        engine: req.engine,
+        engine,
     }
 }
 
@@ -310,6 +345,24 @@ fn execute(cached: &CachedProgram, engine: EngineKind, limits: Limits) -> RunOut
                 mem_used: stats.mem_used,
             }
         }
+        EngineKind::Jit => {
+            // `tier_code()` blocks racing requests on the entry's
+            // `OnceLock` so exactly one thread tier-compiles.
+            let tier = cached.tier_code();
+            let mut vm = Vm::with_code(&cached.prog, Arc::clone(tier.code()));
+            vm.set_limits(limits);
+            let outcome = vm.run_main_tier(&tier).map(|v: Value| format!("{v}"));
+            let stats = vm.resource_stats();
+            RunOutcome {
+                outcome,
+                output: vm.take_output(),
+                fuel_used: stats.fuel_used,
+                mem_used: stats.mem_used,
+            }
+        }
+        // `Auto` is resolved in `handle_request` before execution; run
+        // it like the default engine if a caller bypasses that path.
+        EngineKind::Auto => execute(cached, EngineKind::Vm, limits),
     }
 }
 

@@ -122,12 +122,95 @@ fn hundred_request_batch_ten_programs_four_workers() {
     server.shutdown();
 }
 
-/// An infinite loop must trap `R0009` on both engines instead of hanging
+/// N threads racing `engine: "jit"` submissions of the same source must
+/// trigger exactly one compile AND exactly one tier compile (the cache
+/// entry's `OnceLock` is the synchronization point), with identical
+/// results on every response.
+#[test]
+fn racing_jit_submissions_tier_compile_exactly_once() {
+    let server = Arc::new(server(8));
+    let src = r#"int main() {
+        int s = 0;
+        for (int i = 0; i < 200; i = i + 1) { s = s + i * i; }
+        println("sq " + s);
+        return s;
+    }"#;
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut req = fueled(&format!("j{i}"), src, 1_000_000);
+                req.engine = EngineKind::Jit;
+                server.submit(req).recv().unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for resp in &responses {
+        assert!(
+            matches!(resp.outcome, Outcome::Ok(_)),
+            "{}",
+            resp.to_json_line()
+        );
+        assert_eq!(resp.engine, EngineKind::Jit);
+        assert_eq!(resp.output, responses[0].output);
+        assert_eq!(
+            resp.fuel_used, responses[0].fuel_used,
+            "tier runs meter identically"
+        );
+    }
+    let stats = server.cache_stats();
+    assert_eq!(stats.compiles, 1, "one source, one compile");
+    assert_eq!(stats.tier_compiles, 1, "one source, one tier compile");
+}
+
+/// `engine: "auto"` requests climb the tiers as the cache entry gets
+/// hot: AST below the VM threshold, VM below the tier threshold, Tier 2
+/// above it — with byte-identical results at every rung, the resolved
+/// engine reported in the response, and exactly one tier compile.
+#[test]
+fn auto_requests_climb_the_tiers() {
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        vm_threshold: 1,
+        tier_threshold: 2,
+        ..ServeConfig::default()
+    });
+    let src = r#"int main() { println("t"); return 5; }"#;
+    let mut engines = Vec::new();
+    for i in 0..4 {
+        let mut req = fueled(&format!("a{i}"), src, 1_000_000);
+        req.engine = EngineKind::Auto;
+        let resp = server.run_batch(vec![req]).remove(0);
+        assert_eq!(
+            resp.outcome,
+            Outcome::Ok("5".to_string()),
+            "{}",
+            resp.to_json_line()
+        );
+        assert_eq!(resp.output, "t\n");
+        engines.push(resp.engine);
+    }
+    assert_eq!(
+        engines,
+        vec![
+            EngineKind::Ast,
+            EngineKind::Vm,
+            EngineKind::Jit,
+            EngineKind::Jit
+        ],
+        "promotion ladder ast -> vm -> jit"
+    );
+    assert_eq!(server.cache_stats().tier_compiles, 1);
+    server.shutdown();
+}
+
+/// An infinite loop must trap `R0009` on every engine instead of hanging
 /// the server.
 #[test]
 fn infinite_loop_returns_fuel_trap_on_both_engines() {
     let server = server(2);
-    for engine in [EngineKind::Ast, EngineKind::Vm] {
+    for engine in [EngineKind::Ast, EngineKind::Vm, EngineKind::Jit] {
         let mut req = fueled(engine.name(), LOOP_FOREVER, 100_000);
         req.engine = engine;
         let resp = &server.run_batch(vec![req])[0];
@@ -197,7 +280,7 @@ fn memory_limit_traps_r0010_on_both_engines() {
         while (true) { int[] a = new int[1024]; i = i + 1; }
         return i;
     }"#;
-    for engine in [EngineKind::Ast, EngineKind::Vm] {
+    for engine in [EngineKind::Ast, EngineKind::Vm, EngineKind::Jit] {
         let mut req = Request::new(engine.name(), src);
         req.engine = engine;
         req.limits.memory = Some(100_000);
@@ -304,6 +387,8 @@ fn fuel_trap_parity_across_engines_and_levels() {
         (EngineKind::Ast, 0),
         (EngineKind::Vm, 0),
         (EngineKind::Vm, 2),
+        (EngineKind::Jit, 0),
+        (EngineKind::Jit, 2),
     ] {
         let mut req = fueled(&format!("{}-{opt}", engine.name()), LOOP_FOREVER, 10_000);
         req.engine = engine;

@@ -205,8 +205,9 @@ pub enum Op {
     /// Top-level call through `global_specs[spec]`.
     CallGlobal { dst: u16, spec: u32 },
     /// Constraint-operation call through a model witness
-    /// (`model_specs[spec]`); dispatches as a multimethod (§5.1).
-    CallModel { dst: u16, spec: u32 },
+    /// (`model_specs[spec]`); dispatches as a multimethod (§5.1),
+    /// monomorphically cached at `site`.
+    CallModel { dst: u16, spec: u32, site: u32 },
     /// Direct call to a known function through `direct_specs[spec]` —
     /// the product of the optimizer's heterogeneous translation (§7.3):
     /// dispatch already resolved, environments already substituted away.
@@ -424,6 +425,8 @@ pub struct VmProgram {
     pub static_inits: Vec<(ClassId, usize, FuncId)>,
     /// Number of inline-cacheable virtual call sites.
     pub num_sites: usize,
+    /// Number of inline-cacheable model-dispatch (`CallModel`) sites.
+    pub num_model_sites: usize,
     /// Pre-reified images of `types` entries that are closed and
     /// existential-free, parallel to `types` (optimizer output; empty at
     /// `--opt-level=0`, in which case the VM evaluates the open term

@@ -55,6 +55,7 @@ struct Builder {
     pack_specs: Vec<PackSpec>,
     open_specs: Vec<OpenSpec>,
     num_sites: usize,
+    num_model_sites: usize,
 }
 
 impl Builder {
@@ -77,6 +78,12 @@ impl Builder {
     fn site(&mut self) -> u32 {
         let s = self.num_sites as u32;
         self.num_sites += 1;
+        s
+    }
+
+    fn model_site(&mut self) -> u32 {
+        let s = self.num_model_sites as u32;
+        self.num_model_sites += 1;
         s
     }
 }
@@ -529,7 +536,8 @@ impl<'b> FnCompiler<'b> {
                     recv_ty: recv.as_ref().map(|r| r.ty.clone()),
                     arg_tys: args.iter().map(|a| a.ty.clone()).collect(),
                 });
-                self.emit(Op::CallModel { dst, spec });
+                let site = self.b.model_site();
+                self.emit(Op::CallModel { dst, spec, site });
             }
             K::DefaultValue { of } => {
                 let ty = self.b.ty(of);
@@ -931,5 +939,6 @@ pub fn compile_program(prog: &CheckedProgram) -> VmProgram {
     out.pack_specs = b.pack_specs;
     out.open_specs = b.open_specs;
     out.num_sites = b.num_sites;
+    out.num_model_sites = b.num_model_sites;
     out
 }

@@ -98,7 +98,7 @@ impl Specializer<'_> {
             let new = match *op {
                 Op::CallStatic { dst, spec } => self.rewrite_static(dst, spec),
                 Op::CallGlobal { dst, spec } => self.rewrite_global(dst, spec),
-                Op::CallModel { dst, spec } => self.rewrite_model(dst, spec),
+                Op::CallModel { dst, spec, .. } => self.rewrite_model(dst, spec),
                 _ => None,
             };
             if let Some(new) = new {
@@ -493,7 +493,7 @@ impl Specializer<'_> {
                     *spec = self.code.global_specs.len() as u32;
                     self.code.global_specs.push(v);
                 }
-                Op::CallModel { spec, .. } => {
+                Op::CallModel { spec, site, .. } => {
                     let mut v = self.code.model_specs[*spec as usize].clone();
                     v.model = s.apply_model(&v.model);
                     v.static_recv = v.static_recv.as_ref().map(|t| s.apply(t));
@@ -501,6 +501,7 @@ impl Specializer<'_> {
                     v.arg_tys = v.arg_tys.iter().map(|t| s.apply(t)).collect();
                     *spec = self.code.model_specs.len() as u32;
                     self.code.model_specs.push(v);
+                    *site = self.fresh_model_site();
                 }
                 Op::New { spec, .. } => {
                     let mut v = self.code.new_specs[*spec as usize].clone();
@@ -541,6 +542,12 @@ impl Specializer<'_> {
     fn fresh_site(&mut self) -> u32 {
         let s = self.code.num_sites as u32;
         self.code.num_sites += 1;
+        s
+    }
+
+    fn fresh_model_site(&mut self) -> u32 {
+        let s = self.code.num_model_sites as u32;
+        self.code.num_model_sites += 1;
         s
     }
 }

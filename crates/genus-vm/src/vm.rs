@@ -56,23 +56,23 @@ type RResult<T> = Result<T, RuntimeError>;
 
 /// One VM activation record. Registers `0..num_locals` are the HIR
 /// locals; the rest are expression temporaries.
-struct VmFrame {
-    func: FuncId,
-    pc: usize,
-    regs: Vec<Value>,
-    tenv: TEnv,
-    menv: MEnv,
+pub(crate) struct VmFrame {
+    pub(crate) func: FuncId,
+    pub(crate) pc: usize,
+    pub(crate) regs: Vec<Value>,
+    pub(crate) tenv: TEnv,
+    pub(crate) menv: MEnv,
     /// Register in the *parent* frame receiving the return value
     /// (`None` discards it, e.g. constructor frames).
-    dst: Option<u16>,
+    pub(crate) dst: Option<u16>,
     /// Whether this frame counts against the Genus call-depth budget
     /// (initializer frames do not, matching the interpreter).
-    counted: bool,
+    pub(crate) counted: bool,
 }
 
 /// Result of resolving a call: either an immediate value (natives,
 /// primitives) or a frame to push.
-enum Action {
+pub(crate) enum Action {
     Value(Value),
     Frame(VmFrame),
 }
@@ -89,6 +89,13 @@ struct VmDispatch {
     /// Monomorphic inline caches, one slot per `CallVirtual` site.
     sites: RefCell<InlineCache>,
     model: RefCell<FastMap<ModelDispatchKey, Option<Rc<ModelTarget>>>>,
+    /// Monomorphic inline caches, one slot per `CallModel` site. A hit
+    /// is an allocation-free structural compare (witness + receiver/
+    /// argument runtime types) that skips [`ModelDispatchKey`]
+    /// construction — the `targs`/`margs` clones and `value_rt_type`
+    /// reifications that made unspecialized model dispatch slower on the
+    /// VM than on the AST walker.
+    model_sites: RefCell<Vec<Option<ModelSiteCache>>>,
     ic_hits: Cell<u64>,
     ic_misses: Cell<u64>,
     virt_hits: Cell<u64>,
@@ -101,9 +108,58 @@ fn bump(c: &Cell<u64>) {
     c.set(c.get() + 1);
 }
 
+/// One `CallModel` site's cached monomorphic dispatch: the evaluated
+/// witness and the receiver/argument runtime types it resolved under,
+/// plus the chosen target. Mirrors [`ModelDispatchKey`] (`RtType::Null`
+/// stands for null values), but is probed by structural comparison
+/// against live values instead of by building a fresh key.
+struct ModelSiteCache {
+    id: ModelId,
+    targs: Vec<RtType>,
+    margs: Vec<ModelValue>,
+    recv: Option<RtType>,
+    args: Vec<RtType>,
+    target: Option<Rc<ModelTarget>>,
+}
+
+impl ModelSiteCache {
+    /// Whether this cache entry covers the given call. `recv`/`args` are
+    /// live values (`None` receiver means a static constraint operation,
+    /// whose receiver *type* is in `static_recv`).
+    #[allow(clippy::too_many_arguments)]
+    fn matches(
+        &self,
+        prog: &CheckedProgram,
+        id: ModelId,
+        targs: &[RtType],
+        margs: &[ModelValue],
+        recv: Option<&Value>,
+        static_recv: Option<&RtType>,
+        args: &[Value],
+    ) -> bool {
+        if self.id != id || self.args.len() != args.len() {
+            return false;
+        }
+        let recv_ok = match (recv, static_recv, &self.recv) {
+            (Some(r), _, Some(cached)) => rtti::value_matches_rt(prog, r, cached),
+            (None, Some(srt), Some(cached)) => srt == cached,
+            (None, None, None) => true,
+            _ => false,
+        };
+        recv_ok
+            && self
+                .args
+                .iter()
+                .zip(args)
+                .all(|(rt, a)| rtti::value_matches_rt(prog, a, rt))
+            && self.targs == targs
+            && self.margs == margs
+    }
+}
+
 /// Unwraps an existential package (virtual and model dispatch see the
 /// underlying value).
-fn unpack(v: Value) -> Value {
+pub(crate) fn unpack(v: Value) -> Value {
     match v {
         Value::Packed(p) => p.value.clone(),
         other => other,
@@ -113,21 +169,25 @@ fn unpack(v: Value) -> Value {
 /// The virtual machine. Holds static fields and captured output across
 /// calls, mirroring [`genus_interp::Interp`]'s surface.
 pub struct Vm<'p> {
-    prog: &'p CheckedProgram,
-    code: Arc<VmProgram>,
+    pub(crate) prog: &'p CheckedProgram,
+    pub(crate) code: Arc<VmProgram>,
     /// Constant pool materialized as runtime values for this VM instance
     /// (`Op::Const` stays a plain indexed clone; the shared program keeps
     /// only `Send + Sync` [`crate::bytecode::Const`]s).
-    consts: Vec<Value>,
-    statics: RefCell<HashMap<(u32, u32), Value>>,
-    output: RefCell<String>,
+    pub(crate) consts: Vec<Value>,
+    pub(crate) statics: RefCell<HashMap<(u32, u32), Value>>,
+    pub(crate) output: RefCell<String>,
     dispatch: VmDispatch,
     /// Recycled register vectors: frames return their registers here on
     /// exit so a call does not pay a heap allocation.
     regs_pool: RefCell<Vec<Vec<Value>>>,
+    /// Callee frame parked by a Tier 2 call closure for the tier's outer
+    /// loop to push ([`crate::tier`]). Keeping the frame out of the
+    /// block-transfer value keeps every compiled-block return small.
+    pub(crate) pending_call: Cell<Option<VmFrame>>,
     /// Whether `print` also writes to process stdout.
     pub echo: bool,
-    depth: Cell<usize>,
+    pub(crate) depth: Cell<usize>,
     /// Maximum Genus call depth before a `StackOverflowError`.
     pub max_depth: usize,
     /// Per-run resource meter (fuel / memory / deadline). Unlimited by
@@ -145,6 +205,8 @@ impl<'p> Vm<'p> {
     /// one compilation across runs and threads).
     pub fn with_code(prog: &'p CheckedProgram, code: Arc<VmProgram>) -> Self {
         let sites = vec![None; code.num_sites];
+        let mut model_sites = Vec::new();
+        model_sites.resize_with(code.num_model_sites, || None);
         let consts = code.consts.iter().map(|c| c.to_value()).collect();
         Vm {
             prog,
@@ -157,6 +219,7 @@ impl<'p> Vm<'p> {
                 virt: RefCell::new(FastMap::default()),
                 sites: RefCell::new(sites),
                 model: RefCell::new(FastMap::default()),
+                model_sites: RefCell::new(model_sites),
                 ic_hits: Cell::new(0),
                 ic_misses: Cell::new(0),
                 virt_hits: Cell::new(0),
@@ -165,6 +228,7 @@ impl<'p> Vm<'p> {
                 model_misses: Cell::new(0),
             },
             regs_pool: RefCell::new(Vec::new()),
+            pending_call: Cell::new(None),
             echo: false,
             depth: Cell::new(0),
             max_depth: 1000,
@@ -256,10 +320,33 @@ impl<'p> Vm<'p> {
 
     /// A fresh frame for `func` with `this`/`args` in the leading
     /// registers and empty type/model environments.
-    fn frame(&self, func: FuncId, this: Option<Value>, args: Vec<Value>, counted: bool) -> VmFrame {
-        let f = &self.code.funcs[func.0 as usize];
+    /// Grabs a recycled register vector (or a fresh one) sized to `n`.
+    pub(crate) fn grab_regs(&self, n: usize) -> Vec<Value> {
         let mut regs = self.regs_pool.borrow_mut().pop().unwrap_or_default();
-        regs.resize(f.num_regs, Value::Null);
+        regs.resize(n, Value::Null);
+        regs
+    }
+
+    /// Returns a frame's registers to the pool. Values are dropped now
+    /// (not at reuse), releasing their references as promptly as a
+    /// non-pooled frame would.
+    pub(crate) fn recycle_regs(&self, mut regs: Vec<Value>) {
+        let mut pool = self.regs_pool.borrow_mut();
+        if pool.len() < 64 {
+            regs.clear();
+            pool.push(regs);
+        }
+    }
+
+    pub(crate) fn frame(
+        &self,
+        func: FuncId,
+        this: Option<Value>,
+        args: Vec<Value>,
+        counted: bool,
+    ) -> VmFrame {
+        let f = &self.code.funcs[func.0 as usize];
+        let mut regs = self.grab_regs(f.num_regs);
         let mut slot = 0;
         if let Some(t) = this {
             regs[0] = t;
@@ -282,7 +369,7 @@ impl<'p> Vm<'p> {
 
     /// Depth accounting at frame entry; errors like the interpreter's
     /// `run_body` prologue.
-    fn enter(&self, counted: bool) -> RResult<()> {
+    pub(crate) fn enter(&self, counted: bool) -> RResult<()> {
         if counted {
             if self.depth.get() >= self.max_depth {
                 return Err(RuntimeError::new(
@@ -296,7 +383,7 @@ impl<'p> Vm<'p> {
     }
 
     /// Runs a resolved call to completion on a nested frame stack.
-    fn complete(&self, action: Action) -> RResult<Value> {
+    pub(crate) fn complete(&self, action: Action) -> RResult<Value> {
         match action {
             Action::Value(v) => Ok(v),
             Action::Frame(f) => self.run_call(f),
@@ -703,7 +790,7 @@ impl<'p> Vm<'p> {
                     let action = self.prepare_global(s.index, rt, rm, args)?;
                     self.apply(&mut stack, dst, action)?;
                 }
-                Op::CallModel { dst, spec } => {
+                Op::CallModel { dst, spec, site } => {
                     let s = &code.model_specs[spec as usize];
                     let mv = rtti::eval_model(self.prog, &frame.tenv, &frame.menv, &s.model);
                     let r = s.recv.map(|r| frame.regs[r as usize].clone());
@@ -716,7 +803,7 @@ impl<'p> Vm<'p> {
                         .iter()
                         .map(|&a| frame.regs[a as usize].clone())
                         .collect();
-                    let action = self.prepare_model(&mv, s.name, r, srt, args)?;
+                    let action = self.prepare_model(Some(site), &mv, s.name, r, srt, args)?;
                     self.apply(&mut stack, dst, action)?;
                 }
                 Op::CallDirect { dst, spec } => {
@@ -816,20 +903,12 @@ impl<'p> Vm<'p> {
 
     /// Pops the finished frame, delivering `v` to the parent. Returns
     /// `Some(v)` when the root frame finished.
-    fn pop_frame(&self, stack: &mut Vec<VmFrame>, v: Value) -> Option<Value> {
+    pub(crate) fn pop_frame(&self, stack: &mut Vec<VmFrame>, v: Value) -> Option<Value> {
         let mut fin = stack.pop().expect("frame");
         if fin.counted {
             self.depth.set(self.depth.get() - 1);
         }
-        {
-            let mut pool = self.regs_pool.borrow_mut();
-            if pool.len() < 64 {
-                // Dropping the values now (not at reuse) releases their
-                // references promptly, as a non-pooled frame would.
-                fin.regs.clear();
-                pool.push(std::mem::take(&mut fin.regs));
-            }
-        }
+        self.recycle_regs(std::mem::take(&mut fin.regs));
         match stack.last_mut() {
             Some(parent) => {
                 if let Some(d) = fin.dst {
@@ -900,7 +979,7 @@ impl<'p> Vm<'p> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn prepare_virtual(
+    pub(crate) fn prepare_virtual(
         &self,
         site: Option<u32>,
         recv: Value,
@@ -974,7 +1053,7 @@ impl<'p> Vm<'p> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn prepare_class_method(
+    pub(crate) fn prepare_class_method(
         &self,
         cid: ClassId,
         mi: usize,
@@ -1014,7 +1093,7 @@ impl<'p> Vm<'p> {
         Ok(Action::Frame(frame))
     }
 
-    fn prepare_global(
+    pub(crate) fn prepare_global(
         &self,
         index: usize,
         targs: Vec<RtType>,
@@ -1040,7 +1119,12 @@ impl<'p> Vm<'p> {
 
     /// Allocates an object and runs its field-initializer chain (base
     /// classes first), leaving the constructor to the caller.
-    fn new_object(&self, cid: ClassId, targs: &[RtType], models: &[ModelValue]) -> RResult<Value> {
+    pub(crate) fn new_object(
+        &self,
+        cid: ClassId,
+        targs: &[RtType],
+        models: &[ModelValue],
+    ) -> RResult<Value> {
         self.meter.charge(meter::OBJECT_COST)?;
         let obj = Rc::new(ObjData {
             class: cid,
@@ -1094,8 +1178,9 @@ impl<'p> Vm<'p> {
     // Model dispatch (multimethods, §5.1)
     // ------------------------------------------------------------------
 
-    fn prepare_model(
+    pub(crate) fn prepare_model(
         &self,
+        site: Option<u32>,
         model: &ModelValue,
         name: Symbol,
         recv: Option<Value>,
@@ -1157,7 +1242,7 @@ impl<'p> Vm<'p> {
                 }
             },
             ModelValue::Decl { id, targs, margs } => {
-                self.model_dispatch(*id, targs, margs, name, recv, static_recv, args)
+                self.model_dispatch(site, *id, targs, margs, name, recv, static_recv, args)
             }
         }
     }
@@ -1199,9 +1284,29 @@ impl<'p> Vm<'p> {
         Ok(Action::Frame(frame))
     }
 
+    /// Fills a `CallModel` site's inline cache from a freshly built
+    /// dispatch key and the target it resolved to.
+    fn fill_model_site(
+        &self,
+        site: Option<u32>,
+        key: &ModelDispatchKey,
+        target: &Option<Rc<ModelTarget>>,
+    ) {
+        let Some(site) = site else { return };
+        self.dispatch.model_sites.borrow_mut()[site as usize] = Some(ModelSiteCache {
+            id: key.id,
+            targs: key.targs.clone(),
+            margs: key.margs.clone(),
+            recv: key.recv.clone(),
+            args: key.args.clone(),
+            target: target.clone(),
+        });
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn model_dispatch(
         &self,
+        site: Option<u32>,
         id: ModelId,
         targs: &[RtType],
         margs: &[ModelValue],
@@ -1211,6 +1316,35 @@ impl<'p> Vm<'p> {
         args: Vec<Value>,
     ) -> RResult<Action> {
         let is_static = recv.is_none();
+        // Per-site monomorphic fast path: a structural probe against the
+        // live values, with no key construction (and thus no clones).
+        if caches_enabled() {
+            if let Some(site) = site {
+                let hit = {
+                    let sites = self.dispatch.model_sites.borrow();
+                    match sites.get(site as usize).and_then(Option::as_ref) {
+                        Some(c)
+                            if c.matches(
+                                self.prog,
+                                id,
+                                targs,
+                                margs,
+                                recv.as_ref(),
+                                static_recv.as_ref(),
+                                &args,
+                            ) =>
+                        {
+                            Some(c.target.clone())
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some(target) = hit {
+                    bump(&self.dispatch.model_hits);
+                    return self.prepare_model_target(target.as_deref(), id, name, recv, args);
+                }
+            }
+        }
         let key = if caches_enabled() {
             let key = ModelDispatchKey {
                 id,
@@ -1229,6 +1363,7 @@ impl<'p> Vm<'p> {
             };
             if let Some(t) = self.dispatch.model.borrow().get(&key).cloned() {
                 bump(&self.dispatch.model_hits);
+                self.fill_model_site(site, &key, &t);
                 return self.prepare_model_target(t.as_deref(), id, name, recv, args);
             }
             bump(&self.dispatch.model_misses);
@@ -1257,6 +1392,7 @@ impl<'p> Vm<'p> {
         let target =
             rtti::select_model_target(self.prog, id, targs, margs, name, kind, &arg_ts, &args_null);
         if let Some(key) = key {
+            self.fill_model_site(site, &key, &target);
             self.dispatch.model.borrow_mut().insert(key, target.clone());
         }
         self.prepare_model_target(target.as_deref(), id, name, recv, args)
@@ -1266,7 +1402,12 @@ impl<'p> Vm<'p> {
     // Natives and stringification
     // ------------------------------------------------------------------
 
-    fn native(&self, op: NativeOp, recv: Option<Value>, args: Vec<Value>) -> RResult<Value> {
+    pub(crate) fn native(
+        &self,
+        op: NativeOp,
+        recv: Option<Value>,
+        args: Vec<Value>,
+    ) -> RResult<Value> {
         natives::native_call_with(|v| self.stringify(v), op, recv, args)
     }
 
@@ -1492,6 +1633,7 @@ mod tests {
         assert_eq!(a.code_len(), b.code_len());
         assert_eq!(a.consts.len(), b.consts.len());
         assert_eq!(a.num_sites, b.num_sites);
+        assert_eq!(a.num_model_sites, b.num_model_sites);
         assert_eq!(format!("{:?}", a.funcs), format!("{:?}", b.funcs));
     }
 }

@@ -46,8 +46,10 @@ fn usage() -> ! {
          \n\
          options:\n\
          \x20 --no-stdlib        compile with only the built-in prelude\n\
-         \x20 --engine=<ast|vm>  execution engine: the tree-walking\n\
-         \x20                    interpreter (default) or the bytecode VM\n\
+         \x20 --engine=<ast|vm|jit>\n\
+         \x20                    execution engine: the tree-walking\n\
+         \x20                    interpreter (default), the bytecode VM,\n\
+         \x20                    or the closure-compiled Tier 2 (jit)\n\
          \x20 --opt-level=<0|1|2>\n\
          \x20                    VM bytecode optimization: 0 none, 1 cleanup\n\
          \x20                    passes, 2 (default) adds specialization\n\
@@ -69,6 +71,10 @@ fn usage() -> ! {
          \x20                    time included)\n\
          \x20 --workers=<n>      serve/batch worker threads (default 4)\n\
          \x20 --listen=<addr>    serve over TCP on addr instead of stdio\n\
+         \x20 --tier-threshold=<n>\n\
+         \x20                    serve/batch: `engine: \"auto\"` requests\n\
+         \x20                    promote a cached program to Tier 2 after\n\
+         \x20                    n invocations (default 8)\n\
          \n\
          exit codes: 0 success, 1 compile errors, 2 usage/IO, 3 runtime trap"
     );
@@ -125,6 +131,11 @@ fn print_stats(ex: &genus::Execution) {
         eprintln!("instructions eliminated: {}", o.ops_eliminated);
         eprintln!("types pre-reified:       {}", o.types_reified);
     }
+    if let Some(t) = &ex.tier_stats {
+        eprintln!("--- tier-2 compile stats ---");
+        eprintln!("functions tiered:        {}", t.funcs_tiered);
+        eprintln!("basic blocks compiled:   {}", t.blocks);
+    }
 }
 
 /// Prints the report's warnings to stderr in the chosen format.
@@ -165,6 +176,7 @@ fn main() -> ExitCode {
     let mut format = ErrorFormat::Human;
     let mut limits = Limits::default();
     let mut workers: usize = 4;
+    let mut tier_threshold: u64 = ServeConfig::default().tier_threshold;
     let mut listen: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     for a in args {
@@ -176,7 +188,7 @@ fn main() -> ExitCode {
             deny_warnings = true;
         } else if let Some(name) = a.strip_prefix("--engine=") {
             let Some(e) = Engine::from_name(name) else {
-                eprintln!("error: unknown engine `{name}` (expected `ast` or `vm`)");
+                eprintln!("error: unknown engine `{name}` (expected `ast`, `vm`, or `jit`)");
                 return ExitCode::from(EXIT_USAGE);
             };
             engine = e;
@@ -204,6 +216,8 @@ fn main() -> ExitCode {
             limits.deadline_ms = Some(parse_u64("deadline-ms", v));
         } else if let Some(v) = a.strip_prefix("--workers=") {
             workers = (parse_u64("workers", v) as usize).max(1);
+        } else if let Some(v) = a.strip_prefix("--tier-threshold=") {
+            tier_threshold = parse_u64("tier-threshold", v);
         } else if let Some(addr) = a.strip_prefix("--listen=") {
             listen = Some(addr.to_string());
         } else if a == "--help" || a == "-h" {
@@ -225,6 +239,8 @@ fn main() -> ExitCode {
         let config = ServeConfig {
             workers,
             default_limits: limits,
+            tier_threshold,
+            ..ServeConfig::default()
         };
         return match cmd.as_str() {
             "serve" => cmd_serve(&config, listen.as_deref(), &files),
@@ -345,8 +361,8 @@ fn cmd_serve(config: &ServeConfig, listen: Option<&str>, files: &[String]) -> Ex
             match result {
                 Ok(handled) => {
                     eprintln!(
-                        "genus-serve: {handled} request(s), {} compile(s), {} cache hit(s)",
-                        stats.compiles, stats.hits
+                        "genus-serve: {handled} request(s), {} compile(s), {} cache hit(s), {} tier compile(s)",
+                        stats.compiles, stats.hits, stats.tier_compiles
                     );
                     ExitCode::SUCCESS
                 }
@@ -404,6 +420,7 @@ fn cmd_batch(
         req.engine = match engine {
             Engine::Ast => EngineKind::Ast,
             Engine::Vm => EngineKind::Vm,
+            Engine::Jit => EngineKind::Jit,
         };
         req.opt_level = opt_level;
         req.stdlib = stdlib;
@@ -439,10 +456,11 @@ fn cmd_batch(
         }
     }
     eprintln!(
-        "genus-batch: {} request(s), {} compile(s), {} cache hit(s)",
+        "genus-batch: {} request(s), {} compile(s), {} cache hit(s), {} tier compile(s)",
         responses.len(),
         stats.compiles,
-        stats.hits
+        stats.hits,
+        stats.tier_compiles
     );
     ExitCode::from(tier)
 }

@@ -30,7 +30,10 @@ pub use genus_interp::{
     DispatchStats, ErrorKind, Interp, Limits, Meter, ResourceStats, RuntimeError, Value,
 };
 pub use genus_types::{caches_enabled, set_caches_enabled, CacheStats};
-pub use genus_vm::{compile_optimized, compile_program, OptStats, Vm, VmProgram};
+pub use genus_vm::{
+    compile_optimized, compile_program, compile_tier, OptStats, TierProgram, TierStats, Vm,
+    VmProgram,
+};
 
 /// Which execution engine runs the program.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,6 +45,12 @@ pub enum Engine {
     /// The bytecode register VM (`genus-vm`). Keeps Genus frames in an
     /// explicit stack, so it runs on the calling thread.
     Vm,
+    /// Tier 2: the optimized bytecode translated once more into nested
+    /// Rust closures with pre-resolved operands (`genus-vm`'s `tier`
+    /// module) — no fetch/decode loop at run time. Observable behaviour,
+    /// including fuel accounting, is identical to [`Engine::Vm`] over
+    /// the same bytecode.
+    Jit,
 }
 
 impl Engine {
@@ -51,6 +60,7 @@ impl Engine {
         match name {
             "ast" | "interp" => Some(Engine::Ast),
             "vm" | "bytecode" => Some(Engine::Vm),
+            "jit" | "tier" => Some(Engine::Jit),
             _ => None,
         }
     }
@@ -61,6 +71,7 @@ impl Engine {
         match self {
             Engine::Ast => "ast",
             Engine::Vm => "vm",
+            Engine::Jit => "jit",
         }
     }
 }
@@ -94,6 +105,10 @@ pub struct Execution {
     /// Resources consumed by this run: fuel steps and abstract heap
     /// units (see [`Limits`]). Counted even when no limit is set.
     pub resource_stats: ResourceStats,
+    /// Tier-compilation counters. `Some` only on [`Engine::Jit`] — the
+    /// anti-vacuity signal for differential tests (a parity claim means
+    /// nothing if no function was actually tiered).
+    pub tier_stats: Option<TierStats>,
 }
 
 /// A builder-style compiler front end.
@@ -252,6 +267,11 @@ impl Compiler {
                 let code = std::sync::Arc::new(compile_optimized(&prog, self.opt_level));
                 execute_vm_shared(&prog, &code, self.limits)
             }
+            Engine::Jit => {
+                let code = std::sync::Arc::new(compile_optimized(&prog, self.opt_level));
+                let tier = compile_tier(&code);
+                execute_tier_shared(&prog, &tier, self.limits)
+            }
         }
     }
 
@@ -267,12 +287,15 @@ impl Compiler {
         finish(ex)
     }
 
-    /// Compiles once, runs `main()` on **both** engines, and checks that
-    /// they agree. Successful runs must agree on the rendered value and
-    /// captured output; traps must agree on the **structured** error —
-    /// stable `R0xxx` code and span — rather than the exact message
-    /// string, so either engine can reword a message without breaking
-    /// parity.
+    /// Compiles once, runs `main()` on **all three** engines (AST
+    /// interpreter, bytecode VM, closure-compiled Tier 2), and checks
+    /// that they agree. Successful runs must agree on the rendered value
+    /// and captured output; traps must agree on the **structured** error
+    /// — stable `R0xxx` code and span — rather than the exact message
+    /// string, so an engine can reword a message without breaking
+    /// parity. The VM and Tier 2 run the *same* bytecode, so their fuel
+    /// accounting must additionally be **identical**, step for step —
+    /// the by-construction guarantee behind R0009/R0010 parity.
     ///
     /// # Errors
     ///
@@ -285,16 +308,28 @@ impl Compiler {
         let (ast, prog) = execute_ast(prog, self.limits);
         let code = std::sync::Arc::new(compile_optimized(&prog, self.opt_level));
         let vm = execute_vm_shared(&prog, &code, self.limits);
-        let outcomes_agree = match (&ast.outcome, &vm.outcome) {
-            (Ok(a), Ok(v)) => a == v,
-            // Structured parity: code + span, not message text.
-            (Err(a), Err(v)) => a.code() == v.code() && a.span == v.span,
-            _ => false,
+        let tier = compile_tier(&code);
+        let jit = execute_tier_shared(&prog, &tier, self.limits);
+        let pair_agrees = |a: &Execution, b: &Execution| {
+            let outcomes = match (&a.outcome, &b.outcome) {
+                (Ok(x), Ok(y)) => x == y,
+                // Structured parity: code + span, not message text.
+                (Err(x), Err(y)) => x.code() == y.code() && x.span == y.span,
+                _ => false,
+            };
+            outcomes && a.output == b.output
         };
-        if !outcomes_agree || ast.output != vm.output {
+        if !pair_agrees(&ast, &vm) || !pair_agrees(&vm, &jit) {
             return Err(format!(
-                "engine divergence:\n  ast outcome: {:?}\n  vm  outcome: {:?}\n  ast output: {:?}\n  vm  output: {:?}",
-                ast.outcome, vm.outcome, ast.output, vm.output
+                "engine divergence:\n  ast outcome: {:?}\n  vm  outcome: {:?}\n  jit outcome: {:?}\n  ast output: {:?}\n  vm  output: {:?}\n  jit output: {:?}",
+                ast.outcome, vm.outcome, jit.outcome, ast.output, vm.output, jit.output
+            ));
+        }
+        // Same bytecode ⇒ same step sequence: exact fuel agreement.
+        if vm.resource_stats.fuel_used != jit.resource_stats.fuel_used {
+            return Err(format!(
+                "engine divergence: fuel accounting differs (vm {} vs jit {})",
+                vm.resource_stats.fuel_used, jit.resource_stats.fuel_used
             ));
         }
         finish(vm)
@@ -342,6 +377,7 @@ pub fn execute_ast_shared(prog: &CheckedProgram, limits: Limits) -> Execution {
         dispatch_stats: interp.dispatch_stats(),
         cache_stats: prog.table.cache.stats().since(&cache_base),
         opt_stats: None,
+        tier_stats: None,
     }
 }
 
@@ -367,6 +403,30 @@ pub fn execute_vm_shared(
         dispatch_stats: vm.dispatch_stats(),
         cache_stats: prog.table.cache.stats().since(&cache_base),
         opt_stats,
+        tier_stats: None,
+    }
+}
+
+/// Runs `main()` on the closure-compiled Tier 2 over a **shared**
+/// [`TierProgram`]. Like the VM, the tier keeps Genus frames in an
+/// explicit stack (host stack stays flat) and the compiled closures are
+/// `Send + Sync`, so one tier program may be served to many workers at
+/// once. Cache counters in the result are the delta accumulated during
+/// this run.
+pub fn execute_tier_shared(prog: &CheckedProgram, tier: &TierProgram, limits: Limits) -> Execution {
+    let cache_base = prog.table.cache.stats();
+    let opt_stats = Some(tier.code().opt_stats);
+    let mut vm = Vm::with_code(prog, std::sync::Arc::clone(tier.code()));
+    vm.set_limits(limits);
+    let outcome = vm.run_main_tier(tier).map(|v| format!("{v}"));
+    Execution {
+        outcome,
+        resource_stats: vm.resource_stats(),
+        output: vm.take_output(),
+        dispatch_stats: vm.dispatch_stats(),
+        cache_stats: prog.table.cache.stats().since(&cache_base),
+        opt_stats,
+        tier_stats: Some(tier.stats),
     }
 }
 
@@ -479,7 +539,7 @@ mod tests {
 
     #[test]
     fn output_survives_runtime_errors() {
-        for engine in [Engine::Ast, Engine::Vm] {
+        for engine in [Engine::Ast, Engine::Vm, Engine::Jit] {
             let ex = Compiler::new()
                 .engine(engine)
                 .source(
@@ -520,7 +580,23 @@ mod tests {
     fn engine_names_round_trip() {
         assert_eq!(Engine::from_name("vm"), Some(Engine::Vm));
         assert_eq!(Engine::from_name("ast"), Some(Engine::Ast));
-        assert_eq!(Engine::from_name("jit"), None);
+        assert_eq!(Engine::from_name("jit"), Some(Engine::Jit));
+        assert_eq!(Engine::from_name("tier"), Some(Engine::Jit));
+        assert_eq!(Engine::from_name("llvm"), None);
         assert_eq!(Engine::Vm.name(), "vm");
+        assert_eq!(Engine::Jit.name(), "jit");
+    }
+
+    #[test]
+    fn jit_engine_runs_and_reports_tier_stats() {
+        let ex = Compiler::new()
+            .engine(Engine::Jit)
+            .source("m.genus", "int main() { println(\"z\"); return 9; }")
+            .execute()
+            .unwrap();
+        assert_eq!(ex.outcome.as_deref(), Ok("9"));
+        assert_eq!(ex.output, "z\n");
+        let stats = ex.tier_stats.expect("jit engine reports tier stats");
+        assert!(stats.funcs_tiered >= 1, "{stats:?}");
     }
 }

@@ -1,10 +1,12 @@
 //! Differential harness over the shipped sample programs: every file in
 //! `samples/` is compiled once through the public `Compiler` API and executed
-//! on BOTH engines (AST interpreter and bytecode VM), asserting identical
-//! rendered values, captured output, and dispatch behaviour. The VM runs at
-//! **every** optimization level (0, 1, 2), so the heterogeneous-translation
-//! specializer and cleanup passes are held to the same parity bar as the
-//! baseline compiler.
+//! on ALL THREE engines (AST interpreter, bytecode VM, closure-compiled
+//! Tier 2), asserting identical rendered values, captured output, and
+//! dispatch behaviour. The VM and Tier 2 run at **every** optimization level
+//! (0, 1, 2), so the heterogeneous-translation specializer, the cleanup
+//! passes, and the tier compiler are held to the same parity bar as the
+//! baseline compiler. The VM and Tier 2 additionally run the *same*
+//! bytecode, so their fuel accounting is asserted exactly equal.
 
 use genus_repro::{Compiler, Engine, RuntimeError};
 
@@ -46,6 +48,15 @@ fn check_sample(name: &str) {
         assert_eq!(
             ast_output, vm_output,
             "`{name}` output diverged at opt-level {level}"
+        );
+        let (jit_outcome, jit_output) = run_on(name, Engine::Jit, level);
+        assert_eq!(
+            vm_outcome, jit_outcome,
+            "`{name}` tier-2 outcome diverged at opt-level {level}"
+        );
+        assert_eq!(
+            vm_output, jit_output,
+            "`{name}` tier-2 output diverged at opt-level {level}"
         );
         // And through the one-shot differential runner, which also compares
         // engine results internally and reports any divergence in its error.
@@ -107,22 +118,26 @@ fn open_null_trap_parity_across_levels() {
         .expect("compiles");
     let ast_err = ast.outcome.expect_err("AST should trap on null open");
     for level in OPT_LEVELS {
-        let vm = Compiler::new()
-            .engine(Engine::Vm)
-            .opt_level(level)
-            .source("open_null.genus", src)
-            .execute()
-            .expect("compiles");
-        let vm_err = vm.outcome.expect_err("VM should trap on null open");
-        assert_eq!(
-            ast_err.code(),
-            vm_err.code(),
-            "codes diverge at opt-level {level}"
-        );
-        assert_eq!(
-            ast_err.span, vm_err.span,
-            "spans diverge at opt-level {level}"
-        );
+        for engine in [Engine::Vm, Engine::Jit] {
+            let vm = Compiler::new()
+                .engine(engine)
+                .opt_level(level)
+                .source("open_null.genus", src)
+                .execute()
+                .expect("compiles");
+            let vm_err = vm
+                .outcome
+                .expect_err("every engine should trap on null open");
+            assert_eq!(
+                ast_err.code(),
+                vm_err.code(),
+                "codes diverge on {engine:?} at opt-level {level}"
+            );
+            assert_eq!(
+                ast_err.span, vm_err.span,
+                "spans diverge on {engine:?} at opt-level {level}"
+            );
+        }
     }
 }
 
@@ -142,7 +157,12 @@ fn all_samples_terminate_under_default_fuel() {
     names.sort();
     assert!(!names.is_empty());
     for name in &names {
-        for (engine, level) in [(Engine::Ast, 0), (Engine::Vm, 0), (Engine::Vm, 2)] {
+        for (engine, level) in [
+            (Engine::Ast, 0),
+            (Engine::Vm, 0),
+            (Engine::Vm, 2),
+            (Engine::Jit, 2),
+        ] {
             let ex = Compiler::new()
                 .with_stdlib()
                 .engine(engine)
@@ -189,12 +209,14 @@ fn fuel_trap_parity_across_levels() {
     let ast_err = run(Engine::Ast, 0);
     assert_eq!(ast_err.code(), "R0009");
     for level in OPT_LEVELS {
-        let vm_err = run(Engine::Vm, level);
-        assert_eq!(
-            (ast_err.code(), ast_err.span),
-            (vm_err.code(), vm_err.span),
-            "fuel trap identity diverges at opt-level {level}"
-        );
+        for engine in [Engine::Vm, Engine::Jit] {
+            let vm_err = run(engine, level);
+            assert_eq!(
+                (ast_err.code(), ast_err.span),
+                (vm_err.code(), vm_err.span),
+                "fuel trap identity diverges on {engine:?} at opt-level {level}"
+            );
+        }
     }
 }
 

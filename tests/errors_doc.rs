@@ -74,6 +74,27 @@ fn section_of<'a>(doc: &'a str, code: &str) -> &'a str {
     }
 }
 
+/// Tiered execution introduces **no** new runtime codes: Tier 2 reuses
+/// the engines' shared error identities verbatim, so the runtime
+/// registry stays exactly R0001–R0010. If a tier (or any engine) ever
+/// grows a new trap, it must be registered, documented, AND produced
+/// identically by every engine — this assertion is the tripwire.
+#[test]
+fn runtime_registry_is_exactly_r0001_to_r0010() {
+    let runtime: Vec<&str> = REGISTRY
+        .iter()
+        .filter(|i| i.code.starts_with('R'))
+        .map(|i| i.code)
+        .collect();
+    let expected: Vec<String> = (1..=10).map(|n| format!("R{n:04}")).collect();
+    assert_eq!(
+        runtime,
+        expected.iter().map(String::as_str).collect::<Vec<_>>(),
+        "runtime error codes changed: update docs/ERRORS.md and verify \
+         three-way engine parity for the new code"
+    );
+}
+
 #[test]
 fn doc_order_follows_the_registry() {
     let doc = doc();

@@ -514,6 +514,65 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Tiered execution is semantically invisible: the AST interpreter, the
+// VM at O0 and O2, and the closure-compiled Tier 2 agree on everything
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Four-way parity sweep over the optimizer probe (generic sort via
+    /// a user model, optional injected trap after partial output): every
+    /// tier must produce byte-identical output and the same outcome —
+    /// with traps compared structurally on (stable code, span). The VM
+    /// and Tier 2 legs share the O2 bytecode, so their fuel counters
+    /// must agree **exactly**, and the tier must actually have compiled
+    /// functions (anti-vacuity: `funcs_tiered >= 1`).
+    #[test]
+    fn tiers_agree(values in prop::collection::vec(-1000i32..1000, 1..20), trap in any::<bool>()) {
+        let src = optimizer_probe_src(&values, trap);
+        let run_on = |engine: genus::Engine, level: u8| {
+            genus::Compiler::new()
+                .engine(engine)
+                .opt_level(level)
+                .source("probe.genus", src.clone())
+                .execute()
+                .map_err(TestCaseError::fail)
+        };
+        let ast = run_on(genus::Engine::Ast, 0)?;
+        let vm0 = run_on(genus::Engine::Vm, 0)?;
+        let vm2 = run_on(genus::Engine::Vm, 2)?;
+        let jit = run_on(genus::Engine::Jit, 2)?;
+        let legs = [("vm-o0", &vm0), ("vm-o2", &vm2), ("tier2", &jit)];
+        for (name, leg) in legs {
+            prop_assert_eq!(&ast.output, &leg.output, "output diverged on {}", name);
+            match (&ast.outcome, &leg.outcome) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "value diverged on {}", name),
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(a.code(), b.code(), "code diverged on {}", name);
+                    prop_assert_eq!(a.span, b.span, "span diverged on {}", name);
+                }
+                (a, b) => prop_assert!(false, "outcome kind diverged on {}: {:?} vs {:?}", name, a, b),
+            }
+        }
+        prop_assert_eq!(ast.outcome.is_err(), trap);
+        // Same bytecode, same metering: exact fuel agreement VM-O2 vs Tier 2.
+        prop_assert_eq!(
+            vm2.resource_stats.fuel_used,
+            jit.resource_stats.fuel_used,
+            "fuel accounting diverged between the VM and Tier 2"
+        );
+        // Anti-vacuity: the tier really compiled this program.
+        let tier_stats = jit.tier_stats.expect("jit runs carry tier stats");
+        prop_assert!(tier_stats.funcs_tiered >= 1, "tier never compiled: {:?}", tier_stats);
+        prop_assert!(tier_stats.blocks >= tier_stats.funcs_tiered);
+        for leg in [&ast, &vm0, &vm2] {
+            prop_assert!(leg.tier_stats.is_none(), "non-jit runs must not carry tier stats");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Caching is semantically invisible: cached and uncached pipelines agree
 // ---------------------------------------------------------------------
 
