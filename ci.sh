@@ -46,6 +46,21 @@ for sample in samples/*.genus; do
   target/release/genus run --engine=jit "$sample" > "$out.jit"
   cmp "$out.vm" "$out.jit"
 done
+# GC-stress gate: with GENUS_GC_STRESS=1 the heap collects at every safe
+# point, so any value reachable only from a host-side local (a rooting
+# bug) is reclaimed out from under the engine and the differential sweep
+# diverges or crashes. Sweeping every sample on all three engines under
+# stress proves the root set (frame stacks, register pools, statics,
+# pending calls) is complete.
+for sample in samples/*.genus; do
+  out="target/gc_stress_$(basename "$sample" .genus)"
+  for engine in ast vm jit; do
+    GENUS_GC_STRESS=1 target/release/genus run --engine="$engine" \
+      "$sample" > "$out.$engine"
+  done
+  cmp "$out.ast" "$out.vm"
+  cmp "$out.vm" "$out.jit"
+done
 # The execution service: unit + integration suite (program-cache
 # coherence, worker pool, resource traps, session ordering, TCP), then an
 # end-to-end gate piping a 3-request JSON-lines batch — one OK, one
@@ -63,4 +78,6 @@ grep -q '"id":"spin".*"outcome":"trap".*"code":"R0009"' target/serve_e2e.out
 grep -q '"id":"bad".*"outcome":"error"' target/serve_e2e.out
 # Benchmarks must at least compile; running them is a manual step
 # (`cargo bench -p bench`), which also writes BENCH_vm.json.
-cargo bench --no-run
+# --workspace: a bare `cargo bench --no-run` only builds the root
+# package's bench targets, silently skipping the bench crate.
+cargo bench --no-run --workspace

@@ -113,6 +113,38 @@ const MODEL_DISPATCH: &str = "
       return s;
     }";
 
+/// Allocation-heavy dispatch: every iteration allocates a fresh array
+/// and a fresh receiver, calls through it, and drops both — megabytes of
+/// churn with a tiny live set, the worst case for safe-point polling and
+/// the best case for collection (everything but the checksum is garbage).
+const HEAP_CHURN: &str = "
+    class Node {
+      int v;
+      Node(int v) { this.v = v; }
+      int get() { return this.v; }
+    }
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 30000; i = i + 1) {
+        int[] a = new int[32];
+        a[0] = i;
+        Node n = new Node(a[0]);
+        s = s + n.get() - i + 1;
+      }
+      return s;
+    }";
+
+/// Toggles arena mode for heaps built after the call (each `Vm` builds
+/// its own heap, so this takes effect per-run). The bench is
+/// single-threaded, making the process-global env var safe to flip.
+fn set_gc_off(off: bool) {
+    if off {
+        std::env::set_var("GENUS_GC_OFF", "1");
+    } else {
+        std::env::remove_var("GENUS_GC_OFF");
+    }
+}
+
 fn compile(src: &str, stdlib: bool) -> CheckedProgram {
     let mut c = Compiler::new();
     if stdlib {
@@ -242,13 +274,13 @@ const SPECIALIZED_DISPATCH: &str = "
 fn run_ast(prog: &CheckedProgram) -> String {
     let mut interp = Interp::new(prog);
     let v = interp.run_main().expect("bench program runs on AST");
-    format!("{v}")
+    interp.render(&v)
 }
 
 fn run_vm(prog: &CheckedProgram, code: &std::sync::Arc<genus::VmProgram>) -> String {
     let mut vm = Vm::with_code(prog, code.clone());
     let v = vm.run_main().expect("bench program runs on VM");
-    format!("{v}")
+    vm.render(&v)
 }
 
 fn run_tier(prog: &CheckedProgram, tier: &genus::TierProgram) -> String {
@@ -256,7 +288,7 @@ fn run_tier(prog: &CheckedProgram, tier: &genus::TierProgram) -> String {
     let v = vm
         .run_main_tier(tier)
         .expect("bench program runs on Tier 2");
-    format!("{v}")
+    vm.render(&v)
 }
 
 /// Minimum wall time in nanoseconds for each of two routines, sampled in
@@ -371,13 +403,57 @@ fn bench_vm(c: &mut Criterion) {
             tier.stats.blocks
         ));
     }
+    // The GC A/B: the same allocation-heavy dispatch workload on the VM
+    // with the collector on (threshold-doubling mark-sweep) vs off
+    // (`GENUS_GC_OFF=1` arena mode). Byte accounting is charge-driven,
+    // so `mem_used` is identical on both legs; what the A/B prices is
+    // the collector itself — safe-point polls, root scans, sweeps —
+    // against the arena's unbounded live set.
+    let heap_prog = compile(HEAP_CHURN, false);
+    let heap_code = std::sync::Arc::new(genus::compile_optimized(&heap_prog, 2));
+    let churn_stats = |off: bool| {
+        set_gc_off(off);
+        let mut vm = Vm::with_code(&heap_prog, heap_code.clone());
+        let v = vm.run_main().expect("heap churn runs on VM");
+        let stats = (vm.render(&v), vm.resource_stats());
+        set_gc_off(false);
+        stats
+    };
+    let (on_value, on_stats) = churn_stats(false);
+    let (off_value, off_stats) = churn_stats(true);
+    assert_eq!(on_value, off_value, "GC must be semantically invisible");
+    assert_eq!(
+        on_stats.mem_used, off_stats.mem_used,
+        "accounting is charge-driven"
+    );
+    assert!(on_stats.collections > 0, "churn workload never collected");
+    g.bench_function("alloc_churn_gc_on", |b| {
+        b.iter(|| std::mem::drop(churn_stats(false)));
+    });
+    g.bench_function("alloc_churn_gc_off", |b| {
+        b.iter(|| std::mem::drop(churn_stats(true)));
+    });
+    let (gc_on_ns, gc_off_ns) = measure_pair(
+        || std::mem::drop(churn_stats(false)),
+        || std::mem::drop(churn_stats(true)),
+        15,
+    );
+    let heap_rows = vec![format!(
+        "    \"alloc_churn\": {{\"gc_on_ns\": {gc_on_ns:.0}, \"gc_off_ns\": {gc_off_ns:.0}, \"gc_overhead\": {:.3}, \"mem_used\": {}, \"collections\": {}, \"peak_live_gc_on\": {}, \"peak_live_gc_off\": {}}}",
+        gc_on_ns / gc_off_ns,
+        on_stats.mem_used,
+        on_stats.collections,
+        on_stats.peak_bytes,
+        off_stats.peak_bytes
+    )];
     g.finish();
     let json = format!(
-        "{{\n  \"bench\": \"ast_vs_vm\",\n  \"caches_enabled\": {},\n  \"min_of\": 15,\n  \"workloads\": {{\n{}\n  }},\n  \"opt\": {{\n{}\n  }},\n  \"tier\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"ast_vs_vm\",\n  \"caches_enabled\": {},\n  \"min_of\": 15,\n  \"workloads\": {{\n{}\n  }},\n  \"opt\": {{\n{}\n  }},\n  \"tier\": {{\n{}\n  }},\n  \"heap\": {{\n{}\n  }}\n}}\n",
         genus::caches_enabled(),
         rows.join(",\n"),
         opt_rows.join(",\n"),
-        tier_rows.join(",\n")
+        tier_rows.join(",\n"),
+        heap_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_vm.json");
     std::fs::write(path, &json).expect("write BENCH_vm.json");

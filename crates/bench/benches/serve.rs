@@ -214,14 +214,113 @@ fn main() {
         ));
         server.shutdown_arc();
     }
+    let soak = soak_row();
     let json = format!(
-        "{{\n  \"bench\": \"serve_load\",\n  \"requests_per_scenario\": {REQUESTS},\n  \"distinct_programs\": {PROGRAMS},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"serve_load\",\n  \"requests_per_scenario\": {REQUESTS},\n  \"distinct_programs\": {PROGRAMS},\n  \"scenarios\": {{\n{}\n  }},\n  \"soak\": {soak}\n}}\n",
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");
     eprintln!("wrote {path}");
     print!("{json}");
+}
+
+/// Requests in the GC soak scenario.
+const SOAK_REQUESTS: usize = 1000;
+
+/// An allocation-churn request: each run allocates a few megabytes of
+/// short-lived arrays and objects, keeping only an int checksum live.
+fn soak_src() -> String {
+    "class Node {
+       int v;
+       Node(int v) { this.v = v; }
+     }
+     int main() {
+       int s = 0;
+       for (int i = 0; i < 5000; i = i + 1) {
+         int[] a = new int[64];
+         a[0] = i;
+         Node n = new Node(i);
+         s = s + a[0] - n.v + 1;
+       }
+       return s;
+     }"
+    .to_string()
+}
+
+/// Resident-set size in KiB from `/proc/self/statm` (Linux; `None`
+/// elsewhere, which skips the flatness assertion but still reports the
+/// per-request heap stats).
+fn rss_kb() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096 / 1024)
+}
+
+/// The memory soak: 1000 allocation-churn requests through one server.
+/// Every run gets a fresh per-execution heap that dies with its engine,
+/// so process RSS must stay flat while the requests churn gigabytes in
+/// aggregate — the response-level stats prove each run's collector did
+/// the reclamation (collections > 0, live set back near zero) and the
+/// RSS delta proves nothing leaks across requests.
+fn soak_row() -> String {
+    let server = Arc::new(Server::new(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    }));
+    let rss_before = rss_kb();
+    let wall = Instant::now();
+    let mut max_live = 0u64;
+    let mut min_collections = u64::MAX;
+    let mut mem_used = 0u64;
+    // Sequential waves keep peak concurrency at the worker count, so the
+    // RSS measurement prices per-request cleanup, not queue depth.
+    for wave in 0..(SOAK_REQUESTS / 50) {
+        let reqs: Vec<Request> = (0..50)
+            .map(|i| {
+                let mut req = Request::new(format!("soak{}", wave * 50 + i), soak_src());
+                req.stdlib = false;
+                req.limits.fuel = Some(genus_serve::DEFAULT_FUEL);
+                req
+            })
+            .collect();
+        for resp in server.run_batch(reqs) {
+            assert!(
+                matches!(resp.outcome, Outcome::Ok(_)),
+                "soak request failed: {}",
+                resp.to_json_line()
+            );
+            assert!(resp.collections > 0, "soak run never collected");
+            max_live = max_live.max(resp.live_bytes);
+            min_collections = min_collections.min(resp.collections);
+            mem_used = resp.mem_used;
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    let rss_after = rss_kb();
+    server.shutdown_arc();
+    // Flatness: ~3 GiB churned in aggregate must not move RSS by more
+    // than a small constant (allocator slack, cache growth).
+    if let (Some(before), Some(after)) = (rss_before, rss_after) {
+        assert!(
+            after.saturating_sub(before) < 64 * 1024,
+            "serve soak leaked: RSS {before} KiB -> {after} KiB"
+        );
+    }
+    // Each run's live set came back to (near) zero: the checksum plus
+    // the final iteration's garbage at most.
+    assert!(
+        max_live < mem_used / 100,
+        "soak live set did not return to baseline: {max_live} of {mem_used}"
+    );
+    format!(
+        "{{\"requests\": {SOAK_REQUESTS}, \"workers\": 4, \"throughput_rps\": {:.0}, \
+         \"mem_used_per_request\": {mem_used}, \"min_collections\": {min_collections}, \
+         \"max_live_bytes\": {max_live}, \"rss_before_kb\": {}, \"rss_after_kb\": {}}}",
+        SOAK_REQUESTS as f64 / elapsed,
+        rss_before.map_or(-1i64, |v| v as i64),
+        rss_after.map_or(-1i64, |v| v as i64)
+    )
 }
 
 /// `Server::shutdown` takes `self` by value; this helper lets the bench

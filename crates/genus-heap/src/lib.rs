@@ -1,0 +1,35 @@
+//! The Genus runtime heap: values, a per-execution arena with a tracing
+//! collector, and the resource meter.
+//!
+//! This crate is the single home of the *data plane* shared by every
+//! execution engine (AST interpreter, bytecode VM, closure-compiled
+//! Tier 2):
+//!
+//! - [`value`] — runtime values with fully reified types and model
+//!   witnesses (paper §4.6, §7.2). Reference values (`Obj`/`Arr`/
+//!   `Packed`) are **handles** ([`Handle`], a `u32` index) into the
+//!   run's [`Heap`], not host `Rc` pointers.
+//! - [`heap`] — the per-execution arena: bump allocation into a slot
+//!   vector with a free list, exact per-object byte sizing (the header
+//!   counts the reified `RtType` arguments and model witnesses, array
+//!   payloads count their element-specialized width), and a
+//!   stop-the-world mark-sweep collector driven from engine-supplied
+//!   roots.
+//! - [`meter`] — fuel / memory / deadline budgets. Memory is charged in
+//!   **exact bytes** by the heap's allocation choke points, cumulatively
+//!   and monotonically, so the `R0010` trap fires at the identical
+//!   allocation on every engine regardless of collector timing.
+
+pub mod heap;
+pub mod meter;
+pub mod value;
+
+pub use heap::{
+    array_bytes, model_value_bytes, obj_bytes, packed_bytes, rt_type_bytes, str_bytes, Handle,
+    Heap, HeapStats,
+};
+pub use meter::{Limits, Meter, ResourceStats};
+pub use value::{
+    ArrayData, ClassMethodIndex, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError,
+    Storage, Value,
+};

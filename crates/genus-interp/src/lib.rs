@@ -28,6 +28,7 @@ pub mod ops;
 pub mod rtti;
 pub mod value;
 
+pub use genus_heap::{Handle, Heap, HeapStats};
 pub use meter::{Limits, Meter, ResourceStats};
 pub use value::{
     ArrayData, ClassMethodIndex, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError,
@@ -55,10 +56,12 @@ enum Flow {
     Continue,
 }
 
-/// One activation record.
+/// One activation record. Locals are shared with the interpreter's frame
+/// stack ([`Interp`]'s `frames` field) so the collector can enumerate
+/// every live slot of every activation at a safe point.
 #[derive(Default)]
 struct Frame {
-    locals: Vec<Value>,
+    locals: Rc<RefCell<Vec<Value>>>,
     tenv: HashMap<TvId, RtType>,
     menv: HashMap<MvId, ModelValue>,
 }
@@ -128,6 +131,20 @@ pub struct Interp<'p> {
     /// Per-run resource meter (fuel / memory / deadline). Unlimited by
     /// default; replace via [`Interp::set_limits`] before running.
     pub meter: Meter,
+    /// The run's arena heap. Objects, arrays, and packed existentials
+    /// live here; `Value` reference variants are handles into it.
+    pub heap: Heap,
+    /// Root set, part 1: the locals of every live activation record.
+    frames: RefCell<Vec<Rc<RefCell<Vec<Value>>>>>,
+    /// Root set, part 2: every reference value produced by an expression
+    /// in the current statement. `exec_stmt` records a watermark and
+    /// truncates on completion, so temporaries stay rooted exactly while
+    /// a statement can still use them.
+    temps: RefCell<Vec<Value>>,
+}
+
+fn is_ref(v: &Value) -> bool {
+    matches!(v, Value::Obj(_) | Value::Arr(_) | Value::Packed(_))
 }
 
 impl<'p> Interp<'p> {
@@ -145,6 +162,9 @@ impl<'p> Interp<'p> {
             // `genus` facade does this automatically).
             max_depth: 1000,
             meter: Meter::unlimited(),
+            heap: Heap::new(),
+            frames: RefCell::new(Vec::new()),
+            temps: RefCell::new(Vec::new()),
         }
     }
 
@@ -154,9 +174,41 @@ impl<'p> Interp<'p> {
         self.meter = Meter::with_limits(limits);
     }
 
-    /// Resources consumed so far (fuel steps and heap units).
+    /// Resources consumed so far: fuel steps and exact heap bytes from
+    /// the meter, live/peak/collection statistics from the heap.
     pub fn resource_stats(&self) -> ResourceStats {
-        self.meter.stats()
+        let mut s = self.meter.stats();
+        self.heap.fill_stats(&mut s);
+        s
+    }
+
+    /// Renders a value the way `print` would (without dispatching a
+    /// user-defined `toString`).
+    pub fn render(&self, v: &Value) -> String {
+        self.heap.render(v)
+    }
+
+    /// Collects garbage if the heap asks for it. Called only at safe
+    /// points: the top of each statement and immediately before each
+    /// heap allocation, where every live reference is reachable from
+    /// the frame stack, the temporaries, or the statics map.
+    fn maybe_gc(&self) {
+        if !self.heap.should_collect() {
+            return;
+        }
+        let mut roots = Vec::new();
+        for f in self.frames.borrow().iter() {
+            for v in f.borrow().iter() {
+                self.heap.root(&mut roots, v);
+            }
+        }
+        for v in self.temps.borrow().iter() {
+            self.heap.root(&mut roots, v);
+        }
+        for v in self.statics.borrow().values() {
+            self.heap.root(&mut roots, v);
+        }
+        self.heap.collect(roots);
     }
 
     /// Runs static initializers then `main()`.
@@ -178,11 +230,15 @@ impl<'p> Interp<'p> {
     ///
     /// Returns any [`RuntimeError`] raised by an initializer.
     pub fn init_statics(&self) -> RResult<()> {
+        let mark = self.temps.borrow().len();
         for (cid, fi, init) in &self.prog.static_inits {
             let mut frame = Frame::default();
             let v = self.eval(&mut frame, init)?;
             self.statics.borrow_mut().insert((cid.0, *fi as u32), v);
         }
+        // Initializer temporaries are dead now; the values themselves are
+        // rooted through the statics map.
+        self.temps.borrow_mut().truncate(mark);
         Ok(())
     }
 
@@ -251,17 +307,22 @@ impl<'p> Interp<'p> {
             ));
         }
         self.depth.set(self.depth.get() + 1);
-        frame.locals = vec![Value::Null; body.num_locals];
-        let mut slot = 0;
-        if let Some(t) = this {
-            frame.locals[0] = t;
-            slot = 1;
+        {
+            let mut locals = frame.locals.borrow_mut();
+            *locals = vec![Value::Null; body.num_locals];
+            let mut slot = 0;
+            if let Some(t) = this {
+                locals[0] = t;
+                slot = 1;
+            }
+            for a in args {
+                locals[slot] = a;
+                slot += 1;
+            }
         }
-        for a in args {
-            frame.locals[slot] = a;
-            slot += 1;
-        }
+        self.frames.borrow_mut().push(Rc::clone(&frame.locals));
         let r = self.exec_block(&mut frame, &body.block);
+        self.frames.borrow_mut().pop();
         self.depth.set(self.depth.get() - 1);
         match r? {
             Flow::Return(v) => Ok(v),
@@ -287,7 +348,25 @@ impl<'p> Interp<'p> {
         Ok(Flow::Normal)
     }
 
+    /// Statement boundary: GC safe point plus temporary-root scoping.
+    /// Reference values produced while executing `s` are rooted in
+    /// `temps` (by [`Interp::eval`]); they die with the statement, except
+    /// a `Return` value, which is re-rooted for the calling frame.
     fn exec_stmt(&self, frame: &mut Frame, s: &hir::Stmt) -> RResult<Flow> {
+        self.maybe_gc();
+        let mark = self.temps.borrow().len();
+        let r = self.exec_stmt_inner(frame, s);
+        let mut temps = self.temps.borrow_mut();
+        temps.truncate(mark);
+        if let Ok(Flow::Return(v)) = &r {
+            if is_ref(v) {
+                temps.push(v.clone());
+            }
+        }
+        r
+    }
+
+    fn exec_stmt_inner(&self, frame: &mut Frame, s: &hir::Stmt) -> RResult<Flow> {
         self.meter.step()?;
         match s {
             hir::Stmt::Expr(e) => {
@@ -299,7 +378,7 @@ impl<'p> Interp<'p> {
                     Some(e) => self.eval(frame, e)?,
                     None => self.eval_type(frame, ty).default_value(),
                 };
-                frame.locals[local.0 as usize] = v;
+                frame.locals.borrow_mut()[local.0 as usize] = v;
                 Ok(Flow::Normal)
             }
             hir::Stmt::LetOpen {
@@ -310,14 +389,15 @@ impl<'p> Interp<'p> {
             } => {
                 let v = self.eval(frame, init)?;
                 match v {
-                    Value::Packed(p) => {
+                    Value::Packed(h) => {
+                        let p = self.heap.packed(h);
                         for (tv, t) in tvs.iter().zip(&p.types) {
                             frame.tenv.insert(*tv, t.clone());
                         }
                         for (mv, m) in mvs.iter().zip(&p.models) {
                             frame.menv.insert(*mv, m.clone());
                         }
-                        frame.locals[local.0 as usize] = p.value.clone();
+                        frame.locals.borrow_mut()[local.0 as usize] = p.value.clone();
                     }
                     Value::Null => {
                         return Err(RuntimeError::new(
@@ -333,7 +413,7 @@ impl<'p> Interp<'p> {
                         for tv in tvs {
                             frame.tenv.insert(*tv, rt.clone());
                         }
-                        frame.locals[local.0 as usize] = other;
+                        frame.locals.borrow_mut()[local.0 as usize] = other;
                     }
                 }
                 Ok(Flow::Normal)
@@ -350,7 +430,11 @@ impl<'p> Interp<'p> {
                 }
             }
             hir::Stmt::While { cond, body, update } => {
+                let mark = self.temps.borrow().len();
                 loop {
+                    // Bound temp-root growth: values from previous
+                    // iterations (notably the condition's) are dead.
+                    self.temps.borrow_mut().truncate(mark);
                     if !self.truthy(frame, cond)? {
                         break;
                     }
@@ -406,7 +490,7 @@ impl<'p> Interp<'p> {
 
     /// Runtime type of a value.
     pub fn value_rt_type(&self, v: &Value) -> RtType {
-        rtti::value_rt_type(self.prog, v)
+        rtti::value_rt_type(self.prog, &self.heap, v)
     }
 
     /// Direct supertypes of a reified class instantiation.
@@ -427,15 +511,26 @@ impl<'p> Interp<'p> {
 
     /// Reified `instanceof` (null is not an instance of anything).
     pub fn value_instanceof(&self, v: &Value, t: &RtType) -> bool {
-        rtti::value_instanceof(self.prog, v, t)
+        rtti::value_instanceof(self.prog, &self.heap, v, t)
     }
 
     // ------------------------------------------------------------------
     // Expressions
     // ------------------------------------------------------------------
 
-    #[allow(clippy::too_many_lines)]
+    /// Evaluates an expression, rooting any produced reference value in
+    /// the statement-scoped temporaries so it survives a collection at
+    /// any nested safe point until the enclosing statement completes.
     fn eval(&self, frame: &mut Frame, e: &hir::Expr) -> RResult<Value> {
+        let v = self.eval_inner(frame, e)?;
+        if is_ref(&v) {
+            self.temps.borrow_mut().push(v.clone());
+        }
+        Ok(v)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn eval_inner(&self, frame: &mut Frame, e: &hir::Expr) -> RResult<Value> {
         use hir::ExprKind as K;
         self.meter.step()?;
         match &e.kind {
@@ -446,10 +541,10 @@ impl<'p> Interp<'p> {
             K::Char(v) => Ok(Value::Char(*v)),
             K::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
             K::Null => Ok(Value::Null),
-            K::Local(l) => Ok(frame.locals[l.0 as usize].clone()),
+            K::Local(l) => Ok(frame.locals.borrow()[l.0 as usize].clone()),
             K::SetLocal { local, value } => {
                 let v = self.eval(frame, value)?;
-                frame.locals[local.0 as usize] = v.clone();
+                frame.locals.borrow_mut()[local.0 as usize] = v.clone();
                 Ok(v)
             }
             K::GetField { recv, class, field } => {
@@ -602,11 +697,8 @@ impl<'p> Interp<'p> {
                         format!("negative array length {n}"),
                     ));
                 }
-                self.meter.charge(n as u64 + 1)?;
-                Ok(Value::Arr(Rc::new(ArrayData {
-                    storage: RefCell::new(Storage::new(&et, n as usize)),
-                    elem: et,
-                })))
+                self.maybe_gc();
+                self.heap.alloc_arr(&self.meter, et, n as usize)
             }
             K::ArrayLen { arr } => {
                 let a = self.eval(frame, arr)?;
@@ -660,6 +752,9 @@ impl<'p> Interp<'p> {
             }
             K::Cast { expr, ty } => {
                 let v = self.eval(frame, expr)?;
+                // A cast to an existential allocates a package; give the
+                // collector its pre-allocation safe point.
+                self.maybe_gc();
                 self.cast(frame, v, ty)
             }
             K::Pack {
@@ -671,12 +766,8 @@ impl<'p> Interp<'p> {
                 let v = self.eval(frame, expr)?;
                 let ts = types.iter().map(|t| self.eval_type(frame, t)).collect();
                 let ms = models.iter().map(|m| self.eval_model(frame, m)).collect();
-                self.meter.charge(meter::PACK_COST)?;
-                Ok(Value::Packed(Rc::new(PackedData {
-                    value: v,
-                    types: ts,
-                    models: ms,
-                })))
+                self.maybe_gc();
+                self.heap.alloc_packed(&self.meter, v, ts, ms)
             }
             K::Cond {
                 cond,
@@ -734,12 +825,12 @@ impl<'p> Interp<'p> {
         args.iter().map(|a| self.eval(frame, a)).collect()
     }
 
-    fn expect_obj<'v>(&self, v: &'v Value) -> RResult<&'v Rc<ObjData>> {
-        rtti::expect_obj(v)
+    fn expect_obj(&self, v: &Value) -> RResult<Rc<ObjData>> {
+        rtti::expect_obj(&self.heap, v)
     }
 
-    fn expect_arr<'v>(&self, v: &'v Value) -> RResult<&'v Rc<ArrayData>> {
-        rtti::expect_arr(v)
+    fn expect_arr(&self, v: &Value) -> RResult<Rc<ArrayData>> {
+        rtti::expect_arr(&self.heap, v)
     }
 
     fn expect_index(&self, v: &Value, len: usize) -> RResult<usize> {
@@ -771,13 +862,13 @@ impl<'p> Interp<'p> {
                 let r = self.eval(frame, rhs)?;
                 let mut s = self.stringify(&l)?;
                 s.push_str(&self.stringify(&r)?);
-                self.meter.charge(s.len() as u64)?;
+                self.meter.charge(genus_heap::str_bytes(s.len()))?;
                 Ok(Value::Str(Rc::from(s.as_str())))
             }
             BinKind::EqRef(op) | BinKind::EqPrim(op) => {
                 let l = self.eval(frame, lhs)?;
                 let r = self.eval(frame, rhs)?;
-                let eq = l.ref_eq(&r);
+                let eq = self.heap.ref_eq(&l, &r);
                 Ok(Value::Bool(if op == BinOp::Eq { eq } else { !eq }))
             }
             BinKind::Arith(op, nk) => {
@@ -794,11 +885,19 @@ impl<'p> Interp<'p> {
     }
 
     fn instanceof_type(&self, frame: &Frame, v: &Value, ty: &Type) -> bool {
-        rtti::instanceof_type(self.prog, &frame.tenv, &frame.menv, v, ty)
+        rtti::instanceof_type(self.prog, &self.heap, &frame.tenv, &frame.menv, v, ty)
     }
 
     fn cast(&self, frame: &Frame, v: Value, ty: &Type) -> RResult<Value> {
-        rtti::cast_value(self.prog, &frame.tenv, &frame.menv, v, ty)
+        rtti::cast_value(
+            self.prog,
+            &self.heap,
+            &self.meter,
+            &frame.tenv,
+            &frame.menv,
+            v,
+            ty,
+        )
     }
 
     /// Stringification used by concatenation and `print`: objects get their
@@ -815,11 +914,14 @@ impl<'p> Interp<'p> {
                     vec![],
                 ) {
                     Ok(Value::Str(s)) => Ok(s.to_string()),
-                    _ => Ok(format!("{v}")),
+                    _ => Ok(self.heap.render(v)),
                 }
             }
-            Value::Packed(p) => self.stringify(&p.value),
-            other => Ok(format!("{other}")),
+            Value::Packed(h) => {
+                let p = self.heap.packed(*h);
+                self.stringify(&p.value)
+            }
+            other => Ok(self.heap.render(other)),
         }
     }
 
@@ -919,12 +1021,10 @@ impl<'p> Interp<'p> {
         margs: Vec<ModelValue>,
         args: Vec<Value>,
     ) -> RResult<Value> {
-        let recv = match recv {
-            Value::Packed(p) => p.value.clone(),
-            other => other,
-        };
+        let recv = self.heap.unpack(recv);
         match &recv {
-            Value::Obj(o) => {
+            Value::Obj(h) => {
+                let o = self.heap.obj(*h);
                 let found = if caches_enabled() {
                     self.cached_virt_target(site, o.class, &o.targs, &o.models, name, arity)
                         .map(|t| match &t.fixed {
@@ -1021,14 +1121,14 @@ impl<'p> Interp<'p> {
         ctor: usize,
         args: Vec<Value>,
     ) -> RResult<Value> {
-        self.meter.charge(meter::OBJECT_COST)?;
-        let obj = Rc::new(ObjData {
-            class: cid,
-            targs: targs.clone(),
-            models: models.clone(),
-            fields: RefCell::new(HashMap::new()),
-        });
-        let this = Value::Obj(obj);
+        self.maybe_gc();
+        let field_slots = rtti::instance_field_slots(self.prog, cid);
+        let this =
+            self.heap
+                .alloc_obj(&self.meter, cid, targs.clone(), models.clone(), field_slots)?;
+        // Root the fresh object for the whole construction sequence (the
+        // field initializers and constructor below can all collect).
+        self.temps.borrow_mut().push(this.clone());
         // Default-initialize and run field initializers for the whole chain
         // (base classes first).
         let mut chain = Vec::new();
@@ -1057,7 +1157,7 @@ impl<'p> Interp<'p> {
                 let v = match self.prog.field_inits.get(&key) {
                     Some(init) => {
                         let mut frame = Frame {
-                            locals: vec![this.clone()],
+                            locals: Rc::new(RefCell::new(vec![this.clone()])),
                             tenv: env.tenv.clone(),
                             menv: env.menv.clone(),
                         };
@@ -1065,8 +1165,8 @@ impl<'p> Interp<'p> {
                     }
                     None => self.eval_type(&env, &f.ty).default_value(),
                 };
-                if let Value::Obj(o) = &this {
-                    o.fields.borrow_mut().insert(key, v);
+                if let Value::Obj(h) = &this {
+                    self.heap.obj(*h).fields.borrow_mut().insert(key, v);
                 }
             }
         }
@@ -1194,14 +1294,11 @@ impl<'p> Interp<'p> {
         };
         let m = &self.prog.table.model(t.mid).methods[t.mi];
         let frame = Frame {
-            locals: Vec::new(),
+            locals: Rc::default(),
             tenv: t.tenv.clone(),
             menv: t.menv.clone(),
         };
-        let recv = recv.map(|r| match r {
-            Value::Packed(p) => p.value.clone(),
-            other => other,
-        });
+        let recv = recv.map(|r| self.heap.unpack(r));
         self.run_body(frame, body, recv, args, m.ret.is_void())
     }
 
@@ -1253,13 +1350,13 @@ impl<'p> Interp<'p> {
         let kind = match (&recv_t, recv_kind) {
             (Some(vt), true) => Some(RecvKind::Value(
                 vt,
-                recv.as_ref().is_some_and(Value::is_null),
+                recv.as_ref().is_some_and(|r| self.heap.is_null(r)),
             )),
             (Some(srt), false) => Some(RecvKind::Static(srt)),
             (None, _) => None,
         };
         let arg_ts: Vec<RtType> = args.iter().map(|a| self.value_rt_type(a)).collect();
-        let args_null: Vec<bool> = args.iter().map(Value::is_null).collect();
+        let args_null: Vec<bool> = args.iter().map(|a| self.heap.is_null(a)).collect();
         let target =
             rtti::select_model_target(self.prog, id, targs, margs, name, kind, &arg_ts, &args_null);
         if let Some(key) = key {

@@ -3,7 +3,7 @@
 //! §3.3).
 
 use crate::value::{ErrorKind, RtType, RuntimeError, Value};
-use crate::Interp;
+use crate::{Heap, Interp};
 use genus_check::hir::NativeOp;
 use genus_common::Symbol;
 use genus_types::PrimTy;
@@ -36,7 +36,7 @@ impl<'p> Interp<'p> {
         recv: Option<Value>,
         args: Vec<Value>,
     ) -> RResult<Value> {
-        prim_call(prim, name, recv, args)
+        prim_call(&self.heap, prim, name, recv, args)
     }
 
     pub(crate) fn native_call(
@@ -45,7 +45,7 @@ impl<'p> Interp<'p> {
         recv: Option<Value>,
         args: Vec<Value>,
     ) -> RResult<Value> {
-        native_call_with(|v| self.stringify(v), op, recv, args)
+        native_call_with(&self.heap, |v| self.stringify(v), op, recv, args)
     }
 }
 
@@ -83,6 +83,7 @@ pub fn string_native_op(name: Symbol) -> Option<NativeOp> {
 /// `NoSuchMethodError` for unknown operations; `Other` for mismatched
 /// primitive operands.
 pub fn prim_call(
+    heap: &Heap,
     prim: PrimTy,
     name: Symbol,
     recv: Option<Value>,
@@ -111,12 +112,9 @@ pub fn prim_call(
             )),
         };
     };
-    let r = match r {
-        Value::Packed(p) => p.value.clone(),
-        other => other,
-    };
+    let r = heap.unpack(r);
     match n {
-        "equals" => Ok(Value::Bool(r.ref_eq(&args[0]))),
+        "equals" => Ok(Value::Bool(heap.ref_eq(&r, &args[0]))),
         "compareTo" => {
             let ord = match (&r, &args[0]) {
                 (Value::Int(a), Value::Int(b)) => a.cmp(b) as i32,
@@ -152,7 +150,7 @@ pub fn prim_call(
             Value::Char(c) => *c as i32,
             _ => 0,
         })),
-        "toString" => Ok(Value::Str(Rc::from(format!("{r}").as_str()))),
+        "toString" => Ok(Value::Str(Rc::from(heap.render(&r).as_str()))),
         "plus" | "minus" | "times" | "min" | "max" => {
             let op = n;
             let b = args[0].clone();
@@ -208,6 +206,7 @@ pub fn prim_call(
 /// Operation-specific runtime errors (`NullPointerException`,
 /// `IndexOutOfBounds`, …).
 pub fn native_call_with(
+    heap: &Heap,
     mut stringify: impl FnMut(&Value) -> RResult<String>,
     op: NativeOp,
     recv: Option<Value>,
@@ -216,7 +215,7 @@ pub fn native_call_with(
     let as_str = |v: &Value| -> RResult<Rc<str>> {
         match v {
             Value::Str(s) => Ok(s.clone()),
-            Value::Packed(p) => match &p.value {
+            Value::Packed(h) => match &heap.packed(*h).value {
                 Value::Str(s) => Ok(s.clone()),
                 _ => Err(RuntimeError::new(ErrorKind::Other, "expected a string")),
             },
@@ -232,7 +231,9 @@ pub fn native_call_with(
             let r = as_str(recv.as_ref().expect("recv"))?;
             Ok(Value::Bool(match &args[0] {
                 Value::Str(s) => *r == **s,
-                Value::Packed(p) => matches!(&p.value, Value::Str(s) if *r == **s),
+                Value::Packed(h) => {
+                    matches!(&heap.packed(*h).value, Value::Str(s) if *r == **s)
+                }
                 _ => false,
             }))
         }
@@ -327,7 +328,9 @@ pub fn native_call_with(
         NativeOp::ObjHashCode => {
             let r = recv.as_ref().expect("recv");
             Ok(Value::Int(match r {
-                Value::Obj(o) => Rc::as_ptr(o) as i32,
+                // Allocation sequence number: deterministic across runs
+                // and engines, unlike the host pointer it replaced.
+                Value::Obj(o) => heap.identity_hash(*o),
                 Value::Str(s) => {
                     let mut h: i32 = 0;
                     for c in s.chars() {
@@ -340,7 +343,7 @@ pub fn native_call_with(
         }
         NativeOp::ObjEquals => {
             let r = recv.as_ref().expect("recv");
-            Ok(Value::Bool(r.ref_eq(&args[0])))
+            Ok(Value::Bool(heap.ref_eq(r, &args[0])))
         }
         NativeOp::ObjToString | NativeOp::ToString => {
             let r = recv.as_ref().expect("recv");

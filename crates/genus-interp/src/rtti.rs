@@ -8,10 +8,8 @@
 //! environments, so an engine only contributes its evaluation strategy and
 //! its caches, never a second copy of the rules.
 
-use crate::value::{
-    ArrayData, ClassMethodIndex, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError,
-    Value,
-};
+use crate::value::{ClassMethodIndex, ErrorKind, ModelValue, ObjData, RtType, RuntimeError, Value};
+use crate::{ArrayData, Heap, Meter};
 use genus_check::CheckedProgram;
 use genus_common::{FastMap, Symbol};
 use genus_types::{ClassId, Model, ModelId, MvId, PrimTy, TvId, Type, WhereReq};
@@ -93,7 +91,7 @@ pub fn eval_model(prog: &CheckedProgram, tenv: &TEnv, menv: &MEnv, m: &Model) ->
 }
 
 /// Runtime type of a value.
-pub fn value_rt_type(prog: &CheckedProgram, v: &Value) -> RtType {
+pub fn value_rt_type(prog: &CheckedProgram, heap: &Heap, v: &Value) -> RtType {
     match v {
         Value::Int(_) => RtType::Prim(PrimTy::Int),
         Value::Long(_) => RtType::Prim(PrimTy::Long),
@@ -108,13 +106,16 @@ pub fn value_rt_type(prog: &CheckedProgram, v: &Value) -> RtType {
             },
             None => RtType::Null,
         },
-        Value::Obj(o) => RtType::Class {
-            id: o.class,
-            args: o.targs.clone(),
-            models: o.models.clone(),
-        },
-        Value::Arr(a) => RtType::Array(Box::new(a.elem.clone())),
-        Value::Packed(p) => value_rt_type(prog, &p.value),
+        Value::Obj(h) => {
+            let o = heap.obj(*h);
+            RtType::Class {
+                id: o.class,
+                args: o.targs.clone(),
+                models: o.models.clone(),
+            }
+        }
+        Value::Arr(h) => RtType::Array(Box::new(heap.arr(*h).elem.clone())),
+        Value::Packed(h) => value_rt_type(prog, heap, &heap.packed(*h).value),
         Value::Null | Value::Void => RtType::Null,
     }
 }
@@ -124,19 +125,22 @@ pub fn value_rt_type(prog: &CheckedProgram, v: &Value) -> RtType {
 /// (no `targs`/`models` clones for objects, no boxed element clone for
 /// arrays). This is the hot-path comparator behind the VM's per-site
 /// model-dispatch inline caches.
-pub fn value_matches_rt(prog: &CheckedProgram, v: &Value, rt: &RtType) -> bool {
+pub fn value_matches_rt(prog: &CheckedProgram, heap: &Heap, v: &Value, rt: &RtType) -> bool {
     match v {
-        Value::Obj(o) => matches!(
-            rt,
-            RtType::Class { id, args, models }
-                if o.class == *id && o.targs == *args && o.models == *models
-        ),
-        Value::Arr(a) => matches!(rt, RtType::Array(e) if a.elem == **e),
-        Value::Packed(p) => value_matches_rt(prog, &p.value, rt),
+        Value::Obj(h) => {
+            let o = heap.obj(*h);
+            matches!(
+                rt,
+                RtType::Class { id, args, models }
+                    if o.class == *id && o.targs == *args && o.models == *models
+            )
+        }
+        Value::Arr(h) => matches!(rt, RtType::Array(e) if heap.arr(*h).elem == **e),
+        Value::Packed(h) => value_matches_rt(prog, heap, &heap.packed(*h).value, rt),
         // Primitives, strings, null: `value_rt_type` is allocation-free
         // for these shapes (empty vecs never touch the heap), so reuse it
         // for exact parity with the memo-key construction.
-        _ => value_rt_type(prog, v) == *rt,
+        _ => value_rt_type(prog, heap, v) == *rt,
     }
 }
 
@@ -278,17 +282,18 @@ pub fn rt_subtype(prog: &CheckedProgram, a: &RtType, b: &RtType) -> bool {
 }
 
 /// Reified `instanceof` (null is not an instance of anything).
-pub fn value_instanceof(prog: &CheckedProgram, v: &Value, t: &RtType) -> bool {
-    if v.is_null() {
+pub fn value_instanceof(prog: &CheckedProgram, heap: &Heap, v: &Value, t: &RtType) -> bool {
+    if heap.is_null(v) {
         return false;
     }
-    let vt = value_rt_type(prog, v);
+    let vt = value_rt_type(prog, heap, v);
     rt_subtype(prog, &vt, t)
 }
 
 /// `instanceof` against a (possibly existential) static type.
 pub fn instanceof_type(
     prog: &CheckedProgram,
+    heap: &Heap,
     tenv: &TEnv,
     menv: &MEnv,
     v: &Value,
@@ -300,10 +305,10 @@ pub fn instanceof_type(
             bounds,
             wheres,
             body,
-        } => match_existential(prog, tenv, menv, v, params, bounds, wheres, body).is_some(),
+        } => match_existential(prog, heap, tenv, menv, v, params, bounds, wheres, body).is_some(),
         _ => {
             let t = eval_type(prog, tenv, menv, ty);
-            value_instanceof(prog, v, &t)
+            value_instanceof(prog, heap, v, &t)
         }
     }
 }
@@ -314,6 +319,7 @@ pub fn instanceof_type(
 #[allow(clippy::too_many_arguments)]
 pub fn match_existential(
     prog: &CheckedProgram,
+    heap: &Heap,
     tenv: &TEnv,
     menv: &MEnv,
     v: &Value,
@@ -322,19 +328,20 @@ pub fn match_existential(
     wheres: &[WhereReq],
     body: &Type,
 ) -> Option<(Vec<RtType>, Vec<ModelValue>)> {
-    if v.is_null() {
+    if heap.is_null(v) {
         return None;
     }
-    let inner = match v {
-        Value::Packed(p) => &p.value,
-        other => other,
+    let packed = match v {
+        Value::Packed(h) => Some(heap.packed(*h)),
+        _ => None,
     };
+    let inner: &Value = packed.as_ref().map_or(v, |p| &p.value);
     let Type::Class { id, args, models } = body else {
         // `[some U] U` matches anything; witnesses come from packaging.
         if let Type::Var(u) = body {
             if params.contains(u) {
-                let vt = value_rt_type(prog, inner);
-                if let Value::Packed(p) = v {
+                let vt = value_rt_type(prog, heap, inner);
+                if let Some(p) = &packed {
                     return Some((vec![vt], p.models.clone()));
                 }
                 if wheres.is_empty() {
@@ -344,7 +351,7 @@ pub fn match_existential(
         }
         return None;
     };
-    let vt = value_rt_type(prog, inner);
+    let vt = value_rt_type(prog, heap, inner);
     let RtType::Class {
         id: vid,
         args: vargs,
@@ -415,9 +422,12 @@ pub fn match_existential(
 
 /// Checked cast semantics shared by both engines: numeric conversion
 /// matrices, null passthrough, existential (re)packing, and the reified
-/// class-cast check.
+/// class-cast check. A successful cast to an existential allocates a
+/// package on `heap`, charged to `meter` (it can trap with `R0010`).
 pub fn cast_value(
     prog: &CheckedProgram,
+    heap: &Heap,
+    meter: &Meter,
     tenv: &TEnv,
     menv: &MEnv,
     v: Value,
@@ -425,7 +435,7 @@ pub fn cast_value(
 ) -> RResult<Value> {
     // Numeric casts (including narrowing) go through the reified matrix
     // below; everything else lets `null` pass through unchanged first.
-    if !matches!(ty, Type::Prim(_)) && v.is_null() {
+    if !matches!(ty, Type::Prim(_)) && heap.is_null(&v) {
         return Ok(Value::Null);
     }
     if let Type::Existential {
@@ -435,17 +445,10 @@ pub fn cast_value(
         body,
     } = ty
     {
-        return match match_existential(prog, tenv, menv, &v, params, bounds, wheres, body) {
+        return match match_existential(prog, heap, tenv, menv, &v, params, bounds, wheres, body) {
             Some((types, models)) => {
-                let inner = match v {
-                    Value::Packed(p) => p.value.clone(),
-                    other => other,
-                };
-                Ok(Value::Packed(Rc::new(PackedData {
-                    value: inner,
-                    types,
-                    models,
-                })))
+                let inner = heap.unpack(v);
+                heap.alloc_packed(meter, inner, types, models)
             }
             None => Err(RuntimeError::new(
                 ErrorKind::ClassCast,
@@ -454,14 +457,14 @@ pub fn cast_value(
         };
     }
     let t = eval_type(prog, tenv, menv, ty);
-    cast_value_rt(prog, v, &t)
+    cast_value_rt(prog, heap, v, &t)
 }
 
 /// Checked cast against an already-reified (non-existential) target type:
 /// the tail of [`cast_value`], split out so engines that pre-reify their
 /// cast targets (the VM optimizer's `rt_types` table) share the exact
 /// same conversion matrix and failure messages.
-pub fn cast_value_rt(prog: &CheckedProgram, v: Value, t: &RtType) -> RResult<Value> {
+pub fn cast_value_rt(prog: &CheckedProgram, heap: &Heap, v: Value, t: &RtType) -> RResult<Value> {
     if let RtType::Prim(p) = t {
         return match (&v, p) {
             (Value::Int(x), PrimTy::Int) => Ok(Value::Int(*x)),
@@ -485,20 +488,17 @@ pub fn cast_value_rt(prog: &CheckedProgram, v: Value, t: &RtType) -> RResult<Val
             )),
         };
     }
-    if v.is_null() {
+    if heap.is_null(&v) {
         return Ok(Value::Null);
     }
-    if value_instanceof(prog, &v, t) {
-        Ok(match v {
-            Value::Packed(p) => p.value.clone(),
-            other => other,
-        })
+    if value_instanceof(prog, heap, &v, t) {
+        Ok(heap.unpack(v))
     } else {
         Err(RuntimeError::new(
             ErrorKind::ClassCast,
             format!(
                 "cannot cast value of type `{}` to `{}`",
-                rt_type_name(prog, &value_rt_type(prog, &v)),
+                rt_type_name(prog, &value_rt_type(prog, heap, &v)),
                 rt_type_name(prog, t),
             ),
         ))
@@ -693,11 +693,11 @@ pub fn replay_target(
 /// # Errors
 ///
 /// `NullPointerException` on null; `Other` on non-objects.
-pub fn expect_obj(v: &Value) -> RResult<&Rc<ObjData>> {
+pub fn expect_obj(heap: &Heap, v: &Value) -> RResult<Rc<ObjData>> {
     match v {
-        Value::Obj(o) => Ok(o),
-        Value::Packed(p) => match &p.value {
-            Value::Obj(o) => Ok(o),
+        Value::Obj(h) => Ok(heap.obj(*h)),
+        Value::Packed(h) => match &heap.packed(*h).value {
+            Value::Obj(o) => Ok(heap.obj(*o)),
             Value::Null => Err(RuntimeError::new(
                 ErrorKind::NullPointer,
                 "null dereference",
@@ -724,11 +724,11 @@ pub fn expect_obj(v: &Value) -> RResult<&Rc<ObjData>> {
 /// # Errors
 ///
 /// `NullPointerException` on null; `Other` on non-arrays.
-pub fn expect_arr(v: &Value) -> RResult<&Rc<ArrayData>> {
+pub fn expect_arr(heap: &Heap, v: &Value) -> RResult<Rc<ArrayData>> {
     match v {
-        Value::Arr(a) => Ok(a),
-        Value::Packed(p) => match &p.value {
-            Value::Arr(a) => Ok(a),
+        Value::Arr(h) => Ok(heap.arr(*h)),
+        Value::Packed(h) => match &heap.packed(*h).value {
+            Value::Arr(a) => Ok(heap.arr(*a)),
             _ => Err(RuntimeError::new(ErrorKind::Other, "expected array")),
         },
         Value::Null => Err(RuntimeError::new(ErrorKind::NullPointer, "null array")),
@@ -737,6 +737,24 @@ pub fn expect_arr(v: &Value) -> RResult<&Rc<ArrayData>> {
             format!("expected array, got {other:?}"),
         )),
     }
+}
+
+/// Number of declared instance fields over `id`'s superclass chain: the
+/// field-table capacity an instance will grow to, used for exact object
+/// sizing at allocation. Static (class structure only), so every engine
+/// computes the same size for the same class.
+pub fn instance_field_slots(prog: &CheckedProgram, id: ClassId) -> usize {
+    let mut n = 0;
+    let mut cur = Some(id);
+    while let Some(cid) = cur {
+        let def = prog.table.class(cid);
+        n += def.fields.iter().filter(|f| !f.is_static).count();
+        cur = def.extends.as_ref().and_then(|t| match t {
+            Type::Class { id, .. } => Some(*id),
+            _ => None,
+        });
+    }
+    n
 }
 
 /// Bounds-checks an array index value.
@@ -995,9 +1013,13 @@ mod tests {
     #[test]
     fn cast_value_numeric_and_failure() {
         let prog = check_source("void main() { }").unwrap();
+        let heap = Heap::with_stress(false);
+        let meter = Meter::unlimited();
         let (tenv, menv) = (TEnv::new(), MEnv::new());
         let v = cast_value(
             &prog,
+            &heap,
+            &meter,
             &tenv,
             &menv,
             Value::Int(65),
@@ -1007,6 +1029,8 @@ mod tests {
         assert!(matches!(v, Value::Char('A')));
         let e = cast_value(
             &prog,
+            &heap,
+            &meter,
             &tenv,
             &menv,
             Value::Bool(true),

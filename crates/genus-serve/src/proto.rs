@@ -21,7 +21,8 @@
 //!
 //! ```json
 //! {"id": "r1", "outcome": "ok", "value": "42", "output": "",
-//!  "fuel_used": 3, "mem_used": 0, "cache": "hit", "ms": 0, "engine": "vm"}
+//!  "fuel_used": 3, "mem_used": 0, "live_bytes": 0, "peak_bytes": 0,
+//!  "collections": 0, "cache": "hit", "ms": 0, "engine": "vm"}
 //! ```
 //!
 //! `outcome` is `"ok"` (with `value`), `"trap"` (with the stable `code`,
@@ -217,8 +218,16 @@ pub struct Response {
     pub output: String,
     /// Fuel steps consumed.
     pub fuel_used: u64,
-    /// Abstract heap units charged.
+    /// Exact heap bytes allocated, cumulatively (GC never decrements
+    /// this — it is the R0010 accounting number, identical across
+    /// engines for a given program).
     pub mem_used: u64,
+    /// Bytes still live on the run's heap at completion.
+    pub live_bytes: u64,
+    /// High-water mark of live heap bytes over the run.
+    pub peak_bytes: u64,
+    /// Stop-the-world collections performed during the run.
+    pub collections: u64,
     /// Whether the compiled program came from the cache.
     pub cache_hit: bool,
     /// Wall-clock service time in milliseconds (queue + compile + run).
@@ -240,6 +249,9 @@ impl Response {
             output: String::new(),
             fuel_used: 0,
             mem_used: 0,
+            live_bytes: 0,
+            peak_bytes: 0,
+            collections: 0,
             cache_hit: false,
             ms: 0,
             engine: EngineKind::default(),
@@ -248,8 +260,9 @@ impl Response {
 
     /// Serializes the response as one JSON line (no trailing newline).
     /// Key order is fixed — `id, outcome, [value | code, message |
-    /// message], output, fuel_used, mem_used, cache, ms, engine` — so a
-    /// given response always renders to the same bytes.
+    /// message], output, fuel_used, mem_used, live_bytes, peak_bytes,
+    /// collections, cache, ms, engine` — so a given response always
+    /// renders to the same bytes.
     #[must_use]
     pub fn to_json_line(&self) -> String {
         let mut s = String::with_capacity(128);
@@ -274,9 +287,12 @@ impl Response {
         s.push_str(",\"output\":");
         json::write_escaped(&mut s, &self.output);
         s.push_str(&format!(
-            ",\"fuel_used\":{},\"mem_used\":{},\"cache\":\"{}\",\"ms\":{},\"engine\":\"{}\"}}",
+            ",\"fuel_used\":{},\"mem_used\":{},\"live_bytes\":{},\"peak_bytes\":{},\"collections\":{},\"cache\":\"{}\",\"ms\":{},\"engine\":\"{}\"}}",
             self.fuel_used,
             self.mem_used,
+            self.live_bytes,
+            self.peak_bytes,
+            self.collections,
             if self.cache_hit { "hit" } else { "miss" },
             self.ms,
             self.engine.name()
@@ -346,6 +362,9 @@ mod tests {
             output: "line\n".to_string(),
             fuel_used: 11,
             mem_used: 0,
+            live_bytes: 0,
+            peak_bytes: 0,
+            collections: 0,
             cache_hit: true,
             ms: 3,
             engine: EngineKind::Vm,

@@ -23,7 +23,7 @@
 use crate::cache::{CachedProgram, ProgramCache, ProgramCacheStats};
 use crate::pool::WorkerPool;
 use crate::proto::{EngineKind, Outcome, Request, Response};
-use genus_interp::{Interp, Limits, RuntimeError, Value};
+use genus_interp::{Interp, Limits, ResourceStats, RuntimeError};
 use genus_vm::Vm;
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
@@ -283,6 +283,9 @@ fn handle_request(
                 output: String::new(),
                 fuel_used: 0,
                 mem_used: 0,
+                live_bytes: 0,
+                peak_bytes: 0,
+                collections: 0,
                 cache_hit,
                 ms: waited,
                 engine,
@@ -301,8 +304,11 @@ fn handle_request(
             },
         },
         output: run.output,
-        fuel_used: run.fuel_used,
-        mem_used: run.mem_used,
+        fuel_used: run.stats.fuel_used,
+        mem_used: run.stats.mem_used,
+        live_bytes: run.stats.live_bytes,
+        peak_bytes: run.stats.peak_bytes,
+        collections: run.stats.collections,
         cache_hit,
         ms: ms_since(submitted),
         engine,
@@ -312,37 +318,34 @@ fn handle_request(
 struct RunOutcome {
     outcome: Result<String, RuntimeError>,
     output: String,
-    fuel_used: u64,
-    mem_used: u64,
+    stats: ResourceStats,
 }
 
 /// Runs `main()` on the selected engine against the shared program. The
 /// worker's big stack hosts the AST interpreter directly; the VM shares
-/// the entry's compiled bytecode.
+/// the entry's compiled bytecode. Each run gets a **fresh heap** that
+/// dies with the engine, so serve's resident memory stays flat across
+/// requests regardless of how much a program allocates.
 fn execute(cached: &CachedProgram, engine: EngineKind, limits: Limits) -> RunOutcome {
     match engine {
         EngineKind::Ast => {
             let mut interp = Interp::new(&cached.prog);
             interp.set_limits(limits);
-            let outcome = interp.run_main().map(|v: Value| format!("{v}"));
-            let stats = interp.resource_stats();
+            let outcome = interp.run_main().map(|v| interp.render(&v));
             RunOutcome {
                 outcome,
+                stats: interp.resource_stats(),
                 output: interp.take_output(),
-                fuel_used: stats.fuel_used,
-                mem_used: stats.mem_used,
             }
         }
         EngineKind::Vm => {
             let mut vm = Vm::with_code(&cached.prog, cached.vm_code());
             vm.set_limits(limits);
-            let outcome = vm.run_main().map(|v: Value| format!("{v}"));
-            let stats = vm.resource_stats();
+            let outcome = vm.run_main().map(|v| vm.render(&v));
             RunOutcome {
                 outcome,
+                stats: vm.resource_stats(),
                 output: vm.take_output(),
-                fuel_used: stats.fuel_used,
-                mem_used: stats.mem_used,
             }
         }
         EngineKind::Jit => {
@@ -351,13 +354,11 @@ fn execute(cached: &CachedProgram, engine: EngineKind, limits: Limits) -> RunOut
             let tier = cached.tier_code();
             let mut vm = Vm::with_code(&cached.prog, Arc::clone(tier.code()));
             vm.set_limits(limits);
-            let outcome = vm.run_main_tier(&tier).map(|v: Value| format!("{v}"));
-            let stats = vm.resource_stats();
+            let outcome = vm.run_main_tier(&tier).map(|v| vm.render(&v));
             RunOutcome {
                 outcome,
+                stats: vm.resource_stats(),
                 output: vm.take_output(),
-                fuel_used: stats.fuel_used,
-                mem_used: stats.mem_used,
             }
         }
         // `Auto` is resolved in `handle_request` before execution; run

@@ -2,12 +2,15 @@
 //! folding, jump threading, `Move` coalescing, and dead-code elimination.
 //!
 //! Folding evaluates with the *runtime's own* operators (`ops::arith`,
-//! `ops::compare`, `widen_value`, `Value::ref_eq`, the shared `Display`
-//! rendering), so a folded result is bit-identical to what the VM would
-//! have computed. Operations that would trap at run time (division by
-//! zero, negating a mismatched kind, branching on a non-boolean) are
-//! deliberately left in place — the trap, its error code, and its message
-//! are observable behaviour.
+//! `ops::compare`, `widen_value`, `Value::ref_eq_shallow`), so a folded
+//! result is bit-identical to what the VM would have computed. Operations
+//! that would trap at run time (division by zero, negating a mismatched
+//! kind, branching on a non-boolean) are deliberately left in place — the
+//! trap, its error code, and its message are observable behaviour.
+//! `Concat` is *never* folded: concatenation charges the result string's
+//! exact byte size against the memory meter, and removing that charge on
+//! one engine would break the cross-engine `mem_used` parity the
+//! differential suites assert.
 
 use crate::bytecode::{Const, Op, VmFunc, VmProgram};
 use crate::opt::OptStats;
@@ -15,7 +18,6 @@ use genus_check::hir::NumKind;
 use genus_interp::ops::{arith, compare, widen_value};
 use genus_interp::Value;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
 
 /// Runs the cleanup passes over every function until fixpoint.
 pub fn cleanup(code: &mut VmProgram) {
@@ -214,18 +216,10 @@ fn fold_pass(
                 }
             }
             Op::RefEq { dst, l, r, negate } => {
+                // Pooled constants are never heap references, so the
+                // shallow compare is exactly the runtime's `ref_eq`.
                 if let (Some(lv), Some(rv)) = (get(&known, l), get(&known, r)) {
-                    let k = fold(Value::Bool(lv.ref_eq(&rv) != negate), consts);
-                    new_op = Some(Op::Const { dst, k });
-                    stats.consts_folded += 1;
-                }
-            }
-            Op::Concat { dst, l, r } => {
-                // Pooled constants are never objects, so stringification
-                // is the shared `Display` rendering — no dispatch.
-                if let (Some(lv), Some(rv)) = (get(&known, l), get(&known, r)) {
-                    let s = format!("{lv}{rv}");
-                    let k = fold(Value::Str(Rc::from(s.as_str())), consts);
+                    let k = fold(Value::Bool(lv.ref_eq_shallow(&rv) != negate), consts);
                     new_op = Some(Op::Const { dst, k });
                     stats.consts_folded += 1;
                 }

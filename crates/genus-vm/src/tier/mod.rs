@@ -74,19 +74,16 @@
 //! shared `run_call` machinery, which meters identically.
 
 use crate::bytecode::{Const, FuncId, Op, VmFunc, VmProgram};
-use crate::vm::{unpack, Action, Vm, VmFrame};
+use crate::vm::{Action, Vm, VmFrame};
 use genus_check::hir::NumKind;
 use genus_common::FastMap;
-use genus_interp::meter;
+use genus_heap::str_bytes;
 use genus_interp::natives;
 use genus_interp::ops::{arith, compare, widen_value};
 use genus_interp::rtti;
-use genus_interp::{
-    ArrayData, ErrorKind, ModelValue, PackedData, RtType, RuntimeError, Storage, Value,
-};
+use genus_interp::{ErrorKind, ModelValue, RtType, RuntimeError, Value};
 use genus_syntax::ast::BinOp;
 use genus_types::Type;
-use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -207,7 +204,9 @@ impl<'p> Vm<'p> {
     /// `run_call`.
     fn run_tier_call(&self, tier: &TierProgram, root: VmFrame) -> RResult<Value> {
         let base = self.depth.get();
+        self.nesting.set(self.nesting.get() + 1);
         let r = self.tier_frames(tier, root);
+        self.nesting.set(self.nesting.get() - 1);
         if r.is_err() {
             self.depth.set(base);
         }
@@ -221,6 +220,12 @@ impl<'p> Vm<'p> {
         let mut cur: &CompiledFunc = &tier.funcs[root.func.0 as usize];
         let mut stack: Vec<VmFrame> = vec![root];
         loop {
+            // Block granularity is a coarser GC cadence than the VM
+            // loop's per-op poll — byte accounting and R0010 sites are
+            // charge-driven and GC-timing independent, so parity holds.
+            if self.nesting.get() == 1 {
+                self.maybe_gc(&stack);
+            }
             let frame = stack.last_mut().expect("frame");
             match cur.blocks[frame.pc](self, frame)? {
                 Ctl::Jump(b) => frame.pc = b as usize,
@@ -577,14 +582,13 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
             let (dst, obj) = (dst as usize, obj as usize);
             thunk(move |vm, f| {
                 vm.meter.step()?;
-                let v = {
-                    let o = rtti::expect_obj(&f.regs[obj])?;
-                    o.fields
-                        .borrow()
-                        .get(&(class.0, field))
-                        .cloned()
-                        .unwrap_or(Value::Null)
-                };
+                let o = rtti::expect_obj(&vm.heap, &f.regs[obj])?;
+                let v = o
+                    .fields
+                    .borrow()
+                    .get(&(class.0, field))
+                    .cloned()
+                    .unwrap_or(Value::Null);
                 f.regs[dst] = v;
                 rest(vm, f)
             })
@@ -600,7 +604,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                 vm.meter.step()?;
                 {
                     let v = f.regs[src].clone();
-                    let o = rtti::expect_obj(&f.regs[obj])?;
+                    let o = rtti::expect_obj(&vm.heap, &f.regs[obj])?;
                     o.fields.borrow_mut().insert((class.0, field), v);
                 }
                 rest(vm, f)
@@ -634,7 +638,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
             let (dst, l, r) = (dst as usize, l as usize, r as usize);
             thunk(move |vm, f| {
                 vm.meter.step()?;
-                let eq = f.regs[l].ref_eq(&f.regs[r]);
+                let eq = vm.heap.ref_eq(&f.regs[l], &f.regs[r]);
                 f.regs[dst] = Value::Bool(eq != negate);
                 rest(vm, f)
             })
@@ -647,7 +651,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                 let rv = f.regs[r].clone();
                 let mut s = vm.stringify(&lv)?;
                 s.push_str(&vm.stringify(&rv)?);
-                vm.meter.charge(s.len() as u64)?;
+                vm.meter.charge(str_bytes(s.len()))?;
                 f.regs[dst] = Value::Str(Rc::from(s.as_str()));
                 rest(vm, f)
             })
@@ -709,11 +713,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                         format!("negative array length {n}"),
                     ));
                 }
-                vm.meter.charge(n as u64 + 1)?;
-                f.regs[dst] = Value::Arr(Rc::new(ArrayData {
-                    storage: RefCell::new(Storage::new(&et, n as usize)),
-                    elem: et,
-                }));
+                f.regs[dst] = vm.heap.alloc_arr(&vm.meter, et, n as usize)?;
                 rest(vm, f)
             })
         }
@@ -721,7 +721,10 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
             let (dst, arr) = (dst as usize, arr as usize);
             thunk(move |vm, f| {
                 vm.meter.step()?;
-                let len = rtti::expect_arr(&f.regs[arr])?.storage.borrow().len();
+                let len = rtti::expect_arr(&vm.heap, &f.regs[arr])?
+                    .storage
+                    .borrow()
+                    .len();
                 f.regs[dst] = Value::Int(len as i32);
                 rest(vm, f)
             })
@@ -731,7 +734,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
             thunk(move |vm, f| {
                 vm.meter.step()?;
                 let v = {
-                    let a = rtti::expect_arr(&f.regs[arr])?;
+                    let a = rtti::expect_arr(&vm.heap, &f.regs[arr])?;
                     let s = a.storage.borrow();
                     let i = rtti::expect_index(&f.regs[idx], s.len())?;
                     s.get(i)
@@ -745,7 +748,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
             thunk(move |vm, f| {
                 vm.meter.step()?;
                 {
-                    let a = rtti::expect_arr(&f.regs[arr])?;
+                    let a = rtti::expect_arr(&vm.heap, &f.regs[arr])?;
                     let mut s = a.storage.borrow_mut();
                     let i = rtti::expect_index(&f.regs[idx], s.len())?;
                     let v = f.regs[src].clone();
@@ -761,8 +764,10 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                 vm.meter.step()?;
                 let v = f.regs[src].clone();
                 let b = match &ty {
-                    TyRef::Reified(rt) => rtti::value_instanceof(vm.prog, &v, rt),
-                    TyRef::Open(t) => rtti::instanceof_type(vm.prog, &f.tenv, &f.menv, &v, t),
+                    TyRef::Reified(rt) => rtti::value_instanceof(vm.prog, &vm.heap, &v, rt),
+                    TyRef::Open(t) => {
+                        rtti::instanceof_type(vm.prog, &vm.heap, &f.tenv, &f.menv, &v, t)
+                    }
                 };
                 f.regs[dst] = Value::Bool(b);
                 rest(vm, f)
@@ -775,8 +780,10 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                 vm.meter.step()?;
                 let v = f.regs[src].clone();
                 f.regs[dst] = match &ty {
-                    TyRef::Reified(rt) => rtti::cast_value_rt(vm.prog, v, rt)?,
-                    TyRef::Open(t) => rtti::cast_value(vm.prog, &f.tenv, &f.menv, v, t)?,
+                    TyRef::Reified(rt) => rtti::cast_value_rt(vm.prog, &vm.heap, v, rt)?,
+                    TyRef::Open(t) => {
+                        rtti::cast_value(vm.prog, &vm.heap, &vm.meter, &f.tenv, &f.menv, v, t)?
+                    }
                 };
                 rest(vm, f)
             })
@@ -806,12 +813,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                     .iter()
                     .map(|m| rtti::eval_model(vm.prog, &f.tenv, &f.menv, m))
                     .collect();
-                vm.meter.charge(meter::PACK_COST)?;
-                f.regs[dst] = Value::Packed(Rc::new(PackedData {
-                    value: v,
-                    types: ts,
-                    models: ms,
-                }));
+                f.regs[dst] = vm.heap.alloc_packed(&vm.meter, v, ts, ms)?;
                 rest(vm, f)
             })
         }
@@ -822,7 +824,8 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                 vm.meter.step()?;
                 let v = f.regs[src].clone();
                 match v {
-                    Value::Packed(p) => {
+                    Value::Packed(h) => {
+                        let p = vm.heap.packed(h);
                         for (tv, t) in s.tvs.iter().zip(&p.types) {
                             f.tenv.insert(*tv, t.clone());
                         }
@@ -838,7 +841,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                         ));
                     }
                     other => {
-                        let rt = rtti::value_rt_type(vm.prog, &other);
+                        let rt = rtti::value_rt_type(vm.prog, &vm.heap, &other);
                         for tv in &s.tvs {
                             f.tenv.insert(*tv, rt.clone());
                         }
@@ -1001,7 +1004,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                         return thunk(move |vm, f| {
                             vm.meter.step()?; // the call
                             if let Some(rg) = nullchk {
-                                if f.regs[rg].is_null() {
+                                if vm.heap.is_null(&f.regs[rg]) {
                                     return Err(RuntimeError::new(
                                         ErrorKind::NullPointer,
                                         "call on null",
@@ -1020,8 +1023,8 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                                 _ => {
                                     let lv = f.regs[lr].clone();
                                     let rv = f.regs[rr].clone();
-                                    let lv = if l_this { unpack(lv) } else { lv };
-                                    let rv = if r_this { unpack(rv) } else { rv };
+                                    let lv = if l_this { vm.heap.unpack(lv) } else { lv };
+                                    let rv = if r_this { vm.heap.unpack(rv) } else { rv };
                                     compare(op, nk, lv, rv)?
                                 }
                             };
@@ -1044,13 +1047,13 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                     let this = match recv {
                         Some(r) => {
                             let v = f.regs[r as usize].clone();
-                            if null_check && v.is_null() {
+                            if null_check && vm.heap.is_null(&v) {
                                 return Err(RuntimeError::new(
                                     ErrorKind::NullPointer,
                                     "call on null",
                                 ));
                             }
-                            Some(unpack(v))
+                            Some(vm.heap.unpack(v))
                         }
                         None => None,
                     };
@@ -1094,10 +1097,10 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                 let this = match recv {
                     Some(r) => {
                         let v = f.regs[r as usize].clone();
-                        if null_check && v.is_null() {
+                        if null_check && vm.heap.is_null(&v) {
                             return Err(RuntimeError::new(ErrorKind::NullPointer, "call on null"));
                         }
-                        Some(unpack(v))
+                        Some(vm.heap.unpack(v))
                     }
                     None => None,
                 };
@@ -1183,7 +1186,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                             _ => {
                                 let recv = Some(f.regs[r].clone());
                                 let args = vec![f.regs[a0].clone()];
-                                natives::prim_call(s.prim, s.name, recv, args)?
+                                natives::prim_call(&vm.heap, s.prim, s.name, recv, args)?
                             }
                         };
                         rest(vm, f)
@@ -1198,7 +1201,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                             _ => {
                                 let recv = Some(f.regs[r].clone());
                                 let args = vec![f.regs[a0].clone()];
-                                natives::prim_call(s.prim, s.name, recv, args)?
+                                natives::prim_call(&vm.heap, s.prim, s.name, recv, args)?
                             }
                         };
                         rest(vm, f)
@@ -1209,7 +1212,7 @@ fn op_thunk(code: &VmProgram, op: Op, pc: usize, rest: Thunk, blocks: &BlockMap)
                     let r = s.recv.map(|r| f.regs[r as usize].clone());
                     let args: Vec<Value> =
                         s.args.iter().map(|&a| f.regs[a as usize].clone()).collect();
-                    f.regs[dst] = natives::prim_call(s.prim, s.name, r, args)?;
+                    f.regs[dst] = natives::prim_call(&vm.heap, s.prim, s.name, r, args)?;
                     rest(vm, f)
                 }),
             }
@@ -1308,21 +1311,25 @@ mod tests {
     fn run_both_tiers(
         src: &str,
         limits: Option<Limits>,
-    ) -> ((RResult<Value>, String, u64), (RResult<Value>, String, u64)) {
+    ) -> (
+        (RResult<String>, String, u64),
+        (RResult<String>, String, u64),
+    ) {
         let prog = check_source(src).unwrap_or_else(|e| panic!("check failed:\n{e}"));
         let code = Arc::new(compile_optimized(&prog, 2));
         let mut vm = Vm::with_code(&prog, Arc::clone(&code));
         if let Some(l) = limits {
             vm.set_limits(l);
         }
-        let v = vm.run_main();
+        // Render on the owning VM: handles are per-heap indices.
+        let v = vm.run_main().map(|v| vm.render(&v));
         let vm_out = (v, vm.take_output(), vm.resource_stats().fuel_used);
         let tier = compile_tier(&code);
         let mut jit = Vm::with_code(&prog, Arc::clone(&code));
         if let Some(l) = limits {
             jit.set_limits(l);
         }
-        let v = jit.run_main_tier(&tier);
+        let v = jit.run_main_tier(&tier).map(|v| jit.render(&v));
         let tier_out = (v, jit.take_output(), jit.resource_stats().fuel_used);
         (vm_out, tier_out)
     }
@@ -1330,7 +1337,7 @@ mod tests {
     fn assert_parity(src: &str, limits: Option<Limits>) {
         let ((vv, vo, vf), (tv, to, tf)) = run_both_tiers(src, limits);
         match (&vv, &tv) {
-            (Ok(a), Ok(b)) => assert_eq!(format!("{a}"), format!("{b}"), "values diverge"),
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "values diverge"),
             (Err(a), Err(b)) => {
                 assert_eq!(a.code(), b.code(), "codes diverge");
                 assert_eq!(a.span, b.span, "spans diverge");

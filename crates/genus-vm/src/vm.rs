@@ -38,14 +38,12 @@ use crate::compile::compile_program;
 use genus_check::hir::{NativeOp, NumKind};
 use genus_check::CheckedProgram;
 use genus_common::{FastMap, Symbol};
-use genus_interp::meter::{self, Limits, Meter, ResourceStats};
+use genus_heap::str_bytes;
+use genus_interp::meter::{Limits, Meter, ResourceStats};
 use genus_interp::natives;
 use genus_interp::ops::{arith, compare, widen_value};
 use genus_interp::rtti::{self, MEnv, ModelDispatchKey, ModelTarget, RecvKind, TEnv, VirtTarget};
-use genus_interp::{
-    ArrayData, DispatchStats, ErrorKind, ModelValue, ObjData, PackedData, RtType, RuntimeError,
-    Storage, Value,
-};
+use genus_interp::{DispatchStats, ErrorKind, Heap, ModelValue, RtType, RuntimeError, Value};
 use genus_types::{caches_enabled, ClassId, ModelId};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -130,6 +128,7 @@ impl ModelSiteCache {
     fn matches(
         &self,
         prog: &CheckedProgram,
+        heap: &Heap,
         id: ModelId,
         targs: &[RtType],
         margs: &[ModelValue],
@@ -141,7 +140,7 @@ impl ModelSiteCache {
             return false;
         }
         let recv_ok = match (recv, static_recv, &self.recv) {
-            (Some(r), _, Some(cached)) => rtti::value_matches_rt(prog, r, cached),
+            (Some(r), _, Some(cached)) => rtti::value_matches_rt(prog, heap, r, cached),
             (None, Some(srt), Some(cached)) => srt == cached,
             (None, None, None) => true,
             _ => false,
@@ -151,18 +150,9 @@ impl ModelSiteCache {
                 .args
                 .iter()
                 .zip(args)
-                .all(|(rt, a)| rtti::value_matches_rt(prog, a, rt))
+                .all(|(rt, a)| rtti::value_matches_rt(prog, heap, a, rt))
             && self.targs == targs
             && self.margs == margs
-    }
-}
-
-/// Unwraps an existential package (virtual and model dispatch see the
-/// underlying value).
-pub(crate) fn unpack(v: Value) -> Value {
-    match v {
-        Value::Packed(p) => p.value.clone(),
-        other => other,
     }
 }
 
@@ -193,6 +183,15 @@ pub struct Vm<'p> {
     /// Per-run resource meter (fuel / memory / deadline). Unlimited by
     /// default; replace via [`Vm::set_limits`] before running.
     pub meter: Meter,
+    /// The handle-indexed object heap shared by the dispatch loop and
+    /// Tier 2 ([`crate::tier`]). Objects, arrays, and existential
+    /// packages live here; registers hold [`genus_interp::Handle`]s.
+    pub heap: Heap,
+    /// Depth of nested dispatch loops (`run_frames`/`tier_frames`).
+    /// Collections only trigger at the *outermost* loop — nested loops
+    /// (stringification, field initializers) run while their caller
+    /// holds values in host locals the collector cannot see.
+    pub(crate) nesting: Cell<u32>,
 }
 
 impl<'p> Vm<'p> {
@@ -233,6 +232,8 @@ impl<'p> Vm<'p> {
             depth: Cell::new(0),
             max_depth: 1000,
             meter: Meter::unlimited(),
+            heap: Heap::new(),
+            nesting: Cell::new(0),
         }
     }
 
@@ -248,9 +249,19 @@ impl<'p> Vm<'p> {
         self.meter = Meter::with_limits(limits);
     }
 
-    /// Resources consumed so far (fuel steps and heap units).
+    /// Resources consumed so far (fuel steps, allocated bytes, and the
+    /// heap's live/peak/collection counters).
     pub fn resource_stats(&self) -> ResourceStats {
-        self.meter.stats()
+        let mut s = self.meter.stats();
+        self.heap.fill_stats(&mut s);
+        s
+    }
+
+    /// Renders a value for display (primitives verbatim, references as
+    /// opaque summaries) — same rendering as the interpreter's.
+    #[must_use]
+    pub fn render(&self, v: &Value) -> String {
+        self.heap.render(v)
     }
 
     /// Runs static initializers then `main()`.
@@ -422,13 +433,53 @@ impl<'p> Vm<'p> {
         r
     }
 
-    #[allow(clippy::too_many_lines)]
+    /// Nesting-counted wrapper around the dispatch loop: only the
+    /// outermost loop polls the collector (see [`Vm::maybe_gc`]).
     fn run_frames(&self, root: VmFrame) -> RResult<Value> {
+        self.nesting.set(self.nesting.get() + 1);
+        let r = self.run_frames_inner(root);
+        self.nesting.set(self.nesting.get() - 1);
+        r
+    }
+
+    /// GC safe point: collects if the heap wants to, rooting every
+    /// register of every frame on `stack`, the static fields, and any
+    /// parked Tier 2 callee. Called only where `stack` is the *complete*
+    /// set of live Genus frames (`nesting == 1`) — mid-instruction
+    /// temporaries never live across a poll, and nested loops (field
+    /// initializers, `toString` dispatch) never collect.
+    pub(crate) fn maybe_gc(&self, stack: &[VmFrame]) {
+        if !self.heap.should_collect() {
+            return;
+        }
+        let mut roots = Vec::new();
+        for f in stack {
+            for v in &f.regs {
+                self.heap.root(&mut roots, v);
+            }
+        }
+        for v in self.statics.borrow().values() {
+            self.heap.root(&mut roots, v);
+        }
+        if let Some(parked) = self.pending_call.take() {
+            for v in &parked.regs {
+                self.heap.root(&mut roots, v);
+            }
+            self.pending_call.set(Some(parked));
+        }
+        self.heap.collect(roots);
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_frames_inner(&self, root: VmFrame) -> RResult<Value> {
         let code = Arc::clone(&self.code);
         self.enter(root.counted)?;
         let mut stack: Vec<VmFrame> = vec![root];
         loop {
             self.meter.step()?;
+            if self.nesting.get() == 1 {
+                self.maybe_gc(&stack);
+            }
             let frame = stack.last_mut().expect("frame");
             let func = &code.funcs[frame.func.0 as usize];
             let op = func.code[frame.pc];
@@ -491,7 +542,7 @@ impl<'p> Vm<'p> {
                     field,
                 } => {
                     let r = frame.regs[obj as usize].clone();
-                    let o = rtti::expect_obj(&r)?;
+                    let o = rtti::expect_obj(&self.heap, &r)?;
                     let v = o
                         .fields
                         .borrow()
@@ -508,7 +559,7 @@ impl<'p> Vm<'p> {
                 } => {
                     let r = frame.regs[obj as usize].clone();
                     let v = frame.regs[src as usize].clone();
-                    let o = rtti::expect_obj(&r)?;
+                    let o = rtti::expect_obj(&self.heap, &r)?;
                     o.fields.borrow_mut().insert((class.0, field), v);
                 }
                 Op::GetStatic { dst, class, field } => {
@@ -534,7 +585,9 @@ impl<'p> Vm<'p> {
                     frame.regs[dst as usize] = compare(op, nk, lv, rv)?;
                 }
                 Op::RefEq { dst, l, r, negate } => {
-                    let eq = frame.regs[l as usize].ref_eq(&frame.regs[r as usize]);
+                    let eq = self
+                        .heap
+                        .ref_eq(&frame.regs[l as usize], &frame.regs[r as usize]);
                     frame.regs[dst as usize] = Value::Bool(eq != negate);
                 }
                 Op::Concat { dst, l, r } => {
@@ -542,7 +595,7 @@ impl<'p> Vm<'p> {
                     let rv = frame.regs[r as usize].clone();
                     let mut s = self.stringify(&lv)?;
                     s.push_str(&self.stringify(&rv)?);
-                    self.meter.charge(s.len() as u64)?;
+                    self.meter.charge(str_bytes(s.len()))?;
                     stack.last_mut().expect("frame").regs[dst as usize] =
                         Value::Str(Rc::from(s.as_str()));
                 }
@@ -582,21 +635,17 @@ impl<'p> Vm<'p> {
                             format!("negative array length {n}"),
                         ));
                     }
-                    self.meter.charge(n as u64 + 1)?;
-                    frame.regs[dst as usize] = Value::Arr(Rc::new(ArrayData {
-                        storage: RefCell::new(Storage::new(&et, n as usize)),
-                        elem: et,
-                    }));
+                    frame.regs[dst as usize] = self.heap.alloc_arr(&self.meter, et, n as usize)?;
                 }
                 Op::ArrayLen { dst, arr } => {
                     let av = frame.regs[arr as usize].clone();
-                    let a = rtti::expect_arr(&av)?;
+                    let a = rtti::expect_arr(&self.heap, &av)?;
                     let len = a.storage.borrow().len();
                     frame.regs[dst as usize] = Value::Int(len as i32);
                 }
                 Op::ArrayGet { dst, arr, idx } => {
                     let av = frame.regs[arr as usize].clone();
-                    let a = rtti::expect_arr(&av)?;
+                    let a = rtti::expect_arr(&self.heap, &av)?;
                     let i =
                         rtti::expect_index(&frame.regs[idx as usize], a.storage.borrow().len())?;
                     let v = a.storage.borrow().get(i);
@@ -604,7 +653,7 @@ impl<'p> Vm<'p> {
                 }
                 Op::ArraySet { arr, idx, src } => {
                     let av = frame.regs[arr as usize].clone();
-                    let a = rtti::expect_arr(&av)?;
+                    let a = rtti::expect_arr(&self.heap, &av)?;
                     let i =
                         rtti::expect_index(&frame.regs[idx as usize], a.storage.borrow().len())?;
                     let v = frame.regs[src as usize].clone();
@@ -616,9 +665,10 @@ impl<'p> Vm<'p> {
                     // `instanceof_type` is exactly `value_instanceof` of the
                     // evaluated term.
                     let b = match code.rt_types.get(ty as usize).and_then(Option::as_ref) {
-                        Some(rt) => rtti::value_instanceof(self.prog, &v, rt),
+                        Some(rt) => rtti::value_instanceof(self.prog, &self.heap, &v, rt),
                         None => rtti::instanceof_type(
                             self.prog,
+                            &self.heap,
                             &frame.tenv,
                             &frame.menv,
                             &v,
@@ -631,9 +681,11 @@ impl<'p> Vm<'p> {
                     let v = frame.regs[src as usize].clone();
                     frame.regs[dst as usize] =
                         match code.rt_types.get(ty as usize).and_then(Option::as_ref) {
-                            Some(rt) => rtti::cast_value_rt(self.prog, v, rt)?,
+                            Some(rt) => rtti::cast_value_rt(self.prog, &self.heap, v, rt)?,
                             None => rtti::cast_value(
                                 self.prog,
+                                &self.heap,
+                                &self.meter,
                                 &frame.tenv,
                                 &frame.menv,
                                 v,
@@ -659,18 +711,14 @@ impl<'p> Vm<'p> {
                         .iter()
                         .map(|m| rtti::eval_model(self.prog, &frame.tenv, &frame.menv, m))
                         .collect();
-                    self.meter.charge(meter::PACK_COST)?;
-                    frame.regs[dst as usize] = Value::Packed(Rc::new(PackedData {
-                        value: v,
-                        types: ts,
-                        models: ms,
-                    }));
+                    frame.regs[dst as usize] = self.heap.alloc_packed(&self.meter, v, ts, ms)?;
                 }
                 Op::Open { dst, src, spec } => {
                     let s = &code.open_specs[spec as usize];
                     let v = frame.regs[src as usize].clone();
                     match v {
-                        Value::Packed(p) => {
+                        Value::Packed(h) => {
+                            let p = self.heap.packed(h);
                             for (tv, t) in s.tvs.iter().zip(&p.types) {
                                 frame.tenv.insert(*tv, t.clone());
                             }
@@ -688,7 +736,7 @@ impl<'p> Vm<'p> {
                         other => {
                             // Witnesses were statically evident (no packing
                             // was needed): bind from the runtime type.
-                            let rt = rtti::value_rt_type(self.prog, &other);
+                            let rt = rtti::value_rt_type(self.prog, &self.heap, &other);
                             for tv in &s.tvs {
                                 frame.tenv.insert(*tv, rt.clone());
                             }
@@ -811,13 +859,13 @@ impl<'p> Vm<'p> {
                     let recv = match s.recv {
                         Some(r) => {
                             let v = frame.regs[r as usize].clone();
-                            if s.null_check && v.is_null() {
+                            if s.null_check && self.heap.is_null(&v) {
                                 return Err(RuntimeError::new(
                                     ErrorKind::NullPointer,
                                     "call on null",
                                 ));
                             }
-                            Some(unpack(v))
+                            Some(self.heap.unpack(v))
                         }
                         None => None,
                     };
@@ -874,7 +922,8 @@ impl<'p> Vm<'p> {
                         .iter()
                         .map(|&a| frame.regs[a as usize].clone())
                         .collect();
-                    frame.regs[dst as usize] = natives::prim_call(s.prim, s.name, r, args)?;
+                    frame.regs[dst as usize] =
+                        natives::prim_call(&self.heap, s.prim, s.name, r, args)?;
                 }
                 Op::Native { dst, spec } => {
                     let s = &code.native_specs[spec as usize];
@@ -989,9 +1038,10 @@ impl<'p> Vm<'p> {
         margs: Vec<ModelValue>,
         args: Vec<Value>,
     ) -> RResult<Action> {
-        let recv = unpack(recv);
+        let recv = self.heap.unpack(recv);
         match &recv {
-            Value::Obj(o) => {
+            Value::Obj(h) => {
+                let o = self.heap.obj(*h);
                 let found = if caches_enabled() {
                     self.cached_virt_target(site, o.class, &o.targs, &o.models, name, arity)
                         .map(|t| match &t.fixed {
@@ -1033,11 +1083,12 @@ impl<'p> Vm<'p> {
                 Ok(Action::Value(self.native(op, Some(recv.clone()), args)?))
             }
             Value::Int(_) | Value::Long(_) | Value::Double(_) | Value::Bool(_) | Value::Char(_) => {
-                let p = match rtti::value_rt_type(self.prog, &recv) {
+                let p = match rtti::value_rt_type(self.prog, &self.heap, &recv) {
                     RtType::Prim(p) => p,
                     _ => unreachable!("primitive value"),
                 };
                 Ok(Action::Value(natives::prim_call(
+                    &self.heap,
                     p,
                     name,
                     Some(recv),
@@ -1125,14 +1176,14 @@ impl<'p> Vm<'p> {
         targs: &[RtType],
         models: &[ModelValue],
     ) -> RResult<Value> {
-        self.meter.charge(meter::OBJECT_COST)?;
-        let obj = Rc::new(ObjData {
-            class: cid,
-            targs: targs.to_vec(),
-            models: models.to_vec(),
-            fields: RefCell::new(HashMap::new()),
-        });
-        let this = Value::Obj(obj);
+        let field_slots = rtti::instance_field_slots(self.prog, cid);
+        let this = self.heap.alloc_obj(
+            &self.meter,
+            cid,
+            targs.to_vec(),
+            models.to_vec(),
+            field_slots,
+        )?;
         let mut chain = Vec::new();
         let mut cur = Some((cid, targs.to_vec(), models.to_vec()));
         while let Some((id, a, m)) = cur {
@@ -1166,8 +1217,8 @@ impl<'p> Vm<'p> {
                     }
                     None => rtti::eval_type(self.prog, &tenv, &menv, &f.ty).default_value(),
                 };
-                if let Value::Obj(o) = &this {
-                    o.fields.borrow_mut().insert(key, v);
+                if let Value::Obj(h) = &this {
+                    self.heap.obj(*h).fields.borrow_mut().insert(key, v);
                 }
             }
         }
@@ -1198,9 +1249,9 @@ impl<'p> Vm<'p> {
                         ));
                     };
                     match rt {
-                        RtType::Prim(p) => {
-                            Ok(Action::Value(natives::prim_call(p, name, None, args)?))
-                        }
+                        RtType::Prim(p) => Ok(Action::Value(natives::prim_call(
+                            &self.heap, p, name, None, args,
+                        )?)),
                         RtType::Class {
                             id,
                             args: cargs,
@@ -1277,7 +1328,7 @@ impl<'p> Vm<'p> {
                 format!("model method `{name}` has no body"),
             ));
         };
-        let recv = recv.map(unpack);
+        let recv = recv.map(|r| self.heap.unpack(r));
         let mut frame = self.frame(fid, recv, args, true);
         frame.tenv = t.tenv.clone();
         frame.menv = t.menv.clone();
@@ -1326,6 +1377,7 @@ impl<'p> Vm<'p> {
                         Some(c)
                             if c.matches(
                                 self.prog,
+                                &self.heap,
                                 id,
                                 targs,
                                 margs,
@@ -1354,11 +1406,11 @@ impl<'p> Vm<'p> {
                 is_static,
                 recv: recv
                     .as_ref()
-                    .map(|r| rtti::value_rt_type(self.prog, r))
+                    .map(|r| rtti::value_rt_type(self.prog, &self.heap, r))
                     .or_else(|| static_recv.clone()),
                 args: args
                     .iter()
-                    .map(|a| rtti::value_rt_type(self.prog, a))
+                    .map(|a| rtti::value_rt_type(self.prog, &self.heap, a))
                     .collect(),
             };
             if let Some(t) = self.dispatch.model.borrow().get(&key).cloned() {
@@ -1372,23 +1424,23 @@ impl<'p> Vm<'p> {
             None
         };
         let (recv_t, recv_is_value) = match (&recv, &static_recv) {
-            (Some(r), _) => (Some(rtti::value_rt_type(self.prog, r)), true),
+            (Some(r), _) => (Some(rtti::value_rt_type(self.prog, &self.heap, r)), true),
             (None, Some(_)) => (static_recv.clone(), false),
             (None, None) => (None, false),
         };
         let kind = match (&recv_t, recv_is_value) {
             (Some(vt), true) => Some(RecvKind::Value(
                 vt,
-                recv.as_ref().is_some_and(Value::is_null),
+                recv.as_ref().is_some_and(|r| self.heap.is_null(r)),
             )),
             (Some(srt), false) => Some(RecvKind::Static(srt)),
             (None, _) => None,
         };
         let arg_ts: Vec<RtType> = args
             .iter()
-            .map(|a| rtti::value_rt_type(self.prog, a))
+            .map(|a| rtti::value_rt_type(self.prog, &self.heap, a))
             .collect();
-        let args_null: Vec<bool> = args.iter().map(Value::is_null).collect();
+        let args_null: Vec<bool> = args.iter().map(|a| self.heap.is_null(a)).collect();
         let target =
             rtti::select_model_target(self.prog, id, targs, margs, name, kind, &arg_ts, &args_null);
         if let Some(key) = key {
@@ -1408,7 +1460,7 @@ impl<'p> Vm<'p> {
         recv: Option<Value>,
         args: Vec<Value>,
     ) -> RResult<Value> {
-        natives::native_call_with(|v| self.stringify(v), op, recv, args)
+        natives::native_call_with(&self.heap, |v| self.stringify(v), op, recv, args)
     }
 
     /// Stringification used by concatenation and `print`: objects get
@@ -1431,11 +1483,14 @@ impl<'p> Vm<'p> {
                     .and_then(|a| self.complete(a));
                 match r {
                     Ok(Value::Str(s)) => Ok(s.to_string()),
-                    _ => Ok(format!("{v}")),
+                    _ => Ok(self.heap.render(v)),
                 }
             }
-            Value::Packed(p) => self.stringify(&p.value),
-            other => Ok(format!("{other}")),
+            Value::Packed(h) => {
+                let p = self.heap.packed(*h);
+                self.stringify(&p.value)
+            }
+            other => Ok(self.heap.render(other)),
         }
     }
 }
@@ -1463,12 +1518,14 @@ mod tests {
         let mut i = Interp::new(&prog);
         let iv = i.run_main().unwrap_or_else(|e| panic!("interp error: {e}"));
         let iout = i.take_output();
+        let ir = i.render(&iv);
         let mut vm = Vm::new(&prog);
         let vv = vm.run_main().unwrap_or_else(|e| panic!("vm error: {e}"));
         let vout = vm.take_output();
-        assert_eq!(format!("{iv}"), format!("{vv}"), "values diverge");
+        let vr = vm.render(&vv);
+        assert_eq!(ir, vr, "values diverge");
         assert_eq!(iout, vout, "output diverges");
-        (format!("{vv}"), vout)
+        (vr, vout)
     }
 
     #[test]

@@ -65,7 +65,7 @@ fn usage() -> ! {
          \x20                    bytecode-optimizer statistics to stderr\n\
          \x20 --fuel=<n>         trap R0009 after n interpreter steps\n\
          \x20                    (serve/batch default: {DEFAULT_FUEL})\n\
-         \x20 --memory=<n>       trap R0010 past n heap allocation units\n\
+         \x20 --memory=<n>       trap R0010 past n allocated heap bytes\n\
          \x20 --deadline-ms=<n>  trap R0009 past a wall-clock deadline\n\
          \x20                    (serve: enforced by the scheduler, queue\n\
          \x20                    time included)\n\
@@ -116,8 +116,11 @@ fn print_stats(ex: &genus::Execution) {
     );
     eprintln!("total:    {} hits / {} misses", c.hits(), c.misses());
     eprintln!("--- resource stats ---");
-    eprintln!("fuel used:  {} steps", ex.resource_stats.fuel_used);
-    eprintln!("heap used:  {} units", ex.resource_stats.mem_used);
+    eprintln!("fuel used:    {} steps", ex.resource_stats.fuel_used);
+    eprintln!("allocated:    {} bytes", ex.resource_stats.mem_used);
+    eprintln!("live at end:  {} bytes", ex.resource_stats.live_bytes);
+    eprintln!("peak live:    {} bytes", ex.resource_stats.peak_bytes);
+    eprintln!("collections:  {}", ex.resource_stats.collections);
     if let Some(o) = &ex.opt_stats {
         eprintln!("--- bytecode optimizer stats (opt-level {}) ---", o.level);
         eprintln!("functions specialized:   {}", o.funcs_specialized);
@@ -437,14 +440,14 @@ fn cmd_batch(
         match &resp.outcome {
             Outcome::Ok(value) => {
                 println!(
-                    "{}: ok value={value} fuel={} cache={cache} ms={}",
-                    resp.id, resp.fuel_used, resp.ms
+                    "{}: ok value={value} fuel={} mem={} gcs={} cache={cache} ms={}",
+                    resp.id, resp.fuel_used, resp.mem_used, resp.collections, resp.ms
                 );
             }
             Outcome::Trap { code, message } => {
                 println!(
-                    "{}: trap {code} ({message}) fuel={} cache={cache} ms={}",
-                    resp.id, resp.fuel_used, resp.ms
+                    "{}: trap {code} ({message}) fuel={} mem={} gcs={} cache={cache} ms={}",
+                    resp.id, resp.fuel_used, resp.mem_used, resp.collections, resp.ms
                 );
                 tier = tier.max(EXIT_TRAP);
             }

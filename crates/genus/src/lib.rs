@@ -102,8 +102,9 @@ pub struct Execution {
     /// Bytecode-optimizer counters (specialization, folding, …). `None`
     /// on the AST engine, which has no bytecode to optimize.
     pub opt_stats: Option<OptStats>,
-    /// Resources consumed by this run: fuel steps and abstract heap
-    /// units (see [`Limits`]). Counted even when no limit is set.
+    /// Resources consumed by this run: fuel steps, exact allocated
+    /// bytes (see [`Limits`]), plus the heap's live/peak byte counters
+    /// and the number of collections. Counted even when no limit is set.
     pub resource_stats: ResourceStats,
     /// Tier-compilation counters. `Some` only on [`Engine::Jit`] — the
     /// anti-vacuity signal for differential tests (a parity claim means
@@ -188,12 +189,12 @@ impl Compiler {
         self
     }
 
-    /// Caps the run at `units` abstract heap units (charged at object,
-    /// array, string, and existential-package allocation sites).
-    /// Exceeding the cap traps with the stable code `R0010`. Unlimited
-    /// by default.
-    pub fn memory_limit(mut self, units: u64) -> Self {
-        self.limits.memory = Some(units);
+    /// Caps the run at `bytes` cumulative allocated heap bytes (charged
+    /// at object, array, string, and existential-package allocation
+    /// sites with exact per-object sizes — see `genus-heap`). Exceeding
+    /// the cap traps with the stable code `R0010`. Unlimited by default.
+    pub fn memory_limit(mut self, bytes: u64) -> Self {
+        self.limits.memory = Some(bytes);
         self
     }
 
@@ -369,7 +370,7 @@ pub fn execute_ast_shared(prog: &CheckedProgram, limits: Limits) -> Execution {
     let cache_base = prog.table.cache.stats();
     let mut interp = Interp::new(prog);
     interp.set_limits(limits);
-    let outcome = interp.run_main().map(|v| format!("{v}"));
+    let outcome = interp.run_main().map(|v| interp.render(&v));
     Execution {
         outcome,
         resource_stats: interp.resource_stats(),
@@ -395,7 +396,7 @@ pub fn execute_vm_shared(
     let opt_stats = Some(code.opt_stats);
     let mut vm = Vm::with_code(prog, std::sync::Arc::clone(code));
     vm.set_limits(limits);
-    let outcome = vm.run_main().map(|v| format!("{v}"));
+    let outcome = vm.run_main().map(|v| vm.render(&v));
     Execution {
         outcome,
         resource_stats: vm.resource_stats(),
@@ -418,7 +419,7 @@ pub fn execute_tier_shared(prog: &CheckedProgram, tier: &TierProgram, limits: Li
     let opt_stats = Some(tier.code().opt_stats);
     let mut vm = Vm::with_code(prog, std::sync::Arc::clone(tier.code()));
     vm.set_limits(limits);
-    let outcome = vm.run_main_tier(tier).map(|v| format!("{v}"));
+    let outcome = vm.run_main_tier(tier).map(|v| vm.render(&v));
     Execution {
         outcome,
         resource_stats: vm.resource_stats(),

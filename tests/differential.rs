@@ -98,6 +98,93 @@ fn sample_existential_registry() {
     check_sample("existential_registry.genus");
 }
 
+#[test]
+fn sample_gc_churn() {
+    let (outcome, output) = run_on("gc_churn.genus", Engine::Vm, 2);
+    assert_eq!(outcome.as_deref(), Ok("1999000"));
+    assert_eq!(output, "churned\n");
+    check_sample("gc_churn.genus");
+}
+
+/// The heap acceptance case: the churn sample allocates megabytes while
+/// keeping only a checksum live, so every engine must (a) report the
+/// **same exact allocated-byte count** — byte accounting is charged at
+/// source allocation sites, independent of GC timing — (b) actually
+/// collect (collections > 0: the anti-vacuity guard), and (c) finish
+/// with a small live set (the garbage really was reclaimed).
+#[test]
+fn gc_churn_collects_and_byte_accounting_agrees() {
+    let mut mem_used: Vec<u64> = Vec::new();
+    for (engine, level) in [
+        (Engine::Ast, 0),
+        (Engine::Vm, 0),
+        (Engine::Vm, 2),
+        (Engine::Jit, 2),
+    ] {
+        let ex = Compiler::new()
+            .with_stdlib()
+            .engine(engine)
+            .opt_level(level)
+            .source("gc_churn.genus".to_string(), sample("gc_churn.genus"))
+            .execute()
+            .expect("compiles");
+        assert!(ex.outcome.is_ok(), "{engine:?}/O{level}: {:?}", ex.outcome);
+        let rs = ex.resource_stats;
+        assert!(rs.collections > 0, "{engine:?}/O{level} never collected");
+        assert!(
+            rs.mem_used > 1_000_000,
+            "{engine:?}/O{level} under-accounted: {rs:?}"
+        );
+        assert!(
+            rs.live_bytes < rs.mem_used / 10,
+            "{engine:?}/O{level} live set did not shrink: {rs:?}"
+        );
+        assert!(
+            rs.peak_bytes >= rs.live_bytes,
+            "{engine:?}/O{level}: {rs:?}"
+        );
+        mem_used.push(rs.mem_used);
+    }
+    assert!(
+        mem_used.windows(2).all(|w| w[0] == w[1]),
+        "allocated-byte accounting diverged across engines: {mem_used:?}"
+    );
+}
+
+/// R0010 identity under a byte cap: the same churn program trapped under
+/// the same memory limit yields the same `(code, span)` pair and the
+/// same exact byte count on the AST engine, the VM at every opt level,
+/// and Tier 2 — the by-construction guarantee that byte charges happen
+/// at identical source allocation sites on all engines.
+#[test]
+fn memory_trap_parity_across_levels() {
+    let run = |engine: Engine, level: u8| {
+        let ex = Compiler::new()
+            .with_stdlib()
+            .engine(engine)
+            .opt_level(level)
+            .memory_limit(100_000)
+            .source("gc_churn.genus".to_string(), sample("gc_churn.genus"))
+            .execute()
+            .expect("compiles");
+        let err = ex.outcome.expect_err("must trap on the byte cap");
+        (err.code().to_string(), err.span, ex.resource_stats.mem_used)
+    };
+    let (ast_code, ast_span, ast_mem) = run(Engine::Ast, 0);
+    assert_eq!(ast_code, "R0010");
+    assert!(ast_mem > 100_000, "trap fired before the cap: {ast_mem}");
+    for level in OPT_LEVELS {
+        for engine in [Engine::Vm, Engine::Jit] {
+            let (code, span, mem) = run(engine, level);
+            assert_eq!(
+                (ast_code.as_str(), ast_span, ast_mem),
+                (code.as_str(), span, mem),
+                "memory trap identity diverges on {engine:?} at opt-level {level}"
+            );
+        }
+    }
+}
+
 /// Runtime traps on the existential paths must carry the same stable code
 /// and span under both engines and at every opt level: opening a null
 /// package is the regression case (the optimizer must not perturb
@@ -235,6 +322,7 @@ fn all_samples_are_covered() {
         found,
         [
             "existential_registry.genus",
+            "gc_churn.genus",
             "hello.genus",
             "scheduler.genus",
             "word_count.genus"

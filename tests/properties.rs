@@ -573,6 +573,111 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Heap byte accounting is an engine invariant: exact `mem_used` bytes
+// and R0010 identity agree across the AST interpreter, the VM at O0 and
+// O2, and Tier 2, whatever the allocation pattern or byte cap
+// ---------------------------------------------------------------------
+
+/// An allocation-churn probe: every iteration allocates a fresh
+/// element-specialized array and a fresh object, keeps only an int
+/// checksum live, and drops the rest — so cumulative allocation scales
+/// with `iters * elems` while the live set stays constant.
+fn heap_probe_src(iters: usize, elems: usize) -> String {
+    format!(
+        "class Box {{
+           int v;
+           Box(int v) {{ this.v = v; }}
+         }}
+         int main() {{
+           int sum = 0;
+           for (int i = 0; i < {iters}; i = i + 1) {{
+             int[] a = new int[{elems}];
+             a[0] = i;
+             Box b = new Box(i);
+             sum = sum + a[0] - b.v + 1;
+           }}
+           return sum;
+         }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Byte accounting is charged at source allocation sites, so it is
+    /// independent of GC timing and engine representation: all four legs
+    /// must report the **same exact `mem_used` byte count**, and when a
+    /// byte cap makes the program trap, the same `(R0010, span)` — the
+    /// serve-governance guarantee, property-tested. Collections counts
+    /// are deliberately NOT compared across engines (safe-point cadence
+    /// is an engine choice); instead the AST leg anti-vacuously proves
+    /// the collector ran whenever churn was far past the 64 KiB
+    /// threshold.
+    #[test]
+    fn heap_accounting_agrees(
+        iters in 50usize..400,
+        elems in 1usize..64,
+        cap in prop::option::of(5_000u64..50_000),
+    ) {
+        let src = heap_probe_src(iters, elems);
+        let run_on = |engine: genus::Engine, level: u8| {
+            let mut c = genus::Compiler::new()
+                .engine(engine)
+                .opt_level(level)
+                .source("heap_probe.genus", src.clone());
+            if let Some(bytes) = cap {
+                c = c.memory_limit(bytes);
+            }
+            c.execute().map_err(TestCaseError::fail)
+        };
+        let ast = run_on(genus::Engine::Ast, 0)?;
+        let vm0 = run_on(genus::Engine::Vm, 0)?;
+        let vm2 = run_on(genus::Engine::Vm, 2)?;
+        let jit = run_on(genus::Engine::Jit, 2)?;
+        let legs = [("vm-o0", &vm0), ("vm-o2", &vm2), ("tier2", &jit)];
+        for (name, leg) in legs {
+            // Exact byte parity, successful run or trap alike: a trap
+            // happens at the same charge on every engine, so even the
+            // over-the-cap total matches to the byte.
+            prop_assert_eq!(
+                ast.resource_stats.mem_used,
+                leg.resource_stats.mem_used,
+                "allocated-byte accounting diverged on {}", name
+            );
+            match (&ast.outcome, &leg.outcome) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "value diverged on {}", name),
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(a.code(), b.code(), "code diverged on {}", name);
+                    prop_assert_eq!(a.span, b.span, "span diverged on {}", name);
+                }
+                (a, b) => prop_assert!(false, "outcome kind diverged on {}: {:?} vs {:?}", name, a, b),
+            }
+            prop_assert!(
+                leg.resource_stats.peak_bytes >= leg.resource_stats.live_bytes,
+                "peak below live on {}", name
+            );
+        }
+        if let (Err(e), Some(bytes)) = (&ast.outcome, cap) {
+            prop_assert_eq!(e.code(), "R0010");
+            prop_assert!(
+                ast.resource_stats.mem_used > bytes,
+                "R0010 fired under the cap: {} <= {}", ast.resource_stats.mem_used, bytes
+            );
+        }
+        // Anti-vacuity, GC-timing-agnostic: churn far past the initial
+        // 64 KiB threshold with a tiny live set must have collected at
+        // least once on the per-step-polling AST engine.
+        if cap.is_none() && ast.resource_stats.mem_used > 256 * 1024 {
+            prop_assert!(
+                ast.resource_stats.collections > 0,
+                "{} bytes churned without a collection: {:?}",
+                ast.resource_stats.mem_used, ast.resource_stats
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Caching is semantically invisible: cached and uncached pipelines agree
 // ---------------------------------------------------------------------
 
@@ -612,7 +717,7 @@ fn run_outcome(src: &str) -> Result<(String, String), String> {
         .compile()?;
     let mut interp = genus::Interp::new(&prog);
     let v = interp.run_main().map_err(|e| e.to_string())?;
-    Ok((format!("{v}"), interp.take_output()))
+    Ok((interp.render(&v), interp.take_output()))
 }
 
 /// A nested-clone program that forces recursive default-model resolution

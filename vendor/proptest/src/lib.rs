@@ -407,9 +407,31 @@ pub mod collection {
     }
 }
 
-/// Namespace mirror so `prop::collection::vec` works as in real proptest.
+pub mod option {
+    use crate::strategy::{SBox, Strategy};
+
+    /// `Option<T>` values drawn from `inner`, `None` half the time
+    /// (real proptest's default `Probability`).
+    pub fn of<S>(inner: S) -> SBox<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        SBox::new(move |rng| {
+            if rng.next_u64() & 1 == 0 {
+                Some(inner.generate(rng))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` (and `prop::option::of`)
+/// work as in real proptest.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
 }
 
 pub mod prelude {
