@@ -76,6 +76,38 @@ test "$(wc -l < target/serve_e2e.out)" -eq 3
 grep -q '"id":"ok".*"outcome":"ok".*"value":"7"' target/serve_e2e.out
 grep -q '"id":"spin".*"outcome":"trap".*"code":"R0009"' target/serve_e2e.out
 grep -q '"id":"bad".*"outcome":"error"' target/serve_e2e.out
+# Incremental-session gates. First, diagnostics parity: for every
+# sample (plus an error fixture), a session-based check — one `--watch`
+# iteration, which runs through CompileSession and ends at stdin EOF —
+# must render exactly the diagnostics of a from-scratch one-shot check
+# and agree on the exit code. The `watch:` status line is the only
+# session-specific output, so it is stripped before the byte compare.
+printf 'int main() { int unused = 1; return nope; }\n' > target/incr_bad.genus
+for src in samples/*.genus target/incr_bad.genus; do
+  out="target/incr_$(basename "$src" .genus)"
+  set +e
+  target/release/genus check "$src" 2> "$out.oneshot" > /dev/null
+  oneshot_exit=$?
+  : | target/release/genus check --watch "$src" 2> "$out.watch"
+  watch_exit=$?
+  set -e
+  test "$oneshot_exit" -eq "$watch_exit"
+  grep -v '^watch: ' "$out.watch" > "$out.watch_diags" || true
+  cmp "$out.oneshot" "$out.watch_diags"
+done
+# Second, the sessionful serve protocol end to end: an update/check/run
+# pipe on one named session through the shipped binary. The run carries
+# a one-token edit, so its response must report reused units > 0 (the
+# stdlib verdicts survive) with exactly one unit re-checked.
+printf '%s\n' \
+  '{"id": "u1", "session": "ci", "action": "update", "file": "main.genus", "source": "int main() { return 41; }"}' \
+  '{"id": "c1", "session": "ci", "action": "check"}' \
+  '{"id": "r1", "session": "ci", "action": "run", "file": "main.genus", "source": "int main() { return 42; }"}' \
+  | target/release/genus serve --workers=2 > target/serve_session.out
+test "$(wc -l < target/serve_session.out)" -eq 3
+grep -q '"id":"u1","outcome":"ok","value":"updated"' target/serve_session.out
+grep -q '"id":"c1","outcome":"ok","value":"checked".*"rechecked":6' target/serve_session.out
+grep -q '"id":"r1","outcome":"ok","value":"42".*"reused":[1-9][0-9]*,"rechecked":1' target/serve_session.out
 # Benchmarks must at least compile; running them is a manual step
 # (`cargo bench -p bench`), which also writes BENCH_vm.json.
 # --workspace: a bare `cargo bench --no-run` only builds the root

@@ -17,6 +17,26 @@ fn bench_check_stdlib(c: &mut Criterion) {
                 .expect("stdlib checks")
         })
     });
+    // The incremental counterpart: a warm session re-checking after a
+    // one-token body edit to the user unit. The stdlib's parses and
+    // verdicts are reused, so the delta against `check_stdlib` is the
+    // payoff of the content-hash-keyed pipeline.
+    g.bench_function("session_warm_recheck_stdlib", |b| {
+        let mut s = genus::CompileSession::with_stdlib();
+        s.update_source("m.genus", "int main() { return 1; }");
+        assert!(!s.check().has_errors());
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let src = if flip {
+                "int main() { return 2; }"
+            } else {
+                "int main() { return 1; }"
+            };
+            s.update_source("m.genus", src);
+            s.check()
+        })
+    });
     g.bench_function("parse_and_check_small", |b| {
         b.iter(|| {
             Compiler::new()

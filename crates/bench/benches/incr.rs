@@ -1,0 +1,122 @@
+//! Incremental compilation benchmarks: cold one-shot checks vs. warm
+//! session re-checks after a one-token edit, for a trivial stdlib
+//! program and for the largest sample. Besides the criterion report,
+//! writes a machine-readable summary to `BENCH_incr.json` at the
+//! repository root (the vendored criterion shim has no JSON output).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genus::{CompileSession, Compiler};
+
+const TRIVIAL: &str = "int main() { return 1; }";
+const REGISTRY: &str = include_str!("../../../samples/existential_registry.genus");
+
+/// The `n`th one-token body variant of a workload. Every call with a new
+/// `n` yields a source the session has never seen, so each warm
+/// iteration genuinely re-parses and re-checks the edited unit instead
+/// of restoring an old verdict from the LRU.
+fn variant(base: &str, n: u64) -> String {
+    if base == TRIVIAL {
+        format!("int main() {{ return {n}; }}")
+    } else {
+        base.replacen("return", &format!("return /*w{n}*/"), 1)
+    }
+}
+
+/// Minimum-of-N wall-clock for one closure, with warmup. Alternating
+/// interleave is pointless here (cold and warm share no mutable state),
+/// so a plain min keeps the code obvious.
+fn min_ns<F: FnMut()>(mut f: F, samples: usize) -> f64 {
+    for _ in 0..2 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// A cold check: a fresh compiler, stdlib and all, from source text.
+fn cold_check(src: &str) {
+    let report = Compiler::new()
+        .with_stdlib()
+        .source("main.genus", src)
+        .check_report();
+    assert!(!report.has_errors(), "bench program must check");
+}
+
+/// One warm re-check on an already-checked session: apply the next
+/// one-token variant of the user unit and re-run the query pipeline.
+fn warm_recheck(session: &mut CompileSession, n: &mut u64, base: &str) {
+    *n += 1;
+    session.update_source("main.genus", &variant(base, *n));
+    assert!(!session.check().has_errors(), "bench program must check");
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    assert_ne!(
+        REGISTRY,
+        variant(REGISTRY, 1),
+        "edit must change the source"
+    );
+    let workloads: [(&str, &str); 2] = [
+        ("stdlib_trivial", TRIVIAL),
+        ("existential_registry", REGISTRY),
+    ];
+    let mut rows = Vec::new();
+    let mut g = c.benchmark_group("incremental");
+    g.sample_size(10);
+    for (name, base) in &workloads {
+        g.bench_function(format!("{name}_cold"), |bch| bch.iter(|| cold_check(base)));
+        let mut session = CompileSession::with_stdlib();
+        session.update_source("main.genus", &variant(base, 0));
+        assert!(!session.check().has_errors());
+        let mut n = 0u64;
+        g.bench_function(format!("{name}_warm"), |bch| {
+            bch.iter(|| warm_recheck(&mut session, &mut n, base))
+        });
+
+        let cold_ns = min_ns(|| cold_check(base), 15);
+        let mut session = CompileSession::with_stdlib();
+        session.update_source("main.genus", &variant(base, 0));
+        assert!(!session.check().has_errors());
+        let before = session.stats();
+        let mut n = 0u64;
+        let warm_ns = min_ns(|| warm_recheck(&mut session, &mut n, base), 15);
+        let after = session.stats();
+        let checks = after.checks - before.checks;
+        let reused = after.units_not_rechecked() - before.units_not_rechecked();
+        let rechecked = after.units_rechecked - before.units_rechecked;
+        let reuse_rate = reused as f64 / (reused + rechecked) as f64;
+        let speedup = cold_ns / warm_ns;
+        // The point of the session pipeline: a one-token edit must be
+        // at least 5x cheaper than a from-scratch check.
+        assert!(
+            speedup >= 5.0,
+            "warm re-check of `{name}` only {speedup:.1}x faster than cold"
+        );
+        assert_eq!(rechecked, checks, "exactly the edited unit re-checks");
+        rows.push(format!(
+            "    \"{name}\": {{\"cold_ns\": {cold_ns:.0}, \"warm_ns\": {warm_ns:.0}, \"warm_speedup\": {speedup:.3}, \"units_reused_per_recheck\": {}, \"units_rechecked_per_recheck\": {}, \"reuse_rate\": {reuse_rate:.3}}}",
+            reused / checks,
+            rechecked / checks
+        ));
+    }
+    g.finish();
+    let json = format!(
+        "{{\n  \"bench\": \"incremental_recheck\",\n  \"min_of\": 15,\n  \"target_warm_speedup\": 5.0,\n  \"workloads\": {{\n{}\n  }}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incr.json");
+    std::fs::write(path, &json).expect("write BENCH_incr.json");
+    eprintln!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_incremental
+}
+criterion_main!(benches);

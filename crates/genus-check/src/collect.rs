@@ -438,6 +438,13 @@ fn pad_args(args: &[Type], want: usize) -> Vec<Type> {
 /// that are not constraint parameters, prerequisite cycles) are reported into
 /// `diags`.
 pub fn collect(programs: &[ast::Program], diags: &mut Diagnostics) -> Table {
+    let refs: Vec<&ast::Program> = programs.iter().collect();
+    collect_refs(&refs, diags)
+}
+
+/// [`collect`] over borrowed programs — incremental sessions keep their
+/// parse trees in shared `Arc`s and collect from references.
+pub fn collect_refs(programs: &[&ast::Program], diags: &mut Diagnostics) -> Table {
     let mut table = Table::new();
     register_names(programs, &mut table, diags);
     collect_headers(programs, &mut table, diags);
@@ -446,7 +453,7 @@ pub fn collect(programs: &[ast::Program], diags: &mut Diagnostics) -> Table {
     table
 }
 
-fn register_names(programs: &[ast::Program], table: &mut Table, diags: &mut Diagnostics) {
+fn register_names(programs: &[&ast::Program], table: &mut Table, diags: &mut Diagnostics) {
     for p in programs {
         for d in &p.decls {
             match d {
@@ -522,7 +529,7 @@ fn placeholder_class(name: Symbol, is_interface: bool, is_abstract: bool, span: 
     }
 }
 
-fn collect_headers(programs: &[ast::Program], table: &mut Table, diags: &mut Diagnostics) {
+fn collect_headers(programs: &[&ast::Program], table: &mut Table, diags: &mut Diagnostics) {
     // Phase order matters: constraint arities are needed by class `where`
     // clauses, and class arities are needed by constraint operations, so
     // parameters of both are registered before any type is resolved.

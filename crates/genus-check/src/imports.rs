@@ -1,0 +1,564 @@
+//! Validation of `import` declarations and module visibility.
+//!
+//! A unit that declares `import m;` opts into a closed namespace: it sees
+//! the prelude and stdlib, itself, and the transitive closure of its
+//! imports (computed by the session). This module checks:
+//!
+//! * **E0801** — an `import` names no unit in the session,
+//! * **E0802** — a type- or model-namespace reference resolves to a
+//!   declaration in a unit outside the importing unit's visible set,
+//! * **E0803** — an import is useless (duplicate, or the unit importing
+//!   itself).
+//!
+//! E0802 is enforced only for units with explicit imports — importless
+//! units keep the historical whole-program namespace. The check walks
+//! *type-namespace positions* (types, constraint references, model
+//! expressions); expression-level static receivers (`Counter.bump()`)
+//! resolve through the checker's name resolution and are not re-checked
+//! here. The session's dependency fingerprints still account for such
+//! cross-module references by folding every unit's static-interface
+//! contribution into the environment fingerprint.
+
+use genus_common::{Diagnostics, FileId, Span, Symbol};
+use genus_syntax::ast;
+use genus_types::Table;
+use std::collections::HashSet;
+
+/// Checks the import list and (for importing units) every type-namespace
+/// reference of one unit.
+///
+/// `units` lists every session unit as `(module name, file, is_user_unit)`
+/// in unit order; `visible_files` is the unit's visible set (always
+/// contains its own file and the always-visible units).
+pub fn check_unit_imports(
+    table: &Table,
+    program: &ast::Program,
+    file: FileId,
+    self_idx: usize,
+    units: &[(String, FileId, bool)],
+    visible_files: &HashSet<u32>,
+    diags: &mut Diagnostics,
+) {
+    // --- E0801 / E0803: the import list itself. ---
+    let mut seen: Vec<Symbol> = Vec::new();
+    for imp in &program.imports {
+        let name = imp.name.as_str();
+        if seen.contains(&imp.name) {
+            diags.error(
+                "E0803",
+                imp.span,
+                format!("useless import: module `{name}` is already imported"),
+            );
+            continue;
+        }
+        seen.push(imp.name);
+        let Some((_, target, _)) = units.iter().find(|(m, _, _)| m == name) else {
+            diags.push(
+                genus_common::Diagnostic::error(
+                    "E0801",
+                    imp.span,
+                    format!("unknown module `{name}` in import"),
+                )
+                .with_help(
+                    "a module is another source file of the session, named by its file stem",
+                ),
+            );
+            continue;
+        };
+        if *target == file {
+            diags.error(
+                "E0803",
+                imp.span,
+                format!("useless import: `{name}` is this unit"),
+            );
+        }
+    }
+    let _ = self_idx;
+
+    // --- E0802: only units that opted into modules are restricted. ---
+    if program.imports.is_empty() {
+        return;
+    }
+    let mut w = RefWalker {
+        table,
+        units,
+        visible_files,
+        diags,
+        tvs: Vec::new(),
+        mvs: Vec::new(),
+    };
+    w.program(program);
+}
+
+/// Walks every type-namespace position of a program, reporting names that
+/// resolve to declarations outside the visible set. Type parameters and
+/// named model variables shadow global names and are tracked as scopes.
+struct RefWalker<'a> {
+    table: &'a Table,
+    units: &'a [(String, FileId, bool)],
+    visible_files: &'a HashSet<u32>,
+    diags: &'a mut Diagnostics,
+    tvs: Vec<Symbol>,
+    mvs: Vec<Symbol>,
+}
+
+impl<'a> RefWalker<'a> {
+    fn module_of(&self, f: FileId) -> &str {
+        self.units
+            .iter()
+            .find(|(_, uf, _)| *uf == f)
+            .map(|(m, _, _)| m.as_str())
+            .unwrap_or("<unknown>")
+    }
+
+    fn check_owner(&mut self, kind: &str, name: Symbol, def_span: Span, at: Span) {
+        if def_span.is_dummy() || self.visible_files.contains(&def_span.file.0) {
+            return;
+        }
+        let module = self.module_of(def_span.file).to_string();
+        self.diags.push(
+            genus_common::Diagnostic::error(
+                "E0802",
+                at,
+                format!(
+                    "{kind} `{}` is defined in module `{module}`, which this unit does not import",
+                    name.as_str()
+                ),
+            )
+            .with_note(def_span, "defined here".to_string())
+            .with_help(format!("add `import {module};` at the top of the file")),
+        );
+    }
+
+    fn type_name(&mut self, name: Symbol, at: Span) {
+        if self.tvs.contains(&name) {
+            return;
+        }
+        if let Some(&cid) = self.table.class_by_name.get(&name) {
+            self.check_owner("type", name, self.table.class(cid).span, at);
+        }
+        // Unknown names fall through: the resolver reports them (E02xx)
+        // with its own richer context.
+    }
+
+    fn constraint_name(&mut self, name: Symbol, at: Span) {
+        if let Some(&kid) = self.table.constraint_by_name.get(&name) {
+            self.check_owner("constraint", name, self.table.constraint(kid).span, at);
+        }
+    }
+
+    fn model_name(&mut self, name: Symbol, at: Span) {
+        if self.mvs.contains(&name) {
+            return;
+        }
+        if let Some(&mid) = self.table.model_by_name.get(&name) {
+            self.check_owner("model", name, self.table.model(mid).span, at);
+        } else if let Some(&cid) = self.table.class_by_name.get(&name) {
+            // Natural model: a type name used as a witness.
+            self.check_owner("type", name, self.table.class(cid).span, at);
+        }
+    }
+
+    // --- scopes ---
+
+    fn push_generics(&mut self, g: &ast::GenericSig) -> (usize, usize) {
+        let mark = (self.tvs.len(), self.mvs.len());
+        for tp in &g.type_params {
+            self.tvs.push(tp.name);
+        }
+        for w in &g.wheres {
+            if let Some(v) = w.var {
+                self.mvs.push(v);
+            }
+        }
+        // Bounds and where-clauses may reference the freshly bound names.
+        for tp in &g.type_params {
+            if let Some(b) = &tp.bound {
+                self.ty(b);
+            }
+        }
+        for w in &g.wheres {
+            self.cref(&w.constraint);
+        }
+        mark
+    }
+
+    fn pop(&mut self, mark: (usize, usize)) {
+        self.tvs.truncate(mark.0);
+        self.mvs.truncate(mark.1);
+    }
+
+    // --- traversal ---
+
+    fn program(&mut self, p: &ast::Program) {
+        for d in &p.decls {
+            match d {
+                ast::Decl::Class(c) => {
+                    let mark = self.push_generics(&c.generics);
+                    if let Some(e) = &c.extends {
+                        self.ty(e);
+                    }
+                    for t in &c.implements {
+                        self.ty(t);
+                    }
+                    for f in &c.fields {
+                        self.ty(&f.ty);
+                        if let Some(e) = &f.init {
+                            self.expr(e);
+                        }
+                    }
+                    for k in &c.ctors {
+                        for p in &k.params {
+                            self.ty(&p.ty);
+                        }
+                        self.block(&k.body);
+                    }
+                    for m in &c.methods {
+                        self.method(m);
+                    }
+                    self.pop(mark);
+                }
+                ast::Decl::Interface(i) => {
+                    let mark = self.push_generics(&i.generics);
+                    for t in &i.extends {
+                        self.ty(t);
+                    }
+                    for m in &i.methods {
+                        self.method(m);
+                    }
+                    self.pop(mark);
+                }
+                ast::Decl::Constraint(k) => {
+                    let mark = (self.tvs.len(), self.mvs.len());
+                    for p in &k.params {
+                        self.tvs.push(p.name);
+                    }
+                    for e in &k.extends {
+                        self.cref(e);
+                    }
+                    for op in &k.methods {
+                        self.ty(&op.ret);
+                        for p in &op.params {
+                            self.ty(&p.ty);
+                        }
+                    }
+                    self.pop(mark);
+                }
+                ast::Decl::Model(m) => {
+                    let mark = self.push_generics(&m.generics);
+                    self.cref(&m.for_constraint);
+                    for e in &m.extends {
+                        self.model_expr(e);
+                    }
+                    for mm in &m.methods {
+                        self.model_method(mm);
+                    }
+                    self.pop(mark);
+                }
+                ast::Decl::Enrich(e) => {
+                    self.model_name(e.target, e.span);
+                    // Enrich bodies see the target model's type parameters
+                    // and named witnesses.
+                    let mark = (self.tvs.len(), self.mvs.len());
+                    if let Some(&mid) = self.table.model_by_name.get(&e.target) {
+                        let def = self.table.model(mid);
+                        for tv in &def.tparams {
+                            self.tvs.push(self.table.tv_name(*tv));
+                        }
+                        for w in &def.wheres {
+                            if w.named {
+                                self.mvs.push(self.table.mv_name(w.mv));
+                            }
+                        }
+                    }
+                    for mm in &e.methods {
+                        self.model_method(mm);
+                    }
+                    self.pop(mark);
+                }
+                ast::Decl::Use(u) => {
+                    let mark = self.push_generics(&u.generics);
+                    self.model_expr(&u.model);
+                    if let Some(k) = &u.for_constraint {
+                        self.cref(k);
+                    }
+                    self.pop(mark);
+                }
+                ast::Decl::Method(m) => self.method(m),
+            }
+        }
+    }
+
+    fn method(&mut self, m: &ast::MethodDecl) {
+        let mark = self.push_generics(&m.generics);
+        self.ty(&m.ret);
+        for p in &m.params {
+            self.ty(&p.ty);
+        }
+        if let Some(b) = &m.body {
+            self.block(b);
+        }
+        self.pop(mark);
+    }
+
+    fn model_method(&mut self, m: &ast::ModelMethodDef) {
+        self.ty(&m.ret);
+        if let Some(r) = &m.receiver {
+            self.ty(r);
+        }
+        for p in &m.params {
+            self.ty(&p.ty);
+        }
+        self.block(&m.body);
+    }
+
+    fn cref(&mut self, c: &ast::ConstraintRef) {
+        self.constraint_name(c.name, c.span);
+        for t in &c.args {
+            self.ty(t);
+        }
+    }
+
+    fn ty(&mut self, t: &ast::Ty) {
+        match &t.kind {
+            ast::TyKind::Prim(_) => {}
+            ast::TyKind::Named { name, args, models } => {
+                self.type_name(*name, t.span);
+                for a in args {
+                    self.ty(a);
+                }
+                for m in models {
+                    self.model_expr(m);
+                }
+            }
+            ast::TyKind::Array(e) => self.ty(e),
+            ast::TyKind::Existential {
+                params,
+                wheres,
+                body,
+            } => {
+                let mark = (self.tvs.len(), self.mvs.len());
+                for p in params {
+                    self.tvs.push(p.name);
+                }
+                for w in wheres {
+                    if let Some(v) = w.var {
+                        self.mvs.push(v);
+                    }
+                }
+                for p in params {
+                    if let Some(b) = &p.bound {
+                        self.ty(b);
+                    }
+                }
+                for w in wheres {
+                    self.cref(&w.constraint);
+                }
+                self.ty(body);
+                self.pop(mark);
+            }
+            ast::TyKind::Wildcard { bound } => {
+                if let Some(b) = bound {
+                    self.ty(b);
+                }
+            }
+        }
+    }
+
+    fn model_expr(&mut self, m: &ast::ModelExpr) {
+        match m {
+            ast::ModelExpr::Named {
+                name,
+                args,
+                models,
+                span,
+            } => {
+                self.model_name(*name, *span);
+                for a in args {
+                    self.ty(a);
+                }
+                for mm in models {
+                    self.model_expr(mm);
+                }
+            }
+            ast::ModelExpr::Wildcard { .. } => {}
+        }
+    }
+
+    fn block(&mut self, b: &ast::Block) {
+        // `LocalBind` binders scope to the rest of the enclosing block.
+        let mark = (self.tvs.len(), self.mvs.len());
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.pop(mark);
+    }
+
+    fn stmt(&mut self, s: &ast::Stmt) {
+        match &s.kind {
+            ast::StmtKind::Local { ty, init, .. } => {
+                self.ty(ty);
+                if let Some(e) = init {
+                    self.expr(e);
+                }
+            }
+            ast::StmtKind::LocalBind {
+                params,
+                ty,
+                wheres,
+                init,
+                ..
+            } => {
+                // The initializer is checked in the outer scope; the bound
+                // variables are visible in the declared type, the where
+                // clauses, and the rest of the block.
+                self.expr(init);
+                for p in params {
+                    self.tvs.push(p.name);
+                }
+                for w in wheres {
+                    if let Some(v) = w.var {
+                        self.mvs.push(v);
+                    }
+                }
+                self.ty(ty);
+                for w in wheres {
+                    self.cref(&w.constraint);
+                }
+            }
+            ast::StmtKind::Expr(e) => self.expr(e),
+            ast::StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expr(cond);
+                self.block(then_blk);
+                if let Some(b) = else_blk {
+                    self.block(b);
+                }
+            }
+            ast::StmtKind::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            ast::StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                if let Some(u) = update {
+                    self.expr(u);
+                }
+                self.block(body);
+            }
+            ast::StmtKind::ForEach { ty, iter, body, .. } => {
+                self.ty(ty);
+                self.expr(iter);
+                self.block(body);
+            }
+            ast::StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+            }
+            ast::StmtKind::Break | ast::StmtKind::Continue => {}
+            ast::StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    fn expr(&mut self, e: &ast::Expr) {
+        match &e.kind {
+            ast::ExprKind::IntLit(_)
+            | ast::ExprKind::LongLit(_)
+            | ast::ExprKind::DoubleLit(_)
+            | ast::ExprKind::BoolLit(_)
+            | ast::ExprKind::CharLit(_)
+            | ast::ExprKind::StrLit(_)
+            | ast::ExprKind::Null
+            | ast::ExprKind::This
+            | ast::ExprKind::Name(_) => {}
+            ast::ExprKind::Field { recv, .. } => self.expr(recv),
+            ast::ExprKind::Call {
+                recv,
+                type_args,
+                args,
+                ..
+            } => {
+                if let Some(r) = recv {
+                    self.expr(r);
+                }
+                if let Some(ta) = type_args {
+                    for t in &ta.types {
+                        self.ty(t);
+                    }
+                    for m in &ta.models {
+                        self.model_expr(m);
+                    }
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ast::ExprKind::ExpanderCall {
+                recv,
+                expander,
+                args,
+                ..
+            } => {
+                self.expr(recv);
+                self.model_expr(expander);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ast::ExprKind::New { ty, args } => {
+                self.ty(ty);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ast::ExprKind::NewArray { elem, len } => {
+                self.ty(elem);
+                self.expr(len);
+            }
+            ast::ExprKind::Index { arr, idx } => {
+                self.expr(arr);
+                self.expr(idx);
+            }
+            ast::ExprKind::Assign { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ast::ExprKind::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ast::ExprKind::Unary { expr, .. } => self.expr(expr),
+            ast::ExprKind::InstanceOf { expr, ty } => {
+                self.expr(expr);
+                self.ty(ty);
+            }
+            ast::ExprKind::Cast { ty, expr } => {
+                self.ty(ty);
+                self.expr(expr);
+            }
+            ast::ExprKind::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                self.expr(cond);
+                self.expr(then_e);
+                self.expr(else_e);
+            }
+        }
+    }
+}

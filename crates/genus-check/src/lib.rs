@@ -24,6 +24,8 @@ pub mod body;
 pub mod collect;
 pub mod entail;
 pub mod hir;
+pub mod imports;
+pub mod incremental;
 pub mod methods;
 pub mod multimethod;
 pub mod natural;
@@ -31,6 +33,8 @@ pub mod prelude;
 pub mod resolve;
 pub mod termination;
 pub mod wf;
+
+pub use incremental::{Session, SessionReport, SessionStats};
 
 use body::BodyCtx;
 use collect::Scope;
@@ -157,40 +161,36 @@ pub fn check_sources(sources: &[(&str, &str)]) -> Result<CheckedProgram, String>
 /// Checks multiple Genus source files (plus the prelude) and returns the
 /// full structured [`CheckReport`] — diagnostics with stable codes and
 /// spans, warnings included, plus the program when checking succeeded.
+///
+/// One-shot checks are a single cold pass of the incremental [`Session`]
+/// machinery, so `genus check` and a warm session re-check agree on output
+/// by construction.
 pub fn check_sources_report(sources: &[(&str, &str)]) -> CheckReport {
-    let mut sm = SourceMap::new();
-    let mut diags = Diagnostics::new();
-    let mut programs = Vec::new();
-    let pf = sm.add_file(prelude::PRELUDE_NAME, prelude::PRELUDE);
-    programs.push(genus_syntax::parse_program(&sm, pf, &mut diags));
+    let mut session = Session::new();
     for (name, src) in sources {
-        let f = sm.add_file(*name, *src);
-        programs.push(genus_syntax::parse_program(&sm, f, &mut diags));
+        session.update_source(name, src);
     }
-    if diags.has_errors() {
-        return CheckReport {
-            sm,
-            diags: diags.take(),
-            program: None,
-        };
-    }
-    let checked = check_program(&programs, &mut diags);
-    let program = if diags.has_errors() {
-        None
-    } else {
-        Some(checked)
-    };
-    CheckReport {
-        sm,
-        diags: diags.take(),
-        program,
-    }
+    session.check();
+    session.into_report()
 }
 
 /// Runs the full checking pipeline over parsed programs (the prelude must be
 /// included by the caller; [`check_sources`] does this automatically).
 pub fn check_program(programs: &[ast::Program], diags: &mut Diagnostics) -> CheckedProgram {
-    let mut table = collect::collect(programs, diags);
+    let refs: Vec<&ast::Program> = programs.iter().collect();
+    let table = build_prefix(&refs, diags);
+    let mut checked = new_checked_shell(table);
+    check_bodies_filter(&mut checked, diags, None);
+    checked
+}
+
+/// Runs every whole-program phase that precedes body checking: collection,
+/// variance, the termination restriction, signature completion, multimethod
+/// conformance, and hierarchy well-formedness. The result is the "semantic
+/// prefix" incremental sessions key by the interface fingerprints of all
+/// units.
+pub(crate) fn build_prefix(programs: &[&ast::Program], diags: &mut Diagnostics) -> Table {
+    let mut table = collect::collect_refs(programs, diags);
     termination::check_use_termination(&table, diags);
     complete_signatures(&mut table, diags);
     // Signature completion rewrites types in place, which existing cache
@@ -201,7 +201,13 @@ pub fn check_program(programs: &[ast::Program], diags: &mut Diagnostics) -> Chec
         multimethod::check_model_conformance(&table, ModelId(i as u32), diags);
     }
     wf::check_hierarchy(&table, diags);
-    let mut checked = CheckedProgram {
+    table
+}
+
+/// An empty [`CheckedProgram`] around a prefix table, to be filled by
+/// [`check_bodies_filter`].
+pub(crate) fn new_checked_shell(table: Table) -> CheckedProgram {
+    CheckedProgram {
         table,
         method_bodies: HashMap::new(),
         ctor_bodies: HashMap::new(),
@@ -209,9 +215,7 @@ pub fn check_program(programs: &[ast::Program], diags: &mut Diagnostics) -> Chec
         model_bodies: HashMap::new(),
         field_inits: HashMap::new(),
         static_inits: Vec::new(),
-    };
-    check_bodies(&mut checked, diags);
-    checked
+    }
 }
 
 /// Builds the lexical scope of a class from the table (parameter names are
@@ -425,11 +429,26 @@ fn complete_signatures(table: &mut Table, diags: &mut Diagnostics) {
     }
 }
 
-fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
+/// Checks and lowers bodies into `checked`, optionally restricted to the
+/// definitions owned by one source file (`only`). Ownership follows each
+/// definition's declaration span, so an `enrich` method contributed to
+/// another unit's model is checked with its *declaring* unit. Restricting by
+/// file partitions the work exactly: running this once per file produces the
+/// same bodies and the same diagnostic multiset as one unrestricted pass
+/// (diagnostics are normalized order-insensitively at report time).
+pub(crate) fn check_bodies_filter(
+    checked: &mut CheckedProgram,
+    diags: &mut Diagnostics,
+    only: Option<genus_common::FileId>,
+) {
+    let owned = |span: genus_common::Span| only.is_none_or(|f| span.file == f);
     let table = &mut checked.table;
     // Class members.
     for ci in 0..table.classes.len() {
         let cid = ClassId(ci as u32);
+        if !owned(table.classes[ci].span) {
+            continue;
+        }
         let def = table.classes[ci].clone();
         let scope = scope_of_class(table, cid);
         let enabled = enabled_of(&def.wheres);
@@ -535,6 +554,9 @@ fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
         let mut enabled = enabled_of(&def.wheres);
         enabled.push((def.for_inst.clone(), self_model(table, mid)));
         for (ki, m) in def.methods.iter().enumerate() {
+            if !owned(m.span) {
+                continue;
+            }
             let mut ctx = BodyCtx::new(
                 table,
                 diags,
@@ -562,6 +584,9 @@ fn check_bodies(checked: &mut CheckedProgram, diags: &mut Diagnostics) {
     }
     // Globals.
     for gi in 0..table.globals.len() {
+        if !owned(table.globals[gi].span) {
+            continue;
+        }
         let g = table.globals[gi].clone();
         let Some(body) = &g.body else { continue };
         if g.is_native {

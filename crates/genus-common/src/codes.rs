@@ -14,7 +14,8 @@ pub struct CodeInfo {
     /// The stable code, e.g. `"E0201"`.
     pub code: &'static str,
     /// The pipeline phase that emits it (`lex`, `parse`, `collect`, `wf`,
-    /// `resolve`, `typecheck`, `multimethod`, `termination`, `runtime`).
+    /// `resolve`, `typecheck`, `multimethod`, `termination`, `import`,
+    /// `runtime`).
     pub phase: &'static str,
     /// A short title, suitable for an index.
     pub title: &'static str,
@@ -89,6 +90,10 @@ registry! {
     "E0602", "multimethod", "ambiguous multimethod";
     // --- termination restriction ---
     "E0701", "termination", "use declaration violates the termination restriction";
+    // --- modules / imports ---
+    "E0801", "import", "unknown module in import";
+    "E0802", "import", "reference to a module that was not imported";
+    "E0803", "import", "useless import";
     // --- runtime ---
     "R0001", "runtime", "class cast failure";
     "R0002", "runtime", "null dereference";

@@ -132,7 +132,10 @@ impl SourceFile {
 }
 
 /// Registry of all source files seen by a compilation.
-#[derive(Debug, Default)]
+///
+/// `Clone` lets a long-lived compile session hand an owned snapshot of its
+/// file set to each check report while keeping the ids stable across edits.
+#[derive(Debug, Default, Clone)]
 pub struct SourceMap {
     files: Vec<SourceFile>,
 }
@@ -157,6 +160,17 @@ impl SourceMap {
     /// Panics if `id` was not produced by this map.
     pub fn file(&self, id: FileId) -> &SourceFile {
         &self.files[id.0 as usize]
+    }
+
+    /// Replaces the contents of an already-registered file, keeping its id
+    /// and name. Sessions use this to apply edits without renumbering files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this map.
+    pub fn update_file(&mut self, id: FileId, src: impl Into<String>) {
+        let name = self.files[id.0 as usize].name.clone();
+        self.files[id.0 as usize] = SourceFile::new(name, src);
     }
 
     /// The source text a span covers, or `""` for dummy spans.

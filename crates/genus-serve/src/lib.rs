@@ -32,8 +32,10 @@ pub mod cache;
 pub mod pool;
 pub mod proto;
 pub mod server;
+pub mod session;
 
 pub use cache::{CachedProgram, ProgramCache, ProgramCacheStats};
 pub use pool::WorkerPool;
-pub use proto::{EngineKind, Outcome, Request, Response};
+pub use proto::{Action, EngineKind, Outcome, Request, Response, SessionReuse};
 pub use server::{ServeConfig, Server, DEFAULT_FUEL};
+pub use session::SessionRegistry;

@@ -29,6 +29,23 @@
 //! e.g. `R0009` for fuel exhaustion, and `message`), or `"error"` for
 //! compile failures (with `message`). Fields are emitted in a fixed
 //! order, so response lines are byte-deterministic for a given outcome.
+//!
+//! **Sessionful requests** carry a `session` name and an `action`:
+//!
+//! ```json
+//! {"id": "u1", "session": "dev", "action": "update",
+//!  "file": "main.genus", "source": "int main() { return 1; }"}
+//! {"id": "c1", "session": "dev", "action": "check"}
+//! {"id": "r1", "session": "dev", "action": "run", "engine": "vm"}
+//! ```
+//!
+//! A session is a long-lived incremental compile pipeline on the server:
+//! `update` replaces one named unit's text, `check` re-derives
+//! diagnostics reusing everything content hashes allow, and `run`
+//! re-checks then executes `main()` (reusing compiled bytecode when
+//! nothing changed). Sessionful `check`/`run` responses append two
+//! counters, `"reused"` and `"rechecked"` — the per-request incremental
+//! reuse evidence. Stateless response lines are unchanged, byte for byte.
 
 use genus_common::json::{self, Json};
 use genus_interp::Limits;
@@ -79,13 +96,52 @@ impl EngineKind {
     }
 }
 
+/// What a sessionful request asks its compile session to do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Action {
+    /// Replace the named unit's source text without checking.
+    Update,
+    /// Incrementally re-check the session's current sources.
+    Check,
+    /// Re-check, then execute `main()` on the requested engine.
+    #[default]
+    Run,
+}
+
+impl Action {
+    /// Parses a wire action name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Action> {
+        match name {
+            "update" => Some(Action::Update),
+            "check" => Some(Action::Check),
+            "run" => Some(Action::Run),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Action::Update => "update",
+            Action::Check => "check",
+            Action::Run => "run",
+        }
+    }
+}
+
 /// One execution request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Caller-chosen correlation id, echoed in the response.
     pub id: String,
     /// The Genus program (compiled once per distinct source — see the
-    /// program cache).
+    /// program cache). On sessionful `check`/`run` requests the source
+    /// is optional: when present it first replaces the [`file`] unit,
+    /// when absent the session's current sources are used as-is.
+    ///
+    /// [`file`]: Request::file
     pub source: String,
     /// Engine selection.
     pub engine: EngineKind,
@@ -95,6 +151,18 @@ pub struct Request {
     pub stdlib: bool,
     /// Per-request resource budgets (fuel / memory / deadline).
     pub limits: Limits,
+    /// Names a long-lived incremental compile session. `None` is the
+    /// classic stateless protocol; `Some` routes the request through the
+    /// server's session registry, where parse trees, check verdicts, and
+    /// compiled bytecode persist across requests keyed by content hashes.
+    pub session: Option<String>,
+    /// What to do with the session. Ignored without [`session`].
+    ///
+    /// [`session`]: Request::session
+    pub action: Action,
+    /// The unit (module file name) the request's `source` belongs to on
+    /// sessionful requests. Defaults to `main.genus`.
+    pub file: String,
 }
 
 impl Request {
@@ -107,6 +175,9 @@ impl Request {
             opt_level: 2,
             stdlib: true,
             limits: Limits::default(),
+            session: None,
+            action: Action::default(),
+            file: "main.genus".to_string(),
         }
     }
 
@@ -129,11 +200,45 @@ impl Request {
             Some(_) => return Err("`id` must be a string or number".to_string()),
             None => return Err("missing `id`".to_string()),
         };
-        let source = v
-            .get("source")
-            .and_then(Json::as_str)
-            .ok_or_else(|| "missing `source` string".to_string())?
-            .to_string();
+        let session = match v.get("session") {
+            Some(Json::Str(s)) if !s.is_empty() => Some(s.clone()),
+            Some(_) => return Err("`session` must be a non-empty string".to_string()),
+            None => None,
+        };
+        let action = match v.get("action") {
+            Some(j) => {
+                let name = j
+                    .as_str()
+                    .ok_or_else(|| "`action` must be a string".to_string())?;
+                Action::from_name(name).ok_or_else(|| format!("unknown action `{name}`"))?
+            }
+            None => Action::default(),
+        };
+        if action != Action::Run && session.is_none() {
+            return Err(format!(
+                "`action`: \"{}\" requires a `session`",
+                action.name()
+            ));
+        }
+        let file = match v.get("file") {
+            Some(j) => {
+                let name = j
+                    .as_str()
+                    .ok_or_else(|| "`file` must be a string".to_string())?;
+                if name.is_empty() {
+                    return Err("`file` must not be empty".to_string());
+                }
+                name.to_string()
+            }
+            None => "main.genus".to_string(),
+        };
+        let source = match v.get("source").and_then(Json::as_str) {
+            Some(s) => s.to_string(),
+            // Sessionful check/run requests may re-use the session's
+            // current sources without carrying any text of their own.
+            None if session.is_some() && action != Action::Update => String::new(),
+            None => return Err("missing `source` string".to_string()),
+        };
         let engine = match v.get("engine") {
             Some(j) => {
                 let name = j
@@ -169,6 +274,9 @@ impl Request {
             opt_level,
             stdlib,
             limits,
+            session,
+            action,
+            file,
         })
     }
 }
@@ -206,6 +314,17 @@ pub enum Outcome {
     Error(String),
 }
 
+/// Per-request incremental-session counters: how many unit verdicts the
+/// request's check reused versus re-derived. Carried only by sessionful
+/// responses, so stateless response lines keep their historical bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionReuse {
+    /// Unit verdicts reused (live or restored from the LRU) by this check.
+    pub reused: u64,
+    /// Units fully re-checked by this check.
+    pub rechecked: u64,
+}
+
 /// One execution response, serialized as a single JSON line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -237,6 +356,9 @@ pub struct Response {
     /// promotion policy picked, so callers can watch a program climb
     /// the tiers.
     pub engine: EngineKind,
+    /// Incremental reuse counters of the check this request triggered.
+    /// `Some` only on sessionful `check`/`run` responses.
+    pub reuse: Option<SessionReuse>,
 }
 
 impl Response {
@@ -255,14 +377,16 @@ impl Response {
             cache_hit: false,
             ms: 0,
             engine: EngineKind::default(),
+            reuse: None,
         }
     }
 
     /// Serializes the response as one JSON line (no trailing newline).
     /// Key order is fixed — `id, outcome, [value | code, message |
     /// message], output, fuel_used, mem_used, live_bytes, peak_bytes,
-    /// collections, cache, ms, engine` — so a given response always
-    /// renders to the same bytes.
+    /// collections, cache, ms, engine[, reused, rechecked]` — so a given
+    /// response always renders to the same bytes. The trailing reuse
+    /// counters appear only on sessionful responses.
     #[must_use]
     pub fn to_json_line(&self) -> String {
         let mut s = String::with_capacity(128);
@@ -287,7 +411,7 @@ impl Response {
         s.push_str(",\"output\":");
         json::write_escaped(&mut s, &self.output);
         s.push_str(&format!(
-            ",\"fuel_used\":{},\"mem_used\":{},\"live_bytes\":{},\"peak_bytes\":{},\"collections\":{},\"cache\":\"{}\",\"ms\":{},\"engine\":\"{}\"}}",
+            ",\"fuel_used\":{},\"mem_used\":{},\"live_bytes\":{},\"peak_bytes\":{},\"collections\":{},\"cache\":\"{}\",\"ms\":{},\"engine\":\"{}\"",
             self.fuel_used,
             self.mem_used,
             self.live_bytes,
@@ -297,6 +421,13 @@ impl Response {
             self.ms,
             self.engine.name()
         ));
+        if let Some(r) = &self.reuse {
+            s.push_str(&format!(
+                ",\"reused\":{},\"rechecked\":{}",
+                r.reused, r.rechecked
+            ));
+        }
+        s.push('}');
         s
     }
 }
@@ -352,6 +483,52 @@ mod tests {
     }
 
     #[test]
+    fn parse_sessionful_requests() {
+        let d = Limits::default();
+        let r = Request::parse(
+            r#"{"id": "u1", "session": "dev", "action": "update",
+               "file": "util.genus", "source": "class U { U() { } }"}"#,
+            &d,
+        )
+        .unwrap();
+        assert_eq!(r.session.as_deref(), Some("dev"));
+        assert_eq!(r.action, Action::Update);
+        assert_eq!(r.file, "util.genus");
+        // check/run may omit the source entirely.
+        let r = Request::parse(r#"{"id": "c1", "session": "dev", "action": "check"}"#, &d).unwrap();
+        assert_eq!(r.action, Action::Check);
+        assert_eq!(r.source, "");
+        assert_eq!(r.file, "main.genus", "default unit name");
+        // ... but stateless requests still require it.
+        assert!(Request::parse(r#"{"id": "x", "action": "run"}"#, &d).is_err());
+        // An action other than run without a session is malformed.
+        assert!(Request::parse(r#"{"id": "x", "source": "s", "action": "check"}"#, &d).is_err());
+        // Updates must carry text.
+        assert!(
+            Request::parse(r#"{"id": "x", "session": "dev", "action": "update"}"#, &d).is_err()
+        );
+        assert!(Request::parse(r#"{"id": "x", "session": "", "action": "check"}"#, &d).is_err());
+        assert!(
+            Request::parse(r#"{"id": "x", "session": "dev", "action": "compile"}"#, &d).is_err()
+        );
+    }
+
+    #[test]
+    fn session_responses_append_reuse_counters() {
+        let mut r = Response::error("e1", "boom");
+        assert!(!r.to_json_line().contains("reused"));
+        r.reuse = Some(SessionReuse {
+            reused: 5,
+            rechecked: 1,
+        });
+        let line = r.to_json_line();
+        assert!(line.ends_with(",\"reused\":5,\"rechecked\":1}"), "{line}");
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("reused").and_then(Json::as_num), Some(5.0));
+        assert_eq!(v.get("rechecked").and_then(Json::as_num), Some(1.0));
+    }
+
+    #[test]
     fn response_lines_are_deterministic_and_parse_back() {
         let r = Response {
             id: "r1".to_string(),
@@ -368,6 +545,7 @@ mod tests {
             cache_hit: true,
             ms: 3,
             engine: EngineKind::Vm,
+            reuse: None,
         };
         let line = r.to_json_line();
         assert_eq!(line, r.to_json_line(), "serialization is deterministic");

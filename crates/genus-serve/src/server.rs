@@ -23,6 +23,7 @@
 use crate::cache::{CachedProgram, ProgramCache, ProgramCacheStats};
 use crate::pool::WorkerPool;
 use crate::proto::{EngineKind, Outcome, Request, Response};
+use crate::session::SessionRegistry;
 use genus_interp::{Interp, Limits, ResourceStats, RuntimeError};
 use genus_vm::Vm;
 use std::io::{BufRead, Write};
@@ -71,6 +72,7 @@ impl Default for ServeConfig {
 pub struct Server {
     cache: Arc<ProgramCache>,
     pool: WorkerPool,
+    sessions: SessionRegistry,
     config: ServeConfig,
 }
 
@@ -80,8 +82,15 @@ impl Server {
         Server {
             cache: Arc::new(ProgramCache::new()),
             pool: WorkerPool::new(config.workers),
+            sessions: SessionRegistry::new(),
             config,
         }
+    }
+
+    /// The incremental compile-session registry backing sessionful
+    /// requests (`{"session": ..., "action": ...}`).
+    pub fn sessions(&self) -> &SessionRegistry {
+        &self.sessions
     }
 
     /// The shared program cache (counters back the `cache: hit|miss`
@@ -102,8 +111,19 @@ impl Server {
 
     /// Submits one request for asynchronous execution. The returned
     /// channel yields exactly one [`Response`].
+    ///
+    /// Sessionful requests are handled synchronously on the calling
+    /// thread (the channel is already resolved when this returns): a
+    /// session's actions must observe each other in submission order,
+    /// which the worker pool does not guarantee, and the point of a
+    /// session is that its re-checks are cheap.
     pub fn submit(&self, request: Request) -> mpsc::Receiver<Response> {
         let (tx, rx) = mpsc::channel();
+        if request.session.is_some() {
+            let response = self.sessions.handle(request, Instant::now());
+            let _ = tx.send(response);
+            return rx;
+        }
         let cache = Arc::clone(&self.cache);
         let config = self.config;
         let submitted = Instant::now();
@@ -289,6 +309,7 @@ fn handle_request(
                 cache_hit,
                 ms: waited,
                 engine,
+                reuse: None,
             };
         }
         limits.deadline_ms = Some(deadline - waited);
@@ -312,6 +333,7 @@ fn handle_request(
         cache_hit,
         ms: ms_since(submitted),
         engine,
+        reuse: None,
     }
 }
 

@@ -12,8 +12,25 @@ use genus_common::{Span, Symbol};
 /// A parsed compilation unit.
 #[derive(Debug, Clone, Default)]
 pub struct Program {
+    /// `import m;` declarations at the top of the unit, in source order.
+    pub imports: Vec<ImportDecl>,
     /// Top-level declarations in source order.
     pub decls: Vec<Decl>,
+}
+
+/// An `import m;` declaration naming another compilation unit.
+///
+/// A unit that declares imports sees only the prelude, the stdlib, itself,
+/// and the transitive closure of its imports; a unit with no imports keeps
+/// the historical whole-program namespace. `import` is a contextual keyword:
+/// it is only recognized in declaration position, so existing programs using
+/// `import` as an identifier still parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportDecl {
+    /// The imported module name (a unit's file stem).
+    pub name: Symbol,
+    /// Source span of the whole declaration.
+    pub span: Span,
 }
 
 /// Any top-level declaration.

@@ -1,0 +1,463 @@
+//! Content-hash fingerprints over source units, the keys of the
+//! incremental compilation pipeline.
+//!
+//! Three fingerprints are computed per compilation unit, at three levels of
+//! sensitivity:
+//!
+//! * [`content_fp`] — a hash of the raw source text. Changes on *any* edit;
+//!   keys parse-tree memoization and a unit's own body verdicts.
+//! * [`interface_fp`] — a hash of the source text with every executable
+//!   body region (method/constructor bodies, field initializers) blanked
+//!   out. Body-only edits leave it unchanged, so it keys everything that
+//!   depends on a unit's *declarations*: the semantic table, and other
+//!   units' verdicts through their import closure.
+//! * [`env_fp_part`] — a structural, span-free hash of the unit's
+//!   contribution to the *global* checking environment: its top-level name
+//!   list, model/use/enrich declarations (default model resolution is
+//!   whole-program), class headers (natural models come from `implements`
+//!   clauses), and global method signatures (calls are not import-checked).
+//!   Unlike [`interface_fp`] it ignores comments, whitespace, and member
+//!   signatures, so a member-signature edit in one unit does not disturb
+//!   unrelated units' verdict keys.
+//!
+//! All three are FNV-1a (`genus_common::FnvHasher`): the keys are trusted,
+//! in-process, and collision-adversarial inputs are not a concern.
+
+use crate::ast::*;
+use genus_common::FnvHasher;
+use std::hash::Hasher;
+
+/// A 64-bit content fingerprint.
+pub type Fp = u64;
+
+fn fnv(f: impl FnOnce(&mut FnvHasher)) -> Fp {
+    let mut h = FnvHasher::default();
+    f(&mut h);
+    h.finish()
+}
+
+/// Combines an ordered sequence of fingerprints into one.
+pub fn combine_fps(fps: impl IntoIterator<Item = Fp>) -> Fp {
+    fnv(|h| {
+        for fp in fps {
+            h.write(&fp.to_le_bytes());
+        }
+    })
+}
+
+/// Fingerprint of a unit's raw text (plus its name, so same-content files
+/// under different names key separately).
+pub fn content_fp(name: &str, src: &str) -> Fp {
+    fnv(|h| {
+        h.write(name.as_bytes());
+        h.write(&[0xFE]);
+        h.write(src.as_bytes());
+    })
+}
+
+/// Collects the byte ranges of every executable body region in `p`:
+/// method and constructor bodies, field initializers, and model/enrich
+/// method bodies. Spans are relative to the unit's own file.
+fn body_ranges(p: &Program) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    fn block(out: &mut Vec<(u32, u32)>, b: &Block) {
+        out.push((b.span.lo, b.span.hi));
+    }
+    for d in &p.decls {
+        match d {
+            Decl::Class(c) => {
+                for f in &c.fields {
+                    if let Some(init) = &f.init {
+                        out.push((init.span.lo, init.span.hi));
+                    }
+                }
+                for k in &c.ctors {
+                    block(&mut out, &k.body);
+                }
+                for m in &c.methods {
+                    if let Some(b) = &m.body {
+                        block(&mut out, b);
+                    }
+                }
+            }
+            Decl::Interface(i) => {
+                for m in &i.methods {
+                    if let Some(b) = &m.body {
+                        block(&mut out, b);
+                    }
+                }
+            }
+            Decl::Model(m) => {
+                for mm in &m.methods {
+                    block(&mut out, &mm.body);
+                }
+            }
+            Decl::Enrich(e) => {
+                for mm in &e.methods {
+                    block(&mut out, &mm.body);
+                }
+            }
+            Decl::Method(m) => {
+                if let Some(b) = &m.body {
+                    block(&mut out, b);
+                }
+            }
+            Decl::Constraint(_) | Decl::Use(_) => {}
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Fingerprint of a unit's declared interface: the source text with every
+/// executable body region replaced by a placeholder byte. Edits confined to
+/// bodies leave it unchanged; any edit to a signature, a declaration list,
+/// an import, or surrounding trivia changes it (trivia sensitivity merely
+/// over-invalidates, which is safe).
+pub fn interface_fp(name: &str, src: &str, p: &Program) -> Fp {
+    let ranges = body_ranges(p);
+    fnv(|h| {
+        h.write(name.as_bytes());
+        h.write(&[0xFE]);
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        for (lo, hi) in ranges {
+            let (lo, hi) = (lo as usize, hi as usize);
+            if lo >= bytes.len() || hi > bytes.len() || lo < pos {
+                continue; // malformed span after parse errors: hash it all
+            }
+            h.write(&bytes[pos..lo]);
+            h.write(&[0xFF]); // placeholder keeps hole positions distinct
+            pos = hi;
+        }
+        h.write(&bytes[pos..]);
+    })
+}
+
+/// The unit's structural contribution to the global checking environment.
+/// See the module docs for exactly what this covers; everything hashed here
+/// is span-free so body edits (which shift spans) never disturb it.
+pub fn env_fp_part(name: &str, p: &Program) -> Fp {
+    fnv(|h| {
+        h.write(name.as_bytes());
+        let mut e = EnvHasher { h };
+        for i in &p.imports {
+            e.tag("import");
+            e.sym(i.name);
+        }
+        for d in &p.decls {
+            match d {
+                Decl::Class(c) => {
+                    e.tag(if c.is_abstract { "aclass" } else { "class" });
+                    e.sym(c.name);
+                    e.generics(&c.generics);
+                    if let Some(x) = &c.extends {
+                        e.tag("ext");
+                        e.ty(x);
+                    }
+                    for t in &c.implements {
+                        e.tag("impl");
+                        e.ty(t);
+                    }
+                    // Static members are callable by other units *without*
+                    // naming the class in any type position (`Counter.bump()`),
+                    // so their signatures are environment-relevant even
+                    // though instance members are not.
+                    for f in c.fields.iter().filter(|f| f.is_static) {
+                        e.tag("sfield");
+                        e.sym(f.name);
+                        e.ty(&f.ty);
+                    }
+                    for m in c.methods.iter().filter(|m| m.is_static) {
+                        e.tag("smethod");
+                        e.method_sig(m);
+                    }
+                }
+                Decl::Interface(i) => {
+                    e.tag("iface");
+                    e.sym(i.name);
+                    e.generics(&i.generics);
+                    for t in &i.extends {
+                        e.tag("ext");
+                        e.ty(t);
+                    }
+                }
+                Decl::Constraint(c) => {
+                    e.tag("constraint");
+                    e.sym(c.name);
+                }
+                Decl::Model(m) => {
+                    e.tag("model");
+                    e.sym(m.name);
+                    e.generics(&m.generics);
+                    e.cref(&m.for_constraint);
+                    for x in &m.extends {
+                        e.tag("ext");
+                        e.model(x);
+                    }
+                    for mm in &m.methods {
+                        e.model_method_sig(mm);
+                    }
+                }
+                Decl::Enrich(en) => {
+                    e.tag("enrich");
+                    e.sym(en.target);
+                    for mm in &en.methods {
+                        e.model_method_sig(mm);
+                    }
+                }
+                Decl::Use(u) => {
+                    e.tag("use");
+                    e.generics(&u.generics);
+                    e.model(&u.model);
+                    if let Some(c) = &u.for_constraint {
+                        e.tag("for");
+                        e.cref(c);
+                    }
+                }
+                Decl::Method(m) => {
+                    e.tag("global");
+                    e.method_sig(m);
+                }
+            }
+        }
+    })
+}
+
+/// Span-free structural hashing of signature-level AST nodes.
+struct EnvHasher<'a> {
+    h: &'a mut FnvHasher,
+}
+
+impl EnvHasher<'_> {
+    fn tag(&mut self, t: &str) {
+        self.h.write(t.as_bytes());
+        self.h.write(&[0xFE]);
+    }
+
+    fn sym(&mut self, s: genus_common::Symbol) {
+        self.h.write(s.as_str().as_bytes());
+        self.h.write(&[0xFE]);
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.h.write(&[b]);
+    }
+
+    fn ty(&mut self, t: &Ty) {
+        match &t.kind {
+            TyKind::Prim(p) => {
+                self.u8(1);
+                self.tag(p.name());
+            }
+            TyKind::Named { name, args, models } => {
+                self.u8(2);
+                self.sym(*name);
+                self.u8(args.len() as u8);
+                for a in args {
+                    self.ty(a);
+                }
+                self.u8(models.len() as u8);
+                for m in models {
+                    self.model(m);
+                }
+            }
+            TyKind::Array(el) => {
+                self.u8(3);
+                self.ty(el);
+            }
+            TyKind::Existential {
+                params,
+                wheres,
+                body,
+            } => {
+                self.u8(4);
+                for p in params {
+                    self.tparam(p);
+                }
+                self.u8(0xFD);
+                for w in wheres {
+                    self.where_binding(w);
+                }
+                self.ty(body);
+            }
+            TyKind::Wildcard { bound } => {
+                self.u8(5);
+                if let Some(b) = bound {
+                    self.ty(b);
+                }
+            }
+        }
+    }
+
+    fn model(&mut self, m: &ModelExpr) {
+        match m {
+            ModelExpr::Named {
+                name, args, models, ..
+            } => {
+                self.u8(6);
+                self.sym(*name);
+                self.u8(args.len() as u8);
+                for a in args {
+                    self.ty(a);
+                }
+                self.u8(models.len() as u8);
+                for mm in models {
+                    self.model(mm);
+                }
+            }
+            ModelExpr::Wildcard { .. } => self.u8(7),
+        }
+    }
+
+    fn tparam(&mut self, p: &TypeParam) {
+        self.sym(p.name);
+        if let Some(b) = &p.bound {
+            self.tag("bnd");
+            self.ty(b);
+        }
+    }
+
+    fn where_binding(&mut self, w: &WhereBinding) {
+        self.cref(&w.constraint);
+        if let Some(v) = w.var {
+            self.sym(v);
+        }
+        self.u8(0xFD);
+    }
+
+    fn cref(&mut self, c: &ConstraintRef) {
+        self.sym(c.name);
+        self.u8(c.args.len() as u8);
+        for a in &c.args {
+            self.ty(a);
+        }
+    }
+
+    fn generics(&mut self, g: &GenericSig) {
+        self.u8(g.type_params.len() as u8);
+        for p in &g.type_params {
+            self.tparam(p);
+        }
+        self.u8(g.wheres.len() as u8);
+        for w in &g.wheres {
+            self.where_binding(w);
+        }
+    }
+
+    fn method_sig(&mut self, m: &MethodDecl) {
+        self.u8((m.is_static as u8) | ((m.is_abstract as u8) << 1) | ((m.is_native as u8) << 2));
+        self.ty(&m.ret);
+        self.sym(m.name);
+        self.generics(&m.generics);
+        self.u8(m.params.len() as u8);
+        for p in &m.params {
+            self.ty(&p.ty);
+            self.sym(p.name);
+        }
+    }
+
+    fn model_method_sig(&mut self, m: &ModelMethodDef) {
+        self.u8(m.is_static as u8);
+        self.ty(&m.ret);
+        if let Some(r) = &m.receiver {
+            self.tag("recv");
+            self.ty(r);
+        }
+        self.sym(m.name);
+        self.u8(m.params.len() as u8);
+        for p in &m.params {
+            self.ty(&p.ty);
+            self.sym(p.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genus_common::{Diagnostics, SourceMap};
+
+    fn parse(src: &str) -> (Program, String) {
+        let mut sm = SourceMap::new();
+        let mut d = Diagnostics::new();
+        let f = sm.add_file("t.genus", src);
+        let p = crate::parse_program(&sm, f, &mut d);
+        assert!(!d.has_errors(), "{src}");
+        (p, src.to_string())
+    }
+
+    #[test]
+    fn body_edit_keeps_interface_fp() {
+        let (p1, s1) = parse("int main() { return 1; }");
+        let (p2, s2) = parse("int main() { return 2; }");
+        assert_ne!(content_fp("t", &s1), content_fp("t", &s2));
+        assert_eq!(interface_fp("t", &s1, &p1), interface_fp("t", &s2, &p2));
+        assert_eq!(env_fp_part("t", &p1), env_fp_part("t", &p2));
+    }
+
+    #[test]
+    fn signature_edit_changes_interface_fp() {
+        let (p1, s1) = parse("int main() { return 1; }");
+        let (p2, s2) = parse("long main() { return 1; }");
+        assert_ne!(interface_fp("t", &s1, &p1), interface_fp("t", &s2, &p2));
+        // Global signatures participate in the environment fingerprint.
+        assert_ne!(env_fp_part("t", &p1), env_fp_part("t", &p2));
+    }
+
+    #[test]
+    fn member_body_and_sig_sensitivity() {
+        let base = "class C { int f() { return 1; } }";
+        let body = "class C { int f() { return 2; } }";
+        let sig = "class C { long f() { return 1; } }";
+        let (pb, sb) = parse(base);
+        let (p2, s2) = parse(body);
+        let (p3, s3) = parse(sig);
+        assert_eq!(interface_fp("t", &sb, &pb), interface_fp("t", &s2, &p2));
+        assert_ne!(interface_fp("t", &sb, &pb), interface_fp("t", &s3, &p3));
+        // Instance member signatures deliberately stay out of the env part:
+        // they are only reachable through the import closure.
+        assert_eq!(env_fp_part("t", &pb), env_fp_part("t", &p3));
+    }
+
+    #[test]
+    fn static_members_are_env_relevant() {
+        // `C.f()` is callable from a unit that never names `C` in a type
+        // position, so static signatures must perturb the env fingerprint.
+        let (p1, _) = parse("class C { static int f() { return 1; } }");
+        let (p2, _) = parse("class C { static long f() { return 1; } }");
+        assert_ne!(env_fp_part("t", &p1), env_fp_part("t", &p2));
+        let (p3, _) = parse("class C { static int x = 1; }");
+        let (p4, _) = parse("class C { static long x = 1; }");
+        assert_ne!(env_fp_part("t", &p3), env_fp_part("t", &p4));
+        // Static *bodies* stay irrelevant.
+        let (p5, _) = parse("class C { static int f() { return 2; } }");
+        assert_eq!(env_fp_part("t", &p1), env_fp_part("t", &p5));
+    }
+
+    #[test]
+    fn model_and_use_decls_are_env_relevant() {
+        let (p1, _) = parse("constraint K[T] { int op(T x); } void main() { }");
+        let (p2, _) = parse(
+            "constraint K[T] { int op(T x); } model M for K[int] { int op(int x) { return x; } } void main() { }",
+        );
+        assert_ne!(env_fp_part("t", &p1), env_fp_part("t", &p2));
+    }
+
+    #[test]
+    fn imports_parse_and_fingerprint() {
+        let (p, s) = parse("import util;\nvoid main() { }");
+        assert_eq!(p.imports.len(), 1);
+        assert_eq!(p.imports[0].name.as_str(), "util");
+        let (p2, s2) = parse("void main() { }");
+        assert_ne!(interface_fp("t", &s, &p), interface_fp("t", &s2, &p2));
+        assert_ne!(env_fp_part("t", &p), env_fp_part("t", &p2));
+    }
+
+    #[test]
+    fn import_stays_an_ordinary_identifier() {
+        let (p, _) = parse("void main() { int import = 3; import = import + 1; }");
+        assert!(p.imports.is_empty());
+        assert_eq!(p.decls.len(), 1);
+    }
+}

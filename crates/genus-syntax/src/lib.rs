@@ -28,13 +28,17 @@
 //! ```
 
 pub mod ast;
+pub mod fingerprint;
 pub mod lexer;
+pub mod memo;
 pub mod parser;
 pub mod pretty;
 pub mod token;
 
 pub use ast::*;
+pub use fingerprint::{combine_fps, content_fp, env_fp_part, interface_fp, Fp};
 pub use lexer::lex;
+pub use memo::{parse_unit, ParseCache, ParsedUnit};
 pub use parser::{parse_program, Parser};
 pub use token::{Token, TokenKind};
 

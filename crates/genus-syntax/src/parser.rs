@@ -149,6 +149,22 @@ impl<'d> Parser<'d> {
 
     /// Parses a whole program.
     pub fn program(&mut self) -> Program {
+        let mut imports = Vec::new();
+        // `import` is a contextual keyword, recognized only as the exact
+        // shape `import <ident> ;` in declaration position so programs using
+        // `import` as an ordinary identifier keep parsing. Imports must
+        // precede all declarations.
+        while self.at_import() {
+            let lo = self.span();
+            self.bump(); // `import`
+            let (name, _) = self.ident().expect("at_import guarantees an ident");
+            let semi = self.span();
+            self.bump(); // `;`
+            imports.push(ImportDecl {
+                name,
+                span: lo.to(semi),
+            });
+        }
         let mut decls = Vec::new();
         while !self.at(&TokenKind::Eof) {
             let before = self.pos;
@@ -162,7 +178,13 @@ impl<'d> Parser<'d> {
                 }
             }
         }
-        Program { decls }
+        Program { imports, decls }
+    }
+
+    fn at_import(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.as_str() == "import")
+            && matches!(self.peek_at(1), TokenKind::Ident(_))
+            && matches!(self.peek_at(2), TokenKind::Semi)
     }
 
     fn recover_to_decl(&mut self) {

@@ -9,6 +9,12 @@ use std::fmt::Write as _;
 /// Renders a whole program back to Genus source.
 pub fn program_to_string(p: &Program) -> String {
     let mut pr = Printer::default();
+    for i in &p.imports {
+        let _ = writeln!(pr.out, "import {};", i.name.as_str());
+    }
+    if !p.imports.is_empty() {
+        pr.out.push('\n');
+    }
     for d in &p.decls {
         pr.decl(d);
         pr.out.push('\n');

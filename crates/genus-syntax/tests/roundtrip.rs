@@ -316,6 +316,7 @@ proptest! {
             })
             .collect();
         let prog = ast::Program {
+            imports: vec![],
             decls: vec![ast::Decl::Method(ast::MethodDecl {
                 is_static: false,
                 is_abstract: false,

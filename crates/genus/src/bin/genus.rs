@@ -37,7 +37,10 @@ fn usage() -> ! {
          \n\
          run     compile the files (with the standard library unless\n\
          \x20        --no-stdlib is given) and execute main()\n\
-         check   type-check only and report diagnostics\n\
+         check   type-check only and report diagnostics; with --watch,\n\
+         \x20        keep an incremental session open and re-check the\n\
+         \x20        files whenever they change on disk (end with EOF on\n\
+         \x20        stdin or Ctrl-C)\n\
          serve   JSON-lines execution service: one request object per\n\
          \x20        line on stdin (or a TCP connection with --listen),\n\
          \x20        one response line each, in request order\n\
@@ -60,6 +63,9 @@ fn usage() -> ! {
          \x20                    carets (default), one line per diagnostic,\n\
          \x20                    or one JSON object per diagnostic\n\
          \x20 --deny-warnings    treat warnings as errors (exit 1)\n\
+         \x20 --watch            check: poll the files' mtimes and\n\
+         \x20                    incrementally re-check on every change,\n\
+         \x20                    printing per-iteration reuse statistics\n\
          \x20 --stats            after running, print dispatch-cache,\n\
          \x20                    type-query-cache, resource, and (VM)\n\
          \x20                    bytecode-optimizer statistics to stderr\n\
@@ -172,6 +178,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
     let mut stdlib = true;
+    let mut watch = false;
     let mut stats = false;
     let mut deny_warnings = false;
     let mut engine = Engine::Ast;
@@ -185,6 +192,8 @@ fn main() -> ExitCode {
     for a in args {
         if a == "--no-stdlib" {
             stdlib = false;
+        } else if a == "--watch" {
+            watch = true;
         } else if a == "--stats" {
             stats = true;
         } else if a == "--deny-warnings" {
@@ -253,6 +262,13 @@ fn main() -> ExitCode {
     if files.is_empty() {
         usage();
     }
+    if watch {
+        if cmd != "check" {
+            eprintln!("error: --watch is only valid with `genus check`");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        return cmd_watch(&files, stdlib, format);
+    }
     let mut compiler = genus::Compiler::new()
         .engine(engine)
         .opt_level(opt_level)
@@ -320,6 +336,86 @@ fn main() -> ExitCode {
             code
         }
         _ => usage(),
+    }
+}
+
+/// `genus check --watch`: keep one incremental [`genus::CompileSession`]
+/// open and re-check the files whenever their mtimes change (150 ms
+/// polling — no OS file-watcher dependency). Each iteration prints the
+/// diagnostics plus a `watch:` line with the session's per-iteration
+/// reuse counters. The loop ends at EOF on stdin (which makes it
+/// testable: `: | genus check --watch f.genus` runs exactly one
+/// iteration) with exit code 0/1 reflecting the **last** check.
+fn cmd_watch(files: &[String], stdlib: bool, format: ErrorFormat) -> ExitCode {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = Vec::new();
+            let _ = std::io::stdin().lock().read_to_end(&mut sink);
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+    let mut session = if stdlib {
+        genus::CompileSession::with_stdlib()
+    } else {
+        genus::CompileSession::new()
+    };
+    let mut mtimes: Vec<Option<std::time::SystemTime>> = vec![None; files.len()];
+    let mut first = true;
+    let mut last_errors = false;
+    loop {
+        let mut changed = false;
+        for (i, f) in files.iter().enumerate() {
+            let mtime = std::fs::metadata(f).and_then(|m| m.modified()).ok();
+            if first || mtime != mtimes[i] {
+                mtimes[i] = mtime;
+                match std::fs::read_to_string(f) {
+                    Ok(src) => {
+                        session.update_source(f, &src);
+                        changed = true;
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot read `{f}`: {e}");
+                        if first {
+                            return ExitCode::from(EXIT_USAGE);
+                        }
+                    }
+                }
+            }
+        }
+        if changed {
+            let start = std::time::Instant::now();
+            let before = session.stats();
+            let report = session.check();
+            let after = session.stats();
+            last_errors = report.has_errors();
+            let rendered = session.render_diags(format);
+            if !rendered.is_empty() {
+                eprintln!("{rendered}");
+            }
+            eprintln!(
+                "watch: {} — {} unit(s), {} reused, {} re-checked, {} parsed, {}ms",
+                if last_errors { "errors" } else { "ok" },
+                after.units,
+                after.units_not_rechecked() - before.units_not_rechecked(),
+                after.units_rechecked - before.units_rechecked,
+                after.parse_new - before.parse_new,
+                start.elapsed().as_millis(),
+            );
+        }
+        first = false;
+        if stop.load(Ordering::Relaxed) {
+            return if last_errors {
+                ExitCode::from(EXIT_COMPILE)
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+        std::thread::sleep(std::time::Duration::from_millis(150));
     }
 }
 

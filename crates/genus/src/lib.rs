@@ -22,7 +22,11 @@
 //! assert_eq!(result.rendered_value, "42");
 //! ```
 
-pub use genus_check::{check_program, hir, CheckReport, CheckedProgram};
+pub mod session;
+
+pub use genus_check::{
+    check_program, hir, CheckReport, CheckedProgram, SessionReport, SessionStats,
+};
 pub use genus_common::{
     codes, json, Diagnostic, Diagnostics, ErrorFormat, Severity, SourceMap, Span,
 };
@@ -34,6 +38,7 @@ pub use genus_vm::{
     compile_optimized, compile_program, compile_tier, OptStats, TierProgram, TierStats, Vm,
     VmProgram,
 };
+pub use session::CompileSession;
 
 /// Which execution engine runs the program.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -215,17 +220,20 @@ impl Compiler {
     /// Type-checks everything and returns the structured [`CheckReport`]:
     /// every diagnostic (errors and warnings) with its stable code and
     /// spans, plus the checked program when there were no errors.
+    ///
+    /// One-shot checks are a cold pass of the incremental session
+    /// machinery, seeded with the process-wide stdlib parse memo, so
+    /// repeated `check_report` calls re-parse only the user sources.
     pub fn check_report(&self) -> CheckReport {
-        let mut pairs: Vec<(&str, &str)> = Vec::new();
-        if self.stdlib {
-            for (name, src) in genus_stdlib::sources() {
-                pairs.push((name, src));
-            }
-        }
+        let mut session = if self.stdlib {
+            CompileSession::with_stdlib()
+        } else {
+            CompileSession::new()
+        };
         for (name, src) in &self.sources {
-            pairs.push((name.as_str(), src.as_str()));
+            session.update_source(name, src);
         }
-        genus_check::check_sources_report(&pairs)
+        session.into_report()
     }
 
     /// Type-checks everything and returns the checked program.

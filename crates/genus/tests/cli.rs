@@ -261,3 +261,126 @@ fn batch_runs_a_directory() {
         "{stdout}"
     );
 }
+
+/// The sessionful protocol end to end: update → check → run through one
+/// `genus serve` pipe, with reuse counters on the wire.
+#[test]
+fn serve_incremental_session_pipeline() {
+    use std::io::Write;
+    let mut child = bin()
+        .args(["serve", "--workers=2"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn genus serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(
+            concat!(
+                r#"{"id": "u1", "session": "dev", "action": "update", "source": "int main() { return 40 + 2; }"}"#,
+                "\n",
+                r#"{"id": "c1", "session": "dev", "action": "check"}"#,
+                "\n",
+                r#"{"id": "r1", "session": "dev", "action": "run", "engine": "vm"}"#,
+                "\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits at EOF");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    let update = json::parse(lines[0]).expect("update response");
+    assert_eq!(update.get("id").and_then(json::Json::as_str), Some("u1"));
+    assert_eq!(
+        update.get("value").and_then(json::Json::as_str),
+        Some("updated")
+    );
+    let check = json::parse(lines[1]).expect("check response");
+    assert_eq!(
+        check.get("value").and_then(json::Json::as_str),
+        Some("checked")
+    );
+    assert!(
+        check
+            .get("rechecked")
+            .and_then(json::Json::as_num)
+            .is_some(),
+        "{stdout}"
+    );
+    let run = json::parse(lines[2]).expect("run response");
+    assert_eq!(run.get("value").and_then(json::Json::as_str), Some("42"));
+    // Nothing changed between the check and the run: the run's check
+    // reused every unit verdict — the incremental evidence on the wire.
+    let reused = run
+        .get("reused")
+        .and_then(json::Json::as_num)
+        .expect("reused counter");
+    assert!(reused > 0.0, "{stdout}");
+    assert_eq!(run.get("rechecked").and_then(json::Json::as_num), Some(0.0));
+}
+
+/// `genus check --watch` runs one iteration and exits cleanly at stdin
+/// EOF, printing the per-iteration reuse statistics line.
+#[test]
+fn check_watch_single_iteration() {
+    let f = source_file("watch_ok.genus", "int main() { return 5; }");
+    let out = bin()
+        .args(["check", "--watch"])
+        .arg(&f)
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("spawn genus check --watch");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("watch: ok"), "{err}");
+    assert!(err.contains("re-checked"), "{err}");
+    // Errors surface in the exit code at EOF, like plain `genus check`.
+    let f = source_file("watch_bad.genus", "int main() { return nope; }");
+    let out = bin()
+        .args(["check", "--watch", "--error-format=short"])
+        .arg(&f)
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("spawn genus check --watch");
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("watch: errors"), "{err}");
+    assert!(err.contains("E0502"), "{err}");
+}
+
+/// A live watch loop re-checks when the file changes and reuses the
+/// stdlib's verdicts across iterations.
+#[test]
+fn check_watch_recheck_on_change() {
+    let f = source_file("watch_live.genus", "int main() { return 1; }");
+    let mut child = bin()
+        .args(["check", "--watch"])
+        .arg(&f)
+        .stdin(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn genus check --watch");
+    // Let the first iteration land, then make a body-only edit with a
+    // bumped mtime.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    std::fs::write(&f, "int main() { return 2; }").expect("rewrite source");
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    // Closing stdin ends the loop.
+    drop(child.stdin.take());
+    let out = child.wait_with_output().expect("watch exits at EOF");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    let watch_lines: Vec<&str> = err.lines().filter(|l| l.starts_with("watch:")).collect();
+    assert!(watch_lines.len() >= 2, "{err}");
+    // The second iteration reused the prelude and stdlib verdicts.
+    assert!(
+        watch_lines[1..].iter().any(|l| l.contains("5 reused")),
+        "{err}"
+    );
+}

@@ -826,3 +826,142 @@ proptest! {
         prop_assert_eq!(parts[1].trim_end_matches(' '), expect_outer.trim_end_matches(' '));
     }
 }
+
+// ---------------------------------------------------------------------
+// Incremental sessions agree with from-scratch checks under random edits
+// ---------------------------------------------------------------------
+
+/// The shipped samples, as in-repo fixtures for random mutation.
+const SAMPLES: [(&str, &str); 5] = [
+    ("hello.genus", include_str!("../samples/hello.genus")),
+    (
+        "word_count.genus",
+        include_str!("../samples/word_count.genus"),
+    ),
+    ("gc_churn.genus", include_str!("../samples/gc_churn.genus")),
+    (
+        "scheduler.genus",
+        include_str!("../samples/scheduler.genus"),
+    ),
+    (
+        "existential_registry.genus",
+        include_str!("../samples/existential_registry.genus"),
+    ),
+];
+
+/// Applies one random edit to `src`: replace a digit, insert a comment,
+/// delete a byte, or inject a junk byte. Edits may (and should,
+/// sometimes) break parsing or checking — the property is agreement, not
+/// validity.
+fn random_edit(src: &str, kind: u8, pos: usize, lit: u8) -> String {
+    let bytes = src.as_bytes();
+    match kind {
+        // One-token edit: overwrite a digit with another digit.
+        0 => {
+            let digits: Vec<usize> = bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.is_ascii_digit())
+                .map(|(i, _)| i)
+                .collect();
+            if digits.is_empty() {
+                return format!("{src}// no digits\n");
+            }
+            let at = digits[pos % digits.len()];
+            let mut out = src.to_string();
+            out.replace_range(at..=at, &format!("{}", lit % 10));
+            out
+        }
+        // Whitespace-equivalent edit: a fresh comment line at the top.
+        1 => format!("// edit {lit}\n{src}"),
+        // Byte deletion at a line start (often a parse error).
+        2 => {
+            let starts: Vec<usize> = src
+                .char_indices()
+                .filter(|(_, c)| c.is_ascii_alphabetic())
+                .map(|(i, _)| i)
+                .collect();
+            if starts.is_empty() {
+                return src.to_string();
+            }
+            let at = starts[pos % starts.len()];
+            let mut out = src.to_string();
+            out.remove(at);
+            out
+        }
+        // Junk injection (usually a lex/parse error).
+        _ => {
+            let at = pos % (src.len() + 1);
+            let mut out = src.to_string();
+            out.insert(at, '@');
+            out
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A warm session re-check after a random edit must agree with a
+    /// from-scratch check of the edited text — byte-identical
+    /// diagnostics (codes, spans, messages, notes) — and, when the edit
+    /// still compiles, the session's run must agree with a from-scratch
+    /// differential run byte for byte.
+    #[test]
+    fn incremental_agrees(
+        sample in 0usize..SAMPLES.len(),
+        kind in 0u8..4,
+        pos in 0usize..10_000,
+        lit in 0u8..100,
+    ) {
+        use genus_repro::{CompileSession, Compiler, Engine, Limits};
+        let (name, base) = SAMPLES[sample];
+        let edited = random_edit(base, kind, pos, lit);
+
+        // Warm path: check the pristine sample, then re-check the edit.
+        let mut session = CompileSession::with_stdlib();
+        session.update_source(name, base);
+        let before_ok = !session.check().has_errors();
+        prop_assert!(before_ok, "shipped sample {} must check", name);
+        let stats_before = session.stats();
+        session.update_source(name, &edited);
+        let warm = session.check();
+        let stats_after = session.stats();
+
+        // From scratch over the same edited text.
+        let scratch = Compiler::new()
+            .with_stdlib()
+            .source(name, edited.as_str())
+            .check_report();
+        prop_assert_eq!(&warm.diags, &scratch.diags);
+
+        // Anti-vacuity: the re-check must have actually reused verdicts
+        // (at minimum the prelude and stdlib units), except when a parse
+        // error short-circuits checking entirely.
+        let parsed_ok = !warm.diags.iter().any(|d| {
+            genus_common::codes::lookup(d.code)
+                .is_some_and(|c| c.phase == "lex" || c.phase == "parse")
+        });
+        if parsed_ok {
+            prop_assert!(
+                stats_after.units_not_rechecked() > stats_before.units_not_rechecked(),
+                "no verdict reused across the edit: {:?} -> {:?}",
+                stats_before,
+                stats_after
+            );
+        }
+
+        // Clean edits also run identically, warm vs scratch.
+        if !warm.has_errors() {
+            let limits = Limits { fuel: Some(2_000_000), ..Limits::default() };
+            let warm_run = session.run(Engine::Vm, limits);
+            let scratch_run = Compiler::new()
+                .with_stdlib()
+                .engine(Engine::Vm)
+                .limits(limits)
+                .source(name, edited.as_str())
+                .run();
+            prop_assert_eq!(warm_run, scratch_run);
+        }
+    }
+}
