@@ -76,6 +76,39 @@ test "$(wc -l < target/serve_e2e.out)" -eq 3
 grep -q '"id":"ok".*"outcome":"ok".*"value":"7"' target/serve_e2e.out
 grep -q '"id":"spin".*"outcome":"trap".*"code":"R0009"' target/serve_e2e.out
 grep -q '"id":"bad".*"outcome":"error"' target/serve_e2e.out
+# Persistent-bytecode gate: the same request through a cold server with
+# --cache-dir, then a brand-new server over the same directory. The
+# cold boot writes artifacts (0 disk hits); the restart must answer from
+# disk (non-zero disk hits on the stderr summary) and its response line
+# must be byte-identical to the cold one modulo the timing field.
+rm -rf target/ci_cache_dir
+printf '{"id": "p1", "source": "int main() { return 64; }"}\n' \
+  | target/release/genus serve --workers=2 --cache-dir=target/ci_cache_dir \
+  > target/serve_disk_cold.out 2> target/serve_disk_cold.err
+grep -q ' 0 disk hit(s)' target/serve_disk_cold.err
+printf '{"id": "p1", "source": "int main() { return 64; }"}\n' \
+  | target/release/genus serve --workers=2 --cache-dir=target/ci_cache_dir \
+  > target/serve_disk_warm.out 2> target/serve_disk_warm.err
+grep -q ' disk hit(s)' target/serve_disk_warm.err
+! grep -q ' 0 disk hit(s)' target/serve_disk_warm.err
+sed -E 's/"ms":[0-9]+/"ms":0/' target/serve_disk_cold.out > target/serve_disk_cold.norm
+sed -E 's/"ms":[0-9]+/"ms":0/' target/serve_disk_warm.out > target/serve_disk_warm.norm
+cmp target/serve_disk_cold.norm target/serve_disk_warm.norm
+# Metrics smoke: a {"action": "metrics"} line is answered synchronously
+# with the counter snapshot (cache + pool + latency sections present).
+printf '{"id": "m1", "action": "metrics"}\n' \
+  | target/release/genus serve --workers=1 > target/serve_metrics.out
+grep -q '"id":"m1","outcome":"ok"' target/serve_metrics.out
+grep -q 'disk_hits' target/serve_metrics.out
+grep -q 'steals' target/serve_metrics.out
+grep -q 'p99_us' target/serve_metrics.out
+# Scaling smoke, core-gated: the serve bench asserts hot-VM throughput
+# at 4 workers >= 2x 1 worker — a claim only multi-core silicon can
+# honor, so it runs where it can be meaningful. (On fewer cores the
+# bench still runs manually and only rejects a sharding collapse.)
+if [ "$(nproc)" -ge 4 ]; then
+  cargo bench -p bench --bench serve
+fi
 # Incremental-session gates. First, diagnostics parity: for every
 # sample (plus an error fixture), a session-based check — one `--watch`
 # iteration, which runs through CompileSession and ends at stdin EOF —

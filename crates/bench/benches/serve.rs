@@ -1,18 +1,30 @@
 //! Load-generator benchmark for `genus-serve`: client-observed latency
 //! (p50/p99) and throughput across worker-pool sizes, cache temperatures,
 //! and engines — including `engine: "auto"` hotness promotion through
-//! the tiers. Writes a machine-readable summary to `BENCH_serve.json` at
-//! the repository root.
+//! the tiers and the persistent-bytecode restart path. Writes a
+//! machine-readable summary to `BENCH_serve.json` at the repository root.
 //!
 //! Not a criterion harness: the interesting quantities are tail latency
 //! under concurrent load and end-to-end throughput of the scheduler +
 //! program cache + engines, which a single-threaded `b.iter` cannot
-//! express. One client thread per in-flight request timestamps its own
-//! submit→response round trip, so queueing delay counts — the number a
-//! real caller would see.
+//! express. The load generator is a **closed-loop client pool**: a fixed
+//! number of client threads each keep exactly one request in flight,
+//! drawing the next from a shared queue the moment the previous response
+//! lands — so offered concurrency stays at the client count for the whole
+//! run instead of collapsing as a spawn-per-request design drains.
+//! Latencies are recorded in the same `genus_common::histogram::Histogram`
+//! the server's `/metrics` surface uses, so client-side and server-side
+//! p99 are computed by identical code.
+//!
+//! The scaling assertions are gated on `cores` (recorded in the output):
+//! on a single-core host more workers cannot multiply throughput of
+//! CPU-bound work, so the gate only demands no *regression* there, and
+//! demands real speedup only when the silicon can deliver one.
 
+use genus_common::histogram::Histogram;
 use genus_serve::{EngineKind, Outcome, Request, Response, ServeConfig, Server};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Requests per scenario: enough for a stable p99 at these run times
@@ -21,6 +33,10 @@ const REQUESTS: usize = 64;
 
 /// Distinct program shapes for the cold scenarios (each compiles once).
 const PROGRAMS: usize = 16;
+
+/// Closed-loop clients per scenario: the offered concurrency. Constant
+/// across worker counts so throughput differences are the scheduler's.
+const CLIENTS: usize = 16;
 
 /// A small dispatch-heavy program, parameterized so distinct seeds are
 /// distinct cache entries. Prelude-only: the cold scenarios measure the
@@ -63,16 +79,27 @@ struct Measured {
     engines: Vec<&'static str>,
 }
 
-/// Fires `reqs` concurrently (one client thread each), returning the
-/// client-observed latency distribution and aggregate throughput.
-fn drive(server: &Arc<Server>, reqs: Vec<Request>) -> Measured {
+/// Closed-loop load generation: `clients` threads each keep one request
+/// in flight until the shared queue is dry, timestamping every
+/// submit→response round trip (queueing delay counts — the number a real
+/// caller would see). Concurrency stays pinned at `clients` for the
+/// whole run.
+fn drive(server: &Arc<Server>, reqs: Vec<Request>, clients: usize) -> Measured {
     let n = reqs.len();
+    let hist = Arc::new(Histogram::new());
+    let queue = Arc::new(Mutex::new(VecDeque::from(reqs)));
+    let engines = Arc::new(Mutex::new(Vec::with_capacity(n)));
     let wall = Instant::now();
-    let handles: Vec<_> = reqs
-        .into_iter()
-        .map(|req| {
+    let handles: Vec<_> = (0..clients.max(1))
+        .map(|_| {
             let server = Arc::clone(server);
-            std::thread::spawn(move || {
+            let hist = Arc::clone(&hist);
+            let queue = Arc::clone(&queue);
+            let engines = Arc::clone(&engines);
+            std::thread::spawn(move || loop {
+                let Some(req) = queue.lock().unwrap().pop_front() else {
+                    return;
+                };
                 let start = Instant::now();
                 let resp: Response = server.submit(req).recv().expect("response");
                 assert!(
@@ -80,24 +107,21 @@ fn drive(server: &Arc<Server>, reqs: Vec<Request>) -> Measured {
                     "bench request failed: {}",
                     resp.to_json_line()
                 );
-                (start.elapsed().as_secs_f64() * 1e6, resp.engine.name())
+                hist.record_us(start.elapsed().as_micros() as u64);
+                engines.lock().unwrap().push(resp.engine.name());
             })
         })
         .collect();
-    let mut lat = Vec::with_capacity(n);
-    let mut engines = Vec::with_capacity(n);
     for h in handles {
-        let (us, engine) = h.join().expect("client thread");
-        lat.push(us);
-        engines.push(engine);
+        h.join().expect("client thread");
     }
     let elapsed = wall.elapsed().as_secs_f64();
-    lat.sort_by(f64::total_cmp);
+    let snap = hist.snapshot();
     Measured {
-        p50_us: lat[n / 2],
-        p99_us: lat[((n as f64 * 0.99) as usize).min(n - 1)],
+        p50_us: snap.quantile_us(0.50) as f64,
+        p99_us: snap.quantile_us(0.99) as f64,
         throughput_rps: n as f64 / elapsed,
-        engines,
+        engines: Arc::try_unwrap(engines).unwrap().into_inner().unwrap(),
     }
 }
 
@@ -122,7 +146,10 @@ fn row(key: &str, workers: usize, cache: &str, engine: &str, m: &Measured, extra
 }
 
 fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
+    let mut hot_rps_w1 = None;
+    let mut hot_rps_w4 = None;
     for workers in [1usize, 4, 16] {
         // Cold: a fresh server, 64 requests over 16 distinct programs —
         // compiles dominate, and racing requests on the same fresh
@@ -136,6 +163,7 @@ fn main() {
             (0..REQUESTS)
                 .map(|i| request(i, i % PROGRAMS, EngineKind::Vm))
                 .collect(),
+            CLIENTS,
         );
         assert_eq!(server.cache_stats().compiles as usize, PROGRAMS);
         rows.push(row(
@@ -154,7 +182,13 @@ fn main() {
             (0..REQUESTS)
                 .map(|i| request(REQUESTS + i, i % PROGRAMS, EngineKind::Vm))
                 .collect(),
+            CLIENTS,
         );
+        if workers == 1 {
+            hot_rps_w1 = Some(hot.throughput_rps);
+        } else if workers == 4 {
+            hot_rps_w4 = Some(hot.throughput_rps);
+        }
         rows.push(row(
             &format!("w{workers}_hot_vm"),
             workers,
@@ -172,6 +206,7 @@ fn main() {
             (0..REQUESTS)
                 .map(|i| request(2 * REQUESTS + i, i % PROGRAMS, EngineKind::Jit))
                 .collect(),
+            CLIENTS,
         );
         assert_eq!(server.cache_stats().tier_compiles as usize, PROGRAMS);
         rows.push(row(
@@ -197,6 +232,7 @@ fn main() {
             (0..REQUESTS)
                 .map(|i| request(i, 0, EngineKind::Auto))
                 .collect(),
+            CLIENTS,
         );
         let stats = server.cache_stats();
         assert_eq!(stats.tier_compiles, 1, "exactly one promotion tier compile");
@@ -214,15 +250,119 @@ fn main() {
         ));
         server.shutdown_arc();
     }
+    // Core-gated scaling check on the hot-VM path (pure execution +
+    // scheduling). With ≥4 cores, 4 workers must at least double 1
+    // worker's throughput; on fewer cores CPU-bound work cannot scale,
+    // so the gate only rejects a collapse (sharding overhead making
+    // more workers *slower* than one).
+    if let (Some(w1), Some(w4)) = (hot_rps_w1, hot_rps_w4) {
+        if cores >= 4 {
+            assert!(
+                w4 >= 2.0 * w1,
+                "hot-VM throughput failed to scale on {cores} cores: w1={w1:.0} rps, w4={w4:.0} rps"
+            );
+        } else {
+            assert!(
+                w4 >= 0.5 * w1,
+                "hot-VM throughput collapsed under sharding on {cores} core(s): \
+                 w1={w1:.0} rps, w4={w4:.0} rps"
+            );
+        }
+    }
+    let restart = restart_row();
     let soak = soak_row();
     let json = format!(
-        "{{\n  \"bench\": \"serve_load\",\n  \"requests_per_scenario\": {REQUESTS},\n  \"distinct_programs\": {PROGRAMS},\n  \"scenarios\": {{\n{}\n  }},\n  \"soak\": {soak}\n}}\n",
+        "{{\n  \"bench\": \"serve_load\",\n  \"cores\": {cores},\n  \"requests_per_scenario\": {REQUESTS},\n  \"distinct_programs\": {PROGRAMS},\n  \"clients\": {CLIENTS},\n  \"scenarios\": {{\n{}\n  }},\n  \"restart_warm\": {restart},\n  \"soak\": {soak}\n}}\n",
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");
     eprintln!("wrote {path}");
     print!("{json}");
+}
+
+/// Programs in the restart scenario: each is a distinct stdlib-checked
+/// source, so a cold first request pays the full check + compile.
+const RESTART_PROGRAMS: usize = 8;
+
+/// First-request latency of each of `n` stdlib programs against a fresh
+/// server configured by `config`, in microseconds. Sequential on
+/// purpose: the quantity is per-request cold-start, not throughput.
+fn first_request_us(config: &ServeConfig, offset: usize) -> (Vec<u64>, Arc<Server>) {
+    let server = Arc::new(Server::new(config.clone()));
+    let mut lat = Vec::with_capacity(RESTART_PROGRAMS);
+    for i in 0..RESTART_PROGRAMS {
+        let req = Request::new(
+            format!("restart{}", offset + i),
+            format!("int main() {{ return {}; }}", 100 + i),
+        );
+        let start = Instant::now();
+        let resp = server.submit(req).recv().expect("response");
+        assert!(
+            matches!(resp.outcome, Outcome::Ok(_)),
+            "restart request failed: {}",
+            resp.to_json_line()
+        );
+        lat.push(start.elapsed().as_micros() as u64);
+    }
+    (lat, server)
+}
+
+/// The persistent-bytecode restart scenario: populate a `cache_dir`,
+/// then boot a brand-new server over the same directory and compare its
+/// first-request latency against a server that must compile from
+/// scratch. The warm server's first answer comes off disk — no type
+/// check, no compile — which is where the speedup lives (stdlib
+/// checking dominates compile cost). Minima are compared so scheduler
+/// jitter on a loaded host cannot mask the structural difference.
+fn restart_row() -> String {
+    let dir = std::env::temp_dir().join(format!("genus-bench-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold baseline: no cache dir, every first request compiles.
+    let (cold_us, server) = first_request_us(&ServeConfig::default(), 0);
+    server.shutdown_arc();
+
+    // Populate: same programs through a cache-dir server, writing
+    // artifacts; its own latencies are cold too (compile + store).
+    let disk_config = ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let (_, server) = first_request_us(&disk_config, RESTART_PROGRAMS);
+    let writes = server.cache_stats().disk_writes;
+    assert_eq!(
+        writes as usize, RESTART_PROGRAMS,
+        "populate phase persisted every program"
+    );
+    server.shutdown_arc();
+
+    // Restart: a brand-new server over the populated directory answers
+    // every first request from disk — zero compiles.
+    let (warm_us, server) = first_request_us(&disk_config, 2 * RESTART_PROGRAMS);
+    let stats = server.cache_stats();
+    assert_eq!(stats.compiles, 0, "warm restart must not compile");
+    assert_eq!(
+        stats.disk_hits as usize, RESTART_PROGRAMS,
+        "warm restart serves every program from disk"
+    );
+    server.shutdown_arc();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let min_cold = *cold_us.iter().min().expect("cold samples") as f64;
+    let min_warm = *warm_us.iter().min().expect("warm samples") as f64;
+    let speedup = min_cold / min_warm.max(1.0);
+    assert!(
+        speedup >= 5.0,
+        "restart from populated cache-dir not fast enough: \
+         cold {min_cold:.0}us vs warm {min_warm:.0}us ({speedup:.1}x, need 5x)"
+    );
+    format!(
+        "{{\"programs\": {RESTART_PROGRAMS}, \"cold_first_request_us\": {min_cold:.0}, \
+         \"warm_first_request_us\": {min_warm:.0}, \"speedup\": {speedup:.1}, \
+         \"disk_hits\": {}}}",
+        stats.disk_hits
+    )
 }
 
 /// Requests in the GC soak scenario.

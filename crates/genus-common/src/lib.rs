@@ -19,15 +19,19 @@
 //! assert!(diags.has_errors());
 //! ```
 
+pub mod bytes;
 pub mod codes;
 pub mod diag;
 pub mod hash;
+pub mod histogram;
 pub mod intern;
 pub mod json;
 pub mod source;
 
+pub use bytes::{ByteReader, ByteWriter};
 pub use codes::{lookup as lookup_code, CodeInfo, REGISTRY};
 pub use diag::{Diagnostic, Diagnostics, ErrorFormat, Severity};
 pub use hash::{FastMap, FnvHasher};
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use intern::{Interner, Symbol};
 pub use source::{FileId, SourceFile, SourceMap, Span};

@@ -29,12 +29,16 @@
 //! ```
 
 pub mod cache;
+pub mod metrics;
+pub mod persist;
 pub mod pool;
 pub mod proto;
 pub mod server;
 pub mod session;
 
 pub use cache::{CachedProgram, ProgramCache, ProgramCacheStats};
+pub use metrics::ServerMetrics;
+pub use persist::{DiskCache, FORMAT_VERSION};
 pub use pool::WorkerPool;
 pub use proto::{Action, EngineKind, Outcome, Request, Response, SessionReuse};
 pub use server::{ServeConfig, Server, DEFAULT_FUEL};

@@ -106,6 +106,11 @@ pub enum Action {
     /// Re-check, then execute `main()` on the requested engine.
     #[default]
     Run,
+    /// Report the server's metrics snapshot (counters, cache, pool,
+    /// latency histogram). Needs neither a `session` nor a `source`;
+    /// answered synchronously by the scheduler, never queued behind
+    /// execution work.
+    Metrics,
 }
 
 impl Action {
@@ -116,6 +121,7 @@ impl Action {
             "update" => Some(Action::Update),
             "check" => Some(Action::Check),
             "run" => Some(Action::Run),
+            "metrics" => Some(Action::Metrics),
             _ => None,
         }
     }
@@ -127,6 +133,7 @@ impl Action {
             Action::Update => "update",
             Action::Check => "check",
             Action::Run => "run",
+            Action::Metrics => "metrics",
         }
     }
 }
@@ -214,7 +221,7 @@ impl Request {
             }
             None => Action::default(),
         };
-        if action != Action::Run && session.is_none() {
+        if !matches!(action, Action::Run | Action::Metrics) && session.is_none() {
             return Err(format!(
                 "`action`: \"{}\" requires a `session`",
                 action.name()
@@ -234,8 +241,10 @@ impl Request {
         };
         let source = match v.get("source").and_then(Json::as_str) {
             Some(s) => s.to_string(),
-            // Sessionful check/run requests may re-use the session's
-            // current sources without carrying any text of their own.
+            // Metrics requests carry no program at all; sessionful
+            // check/run requests may re-use the session's current
+            // sources without carrying any text of their own.
+            None if action == Action::Metrics => String::new(),
             None if session.is_some() && action != Action::Update => String::new(),
             None => return Err("missing `source` string".to_string()),
         };
@@ -511,6 +520,18 @@ mod tests {
         assert!(
             Request::parse(r#"{"id": "x", "session": "dev", "action": "compile"}"#, &d).is_err()
         );
+    }
+
+    #[test]
+    fn parse_metrics_request() {
+        let d = Limits::default();
+        // Neither session nor source required.
+        let r = Request::parse(r#"{"id": "m1", "action": "metrics"}"#, &d).unwrap();
+        assert_eq!(r.action, Action::Metrics);
+        assert_eq!(r.source, "");
+        assert!(r.session.is_none());
+        assert_eq!(Action::from_name("metrics"), Some(Action::Metrics));
+        assert_eq!(Action::Metrics.name(), "metrics");
     }
 
     #[test]

@@ -20,14 +20,17 @@
 //!   signal-handling dependency, and serve holds no on-disk state that
 //!   could be corrupted mid-request.)
 
-use crate::cache::{CachedProgram, ProgramCache, ProgramCacheStats};
+use crate::cache::{CachedProgram, ProgramCache, ProgramCacheStats, DEFAULT_CAPACITY};
+use crate::metrics::ServerMetrics;
+use crate::persist::DiskCache;
 use crate::pool::WorkerPool;
-use crate::proto::{EngineKind, Outcome, Request, Response};
+use crate::proto::{Action, EngineKind, Outcome, Request, Response};
 use crate::session::SessionRegistry;
 use genus_interp::{Interp, Limits, ResourceStats, RuntimeError};
 use genus_vm::Vm;
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
@@ -39,7 +42,7 @@ use std::time::Instant;
 pub const DEFAULT_FUEL: u64 = 50_000_000;
 
 /// Server construction knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads in the pool.
     pub workers: usize,
@@ -54,6 +57,15 @@ pub struct ServeConfig {
     /// once the invocation count exceeds this (`--tier-threshold=<n>`
     /// on the CLI).
     pub tier_threshold: u64,
+    /// Artifact directory for persistent bytecode (`--cache-dir=<path>`
+    /// on the CLI). `None` keeps the cache purely in-memory.
+    pub cache_dir: Option<PathBuf>,
+    /// Bound on resident program-cache entries (`--cache-cap=<n>`).
+    pub cache_capacity: usize,
+    /// Compile (or disk-load) a canonical stdlib program in the
+    /// background at boot, warming the process-global parse/intern
+    /// caches before the first real request arrives.
+    pub prewarm_stdlib: bool,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +75,9 @@ impl Default for ServeConfig {
             default_limits: Limits::default(),
             vm_threshold: 2,
             tier_threshold: 8,
+            cache_dir: None,
+            cache_capacity: DEFAULT_CAPACITY,
+            prewarm_stdlib: false,
         }
     }
 }
@@ -73,18 +88,39 @@ pub struct Server {
     cache: Arc<ProgramCache>,
     pool: WorkerPool,
     sessions: SessionRegistry,
+    metrics: Arc<ServerMetrics>,
     config: ServeConfig,
 }
 
+/// The canonical prewarm program: compiling it forces the stdlib through
+/// the whole pipeline, so its parses and interned symbols are hot (and,
+/// with a cache dir, its artifact is on disk) before real traffic lands.
+const PREWARM_SOURCE: &str = "int main() { return 0; }";
+
 impl Server {
-    /// Builds a server with its worker pool running.
+    /// Builds a server with its worker pool running. A configured
+    /// `cache_dir` that cannot be created is ignored (the server still
+    /// works, purely in-memory); `prewarm_stdlib` schedules its warming
+    /// compile on the pool without blocking construction.
     pub fn new(config: ServeConfig) -> Server {
-        Server {
-            cache: Arc::new(ProgramCache::new()),
+        let disk = config
+            .cache_dir
+            .as_ref()
+            .and_then(|dir| DiskCache::open(dir).ok());
+        let server = Server {
+            cache: Arc::new(ProgramCache::with_config(config.cache_capacity, disk)),
             pool: WorkerPool::new(config.workers),
             sessions: SessionRegistry::new(),
+            metrics: Arc::new(ServerMetrics::new()),
             config,
+        };
+        if server.config.prewarm_stdlib {
+            let cache = Arc::clone(&server.cache);
+            server.pool.submit(move || {
+                let _ = cache.get_or_compile(PREWARM_SOURCE, true, 2);
+            });
         }
+        server
     }
 
     /// The incremental compile-session registry backing sessionful
@@ -109,6 +145,22 @@ impl Server {
         self.cache.stats()
     }
 
+    /// The request counters and latency histogram.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// One metrics snapshot as a JSON line — the payload of a
+    /// `{"action":"metrics"}` response and of `--metrics-on-start`.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json(
+            &self.cache.stats(),
+            self.cache.len(),
+            self.pool.worker_count(),
+            self.pool.steals(),
+        )
+    }
+
     /// Submits one request for asynchronous execution. The returned
     /// channel yields exactly one [`Response`].
     ///
@@ -119,16 +171,34 @@ impl Server {
     /// session is that its re-checks are cheap.
     pub fn submit(&self, request: Request) -> mpsc::Receiver<Response> {
         let (tx, rx) = mpsc::channel();
+        // Metrics requests are answered by the scheduler itself —
+        // synchronously, never queued behind execution work, so the
+        // surface stays responsive when the pool is saturated. The
+        // snapshot rides in the response's `value` field as a JSON
+        // string.
+        if request.action == Action::Metrics {
+            let _ = tx.send(Response {
+                id: request.id,
+                outcome: Outcome::Ok(self.metrics_json()),
+                engine: request.engine,
+                ..Response::error("", "")
+            });
+            return rx;
+        }
         if request.session.is_some() {
-            let response = self.sessions.handle(request, Instant::now());
+            let submitted = Instant::now();
+            let response = self.sessions.handle(request, submitted);
+            self.metrics.record(&response, us_since(submitted));
             let _ = tx.send(response);
             return rx;
         }
         let cache = Arc::clone(&self.cache);
-        let config = self.config;
+        let metrics = Arc::clone(&self.metrics);
+        let config = self.config.clone();
         let submitted = Instant::now();
         self.pool.submit(move || {
             let response = handle_request(&cache, &config, request, submitted);
+            metrics.record(&response, us_since(submitted));
             // The session may have hung up (e.g. a dropped TCP client);
             // losing the response then is correct.
             let _ = tx.send(response);
@@ -167,7 +237,7 @@ impl Server {
         reader: R,
         writer: &mut W,
     ) -> std::io::Result<usize> {
-        let mut pending: std::collections::VecDeque<mpsc::Receiver<Response>> =
+        let mut pending: std::collections::VecDeque<(String, mpsc::Receiver<Response>)> =
             std::collections::VecDeque::new();
         let mut handled = 0usize;
         for line in reader.lines() {
@@ -175,22 +245,22 @@ impl Server {
             if line.trim().is_empty() {
                 continue;
             }
-            let rx = match Request::parse(&line, &self.config.default_limits) {
-                Ok(req) => self.submit(req),
+            let (id, rx) = match Request::parse(&line, &self.config.default_limits) {
+                Ok(req) => (req.id.clone(), self.submit(req)),
                 Err(msg) => {
                     // Malformed lines still produce exactly one in-order
                     // response, carrying whatever id we could salvage.
                     let id = salvage_id(&line);
                     let (tx, rx) = mpsc::channel();
-                    let _ = tx.send(Response::error(id, format!("bad request: {msg}")));
-                    rx
+                    let _ = tx.send(Response::error(id.clone(), format!("bad request: {msg}")));
+                    (id, rx)
                 }
             };
-            pending.push_back(rx);
+            pending.push_back((id, rx));
             handled += 1;
             // Emit every response that is already complete at the head of
             // the queue, keeping latency low without breaking order.
-            while let Some(front) = pending.front() {
+            while let Some((_, front)) = pending.front() {
                 match front.try_recv() {
                     Ok(resp) => {
                         writeln!(writer, "{}", resp.to_json_line())?;
@@ -200,11 +270,12 @@ impl Server {
                 }
             }
         }
-        // EOF: drain the rest in order.
-        for rx in pending {
+        // EOF: drain the rest in order. A dropped worker still answers
+        // under the request's own id, so the client can correlate it.
+        for (id, rx) in pending {
             let resp = rx
                 .recv()
-                .unwrap_or_else(|_| Response::error("", "worker dropped the request"));
+                .unwrap_or_else(|_| Response::error(id, "worker dropped the request"));
             writeln!(writer, "{}", resp.to_json_line())?;
         }
         writer.flush()?;
@@ -279,7 +350,10 @@ fn handle_request(
         EngineKind::Auto => {
             if invocations > config.tier_threshold {
                 EngineKind::Jit
-            } else if invocations > config.vm_threshold {
+            } else if invocations > config.vm_threshold || cached.is_disk_loaded() {
+                // A disk-loaded entry already has its bytecode in hand
+                // but no HIR bodies; starting it on the AST rung would
+                // force the full compile persistence exists to skip.
                 EngineKind::Vm
             } else {
                 EngineKind::Ast
@@ -314,7 +388,19 @@ fn handle_request(
         }
         limits.deadline_ms = Some(deadline - waited);
     }
-    let run = execute(&cached, engine, limits);
+    let run = match execute(&cached, engine, limits) {
+        Ok(run) => run,
+        // Only the AST engine's lazy full compile of a disk-loaded
+        // entry can fail here.
+        Err(message) => {
+            return Response {
+                ms: ms_since(submitted),
+                cache_hit,
+                engine,
+                ..Response::error(req.id, message)
+            };
+        }
+    };
     Response {
         id: req.id,
         outcome: match run.outcome {
@@ -348,10 +434,20 @@ struct RunOutcome {
 /// the entry's compiled bytecode. Each run gets a **fresh heap** that
 /// dies with the engine, so serve's resident memory stays flat across
 /// requests regardless of how much a program allocates.
-fn execute(cached: &CachedProgram, engine: EngineKind, limits: Limits) -> RunOutcome {
-    match engine {
+///
+/// # Errors
+///
+/// The AST engine walks HIR bodies, which disk-loaded entries do not
+/// carry — [`CachedProgram::ast_prog`] full-compiles lazily, and its
+/// (cached) failure surfaces here as rendered diagnostics.
+fn execute(
+    cached: &CachedProgram,
+    engine: EngineKind,
+    limits: Limits,
+) -> Result<RunOutcome, String> {
+    Ok(match engine {
         EngineKind::Ast => {
-            let mut interp = Interp::new(&cached.prog);
+            let mut interp = Interp::new(cached.ast_prog()?);
             interp.set_limits(limits);
             let outcome = interp.run_main().map(|v| interp.render(&v));
             RunOutcome {
@@ -385,11 +481,16 @@ fn execute(cached: &CachedProgram, engine: EngineKind, limits: Limits) -> RunOut
         }
         // `Auto` is resolved in `handle_request` before execution; run
         // it like the default engine if a caller bypasses that path.
-        EngineKind::Auto => execute(cached, EngineKind::Vm, limits),
-    }
+        EngineKind::Auto => execute(cached, EngineKind::Vm, limits)?,
+    })
 }
 
 #[allow(clippy::cast_possible_truncation)]
 fn ms_since(start: Instant) -> u64 {
     start.elapsed().as_millis() as u64
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn us_since(start: Instant) -> u64 {
+    start.elapsed().as_micros() as u64
 }

@@ -130,6 +130,9 @@ impl SessionEntry {
                 }
                 self.run(req, submitted, reuse)
             }
+            // The scheduler answers metrics requests before session
+            // routing; this arm only fires on direct registry use.
+            Action::Metrics => Response::error(req.id, "`metrics` does not apply to a session"),
         }
     }
 

@@ -376,6 +376,259 @@ fn tcp_session_round_trip() {
     assert!(lines[1].contains(r#""id":"b""#) && lines[1].contains(r#""code":"R0009""#));
 }
 
+/// `{"action":"metrics"}` is part of the wire protocol: it needs no
+/// source, is answered synchronously, and its value is the full metrics
+/// JSON — request counters, engine mix, cache counters, pool health, and
+/// the latency histogram.
+#[test]
+fn metrics_action_reports_counters_and_histogram() {
+    let server = server(2);
+    let ok = server.run_batch(vec![fueled("m-ok", "int main() { return 4; }", 100_000)]);
+    assert!(matches!(ok[0].outcome, Outcome::Ok(_)));
+    let trap = server.run_batch(vec![fueled("m-trap", LOOP_FOREVER, 10_000)]);
+    assert!(matches!(trap[0].outcome, Outcome::Trap { .. }));
+    let input = r#"{"id": "m1", "action": "metrics"}"#.to_string();
+    let mut out = Vec::new();
+    server
+        .run_session(Cursor::new(input), &mut out)
+        .expect("session I/O");
+    let line = String::from_utf8(out).unwrap();
+    let resp = genus_common::json::parse(line.trim()).expect("response JSON");
+    assert_eq!(resp.get("id").and_then(|v| v.as_str()), Some("m1"));
+    assert_eq!(resp.get("outcome").and_then(|v| v.as_str()), Some("ok"));
+    let payload = resp.get("value").and_then(|v| v.as_str()).expect("value");
+    let m = genus_common::json::parse(payload).expect("metrics JSON");
+    let num = |path: &[&str]| -> f64 {
+        let mut cur = &m;
+        for p in path {
+            cur = cur.get(p).unwrap_or_else(|| panic!("missing {p}"));
+        }
+        cur.as_num().unwrap()
+    };
+    assert_eq!(num(&["requests"]), 2.0, "metrics itself is not counted");
+    assert_eq!(num(&["ok"]), 1.0);
+    assert_eq!(num(&["trap"]), 1.0);
+    assert_eq!(num(&["engines", "vm"]), 2.0);
+    assert_eq!(num(&["cache", "compiles"]), 2.0);
+    assert_eq!(num(&["cache", "entries"]), 2.0);
+    assert_eq!(num(&["pool", "workers"]), 2.0);
+    assert_eq!(num(&["latency", "count"]), 2.0);
+    assert!(num(&["latency", "p99_us"]) > 0.0);
+    assert!(num(&["fuel_total"]) > 10_000.0);
+    server.shutdown();
+}
+
+/// The restart-warm path end to end: a server with a `--cache-dir`
+/// persists its compiles; a **new** server over the same directory
+/// answers from disk — zero in-process compiles, `disk_hits > 0`, and
+/// byte-identical response payloads (ids and timings aside).
+#[test]
+fn restart_with_cache_dir_serves_from_disk_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("genus-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let src = r#"int main() {
+        int s = 0;
+        for (int i = 0; i < 50; i = i + 1) { s = s + i * i; }
+        println("warm " + s);
+        return s;
+    }"#;
+    let cold_line;
+    {
+        let server = Server::new(config());
+        let resp = server
+            .run_batch(vec![fueled("cold", src, 1_000_000)])
+            .remove(0);
+        assert!(
+            matches!(resp.outcome, Outcome::Ok(_)),
+            "{}",
+            resp.to_json_line()
+        );
+        cold_line = resp.to_json_line();
+        let s = server.cache_stats();
+        assert_eq!((s.compiles, s.disk_hits), (1, 0));
+        assert_eq!(s.disk_writes, 1, "the compile was persisted");
+        server.shutdown();
+    }
+    // "Restart": a fresh process image over the same artifact directory.
+    let server = Server::new(config());
+    let resp = server
+        .run_batch(vec![fueled("cold", src, 1_000_000)])
+        .remove(0);
+    let warm_line = resp.to_json_line();
+    let s = server.cache_stats();
+    assert_eq!(s.compiles, 0, "no in-process compile after restart");
+    assert_eq!(s.disk_hits, 1);
+    // Everything observable matches except wall-clock ms: same value,
+    // output, fuel, heap accounting, engine.
+    let strip_ms = |line: &str| {
+        let v = genus_common::json::parse(line).unwrap();
+        [
+            "outcome",
+            "value",
+            "output",
+            "fuel_used",
+            "mem_used",
+            "live_bytes",
+            "peak_bytes",
+            "collections",
+            "engine",
+        ]
+        .iter()
+        .map(|k| format!("{k}={:?}", v.get(k)))
+        .collect::<Vec<_>>()
+        .join(",")
+    };
+    assert_eq!(strip_ms(&cold_line), strip_ms(&warm_line));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Poisoned artifacts are misses, never panics or wrong results: a
+/// truncated file and a bit-flipped file both force a clean recompile
+/// that overwrites the bad artifact.
+#[test]
+fn poisoned_cache_dir_recompiles_cleanly() {
+    let dir = std::env::temp_dir().join(format!("genus-serve-poison-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let src = "int main() { return 123; }";
+    {
+        let server = Server::new(config());
+        server.run_batch(vec![fueled("seed", src, 100_000)]);
+        server.shutdown();
+    }
+    let artifact = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "gbc"))
+        .expect("one artifact on disk");
+    for poison in ["truncate", "flip"] {
+        let good = std::fs::read(&artifact).unwrap();
+        let bad = match poison {
+            "truncate" => good[..good.len() / 2].to_vec(),
+            _ => {
+                let mut b = good.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0xFF;
+                b
+            }
+        };
+        std::fs::write(&artifact, &bad).unwrap();
+        let server = Server::new(config());
+        let resp = server
+            .run_batch(vec![fueled(poison, src, 100_000)])
+            .remove(0);
+        assert_eq!(
+            resp.outcome,
+            Outcome::Ok("123".to_string()),
+            "{poison}: {}",
+            resp.to_json_line()
+        );
+        let s = server.cache_stats();
+        assert_eq!(
+            (s.disk_hits, s.compiles),
+            (0, 1),
+            "{poison} forces recompile"
+        );
+        assert_eq!(s.disk_writes, 1, "{poison}d artifact is overwritten");
+        server.shutdown();
+    }
+    // The overwritten artifact is good again.
+    let server = Server::new(config());
+    server.run_batch(vec![fueled("healed", src, 100_000)]);
+    assert_eq!(server.cache_stats().disk_hits, 1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Disk-loaded entries run on every engine with results identical to
+/// in-process compiles — including the AST engine, which transparently
+/// full-compiles (disk artifacts carry no HIR bodies) — and `auto`
+/// starts them on the VM rung instead of paying that compile.
+#[test]
+fn disk_loaded_programs_match_in_process_compiles_on_every_engine() {
+    let dir = std::env::temp_dir().join(format!("genus-serve-parity-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let src = r#"int main() {
+        int acc = 1;
+        for (int i = 1; i < 10; i = i + 1) { acc = acc * i; }
+        println("f " + acc);
+        return acc;
+    }"#;
+    let fresh = server(1);
+    {
+        let seed = Server::new(ServeConfig {
+            workers: 1,
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        seed.run_batch(vec![fueled("seed", src, 1_000_000)]);
+        seed.shutdown();
+    }
+    let warm = Server::new(ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    for engine in [EngineKind::Vm, EngineKind::Jit, EngineKind::Ast] {
+        let mut a = fueled(&format!("f-{}", engine.name()), src, 1_000_000);
+        let mut b = a.clone();
+        b.id = format!("w-{}", engine.name());
+        a.engine = engine;
+        b.engine = engine;
+        let ra = fresh.run_batch(vec![a]).remove(0);
+        let rb = warm.run_batch(vec![b]).remove(0);
+        assert_eq!(ra.outcome, rb.outcome, "{engine:?}");
+        assert_eq!(ra.output, rb.output, "{engine:?}");
+        assert_eq!(ra.fuel_used, rb.fuel_used, "{engine:?}");
+        assert_eq!(ra.mem_used, rb.mem_used, "{engine:?}");
+    }
+    assert_eq!(warm.cache_stats().disk_hits, 1);
+    // Auto on a disk-loaded entry skips the AST rung: first invocation
+    // already reports vm.
+    let mut auto_req = fueled("auto-disk", src, 1_000_000);
+    auto_req.engine = EngineKind::Auto;
+    // (invocations so far: 3 from the parity loop — above default
+    // vm_threshold anyway; use a second source to test the cold case.)
+    let src2 = "int main() { return 77; }";
+    {
+        let seed = Server::new(ServeConfig {
+            workers: 1,
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        seed.run_batch(vec![fueled("seed2", src2, 100_000)]);
+        seed.shutdown();
+    }
+    let warm2 = Server::new(ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut cold_auto = fueled("auto-cold", src2, 100_000);
+    cold_auto.engine = EngineKind::Auto;
+    let resp = warm2.run_batch(vec![cold_auto]).remove(0);
+    assert_eq!(
+        resp.engine,
+        EngineKind::Vm,
+        "auto's first run on a disk entry starts at the VM rung"
+    );
+    assert_eq!(resp.outcome, Outcome::Ok("77".to_string()));
+    fresh.shutdown();
+    warm.shutdown();
+    warm2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Engine parity on the response surface: the same fueled program traps
 /// with the same code and fuel accounting story on AST and VM, and at
 /// O0 vs O2.

@@ -28,6 +28,7 @@
 
 pub mod cache;
 pub mod display;
+pub mod serial;
 pub mod subst;
 pub mod subtype;
 pub mod table;

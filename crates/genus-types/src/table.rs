@@ -274,6 +274,11 @@ impl Table {
         self.tv_names.len()
     }
 
+    /// Number of allocated model variables.
+    pub fn mv_count(&self) -> usize {
+        self.mv_names.len()
+    }
+
     /// Looks up a class by id.
     pub fn class(&self, id: ClassId) -> &ClassDef {
         &self.classes[id.0 as usize]

@@ -35,11 +35,13 @@
 pub mod bytecode;
 pub mod compile;
 pub mod opt;
+pub mod serialize;
 pub mod tier;
 pub mod vm;
 
 pub use bytecode::{FuncId, Op, VmFunc, VmProgram};
 pub use compile::compile_program;
 pub use opt::{compile_optimized, optimize, OptStats};
+pub use serialize::{read_program, write_program};
 pub use tier::{compile_tier, TierProgram, TierStats};
 pub use vm::Vm;

@@ -95,7 +95,7 @@ pub fn optimize(code: &mut VmProgram, prog: &CheckedProgram, level: u8) {
 /// terms evaluate identically under any environment, and non-existential
 /// targets take the plain reified path in `instanceof`/`cast`, so the VM
 /// can substitute the cached reification wherever one exists.
-fn reify_types(code: &mut VmProgram, prog: &CheckedProgram) {
+pub(crate) fn reify_types(code: &mut VmProgram, prog: &CheckedProgram) {
     let (tenv, menv) = (TEnv::new(), MEnv::new());
     let mut out = Vec::with_capacity(code.types.len());
     for t in &code.types {

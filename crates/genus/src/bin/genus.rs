@@ -81,6 +81,17 @@ fn usage() -> ! {
          \x20                    serve/batch: `engine: \"auto\"` requests\n\
          \x20                    promote a cached program to Tier 2 after\n\
          \x20                    n invocations (default 8)\n\
+         \x20 --cache-dir=<path> serve/batch: persist compiled bytecode as\n\
+         \x20                    versioned artifacts in <path>; a restarted\n\
+         \x20                    server answers known programs from disk\n\
+         \x20                    without recompiling (also prewarms the\n\
+         \x20                    stdlib at boot)\n\
+         \x20 --cache-cap=<n>    serve/batch: bound the in-memory program\n\
+         \x20                    cache to n entries, evicting least-recently\n\
+         \x20                    used (default 1024)\n\
+         \x20 --metrics-on-start serve: print one metrics JSON line to\n\
+         \x20                    stderr at boot (the same object a\n\
+         \x20                    {{\"action\":\"metrics\"}} request returns)\n\
          \n\
          exit codes: 0 success, 1 compile errors, 2 usage/IO, 3 runtime trap"
     );
@@ -188,6 +199,9 @@ fn main() -> ExitCode {
     let mut workers: usize = 4;
     let mut tier_threshold: u64 = ServeConfig::default().tier_threshold;
     let mut listen: Option<String> = None;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_capacity: usize = ServeConfig::default().cache_capacity;
+    let mut metrics_on_start = false;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         if a == "--no-stdlib" {
@@ -232,6 +246,12 @@ fn main() -> ExitCode {
             tier_threshold = parse_u64("tier-threshold", v);
         } else if let Some(addr) = a.strip_prefix("--listen=") {
             listen = Some(addr.to_string());
+        } else if let Some(dir) = a.strip_prefix("--cache-dir=") {
+            cache_dir = Some(std::path::PathBuf::from(dir));
+        } else if let Some(v) = a.strip_prefix("--cache-cap=") {
+            cache_capacity = (parse_u64("cache-cap", v) as usize).max(1);
+        } else if a == "--metrics-on-start" {
+            metrics_on_start = true;
         } else if a == "--help" || a == "-h" {
             usage();
         } else if a.starts_with('-') {
@@ -252,10 +272,16 @@ fn main() -> ExitCode {
             workers,
             default_limits: limits,
             tier_threshold,
+            // Warming the stdlib at boot only pays off when its artifact
+            // can persist; without a cache dir the first request warms it
+            // just as well.
+            prewarm_stdlib: cache_dir.is_some(),
+            cache_dir,
+            cache_capacity,
             ..ServeConfig::default()
         };
         return match cmd.as_str() {
-            "serve" => cmd_serve(&config, listen.as_deref(), &files),
+            "serve" => cmd_serve(&config, listen.as_deref(), metrics_on_start, &files),
             _ => cmd_batch(&config, engine, opt_level, stdlib, &files),
         };
     }
@@ -422,12 +448,20 @@ fn cmd_watch(files: &[String], stdlib: bool, format: ErrorFormat) -> ExitCode {
 /// `genus serve`: drive JSON-lines sessions over stdin/stdout, or over
 /// TCP with `--listen`. Requests choose their own engine/opt level; the
 /// CLI flags set the default resource budgets.
-fn cmd_serve(config: &ServeConfig, listen: Option<&str>, files: &[String]) -> ExitCode {
+fn cmd_serve(
+    config: &ServeConfig,
+    listen: Option<&str>,
+    metrics_on_start: bool,
+    files: &[String],
+) -> ExitCode {
     if !files.is_empty() {
         eprintln!("error: `genus serve` takes no file arguments (requests arrive as JSON lines)");
         return ExitCode::from(EXIT_USAGE);
     }
-    let server = Server::new(*config);
+    let server = Server::new(config.clone());
+    if metrics_on_start {
+        eprintln!("{}", server.metrics_json());
+    }
     match listen {
         Some(addr) => {
             let listener = match std::net::TcpListener::bind(addr) {
@@ -460,8 +494,8 @@ fn cmd_serve(config: &ServeConfig, listen: Option<&str>, files: &[String]) -> Ex
             match result {
                 Ok(handled) => {
                     eprintln!(
-                        "genus-serve: {handled} request(s), {} compile(s), {} cache hit(s), {} tier compile(s)",
-                        stats.compiles, stats.hits, stats.tier_compiles
+                        "genus-serve: {handled} request(s), {} compile(s), {} cache hit(s), {} disk hit(s), {} tier compile(s)",
+                        stats.compiles, stats.hits, stats.disk_hits, stats.tier_compiles
                     );
                     ExitCode::SUCCESS
                 }
@@ -526,7 +560,7 @@ fn cmd_batch(
         req.limits = config.default_limits;
         requests.push(req);
     }
-    let server = Server::new(*config);
+    let server = Server::new(config.clone());
     let responses = server.run_batch(requests);
     let stats = server.cache_stats();
     server.shutdown();

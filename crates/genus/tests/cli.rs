@@ -231,6 +231,78 @@ fn serve_session_over_stdin() {
     );
 }
 
+/// `genus serve --cache-dir` end to end: the first process compiles and
+/// persists bytecode; a restarted process answers the same request from
+/// disk; corrupting every artifact on disk degrades to a clean recompile
+/// (same answer, no crash) that heals the files. `--metrics-on-start`
+/// prints a parseable metrics JSON line at boot.
+#[test]
+fn serve_cache_dir_persists_restarts_warm_and_survives_corruption() {
+    use std::io::Write;
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("serve_cache_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_flag = format!("--cache-dir={}", dir.display());
+    let request = concat!(
+        r#"{"id": "p", "source": "int main() { int s = 0; for (int i = 0; i < 20; i = i + 1) { s = s + i; } return s; }"}"#,
+        "\n",
+    );
+    let serve_once = || {
+        let mut child = bin()
+            .args(["serve", "--workers=2", &cache_flag, "--metrics-on-start"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn genus serve");
+        child
+            .stdin
+            .take()
+            .expect("stdin")
+            .write_all(request.as_bytes())
+            .expect("write request");
+        child.wait_with_output().expect("serve exits at EOF")
+    };
+    let assert_answer = |out: &Output| {
+        assert_eq!(out.status.code(), Some(0), "{}", stderr_of(out));
+        let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+        let resp = json::parse(stdout.lines().next().expect("one response")).unwrap();
+        assert_eq!(resp.get("value").and_then(json::Json::as_str), Some("190"));
+        // The boot metrics line is valid JSON with the full schema.
+        let err = stderr_of(out);
+        let boot = err.lines().next().expect("metrics line");
+        let m = json::parse(boot).expect("boot metrics parse");
+        assert!(
+            m.get("cache").is_some() && m.get("latency").is_some(),
+            "{boot}"
+        );
+        err
+    };
+    // Cold: compiles, writes artifacts.
+    let err = assert_answer(&serve_once());
+    assert!(err.contains(" 0 disk hit(s)"), "{err}");
+    let artifacts: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "gbc"))
+        .collect();
+    assert!(!artifacts.is_empty(), "compiles were persisted");
+    // Warm restart: the request (and the stdlib prewarm) are served
+    // from disk.
+    let err = assert_answer(&serve_once());
+    assert!(!err.contains(" 0 disk hit(s)"), "{err}");
+    // Corrupt every artifact: still the right answer, zero disk hits.
+    for p in &artifacts {
+        let bytes = std::fs::read(p).unwrap();
+        std::fs::write(p, &bytes[..bytes.len() / 3]).unwrap();
+    }
+    let err = assert_answer(&serve_once());
+    assert!(err.contains(" 0 disk hit(s)"), "{err}");
+    // ... and the recompile healed the files for the next restart.
+    let err = assert_answer(&serve_once());
+    assert!(!err.contains(" 0 disk hit(s)"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `genus batch <dir>`: one stats line per file, sorted, with the trap
 /// tier in the exit code when a file exhausts its budget.
 #[test]
