@@ -61,6 +61,22 @@ for sample in samples/*.genus; do
   cmp "$out.ast" "$out.vm"
   cmp "$out.vm" "$out.jit"
 done
+# Fuzz smoke gate: a seeded run of the coverage-guided differential
+# fuzzer (grammar-generated well-typed programs, mutation over a corpus,
+# all oracles: four-way engine parity, GC-stress byte parity, bytecode
+# round-trip, incremental-session parity). The deterministic case budget
+# drives the work; --seconds is a wall-clock safety cap. Any divergence
+# writes a minimized repro under target/fuzz_smoke/crashes and exits 3.
+rm -rf target/fuzz_smoke
+target/release/genus fuzz --seconds=20 --seed=1 \
+  --corpus=target/fuzz_smoke/corpus --crash-dir=target/fuzz_smoke/crashes \
+  | tee target/fuzz_smoke.out
+grep -q ' 0 divergence(s)' target/fuzz_smoke.out
+test -z "$(ls -A target/fuzz_smoke/crashes 2>/dev/null)"
+# Checked-in crash repros are regression pins: each must replay clean
+# through the full oracle suite (pass, or compile-reject with proper
+# diagnostics) — a divergence or panic here means a fixed bug returned.
+target/release/genus fuzz --replay fuzz/crashes/*.genus
 # The execution service: unit + integration suite (program-cache
 # coherence, worker pool, resource traps, session ordering, TCP), then an
 # end-to-end gate piping a 3-request JSON-lines batch — one OK, one

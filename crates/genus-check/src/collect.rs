@@ -915,6 +915,11 @@ fn collect_model_header(m: &ast::ModelDecl, table: &mut Table, diags: &mut Diagn
         scope.tvs.insert(tp.name, tv);
         tparams.push(tv);
     }
+    // Placeholder `for` target when the named constraint doesn't resolve
+    // (already diagnosed): the args must match ConstraintId(0)'s declared
+    // arity, because downstream substitution assumes every ConstraintInst
+    // is arity-consistent with its definition.
+    let fallback_arity = table.constraints.first().map_or(0, |c| c.params.len());
     let mut r = Resolver { table, diags };
     let mut wheres = Vec::new();
     for w in &m.generics.wheres {
@@ -926,7 +931,7 @@ fn collect_model_header(m: &ast::ModelDecl, table: &mut Table, diags: &mut Diagn
         .resolve_constraint_ref(&scope, &m.for_constraint)
         .unwrap_or(ConstraintInst {
             id: ConstraintId(0),
-            args: vec![],
+            args: vec![Type::Null; fallback_arity],
         });
     table.models[mid.0 as usize].tparams = tparams;
     table.models[mid.0 as usize].wheres = wheres;

@@ -507,6 +507,12 @@ pub fn resolve_expander(
     for (winst, model) in ctx.enabled {
         for inst in prereq_closure(ctx.table, winst).iter() {
             let def = ctx.table.constraint(inst.id);
+            // Arity-inconsistent instantiations only arise from headers
+            // that failed to resolve (already diagnosed); skip them
+            // rather than substituting with mismatched parameter lists.
+            if def.params.len() != inst.args.len() {
+                continue;
+            }
             let subst = Subst::from_pairs(&def.params, &inst.args);
             for op in &def.ops {
                 if op.name == name && op.params.len() == arity && !op.is_static {

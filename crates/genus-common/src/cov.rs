@@ -1,0 +1,250 @@
+//! Edge-coverage bitmaps for the coverage-guided fuzzer.
+//!
+//! The design is AFL-lite: every executed bytecode location is hashed to
+//! a 32-bit `loc`, and the *edge* from the previously executed location
+//! is the index `(loc ^ prev) & MASK` into a fixed 64 KiB byte map. A
+//! byte saturates at 255, so the map records which edges ran (and a
+//! coarse hit count), not a full trace. The XOR-with-previous encoding
+//! distinguishes `A→B` from `B→A` and from `A` alone, which is what
+//! makes branch polarity and loop re-entry visible as distinct edges.
+//!
+//! [`EdgeMap`] is the per-run scratch map the VM writes into (interior
+//! mutability via `Cell`, single-threaded by design — the VM itself is
+//! `!Sync`). [`EdgeSet`] is the fuzzer's cumulative view: absorbing a
+//! scratch map returns how many edges were new, the novelty signal that
+//! decides whether an input enters the corpus.
+//!
+//! # Examples
+//!
+//! ```
+//! use genus_common::cov::{EdgeMap, EdgeSet};
+//!
+//! let map = EdgeMap::new();
+//! map.record(7);
+//! map.record(9);
+//! assert_eq!(map.edges(), 2);
+//!
+//! let mut total = EdgeSet::new();
+//! assert_eq!(total.absorb(&map), 2);
+//! assert_eq!(total.absorb(&map), 0); // nothing new the second time
+//! ```
+
+use std::cell::Cell;
+
+/// log2 of the map size: 64 Ki edges, the classic AFL default — small
+/// enough to scan per case, large enough that programs of this size
+/// rarely collide.
+const MAP_BITS: u32 = 16;
+/// Number of byte buckets in a map.
+pub const MAP_SIZE: usize = 1 << MAP_BITS;
+const MASK: u32 = (MAP_SIZE as u32) - 1;
+
+/// A per-run edge-hit byte map. See the module docs.
+pub struct EdgeMap {
+    bytes: Box<[Cell<u8>; MAP_SIZE]>,
+    /// The previous location, pre-shifted (AFL's `prev_location >> 1`)
+    /// so a self-loop `A→A` still maps to a non-zero index.
+    prev: Cell<u32>,
+}
+
+impl Default for EdgeMap {
+    fn default() -> Self {
+        EdgeMap::new()
+    }
+}
+
+impl EdgeMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> EdgeMap {
+        EdgeMap {
+            bytes: vec![0u8; MAP_SIZE]
+                .into_iter()
+                .map(Cell::new)
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("length is MAP_SIZE")),
+            prev: Cell::new(0),
+        }
+    }
+
+    /// Zeroes every bucket and the previous-location register, readying
+    /// the map for the next run.
+    pub fn reset(&self) {
+        for b in self.bytes.iter() {
+            b.set(0);
+        }
+        self.prev.set(0);
+    }
+
+    /// Records that execution reached `loc` (a pre-hashed location id),
+    /// bumping the bucket of the edge from the previous location.
+    #[inline]
+    pub fn record(&self, loc: u32) {
+        let idx = ((loc ^ self.prev.get()) & MASK) as usize;
+        let b = &self.bytes[idx];
+        b.set(b.get().saturating_add(1));
+        self.prev.set(loc >> 1);
+    }
+
+    /// Hashes a `(function, pc)` bytecode location into a well-spread
+    /// location id and records it. This is the VM hook's entry point.
+    #[inline]
+    pub fn record_site(&self, func: u32, pc: u32) {
+        // Two odd multiplicative constants (Murmur/xxHash finalizers)
+        // spread consecutive pcs across the map.
+        let loc = func
+            .wrapping_mul(0x9E37_79B1)
+            .wrapping_add(pc.wrapping_mul(0x85EB_CA77));
+        self.record(loc);
+    }
+
+    /// Number of distinct edges hit since the last reset.
+    #[must_use]
+    pub fn edges(&self) -> usize {
+        self.bytes.iter().filter(|b| b.get() != 0).count()
+    }
+
+    /// Whether any edge was recorded at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges() == 0
+    }
+
+    /// The hit count of bucket `idx` (tests, triage tooling).
+    #[must_use]
+    pub fn bucket(&self, idx: usize) -> u8 {
+        self.bytes[idx].get()
+    }
+}
+
+impl std::fmt::Debug for EdgeMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeMap")
+            .field("edges", &self.edges())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The fuzzer's cumulative edge set: which buckets any input has ever
+/// hit. Plain `bool`s — this side is only touched between runs.
+#[derive(Clone)]
+pub struct EdgeSet {
+    seen: Box<[bool]>,
+    count: usize,
+}
+
+impl Default for EdgeSet {
+    fn default() -> Self {
+        EdgeSet::new()
+    }
+}
+
+impl EdgeSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> EdgeSet {
+        EdgeSet {
+            seen: vec![false; MAP_SIZE].into_boxed_slice(),
+            count: 0,
+        }
+    }
+
+    /// Merges a run's scratch map in, returning how many of its edges
+    /// were new to this set.
+    pub fn absorb(&mut self, map: &EdgeMap) -> usize {
+        let mut fresh = 0;
+        for (idx, seen) in self.seen.iter_mut().enumerate() {
+            if !*seen && map.bucket(idx) != 0 {
+                *seen = true;
+                fresh += 1;
+            }
+        }
+        self.count += fresh;
+        fresh
+    }
+
+    /// Total distinct edges ever absorbed.
+    #[must_use]
+    pub fn edges(&self) -> usize {
+        self.count
+    }
+}
+
+impl std::fmt::Debug for EdgeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeSet")
+            .field("edges", &self.count)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_distinguish_order_and_repetition() {
+        let ab = EdgeMap::new();
+        ab.record(100);
+        ab.record(200);
+        let ba = EdgeMap::new();
+        ba.record(200);
+        ba.record(100);
+        // Same locations, different transition sets.
+        let mut set = EdgeSet::new();
+        set.absorb(&ab);
+        assert!(set.absorb(&ba) > 0, "A→B and B→A must be distinct edges");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = EdgeMap::new();
+        m.record_site(3, 17);
+        m.record_site(3, 18);
+        assert!(m.edges() > 0);
+        m.reset();
+        assert_eq!(m.edges(), 0);
+        assert!(m.is_empty());
+        // And the prev register was cleared: a repeat run records the
+        // exact same buckets.
+        m.record_site(3, 17);
+        m.record_site(3, 18);
+        let first: Vec<usize> = (0..MAP_SIZE).filter(|i| m.bucket(*i) != 0).collect();
+        m.reset();
+        m.record_site(3, 17);
+        m.record_site(3, 18);
+        let second: Vec<usize> = (0..MAP_SIZE).filter(|i| m.bucket(*i) != 0).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn buckets_saturate() {
+        let m = EdgeMap::new();
+        for _ in 0..300 {
+            m.reset();
+            // Different runs, same single edge; bump it many times.
+        }
+        m.reset();
+        for _ in 0..300 {
+            m.record(42);
+            m.prev.set(0); // re-aim at the same edge
+        }
+        assert_eq!(m.edges(), 1);
+    }
+
+    #[test]
+    fn absorb_is_monotone_and_exact() {
+        let m = EdgeMap::new();
+        m.record_site(1, 1);
+        m.record_site(1, 2);
+        m.record_site(1, 3);
+        let n = m.edges();
+        let mut set = EdgeSet::new();
+        assert_eq!(set.absorb(&m), n);
+        assert_eq!(set.edges(), n);
+        assert_eq!(set.absorb(&m), 0);
+        assert_eq!(set.edges(), n);
+    }
+}

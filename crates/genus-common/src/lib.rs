@@ -21,17 +21,21 @@
 
 pub mod bytes;
 pub mod codes;
+pub mod cov;
 pub mod diag;
 pub mod hash;
 pub mod histogram;
 pub mod intern;
 pub mod json;
+pub mod rng;
 pub mod source;
 
 pub use bytes::{ByteReader, ByteWriter};
 pub use codes::{lookup as lookup_code, CodeInfo, REGISTRY};
+pub use cov::{EdgeMap, EdgeSet};
 pub use diag::{Diagnostic, Diagnostics, ErrorFormat, Severity};
 pub use hash::{FastMap, FnvHasher};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use intern::{Interner, Symbol};
+pub use rng::SplitMix64;
 pub use source::{FileId, SourceFile, SourceMap, Span};

@@ -1,0 +1,126 @@
+//! The persistent fuzz corpus: inputs that reached new coverage.
+//!
+//! Entries live in memory as plain source strings; when a directory is
+//! attached, every insert is also written there as
+//! `c<content-hash>.genus`, and reopening the directory reloads entries
+//! in file-name order (deterministic across runs and machines, since
+//! the names are content hashes). Duplicate inserts are detected by
+//! content hash and ignored.
+
+use genus_common::FnvHasher;
+use std::collections::HashSet;
+use std::hash::Hasher;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::SplitMix64;
+
+/// Stable content id of a corpus entry (FNV-1a over the source bytes).
+pub fn content_id(src: &str) -> u64 {
+    let mut h = FnvHasher::default();
+    h.write(src.as_bytes());
+    h.finish()
+}
+
+/// See the module docs.
+pub struct Corpus {
+    dir: Option<PathBuf>,
+    entries: Vec<String>,
+    ids: HashSet<u64>,
+}
+
+impl Corpus {
+    /// An empty corpus with no backing directory.
+    #[must_use]
+    pub fn in_memory() -> Corpus {
+        Corpus {
+            dir: None,
+            entries: Vec::new(),
+            ids: HashSet::new(),
+        }
+    }
+
+    /// Opens (creating if needed) a directory-backed corpus, loading
+    /// every `*.genus` file in file-name order.
+    pub fn open(dir: &Path) -> io::Result<Corpus> {
+        std::fs::create_dir_all(dir)?;
+        let mut names: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "genus"))
+            .collect();
+        names.sort();
+        let mut c = Corpus {
+            dir: Some(dir.to_path_buf()),
+            entries: Vec::new(),
+            ids: HashSet::new(),
+        };
+        for p in names {
+            let src = std::fs::read_to_string(&p)?;
+            let id = content_id(&src);
+            if c.ids.insert(id) {
+                c.entries.push(src);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Adds an entry (and persists it when directory-backed). Returns
+    /// `false` if an identical entry was already present.
+    pub fn insert(&mut self, src: &str) -> io::Result<bool> {
+        let id = content_id(src);
+        if !self.ids.insert(id) {
+            return Ok(false);
+        }
+        if let Some(dir) = &self.dir {
+            std::fs::write(dir.join(format!("c{id:016x}.genus")), src)?;
+        }
+        self.entries.push(src.to_string());
+        Ok(true)
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[must_use]
+    pub fn get(&self, i: usize) -> &str {
+        &self.entries[i]
+    }
+
+    /// A uniformly chosen entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the corpus is empty.
+    pub fn pick(&self, rng: &mut SplitMix64) -> &str {
+        assert!(!self.is_empty(), "pick from an empty corpus");
+        &self.entries[rng.range(0, self.entries.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedupes_and_persists() {
+        let dir = std::env::temp_dir().join(format!("genus-fuzz-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = Corpus::open(&dir).unwrap();
+            assert!(c.insert("int main() { return 1; }\n").unwrap());
+            assert!(!c.insert("int main() { return 1; }\n").unwrap());
+            assert!(c.insert("int main() { return 2; }\n").unwrap());
+            assert_eq!(c.len(), 2);
+        }
+        let reopened = Corpus::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,202 @@
+//! Automatic test-case minimizer (delta debugging over lines).
+//!
+//! `minimize` takes a program and a predicate ("still reproduces the
+//! divergence") and greedily shrinks while the predicate holds. Three
+//! passes run to a joint fixpoint:
+//!
+//! 1. **Chunked line deletion** (ddmin-lite): try removing runs of
+//!    lines, halving the run length from `n/2` down to 1. Deleting an
+//!    unbalanced or load-bearing chunk just fails the predicate (the
+//!    predicate includes compiling), so no structural bookkeeping is
+//!    needed.
+//! 2. **Block unwrapping**: for every line that opens a block (`... {`)
+//!    try deleting only the header and its matching `}`, hoisting the
+//!    body out — the move line deletion alone cannot make.
+//! 3. **Constant shrinking**: rewrite each integer literal toward zero
+//!    (`0`, `1`, `v/2`), accepting only strictly smaller magnitudes so
+//!    the pass is monotone (which is what makes the whole minimizer
+//!    idempotent: a second run finds no applicable step).
+//!
+//! Every candidate is re-checked through the predicate, never assumed.
+
+use crate::mutate::int_literals;
+
+/// Returns the smallest variant of `src` (under the passes above) for
+/// which `repro` still returns `true`. If `repro(src)` is already
+/// `false`, returns `src` unchanged.
+pub fn minimize(src: &str, repro: &mut dyn FnMut(&str) -> bool) -> String {
+    if !repro(src) {
+        return src.to_string();
+    }
+    let mut cur: Vec<String> = src.lines().map(str::to_string).collect();
+    loop {
+        let mut changed = false;
+        changed |= delete_pass(&mut cur, repro);
+        changed |= unwrap_pass(&mut cur, repro);
+        changed |= shrink_pass(&mut cur, repro);
+        if !changed {
+            break;
+        }
+    }
+    render(&cur)
+}
+
+fn render(lines: &[String]) -> String {
+    let mut s = lines.join("\n");
+    s.push('\n');
+    s
+}
+
+fn delete_pass(cur: &mut Vec<String>, repro: &mut dyn FnMut(&str) -> bool) -> bool {
+    let mut changed = false;
+    let mut k = (cur.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() && cur.len() > 1 {
+            let hi = (i + k).min(cur.len());
+            let mut cand = cur.clone();
+            cand.drain(i..hi);
+            if !cand.is_empty() && repro(&render(&cand)) {
+                *cur = cand;
+                changed = true;
+                // Stay at `i`: the next chunk slid into place.
+            } else {
+                i += k;
+            }
+        }
+        if k == 1 {
+            break;
+        }
+        k /= 2;
+    }
+    changed
+}
+
+/// The closing-brace line matching the block opened at `open`, found by
+/// per-line brace counting (string literals in generated programs never
+/// contain braces).
+fn matching_close(lines: &[String], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, line) in lines.iter().enumerate().skip(open) {
+        depth += line.matches('{').count() as i32;
+        depth -= line.matches('}').count() as i32;
+        if depth <= 0 {
+            return (i != open).then_some(i);
+        }
+    }
+    None
+}
+
+fn unwrap_pass(cur: &mut Vec<String>, repro: &mut dyn FnMut(&str) -> bool) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i < cur.len() {
+        let t = cur[i].trim();
+        // `} else {` both closes and opens; deleting it alone would
+        // unbalance, so only plain openers are unwrapped.
+        if t.ends_with('{') && !t.starts_with('}') {
+            if let Some(close) = matching_close(cur, i) {
+                let mut cand = cur.clone();
+                cand.remove(close);
+                cand.remove(i);
+                if repro(&render(&cand)) {
+                    *cur = cand;
+                    changed = true;
+                    continue; // re-examine the hoisted line at `i`
+                }
+            }
+        }
+        i += 1;
+    }
+    changed
+}
+
+fn shrink_pass(cur: &mut Vec<String>, repro: &mut dyn FnMut(&str) -> bool) -> bool {
+    let mut changed = false;
+    loop {
+        let src = render(cur);
+        let lits = int_literals(&src);
+        let mut applied = false;
+        for (start, end, v) in lits {
+            if v == 0 {
+                continue;
+            }
+            for nv in [0, 1, v / 2] {
+                if nv.abs() >= v.abs() {
+                    continue;
+                }
+                let cand = format!("{}{}{}", &src[..start], nv, &src[end..]);
+                if repro(&cand) {
+                    *cur = cand.lines().map(str::to_string).collect();
+                    applied = true;
+                    changed = true;
+                    break;
+                }
+            }
+            if applied {
+                break; // literal spans moved; rescan
+            }
+        }
+        if !applied {
+            break;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic "divergence": the program still contains the marker
+    /// statement. Everything else should minimize away.
+    fn marker_repro(s: &str) -> bool {
+        s.contains("acc = (acc + 737);")
+    }
+
+    fn sample() -> String {
+        let mut lines = vec!["int main() {".to_string(), "    int acc = 0;".to_string()];
+        for i in 0..12 {
+            lines.push(format!("    int n{i} = {};", i * 17 + 100));
+        }
+        lines.push("    for (int i = 0; i < 4; i = (i + 1)) {".to_string());
+        lines.push("        acc = (acc + 737);".to_string());
+        lines.push("    }".to_string());
+        lines.push("    return (acc % 99991);".to_string());
+        lines.push("}".to_string());
+        lines.join("\n") + "\n"
+    }
+
+    #[test]
+    fn converges_and_stays_divergent() {
+        let out = minimize(&sample(), &mut |s| marker_repro(s));
+        assert!(marker_repro(&out), "minimized case lost the divergence");
+        // Everything but the marker line should be gone, including the
+        // enclosing loop (unwrap pass) and the filler declarations.
+        assert!(out.lines().count() <= 2, "not minimal: {out}");
+        assert!(!out.contains("for ("), "loop not unwrapped: {out}");
+    }
+
+    #[test]
+    fn idempotent() {
+        let once = minimize(&sample(), &mut |s| marker_repro(s));
+        let twice = minimize(&once, &mut |s| marker_repro(s));
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn non_repro_input_is_untouched() {
+        let src = sample();
+        let out = minimize(&src, &mut |_| false);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn constants_shrink_monotonically() {
+        // Predicate only cares that *some* literal >= 100 survives in
+        // the marker line; the minimizer should shrink it to exactly 100.
+        let src = "x = 400;\n";
+        let out = minimize(src, &mut |s| int_literals(s).iter().any(|l| l.2 >= 100));
+        assert_eq!(out, "x = 100;\n");
+    }
+}

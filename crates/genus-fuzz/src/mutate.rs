@@ -1,0 +1,290 @@
+//! Source-level mutators over generated Genus programs.
+//!
+//! Mutations operate on whole lines (the generator guarantees one
+//! statement per line) or on token-shaped spans (integer literals,
+//! space-padded binary operators, model names), so a mutant is always
+//! *lexically* plausible Genus. It is **not** guaranteed to type-check:
+//! the fuzz loop compile-gates every mutant and discards rejects, which
+//! keeps the oracles honest while still letting mutations explore
+//! beyond what the well-typed generator emits.
+//!
+//! The mutator menu is the classic coverage-fuzzer set, specialized:
+//!
+//! - **delete / duplicate statement** — line-granular, restricted to
+//!   `main`'s body and to lines that neither open nor close a block, so
+//!   braces stay balanced;
+//! - **constant tweak** — replace one integer literal with a boundary
+//!   value or a neighbor;
+//! - **operator tweak** — swap one binary operator for another of the
+//!   same category (arithmetic, comparison, logical);
+//! - **model swap** — toggle a use-site witness between the two `Rank`
+//!   models over `int`, the mutation that probes dictionary-passing
+//!   paths directly;
+//! - **splice** — replace a run of statements with a run taken from
+//!   another corpus entry.
+
+use genus_common::SplitMix64;
+
+/// All standalone integer literals in `src` as `(start, end, value)`
+/// byte spans. A literal is a maximal digit run not adjacent to an
+/// identifier character (so `i7` or `n12` are never split).
+pub(crate) fn int_literals(src: &str) -> Vec<(usize, usize, i64)> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i].is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let before_ok =
+                start == 0 || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_');
+            let after_ok = i == b.len() || !(b[i].is_ascii_alphabetic() || b[i] == b'_');
+            if before_ok && after_ok {
+                if let Ok(v) = src[start..i].parse::<i64>() {
+                    out.push((start, i, v));
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Line span `[start, end)` of `main`'s body (exclusive of the header
+/// and the closing brace), or `None` if the shape isn't recognized.
+fn main_body(lines: &[&str]) -> Option<(usize, usize)> {
+    let start = lines.iter().position(|l| l.trim() == "int main() {")? + 1;
+    let end = lines.iter().rposition(|l| l.trim() == "}")?;
+    (start < end).then_some((start, end))
+}
+
+/// Indices of body lines that are single whole statements: nonempty,
+/// don't open a block, don't close one.
+fn simple_lines(lines: &[&str], body: (usize, usize)) -> Vec<usize> {
+    (body.0..body.1)
+        .filter(|&i| {
+            let t = lines[i].trim();
+            !t.is_empty() && !t.ends_with('{') && !t.starts_with('}')
+        })
+        .collect()
+}
+
+fn delete_line(src: &str, rng: &mut SplitMix64) -> Option<String> {
+    let lines: Vec<&str> = src.lines().collect();
+    let body = main_body(&lines)?;
+    let simple = simple_lines(&lines, body);
+    if simple.is_empty() {
+        return None;
+    }
+    let victim = simple[rng.range(0, simple.len())];
+    let mut out: Vec<&str> = lines.clone();
+    out.remove(victim);
+    Some(out.join("\n") + "\n")
+}
+
+fn duplicate_line(src: &str, rng: &mut SplitMix64) -> Option<String> {
+    let lines: Vec<&str> = src.lines().collect();
+    let body = main_body(&lines)?;
+    let simple = simple_lines(&lines, body);
+    if simple.is_empty() {
+        return None;
+    }
+    let victim = simple[rng.range(0, simple.len())];
+    let mut out: Vec<&str> = lines.clone();
+    out.insert(victim + 1, lines[victim]);
+    Some(out.join("\n") + "\n")
+}
+
+fn tweak_constant(src: &str, rng: &mut SplitMix64) -> Option<String> {
+    let lits = int_literals(src);
+    if lits.is_empty() {
+        return None;
+    }
+    let (start, end, v) = lits[rng.range(0, lits.len())];
+    let candidates = [
+        0,
+        1,
+        2,
+        7,
+        97,
+        1013,
+        v.wrapping_add(1),
+        v.wrapping_sub(1),
+        v.wrapping_mul(2),
+    ];
+    let nv = *rng.pick(&candidates);
+    if nv == v || nv < 0 {
+        // Negative literals would need the generator's `(0 - n)` shape;
+        // keep the tweak lexically in place instead.
+        return None;
+    }
+    Some(format!("{}{}{}", &src[..start], nv, &src[end..]))
+}
+
+/// Binary operators the tweak mutator rotates, grouped by category so a
+/// swap stays type-correct. All are space-padded, matching how the
+/// generator renders every binary expression.
+const OP_CLASSES: &[&[&str]] = &[
+    &[" + ", " - ", " * "],
+    &[" < ", " <= ", " > ", " >= ", " == ", " != "],
+    &[" && ", " || "],
+];
+
+fn tweak_operator(src: &str, rng: &mut SplitMix64) -> Option<String> {
+    // Collect every padded-operator occurrence with its class.
+    let mut hits: Vec<(usize, usize, usize)> = Vec::new(); // (pos, class, op)
+    for (ci, class) in OP_CLASSES.iter().enumerate() {
+        for (oi, op) in class.iter().enumerate() {
+            let mut from = 0;
+            while let Some(p) = src[from..].find(op) {
+                let pos = from + p;
+                // `<` also prefixes `<=`; skip when a longer operator
+                // of the same class starts here.
+                let exact = !class
+                    .iter()
+                    .any(|other| other.len() > op.len() && src[pos..].starts_with(other));
+                if exact {
+                    hits.push((pos, ci, oi));
+                }
+                from = pos + op.len();
+            }
+        }
+    }
+    if hits.is_empty() {
+        return None;
+    }
+    let (pos, ci, oi) = hits[rng.range(0, hits.len())];
+    let class = OP_CLASSES[ci];
+    let mut alt = rng.range(0, class.len() - 1);
+    if alt >= oi {
+        alt += 1;
+    }
+    let old = class[oi];
+    Some(format!(
+        "{}{}{}",
+        &src[..pos],
+        class[alt],
+        &src[pos + old.len()..]
+    ))
+}
+
+fn swap_model(src: &str) -> Option<String> {
+    // `IntRank` is a prefix of `IntRankAlt`, so match with the closing
+    // bracket of the use-site `with` clause included.
+    if let Some(p) = src.find("with IntRankAlt]") {
+        Some(format!(
+            "{}with IntRank]{}",
+            &src[..p],
+            &src[p + "with IntRankAlt]".len()..]
+        ))
+    } else {
+        src.find("with IntRank]").map(|p| {
+            format!(
+                "{}with IntRankAlt]{}",
+                &src[..p],
+                &src[p + "with IntRank]".len()..]
+            )
+        })
+    }
+}
+
+fn splice(base: &str, other: &str, rng: &mut SplitMix64) -> Option<String> {
+    let blines: Vec<&str> = base.lines().collect();
+    let olines: Vec<&str> = other.lines().collect();
+    let bbody = main_body(&blines)?;
+    let obody = main_body(&olines)?;
+    let bsimple = simple_lines(&blines, bbody);
+    let osimple = simple_lines(&olines, obody);
+    if bsimple.is_empty() || osimple.is_empty() {
+        return None;
+    }
+    // A contiguous run of simple lines from `other` (contiguity in the
+    // *file*, so the run cannot cross a block boundary).
+    let ostart = osimple[rng.range(0, osimple.len())];
+    let mut olen = 0;
+    let want = 1 + rng.below(3) as usize;
+    while olen < want && osimple.contains(&(ostart + olen)) {
+        olen += 1;
+    }
+    let chunk: Vec<&str> = olines[ostart..ostart + olen].to_vec();
+    // Replace a same-shaped target run in `base`.
+    let bstart = bsimple[rng.range(0, bsimple.len())];
+    let mut blen = 0;
+    while blen < want && bsimple.contains(&(bstart + blen)) {
+        blen += 1;
+    }
+    let mut out: Vec<&str> = Vec::new();
+    out.extend_from_slice(&blines[..bstart]);
+    out.extend_from_slice(&chunk);
+    out.extend_from_slice(&blines[bstart + blen..]);
+    Some(out.join("\n") + "\n")
+}
+
+/// Produces one mutant of `base` (using `other` as splice donor when
+/// available). Falls back through mutation kinds until one applies;
+/// returns `base` unchanged only when nothing applies at all — callers
+/// dedupe, so an identical mutant is merely a wasted case.
+pub fn mutate(base: &str, other: Option<&str>, rng: &mut SplitMix64) -> String {
+    for _ in 0..6 {
+        let out = match rng.below(6) {
+            0 => delete_line(base, rng),
+            1 => duplicate_line(base, rng),
+            2 => tweak_constant(base, rng),
+            3 => tweak_operator(base, rng),
+            4 => swap_model(base),
+            _ => other.and_then(|o| splice(base, o, rng)),
+        };
+        if let Some(s) = out {
+            if s != base {
+                return s;
+            }
+        }
+    }
+    base.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "// hdr\nint main() {\n    int acc = 0;\n    int n1 = (3 + 4);\n    acc = (acc + n1);\n    println((\"acc=\" + acc));\n    return (acc % 99991);\n}\n";
+
+    #[test]
+    fn literals_respect_identifier_boundaries() {
+        let lits = int_literals("int n12 = (3 + i7);");
+        assert_eq!(lits.iter().map(|l| l.2).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn mutants_differ_and_are_deterministic() {
+        let mut a = SplitMix64::new(5);
+        let mut b = SplitMix64::new(5);
+        let ma = mutate(SRC, None, &mut a);
+        let mb = mutate(SRC, None, &mut b);
+        assert_eq!(ma, mb);
+        assert_ne!(ma, SRC);
+    }
+
+    #[test]
+    fn model_swap_round_trips() {
+        let s = "x = total[int with IntRank](l);";
+        let once = swap_model(s).unwrap();
+        assert!(once.contains("with IntRankAlt]"));
+        let twice = swap_model(&once).unwrap();
+        assert_eq!(twice, s);
+    }
+
+    #[test]
+    fn delete_keeps_braces_balanced() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..50 {
+            let m = delete_line(SRC, &mut rng).unwrap();
+            let opens = m.matches('{').count();
+            let closes = m.matches('}').count();
+            assert_eq!(opens, closes, "unbalanced: {m}");
+        }
+    }
+}

@@ -192,6 +192,12 @@ pub struct Vm<'p> {
     /// (stringification, field initializers) run while their caller
     /// holds values in host locals the collector cannot see.
     pub(crate) nesting: Cell<u32>,
+    /// Edge-coverage sink for the fuzzer: when installed, the dispatch
+    /// loop reports every executed `(function, pc)` site. Compiled out
+    /// entirely without the `coverage` feature; when compiled in but not
+    /// installed the per-op cost is one `Option` branch.
+    #[cfg(feature = "coverage")]
+    coverage: Option<std::rc::Rc<genus_common::EdgeMap>>,
 }
 
 impl<'p> Vm<'p> {
@@ -234,7 +240,18 @@ impl<'p> Vm<'p> {
             meter: Meter::unlimited(),
             heap: Heap::new(),
             nesting: Cell::new(0),
+            #[cfg(feature = "coverage")]
+            coverage: None,
         }
+    }
+
+    /// Installs an edge-coverage sink: every `(function, pc)` site the
+    /// dispatch loop executes from now on is recorded into `map` (see
+    /// [`genus_common::EdgeMap`]). Recording never changes observable
+    /// behaviour — the fuzzer's parity oracles run with it installed.
+    #[cfg(feature = "coverage")]
+    pub fn set_coverage(&mut self, map: std::rc::Rc<genus_common::EdgeMap>) {
+        self.coverage = Some(map);
     }
 
     /// The compiled bytecode this VM executes.
@@ -483,6 +500,10 @@ impl<'p> Vm<'p> {
             let frame = stack.last_mut().expect("frame");
             let func = &code.funcs[frame.func.0 as usize];
             let op = func.code[frame.pc];
+            #[cfg(feature = "coverage")]
+            if let Some(cov) = &self.coverage {
+                cov.record_site(frame.func.0, frame.pc as u32);
+            }
             frame.pc += 1;
             match op {
                 Op::Const { dst, k } => {

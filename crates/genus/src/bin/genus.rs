@@ -12,6 +12,8 @@
 //! $ genus serve --workers=4            # JSON-lines service on stdin/stdout
 //! $ genus serve --listen=127.0.0.1:7878  # ... or over TCP
 //! $ genus batch samples/               # run every .genus file in a dir
+//! $ genus fuzz --seconds=20 --seed=1   # differential fuzz the engines
+//! $ genus fuzz --replay fuzz/crashes/crash-1.genus  # re-run a repro
 //! ```
 //!
 //! Exit codes are tiered so scripts and CI can distinguish failure modes:
@@ -34,6 +36,7 @@ fn usage() -> ! {
         "usage: genus <run|check> [options] <file.genus> [more files...]\n\
          \x20      genus serve [options]\n\
          \x20      genus batch [options] <dir>\n\
+         \x20      genus fuzz [options] [--replay <file.genus> ...]\n\
          \n\
          run     compile the files (with the standard library unless\n\
          \x20        --no-stdlib is given) and execute main()\n\
@@ -46,6 +49,11 @@ fn usage() -> ! {
          \x20        one response line each, in request order\n\
          batch   run every .genus file in <dir> through the service and\n\
          \x20        print a per-request stats line\n\
+         fuzz    coverage-guided differential fuzzing: generate/mutate\n\
+         \x20        well-typed programs and cross-check the AST\n\
+         \x20        interpreter, VM (O0/O2), Tier 2, GC-stress, bytecode\n\
+         \x20        round-trip, and incremental re-checks against each\n\
+         \x20        other; with --replay, re-run saved repros instead\n\
          \n\
          options:\n\
          \x20 --no-stdlib        compile with only the built-in prelude\n\
@@ -92,8 +100,21 @@ fn usage() -> ! {
          \x20 --metrics-on-start serve: print one metrics JSON line to\n\
          \x20                    stderr at boot (the same object a\n\
          \x20                    {{\"action\":\"metrics\"}} request returns)\n\
+         \x20 --seed=<n>         fuzz: master PRNG seed (default 1); a\n\
+         \x20                    fixed seed + corpus gives identical runs\n\
+         \x20 --cases=<n>        fuzz: deterministic case budget (default\n\
+         \x20                    400)\n\
+         \x20 --seconds=<n>      fuzz: wall-clock cap checked between\n\
+         \x20                    cases (a safety net, not a work driver)\n\
+         \x20 --corpus=<dir>     fuzz: persist novelty-bearing inputs to\n\
+         \x20                    <dir> and reload them next run\n\
+         \x20 --crash-dir=<dir>  fuzz: write minimized divergence repros\n\
+         \x20                    to <dir> (default fuzz/crashes)\n\
+         \x20 --replay           fuzz: run the given .genus files through\n\
+         \x20                    the oracle suite once each, no fuzzing\n\
          \n\
-         exit codes: 0 success, 1 compile errors, 2 usage/IO, 3 runtime trap"
+         exit codes: 0 success, 1 compile errors, 2 usage/IO, 3 runtime trap\n\
+         \x20           (fuzz: 3 also means a divergence was found)"
     );
     std::process::exit(i32::from(EXIT_USAGE));
 }
@@ -202,6 +223,12 @@ fn main() -> ExitCode {
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut cache_capacity: usize = ServeConfig::default().cache_capacity;
     let mut metrics_on_start = false;
+    let mut fuzz_seed: u64 = 1;
+    let mut fuzz_cases: u64 = 400;
+    let mut fuzz_seconds: Option<u64> = None;
+    let mut fuzz_corpus: Option<std::path::PathBuf> = None;
+    let mut fuzz_crash_dir: Option<std::path::PathBuf> = None;
+    let mut fuzz_replay = false;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         if a == "--no-stdlib" {
@@ -252,6 +279,18 @@ fn main() -> ExitCode {
             cache_capacity = (parse_u64("cache-cap", v) as usize).max(1);
         } else if a == "--metrics-on-start" {
             metrics_on_start = true;
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            fuzz_seed = parse_u64("seed", v);
+        } else if let Some(v) = a.strip_prefix("--cases=") {
+            fuzz_cases = parse_u64("cases", v);
+        } else if let Some(v) = a.strip_prefix("--seconds=") {
+            fuzz_seconds = Some(parse_u64("seconds", v));
+        } else if let Some(dir) = a.strip_prefix("--corpus=") {
+            fuzz_corpus = Some(std::path::PathBuf::from(dir));
+        } else if let Some(dir) = a.strip_prefix("--crash-dir=") {
+            fuzz_crash_dir = Some(std::path::PathBuf::from(dir));
+        } else if a == "--replay" {
+            fuzz_replay = true;
         } else if a == "--help" || a == "-h" {
             usage();
         } else if a.starts_with('-') {
@@ -260,6 +299,19 @@ fn main() -> ExitCode {
         } else {
             files.push(a);
         }
+    }
+
+    if cmd == "fuzz" {
+        return cmd_fuzz(
+            fuzz_seed,
+            fuzz_cases,
+            fuzz_seconds,
+            fuzz_corpus,
+            fuzz_crash_dir,
+            fuzz_replay,
+            limits.fuel,
+            &files,
+        );
     }
 
     // The service subcommands apply a default fuel budget so a looping
@@ -362,6 +414,90 @@ fn main() -> ExitCode {
             code
         }
         _ => usage(),
+    }
+}
+
+/// `genus fuzz`: run the coverage-guided differential fuzzer, or (with
+/// `--replay`) re-run saved `.genus` repros through the oracle suite.
+/// Divergences exit with the runtime-trap tier (3): they are the fuzz
+/// analogue of a program misbehaving at runtime.
+#[allow(clippy::too_many_arguments)]
+fn cmd_fuzz(
+    seed: u64,
+    cases: u64,
+    seconds: Option<u64>,
+    corpus: Option<std::path::PathBuf>,
+    crash_dir: Option<std::path::PathBuf>,
+    replay: bool,
+    fuel: Option<u64>,
+    files: &[String],
+) -> ExitCode {
+    use genus_fuzz::Verdict;
+    if replay {
+        if files.is_empty() {
+            eprintln!("error: `genus fuzz --replay` needs at least one .genus file");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        // Replays get a generous budget: repros should finish, and a
+        // fuel skip would silently mask a once-diverging case.
+        let fuel = fuel.unwrap_or(10_000_000);
+        let mut tier: u8 = 0;
+        for f in files {
+            let src = match std::fs::read_to_string(f) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read `{f}`: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            match genus_fuzz::replay(&src, fuel) {
+                Verdict::Pass => println!("{f}: pass"),
+                Verdict::ResourceSkip => println!("{f}: fuel-skip"),
+                Verdict::CompileReject(codes) => println!("{f}: compile-reject [{codes}]"),
+                Verdict::Divergence(d) => {
+                    println!("{f}: DIVERGENCE [{}] {}", d.oracle, d.detail);
+                    tier = tier.max(EXIT_TRAP);
+                }
+            }
+        }
+        return ExitCode::from(tier);
+    }
+    if !files.is_empty() {
+        eprintln!("error: `genus fuzz` takes no file arguments (use --replay to run repros)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let config = genus_fuzz::FuzzConfig {
+        seed,
+        cases,
+        seconds,
+        corpus_dir: corpus,
+        crash_dir: Some(crash_dir.unwrap_or_else(|| std::path::PathBuf::from("fuzz/crashes"))),
+        fuel: fuel.unwrap_or(100_000),
+        ..genus_fuzz::FuzzConfig::default()
+    };
+    let report = match genus_fuzz::fuzz(config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: fuzz I/O failed: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    println!("{}", report.summary());
+    for crash in &report.crashes {
+        match &crash.path {
+            Some(p) => println!(
+                "divergence [{}] {} -> {}",
+                crash.oracle,
+                crash.detail,
+                p.display()
+            ),
+            None => println!("divergence [{}] {}", crash.oracle, crash.detail),
+        }
+    }
+    if report.crashes.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_TRAP)
     }
 }
 

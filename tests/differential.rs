@@ -99,6 +99,28 @@ fn sample_existential_registry() {
 }
 
 #[test]
+fn sample_ci_word_count() {
+    let (outcome, output) = run_on("ci_word_count.genus", Engine::Vm, 2);
+    assert_eq!(outcome.as_deref(), Ok("void"));
+    // The case-folding model collapses six spellings into three keys.
+    assert_eq!(output, "exact keys: 6\nfolded keys: 3\nthe: 3\nquick: 2\n");
+    check_sample("ci_word_count.genus");
+}
+
+#[test]
+fn sample_comparator_sort() {
+    let (outcome, output) = run_on("comparator_sort.genus", Engine::Vm, 2);
+    assert_eq!(outcome.as_deref(), Ok("void"));
+    assert_eq!(
+        output,
+        "natural: generics lightweight models site use \n\
+         reverse: use site models lightweight generics \n\
+         by-len:  use site models generics lightweight \n"
+    );
+    check_sample("comparator_sort.genus");
+}
+
+#[test]
 fn sample_gc_churn() {
     let (outcome, output) = run_on("gc_churn.genus", Engine::Vm, 2);
     assert_eq!(outcome.as_deref(), Ok("1999000"));
@@ -321,6 +343,8 @@ fn all_samples_are_covered() {
     assert_eq!(
         found,
         [
+            "ci_word_count.genus",
+            "comparator_sort.genus",
             "existential_registry.genus",
             "gc_churn.genus",
             "hello.genus",

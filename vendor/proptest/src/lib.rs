@@ -143,6 +143,36 @@ pub mod strategy {
             SBox::new(move |rng| f(self.generate(rng)))
         }
 
+        /// Dependent generation: draws from `self`, then from the
+        /// strategy `f` builds out of that value.
+        fn prop_flat_map<S2, F>(self, f: F) -> SBox<S2::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy + 'static,
+            F: Fn(Self::Value) -> S2 + 'static,
+        {
+            SBox::new(move |rng| f(self.generate(rng)).generate(rng))
+        }
+
+        /// Rejection filtering: redraws until `pred` accepts. `whence`
+        /// names the filter in the panic raised when the acceptance rate
+        /// is so low the strategy is effectively empty.
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> SBox<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            SBox::new(move |rng| {
+                for _ in 0..1000 {
+                    let v = self.generate(rng);
+                    if pred(&v) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter `{whence}`: 1000 consecutive rejections");
+            })
+        }
+
         fn boxed(self) -> SBox<Self::Value>
         where
             Self: Sized + 'static,
@@ -235,6 +265,25 @@ pub mod strategy {
         SBox::new(move |rng| {
             let i = (rng.next_u64() % arms.len() as u64) as usize;
             arms[i].generate(rng)
+        })
+    }
+
+    /// Weighted choice among boxed alternatives (backs the
+    /// `weight => strategy` form of `prop_oneof!`).
+    pub fn union_weighted<T: 'static>(arms: Vec<(u32, SBox<T>)>) -> SBox<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        SBox::new(move |rng| {
+            let mut pick = rng.next_u64() % total;
+            for (w, arm) in &arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return arm.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick exceeded total weight")
         })
     }
 
@@ -477,9 +526,15 @@ macro_rules! __proptest_inner {
     };
 }
 
-/// Uniform choice among strategy arms (unweighted subset of `prop_oneof!`).
+/// Choice among strategy arms: uniform (`a, b, c`) or weighted
+/// (`3 => a, 1 => b`), mirroring real proptest's two forms.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::union_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
     ($($arm:expr),+ $(,)?) => {
         $crate::strategy::union(vec![$($crate::strategy::Strategy::boxed($arm)),+])
     };
@@ -574,5 +629,33 @@ mod tests {
         fn oneof_and_recursive(v in prop_oneof![Just(1u32), Just(2u32), (5u32..9)]) {
             prop_assert!(v == 1 || v == 2 || (5..9).contains(&v));
         }
+    }
+
+    #[test]
+    fn flat_map_is_dependent() {
+        let strat = (1usize..5).prop_flat_map(|n| prop::collection::vec(0i32..10, n..n + 1));
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn filter_rejects_and_redraws() {
+        let strat = (0i32..100).prop_filter("even only", |v| v % 2 == 0);
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn weighted_oneof_respects_weights() {
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(5);
+        let hits = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        // ~900 expected; anything clearly majority-true suffices.
+        assert!(hits > 700, "weight 9:1 produced only {hits}/1000 trues");
     }
 }
